@@ -1,0 +1,227 @@
+//! Heap-to-stack demotion.
+//!
+//! `memref.alloc` lowers to `@malloc` + `bitcast`; HLS has no heap. When
+//! the allocation size is a compile-time constant, the buffer is exactly an
+//! on-chip memory: the pass rewrites the pattern into an entry-block
+//! `alloca [N x T]` (plus the decay GEP) and deletes the matching `@free`.
+//!
+//! Non-constant sizes are a hard error — there is no synthesizable
+//! equivalent, and failing loudly here is precisely the adaptor's value
+//! over letting the Vitis frontend crash later.
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{Inst, InstData, Module, Opcode, Type, Value};
+
+use crate::Result;
+
+/// The malloc-demotion pass.
+pub struct DemoteMalloc;
+
+impl ModulePass for DemoteMalloc {
+    fn name(&self) -> &'static str {
+        "demote-malloc"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            // Collect malloc calls.
+            let mallocs: Vec<llvm_lite::InstId> = f
+                .inst_ids()
+                .into_iter()
+                .filter_map(|(_, id)| {
+                    matches!(&f.inst(id).data, InstData::Call { callee } if callee == "malloc")
+                        .then_some(id)
+                })
+                .collect();
+            for id in mallocs {
+                demote_one(f, id)?;
+                changed = true;
+            }
+            // Delete frees (their buffers are allocas now; the bitcast
+            // feeding them dies with DCE).
+            let frees: Vec<llvm_lite::InstId> = f
+                .inst_ids()
+                .into_iter()
+                .filter_map(|(_, id)| {
+                    matches!(&f.inst(id).data, InstData::Call { callee } if callee == "free")
+                        .then_some(id)
+                })
+                .collect();
+            for id in frees {
+                f.remove_inst(id);
+                changed = true;
+            }
+        }
+        if changed {
+            m.functions
+                .retain(|f| !f.is_declaration || (f.name != "malloc" && f.name != "free"));
+            // The demotion leaves dead bitcasts behind.
+            llvm_lite::transforms::Dce.run(m)?;
+        }
+        Ok(changed)
+    }
+}
+
+fn demote_one(f: &mut llvm_lite::Function, id: llvm_lite::InstId) -> Result<()> {
+    let size = f.inst(id).operands.first().and_then(Value::int_value);
+    let Some(bytes) = size else {
+        return Err(llvm_lite::Error::Transform(
+            "@malloc with non-constant size cannot be demoted for HLS".into(),
+        ));
+    };
+    // The element type comes from the (single) bitcast user; default i8.
+    let mut elem = Type::I8;
+    let mut casts = Vec::new();
+    for (_, uid) in f.inst_ids() {
+        let user = f.inst(uid);
+        if user.opcode == Opcode::BitCast && user.operands[0] == Value::Inst(id) {
+            if let Some(p) = user.ty.pointee() {
+                elem = p.clone();
+            }
+            casts.push(uid);
+        }
+    }
+    let n = (bytes as u64) / elem.size_in_bytes().max(1);
+    let arr = elem.array_of(n);
+
+    // Entry-block alloca + decay GEP.
+    let entry = f.entry();
+    let alloca = f.insert_inst(
+        entry,
+        0,
+        Inst::new(Opcode::Alloca, arr.ptr_to(), vec![])
+            .with_data(InstData::Alloca {
+                align: elem.align_in_bytes() as u32,
+                allocated: arr.clone(),
+            })
+            .with_name("heapbuf"),
+    );
+    let gep = f.insert_inst(
+        entry,
+        1,
+        Inst::new(
+            Opcode::Gep,
+            elem.ptr_to(),
+            vec![Value::Inst(alloca), Value::i64(0), Value::i64(0)],
+        )
+        .with_data(InstData::Gep {
+            base_ty: arr,
+            inbounds: true,
+        }),
+    );
+    for c in casts {
+        f.replace_all_uses(&Value::Inst(c), &Value::Inst(gep));
+        f.remove_inst(c);
+    }
+    // Raw i8* uses of the malloc (e.g. the free bitcast path) see the
+    // buffer as i8* via a cast from the decay pointer.
+    let raw = f.insert_inst(
+        entry,
+        2,
+        Inst::new(Opcode::BitCast, Type::I8.ptr_to(), vec![Value::Inst(gep)]),
+    );
+    f.replace_all_uses(&Value::Inst(id), &Value::Inst(raw));
+    f.remove_inst(id);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::interp::{Interpreter, RtVal};
+    use llvm_lite::parser::parse_module;
+    use llvm_lite::verifier::verify_module;
+
+    const HEAP: &str = r#"
+declare i8* @malloc(i64 %n)
+declare void @free(i8* %p)
+
+define float @f(float* "hls.interface"="ap_memory" %in) {
+entry:
+  %raw = call i8* @malloc(i64 16)
+  %buf = bitcast i8* %raw to float*
+  %v = load float, float* %in, align 4
+  store float %v, float* %buf, align 4
+  %r = load float, float* %buf, align 4
+  call void @free(i8* %raw)
+  ret float %r
+}
+"#;
+
+    #[test]
+    fn demotes_constant_malloc() {
+        let mut m = parse_module("m", HEAP).unwrap();
+        assert!(DemoteMalloc.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Call), 0);
+        assert_eq!(f.count_opcode(Opcode::Alloca), 1);
+        // Declarations removed.
+        assert!(m.function("malloc").is_none());
+        assert!(m.function("free").is_none());
+        // Alloca is a [4 x float].
+        let (_, a) = f
+            .inst_ids()
+            .into_iter()
+            .find(|(_, i)| f.inst(*i).opcode == Opcode::Alloca)
+            .unwrap();
+        match &f.inst(a).data {
+            InstData::Alloca { allocated, .. } => {
+                assert_eq!(*allocated, Type::Float.array_of(4));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        let mut m = parse_module("m", HEAP).unwrap();
+        DemoteMalloc.run(&mut m).unwrap();
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc_f32(&[42.5]);
+        assert_eq!(i.call("f", &[RtVal::P(p)]).unwrap(), RtVal::F(42.5));
+    }
+
+    #[test]
+    fn non_constant_size_errors() {
+        let src = r#"
+declare i8* @malloc(i64 %n)
+
+define void @f(i64 %n) {
+entry:
+  %raw = call i8* @malloc(i64 %n)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        let e = DemoteMalloc.run(&mut m).unwrap_err();
+        assert!(e.to_string().contains("non-constant"));
+    }
+
+    #[test]
+    fn no_change_without_heap() {
+        let src = "define void @f() {\nentry:\n  ret void\n}\n";
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!DemoteMalloc.run(&mut m).unwrap());
+    }
+
+    #[test]
+    fn compat_issues_resolved() {
+        let mut m = parse_module("m", HEAP).unwrap();
+        let before = crate::compat_issues(&m)
+            .iter()
+            .filter(|i| i.kind == crate::IssueKind::HeapAllocation)
+            .count();
+        assert!(before >= 2);
+        DemoteMalloc.run(&mut m).unwrap();
+        let after = crate::compat_issues(&m)
+            .iter()
+            .filter(|i| i.kind == crate::IssueKind::HeapAllocation)
+            .count();
+        assert_eq!(after, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Top-function interface synthesis.
+//!
+//! Vitis needs every top-level port bound to a hardware protocol. The pass
+//! applies the same defaults `csynth` would:
+//!
+//! * pointer-to-array parameters → `ap_memory` (BRAM port);
+//! * raw pointers that survived without a recovered shape → `m_axi`
+//!   (bus master, slower but always legal);
+//! * scalar parameters → `s_axilite` (control register file);
+//! * the function itself gets `ap_ctrl_hs` block-level control.
+//!
+//! Bindings are recorded as `hls.interface` string attributes, which the
+//! compat verifier accepts and the Vitis simulator reads when binding
+//! memory ports.
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{Module, Type};
+
+use crate::Result;
+
+/// The interface-synthesis pass.
+pub struct SynthesizeInterface;
+
+impl ModulePass for SynthesizeInterface {
+    fn name(&self) -> &'static str {
+        "synthesize-interface"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let Some(top_name) = m.top_function().map(|f| f.name.clone()) else {
+            return Ok(false);
+        };
+        let mut changed = false;
+        let f = m.function_mut(&top_name).expect("top exists");
+        if !f.attrs.contains_key("hls.top") {
+            f.attrs.insert("hls.top".into(), "1".into());
+            changed = true;
+        }
+        if !f.attrs.contains_key("hls.interface.control") {
+            f.attrs
+                .insert("hls.interface.control".into(), "ap_ctrl_hs".into());
+            changed = true;
+        }
+        for p in &mut f.params {
+            if p.attrs.contains_key("hls.interface") {
+                continue;
+            }
+            let binding = match &p.ty {
+                Type::Ptr(pointee) if matches!(**pointee, Type::Array(..)) => "ap_memory",
+                Type::Ptr(_) => "m_axi",
+                _ => "s_axilite",
+            };
+            p.attrs.insert("hls.interface".into(), binding.into());
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn binds_ports_by_type() {
+        let src = r#"
+define void @top([8 x float]* %arr, float* %flat, i32 %n) "hls.top"="1" {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(SynthesizeInterface.run(&mut m).unwrap());
+        let f = m.function("top").unwrap();
+        assert_eq!(
+            f.params[0].attrs.get("hls.interface").map(String::as_str),
+            Some("ap_memory")
+        );
+        assert_eq!(
+            f.params[1].attrs.get("hls.interface").map(String::as_str),
+            Some("m_axi")
+        );
+        assert_eq!(
+            f.params[2].attrs.get("hls.interface").map(String::as_str),
+            Some("s_axilite")
+        );
+        assert_eq!(
+            f.attrs.get("hls.interface.control").map(String::as_str),
+            Some("ap_ctrl_hs")
+        );
+    }
+
+    #[test]
+    fn first_definition_becomes_top_when_unmarked() {
+        let src = r#"
+declare float @llvm.sqrt.f32(float %x)
+
+define void @only() {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(SynthesizeInterface.run(&mut m).unwrap());
+        assert!(m
+            .function("only")
+            .unwrap()
+            .attrs
+            .contains_key("hls.top"));
+    }
+
+    #[test]
+    fn existing_bindings_are_kept() {
+        let src = r#"
+define void @top(float* "hls.interface"="ap_fifo" %s) "hls.top"="1" {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        SynthesizeInterface.run(&mut m).unwrap();
+        let f = m.function("top").unwrap();
+        assert_eq!(
+            f.params[0].attrs.get("hls.interface").map(String::as_str),
+            Some("ap_fifo")
+        );
+    }
+
+    #[test]
+    fn resolves_unshaped_interface_issue() {
+        let src = r#"
+define void @top(float* %flat) "hls.top"="1" {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(crate::compat_issues(&m)
+            .iter()
+            .any(|i| i.kind == crate::IssueKind::UnshapedInterface));
+        SynthesizeInterface.run(&mut m).unwrap();
+        assert!(!crate::compat_issues(&m)
+            .iter()
+            .any(|i| i.kind == crate::IssueKind::UnshapedInterface));
+    }
+}

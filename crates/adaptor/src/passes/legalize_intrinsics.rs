@@ -1,0 +1,414 @@
+//! Intrinsic legalization.
+//!
+//! The frozen HLS frontend predates most of modern LLVM's intrinsic set.
+//! This pass removes or expands everything outside the whitelist:
+//!
+//! * `llvm.lifetime.start/end`, `llvm.assume` — deleted (pure hints).
+//! * `llvm.smax/smin/umax/umin` — expanded into `icmp` + `select`.
+//! * `llvm.memset`/`llvm.memcpy` with constant length — expanded into
+//!   explicit element loops (byte-wise), which the scheduler then treats
+//!   like any other loop.
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{
+    Function, Inst, InstData, IntPred, Module, Opcode, Type, Value,
+};
+
+use crate::Result;
+
+/// The intrinsic-legalization pass.
+pub struct LegalizeIntrinsics;
+
+impl ModulePass for LegalizeIntrinsics {
+    fn name(&self) -> &'static str {
+        "legalize-intrinsics"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for fi in 0..m.functions.len() {
+            if m.functions[fi].is_declaration {
+                continue;
+            }
+            while let Some((block, id)) = find_target(&m.functions[fi]) {
+                rewrite(&mut m.functions[fi], block, id)?;
+                changed = true;
+            }
+        }
+        if changed {
+            // Unused intrinsic declarations would trip the compat verifier's
+            // reviewers; drop any declaration that lost its last caller.
+            drop_unused_declarations(m);
+        }
+        Ok(changed)
+    }
+}
+
+fn intrinsic_kind(callee: &str) -> Option<&'static str> {
+    if callee.starts_with("llvm.lifetime.") || callee == "llvm.assume" {
+        return Some("drop");
+    }
+    if callee.starts_with("llvm.smax.") || callee.starts_with("llvm.smin.") {
+        return Some("minmax");
+    }
+    if callee.starts_with("llvm.memset.") {
+        return Some("memset");
+    }
+    if callee.starts_with("llvm.memcpy.") {
+        return Some("memcpy");
+    }
+    None
+}
+
+fn find_target(f: &Function) -> Option<(llvm_lite::BlockId, llvm_lite::InstId)> {
+    for (b, id) in f.inst_ids() {
+        if let InstData::Call { callee } = &f.inst(id).data {
+            if intrinsic_kind(callee).is_some() {
+                return Some((b, id));
+            }
+        }
+    }
+    None
+}
+
+fn rewrite(f: &mut Function, block: llvm_lite::BlockId, id: llvm_lite::InstId) -> Result<()> {
+    let inst = f.inst(id).clone();
+    let InstData::Call { callee } = &inst.data else {
+        unreachable!()
+    };
+    match intrinsic_kind(callee).expect("filtered") {
+        "drop" => f.remove_inst(id),
+        "minmax" => {
+            let pred = if callee.starts_with("llvm.smax.") {
+                IntPred::Sgt
+            } else {
+                IntPred::Slt
+            };
+            let pos = f.block(block).insts.iter().position(|&x| x == id).unwrap();
+            let cmp = f.insert_inst(
+                block,
+                pos,
+                Inst::new(
+                    Opcode::ICmp,
+                    Type::I1,
+                    vec![inst.operands[0].clone(), inst.operands[1].clone()],
+                )
+                .with_data(InstData::ICmp(pred)),
+            );
+            let sel = f.insert_inst(
+                block,
+                pos + 1,
+                Inst::new(
+                    Opcode::Select,
+                    inst.ty.clone(),
+                    vec![
+                        Value::Inst(cmp),
+                        inst.operands[0].clone(),
+                        inst.operands[1].clone(),
+                    ],
+                ),
+            );
+            f.replace_all_uses(&Value::Inst(id), &Value::Inst(sel));
+            f.remove_inst(id);
+        }
+        kind @ ("memset" | "memcpy") => {
+            let Some(len) = inst.operands[2].int_value() else {
+                return Err(llvm_lite::Error::Transform(format!(
+                    "@{callee} with non-constant length cannot be legalized"
+                )));
+            };
+            expand_mem_loop(f, block, id, kind == "memcpy", len as u64)?;
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
+/// Replace a memcpy/memset call with a fresh byte loop:
+///
+/// ```text
+///   <block>: ... ; up to the call
+///   br %mem.header
+/// mem.header: %i = phi [0, block], [%i.next, mem.body]
+///   %c = icmp ult %i, len ; br %c, body, cont
+/// mem.body: <byte move> ; %i.next = add %i, 1 ; br header
+/// mem.cont: ... ; rest of the original block
+/// ```
+fn expand_mem_loop(
+    f: &mut Function,
+    block: llvm_lite::BlockId,
+    id: llvm_lite::InstId,
+    is_copy: bool,
+    len: u64,
+) -> Result<()> {
+    let inst = f.inst(id).clone();
+    let pos = f.block(block).insts.iter().position(|&x| x == id).unwrap();
+
+    // Split the block after the call.
+    let tail: Vec<llvm_lite::InstId> = f.block(block).insts[pos + 1..].to_vec();
+    f.block_mut(block).insts.truncate(pos); // drops the call from layout
+    f.inst_removed[id as usize] = true;
+
+    let n = f.blocks.len();
+    let header = f.add_block(format!("mem.header{n}"));
+    let body = f.add_block(format!("mem.body{n}"));
+    let cont = f.add_block(format!("mem.cont{n}"));
+    f.block_mut(cont).insts = tail;
+
+    // Successor phis that referenced `block` now come from `cont`.
+    if let Some(&last) = f.block(cont).insts.last() {
+        for s in f.insts[last as usize].successors() {
+            f.replace_phi_incoming(s, block, cont);
+        }
+    }
+
+    // block: br header
+    f.push_inst(
+        block,
+        Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest: header }),
+    );
+    // header: phi, cmp, condbr
+    let phi = f.push_inst(
+        header,
+        Inst::new(Opcode::Phi, Type::I64, vec![])
+            .with_data(InstData::Phi { incoming: vec![] })
+            .with_name("mem.i"),
+    );
+    let cmp = f.push_inst(
+        header,
+        Inst::new(
+            Opcode::ICmp,
+            Type::I1,
+            vec![Value::Inst(phi), Value::i64(len as i64)],
+        )
+        .with_data(InstData::ICmp(IntPred::Ult)),
+    );
+    f.push_inst(
+        header,
+        Inst::new(Opcode::CondBr, Type::Void, vec![Value::Inst(cmp)]).with_data(
+            InstData::CondBr {
+                on_true: body,
+                on_false: cont,
+            },
+        ),
+    );
+    // body
+    let dst_gep = f.push_inst(
+        body,
+        Inst::new(
+            Opcode::Gep,
+            Type::I8.ptr_to(),
+            vec![inst.operands[0].clone(), Value::Inst(phi)],
+        )
+        .with_data(InstData::Gep {
+            base_ty: Type::I8,
+            inbounds: true,
+        }),
+    );
+    let byte: Value = if is_copy {
+        let src_gep = f.push_inst(
+            body,
+            Inst::new(
+                Opcode::Gep,
+                Type::I8.ptr_to(),
+                vec![inst.operands[1].clone(), Value::Inst(phi)],
+            )
+            .with_data(InstData::Gep {
+                base_ty: Type::I8,
+                inbounds: true,
+            }),
+        );
+        Value::Inst(f.push_inst(
+            body,
+            Inst::new(Opcode::Load, Type::I8, vec![Value::Inst(src_gep)])
+                .with_data(InstData::Load { align: 1 }),
+        ))
+    } else {
+        // memset: the byte value operand (i8).
+        inst.operands[1].clone()
+    };
+    f.push_inst(
+        body,
+        Inst::new(Opcode::Store, Type::Void, vec![byte, Value::Inst(dst_gep)])
+            .with_data(InstData::Store { align: 1 }),
+    );
+    let next = f.push_inst(
+        body,
+        Inst::new(Opcode::Add, Type::I64, vec![Value::Inst(phi), Value::i64(1)]),
+    );
+    f.push_inst(
+        body,
+        Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest: header }),
+    );
+    // Wire the phi.
+    {
+        let p = f.inst_mut(phi);
+        p.operands = vec![Value::i64(0), Value::Inst(next)];
+        p.data = InstData::Phi {
+            incoming: vec![block, body],
+        };
+    }
+    Ok(())
+}
+
+fn drop_unused_declarations(m: &mut Module) {
+    let mut used = std::collections::HashSet::new();
+    for f in &m.functions {
+        if f.is_declaration {
+            continue;
+        }
+        for (_, id) in f.inst_ids() {
+            if let InstData::Call { callee } = &f.inst(id).data {
+                used.insert(callee.clone());
+            }
+        }
+    }
+    m.functions
+        .retain(|f| !f.is_declaration || used.contains(&f.name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::interp::{Interpreter, RtVal};
+    use llvm_lite::parser::parse_module;
+    use llvm_lite::verifier::verify_module;
+
+    #[test]
+    fn drops_lifetime_and_assume() {
+        let src = r#"
+declare void @llvm.lifetime.start.p0i8(i64 %n, i8* %p)
+declare void @llvm.assume(i1 %c)
+
+define void @f(i8* "hls.interface"="ap_memory" %p) {
+entry:
+  call void @llvm.lifetime.start.p0i8(i64 4, i8* %p)
+  call void @llvm.assume(i1 true)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeIntrinsics.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Call), 0);
+        // Declarations dropped too.
+        assert!(m.function("llvm.assume").is_none());
+    }
+
+    #[test]
+    fn expands_minmax() {
+        let src = r#"
+declare i32 @llvm.smax.i32(i32 %a, i32 %b)
+
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %m = call i32 @llvm.smax.i32(i32 %a, i32 %b)
+  ret i32 %m
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeIntrinsics.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Select), 1);
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.call("f", &[RtVal::I(3), RtVal::I(9)]).unwrap(), RtVal::I(9));
+        let mut i2 = Interpreter::new(&m);
+        assert_eq!(
+            i2.call("f", &[RtVal::I(-3), RtVal::I(-9)]).unwrap(),
+            RtVal::I(-3)
+        );
+    }
+
+    #[test]
+    fn expands_memset_into_loop() {
+        let src = r#"
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %v, i64 %n, i1 %vol)
+
+define void @f(i8* "hls.interface"="ap_memory" %d) {
+entry:
+  call void @llvm.memset.p0i8.i64(i8* %d, i8 7, i64 16, i1 false)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeIntrinsics.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Call), 0);
+        assert_eq!(f.count_opcode(Opcode::Phi), 1);
+        // Behaviour preserved.
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc(16);
+        i.call("f", &[RtVal::P(p)]).unwrap();
+        assert_eq!(i.mem.read_i32(p, 4).unwrap(), vec![0x07070707; 4]);
+    }
+
+    #[test]
+    fn expands_memcpy_into_loop() {
+        let src = r#"
+declare void @llvm.memcpy.p0i8.p0i8.i64(i8* %d, i8* %s, i64 %n, i1 %vol)
+
+define void @f(i8* "hls.interface"="ap_memory" %d, i8* "hls.interface"="ap_memory" %s) {
+entry:
+  call void @llvm.memcpy.p0i8.p0i8.i64(i8* %d, i8* %s, i64 8, i1 false)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeIntrinsics.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let mut i = Interpreter::new(&m);
+        let s = i.mem.alloc_i32(&[11, 22]);
+        let d = i.mem.alloc(8);
+        i.call("f", &[RtVal::P(d), RtVal::P(s)]).unwrap();
+        assert_eq!(i.mem.read_i32(d, 2).unwrap(), vec![11, 22]);
+    }
+
+    #[test]
+    fn memcpy_after_which_code_continues() {
+        // The split-block rewrite must preserve instructions after the call.
+        let src = r#"
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %v, i64 %n, i1 %vol)
+
+define i32 @f(i8* "hls.interface"="ap_memory" %d, i32 %x) {
+entry:
+  call void @llvm.memset.p0i8.i64(i8* %d, i8 0, i64 4, i1 false)
+  %y = add i32 %x, 1
+  ret i32 %y
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        LegalizeIntrinsics.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        let mut i = Interpreter::new(&m);
+        let d = i.mem.alloc(4);
+        assert_eq!(
+            i.call("f", &[RtVal::P(d), RtVal::I(41)]).unwrap(),
+            RtVal::I(42)
+        );
+    }
+
+    #[test]
+    fn non_constant_length_is_an_error() {
+        let src = r#"
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %v, i64 %n, i1 %vol)
+
+define void @f(i8* "hls.interface"="ap_memory" %d, i64 %n) {
+entry:
+  call void @llvm.memset.p0i8.i64(i8* %d, i8 0, i64 %n, i1 false)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeIntrinsics.run(&mut m).is_err());
+    }
+
+    #[test]
+    fn idempotent_on_clean_module() {
+        let src = "define void @f() {\nentry:\n  ret void\n}\n";
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!LegalizeIntrinsics.run(&mut m).unwrap());
+    }
+}

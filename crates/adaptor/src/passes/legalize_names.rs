@@ -1,0 +1,232 @@
+//! RTL name legalization.
+//!
+//! Generated RTL identifiers must match `[A-Za-z_][A-Za-z0-9_]*`. MLIR
+//! symbol names are far looser (dots from nested symbol tables, dashes from
+//! file names, `$` from mangling). The pass rewrites function names,
+//! parameter names, block labels and value name hints into legal, unique
+//! identifiers, and patches call sites for renamed functions.
+
+use std::collections::{HashMap, HashSet};
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{InstData, Module};
+
+use crate::Result;
+
+/// The name-legalization pass.
+pub struct LegalizeNames;
+
+impl ModulePass for LegalizeNames {
+    fn name(&self) -> &'static str {
+        "legalize-names"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+
+        // Functions (and call sites).
+        let mut taken: HashSet<String> = m.functions.iter().map(|f| f.name.clone()).collect();
+        let mut renames: HashMap<String, String> = HashMap::new();
+        for f in &mut m.functions {
+            if f.name.starts_with("llvm.") {
+                continue; // intrinsic names are resolved, not emitted as RTL
+            }
+            let fixed = legalize(&f.name);
+            if fixed != f.name {
+                let unique = uniquify(&fixed, &mut taken);
+                renames.insert(f.name.clone(), unique.clone());
+                f.name = unique;
+                changed = true;
+            }
+        }
+        if !renames.is_empty() {
+            for f in &mut m.functions {
+                for i in 0..f.insts.len() {
+                    if f.inst_removed[i] {
+                        continue;
+                    }
+                    if let InstData::Call { callee } = &mut f.insts[i].data {
+                        if let Some(n) = renames.get(callee) {
+                            *callee = n.clone();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Params, labels, value hints.
+        for f in &mut m.functions {
+            let mut local: HashSet<String> = HashSet::new();
+            for p in &mut f.params {
+                let fixed = legalize(&p.name);
+                let unique = uniquify(&fixed, &mut local);
+                if unique != p.name {
+                    p.name = unique;
+                    changed = true;
+                }
+            }
+            let mut labels: HashSet<String> = HashSet::new();
+            for b in &mut f.blocks {
+                if b.removed {
+                    continue;
+                }
+                let fixed = legalize(&b.name);
+                let unique = uniquify(&fixed, &mut labels);
+                if unique != b.name {
+                    b.name = unique;
+                    changed = true;
+                }
+            }
+            for i in 0..f.insts.len() {
+                if f.inst_removed[i] || f.insts[i].name.is_empty() {
+                    continue;
+                }
+                let fixed = legalize(&f.insts[i].name);
+                if fixed != f.insts[i].name {
+                    f.insts[i].name = fixed;
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Rewrite into `[A-Za-z_][A-Za-z0-9_]*`.
+pub fn legalize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out.push('v');
+    }
+    if out.chars().next().unwrap().is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn uniquify(base: &str, taken: &mut HashSet<String>) -> String {
+    if taken.insert(base.to_string()) {
+        return base.to_string();
+    }
+    let mut n = 1;
+    loop {
+        let candidate = format!("{base}_{n}");
+        if taken.insert(candidate.clone()) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+    use llvm_lite::verifier::verify_module;
+
+    #[test]
+    fn legalize_rules() {
+        assert_eq!(legalize("loop.header"), "loop_header");
+        assert_eq!(legalize("a-b$c"), "a_b_c");
+        assert_eq!(legalize("2fast"), "_2fast");
+        assert_eq!(legalize(""), "v");
+        assert_eq!(legalize("fine_name"), "fine_name");
+    }
+
+    #[test]
+    fn renames_labels_and_keeps_structure() {
+        let src = r#"
+define void @f(i32 %n) {
+entry:
+  br label %loop.header
+
+loop.header:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop.header ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %loop.header, label %exit.block
+
+exit.block:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeNames.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert!(f.block_by_name("loop_header").is_some());
+        assert!(f.block_by_name("exit_block").is_some());
+    }
+
+    #[test]
+    fn renames_functions_and_call_sites() {
+        let src = r#"
+define void @"my.helper"() {
+entry:
+  ret void
+}
+
+define void @top() "hls.top"="1" {
+entry:
+  call void @"my.helper"()
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(LegalizeNames.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        assert!(m.function("my_helper").is_some());
+        let text = llvm_lite::printer::print_module(&m);
+        assert!(text.contains("call void @my_helper()"));
+    }
+
+    #[test]
+    fn collisions_are_uniquified() {
+        let src = r#"
+define void @f() {
+a.b:
+  br label %a_b
+
+a_b:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        LegalizeNames.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        let names: Vec<&str> = f
+            .block_order
+            .iter()
+            .map(|&b| f.block(b).name.as_str())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn intrinsic_declarations_are_untouched() {
+        let src = r#"
+declare float @llvm.sqrt.f32(float %x)
+
+define float @f(float %x) {
+entry:
+  %r = call float @llvm.sqrt.f32(float %x)
+  ret float %r
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        LegalizeNames.run(&mut m).unwrap();
+        assert!(m.function("llvm.sqrt.f32").is_some());
+    }
+
+    #[test]
+    fn clean_module_unchanged() {
+        let src = "define void @fine() {\nentry:\n  ret void\n}\n";
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!LegalizeNames.run(&mut m).unwrap());
+    }
+}

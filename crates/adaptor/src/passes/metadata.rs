@@ -1,0 +1,256 @@
+//! Loop-metadata normalization.
+//!
+//! Two jobs:
+//!
+//! 1. **Placement** — `!llvm.loop` must sit on the latch branch of a natural
+//!    loop for the HLS frontend to see it. Metadata that landed anywhere
+//!    else (e.g. a guard branch after an optimization moved it) is re-pinned
+//!    to the latch of the innermost loop containing it, or dropped when no
+//!    loop exists.
+//! 2. **Trip-count hints** — for counted loops (`phi` of a constant, a
+//!    constant-bound compare, a constant-step increment) the pass attaches
+//!    `llvm.loop.tripcount` min/max hints, which the scheduler uses for
+//!    latency reporting exactly like Vitis' `LOOP_TRIPCOUNT` pragma.
+
+use llvm_lite::analysis::{Cfg, DomTree, LoopInfo};
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{Function, Module};
+
+use crate::Result;
+
+/// The metadata-normalization pass.
+pub struct NormalizeLoopMetadata;
+
+impl ModulePass for NormalizeLoopMetadata {
+    fn name(&self) -> &'static str {
+        "normalize-loop-metadata"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for fi in 0..m.functions.len() {
+            if m.functions[fi].is_declaration {
+                continue;
+            }
+            changed |= normalize_function(m, fi);
+        }
+        Ok(changed)
+    }
+}
+
+fn normalize_function(m: &mut Module, fi: usize) -> bool {
+    let mut changed = false;
+    let (moves, drops) = {
+        let f = &m.functions[fi];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let loops = LoopInfo::build(f, &cfg, &dom);
+        let mut moves: Vec<(llvm_lite::InstId, llvm_lite::InstId)> = Vec::new();
+        let mut drops: Vec<llvm_lite::InstId> = Vec::new();
+        for (b, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            let Some(_) = inst.loop_md else { continue };
+            let is_latch = loops
+                .loops
+                .iter()
+                .any(|l| l.latches.contains(&b) && f.terminator(b) == Some(id));
+            if is_latch {
+                continue;
+            }
+            // Re-pin to the innermost loop containing the block.
+            match loops.innermost_containing(b) {
+                Some(l) => {
+                    let latch = l.latches.first().copied();
+                    match latch.and_then(|lb| f.terminator(lb)) {
+                        Some(t) if t != id => moves.push((id, t)),
+                        _ => drops.push(id),
+                    }
+                }
+                None => drops.push(id),
+            }
+        }
+        (moves, drops)
+    };
+    let f = &mut m.functions[fi];
+    for (from, to) in moves {
+        let md = f.inst(from).loop_md;
+        f.inst_mut(from).loop_md = None;
+        let dst = f.inst_mut(to);
+        // If the latch is already annotated, the stray node is dropped.
+        if dst.loop_md.is_none() {
+            dst.loop_md = md;
+        }
+        changed = true;
+    }
+    for id in drops {
+        f.inst_mut(id).loop_md = None;
+        changed = true;
+    }
+
+    // Trip-count hints.
+    changed |= add_tripcounts(m, fi);
+    changed
+}
+
+/// Detect `for (i = C0; i <pred> C1; i += Cs)` loops and record trip counts.
+fn add_tripcounts(m: &mut Module, fi: usize) -> bool {
+    let mut changed = false;
+    let updates = {
+        let f = &m.functions[fi];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let loops = LoopInfo::build(f, &cfg, &dom);
+        let mut updates: Vec<(llvm_lite::InstId, u64)> = Vec::new();
+        for l in &loops.loops {
+            let Some(&latch) = l.latches.first() else { continue };
+            let Some(term) = f.terminator(latch) else { continue };
+            let Some(md_id) = f.inst(term).loop_md else { continue };
+            if m.loop_mds[md_id as usize].tripcount.is_some() {
+                continue;
+            }
+            if let Some(trip) = constant_tripcount(f, l) {
+                updates.push((term, trip));
+            }
+        }
+        updates
+    };
+    for (term, trip) in updates {
+        let f = &m.functions[fi];
+        let md_id = f.inst(term).loop_md.unwrap();
+        let mut md = m.loop_mds[md_id as usize].clone();
+        md.tripcount = Some((trip, trip));
+        let new_id = m.add_loop_md(md);
+        m.functions[fi].inst_mut(term).loop_md = Some(new_id);
+        changed = true;
+    }
+    changed
+}
+
+/// Compute the trip count of a canonical counted loop, if recognizable.
+/// (Shared with the Vitis scheduler via `llvm_lite::analysis`.)
+pub fn constant_tripcount(f: &Function, l: &llvm_lite::analysis::NaturalLoop) -> Option<u64> {
+    llvm_lite::analysis::counted_loop_tripcount(f, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    const COUNTED: &str = r#"
+define void @f(float* "hls.interface"="ap_memory" %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds float, float* %a, i64 %i
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header, !llvm.loop !0
+
+exit:
+  ret void
+}
+
+!0 = distinct !{!0, !1}
+!1 = !{!"llvm.loop.pipeline.enable", i32 1}
+"#;
+
+    #[test]
+    fn adds_tripcount_to_counted_loop() {
+        let mut m = parse_module("m", COUNTED).unwrap();
+        assert!(NormalizeLoopMetadata.run(&mut m).unwrap());
+        let f = m.function("f").unwrap();
+        let (_, latch) = f
+            .inst_ids()
+            .into_iter()
+            .find(|(_, i)| f.inst(*i).loop_md.is_some())
+            .unwrap();
+        let md = &m.loop_mds[f.inst(latch).loop_md.unwrap() as usize];
+        assert_eq!(md.tripcount, Some((32, 32)));
+        assert_eq!(md.pipeline_ii, Some(1)); // original directive kept
+    }
+
+    #[test]
+    fn tripcount_respects_step() {
+        let src = COUNTED.replace("%next = add i64 %i, 1", "%next = add i64 %i, 4");
+        let mut m = parse_module("m", &src).unwrap();
+        NormalizeLoopMetadata.run(&mut m).unwrap();
+        assert!(m.loop_mds.iter().any(|md| md.tripcount == Some((8, 8))));
+    }
+
+    #[test]
+    fn drops_metadata_outside_loops() {
+        let src = r#"
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+
+a:
+  br label %b, !llvm.loop !0
+
+b:
+  ret void
+}
+
+!0 = distinct !{!0, !1}
+!1 = !{!"llvm.loop.pipeline.enable", i32 1}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(NormalizeLoopMetadata.run(&mut m).unwrap());
+        let f = m.function("f").unwrap();
+        assert!(f
+            .inst_ids()
+            .into_iter()
+            .all(|(_, i)| f.inst(i).loop_md.is_none()));
+        // Compat issue resolved.
+        assert!(!crate::compat_issues(&m)
+            .iter()
+            .any(|i| i.kind == crate::IssueKind::MisplacedLoopMetadata));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = parse_module("m", COUNTED).unwrap();
+        NormalizeLoopMetadata.run(&mut m).unwrap();
+        assert!(!NormalizeLoopMetadata.run(&mut m).unwrap());
+    }
+
+    #[test]
+    fn rotated_compare_on_next_value() {
+        let src = r#"
+define void @f(float* "hls.interface"="ap_memory" %a) {
+entry:
+  br label %body
+
+body:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %p = getelementptr inbounds float, float* %a, i64 %i
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, 16
+  br i1 %c, label %body, label %exit, !llvm.loop !0
+
+exit:
+  ret void
+}
+
+!0 = distinct !{!0, !1}
+!1 = !{!"llvm.loop.pipeline.enable", i32 1}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        NormalizeLoopMetadata.run(&mut m).unwrap();
+        assert!(
+            m.loop_mds.iter().any(|md| md.tripcount == Some((16, 16))),
+            "{:?}",
+            m.loop_mds
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! The adaptor's rewriting passes.
+
+pub mod demote_malloc;
+pub mod legalize_intrinsics;
+pub mod legalize_names;
+pub mod metadata;
+pub mod interface;
+pub mod recover_arrays;
+pub mod scrub_attrs;
+
+pub use demote_malloc::DemoteMalloc;
+pub use interface::SynthesizeInterface;
+pub use legalize_intrinsics::LegalizeIntrinsics;
+pub use legalize_names::LegalizeNames;
+pub use metadata::NormalizeLoopMetadata;
+pub use recover_arrays::RecoverArrays;
+pub use scrub_attrs::ScrubAttributes;

@@ -1,0 +1,476 @@
+//! Array-structure recovery — the adaptor's signature rewrite.
+//!
+//! MLIR's bare-pointer memref lowering erases array shapes: a
+//! `memref<32x32xf32>` parameter arrives as `float*` plus linearized index
+//! arithmetic (`i*32 + j`). The HLS frontend, however, binds on-chip
+//! memories from *array types* and *structured subscripts*; flat pointer
+//! arithmetic defeats both array partitioning and port analysis.
+//!
+//! This pass reconstructs the shape. For each pointer parameter carrying the
+//! `mha.shape` annotation (recorded by the lowering from the MLIR function
+//! type), it:
+//!
+//! 1. retypes the parameter to a pointer-to-N-d-array
+//!    (`[32 x [32 x float]]*`);
+//! 2. pattern-matches every linearized GEP index against the shape
+//!    (`((i0*d1)+i1)*d2+i2` chains, tolerating constant folding) and
+//!    rewrites it into a structured GEP `[0, i0, i1, i2]`.
+//!
+//! A parameter whose accesses cannot all be delinearized is left untouched
+//! (and will be reported by the compat verifier as [`FlattenedAccess`] for
+//! rank ≥ 2) — partial recovery would change aliasing assumptions.
+//!
+//! [`FlattenedAccess`]: crate::IssueKind::FlattenedAccess
+//!
+//! As a second phase, accesses to local buffers that went through a
+//! "decay" GEP (`[0, 0]`) are folded back into direct array subscripts.
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::{Function, InstData, Module, Opcode, Type, Value};
+
+use crate::Result;
+
+/// The array-recovery pass.
+pub struct RecoverArrays;
+
+impl ModulePass for RecoverArrays {
+    fn name(&self) -> &'static str {
+        "recover-arrays"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            changed |= recover_params(f);
+            changed |= fold_decay_geps(f);
+        }
+        if changed {
+            // The rewritten GEPs orphan their linearization arithmetic;
+            // leaving it behind would distort downstream area estimates.
+            llvm_lite::transforms::Dce.run(m)?;
+        }
+        Ok(changed)
+    }
+}
+
+/// Parse `4x8xf32` into `(dims, elem)`. Dimensions are the leading `<n>x`
+/// prefixes; the remainder is the element spelling (which may contain an
+/// `x`, e.g. `index`). Dynamic (`?x`) shapes are not recoverable.
+pub fn parse_shape(s: &str) -> Option<(Vec<u64>, Type)> {
+    let mut rest = s;
+    let mut dims = Vec::new();
+    loop {
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty() && rest[digits.len()..].starts_with('x') {
+            dims.push(digits.parse::<u64>().ok()?);
+            rest = &rest[digits.len() + 1..];
+            continue;
+        }
+        break;
+    }
+    let elem = match rest {
+        "f32" => Type::Float,
+        "f64" => Type::Double,
+        "index" => Type::I64,
+        w if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => {
+            Type::Int(w[1..].parse().ok()?)
+        }
+        _ => return None,
+    };
+    Some((dims, elem))
+}
+
+fn nested_array(dims: &[u64], elem: &Type) -> Type {
+    let mut t = elem.clone();
+    for &d in dims.iter().rev() {
+        t = t.array_of(d);
+    }
+    t
+}
+
+fn recover_params(f: &mut Function) -> bool {
+    let mut changed = false;
+    for pi in 0..f.params.len() {
+        let Some(shape_str) = f.params[pi].attrs.get("mha.shape").cloned() else {
+            continue;
+        };
+        let Some((dims, elem)) = parse_shape(&shape_str) else {
+            continue;
+        };
+        if dims.is_empty() || !matches!(f.params[pi].ty, Type::Ptr(_)) {
+            continue;
+        }
+        let arg = Value::Arg(pi as u32);
+
+        // Every use must be a single-index GEP we can delinearize.
+        let mut rewrites: Vec<(llvm_lite::InstId, Vec<Value>)> = Vec::new();
+        let mut ok = true;
+        for (_, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            let uses_arg = inst.operands.contains(&arg);
+            if !uses_arg {
+                continue;
+            }
+            if inst.opcode == Opcode::Gep
+                && inst.operands[0] == arg
+                && inst.operands.len() == 2
+            {
+                match delinearize(f, &inst.operands[1], &dims) {
+                    Some(indices) => rewrites.push((id, indices)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok || rewrites.is_empty() {
+            continue;
+        }
+
+        let arr = nested_array(&dims, &elem);
+        f.params[pi].ty = arr.ptr_to();
+        for (id, indices) in rewrites {
+            let inst = f.inst_mut(id);
+            let mut ops = vec![arg.clone(), Value::i64(0)];
+            ops.extend(indices);
+            inst.operands = ops;
+            inst.data = InstData::Gep {
+                base_ty: arr.clone(),
+                inbounds: true,
+            };
+            // Result type (elem*) is unchanged by construction.
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Match `v` as a linearized index over `dims`; returns one index value per
+/// dimension. Handles the canonical `((i0*d1 + i1)*d2 + i2)` chain, operand
+/// commutation, partially and fully constant-folded forms.
+fn delinearize(f: &Function, v: &Value, dims: &[u64]) -> Option<Vec<Value>> {
+    if dims.len() == 1 {
+        return Some(vec![v.clone()]);
+    }
+    let d_last = *dims.last().unwrap() as i128;
+    let outer = &dims[..dims.len() - 1];
+
+    // Fully constant: divide out.
+    if let Some(c) = v.int_value() {
+        let last = c.rem_euclid(d_last);
+        let prefix = c.div_euclid(d_last);
+        let mut idx = delinearize(f, &Value::i64(prefix as i64), outer)?;
+        idx.push(Value::i64(last as i64));
+        return Some(idx);
+    }
+
+    let Value::Inst(id) = v else {
+        // A bare value as a rank>=2 index only works if all outer dims are
+        // zero — same address either way, accept it.
+        let mut idx = vec![Value::i64(0); outer.len()];
+        idx.push(v.clone());
+        return Some(idx);
+    };
+    let inst = f.inst(*id);
+    match inst.opcode {
+        Opcode::Add => {
+            let (a, b) = (&inst.operands[0], &inst.operands[1]);
+            for (mul_side, idx_side) in [(a, b), (b, a)] {
+                if let Some(prefix) = match_mul(f, mul_side, d_last) {
+                    if let Some(mut idx) = delinearize(f, &prefix, outer) {
+                        idx.push(idx_side.clone());
+                        return Some(idx);
+                    }
+                }
+            }
+            None
+        }
+        Opcode::Mul => {
+            // `prefix * d_last` with a zero last index (folded away).
+            let prefix = match_mul(f, v, d_last)?;
+            let mut idx = delinearize(f, &prefix, outer)?;
+            idx.push(Value::i64(0));
+            Some(idx)
+        }
+        _ => {
+            // Single SSA value as the whole index: outer dims zero.
+            let mut idx = vec![Value::i64(0); outer.len()];
+            idx.push(v.clone());
+            Some(idx)
+        }
+    }
+}
+
+/// Match `v` as `x * d` (either operand order, or a constant divisible by
+/// `d`); returns `x`.
+fn match_mul(f: &Function, v: &Value, d: i128) -> Option<Value> {
+    if let Some(c) = v.int_value() {
+        if c % d == 0 {
+            return Some(Value::i64((c / d) as i64));
+        }
+        return None;
+    }
+    let Value::Inst(id) = v else { return None };
+    let inst = f.inst(*id);
+    if inst.opcode != Opcode::Mul {
+        return None;
+    }
+    let (a, b) = (&inst.operands[0], &inst.operands[1]);
+    if b.int_value() == Some(d) {
+        return Some(a.clone());
+    }
+    if a.int_value() == Some(d) {
+        return Some(b.clone());
+    }
+    None
+}
+
+/// Fold `gep elem, (gep [N x T], buf, 0, 0), i` into
+/// `gep [N x T], buf, 0, i` — re-attaching local-buffer accesses to their
+/// array object.
+fn fold_decay_geps(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Find decay geps: base is an alloca result, indices [0, 0].
+    let mut decays: Vec<(llvm_lite::InstId, Value, Type)> = Vec::new();
+    for (_, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        if inst.opcode != Opcode::Gep || inst.operands.len() != 3 {
+            continue;
+        }
+        let InstData::Gep { base_ty, .. } = &inst.data else {
+            continue;
+        };
+        if !matches!(base_ty, Type::Array(..)) {
+            continue;
+        }
+        if inst.operands[1].int_value() != Some(0) || inst.operands[2].int_value() != Some(0) {
+            continue;
+        }
+        decays.push((id, inst.operands[0].clone(), base_ty.clone()));
+    }
+    for (decay, base, arr) in decays {
+        let users: Vec<llvm_lite::InstId> = f
+            .inst_ids()
+            .into_iter()
+            .filter(|(_, id)| {
+                f.inst(*id)
+                    .operands.contains(&Value::Inst(decay))
+            })
+            .map(|(_, id)| id)
+            .collect();
+        let mut all_flat_geps = true;
+        for &u in &users {
+            let inst = f.inst(u);
+            if !(inst.opcode == Opcode::Gep
+                && inst.operands[0] == Value::Inst(decay)
+                && inst.operands.len() == 2)
+            {
+                all_flat_geps = false;
+            }
+        }
+        if !all_flat_geps || users.is_empty() {
+            continue;
+        }
+        for u in users {
+            let inst = f.inst_mut(u);
+            let lin = inst.operands[1].clone();
+            inst.operands = vec![base.clone(), Value::i64(0), lin];
+            inst.data = InstData::Gep {
+                base_ty: arr.clone(),
+                inbounds: true,
+            };
+        }
+        f.remove_inst(decay);
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::interp::{Interpreter, RtVal};
+    use llvm_lite::parser::parse_module;
+    use llvm_lite::printer::print_module;
+    use llvm_lite::verifier::verify_module;
+
+    #[test]
+    fn parse_shape_forms() {
+        assert_eq!(
+            parse_shape("4x8xf32"),
+            Some((vec![4, 8], Type::Float))
+        );
+        assert_eq!(parse_shape("16xi32"), Some((vec![16], Type::I32)));
+        assert_eq!(parse_shape("f64"), Some((vec![], Type::Double)));
+        assert_eq!(parse_shape("?x4xf32"), None);
+    }
+
+    /// Transpose-like kernel over a 2-D interface, written the way the
+    /// lowering emits it.
+    const FLAT2D: &str = r#"
+define void @t(float* "mha.shape"="4x8xf32" %a, i64 %i, i64 %j) {
+entry:
+  %m = mul i64 %i, 8
+  %lin = add i64 %m, %j
+  %p = getelementptr inbounds float, float* %a, i64 %lin
+  %v = load float, float* %p, align 4
+  %w = fmul float %v, %v
+  store float %w, float* %p, align 4
+  ret void
+}
+"#;
+
+    #[test]
+    fn recovers_two_d_interface() {
+        let mut m = parse_module("m", FLAT2D).unwrap();
+        assert!(RecoverArrays.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("[4 x [8 x float]]* \"mha.shape\"=\"4x8xf32\" %a"));
+        assert!(
+            text.contains("getelementptr inbounds [4 x [8 x float]], [4 x [8 x float]]* %a, i64 0, i64 %i, i64 %j"),
+            "structured gep missing:\n{text}"
+        );
+    }
+
+    #[test]
+    fn recovery_preserves_behaviour() {
+        let mut m = parse_module("m", FLAT2D).unwrap();
+        let m_before = m.clone();
+        RecoverArrays.run(&mut m).unwrap();
+        let run = |module: &Module| {
+            let mut i = Interpreter::new(module);
+            let data: Vec<f32> = (0..32).map(|x| x as f32).collect();
+            let p = i.mem.alloc_f32(&data);
+            i.call("t", &[RtVal::P(p), RtVal::I(2), RtVal::I(5)]).unwrap();
+            i.mem.read_f32(p, 32).unwrap()
+        };
+        assert_eq!(run(&m_before), run(&m));
+    }
+
+    #[test]
+    fn handles_constant_folded_rows() {
+        // After constant folding, `2*8 + j` arrives as `add 16, %j`.
+        let src = r#"
+define float @g(float* "mha.shape"="4x8xf32" %a, i64 %j) {
+entry:
+  %lin = add i64 16, %j
+  %p = getelementptr inbounds float, float* %a, i64 %lin
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(RecoverArrays.run(&mut m).unwrap());
+        let text = print_module(&m);
+        assert!(text.contains("i64 0, i64 2, i64 %j"), "{text}");
+    }
+
+    #[test]
+    fn handles_fully_constant_index() {
+        let src = r#"
+define float @g(float* "mha.shape"="4x8xf32" %a) {
+entry:
+  %p = getelementptr inbounds float, float* %a, i64 21
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(RecoverArrays.run(&mut m).unwrap());
+        let text = print_module(&m);
+        assert!(text.contains("i64 0, i64 2, i64 5"), "{text}");
+    }
+
+    #[test]
+    fn one_d_interfaces_get_array_types() {
+        let src = r#"
+define void @s(float* "mha.shape"="16xf32" %a, i64 %i) {
+entry:
+  %p = getelementptr inbounds float, float* %a, i64 %i
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(RecoverArrays.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("[16 x float]*"));
+        assert!(text.contains("i64 0, i64 %i"));
+    }
+
+    #[test]
+    fn unmatchable_access_leaves_param_flat() {
+        // Index arithmetic that is not row-major over the declared shape.
+        let src = r#"
+define float @g(float* "mha.shape"="4x8xf32" %a, i64 %i, i64 %j) {
+entry:
+  %m = mul i64 %i, 7
+  %lin = add i64 %m, %j
+  %p = getelementptr inbounds float, float* %a, i64 %lin
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        RecoverArrays.run(&mut m).unwrap();
+        let f = m.function("g").unwrap();
+        assert_eq!(f.params[0].ty, Type::Float.ptr_to());
+        // Compat verifier still reports the flattened access.
+        assert!(crate::compat_issues(&m)
+            .iter()
+            .any(|i| i.kind == crate::IssueKind::FlattenedAccess));
+    }
+
+    #[test]
+    fn escaping_pointer_blocks_recovery() {
+        let src = r#"
+declare void @sink(float* %p)
+
+define void @g(float* "mha.shape"="8xf32" %a) {
+entry:
+  call void @sink(float* %a)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        let changed = RecoverArrays.run(&mut m).unwrap();
+        assert!(!changed);
+        assert_eq!(m.function("g").unwrap().params[0].ty, Type::Float.ptr_to());
+    }
+
+    #[test]
+    fn local_decay_geps_are_folded() {
+        let src = r#"
+define float @g(i64 %i) {
+entry:
+  %buf = alloca [8 x float], align 4
+  %decay = getelementptr inbounds [8 x float], [8 x float]* %buf, i64 0, i64 0
+  %p = getelementptr inbounds float, float* %decay, i64 %i
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(RecoverArrays.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains(
+            "getelementptr inbounds [8 x float], [8 x float]* %buf, i64 0, i64 %i"
+        ));
+        // The decay gep is gone.
+        assert_eq!(
+            m.function("g").unwrap().count_opcode(Opcode::Gep),
+            1
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Attribute scrubbing.
+//!
+//! The frozen frontend chokes on attributes minted after its LLVM snapshot.
+//! Everything outside the accepted set (`hls.top`, `hls.interface*`) is
+//! removed — including the adaptor's own `mha.shape` working notes, which
+//! have served their purpose once array recovery and interface synthesis
+//! have run.
+
+use llvm_lite::transforms::ModulePass;
+use llvm_lite::Module;
+
+use crate::Result;
+
+/// The attribute-scrubbing pass.
+pub struct ScrubAttributes;
+
+fn keep(key: &str) -> bool {
+    key == "hls.top" || key == "hls.array_partition" || key.starts_with("hls.interface")
+}
+
+impl ModulePass for ScrubAttributes {
+    fn name(&self) -> &'static str {
+        "scrub-attributes"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            let before = f.attrs.len();
+            f.attrs.retain(|k, _| keep(k));
+            changed |= f.attrs.len() != before;
+            for p in &mut f.params {
+                let before = p.attrs.len();
+                p.attrs.retain(|k, _| keep(k));
+                changed |= p.attrs.len() != before;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn removes_foreign_attributes_keeps_hls() {
+        let src = r#"
+define void @top(float* "mha.shape"="8xf32" "hls.interface"="ap_memory" %a) "hls.top"="1" "frame-pointer"="all" {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(ScrubAttributes.run(&mut m).unwrap());
+        let f = m.function("top").unwrap();
+        assert!(f.attrs.contains_key("hls.top"));
+        assert!(!f.attrs.contains_key("frame-pointer"));
+        assert!(f.params[0].attrs.contains_key("hls.interface"));
+        assert!(!f.params[0].attrs.contains_key("mha.shape"));
+        // Compat: no unknown attributes remain.
+        assert!(!crate::compat_issues(&m)
+            .iter()
+            .any(|i| i.kind == crate::IssueKind::UnknownAttribute));
+    }
+
+    #[test]
+    fn idempotent() {
+        let src = r#"
+define void @top() "hls.top"="1" {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!ScrubAttributes.run(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,288 @@
+//! The assembled adaptor pipeline and its report.
+
+use llvm_lite::transforms::{ModulePass, PassManager};
+use llvm_lite::Module;
+
+use crate::compat::{compat_issues, VerifyCompat};
+use crate::passes::{
+    DemoteMalloc, LegalizeIntrinsics, LegalizeNames, NormalizeLoopMetadata, RecoverArrays,
+    ScrubAttributes, SynthesizeInterface,
+};
+use crate::Result;
+
+/// Which passes run — every field defaults to `true`; the ablation bench
+/// flips them one at a time.
+#[derive(Clone, Debug)]
+pub struct AdaptorConfig {
+    /// Expand/drop unsupported intrinsics.
+    pub legalize_intrinsics: bool,
+    /// Demote constant-size heap allocation.
+    pub demote_malloc: bool,
+    /// Recover array shapes and structured subscripts.
+    pub recover_arrays: bool,
+    /// Re-pin loop metadata and add trip counts.
+    pub normalize_metadata: bool,
+    /// Bind top-function ports.
+    pub synthesize_interface: bool,
+    /// Legalize RTL names.
+    pub legalize_names: bool,
+    /// Scrub foreign attributes.
+    pub scrub_attrs: bool,
+    /// Fail if compat issues remain (turn off to *measure* remaining
+    /// issues instead).
+    pub gate: bool,
+}
+
+impl Default for AdaptorConfig {
+    fn default() -> AdaptorConfig {
+        AdaptorConfig {
+            legalize_intrinsics: true,
+            demote_malloc: true,
+            recover_arrays: true,
+            normalize_metadata: true,
+            synthesize_interface: true,
+            legalize_names: true,
+            scrub_attrs: true,
+            gate: true,
+        }
+    }
+}
+
+impl AdaptorConfig {
+    /// A config measuring issues without failing on them.
+    pub fn measuring() -> AdaptorConfig {
+        AdaptorConfig {
+            gate: false,
+            ..AdaptorConfig::default()
+        }
+    }
+
+    /// Disable one pass by its name (for ablations). Unknown names panic —
+    /// an ablation over a nonexistent pass is a harness bug.
+    pub fn without(mut self, pass: &str) -> AdaptorConfig {
+        match pass {
+            "legalize-intrinsics" => self.legalize_intrinsics = false,
+            "demote-malloc" => self.demote_malloc = false,
+            "recover-arrays" => self.recover_arrays = false,
+            "normalize-loop-metadata" => self.normalize_metadata = false,
+            "synthesize-interface" => self.synthesize_interface = false,
+            "legalize-names" => self.legalize_names = false,
+            "scrub-attributes" => self.scrub_attrs = false,
+            other => panic!("unknown adaptor pass '{other}'"),
+        }
+        self
+    }
+}
+
+/// What happened during an adaptor run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdaptorReport {
+    /// Compat issues in the input module.
+    pub issues_before: usize,
+    /// `(pass name, issues remaining after it ran)`.
+    pub issues_after_pass: Vec<(&'static str, usize)>,
+    /// Compat issues in the output module.
+    pub issues_after: usize,
+    /// Names of passes that changed the IR.
+    pub changed_passes: Vec<&'static str>,
+}
+
+/// Run the adaptor pipeline over a module.
+pub fn run_adaptor(m: &mut Module, cfg: &AdaptorConfig) -> Result<AdaptorReport> {
+    let mut report = AdaptorReport {
+        issues_before: compat_issues(m).len(),
+        ..AdaptorReport::default()
+    };
+    // Staged execution so issue counts can be sampled between passes.
+    let mut stages: Vec<Box<dyn ModulePass>> = Vec::new();
+    if cfg.legalize_intrinsics {
+        stages.push(Box::new(LegalizeIntrinsics));
+    }
+    if cfg.demote_malloc {
+        stages.push(Box::new(DemoteMalloc));
+    }
+    if cfg.recover_arrays {
+        stages.push(Box::new(RecoverArrays));
+    }
+    if cfg.normalize_metadata {
+        stages.push(Box::new(NormalizeLoopMetadata));
+    }
+    if cfg.synthesize_interface {
+        stages.push(Box::new(SynthesizeInterface));
+    }
+    if cfg.legalize_names {
+        stages.push(Box::new(LegalizeNames));
+    }
+    if cfg.scrub_attrs {
+        stages.push(Box::new(ScrubAttributes));
+    }
+    for pass in stages {
+        let changed = pass.run(m)?;
+        llvm_lite::verifier::verify_module(m).map_err(|e| match e {
+            llvm_lite::Error::Verify(msg) => {
+                llvm_lite::Error::Verify(format!("after adaptor pass '{}': {msg}", pass.name()))
+            }
+            other => other,
+        })?;
+        if changed {
+            report.changed_passes.push(pass.name());
+        }
+        report
+            .issues_after_pass
+            .push((pass.name(), compat_issues(m).len()));
+    }
+    report.issues_after = compat_issues(m).len();
+    if cfg.gate {
+        let mut pm = PassManager::new();
+        pm.add(VerifyCompat);
+        pm.run(m)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::interp::{Interpreter, RtVal};
+    use mlir_lite::parser::parse_module as parse_mlir;
+
+    /// The canonical end-to-end fixture: gemm through the real lowering,
+    /// then through the adaptor.
+    fn lowered_gemm() -> Module {
+        let src = r#"
+func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) attributes {hls.top} {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      %zero = arith.constant 0.0 : f32
+      affine.store %zero, %C[%i, %j] : memref<4x4xf32>
+      affine.for %k = 0 to 4 {
+        %a = affine.load %A[%i, %k] : memref<4x4xf32>
+        %b = affine.load %B[%k, %j] : memref<4x4xf32>
+        %c = affine.load %C[%i, %j] : memref<4x4xf32>
+        %p = arith.mulf %a, %b : f32
+        %s = arith.addf %c, %p : f32
+        affine.store %s, %C[%i, %j] : memref<4x4xf32>
+      } {hls.pipeline_ii = 1 : i32}
+    }
+  }
+  func.return
+}
+"#;
+        lowering::lower(parse_mlir("gemm", src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_clears_all_issues_on_gemm() {
+        let mut m = lowered_gemm();
+        let report = run_adaptor(&mut m, &AdaptorConfig::default()).unwrap();
+        assert!(report.issues_before > 0, "raw lowering must be non-compat");
+        assert_eq!(report.issues_after, 0);
+        // Issue count decreases monotonically... not strictly required, but
+        // the final count must be the minimum.
+        let min = report
+            .issues_after_pass
+            .iter()
+            .map(|(_, n)| *n)
+            .min()
+            .unwrap();
+        assert_eq!(min, 0);
+    }
+
+    #[test]
+    fn adapted_gemm_is_structurally_hls_ready() {
+        let mut m = lowered_gemm();
+        run_adaptor(&mut m, &AdaptorConfig::default()).unwrap();
+        let f = m.function("gemm").unwrap();
+        // Interfaces recovered to 2-D arrays.
+        for p in &f.params {
+            assert_eq!(
+                p.ty,
+                llvm_lite::Type::Float.array_of(4).array_of(4).ptr_to(),
+                "param %{} should be [4 x [4 x float]]*",
+                p.name
+            );
+            assert_eq!(
+                p.attrs.get("hls.interface").map(String::as_str),
+                Some("ap_memory")
+            );
+        }
+        // Pipeline metadata survived, now with a trip count.
+        assert!(m
+            .loop_mds
+            .iter()
+            .any(|md| md.pipeline_ii == Some(1) && md.tripcount == Some((4, 4))));
+    }
+
+    #[test]
+    fn adapted_gemm_still_computes_gemm() {
+        let mut m = lowered_gemm();
+        run_adaptor(&mut m, &AdaptorConfig::default()).unwrap();
+        let mut interp = Interpreter::new(&m);
+        let a: Vec<f32> = (0..16).map(|x| (x % 5) as f32).collect();
+        let b: Vec<f32> = (0..16).map(|x| (x % 7) as f32).collect();
+        let pa = interp.mem.alloc_f32(&a);
+        let pb = interp.mem.alloc_f32(&b);
+        let pc = interp.mem.alloc_f32(&[0.0; 16]);
+        interp
+            .call("gemm", &[RtVal::P(pa), RtVal::P(pb), RtVal::P(pc)])
+            .unwrap();
+        let c = interp.mem.read_f32(pc, 16).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0f32;
+                for k in 0..4 {
+                    acc += a[i * 4 + k] * b[k * 4 + j];
+                }
+                assert_eq!(c[i * 4 + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn without_recovery_interfaces_degrade_to_m_axi() {
+        // Skipping array recovery is not a compat failure — the interface
+        // pass falls back to bus-master pointers — but the QoR-relevant
+        // array structure is lost. This is the A1 ablation's mechanism.
+        let mut m = lowered_gemm();
+        let cfg = AdaptorConfig::default().without("recover-arrays");
+        run_adaptor(&mut m, &cfg).unwrap();
+        let f = m.function("gemm").unwrap();
+        for p in &f.params {
+            assert_eq!(p.ty, llvm_lite::Type::Float.ptr_to());
+            assert_eq!(
+                p.attrs.get("hls.interface").map(String::as_str),
+                Some("m_axi")
+            );
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_interface_synthesis_disabled() {
+        let mut m = lowered_gemm();
+        let cfg = AdaptorConfig::default()
+            .without("synthesize-interface")
+            .without("recover-arrays");
+        // Flat pointers with no binding: UnshapedInterface remains.
+        let result = run_adaptor(&mut m, &cfg);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn measuring_config_reports_instead_of_failing() {
+        let mut m = lowered_gemm();
+        let cfg = AdaptorConfig {
+            gate: false,
+            ..AdaptorConfig::default()
+        }
+        .without("synthesize-interface")
+        .without("recover-arrays");
+        let report = run_adaptor(&mut m, &cfg).unwrap();
+        assert!(report.issues_after > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown adaptor pass")]
+    fn unknown_ablation_name_panics() {
+        let _ = AdaptorConfig::default().without("nonsense");
+    }
+}

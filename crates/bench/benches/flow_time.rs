@@ -1,0 +1,23 @@
+//! **Figure 2 (rigorous)** — Criterion measurement of flow conversion time:
+//! the adaptor pipeline vs the HLS-C++ emission + re-frontend detour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use driver::{run_flow, Directives, Flow};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_time");
+    let d = Directives::pipelined(1);
+    for kname in ["gemm", "fir", "jacobi2d"] {
+        let k = kernels::kernel(kname).expect("kernel");
+        group.bench_with_input(BenchmarkId::new("adaptor", kname), k, |b, k| {
+            b.iter(|| run_flow(k, &d, Flow::Adaptor).expect("flow"));
+        });
+        group.bench_with_input(BenchmarkId::new("hls-cpp", kname), k, |b, k| {
+            b.iter(|| run_flow(k, &d, Flow::Cpp).expect("flow"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

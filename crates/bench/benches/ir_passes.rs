@@ -1,0 +1,58 @@
+//! IR infrastructure micro-benchmarks: parser round-trip, mem2reg, and the
+//! adaptor pipeline in isolation.
+
+use adaptor::AdaptorConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use driver::{flow::prepare_mlir, Directives};
+
+fn lowered_gemm() -> llvm_lite::Module {
+    let k = kernels::kernel("gemm").expect("kernel");
+    let m = prepare_mlir(k, &Directives::pipelined(1)).expect("parse");
+    lowering::lower(m).expect("lower")
+}
+
+fn bench_ir(c: &mut Criterion) {
+    let module = lowered_gemm();
+    let text = llvm_lite::printer::print_module(&module);
+
+    c.bench_function("llvm_parse_gemm", |b| {
+        b.iter(|| llvm_lite::parser::parse_module("gemm", &text).expect("parse"));
+    });
+
+    c.bench_function("llvm_print_gemm", |b| {
+        b.iter(|| llvm_lite::printer::print_module(&module));
+    });
+
+    c.bench_function("adaptor_pipeline_gemm", |b| {
+        b.iter_batched(
+            lowered_gemm,
+            |mut m| adaptor::run_adaptor(&mut m, &AdaptorConfig::default()).expect("adaptor"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    let k = kernels::kernel("gemm").expect("kernel");
+    c.bench_function("mlir_parse_gemm", |b| {
+        b.iter(|| mlir_lite::parser::parse_module("gemm", k.mlir).expect("parse"));
+    });
+
+    // mem2reg over the C-frontend output (its natural workload).
+    let cpp_module = {
+        let m = prepare_mlir(k, &Directives::pipelined(1)).expect("parse");
+        let cpp = hls_cpp::emit_cpp(&m).expect("emit");
+        hls_cpp::compile_cpp("gemm", &cpp).expect("frontend")
+    };
+    c.bench_function("mem2reg_gemm", |b| {
+        b.iter_batched(
+            || cpp_module.clone(),
+            |mut m| {
+                use llvm_lite::transforms::ModulePass;
+                llvm_lite::transforms::Mem2Reg.run(&mut m).expect("mem2reg")
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_ir);
+criterion_main!(benches);

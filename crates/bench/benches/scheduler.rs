@@ -1,0 +1,23 @@
+//! Scheduler benchmark — csynth throughput over adapted kernels (the cost
+//! of the Vitis-substitute itself, relevant for the parameter sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use driver::{run_flow, Directives, Flow};
+use vitis_sim::{csynth, Target};
+
+fn bench_csynth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csynth");
+    let d = Directives::pipelined(1);
+    let target = Target::default();
+    for kname in ["gemm", "conv2d", "seidel2d"] {
+        let k = kernels::kernel(kname).expect("kernel");
+        let art = run_flow(k, &d, Flow::Adaptor).expect("flow");
+        group.bench_with_input(BenchmarkId::from_parameter(kname), &art.module, |b, m| {
+            b.iter(|| csynth(m, &target).expect("csynth"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csynth);
+criterion_main!(benches);

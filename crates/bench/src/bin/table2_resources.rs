@@ -1,0 +1,27 @@
+//! **Table 2** — post-synthesis resource utilization (BRAM/DSP/FF/LUT) of
+//! both flows over the kernel suite, PIPELINE II=1.
+
+use driver::{run_suite, Directives};
+use hls_bench::render_table;
+use vitis_sim::Target;
+
+fn main() {
+    let data = run_suite(&Directives::pipelined(1), &Target::default()).expect("suite run");
+    let mut rows = Vec::new();
+    for r in &data {
+        let a = &r.adaptor.report.resources;
+        let c = &r.cpp.report.resources;
+        rows.push(vec![
+            r.kernel.clone(),
+            format!("{}/{}", a.bram_18k, c.bram_18k),
+            format!("{}/{}", a.dsp, c.dsp),
+            format!("{}/{}", a.ff, c.ff),
+            format!("{}/{}", a.lut, c.lut),
+        ]);
+    }
+    println!("Table 2: resources (adaptor/hls-c++), PIPELINE II=1");
+    print!(
+        "{}",
+        render_table(&["kernel", "BRAM_18K", "DSP", "FF", "LUT"], &rows)
+    );
+}

@@ -1,0 +1,73 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! reconstructed evaluation (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        while line.ends_with(' ') {
+            line.pop();
+        }
+        line.push('\n');
+        line
+    };
+    let hcells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hcells, &widths));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(a: u64, b: u64) -> String {
+    format!("{:.2}", a as f64 / b.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["kernel", "latency"],
+            &[
+                vec!["gemm".into(), "31317".into()],
+                vec!["fir".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("kernel"));
+        assert!(lines[2].starts_with("gemm"));
+        let off = lines[0].find("latency").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "31317");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(100, 50), "2.00");
+        assert_eq!(ratio(1, 0), "1.00"); // clamped denominator
+    }
+}

@@ -1,0 +1,48 @@
+//! `mha-adapt` — run the paper's adaptor over a kernel and show the
+//! before/after compatibility picture plus the adapted IR.
+//!
+//! ```text
+//! mha-adapt <kernel> [--quiet]
+//! ```
+
+use adaptor::AdaptorConfig;
+use driver::Directives;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: mha-adapt <kernel> [--quiet]");
+        std::process::exit(2);
+    };
+    let Some(kernel) = kernels::kernel(name) else {
+        eprintln!("unknown kernel '{name}'");
+        std::process::exit(2);
+    };
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).expect("parse");
+    let mut module = lowering::lower(m).expect("lowering");
+
+    let before = adaptor::compat_issues(&module);
+    eprintln!("== Issues before the adaptor ({})", before.len());
+    for i in &before {
+        eprintln!("  [{:?}] @{}: {}", i.kind, i.function, i.detail);
+    }
+
+    let report = adaptor::run_adaptor(&mut module, &AdaptorConfig::default())
+        .expect("adaptor pipeline");
+    eprintln!("== Pass pipeline");
+    for (pass, remaining) in &report.issues_after_pass {
+        let changed = if report.changed_passes.contains(pass) {
+            "changed"
+        } else {
+            "  --   "
+        };
+        eprintln!("  {pass:<26} {changed}   issues remaining: {remaining}");
+    }
+    eprintln!("== Issues after: {}", report.issues_after);
+
+    if !quiet {
+        print!("{}", llvm_lite::printer::print_module(&module));
+    }
+}

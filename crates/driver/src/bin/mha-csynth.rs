@@ -1,0 +1,74 @@
+//! `mha-csynth` — synthesize a kernel through one or both flows and print
+//! the Vitis-style reports side by side.
+//!
+//! ```text
+//! mha-csynth <kernel|all> [--ii <n>] [--unroll <n>] [--flow adaptor|cpp|both]
+//! ```
+
+use driver::{cosim, run_flow, Directives, Flow};
+use vitis_sim::{csynth, Target};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u32> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: mha-csynth <kernel|all> [--ii <n>] [--unroll <n>] [--partition <n>] [--flatten] [--flow adaptor|cpp|both]");
+        std::process::exit(2);
+    };
+    let directives = Directives {
+        pipeline_ii: parse_flag(&args, "--ii").or(Some(1)),
+        unroll_factor: parse_flag(&args, "--unroll"),
+        partition_factor: parse_flag(&args, "--partition"),
+        flatten: args.iter().any(|a| a == "--flatten"),
+    };
+    let flow_sel = args
+        .iter()
+        .position(|a| a == "--flow")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("both");
+    let flows: Vec<Flow> = match flow_sel {
+        "adaptor" => vec![Flow::Adaptor],
+        "cpp" => vec![Flow::Cpp],
+        _ => vec![Flow::Adaptor, Flow::Cpp],
+    };
+    let list: Vec<&kernels::Kernel> = if name == "all" {
+        kernels::all_kernels().iter().collect()
+    } else {
+        match kernels::kernel(name) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("unknown kernel '{name}'");
+                std::process::exit(2);
+            }
+        }
+    };
+    let target = Target::default();
+    for k in list {
+        println!("### {} — {}", k.name, k.description);
+        for &flow in &flows {
+            let art = match run_flow(k, &directives, flow) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("  [{}] flow failed: {e}", flow.label());
+                    continue;
+                }
+            };
+            match csynth(&art.module, &target) {
+                Ok(report) => {
+                    let sim = cosim(&art.module, k, 2026).expect("cosim");
+                    println!("--- flow: {} (cosim max err {})", flow.label(), sim.max_abs_err);
+                    print!("{}", report.render());
+                }
+                Err(e) => println!("  [{}] csynth failed: {e}", flow.label()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,115 @@
+//! `mha-opt` — an `opt`-style driver over `.ll` files: read IR, run a
+//! named pass pipeline, print the result. This is the paper's tool as a
+//! standalone utility: `mha-opt --passes hls-adaptor in.ll`.
+//!
+//! ```text
+//! mha-opt [--passes p1,p2,...] [<file.ll>|-]
+//!
+//! passes: mem2reg, dce, simplify-cfg, fold-constants, licm,
+//!         legalize-intrinsics, demote-malloc, recover-arrays,
+//!         normalize-loop-metadata, synthesize-interface, legalize-names,
+//!         scrub-attributes, verify-compat,
+//!         hls-adaptor (the full adaptor pipeline)
+//! ```
+
+use std::io::Read;
+
+use llvm_lite::transforms::ModulePass;
+
+fn pass_by_name(name: &str) -> Option<Box<dyn ModulePass>> {
+    Some(match name {
+        "mem2reg" => Box::new(llvm_lite::transforms::Mem2Reg),
+        "dce" => Box::new(llvm_lite::transforms::Dce),
+        "simplify-cfg" => Box::new(llvm_lite::transforms::SimplifyCfg),
+        "fold-constants" => Box::new(llvm_lite::transforms::FoldConstants),
+        "licm" => Box::new(llvm_lite::transforms::Licm),
+        "legalize-intrinsics" => Box::new(adaptor::passes::LegalizeIntrinsics),
+        "demote-malloc" => Box::new(adaptor::passes::DemoteMalloc),
+        "recover-arrays" => Box::new(adaptor::passes::RecoverArrays),
+        "normalize-loop-metadata" => Box::new(adaptor::passes::NormalizeLoopMetadata),
+        "synthesize-interface" => Box::new(adaptor::passes::SynthesizeInterface),
+        "legalize-names" => Box::new(adaptor::passes::LegalizeNames),
+        "scrub-attributes" => Box::new(adaptor::passes::ScrubAttributes),
+        "verify-compat" => Box::new(adaptor::compat::VerifyCompat),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let passes_arg = args
+        .iter()
+        .position(|a| a == "--passes")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+    let input = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--passes")
+        })
+        .map(|(_, a)| a.clone())
+        .next_back();
+
+    let src = match input.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+    };
+
+    let mut module = match llvm_lite::parser::parse_module("mha-opt", &src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = llvm_lite::verifier::verify_module(&module) {
+        eprintln!("input does not verify: {e}");
+        std::process::exit(1);
+    }
+
+    for name in passes_arg.split(',').filter(|s| !s.is_empty()) {
+        if name == "hls-adaptor" {
+            match adaptor::run_adaptor(&mut module, &adaptor::AdaptorConfig::default()) {
+                Ok(report) => eprintln!(
+                    "; hls-adaptor: {} -> {} compatibility issues",
+                    report.issues_before, report.issues_after
+                ),
+                Err(e) => {
+                    eprintln!("hls-adaptor failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            continue;
+        }
+        let Some(pass) = pass_by_name(name) else {
+            eprintln!("unknown pass '{name}'");
+            std::process::exit(2);
+        };
+        // Run directly with the pass manager's post-verification behavior.
+        match pass.run(&mut module) {
+            Ok(changed) => {
+                if let Err(e) = llvm_lite::verifier::verify_module(&module) {
+                    eprintln!("module broken after '{name}': {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("; {name}: {}", if changed { "changed" } else { "no change" });
+            }
+            Err(e) => {
+                eprintln!("pass '{name}' failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", llvm_lite::printer::print_module(&module));
+}

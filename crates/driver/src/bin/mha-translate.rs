@@ -1,0 +1,38 @@
+//! `mha-translate` — show a kernel's journey from MLIR to raw LLVM IR
+//! (before the adaptor runs).
+//!
+//! ```text
+//! mha-translate <kernel> [--mlir | --llvm]
+//! ```
+
+use driver::Directives;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: mha-translate <kernel> [--mlir | --llvm]");
+        eprintln!("kernels:");
+        for k in kernels::all_kernels() {
+            eprintln!("  {:<10} {}", k.name, k.description);
+        }
+        std::process::exit(2);
+    };
+    let Some(kernel) = kernels::kernel(name) else {
+        eprintln!("unknown kernel '{name}'");
+        std::process::exit(2);
+    };
+    let show_mlir = args.iter().any(|a| a == "--mlir");
+
+    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).expect("parse kernel");
+    if show_mlir {
+        print!("{}", mlir_lite::printer::print_module(&m));
+        return;
+    }
+    let lowered = lowering::lower(m).expect("lowering");
+    print!("{}", llvm_lite::printer::print_module(&lowered));
+    eprintln!();
+    eprintln!(
+        "; raw lowering has {} HLS compatibility issue(s); run mha-adapt to fix them",
+        adaptor::compat_issues(&lowered).len()
+    );
+}

@@ -1,0 +1,103 @@
+//! Co-simulation: execute an HLS-ready module against the kernel's
+//! reference implementation (the analogue of Vitis C/RTL co-simulation).
+
+use kernels::{gen_inputs, Kernel};
+use llvm_lite::interp::{Interpreter, RtVal};
+
+use crate::{DriverError, Result};
+
+/// Outcome of one co-simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CosimResult {
+    /// Max |module − reference| over all output elements.
+    pub max_abs_err: f32,
+    /// Interpreter instruction count (a crude dynamic-cost proxy).
+    pub steps: u64,
+}
+
+impl CosimResult {
+    /// Pass/fail at the standard HLS co-simulation tolerance.
+    pub fn passed(&self) -> bool {
+        self.max_abs_err <= 1e-5
+    }
+}
+
+/// Run the module's top function on generated inputs and compare every
+/// output buffer against the reference implementation.
+pub fn cosim(module: &llvm_lite::Module, kernel: &Kernel, seed: u64) -> Result<CosimResult> {
+    let top = module
+        .top_function()
+        .ok_or_else(|| DriverError("module has no top function".into()))?
+        .name
+        .clone();
+    let args = gen_inputs(kernel, seed);
+
+    // Reference.
+    let mut expect = args.clone();
+    (kernel.reference)(&mut expect);
+
+    // Module under test.
+    let mut interp = Interpreter::new(module);
+    let ptrs: Vec<u64> = args.iter().map(|buf| interp.mem.alloc_f32(buf)).collect();
+    let call_args: Vec<RtVal> = ptrs.iter().map(|p| RtVal::P(*p)).collect();
+    interp
+        .call(&top, &call_args)
+        .map_err(|e| DriverError(format!("{}: {e}", kernel.name)))?;
+
+    let mut max_abs_err = 0.0f32;
+    for (i, spec) in kernel.args.iter().enumerate() {
+        if !spec.output {
+            continue;
+        }
+        let got = interp
+            .mem
+            .read_f32(ptrs[i], spec.len)
+            .map_err(|e| DriverError(e.to_string()))?;
+        for (g, e) in got.iter().zip(&expect[i]) {
+            max_abs_err = max_abs_err.max((g - e).abs());
+        }
+    }
+    Ok(CosimResult {
+        max_abs_err,
+        steps: interp.stats.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Directives;
+    use crate::flow::{run_flow, Flow};
+
+    #[test]
+    fn every_kernel_cosims_exactly_through_both_flows() {
+        for k in kernels::all_kernels() {
+            for flow in [Flow::Adaptor, Flow::Cpp] {
+                let art = run_flow(k, &Directives::default(), flow).unwrap();
+                let r = cosim(&art.module, k, 2026).unwrap();
+                assert!(
+                    r.passed(),
+                    "{} via {:?}: max err {}",
+                    k.name,
+                    flow,
+                    r.max_abs_err
+                );
+                // Same operation order on both paths: errors are exactly 0.
+                assert_eq!(
+                    r.max_abs_err, 0.0,
+                    "{} via {:?} diverged from reference",
+                    k.name, flow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosim_reports_dynamic_cost() {
+        let k = kernels::kernel("gemm").unwrap();
+        let art = run_flow(k, &Directives::default(), Flow::Adaptor).unwrap();
+        let r = cosim(&art.module, k, 1).unwrap();
+        // 16^3 inner iterations with ~10 executed ops each.
+        assert!(r.steps > 16 * 16 * 16);
+    }
+}

@@ -1,0 +1,143 @@
+//! The experiment harness: run kernels through both flows and collect
+//! everything the table/figure generators need.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use vitis_sim::{csynth, CsynthReport, Target};
+
+use crate::cosim::cosim;
+use crate::flow::{run_flow, Flow};
+use crate::Result;
+use kernels::Kernel;
+
+/// HLS directives applied (identically) at the MLIR level before either
+/// flow runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Directives {
+    /// Pipeline every innermost loop at this II.
+    pub pipeline_ii: Option<u32>,
+    /// Unroll every pipelined loop by this factor.
+    pub unroll_factor: Option<u32>,
+    /// Cyclically partition every array interface by this factor.
+    pub partition_factor: Option<u32>,
+    /// Flatten perfect loop nests around pipelined innermost loops.
+    pub flatten: bool,
+}
+
+impl Directives {
+    /// Pipeline innermost loops at the given II, no unrolling.
+    pub fn pipelined(ii: u32) -> Directives {
+        Directives {
+            pipeline_ii: Some(ii),
+            unroll_factor: None,
+            partition_factor: None,
+            flatten: false,
+        }
+    }
+}
+
+/// One flow's results within an experiment row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Synthesis report.
+    pub report: CsynthReport,
+    /// Co-simulation max error vs the reference.
+    pub cosim_err: f32,
+    /// Flow conversion time, microseconds.
+    pub flow_us: u64,
+    /// Instructions in the final module's top function.
+    pub ir_insts: usize,
+}
+
+/// One kernel × directives experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Directives used.
+    pub directives: Directives,
+    /// Adaptor-flow results.
+    pub adaptor: FlowOutcome,
+    /// C++-flow results.
+    pub cpp: FlowOutcome,
+}
+
+impl ExperimentRow {
+    /// Latency ratio C++/adaptor (>1 = adaptor faster).
+    pub fn latency_ratio(&self) -> f64 {
+        self.cpp.report.latency as f64 / self.adaptor.report.latency.max(1) as f64
+    }
+}
+
+fn outcome(kernel: &Kernel, directives: &Directives, flow: Flow, target: &Target) -> Result<FlowOutcome> {
+    let art = run_flow(kernel, directives, flow)?;
+    let report = csynth(&art.module, target)?;
+    let sim = cosim(&art.module, kernel, 2026)?;
+    let ir_insts = art
+        .module
+        .top_function()
+        .map(|f| f.num_insts())
+        .unwrap_or(0);
+    Ok(FlowOutcome {
+        report,
+        cosim_err: sim.max_abs_err,
+        flow_us: art.elapsed.as_micros() as u64,
+        ir_insts,
+    })
+}
+
+/// Run one kernel through both flows.
+pub fn run_experiment(
+    kernel: &Kernel,
+    directives: &Directives,
+    target: &Target,
+) -> Result<ExperimentRow> {
+    Ok(ExperimentRow {
+        kernel: kernel.name.to_string(),
+        directives: *directives,
+        adaptor: outcome(kernel, directives, Flow::Adaptor, target)?,
+        cpp: outcome(kernel, directives, Flow::Cpp, target)?,
+    })
+}
+
+/// Run the whole suite (in parallel) with uniform directives.
+pub fn run_suite(directives: &Directives, target: &Target) -> Result<Vec<ExperimentRow>> {
+    kernels::all_kernels()
+        .par_iter()
+        .map(|k| run_experiment(k, directives, target))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_experiment_is_comparable_across_flows() {
+        let k = kernels::kernel("gemm").unwrap();
+        let row = run_experiment(k, &Directives::pipelined(1), &Target::default()).unwrap();
+        assert_eq!(row.adaptor.cosim_err, 0.0);
+        assert_eq!(row.cpp.cosim_err, 0.0);
+        // The paper's claim: comparable QoR. Allow ±25% between the flows.
+        let ratio = row.latency_ratio();
+        assert!(
+            (0.75..=1.34).contains(&ratio),
+            "latency ratio {ratio} outside the comparable band: adaptor {} vs cpp {}",
+            row.adaptor.report.latency,
+            row.cpp.report.latency
+        );
+    }
+
+    #[test]
+    fn pipelining_beats_no_directives() {
+        let k = kernels::kernel("fir").unwrap();
+        let base = run_experiment(k, &Directives::default(), &Target::default()).unwrap();
+        let piped = run_experiment(k, &Directives::pipelined(1), &Target::default()).unwrap();
+        assert!(
+            piped.adaptor.report.latency < base.adaptor.report.latency,
+            "pipelined {} vs base {}",
+            piped.adaptor.report.latency,
+            base.adaptor.report.latency
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The two competing flows from one kernel definition.
+
+use std::time::{Duration, Instant};
+
+use adaptor::{AdaptorConfig, AdaptorReport};
+use kernels::Kernel;
+use mlir_lite::dialects::hls;
+use mlir_lite::MlirModule;
+
+use crate::{DriverError, Result};
+
+/// Which path from MLIR to HLS-ready LLVM IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Direct IR translation + the paper's adaptor.
+    Adaptor,
+    /// Emit HLS C++, re-compile with the Vitis-stand-in frontend.
+    Cpp,
+}
+
+impl Flow {
+    /// Display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Flow::Adaptor => "adaptor",
+            Flow::Cpp => "hls-c++",
+        }
+    }
+}
+
+/// Everything a flow run produces.
+pub struct FlowArtifacts {
+    /// The HLS-ready module.
+    pub module: llvm_lite::Module,
+    /// Adaptor pass report (adaptor flow only).
+    pub adaptor_report: Option<AdaptorReport>,
+    /// Generated C++ (C++ flow only).
+    pub cpp_source: Option<String>,
+    /// Wall-clock time of the MLIR→HLS-ready-IR conversion.
+    pub elapsed: Duration,
+    /// MLIR-level structure statistics of the input (for Table 3).
+    pub mlir_stats: mlir_lite::stats::ModuleStats,
+}
+
+/// Parse a kernel into MLIR and apply directives.
+pub fn prepare_mlir(
+    kernel: &Kernel,
+    directives: &crate::experiment::Directives,
+) -> Result<MlirModule> {
+    let mut m = mlir_lite::parser::parse_module(kernel.name, kernel.mlir)?;
+    mlir_lite::verifier::verify_module(&m)?;
+    if let Some(ii) = directives.pipeline_ii {
+        use mlir_lite::passes::MlirPass;
+        mlir_lite::passes::PipelineInnermost { ii }.run(&mut m)?;
+    }
+    if let Some(factor) = directives.unroll_factor {
+        for f in &mut m.ops {
+            f.walk_mut(&mut |op| {
+                if op.name == "affine.for" && hls::pipeline_ii(op).is_some() {
+                    hls::set_unroll(op, factor);
+                }
+            });
+        }
+    }
+    if directives.flatten {
+        for f in &mut m.ops {
+            f.walk_mut(&mut |op| {
+                if op.name == "affine.for" && hls::pipeline_ii(op).is_some() {
+                    op.attrs
+                        .insert(hls::FLATTEN.to_string(), mlir_lite::Attr::Bool(true));
+                }
+            });
+        }
+    }
+    if let Some(factor) = directives.partition_factor {
+        for f in &mut m.ops {
+            f.attrs.insert(
+                hls::ARRAY_PARTITION.to_string(),
+                mlir_lite::Attr::Str(format!("cyclic:{factor}")),
+            );
+        }
+    }
+    Ok(m)
+}
+
+/// Run one flow over a kernel.
+pub fn run_flow(
+    kernel: &Kernel,
+    directives: &crate::experiment::Directives,
+    flow: Flow,
+) -> Result<FlowArtifacts> {
+    let m = prepare_mlir(kernel, directives)?;
+    let mlir_stats = mlir_lite::stats::module_stats(&m);
+    let start = Instant::now();
+    match flow {
+        Flow::Adaptor => {
+            let mut module = lowering::lower(m).map_err(DriverError::from)?;
+            let report = adaptor::run_adaptor(&mut module, &AdaptorConfig::default())?;
+            Ok(FlowArtifacts {
+                module,
+                adaptor_report: Some(report),
+                cpp_source: None,
+                elapsed: start.elapsed(),
+                mlir_stats,
+            })
+        }
+        Flow::Cpp => {
+            let cpp = hls_cpp::emit_cpp(&m)?;
+            let mut module = hls_cpp::compile_cpp(kernel.name, &cpp)?;
+            llvm_lite::transforms::standard_cleanup()
+                .run_to_fixpoint(&mut module, 4)
+                .map_err(DriverError::from)?;
+            Ok(FlowArtifacts {
+                module,
+                adaptor_report: None,
+                cpp_source: Some(cpp),
+                elapsed: start.elapsed(),
+                mlir_stats,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Directives;
+
+    #[test]
+    fn both_flows_produce_synthesis_ready_modules() {
+        let k = kernels::kernel("gemm").unwrap();
+        let d = Directives::pipelined(1);
+        for flow in [Flow::Adaptor, Flow::Cpp] {
+            let art = run_flow(k, &d, flow).unwrap();
+            let r = vitis_sim::csynth(&art.module, &vitis_sim::Target::default());
+            assert!(r.is_ok(), "{flow:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn adaptor_flow_reports_resolved_issues() {
+        let k = kernels::kernel("two_mm").unwrap();
+        let art = run_flow(k, &Directives::default(), Flow::Adaptor).unwrap();
+        let rep = art.adaptor_report.unwrap();
+        assert!(rep.issues_before > 0);
+        assert_eq!(rep.issues_after, 0);
+        // two_mm's heap temporary must have been demoted.
+        assert!(rep.changed_passes.contains(&"demote-malloc"));
+    }
+
+    #[test]
+    fn cpp_flow_exposes_source() {
+        let k = kernels::kernel("fir").unwrap();
+        let art = run_flow(k, &Directives::pipelined(1), Flow::Cpp).unwrap();
+        let src = art.cpp_source.unwrap();
+        assert!(src.contains("#pragma HLS PIPELINE II=1"));
+        assert!(src.contains("void fir("));
+    }
+
+    #[test]
+    fn directives_survive_both_flows() {
+        let k = kernels::kernel("gemm").unwrap();
+        let d = Directives {
+            pipeline_ii: Some(2),
+            unroll_factor: Some(2),
+            partition_factor: None,
+            flatten: false,
+        };
+        for flow in [Flow::Adaptor, Flow::Cpp] {
+            let art = run_flow(k, &d, flow).unwrap();
+            assert!(
+                art.module
+                    .loop_mds
+                    .iter()
+                    .any(|md| md.pipeline_ii == Some(2) && md.unroll_factor == Some(2)),
+                "{flow:?} lost directives: {:?}",
+                art.module.loop_mds
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `driver` — end-to-end orchestration of the two HLS flows.
+//!
+//! ```text
+//!                      kernel MLIR (+ directives)
+//!                       /                    \
+//!            [adaptor flow]                [C++ flow]
+//!        lower → LLVM IR → adaptor     emit C++ → frontend → cleanup
+//!                       \                    /
+//!                        vitis-sim csynth + co-simulation
+//! ```
+//!
+//! The driver also hosts the experiment harness used by the bench binaries:
+//! it runs kernels through both flows (in parallel with rayon), co-simulates
+//! against the reference implementations, and collects csynth reports and
+//! flow timings.
+
+pub mod cosim;
+pub mod experiment;
+pub mod flow;
+
+pub use cosim::{cosim, CosimResult};
+pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
+pub use flow::{run_flow, Flow, FlowArtifacts};
+
+/// Unified error type for the driver layer.
+#[derive(Debug, Clone)]
+pub struct DriverError(pub String);
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "driver error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<mlir_lite::Error> for DriverError {
+    fn from(e: mlir_lite::Error) -> Self {
+        DriverError(format!("mlir: {e}"))
+    }
+}
+
+impl From<llvm_lite::Error> for DriverError {
+    fn from(e: llvm_lite::Error) -> Self {
+        DriverError(format!("llvm: {e}"))
+    }
+}
+
+impl From<hls_cpp::Error> for DriverError {
+    fn from(e: hls_cpp::Error) -> Self {
+        DriverError(format!("cpp-flow: {e}"))
+    }
+}
+
+impl From<vitis_sim::CsynthError> for DriverError {
+    fn from(e: vitis_sim::CsynthError) -> Self {
+        DriverError(format!("csynth: {e}"))
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DriverError>;

@@ -1,0 +1,207 @@
+//! AST of the C subset the Vitis-stand-in frontend accepts.
+//!
+//! The subset is exactly what HLS C++ emitters produce: functions over
+//! scalar and statically-sized array parameters, `for` loops with affine
+//! bounds, assignments, `if/else`, libm calls, and `#pragma HLS` directives
+//! attached to loops.
+
+/// Scalar C types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CType {
+    /// `void` (return type only).
+    Void,
+    /// `int` (i32).
+    Int,
+    /// `long` (i64).
+    Long,
+    /// `short` (i16).
+    Short,
+    /// `char` (i8).
+    Char,
+    /// `float` (f32).
+    Float,
+    /// `double` (f64).
+    Double,
+}
+
+impl CType {
+    /// Is this a floating type?
+    pub fn is_float(self) -> bool {
+        matches!(self, CType::Float | CType::Double)
+    }
+}
+
+/// A function parameter: scalar (`dims` empty) or array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CParam {
+    /// Parameter name.
+    pub name: String,
+    /// Element/scalar type.
+    pub ty: CType,
+    /// Array dimensions (outermost first).
+    pub dims: Vec<u64>,
+}
+
+/// An HLS pragma attached to a loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pragma {
+    /// `#pragma HLS PIPELINE II=<n>` (II defaults to 1).
+    Pipeline { ii: u32 },
+    /// `#pragma HLS UNROLL [factor=<n>]` (no factor = full).
+    Unroll { factor: Option<u32> },
+    /// `#pragma HLS ARRAY_PARTITION variable=<v> cyclic factor=<n>`.
+    ArrayPartition { var: String, spec: String },
+    /// `#pragma HLS LOOP_FLATTEN`.
+    Flatten,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal; `f32` records the `f` suffix.
+    Float { value: f64, f32: bool },
+    /// Variable reference.
+    Var(String),
+    /// Array subscript chain `base[e0][e1]...`.
+    Index { base: String, indices: Vec<Expr> },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Function call (libm subset).
+    Call { name: String, args: Vec<Expr> },
+    /// `c ? a : b`.
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    /// `(type)expr` cast.
+    Cast { ty: CType, value: Box<Expr> },
+}
+
+/// Assignable locations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index { base: String, indices: Vec<Expr> },
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `ty name = init;` / `ty name;`
+    DeclScalar {
+        ty: CType,
+        name: String,
+        init: Option<Expr>,
+    },
+    /// `ty name[d0][d1];`
+    DeclArray {
+        ty: CType,
+        name: String,
+        dims: Vec<u64>,
+    },
+    /// `lv = expr;`
+    Assign { target: LValue, value: Expr },
+    /// `for (int v = init; v < bound; v += step) { pragmas... body }`
+    For {
+        var: String,
+        init: Expr,
+        /// Comparison operator of the exit test (`Lt`, `Le`, `Gt`, `Ge`).
+        cmp: BinOp,
+        bound: Expr,
+        step: i64,
+        pragmas: Vec<Pragma>,
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) {...} [else {...}]`
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// Bare call statement.
+    ExprStmt(Expr),
+}
+
+/// One function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFunc {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<CParam>,
+    /// Function-scope pragmas (interface/partition directives).
+    pub pragmas: Vec<Pragma>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CUnit {
+    /// Functions in order.
+    pub funcs: Vec<CFunc>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctype_classification() {
+        assert!(CType::Float.is_float());
+        assert!(CType::Double.is_float());
+        assert!(!CType::Int.is_float());
+        assert!(!CType::Void.is_float());
+    }
+
+    #[test]
+    fn ast_nodes_compose() {
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var("a".into())),
+            rhs: Box::new(Expr::Int(1)),
+        };
+        let s = Stmt::Assign {
+            target: LValue::Var("x".into()),
+            value: e.clone(),
+        };
+        assert_eq!(
+            s,
+            Stmt::Assign {
+                target: LValue::Var("x".into()),
+                value: e
+            }
+        );
+    }
+}

@@ -1,0 +1,874 @@
+//! C AST → LLVM IR code generation, in the style of an unoptimized clang:
+//! every local lives in an entry-block `alloca`, loop counters are `int`s
+//! re-loaded at each use, and array subscripts become structured GEPs over
+//! the declared array types. `mem2reg` (run later, as Vitis does) recovers
+//! SSA form.
+
+use std::collections::HashMap;
+
+use llvm_lite::{
+    Function, Inst, InstData, IntPred, FloatPred, LoopMetadata, Module, Opcode, Type, Value,
+};
+
+use crate::ast::*;
+use crate::{Error, Result};
+
+/// Generate a module from a parsed translation unit.
+pub fn codegen_unit(name: &str, unit: &CUnit) -> Result<Module> {
+    let mut m = Module::new(name);
+    m.target_triple = Some("fpga64-xilinx-none".to_string());
+    for f in &unit.funcs {
+        let func = gen_func(&mut m, f)?;
+        m.functions.push(func);
+    }
+    Ok(m)
+}
+
+fn scalar_type(t: CType) -> Type {
+    match t {
+        CType::Void => Type::Void,
+        CType::Int => Type::I32,
+        CType::Long => Type::I64,
+        CType::Short => Type::I16,
+        CType::Char => Type::I8,
+        CType::Float => Type::Float,
+        CType::Double => Type::Double,
+    }
+}
+
+fn array_type(elem: CType, dims: &[u64]) -> Type {
+    let mut t = scalar_type(elem);
+    for &d in dims.iter().rev() {
+        t = t.array_of(d);
+    }
+    t
+}
+
+#[derive(Clone)]
+enum Slot {
+    /// Scalar variable: pointer to its stack slot.
+    Scalar { ptr: Value, ty: Type },
+    /// Array variable: pointer to the whole array object.
+    Array { ptr: Value, arr: Type },
+}
+
+struct Cx<'m> {
+    module: &'m mut Module,
+    vars: HashMap<String, Slot>,
+    block: llvm_lite::BlockId,
+    /// Number of allocas already placed at the entry head.
+    entry_allocas: usize,
+}
+
+impl Cx<'_> {
+    fn push(&mut self, f: &mut Function, inst: Inst) -> llvm_lite::InstId {
+        f.push_inst(self.block, inst)
+    }
+
+    fn alloca_entry(&mut self, f: &mut Function, ty: Type, name: &str) -> Value {
+        let id = f.insert_inst(
+            f.entry(),
+            self.entry_allocas,
+            Inst::new(Opcode::Alloca, ty.ptr_to(), vec![])
+                .with_data(InstData::Alloca {
+                    align: ty.align_in_bytes() as u32,
+                    allocated: ty,
+                })
+                .with_name(name),
+        );
+        self.entry_allocas += 1;
+        Value::Inst(id)
+    }
+
+    fn declare_intrinsic(&mut self, name: &str, params: Vec<Type>, ret: Type) {
+        if self.module.function(name).is_none() {
+            let ps = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| llvm_lite::module::Param::new(format!("a{i}"), t))
+                .collect();
+            self.module
+                .functions
+                .push(Function::declaration(name, ps, ret));
+        }
+    }
+}
+
+fn gen_func(m: &mut Module, cf: &CFunc) -> Result<Function> {
+    let mut params = Vec::new();
+    for p in &cf.params {
+        let ty = if p.dims.is_empty() {
+            scalar_type(p.ty)
+        } else {
+            array_type(p.ty, &p.dims).ptr_to()
+        };
+        params.push(llvm_lite::module::Param::new(p.name.clone(), ty));
+    }
+    let mut f = Function::new(&cf.name, params, scalar_type(cf.ret));
+    // Function-scope directives bind to the named parameters.
+    for pragma in &cf.pragmas {
+        if let Pragma::ArrayPartition { var, spec } = pragma {
+            if let Some(p) = f.params.iter_mut().find(|p| p.name == *var) {
+                p.attrs
+                    .insert("hls.array_partition".to_string(), spec.clone());
+            }
+        }
+    }
+    let entry = f.add_block("entry");
+    let mut cx = Cx {
+        module: m,
+        vars: HashMap::new(),
+        block: entry,
+        entry_allocas: 0,
+    };
+    // Parameters: arrays are used directly; scalars get clang-style slots.
+    for (i, p) in cf.params.iter().enumerate() {
+        if p.dims.is_empty() {
+            let ty = scalar_type(p.ty);
+            let slot = cx.alloca_entry(&mut f, ty.clone(), &format!("{}.addr", p.name));
+            cx.push(
+                &mut f,
+                Inst::new(Opcode::Store, Type::Void, vec![Value::Arg(i as u32), slot.clone()])
+                    .with_data(InstData::Store {
+                        align: ty.align_in_bytes() as u32,
+                    }),
+            );
+            cx.vars.insert(p.name.clone(), Slot::Scalar { ptr: slot, ty });
+        } else {
+            cx.vars.insert(
+                p.name.clone(),
+                Slot::Array {
+                    ptr: Value::Arg(i as u32),
+                    arr: array_type(p.ty, &p.dims),
+                },
+            );
+        }
+    }
+    for stmt in &cf.body {
+        gen_stmt(&mut cx, &mut f, stmt)?;
+    }
+    // Fall-through return for void functions. A trailing `return` leaves an
+    // empty, unreachable continuation block behind — drop it.
+    if f.terminator(cx.block).is_none() {
+        let is_dead_tail =
+            cx.block != f.entry() && f.block(cx.block).insts.is_empty() && {
+                let cfg = llvm_lite::analysis::Cfg::build(&f);
+                cfg.preds[cx.block as usize].is_empty()
+            };
+        if is_dead_tail {
+            f.remove_block(cx.block);
+        } else if f.ret_ty == Type::Void {
+            cx.push(&mut f, Inst::new(Opcode::Ret, Type::Void, vec![]));
+        } else {
+            return Err(Error::Codegen(format!(
+                "@{}: control reaches end of non-void function",
+                cf.name
+            )));
+        }
+    }
+    Ok(f)
+}
+
+fn gen_stmt(cx: &mut Cx<'_>, f: &mut Function, stmt: &Stmt) -> Result<()> {
+    match stmt {
+        Stmt::DeclScalar { ty, name, init } => {
+            let lty = scalar_type(*ty);
+            let slot = cx.alloca_entry(f, lty.clone(), name);
+            if let Some(e) = init {
+                let (v, vt) = gen_expr(cx, f, e)?;
+                let v = coerce(cx, f, v, &vt, &lty)?;
+                cx.push(
+                    f,
+                    Inst::new(Opcode::Store, Type::Void, vec![v, slot.clone()]).with_data(
+                        InstData::Store {
+                            align: lty.align_in_bytes() as u32,
+                        },
+                    ),
+                );
+            }
+            cx.vars.insert(name.clone(), Slot::Scalar { ptr: slot, ty: lty });
+            Ok(())
+        }
+        Stmt::DeclArray { ty, name, dims } => {
+            let arr = array_type(*ty, dims);
+            let slot = cx.alloca_entry(f, arr.clone(), name);
+            cx.vars.insert(name.clone(), Slot::Array { ptr: slot, arr });
+            Ok(())
+        }
+        Stmt::Assign { target, value } => {
+            let (ptr, elem) = gen_lvalue(cx, f, target)?;
+            let (v, vt) = gen_expr(cx, f, value)?;
+            let v = coerce(cx, f, v, &vt, &elem)?;
+            cx.push(
+                f,
+                Inst::new(Opcode::Store, Type::Void, vec![v, ptr]).with_data(InstData::Store {
+                    align: elem.align_in_bytes() as u32,
+                }),
+            );
+            Ok(())
+        }
+        Stmt::For {
+            var,
+            init,
+            cmp,
+            bound,
+            step,
+            pragmas,
+            body,
+        } => gen_for(cx, f, var, init, *cmp, bound, *step, pragmas, body),
+        Stmt::If { cond, then, els } => {
+            let (c, ct) = gen_expr(cx, f, cond)?;
+            let c = to_bool(cx, f, c, &ct)?;
+            let n = f.blocks.len();
+            let then_b = f.add_block(format!("if.then{n}"));
+            let else_b = f.add_block(format!("if.else{n}"));
+            let merge = f.add_block(format!("if.end{n}"));
+            let false_target = if els.is_empty() { merge } else { else_b };
+            cx.push(
+                f,
+                Inst::new(Opcode::CondBr, Type::Void, vec![c]).with_data(InstData::CondBr {
+                    on_true: then_b,
+                    on_false: false_target,
+                }),
+            );
+            cx.block = then_b;
+            for s in then {
+                gen_stmt(cx, f, s)?;
+            }
+            if f.terminator(cx.block).is_none() {
+                cx.push(
+                    f,
+                    Inst::new(Opcode::Br, Type::Void, vec![])
+                        .with_data(InstData::Br { dest: merge }),
+                );
+            }
+            if !els.is_empty() {
+                cx.block = else_b;
+                for s in els {
+                    gen_stmt(cx, f, s)?;
+                }
+                if f.terminator(cx.block).is_none() {
+                    cx.push(
+                        f,
+                        Inst::new(Opcode::Br, Type::Void, vec![])
+                            .with_data(InstData::Br { dest: merge }),
+                    );
+                }
+            } else {
+                f.remove_block(else_b);
+            }
+            cx.block = merge;
+            Ok(())
+        }
+        Stmt::Return(v) => {
+            let ops = match v {
+                None => vec![],
+                Some(e) => {
+                    let (v, vt) = gen_expr(cx, f, e)?;
+                    let rty = f.ret_ty.clone();
+                    vec![coerce(cx, f, v, &vt, &rty)?]
+                }
+            };
+            cx.push(f, Inst::new(Opcode::Ret, Type::Void, ops));
+            // Dead continuation block for anything after the return.
+            let n = f.blocks.len();
+            cx.block = f.add_block(format!("dead{n}"));
+            Ok(())
+        }
+        Stmt::ExprStmt(e) => {
+            gen_expr(cx, f, e)?;
+            Ok(())
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_for(
+    cx: &mut Cx<'_>,
+    f: &mut Function,
+    var: &str,
+    init: &Expr,
+    cmp: BinOp,
+    bound: &Expr,
+    step: i64,
+    pragmas: &[Pragma],
+    body: &[Stmt],
+) -> Result<()> {
+    let iv_ty = Type::I32;
+    let slot = cx.alloca_entry(f, iv_ty.clone(), var);
+    let (iv0, it0) = gen_expr(cx, f, init)?;
+    let iv0 = coerce(cx, f, iv0, &it0, &iv_ty)?;
+    cx.push(
+        f,
+        Inst::new(Opcode::Store, Type::Void, vec![iv0, slot.clone()])
+            .with_data(InstData::Store { align: 4 }),
+    );
+    let n = f.blocks.len();
+    let header = f.add_block(format!("for.cond{n}"));
+    let body_b = f.add_block(format!("for.body{n}"));
+    let exit = f.add_block(format!("for.end{n}"));
+    cx.push(
+        f,
+        Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest: header }),
+    );
+    // Header: load, compare, branch.
+    cx.block = header;
+    let iv = Value::Inst(cx.push(
+        f,
+        Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
+            .with_data(InstData::Load { align: 4 }),
+    ));
+    let (bv, bt) = gen_expr(cx, f, bound)?;
+    let bv = coerce(cx, f, bv, &bt, &iv_ty)?;
+    let pred = match cmp {
+        BinOp::Lt => IntPred::Slt,
+        BinOp::Le => IntPred::Sle,
+        BinOp::Gt => IntPred::Sgt,
+        BinOp::Ge => IntPred::Sge,
+        _ => return Err(Error::Codegen("bad loop comparison".into())),
+    };
+    let c = Value::Inst(cx.push(
+        f,
+        Inst::new(Opcode::ICmp, Type::I1, vec![iv, bv]).with_data(InstData::ICmp(pred)),
+    ));
+    cx.push(
+        f,
+        Inst::new(Opcode::CondBr, Type::Void, vec![c]).with_data(InstData::CondBr {
+            on_true: body_b,
+            on_false: exit,
+        }),
+    );
+    // Body.
+    cx.block = body_b;
+    let outer = cx.vars.insert(
+        var.to_string(),
+        Slot::Scalar {
+            ptr: slot.clone(),
+            ty: iv_ty.clone(),
+        },
+    );
+    for s in body {
+        gen_stmt(cx, f, s)?;
+    }
+    // Latch: i += step; br header (with metadata from pragmas).
+    let cur = Value::Inst(cx.push(
+        f,
+        Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
+            .with_data(InstData::Load { align: 4 }),
+    ));
+    let next = Value::Inst(cx.push(
+        f,
+        Inst::new(Opcode::Add, iv_ty, vec![cur, Value::i32(step as i32)]),
+    ));
+    cx.push(
+        f,
+        Inst::new(Opcode::Store, Type::Void, vec![next, slot])
+            .with_data(InstData::Store { align: 4 }),
+    );
+    let mut latch =
+        Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest: header });
+    if let Some(md) = pragmas_to_md(pragmas) {
+        let id = cx.module.add_loop_md(md);
+        latch.loop_md = Some(id);
+    }
+    cx.push(f, latch);
+    match outer {
+        Some(s) => {
+            cx.vars.insert(var.to_string(), s);
+        }
+        None => {
+            cx.vars.remove(var);
+        }
+    }
+    cx.block = exit;
+    Ok(())
+}
+
+fn pragmas_to_md(pragmas: &[Pragma]) -> Option<LoopMetadata> {
+    let mut md = LoopMetadata::default();
+    for p in pragmas {
+        match p {
+            Pragma::Pipeline { ii } => md.pipeline_ii = Some(*ii),
+            Pragma::Unroll { factor: Some(n) } => md.unroll_factor = Some(*n),
+            Pragma::Unroll { factor: None } => md.unroll_full = true,
+            Pragma::Flatten => md.flatten = true,
+            // Partition pragmas bind to variables, not loops.
+            Pragma::ArrayPartition { .. } => {}
+        }
+    }
+    if md.is_empty() {
+        None
+    } else {
+        Some(md)
+    }
+}
+
+/// Generate an lvalue: `(element pointer, element type)`.
+fn gen_lvalue(cx: &mut Cx<'_>, f: &mut Function, lv: &LValue) -> Result<(Value, Type)> {
+    match lv {
+        LValue::Var(name) => match cx.vars.get(name).cloned() {
+            Some(Slot::Scalar { ptr, ty }) => Ok((ptr, ty)),
+            Some(Slot::Array { .. }) => {
+                Err(Error::Codegen(format!("cannot assign whole array {name}")))
+            }
+            None => Err(Error::Codegen(format!("undefined variable {name}"))),
+        },
+        LValue::Index { base, indices } => gen_element_ptr(cx, f, base, indices),
+    }
+}
+
+fn gen_element_ptr(
+    cx: &mut Cx<'_>,
+    f: &mut Function,
+    base: &str,
+    indices: &[Expr],
+) -> Result<(Value, Type)> {
+    let Some(Slot::Array { ptr, arr }) = cx.vars.get(base).cloned() else {
+        return Err(Error::Codegen(format!("{base} is not an array")));
+    };
+    let mut ops = vec![ptr, Value::i64(0)];
+    for e in indices {
+        let (v, vt) = gen_expr(cx, f, e)?;
+        let v = coerce(cx, f, v, &vt, &Type::I64)?;
+        ops.push(v);
+    }
+    let elem = {
+        let mut t = arr.clone();
+        for _ in 0..indices.len() {
+            t = match t {
+                Type::Array(_, e) => (*e).clone(),
+                other => {
+                    return Err(Error::Codegen(format!(
+                        "too many subscripts on {base}: reached {other}"
+                    )))
+                }
+            };
+        }
+        t
+    };
+    if !elem.is_first_class_scalar() {
+        return Err(Error::Codegen(format!("partial indexing of {base}")));
+    }
+    let n_ops = ops.len();
+    let gep = cx.push(
+        f,
+        Inst::new(
+            Opcode::Gep,
+            llvm_lite::builder::gep_result_type(&arr, n_ops - 1),
+            ops,
+        )
+        .with_data(InstData::Gep {
+            base_ty: arr,
+            inbounds: true,
+        }),
+    );
+    Ok((Value::Inst(gep), elem))
+}
+
+/// Usual-arithmetic-conversions result type.
+fn common_type(a: &Type, b: &Type) -> Type {
+    match (a, b) {
+        (Type::Double, _) | (_, Type::Double) => Type::Double,
+        (Type::Float, _) | (_, Type::Float) => Type::Float,
+        (Type::Int(x), Type::Int(y)) => Type::Int((*x).max(*y).max(32)),
+        _ => a.clone(),
+    }
+}
+
+fn coerce(cx: &mut Cx<'_>, f: &mut Function, v: Value, from: &Type, to: &Type) -> Result<Value> {
+    if from == to {
+        return Ok(v);
+    }
+    let _ = cx;
+    let inst = match (from, to) {
+        (Type::Int(a), Type::Int(b)) if a < b => Inst::new(Opcode::SExt, to.clone(), vec![v]),
+        (Type::Int(a), Type::Int(b)) if a > b => Inst::new(Opcode::Trunc, to.clone(), vec![v]),
+        (Type::Int(_), t) if t.is_float() => Inst::new(Opcode::SIToFP, to.clone(), vec![v]),
+        (ft, Type::Int(_)) if ft.is_float() => Inst::new(Opcode::FPToSI, to.clone(), vec![v]),
+        (Type::Float, Type::Double) => Inst::new(Opcode::FPExt, to.clone(), vec![v]),
+        (Type::Double, Type::Float) => Inst::new(Opcode::FPTrunc, to.clone(), vec![v]),
+        _ => {
+            return Err(Error::Codegen(format!(
+                "cannot convert {from} to {to}"
+            )))
+        }
+    };
+    // Constants fold inline to keep the IR clang-like.
+    if let Some(c) = v_const_coerce(&inst) {
+        return Ok(c);
+    }
+    Ok(Value::Inst(f.push_inst(cx.block, inst)))
+}
+
+fn v_const_coerce(inst: &Inst) -> Option<Value> {
+    let v = inst.operands.first()?;
+    match (inst.opcode, v) {
+        (Opcode::SExt | Opcode::Trunc, Value::ConstInt { value, .. }) => {
+            Some(Value::const_int(inst.ty.clone(), *value))
+        }
+        (Opcode::SIToFP, Value::ConstInt { value, .. }) => Some(match inst.ty {
+            Type::Float => Value::f32(*value as f32),
+            _ => Value::f64(*value as f64),
+        }),
+        _ => None,
+    }
+}
+
+fn to_bool(cx: &mut Cx<'_>, f: &mut Function, v: Value, ty: &Type) -> Result<Value> {
+    if *ty == Type::I1 {
+        return Ok(v);
+    }
+    let id = cx.push(
+        f,
+        Inst::new(Opcode::ICmp, Type::I1, vec![v, Value::const_int(ty.clone(), 0)])
+            .with_data(InstData::ICmp(IntPred::Ne)),
+    );
+    Ok(Value::Inst(id))
+}
+
+fn gen_expr(cx: &mut Cx<'_>, f: &mut Function, e: &Expr) -> Result<(Value, Type)> {
+    match e {
+        Expr::Int(v) => Ok((Value::i32(*v as i32), Type::I32)),
+        Expr::Float { value, f32 } => {
+            if *f32 {
+                Ok((Value::f32(*value as f32), Type::Float))
+            } else {
+                Ok((Value::f64(*value), Type::Double))
+            }
+        }
+        Expr::Var(name) => match cx.vars.get(name).cloned() {
+            Some(Slot::Scalar { ptr, ty }) => {
+                let id = cx.push(
+                    f,
+                    Inst::new(Opcode::Load, ty.clone(), vec![ptr]).with_data(InstData::Load {
+                        align: ty.align_in_bytes() as u32,
+                    }),
+                );
+                Ok((Value::Inst(id), ty))
+            }
+            Some(Slot::Array { .. }) => {
+                Err(Error::Codegen(format!("array {name} used as a value")))
+            }
+            None => Err(Error::Codegen(format!("undefined variable {name}"))),
+        },
+        Expr::Index { base, indices } => {
+            let (ptr, elem) = gen_element_ptr(cx, f, base, indices)?;
+            let id = cx.push(
+                f,
+                Inst::new(Opcode::Load, elem.clone(), vec![ptr]).with_data(InstData::Load {
+                    align: elem.align_in_bytes() as u32,
+                }),
+            );
+            Ok((Value::Inst(id), elem))
+        }
+        Expr::Neg(inner) => {
+            let (v, ty) = gen_expr(cx, f, inner)?;
+            if ty.is_float() {
+                let id = cx.push(f, Inst::new(Opcode::FNeg, ty.clone(), vec![v]));
+                Ok((Value::Inst(id), ty))
+            } else {
+                let id = cx.push(
+                    f,
+                    Inst::new(Opcode::Sub, ty.clone(), vec![Value::const_int(ty.clone(), 0), v]),
+                );
+                Ok((Value::Inst(id), ty))
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let (a, at) = gen_expr(cx, f, lhs)?;
+            let (b, bt) = gen_expr(cx, f, rhs)?;
+            let ct = common_type(&at, &bt);
+            let a = coerce(cx, f, a, &at, &ct)?;
+            let b = coerce(cx, f, b, &bt, &ct)?;
+            let is_f = ct.is_float();
+            let (opcode, result_ty, data) = match op {
+                BinOp::Add => (if is_f { Opcode::FAdd } else { Opcode::Add }, ct.clone(), None),
+                BinOp::Sub => (if is_f { Opcode::FSub } else { Opcode::Sub }, ct.clone(), None),
+                BinOp::Mul => (if is_f { Opcode::FMul } else { Opcode::Mul }, ct.clone(), None),
+                BinOp::Div => (if is_f { Opcode::FDiv } else { Opcode::SDiv }, ct.clone(), None),
+                BinOp::Rem => (Opcode::SRem, ct.clone(), None),
+                cmp => {
+                    let (opcode, data) = if is_f {
+                        let p = match cmp {
+                            BinOp::Lt => FloatPred::Olt,
+                            BinOp::Le => FloatPred::Ole,
+                            BinOp::Gt => FloatPred::Ogt,
+                            BinOp::Ge => FloatPred::Oge,
+                            BinOp::Eq => FloatPred::Oeq,
+                            _ => FloatPred::Une,
+                        };
+                        (Opcode::FCmp, InstData::FCmp(p))
+                    } else {
+                        let p = match cmp {
+                            BinOp::Lt => IntPred::Slt,
+                            BinOp::Le => IntPred::Sle,
+                            BinOp::Gt => IntPred::Sgt,
+                            BinOp::Ge => IntPred::Sge,
+                            BinOp::Eq => IntPred::Eq,
+                            _ => IntPred::Ne,
+                        };
+                        (Opcode::ICmp, InstData::ICmp(p))
+                    };
+                    let id = cx.push(
+                        f,
+                        Inst::new(opcode, Type::I1, vec![a, b]).with_data(data),
+                    );
+                    return Ok((Value::Inst(id), Type::I1));
+                }
+            };
+            let mut inst = Inst::new(opcode, result_ty.clone(), vec![a, b]);
+            if let Some(d) = data {
+                inst.data = d;
+            }
+            let id = cx.push(f, inst);
+            Ok((Value::Inst(id), result_ty))
+        }
+        Expr::Call { name, args } => gen_call(cx, f, name, args),
+        Expr::Ternary { cond, then, els } => {
+            let (c, ct) = gen_expr(cx, f, cond)?;
+            let c = to_bool(cx, f, c, &ct)?;
+            let (a, at) = gen_expr(cx, f, then)?;
+            let (b, bt) = gen_expr(cx, f, els)?;
+            let rt = common_type(&at, &bt);
+            let a = coerce(cx, f, a, &at, &rt)?;
+            let b = coerce(cx, f, b, &bt, &rt)?;
+            let id = cx.push(f, Inst::new(Opcode::Select, rt.clone(), vec![c, a, b]));
+            Ok((Value::Inst(id), rt))
+        }
+        Expr::Cast { ty, value } => {
+            let (v, vt) = gen_expr(cx, f, value)?;
+            let to = scalar_type(*ty);
+            let v = coerce(cx, f, v, &vt, &to)?;
+            Ok((v, to))
+        }
+    }
+}
+
+fn gen_call(cx: &mut Cx<'_>, f: &mut Function, name: &str, args: &[Expr]) -> Result<(Value, Type)> {
+    // libm subset mapping (what the Vitis frontend lowers these to).
+    let libm: &[(&str, &str, Type)] = &[
+        ("sqrtf", "llvm.sqrt.f32", Type::Float),
+        ("sqrt", "llvm.sqrt.f64", Type::Double),
+        ("expf", "llvm.exp.f32", Type::Float),
+        ("exp", "llvm.exp.f64", Type::Double),
+        ("fabsf", "llvm.fabs.f32", Type::Float),
+        ("fabs", "llvm.fabs.f64", Type::Double),
+        ("fmaxf", "llvm.maxnum.f32", Type::Float),
+        ("fminf", "llvm.minnum.f32", Type::Float),
+    ];
+    if let Some((_, intrinsic, ty)) = libm.iter().find(|(n, _, _)| *n == name) {
+        let mut vals = Vec::new();
+        for a in args {
+            let (v, vt) = gen_expr(cx, f, a)?;
+            vals.push(coerce(cx, f, v, &vt, ty)?);
+        }
+        cx.declare_intrinsic(intrinsic, vec![ty.clone(); vals.len()], ty.clone());
+        let id = cx.push(
+            f,
+            Inst::new(Opcode::Call, ty.clone(), vals).with_data(InstData::Call {
+                callee: intrinsic.to_string(),
+            }),
+        );
+        return Ok((Value::Inst(id), ty.clone()));
+    }
+    // User function defined earlier in the unit.
+    let Some(target) = cx.module.function(name) else {
+        return Err(Error::Codegen(format!("call to undefined function {name}")));
+    };
+    let ret = target.ret_ty.clone();
+    let ptypes: Vec<Type> = target.params.iter().map(|p| p.ty.clone()).collect();
+    let mut vals = Vec::new();
+    for (a, pt) in args.iter().zip(&ptypes) {
+        let (v, vt) = gen_expr(cx, f, a)?;
+        vals.push(coerce(cx, f, v, &vt, pt)?);
+    }
+    let id = cx.push(
+        f,
+        Inst::new(Opcode::Call, ret.clone(), vals).with_data(InstData::Call {
+            callee: name.to_string(),
+        }),
+    );
+    Ok((Value::Inst(id), ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_c;
+    use llvm_lite::interp::{Interpreter, RtVal};
+
+    fn compile(src: &str) -> Module {
+        let unit = parse_c(src).unwrap();
+        let m = codegen_unit("test", &unit).unwrap();
+        llvm_lite::verifier::verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn scalar_function_computes() {
+        let m = compile("int addmul(int a, int b) { int t = a + b; return t * 2; }");
+        let mut i = Interpreter::new(&m);
+        assert_eq!(
+            i.call("addmul", &[RtVal::I(3), RtVal::I(4)]).unwrap(),
+            RtVal::I(14)
+        );
+    }
+
+    #[test]
+    fn loop_over_array() {
+        let m = compile(
+            "void scale(float a[8]) { for (int i = 0; i < 8; i += 1) { a[i] = a[i] * 2.0f; } }",
+        );
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        i.call("scale", &[RtVal::P(p)]).unwrap();
+        assert_eq!(
+            i.mem.read_f32(p, 8).unwrap(),
+            vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+        );
+    }
+
+    #[test]
+    fn two_d_arrays_use_structured_geps() {
+        let m = compile(
+            "void t(float a[4][8]) { for (int i = 0; i < 4; i += 1) { for (int j = 0; j < 8; j += 1) { a[i][j] = a[i][j] + 1.0f; } } }",
+        );
+        let f = m.function("t").unwrap();
+        assert_eq!(f.params[0].ty, Type::Float.array_of(8).array_of(4).ptr_to());
+        let text = llvm_lite::printer::print_module(&m);
+        assert!(text.contains("getelementptr inbounds [4 x [8 x float]]"));
+        // Execution check.
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc_f32(&[0.0; 32]);
+        i.call("t", &[RtVal::P(p)]).unwrap();
+        assert_eq!(i.mem.read_f32(p, 32).unwrap(), vec![1.0; 32]);
+    }
+
+    #[test]
+    fn pipeline_pragma_becomes_metadata() {
+        let m = compile(
+            "void f(float a[8]) { for (int i = 0; i < 8; i += 1) {\n#pragma HLS PIPELINE II=3\n a[i] = a[i]; } }",
+        );
+        assert!(m.loop_mds.iter().any(|md| md.pipeline_ii == Some(3)));
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let m = compile(
+            "int pick(int c, int a, int b) { int r = 0; if (c > 0) { r = a; } else { r = b; } return r; }",
+        );
+        let mut i = Interpreter::new(&m);
+        assert_eq!(
+            i.call("pick", &[RtVal::I(1), RtVal::I(10), RtVal::I(20)])
+                .unwrap(),
+            RtVal::I(10)
+        );
+        let mut i2 = Interpreter::new(&m);
+        assert_eq!(
+            i2.call("pick", &[RtVal::I(-1), RtVal::I(10), RtVal::I(20)])
+                .unwrap(),
+            RtVal::I(20)
+        );
+    }
+
+    #[test]
+    fn libm_calls_map_to_intrinsics() {
+        let m = compile("float h(float x) { return sqrtf(x * x); }");
+        assert!(m.function("llvm.sqrt.f32").is_some());
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.call("h", &[RtVal::F(-3.0)]).unwrap(), RtVal::F(3.0));
+    }
+
+    #[test]
+    fn local_arrays_live_in_entry_allocas() {
+        let m = compile(
+            "void f(float out[4]) { float buf[4]; for (int i = 0; i < 4; i += 1) { buf[i] = 1.0f; } for (int i = 0; i < 4; i += 1) { out[i] = buf[i]; } }",
+        );
+        let f = m.function("f").unwrap();
+        // All allocas in the entry block.
+        let entry = f.entry();
+        for (b, id) in f.inst_ids() {
+            if f.inst(id).opcode == Opcode::Alloca {
+                assert_eq!(b, entry);
+            }
+        }
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc_f32(&[0.0; 4]);
+        i.call("f", &[RtVal::P(p)]).unwrap();
+        assert_eq!(i.mem.read_f32(p, 4).unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn int_float_mixing_promotes() {
+        let m = compile("float f(int n) { return n * 0.5f; }");
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.call("f", &[RtVal::I(5)]).unwrap(), RtVal::F(2.5));
+    }
+
+    #[test]
+    fn ternary_and_cast() {
+        let m = compile("int f(float x) { return x > 0.0f ? (int)x : 0; }");
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.call("f", &[RtVal::F(3.7)]).unwrap(), RtVal::I(3));
+        let mut i2 = Interpreter::new(&m);
+        assert_eq!(i2.call("f", &[RtVal::F(-2.0)]).unwrap(), RtVal::I(0));
+    }
+
+    #[test]
+    fn user_function_calls() {
+        let m = compile(
+            "float square(float x) { return x * x; }\nfloat f(float x) { return square(x) + 1.0f; }",
+        );
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.call("f", &[RtVal::F(3.0)]).unwrap(), RtVal::F(10.0));
+    }
+
+    #[test]
+    fn non_void_fallthrough_is_an_error() {
+        let unit = parse_c("int f() { int x = 1; }").unwrap();
+        assert!(codegen_unit("t", &unit).is_err());
+    }
+
+    #[test]
+    fn descending_loops_work() {
+        let m = compile(
+            "void rev(float a[8]) { for (int i = 7; i >= 0; i += -1) { a[i] = (float)i; } }",
+        );
+        let mut i = Interpreter::new(&m);
+        let p = i.mem.alloc_f32(&[0.0; 8]);
+        i.call("rev", &[RtVal::P(p)]).unwrap();
+        assert_eq!(
+            i.mem.read_f32(p, 8).unwrap(),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn array_partition_pragma_binds_to_param() {
+        let m = compile(
+            "void f(float a[8]) {
+#pragma HLS ARRAY_PARTITION variable=a cyclic factor=4
+ for (int i = 0; i < 8; i += 1) { a[i] = a[i]; } }",
+        );
+        let f = m.function("f").unwrap();
+        assert_eq!(
+            f.params[0].attrs.get("hls.array_partition").map(String::as_str),
+            Some("cyclic:4")
+        );
+    }
+
+    #[test]
+    fn mem2reg_recovers_ssa_from_codegen() {
+        let mut m = compile(
+            "void scale(float a[8]) { for (int i = 0; i < 8; i += 1) { a[i] = a[i] * 2.0f; } }",
+        );
+        let before = m.function("scale").unwrap().count_opcode(Opcode::Alloca);
+        assert!(before >= 1); // the loop counter slot
+        llvm_lite::transforms::standard_cleanup()
+            .run_to_fixpoint(&mut m, 4)
+            .unwrap();
+        let f = m.function("scale").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Alloca), 0);
+        assert!(f.count_opcode(Opcode::Phi) >= 1);
+    }
+}

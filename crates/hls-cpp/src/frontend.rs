@@ -1,0 +1,46 @@
+//! The assembled "Vitis clang" stand-in: parse HLS C++, generate LLVM IR,
+//! and mark the synthesis top.
+
+use crate::codegen::codegen_unit;
+use crate::parser::parse_c;
+use crate::Result;
+
+/// Compile HLS C++ source into an LLVM module. The first function becomes
+/// the synthesis top (matching `set_top` defaulting in scripts that name
+/// the emitted kernel first).
+pub fn compile_cpp(name: &str, src: &str) -> Result<llvm_lite::Module> {
+    let unit = parse_c(src)?;
+    let mut m = codegen_unit(name, &unit)?;
+    if let Some(f) = m.functions.iter_mut().find(|f| !f.is_declaration) {
+        f.attrs.insert("hls.top".into(), "1".into());
+    }
+    llvm_lite::verifier::verify_module(&m)
+        .map_err(|e| crate::Error::Codegen(e.to_string()))?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_first_definition_as_top() {
+        let m = compile_cpp(
+            "t",
+            "float helper(float x) { return x; }\nvoid top(float a[4]) { a[0] = helper(a[1]); }",
+        )
+        .unwrap();
+        // First *definition* gets the attribute, even with intrinsics
+        // declared before it.
+        assert!(m.function("helper").unwrap().attrs.contains_key("hls.top"));
+    }
+
+    #[test]
+    fn parse_errors_surface_with_lines() {
+        let e = compile_cpp("t", "void f() {\n  int x = ;\n}").unwrap_err();
+        match e {
+            crate::Error::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Lexer for the C subset.
+
+use crate::{Error, Result};
+
+/// Tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal; bool = had `f` suffix.
+    Float(f64, bool),
+    /// Single punctuation char.
+    Punct(char),
+    /// Two-char operator: `<=`, `>=`, `==`, `!=`, `+=`, `++`.
+    Op2(&'static str),
+    /// A `#pragma ...` line (content after `#pragma`, trimmed).
+    Pragma(String),
+    /// End of input.
+    Eof,
+}
+
+/// Token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// Token payload.
+    pub tok: CTok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Lex a full source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    let err = |line: u32, msg: &str| Error::Parse {
+        line,
+        msg: msg.to_string(),
+    };
+    while pos < b.len() {
+        let c = b[pos];
+        match c {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            c if c.is_ascii_whitespace() => pos += 1,
+            b'/' if b.get(pos + 1) == Some(&b'/') => {
+                while pos < b.len() && b[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if b.get(pos + 1) == Some(&b'*') => {
+                pos += 2;
+                while pos + 1 < b.len() && !(b[pos] == b'*' && b[pos + 1] == b'/') {
+                    if b[pos] == b'\n' {
+                        line += 1;
+                    }
+                    pos += 1;
+                }
+                pos = (pos + 2).min(b.len());
+            }
+            b'#' => {
+                // Directive line. `#pragma ...` becomes a token; `#include`
+                // and others are skipped.
+                let start = pos;
+                while pos < b.len() && b[pos] != b'\n' {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&b[start..pos]).unwrap().trim();
+                if let Some(rest) = text.strip_prefix("#pragma") {
+                    out.push(Spanned {
+                        tok: CTok::Pragma(rest.trim().to_string()),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < b.len()
+                    && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                out.push(Spanned {
+                    tok: CTok::Ident(
+                        std::str::from_utf8(&b[start..pos]).unwrap().to_string(),
+                    ),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = pos;
+                let mut is_float = false;
+                while pos < b.len() {
+                    let d = b[pos];
+                    if d.is_ascii_digit() {
+                        pos += 1;
+                    } else if d == b'.'
+                        && b.get(pos + 1).map(|x| x.is_ascii_digit()).unwrap_or(false)
+                    {
+                        is_float = true;
+                        pos += 1;
+                    } else if (d == b'e' || d == b'E') && is_float {
+                        pos += 1;
+                        if b.get(pos) == Some(&b'-') || b.get(pos) == Some(&b'+') {
+                            pos += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..pos]).unwrap();
+                if is_float {
+                    let value: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, "bad float literal"))?;
+                    let f32suffix = b.get(pos) == Some(&b'f');
+                    if f32suffix {
+                        pos += 1;
+                    }
+                    out.push(Spanned {
+                        tok: CTok::Float(value, f32suffix),
+                        line,
+                    });
+                } else {
+                    // `1f` style: integer with float suffix.
+                    if b.get(pos) == Some(&b'f') {
+                        pos += 1;
+                        let value: f64 =
+                            text.parse().map_err(|_| err(line, "bad float literal"))?;
+                        out.push(Spanned {
+                            tok: CTok::Float(value, true),
+                            line,
+                        });
+                    } else {
+                        let value: i64 =
+                            text.parse().map_err(|_| err(line, "bad int literal"))?;
+                        out.push(Spanned {
+                            tok: CTok::Int(value),
+                            line,
+                        });
+                    }
+                }
+            }
+            _ => {
+                let two = if pos + 1 < b.len() {
+                    &src[pos..pos + 2]
+                } else {
+                    ""
+                };
+                let op2 = match two {
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "+=" => Some("+="),
+                    "++" => Some("++"),
+                    _ => None,
+                };
+                if let Some(o) = op2 {
+                    out.push(Spanned {
+                        tok: CTok::Op2(o),
+                        line,
+                    });
+                    pos += 2;
+                } else {
+                    out.push(Spanned {
+                        tok: CTok::Punct(c as char),
+                        line,
+                    });
+                    pos += 1;
+                }
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: CTok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<CTok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                CTok::Ident("int".into()),
+                CTok::Ident("x".into()),
+                CTok::Punct('='),
+                CTok::Int(42),
+                CTok::Punct(';'),
+                CTok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_suffixes() {
+        assert_eq!(
+            toks("1.5f 2.0 3f"),
+            vec![
+                CTok::Float(1.5, true),
+                CTok::Float(2.0, false),
+                CTok::Float(3.0, true),
+                CTok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_ops() {
+        assert_eq!(
+            toks("i <= n; i += 2; x == y; a != b"),
+            vec![
+                CTok::Ident("i".into()),
+                CTok::Op2("<="),
+                CTok::Ident("n".into()),
+                CTok::Punct(';'),
+                CTok::Ident("i".into()),
+                CTok::Op2("+="),
+                CTok::Int(2),
+                CTok::Punct(';'),
+                CTok::Ident("x".into()),
+                CTok::Op2("=="),
+                CTok::Ident("y".into()),
+                CTok::Punct(';'),
+                CTok::Ident("a".into()),
+                CTok::Op2("!="),
+                CTok::Ident("b".into()),
+                CTok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_becomes_token_include_is_skipped() {
+        let t = toks("#include <math.h>\n#pragma HLS PIPELINE II=2\nint x;");
+        assert_eq!(t[0], CTok::Pragma("HLS PIPELINE II=2".into()));
+        assert_eq!(t[1], CTok::Ident("int".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("// line comment\nint /* block */ x;");
+        assert_eq!(
+            t,
+            vec![
+                CTok::Ident("int".into()),
+                CTok::Ident("x".into()),
+                CTok::Punct(';'),
+                CTok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let spanned = lex("int x;\nfloat y;").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[3].line, 2);
+    }
+}

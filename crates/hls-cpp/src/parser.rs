@@ -1,0 +1,650 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, CTok, Spanned};
+use crate::{Error, Result};
+
+struct P {
+    toks: Vec<Spanned>,
+    pos: usize,
+    /// Function-scope pragmas collected while parsing the current body.
+    pending_pragmas: Vec<Pragma>,
+}
+
+impl P {
+    fn peek(&self) -> &CTok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> CTok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<()> {
+        if *self.peek() == CTok::Punct(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}', got {:?}", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self, w: &str) -> Result<()> {
+        if *self.peek() == CTok::Ident(w.to_string()) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{w}', got {:?}", self.peek())))
+        }
+    }
+
+    fn take_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            CTok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn type_of(&self, name: &str) -> Option<CType> {
+        Some(match name {
+            "void" => CType::Void,
+            "int" => CType::Int,
+            "long" => CType::Long,
+            "short" => CType::Short,
+            "char" => CType::Char,
+            "float" => CType::Float,
+            "double" => CType::Double,
+            _ => return None,
+        })
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), CTok::Ident(w) if self.type_of(w).is_some())
+    }
+
+    // ---- top-level ---------------------------------------------------
+
+    fn parse_unit(&mut self) -> Result<CUnit> {
+        let mut unit = CUnit::default();
+        while *self.peek() != CTok::Eof {
+            unit.funcs.push(self.parse_func()?);
+        }
+        Ok(unit)
+    }
+
+    fn parse_func(&mut self) -> Result<CFunc> {
+        let ret_name = self.take_ident()?;
+        let ret = self
+            .type_of(&ret_name)
+            .ok_or_else(|| self.err("expected return type"))?;
+        let name = self.take_ident()?;
+        self.eat_punct('(')?;
+        let mut params = Vec::new();
+        while *self.peek() != CTok::Punct(')') {
+            let ty_name = self.take_ident()?;
+            let ty = self
+                .type_of(&ty_name)
+                .ok_or_else(|| self.err("expected parameter type"))?;
+            let pname = self.take_ident()?;
+            let mut dims = Vec::new();
+            while *self.peek() == CTok::Punct('[') {
+                self.bump();
+                match self.bump() {
+                    CTok::Int(d) if d > 0 => dims.push(d as u64),
+                    other => {
+                        return Err(self.err(format!("expected array dim, got {other:?}")))
+                    }
+                }
+                self.eat_punct(']')?;
+            }
+            params.push(CParam {
+                name: pname,
+                ty,
+                dims,
+            });
+            if *self.peek() == CTok::Punct(',') {
+                self.bump();
+            }
+        }
+        self.eat_punct(')')?;
+        self.pending_pragmas.clear();
+        let body = self.parse_block()?;
+        let pragmas = std::mem::take(&mut self.pending_pragmas);
+        Ok(CFunc {
+            name,
+            ret,
+            params,
+            pragmas,
+            body,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat_punct('{')?;
+        let mut out = Vec::new();
+        while *self.peek() != CTok::Punct('}') {
+            if let Some(s) = self.parse_stmt()? {
+                out.push(s);
+            }
+        }
+        self.eat_punct('}')?;
+        Ok(out)
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    /// Returns None for statements that dissolve (stray pragmas).
+    fn parse_stmt(&mut self) -> Result<Option<Stmt>> {
+        match self.peek().clone() {
+            CTok::Pragma(text) => {
+                // Pragmas outside loop heads: ARRAY_PARTITION binds to the
+                // function (via its variable= operand); INTERFACE and other
+                // directives are accepted and ignored — the flow derives
+                // interfaces from types.
+                self.bump();
+                if let Some(p @ Pragma::ArrayPartition { .. }) = parse_pragma(&text) {
+                    self.pending_pragmas.push(p);
+                }
+                Ok(None)
+            }
+            CTok::Ident(w) if w == "for" => Ok(Some(self.parse_for()?)),
+            CTok::Ident(w) if w == "if" => Ok(Some(self.parse_if()?)),
+            CTok::Ident(w) if w == "return" => {
+                self.bump();
+                if *self.peek() == CTok::Punct(';') {
+                    self.bump();
+                    Ok(Some(Stmt::Return(None)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.eat_punct(';')?;
+                    Ok(Some(Stmt::Return(Some(e))))
+                }
+            }
+            CTok::Ident(_) if self.at_type() => Ok(Some(self.parse_decl()?)),
+            _ => {
+                // Assignment or expression statement.
+                let e = self.parse_expr()?;
+                if *self.peek() == CTok::Punct('=') {
+                    self.bump();
+                    let value = self.parse_expr()?;
+                    self.eat_punct(';')?;
+                    let target = match e {
+                        Expr::Var(v) => LValue::Var(v),
+                        Expr::Index { base, indices } => LValue::Index { base, indices },
+                        other => {
+                            return Err(self.err(format!("not assignable: {other:?}")))
+                        }
+                    };
+                    Ok(Some(Stmt::Assign { target, value }))
+                } else {
+                    self.eat_punct(';')?;
+                    Ok(Some(Stmt::ExprStmt(e)))
+                }
+            }
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<Stmt> {
+        let ty_name = self.take_ident()?;
+        let ty = self
+            .type_of(&ty_name)
+            .ok_or_else(|| self.err("expected type"))?;
+        let name = self.take_ident()?;
+        if *self.peek() == CTok::Punct('[') {
+            let mut dims = Vec::new();
+            while *self.peek() == CTok::Punct('[') {
+                self.bump();
+                match self.bump() {
+                    CTok::Int(d) if d > 0 => dims.push(d as u64),
+                    other => return Err(self.err(format!("expected dim, got {other:?}"))),
+                }
+                self.eat_punct(']')?;
+            }
+            self.eat_punct(';')?;
+            return Ok(Stmt::DeclArray { ty, name, dims });
+        }
+        let init = if *self.peek() == CTok::Punct('=') {
+            self.bump();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.eat_punct(';')?;
+        Ok(Stmt::DeclScalar { ty, name, init })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt> {
+        self.eat_ident("for")?;
+        self.eat_punct('(')?;
+        // `int i = init;`
+        self.eat_ident("int")?;
+        let var = self.take_ident()?;
+        self.eat_punct('=')?;
+        let init = self.parse_expr()?;
+        self.eat_punct(';')?;
+        // `i < bound;`
+        let v2 = self.take_ident()?;
+        if v2 != var {
+            return Err(self.err("loop condition must test the loop variable"));
+        }
+        let cmp = match self.bump() {
+            CTok::Punct('<') => BinOp::Lt,
+            CTok::Punct('>') => BinOp::Gt,
+            CTok::Op2("<=") => BinOp::Le,
+            CTok::Op2(">=") => BinOp::Ge,
+            other => return Err(self.err(format!("unsupported loop comparison {other:?}"))),
+        };
+        let bound = self.parse_expr()?;
+        self.eat_punct(';')?;
+        // `i += step` / `i++`
+        let v3 = self.take_ident()?;
+        if v3 != var {
+            return Err(self.err("loop increment must update the loop variable"));
+        }
+        let step = match self.bump() {
+            CTok::Op2("++") => 1,
+            CTok::Op2("+=") => {
+                let negative = if *self.peek() == CTok::Punct('-') {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                match self.bump() {
+                    CTok::Int(s) if s != 0 => {
+                        if negative {
+                            -s
+                        } else {
+                            s
+                        }
+                    }
+                    other => return Err(self.err(format!("expected step, got {other:?}"))),
+                }
+            }
+            other => return Err(self.err(format!("unsupported increment {other:?}"))),
+        };
+        self.eat_punct(')')?;
+        self.eat_punct('{')?;
+        // Leading pragmas bind to this loop.
+        let mut pragmas = Vec::new();
+        while let CTok::Pragma(text) = self.peek().clone() {
+            self.bump();
+            if let Some(p) = parse_pragma(&text) {
+                pragmas.push(p);
+            }
+        }
+        let mut body = Vec::new();
+        while *self.peek() != CTok::Punct('}') {
+            if let Some(s) = self.parse_stmt()? {
+                body.push(s);
+            }
+        }
+        self.eat_punct('}')?;
+        Ok(Stmt::For {
+            var,
+            init,
+            cmp,
+            bound,
+            step,
+            pragmas,
+            body,
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        self.eat_ident("if")?;
+        self.eat_punct('(')?;
+        let cond = self.parse_expr()?;
+        self.eat_punct(')')?;
+        let then = self.parse_block()?;
+        let els = if *self.peek() == CTok::Ident("else".to_string()) {
+            self.bump();
+            self.parse_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr> {
+        let c = self.parse_cmp()?;
+        if *self.peek() == CTok::Punct('?') {
+            self.bump();
+            let a = self.parse_expr()?;
+            self.eat_punct(':')?;
+            let b = self.parse_expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(c),
+                then: Box::new(a),
+                els: Box::new(b),
+            })
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            CTok::Punct('<') => Some(BinOp::Lt),
+            CTok::Punct('>') => Some(BinOp::Gt),
+            CTok::Op2("<=") => Some(BinOp::Le),
+            CTok::Op2(">=") => Some(BinOp::Ge),
+            CTok::Op2("==") => Some(BinOp::Eq),
+            CTok::Op2("!=") => Some(BinOp::Ne),
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.parse_additive()?;
+                Ok(Expr::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
+            }
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                CTok::Punct('+') => BinOp::Add,
+                CTok::Punct('-') => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                CTok::Punct('*') => BinOp::Mul,
+                CTok::Punct('/') => BinOp::Div,
+                CTok::Punct('%') => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if *self.peek() == CTok::Punct('-') {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float { value, f32 } => Expr::Float { value: -value, f32 },
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            CTok::Int(v) => Ok(Expr::Int(v)),
+            CTok::Float(v, f32) => Ok(Expr::Float { value: v, f32 }),
+            CTok::Punct('(') => {
+                // Parenthesized expression or cast.
+                if self.at_type() {
+                    let ty_name = self.take_ident()?;
+                    let ty = self.type_of(&ty_name).unwrap();
+                    self.eat_punct(')')?;
+                    let inner = self.parse_unary()?;
+                    return Ok(Expr::Cast {
+                        ty,
+                        value: Box::new(inner),
+                    });
+                }
+                let e = self.parse_expr()?;
+                self.eat_punct(')')?;
+                Ok(e)
+            }
+            CTok::Ident(name) => {
+                if *self.peek() == CTok::Punct('(') {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while *self.peek() != CTok::Punct(')') {
+                        args.push(self.parse_expr()?);
+                        if *self.peek() == CTok::Punct(',') {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct(')')?;
+                    return Ok(Expr::Call { name, args });
+                }
+                if *self.peek() == CTok::Punct('[') {
+                    let mut indices = Vec::new();
+                    while *self.peek() == CTok::Punct('[') {
+                        self.bump();
+                        indices.push(self.parse_expr()?);
+                        self.eat_punct(']')?;
+                    }
+                    return Ok(Expr::Index {
+                        base: name,
+                        indices,
+                    });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(Error::Parse {
+                line,
+                msg: format!("unexpected token {other:?} in expression"),
+            }),
+        }
+    }
+}
+
+/// Parse a pragma body: `HLS PIPELINE II=2`, `HLS UNROLL factor=4`.
+fn parse_pragma(text: &str) -> Option<Pragma> {
+    let parts: Vec<&str> = text.split_whitespace().collect();
+    if parts.first().map(|s| s.to_ascii_uppercase()) != Some("HLS".to_string()) {
+        return None;
+    }
+    match parts.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+        Some("PIPELINE") => {
+            let ii = parts
+                .iter()
+                .find_map(|p| p.strip_prefix("II="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            Some(Pragma::Pipeline { ii })
+        }
+        Some("UNROLL") => {
+            let factor = parts
+                .iter()
+                .find_map(|p| p.strip_prefix("factor="))
+                .and_then(|v| v.parse().ok());
+            Some(Pragma::Unroll { factor })
+        }
+        Some("LOOP_FLATTEN") => Some(Pragma::Flatten),
+        Some("ARRAY_PARTITION") => {
+            let var = parts.iter().find_map(|p| p.strip_prefix("variable="))?;
+            let kind = parts
+                .iter()
+                .skip(2)
+                .find(|p| matches!(**p, "cyclic" | "block" | "complete"))
+                .copied()
+                .unwrap_or("cyclic");
+            let spec = match parts.iter().find_map(|p| p.strip_prefix("factor=")) {
+                Some(f) => format!("{kind}:{f}"),
+                None => kind.to_string(),
+            };
+            Some(Pragma::ArrayPartition {
+                var: var.to_string(),
+                spec,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parse a translation unit.
+pub fn parse_c(src: &str) -> Result<CUnit> {
+    let toks = lex(src)?;
+    P {
+        toks,
+        pos: 0,
+        pending_pragmas: Vec::new(),
+    }
+    .parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_array_params() {
+        let u = parse_c("void f(float a[4][8], int n) { return; }").unwrap();
+        assert_eq!(u.funcs.len(), 1);
+        let f = &u.funcs[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params[0].dims, vec![4, 8]);
+        assert_eq!(f.params[1].dims, Vec::<u64>::new());
+        assert_eq!(f.body, vec![Stmt::Return(None)]);
+    }
+
+    #[test]
+    fn parses_for_with_pragma() {
+        let u = parse_c(
+            "void f(float a[8]) { for (int i = 0; i < 8; i += 1) {\n#pragma HLS PIPELINE II=2\n a[i] = a[i] + 1.0f; } }",
+        )
+        .unwrap();
+        let Stmt::For { pragmas, cmp, step, .. } = &u.funcs[0].body[0] else {
+            panic!("expected for");
+        };
+        assert_eq!(pragmas, &vec![Pragma::Pipeline { ii: 2 }]);
+        assert_eq!(*cmp, BinOp::Lt);
+        assert_eq!(*step, 1);
+    }
+
+    #[test]
+    fn parses_unroll_pragma_with_and_without_factor() {
+        assert_eq!(
+            parse_pragma("HLS UNROLL factor=4"),
+            Some(Pragma::Unroll { factor: Some(4) })
+        );
+        assert_eq!(parse_pragma("HLS UNROLL"), Some(Pragma::Unroll { factor: None }));
+        assert_eq!(parse_pragma("HLS INTERFACE ap_memory port=a"), None);
+        assert_eq!(parse_pragma("once"), None);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let u = parse_c("void f() { int x = 1 + 2 * 3; }").unwrap();
+        let Stmt::DeclScalar { init: Some(e), .. } = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *e,
+            Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Int(1)),
+                rhs: Box::new(Expr::Bin {
+                    op: BinOp::Mul,
+                    lhs: Box::new(Expr::Int(2)),
+                    rhs: Box::new(Expr::Int(3)),
+                }),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_subscript_chains_and_assignment() {
+        let u = parse_c("void f(float a[4][4]) { a[1][2] = a[2][1]; }").unwrap();
+        let Stmt::Assign { target, value } = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *target,
+            LValue::Index {
+                base: "a".into(),
+                indices: vec![Expr::Int(1), Expr::Int(2)]
+            }
+        );
+        assert!(matches!(value, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn parses_calls_casts_and_ternary() {
+        let u = parse_c(
+            "float f(float x, int n) { float y = sqrtf(x); float z = (float)n; return x > y ? y : z; }",
+        )
+        .unwrap();
+        assert_eq!(u.funcs[0].body.len(), 3);
+        let Stmt::Return(Some(Expr::Ternary { .. })) = &u.funcs[0].body[2] else {
+            panic!("expected ternary return");
+        };
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let u =
+            parse_c("void f(int n, float a[4]) { if (n < 2) { a[0] = 1.0f; } else { a[1] = 2.0f; } }")
+                .unwrap();
+        let Stmt::If { then, els, .. } = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_c("void f() { ??? }").is_err());
+        assert!(parse_c("void f( { }").is_err());
+        assert!(parse_c("void f() { for (int i = 0; j < 4; i += 1) {} }").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let u = parse_c("void f() { int x = -3; float y = -1.5f; }").unwrap();
+        let Stmt::DeclScalar { init: Some(Expr::Int(v)), .. } = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(*v, -3);
+    }
+}

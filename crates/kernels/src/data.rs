@@ -1,0 +1,68 @@
+//! Deterministic input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Kernel;
+
+/// Generate argument buffers for a kernel: inputs get seeded pseudo-random
+/// values quantized to multiples of 1/32 (keeping small dot products exactly
+/// representable in `f32`), pure outputs are zeroed.
+pub fn gen_inputs(k: &Kernel, seed: u64) -> Vec<Vec<f32>> {
+    // Mix the kernel name into the seed so different kernels get different
+    // data even at the same seed.
+    let mixed = k
+        .name
+        .bytes()
+        .fold(seed, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let mut rng = StdRng::seed_from_u64(mixed);
+    k.args
+        .iter()
+        .map(|spec| {
+            if spec.input {
+                (0..spec.len)
+                    .map(|_| (rng.gen_range(-32i32..=32) as f32) / 32.0)
+                    .collect()
+            } else {
+                vec![0.0; spec.len]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::kernel;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let k = kernel("gemm").unwrap();
+        assert_eq!(gen_inputs(k, 42), gen_inputs(k, 42));
+        assert_ne!(gen_inputs(k, 42), gen_inputs(k, 43));
+    }
+
+    #[test]
+    fn different_kernels_get_different_data() {
+        let g = kernel("gemm").unwrap();
+        let b = kernel("bicg").unwrap();
+        assert_ne!(gen_inputs(g, 1)[0], gen_inputs(b, 1)[0]);
+    }
+
+    #[test]
+    fn outputs_are_zeroed_inputs_are_bounded() {
+        let k = kernel("gemm").unwrap();
+        let args = gen_inputs(k, 5);
+        assert!(args[2].iter().all(|v| *v == 0.0));
+        assert!(args[0].iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(args[0].iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn values_are_quantized() {
+        let k = kernel("fir").unwrap();
+        for v in &gen_inputs(k, 9)[0] {
+            assert_eq!((v * 32.0).fract(), 0.0);
+        }
+    }
+}

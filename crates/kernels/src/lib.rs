@@ -1,0 +1,100 @@
+//! `kernels` — the benchmark suite.
+//!
+//! Ten PolyBench-style kernels of the kind MLIR-HLS papers evaluate on,
+//! authored as affine-dialect MLIR sources, each paired with a reference
+//! Rust implementation (the co-simulation ground truth) and a seeded input
+//! generator. Problem sizes are chosen so a full co-simulation of every
+//! kernel through both flows stays interactive.
+
+pub mod data;
+pub mod reference;
+pub mod suite;
+
+pub use data::gen_inputs;
+pub use suite::{all_kernels, kernel, ArgSpec, Kernel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_kernels() {
+        assert_eq!(all_kernels().len(), 10);
+    }
+
+    #[test]
+    fn every_source_parses_and_verifies() {
+        for k in all_kernels() {
+            let m = mlir_lite::parser::parse_module(k.name, k.mlir)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            mlir_lite::verifier::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let f = m.func(k.name).unwrap_or_else(|| panic!("{}: missing top", k.name));
+            assert_eq!(
+                f.regions[0].entry().arg_types.len(),
+                k.args.len(),
+                "{}: arg count mismatch",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_lookup() {
+        assert!(kernel("gemm").is_some());
+        assert!(kernel("nonexistent").is_none());
+    }
+
+    #[test]
+    fn arg_lengths_match_memref_shapes() {
+        for k in all_kernels() {
+            let m = mlir_lite::parser::parse_module(k.name, k.mlir).unwrap();
+            let f = m.func(k.name).unwrap();
+            for (spec, ty) in k.args.iter().zip(&f.regions[0].entry().arg_types) {
+                let len = ty.memref_len().unwrap_or(1);
+                assert_eq!(
+                    len as usize, spec.len,
+                    "{}: arg {} length mismatch",
+                    k.name, spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn references_touch_only_outputs() {
+        for k in all_kernels() {
+            let mut args = gen_inputs(k, 1);
+            let before: Vec<Vec<f32>> = args.clone();
+            (k.reference)(&mut args);
+            for (i, spec) in k.args.iter().enumerate() {
+                if !spec.output {
+                    assert_eq!(
+                        args[i], before[i],
+                        "{}: reference mutated input {}",
+                        k.name, spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn references_are_deterministic_and_nontrivial() {
+        for k in all_kernels() {
+            let mut a1 = gen_inputs(k, 7);
+            let mut a2 = gen_inputs(k, 7);
+            (k.reference)(&mut a1);
+            (k.reference)(&mut a2);
+            assert_eq!(a1, a2, "{}: reference not deterministic", k.name);
+            // At least one output should be nonzero for random inputs.
+            let nonzero = k
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.output)
+                .any(|(i, _)| a1[i].iter().any(|v| *v != 0.0));
+            assert!(nonzero, "{}: reference produced all-zero outputs", k.name);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Reference implementations — the co-simulation ground truth.
+//!
+//! Each function receives the flat `f32` buffers in signature order and
+//! computes outputs **in the same operation order** as the MLIR source, so
+//! results match the IR flows bit-for-bit.
+//!
+//! Index-style loops are intentional here: they mirror the kernels'
+//! MLIR subscripts one-for-one.
+#![allow(clippy::needless_range_loop)]
+
+use crate::suite::N;
+
+/// `C = A x B`.
+pub fn gemm(args: &mut [Vec<f32>]) {
+    let (a, b) = (args[0].clone(), args[1].clone());
+    let c = &mut args[2];
+    for i in 0..N {
+        for j in 0..N {
+            c[i * N + j] = 0.0;
+            for k in 0..N {
+                c[i * N + j] += a[i * N + k] * b[k * N + j];
+            }
+        }
+    }
+}
+
+/// `s = A^T r`, `q = A p`.
+pub fn bicg(args: &mut [Vec<f32>]) {
+    let (a, p, r) = (args[0].clone(), args[1].clone(), args[2].clone());
+    for j in 0..N {
+        args[3][j] = 0.0;
+    }
+    for i in 0..N {
+        args[4][i] = 0.0;
+        for j in 0..N {
+            args[3][j] += r[i] * a[i * N + j];
+            args[4][i] += a[i * N + j] * p[j];
+        }
+    }
+}
+
+/// `y = A^T (A x)`.
+pub fn atax(args: &mut [Vec<f32>]) {
+    let (a, x) = (args[0].clone(), args[1].clone());
+    let mut tmp = [0.0f32; N];
+    for i in 0..N {
+        tmp[i] = 0.0;
+        for j in 0..N {
+            tmp[i] += a[i * N + j] * x[j];
+        }
+    }
+    for j in 0..N {
+        args[2][j] = 0.0;
+    }
+    for i in 0..N {
+        for j in 0..N {
+            args[2][j] += a[i * N + j] * tmp[i];
+        }
+    }
+}
+
+/// `y = 1.5 A x + 2.5 B x`.
+pub fn gesummv(args: &mut [Vec<f32>]) {
+    let (a, b, x) = (args[0].clone(), args[1].clone(), args[2].clone());
+    for i in 0..N {
+        let mut acc_a = 0.0f32;
+        let mut acc_b = 0.0f32;
+        for j in 0..N {
+            acc_a += a[i * N + j] * x[j];
+            acc_b += b[i * N + j] * x[j];
+        }
+        args[3][i] = 1.5f32 * acc_a + 2.5f32 * acc_b;
+    }
+}
+
+/// `x1 += A y1 ; x2 += A^T y2`.
+pub fn mvt(args: &mut [Vec<f32>]) {
+    let a = args[0].clone();
+    let y1 = args[3].clone();
+    let y2 = args[4].clone();
+    for i in 0..N {
+        for j in 0..N {
+            args[1][i] += a[i * N + j] * y1[j];
+        }
+    }
+    for i in 0..N {
+        for j in 0..N {
+            args[2][i] += a[j * N + i] * y2[j];
+        }
+    }
+}
+
+/// `D = (A x B) x C`.
+pub fn two_mm(args: &mut [Vec<f32>]) {
+    let (a, b, c) = (args[0].clone(), args[1].clone(), args[2].clone());
+    let mut tmp = vec![0.0f32; N * N];
+    for i in 0..N {
+        for j in 0..N {
+            tmp[i * N + j] = 0.0;
+            for k in 0..N {
+                tmp[i * N + j] += a[i * N + k] * b[k * N + j];
+            }
+        }
+    }
+    for i in 0..N {
+        for j in 0..N {
+            args[3][i * N + j] = 0.0;
+            for k in 0..N {
+                args[3][i * N + j] += tmp[i * N + k] * c[k * N + j];
+            }
+        }
+    }
+}
+
+/// 8-tap FIR over 64 outputs.
+pub fn fir(args: &mut [Vec<f32>]) {
+    let (x, h) = (args[0].clone(), args[1].clone());
+    for n in 0..64 {
+        args[2][n] = 0.0;
+        for k in 0..8 {
+            args[2][n] += h[k] * x[n + k];
+        }
+    }
+}
+
+/// 3x3 valid convolution over 16x16.
+pub fn conv2d(args: &mut [Vec<f32>]) {
+    let (input, k) = (args[0].clone(), args[1].clone());
+    for i in 0..14 {
+        for j in 0..14 {
+            args[2][i * 14 + j] = 0.0;
+            for di in 0..3 {
+                for dj in 0..3 {
+                    args[2][i * 14 + j] += input[(i + di) * 16 + (j + dj)] * k[di * 3 + dj];
+                }
+            }
+        }
+    }
+}
+
+/// One Jacobi sweep `B = avg5(A)` on the interior.
+pub fn jacobi2d(args: &mut [Vec<f32>]) {
+    let a = args[0].clone();
+    for i in 1..N - 1 {
+        for j in 1..N - 1 {
+            let s = a[i * N + j]
+                + a[i * N + (j - 1)]
+                + a[i * N + (j + 1)]
+                + a[(i - 1) * N + j]
+                + a[(i + 1) * N + j];
+            args[1][i * N + j] = s * 0.2f32;
+        }
+    }
+}
+
+/// One in-place Gauss-Seidel sweep on the interior.
+pub fn seidel2d(args: &mut [Vec<f32>]) {
+    let a = &mut args[0];
+    for i in 1..N - 1 {
+        for j in 1..N - 1 {
+            let s = a[i * N + j]
+                + a[i * N + (j - 1)]
+                + a[i * N + (j + 1)]
+                + a[(i - 1) * N + j]
+                + a[(i + 1) * N + j];
+            a[i * N + j] = s * 0.2f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_identity() {
+        // A = I -> C = B.
+        let mut args = vec![vec![0.0; N * N], vec![0.0; N * N], vec![0.0; N * N]];
+        for i in 0..N {
+            args[0][i * N + i] = 1.0;
+        }
+        for (i, v) in args[1].iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let expect = args[1].clone();
+        gemm(&mut args);
+        assert_eq!(args[2], expect);
+    }
+
+    #[test]
+    fn fir_impulse_response() {
+        // x = delta at 0 -> y[0..8] = h reversed? No: y[n] = sum h[k]x[n+k],
+        // delta at position 3 -> y[n] = h[3-n] for n <= 3.
+        let mut args = vec![vec![0.0; 72], (0..8).map(|i| i as f32).collect(), vec![0.0; 64]];
+        args[0][3] = 1.0;
+        fir(&mut args);
+        assert_eq!(args[2][0], 3.0); // h[3]
+        assert_eq!(args[2][3], 0.0); // h[0]
+        assert_eq!(args[2][1], 2.0);
+        assert_eq!(args[2][10], 0.0);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let mut args = vec![
+            (0..256).map(|i| i as f32).collect::<Vec<f32>>(),
+            vec![0.0; 9],
+            vec![0.0; 196],
+        ];
+        args[1][4] = 1.0; // center tap
+        conv2d(&mut args);
+        // out[i][j] = in[i+1][j+1].
+        assert_eq!(args[2][0], args[0][17]);
+        assert_eq!(args[2][13 * 14 + 13], args[0][14 * 16 + 14]);
+    }
+
+    #[test]
+    fn jacobi_vs_seidel_differ_inplace() {
+        let base: Vec<f32> = (0..256).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut jac = vec![base.clone(), vec![0.0; 256]];
+        jacobi2d(&mut jac);
+        let mut sei = vec![base.clone()];
+        seidel2d(&mut sei);
+        // Same stencil, but Seidel reads freshly-written neighbours, so the
+        // two results must differ somewhere in the interior.
+        let differs = (1..15).any(|i| {
+            (1..15).any(|j| jac[1][i * 16 + j] != sei[0][i * 16 + j])
+        });
+        assert!(differs);
+        // First interior point is identical (no updated neighbours yet).
+        assert_eq!(jac[1][17], sei[0][17]);
+    }
+
+    #[test]
+    fn mvt_accumulates_into_x() {
+        let mut args = vec![
+            vec![1.0; N * N],
+            vec![10.0; N],
+            vec![20.0; N],
+            vec![1.0; N],
+            vec![2.0; N],
+        ];
+        mvt(&mut args);
+        assert_eq!(args[1], vec![10.0 + 16.0; N]);
+        assert_eq!(args[2], vec![20.0 + 32.0; N]);
+    }
+
+    #[test]
+    fn gesummv_combines_both_products() {
+        let mut args = vec![vec![0.0; N * N], vec![0.0; N * N], vec![1.0; N], vec![0.0; N]];
+        for i in 0..N {
+            args[0][i * N + i] = 2.0; // A = 2I
+            args[1][i * N + i] = 4.0; // B = 4I
+        }
+        gesummv(&mut args);
+        // y = 1.5*2 + 2.5*4 = 13.
+        assert_eq!(args[3], vec![13.0; N]);
+    }
+
+    #[test]
+    fn two_mm_matches_composed_gemm() {
+        let a: Vec<f32> = (0..256).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let b: Vec<f32> = (0..256).map(|i| ((i % 3) as f32)).collect();
+        let c: Vec<f32> = (0..256).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut args2mm = vec![a.clone(), b.clone(), c.clone(), vec![0.0; 256]];
+        two_mm(&mut args2mm);
+        let mut g1 = vec![a, b, vec![0.0; 256]];
+        gemm(&mut g1);
+        let mut g2 = vec![g1[2].clone(), c, vec![0.0; 256]];
+        gemm(&mut g2);
+        assert_eq!(args2mm[3], g2[2]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Kernel definitions: MLIR sources and argument specifications.
+
+use crate::reference;
+
+/// One kernel argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArgSpec {
+    /// Argument name (matches the MLIR parameter).
+    pub name: &'static str,
+    /// Flat element count.
+    pub len: usize,
+    /// Read by the kernel (gets generated data).
+    pub input: bool,
+    /// Written by the kernel (checked by co-simulation).
+    pub output: bool,
+}
+
+const fn input(name: &'static str, len: usize) -> ArgSpec {
+    ArgSpec {
+        name,
+        len,
+        input: true,
+        output: false,
+    }
+}
+
+const fn output(name: &'static str, len: usize) -> ArgSpec {
+    ArgSpec {
+        name,
+        len,
+        input: false,
+        output: true,
+    }
+}
+
+const fn inout(name: &'static str, len: usize) -> ArgSpec {
+    ArgSpec {
+        name,
+        len,
+        input: true,
+        output: true,
+    }
+}
+
+/// One benchmark kernel.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    /// Kernel (and top function) name.
+    pub name: &'static str,
+    /// What it computes.
+    pub description: &'static str,
+    /// Affine-dialect MLIR source.
+    pub mlir: &'static str,
+    /// Argument specs, in signature order.
+    pub args: &'static [ArgSpec],
+    /// Reference implementation over flat `f32` buffers.
+    pub reference: fn(&mut [Vec<f32>]),
+}
+
+/// Matrix dimension shared by the linear-algebra kernels.
+pub const N: usize = 16;
+
+const GEMM: Kernel = Kernel {
+    name: "gemm",
+    description: "dense matrix multiply C = A x B",
+    mlir: r#"
+func.func @gemm(%A: memref<16x16xf32>, %B: memref<16x16xf32>, %C: memref<16x16xf32>) attributes {hls.top} {
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %zero = arith.constant 0.0 : f32
+      affine.store %zero, %C[%i, %j] : memref<16x16xf32>
+      affine.for %k = 0 to 16 {
+        %a = affine.load %A[%i, %k] : memref<16x16xf32>
+        %b = affine.load %B[%k, %j] : memref<16x16xf32>
+        %c = affine.load %C[%i, %j] : memref<16x16xf32>
+        %p = arith.mulf %a, %b : f32
+        %s = arith.addf %c, %p : f32
+        affine.store %s, %C[%i, %j] : memref<16x16xf32>
+      }
+    }
+  }
+  func.return
+}
+"#,
+    args: &[input("A", N * N), input("B", N * N), output("C", N * N)],
+    reference: reference::gemm,
+};
+
+const BICG: Kernel = Kernel {
+    name: "bicg",
+    description: "BiCG sub-kernels: s = A^T r, q = A p",
+    mlir: r#"
+func.func @bicg(%A: memref<16x16xf32>, %p: memref<16xf32>, %r: memref<16xf32>, %s: memref<16xf32>, %q: memref<16xf32>) attributes {hls.top} {
+  affine.for %j = 0 to 16 {
+    %zero = arith.constant 0.0 : f32
+    affine.store %zero, %s[%j] : memref<16xf32>
+  }
+  affine.for %i = 0 to 16 {
+    %zero = arith.constant 0.0 : f32
+    affine.store %zero, %q[%i] : memref<16xf32>
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%i, %j] : memref<16x16xf32>
+      %rv = affine.load %r[%i] : memref<16xf32>
+      %sv = affine.load %s[%j] : memref<16xf32>
+      %t1 = arith.mulf %rv, %a : f32
+      %s2 = arith.addf %sv, %t1 : f32
+      affine.store %s2, %s[%j] : memref<16xf32>
+      %pv = affine.load %p[%j] : memref<16xf32>
+      %qv = affine.load %q[%i] : memref<16xf32>
+      %t2 = arith.mulf %a, %pv : f32
+      %q2 = arith.addf %qv, %t2 : f32
+      affine.store %q2, %q[%i] : memref<16xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[
+        input("A", N * N),
+        input("p", N),
+        input("r", N),
+        output("s", N),
+        output("q", N),
+    ],
+    reference: reference::bicg,
+};
+
+const ATAX: Kernel = Kernel {
+    name: "atax",
+    description: "y = A^T (A x) with an on-chip temporary",
+    mlir: r#"
+func.func @atax(%A: memref<16x16xf32>, %x: memref<16xf32>, %y: memref<16xf32>) attributes {hls.top} {
+  %tmp = memref.alloca() : memref<16xf32>
+  affine.for %i = 0 to 16 {
+    %zero = arith.constant 0.0 : f32
+    affine.store %zero, %tmp[%i] : memref<16xf32>
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%i, %j] : memref<16x16xf32>
+      %xv = affine.load %x[%j] : memref<16xf32>
+      %tv = affine.load %tmp[%i] : memref<16xf32>
+      %m = arith.mulf %a, %xv : f32
+      %s = arith.addf %tv, %m : f32
+      affine.store %s, %tmp[%i] : memref<16xf32>
+    }
+  }
+  affine.for %j = 0 to 16 {
+    %zero = arith.constant 0.0 : f32
+    affine.store %zero, %y[%j] : memref<16xf32>
+  }
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%i, %j] : memref<16x16xf32>
+      %tv = affine.load %tmp[%i] : memref<16xf32>
+      %yv = affine.load %y[%j] : memref<16xf32>
+      %m = arith.mulf %a, %tv : f32
+      %s = arith.addf %yv, %m : f32
+      affine.store %s, %y[%j] : memref<16xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[input("A", N * N), input("x", N), output("y", N)],
+    reference: reference::atax,
+};
+
+const GESUMMV: Kernel = Kernel {
+    name: "gesummv",
+    description: "y = alpha A x + beta B x",
+    mlir: r#"
+func.func @gesummv(%A: memref<16x16xf32>, %B: memref<16x16xf32>, %x: memref<16xf32>, %y: memref<16xf32>) attributes {hls.top} {
+  %acc_a = memref.alloca() : memref<1xf32>
+  %acc_b = memref.alloca() : memref<1xf32>
+  affine.for %i = 0 to 16 {
+    %zero = arith.constant 0.0 : f32
+    %c0 = arith.constant 0 : index
+    memref.store %zero, %acc_a[%c0] : memref<1xf32>
+    memref.store %zero, %acc_b[%c0] : memref<1xf32>
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%i, %j] : memref<16x16xf32>
+      %b = affine.load %B[%i, %j] : memref<16x16xf32>
+      %xv = affine.load %x[%j] : memref<16xf32>
+      %ta = affine.load %acc_a[0] : memref<1xf32>
+      %tb = affine.load %acc_b[0] : memref<1xf32>
+      %ma = arith.mulf %a, %xv : f32
+      %mb = arith.mulf %b, %xv : f32
+      %sa = arith.addf %ta, %ma : f32
+      %sb = arith.addf %tb, %mb : f32
+      affine.store %sa, %acc_a[0] : memref<1xf32>
+      affine.store %sb, %acc_b[0] : memref<1xf32>
+    }
+    %alpha = arith.constant 1.5 : f32
+    %beta = arith.constant 2.5 : f32
+    %fa = affine.load %acc_a[0] : memref<1xf32>
+    %fb = affine.load %acc_b[0] : memref<1xf32>
+    %wa = arith.mulf %alpha, %fa : f32
+    %wb = arith.mulf %beta, %fb : f32
+    %yv = arith.addf %wa, %wb : f32
+    affine.store %yv, %y[%i] : memref<16xf32>
+  }
+  func.return
+}
+"#,
+    args: &[
+        input("A", N * N),
+        input("B", N * N),
+        input("x", N),
+        output("y", N),
+    ],
+    reference: reference::gesummv,
+};
+
+const MVT: Kernel = Kernel {
+    name: "mvt",
+    description: "x1 += A y1 ; x2 += A^T y2",
+    mlir: r#"
+func.func @mvt(%A: memref<16x16xf32>, %x1: memref<16xf32>, %x2: memref<16xf32>, %y1: memref<16xf32>, %y2: memref<16xf32>) attributes {hls.top} {
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%i, %j] : memref<16x16xf32>
+      %yv = affine.load %y1[%j] : memref<16xf32>
+      %xv = affine.load %x1[%i] : memref<16xf32>
+      %m = arith.mulf %a, %yv : f32
+      %s = arith.addf %xv, %m : f32
+      affine.store %s, %x1[%i] : memref<16xf32>
+    }
+  }
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %a = affine.load %A[%j, %i] : memref<16x16xf32>
+      %yv = affine.load %y2[%j] : memref<16xf32>
+      %xv = affine.load %x2[%i] : memref<16xf32>
+      %m = arith.mulf %a, %yv : f32
+      %s = arith.addf %xv, %m : f32
+      affine.store %s, %x2[%i] : memref<16xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[
+        input("A", N * N),
+        inout("x1", N),
+        inout("x2", N),
+        input("y1", N),
+        input("y2", N),
+    ],
+    reference: reference::mvt,
+};
+
+const TWO_MM: Kernel = Kernel {
+    name: "two_mm",
+    description: "D = (A x B) x C with a heap temporary (exercises malloc demotion)",
+    mlir: r#"
+func.func @two_mm(%A: memref<16x16xf32>, %B: memref<16x16xf32>, %C: memref<16x16xf32>, %D: memref<16x16xf32>) attributes {hls.top} {
+  %tmp = memref.alloc() : memref<16x16xf32>
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %zero = arith.constant 0.0 : f32
+      affine.store %zero, %tmp[%i, %j] : memref<16x16xf32>
+      affine.for %k = 0 to 16 {
+        %a = affine.load %A[%i, %k] : memref<16x16xf32>
+        %b = affine.load %B[%k, %j] : memref<16x16xf32>
+        %t = affine.load %tmp[%i, %j] : memref<16x16xf32>
+        %m = arith.mulf %a, %b : f32
+        %s = arith.addf %t, %m : f32
+        affine.store %s, %tmp[%i, %j] : memref<16x16xf32>
+      }
+    }
+  }
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %zero = arith.constant 0.0 : f32
+      affine.store %zero, %D[%i, %j] : memref<16x16xf32>
+      affine.for %k = 0 to 16 {
+        %t = affine.load %tmp[%i, %k] : memref<16x16xf32>
+        %c = affine.load %C[%k, %j] : memref<16x16xf32>
+        %d = affine.load %D[%i, %j] : memref<16x16xf32>
+        %m = arith.mulf %t, %c : f32
+        %s = arith.addf %d, %m : f32
+        affine.store %s, %D[%i, %j] : memref<16x16xf32>
+      }
+    }
+  }
+  memref.dealloc %tmp : memref<16x16xf32>
+  func.return
+}
+"#,
+    args: &[
+        input("A", N * N),
+        input("B", N * N),
+        input("C", N * N),
+        output("D", N * N),
+    ],
+    reference: reference::two_mm,
+};
+
+const FIR: Kernel = Kernel {
+    name: "fir",
+    description: "8-tap FIR filter over a 64-sample window",
+    mlir: r#"
+func.func @fir(%x: memref<72xf32>, %h: memref<8xf32>, %y: memref<64xf32>) attributes {hls.top} {
+  affine.for %n = 0 to 64 {
+    %zero = arith.constant 0.0 : f32
+    affine.store %zero, %y[%n] : memref<64xf32>
+    affine.for %k = 0 to 8 {
+      %hv = affine.load %h[%k] : memref<8xf32>
+      %xv = affine.load %x[%n + %k] : memref<72xf32>
+      %yv = affine.load %y[%n] : memref<64xf32>
+      %m = arith.mulf %hv, %xv : f32
+      %s = arith.addf %yv, %m : f32
+      affine.store %s, %y[%n] : memref<64xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[input("x", 72), input("h", 8), output("y", 64)],
+    reference: reference::fir,
+};
+
+const CONV2D: Kernel = Kernel {
+    name: "conv2d",
+    description: "3x3 convolution over a 16x16 image (valid padding)",
+    mlir: r#"
+func.func @conv2d(%in: memref<16x16xf32>, %k: memref<3x3xf32>, %out: memref<14x14xf32>) attributes {hls.top} {
+  affine.for %i = 0 to 14 {
+    affine.for %j = 0 to 14 {
+      %zero = arith.constant 0.0 : f32
+      affine.store %zero, %out[%i, %j] : memref<14x14xf32>
+      affine.for %di = 0 to 3 {
+        affine.for %dj = 0 to 3 {
+          %iv = affine.load %in[%i + %di, %j + %dj] : memref<16x16xf32>
+          %kv = affine.load %k[%di, %dj] : memref<3x3xf32>
+          %ov = affine.load %out[%i, %j] : memref<14x14xf32>
+          %m = arith.mulf %iv, %kv : f32
+          %s = arith.addf %ov, %m : f32
+          affine.store %s, %out[%i, %j] : memref<14x14xf32>
+        }
+      }
+    }
+  }
+  func.return
+}
+"#,
+    args: &[input("in", 16 * 16), input("k", 9), output("out", 14 * 14)],
+    reference: reference::conv2d,
+};
+
+const JACOBI2D: Kernel = Kernel {
+    name: "jacobi2d",
+    description: "one out-of-place Jacobi 5-point sweep on a 16x16 grid",
+    mlir: r#"
+func.func @jacobi2d(%A: memref<16x16xf32>, %B: memref<16x16xf32>) attributes {hls.top} {
+  affine.for %i = 1 to 15 {
+    affine.for %j = 1 to 15 {
+      %c = affine.load %A[%i, %j] : memref<16x16xf32>
+      %l = affine.load %A[%i, %j - 1] : memref<16x16xf32>
+      %r = affine.load %A[%i, %j + 1] : memref<16x16xf32>
+      %u = affine.load %A[%i - 1, %j] : memref<16x16xf32>
+      %d = affine.load %A[%i + 1, %j] : memref<16x16xf32>
+      %s1 = arith.addf %c, %l : f32
+      %s2 = arith.addf %s1, %r : f32
+      %s3 = arith.addf %s2, %u : f32
+      %s4 = arith.addf %s3, %d : f32
+      %fifth = arith.constant 0.2 : f32
+      %avg = arith.mulf %s4, %fifth : f32
+      affine.store %avg, %B[%i, %j] : memref<16x16xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[input("A", N * N), output("B", N * N)],
+    reference: reference::jacobi2d,
+};
+
+const SEIDEL2D: Kernel = Kernel {
+    name: "seidel2d",
+    description: "one in-place Gauss-Seidel sweep (loop-carried dependences)",
+    mlir: r#"
+func.func @seidel2d(%A: memref<16x16xf32>) attributes {hls.top} {
+  affine.for %i = 1 to 15 {
+    affine.for %j = 1 to 15 {
+      %c = affine.load %A[%i, %j] : memref<16x16xf32>
+      %l = affine.load %A[%i, %j - 1] : memref<16x16xf32>
+      %r = affine.load %A[%i, %j + 1] : memref<16x16xf32>
+      %u = affine.load %A[%i - 1, %j] : memref<16x16xf32>
+      %d = affine.load %A[%i + 1, %j] : memref<16x16xf32>
+      %s1 = arith.addf %c, %l : f32
+      %s2 = arith.addf %s1, %r : f32
+      %s3 = arith.addf %s2, %u : f32
+      %s4 = arith.addf %s3, %d : f32
+      %fifth = arith.constant 0.2 : f32
+      %avg = arith.mulf %s4, %fifth : f32
+      affine.store %avg, %A[%i, %j] : memref<16x16xf32>
+    }
+  }
+  func.return
+}
+"#,
+    args: &[inout("A", N * N)],
+    reference: reference::seidel2d,
+};
+
+static ALL: &[Kernel] = &[
+    GEMM, BICG, ATAX, GESUMMV, MVT, TWO_MM, FIR, CONV2D, JACOBI2D, SEIDEL2D,
+];
+
+/// The full suite.
+pub fn all_kernels() -> &'static [Kernel] {
+    ALL
+}
+
+/// Lookup by name.
+pub fn kernel(name: &str) -> Option<&'static Kernel> {
+    ALL.iter().find(|k| k.name == name)
+}

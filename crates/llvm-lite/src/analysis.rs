@@ -1,0 +1,577 @@
+//! Function-level analyses: CFG utilities, dominator tree, natural loops
+//! and def-use chains.
+//!
+//! All analyses are computed on demand from a snapshot of the function; they
+//! do not auto-invalidate. Passes recompute after mutating — functions here
+//! are cheap (linear or near-linear) at the scale of HLS kernels.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::inst::InstData;
+use crate::module::{BlockId, Function, InstId};
+use crate::value::Value;
+
+/// Predecessor/successor maps plus a reverse-post-order of reachable blocks.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successors of each block (indexed by `BlockId as usize`).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse post order over reachable blocks, starting at the entry.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &b in &f.block_order {
+            if let Some(t) = f.terminator(b) {
+                for s in f.inst(t).successors() {
+                    succs[b as usize].push(s);
+                    preds[s as usize].push(b);
+                }
+            }
+        }
+        // Post-order DFS from the entry.
+        let mut rpo = Vec::new();
+        if !f.block_order.is_empty() {
+            let mut visited = vec![false; n];
+            let mut stack = vec![(f.entry(), 0usize)];
+            visited[f.entry() as usize] = true;
+            while let Some((b, i)) = stack.pop() {
+                if i < succs[b as usize].len() {
+                    stack.push((b, i + 1));
+                    let s = succs[b as usize][i];
+                    if !visited[s as usize] {
+                        visited[s as usize] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    rpo.push(b);
+                }
+            }
+            rpo.reverse();
+        }
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Blocks unreachable from the entry (in layout order).
+    pub fn unreachable_blocks(&self, f: &Function) -> Vec<BlockId> {
+        let reached: HashSet<BlockId> = self.rpo.iter().copied().collect();
+        f.block_order
+            .iter()
+            .copied()
+            .filter(|b| !reached.contains(b))
+            .collect()
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator of `b`; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Compute dominators over the given CFG.
+    pub fn build(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.blocks.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in cfg.rpo.iter().enumerate() {
+            rpo_index[b as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if cfg.rpo.is_empty() {
+            return DomTree { idom, rpo_index };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry as usize] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b as usize] {
+                    if idom[p as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, rpo_index }
+    }
+
+    /// Does `a` dominate `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The RPO index of a block (used as a topological key by schedulers).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b as usize]
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a as usize] > rpo_index[b as usize] {
+            a = idom[a as usize].expect("processed");
+        }
+        while rpo_index[b as usize] > rpo_index[a as usize] {
+            b = idom[b as usize].expect("processed");
+        }
+    }
+    a
+}
+
+/// One natural loop: header, latches, and the full body set.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Source blocks of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, header included.
+    pub body: Vec<BlockId>,
+    /// Header of the innermost enclosing loop, if any.
+    pub parent: Option<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Depth-1 test.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// The loop forest of a function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopInfo {
+    /// All natural loops, outermost-first within a nest.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopInfo {
+    /// Find back edges via the dominator tree and flood-fill loop bodies.
+    pub fn build(_f: &Function, cfg: &Cfg, dom: &DomTree) -> LoopInfo {
+        let mut headers: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in &cfg.rpo {
+            for &s in &cfg.succs[b as usize] {
+                if dom.dominates(s, b) {
+                    headers.entry(s).or_default().push(b);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        let mut hdrs: Vec<BlockId> = headers.keys().copied().collect();
+        hdrs.sort_unstable();
+        for header in hdrs {
+            let latches = headers[&header].clone();
+            let mut body: HashSet<BlockId> = HashSet::new();
+            body.insert(header);
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if body.insert(b) {
+                    for &p in &cfg.preds[b as usize] {
+                        work.push(p);
+                    }
+                } else if b != header {
+                    // already visited
+                }
+            }
+            let mut body: Vec<BlockId> = body.into_iter().collect();
+            body.sort_unstable();
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                body,
+                parent: None,
+            });
+        }
+        // Establish nesting: a loop's parent is the smallest other loop whose
+        // body strictly contains its header.
+        let snapshots: Vec<(BlockId, Vec<BlockId>)> = loops
+            .iter()
+            .map(|l| (l.header, l.body.clone()))
+            .collect();
+        for l in &mut loops {
+            let mut best: Option<(usize, BlockId)> = None;
+            for (h, body) in &snapshots {
+                if *h != l.header && body.contains(&l.header)
+                    && best.map(|(n, _)| body.len() < n).unwrap_or(true) {
+                        best = Some((body.len(), *h));
+                    }
+            }
+            l.parent = best.map(|(_, h)| h);
+        }
+        // Sort outermost-first (larger bodies first), stable within.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
+        LoopInfo { loops }
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+
+    /// The loop with the given header.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// Loops that have no child loop (innermost).
+    pub fn innermost_loops(&self) -> Vec<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| {
+                !self
+                    .loops
+                    .iter()
+                    .any(|other| other.parent == Some(l.header))
+            })
+            .collect()
+    }
+
+    /// Nesting depth of the loop with the given header (1 = top-level loop).
+    pub fn depth(&self, header: BlockId) -> usize {
+        let mut d = 0;
+        let mut cur = Some(header);
+        while let Some(h) = cur {
+            d += 1;
+            cur = self.loop_with_header(h).and_then(|l| l.parent);
+        }
+        d
+    }
+}
+
+/// Def-use chains: for each instruction, the set of instructions that
+/// consume its result.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    /// `users[i]` — instructions using `%i`'s result.
+    pub users: HashMap<InstId, Vec<InstId>>,
+    /// Users of each argument index.
+    pub arg_users: HashMap<u32, Vec<InstId>>,
+}
+
+impl DefUse {
+    /// Compute def-use over all live instructions.
+    pub fn build(f: &Function) -> DefUse {
+        let mut du = DefUse::default();
+        for (_, id) in f.inst_ids() {
+            for op in &f.inst(id).operands {
+                match op {
+                    Value::Inst(d) => du.users.entry(*d).or_default().push(id),
+                    Value::Arg(a) => du.arg_users.entry(*a).or_default().push(id),
+                    _ => {}
+                }
+            }
+        }
+        du
+    }
+
+    /// Number of uses of an instruction result.
+    pub fn num_uses(&self, id: InstId) -> usize {
+        self.users.get(&id).map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// Recognize a canonical counted loop (`for (i = C0; i <pred> C1; i += Cs)`)
+/// and return its trip count. Handles both header-compare and rotated
+/// (latch-compare on the incremented value) forms. Returns `None` when the
+/// loop is not recognizably counted.
+pub fn counted_loop_tripcount(f: &Function, l: &NaturalLoop) -> Option<u64> {
+    use crate::inst::{IntPred, Opcode};
+    let header = l.header;
+    for &phi_id in &f.block(header).insts {
+        let phi = f.inst(phi_id);
+        let InstData::Phi { incoming } = &phi.data else {
+            break;
+        };
+        let mut init: Option<i128> = None;
+        let mut step: Option<i128> = None;
+        for (v, b) in phi.operands.iter().zip(incoming) {
+            if l.body.contains(b) {
+                // Latch edge: must be add(phi, const) (either order).
+                let Value::Inst(add_id) = v else { continue };
+                let add = f.inst(*add_id);
+                if add.opcode != Opcode::Add {
+                    continue;
+                }
+                let (a, b2) = (&add.operands[0], &add.operands[1]);
+                if *a == Value::Inst(phi_id) {
+                    step = b2.int_value();
+                } else if *b2 == Value::Inst(phi_id) {
+                    step = a.int_value();
+                }
+            } else {
+                init = v.int_value();
+            }
+        }
+        let (Some(init), Some(step)) = (init, step) else {
+            continue;
+        };
+        if step <= 0 {
+            continue;
+        }
+        // Find the exit compare: icmp {slt,ult,sle,ule} (phi|next), const.
+        for (_, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            if inst.opcode != Opcode::ICmp {
+                continue;
+            }
+            let InstData::ICmp(pred) = inst.data else {
+                continue;
+            };
+            let lhs_is_iv = inst.operands[0] == Value::Inst(phi_id);
+            let lhs_is_next = match &inst.operands[0] {
+                Value::Inst(x) => {
+                    let xi = f.inst(*x);
+                    xi.opcode == Opcode::Add && xi.operands.contains(&Value::Inst(phi_id))
+                }
+                _ => false,
+            };
+            if !lhs_is_iv && !lhs_is_next {
+                continue;
+            }
+            let Some(bound) = inst.operands[1].int_value() else {
+                continue;
+            };
+            let first = if lhs_is_next { init + step } else { init };
+            let n = match pred {
+                IntPred::Slt | IntPred::Ult => (bound - first + step - 1).div_euclid(step),
+                IntPred::Sle | IntPred::Ule => (bound - first + step).div_euclid(step),
+                _ => continue,
+            };
+            if n < 0 {
+                return Some(0);
+            }
+            let total = n + i128::from(lhs_is_next);
+            return Some(total as u64);
+        }
+    }
+    None
+}
+
+/// The induction-variable PHI of a counted loop, if recognizable (the phi in
+/// the header with one constant incoming and one self-increment incoming).
+pub fn loop_induction_phi(f: &Function, l: &NaturalLoop) -> Option<InstId> {
+    use crate::inst::Opcode;
+    for &phi_id in &f.block(l.header).insts {
+        let phi = f.inst(phi_id);
+        let InstData::Phi { incoming } = &phi.data else {
+            break;
+        };
+        for (v, b) in phi.operands.iter().zip(incoming) {
+            if !l.body.contains(b) {
+                continue;
+            }
+            if let Value::Inst(add_id) = v {
+                let add = f.inst(*add_id);
+                if add.opcode == Opcode::Add && add.operands.contains(&Value::Inst(phi_id)) {
+                    return Some(phi_id);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Count PHI nodes whose incoming lists mention `pred -> block` edges that
+/// no longer exist — a cheap structural health check used in tests.
+pub fn stale_phi_edges(f: &Function, cfg: &Cfg) -> usize {
+    let mut stale = 0;
+    for &b in &f.block_order {
+        for &i in &f.blocks[b as usize].insts {
+            if let InstData::Phi { incoming } = &f.inst(i).data {
+                for inb in incoming {
+                    if !cfg.preds[b as usize].contains(inb) {
+                        stale += 1;
+                    }
+                }
+            }
+        }
+    }
+    stale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::inst::IntPred;
+    use crate::module::{Function, Param};
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Build a canonical double loop nest:
+    /// entry -> oh -> { ob -> ih -> { ib -> ih } -> olatch -> oh } -> exit
+    fn nest() -> Function {
+        let mut f = Function::new("nest", vec![Param::new("n", Type::I32)], Type::Void);
+        let entry = f.add_block("entry");
+        let oh = f.add_block("outer.header");
+        let ob = f.add_block("outer.body");
+        let ih = f.add_block("inner.header");
+        let ib = f.add_block("inner.body");
+        let ol = f.add_block("outer.latch");
+        let exit = f.add_block("exit");
+        let mut b = IrBuilder::new(&mut f, entry);
+        b.br(oh);
+        b.position_at(oh);
+        let i = b.phi(Type::I32);
+        b.phi_add_incoming(i, Value::i32(0), entry);
+        let c = b.icmp(IntPred::Slt, Value::Inst(i), Value::Arg(0));
+        b.cond_br(c, ob, exit);
+        b.position_at(ob);
+        b.br(ih);
+        b.position_at(ih);
+        let j = b.phi(Type::I32);
+        b.phi_add_incoming(j, Value::i32(0), ob);
+        let cj = b.icmp(IntPred::Slt, Value::Inst(j), Value::Arg(0));
+        b.cond_br(cj, ib, ol);
+        b.position_at(ib);
+        let jn = b.add(Type::I32, Value::Inst(j), Value::i32(1));
+        b.phi_add_incoming(j, jn, ib);
+        b.br(ih);
+        b.position_at(ol);
+        let in_ = b.add(Type::I32, Value::Inst(i), Value::i32(1));
+        b.phi_add_incoming(i, in_, ol);
+        b.br(oh);
+        b.position_at(exit);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn cfg_edges_and_rpo() {
+        let f = nest();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.rpo.len(), 7);
+        assert_eq!(cfg.rpo[0], f.entry());
+        let oh = f.block_by_name("outer.header").unwrap();
+        assert_eq!(cfg.preds[oh as usize].len(), 2);
+        assert!(cfg.unreachable_blocks(&f).is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_detection() {
+        let mut f = nest();
+        let dead = f.add_block("dead");
+        {
+            let mut b = IrBuilder::new(&mut f, dead);
+            b.ret(None);
+        }
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.unreachable_blocks(&f), vec![dead]);
+    }
+
+    #[test]
+    fn dominator_relations() {
+        let f = nest();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f, &cfg);
+        let e = f.entry();
+        let oh = f.block_by_name("outer.header").unwrap();
+        let ih = f.block_by_name("inner.header").unwrap();
+        let ib = f.block_by_name("inner.body").unwrap();
+        let exit = f.block_by_name("exit").unwrap();
+        assert!(dom.dominates(e, exit));
+        assert!(dom.dominates(oh, ih));
+        assert!(dom.dominates(ih, ib));
+        assert!(!dom.dominates(ib, ih));
+        assert!(dom.dominates(oh, oh));
+    }
+
+    #[test]
+    fn loop_forest_shape() {
+        let f = nest();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f, &cfg);
+        let li = LoopInfo::build(&f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 2);
+        let oh = f.block_by_name("outer.header").unwrap();
+        let ih = f.block_by_name("inner.header").unwrap();
+        let outer = li.loop_with_header(oh).unwrap();
+        let inner = li.loop_with_header(ih).unwrap();
+        assert!(outer.body.len() > inner.body.len());
+        assert_eq!(inner.parent, Some(oh));
+        assert_eq!(outer.parent, None);
+        assert_eq!(li.depth(ih), 2);
+        assert_eq!(li.depth(oh), 1);
+        let innermost = li.innermost_loops();
+        assert_eq!(innermost.len(), 1);
+        assert_eq!(innermost[0].header, ih);
+    }
+
+    #[test]
+    fn innermost_containing_picks_smallest() {
+        let f = nest();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f, &cfg);
+        let li = LoopInfo::build(&f, &cfg, &dom);
+        let ib = f.block_by_name("inner.body").unwrap();
+        let ol = f.block_by_name("outer.latch").unwrap();
+        let ih = f.block_by_name("inner.header").unwrap();
+        let oh = f.block_by_name("outer.header").unwrap();
+        assert_eq!(li.innermost_containing(ib).unwrap().header, ih);
+        assert_eq!(li.innermost_containing(ol).unwrap().header, oh);
+    }
+
+    #[test]
+    fn def_use_counts() {
+        let f = nest();
+        let du = DefUse::build(&f);
+        // Argument %n is compared twice.
+        assert_eq!(du.arg_users.get(&0).map(Vec::len), Some(2));
+        // The outer phi (first inst of outer.header) is used by icmp and add.
+        let oh = f.block_by_name("outer.header").unwrap();
+        let phi = f.blocks[oh as usize].insts[0];
+        assert_eq!(du.num_uses(phi), 2);
+    }
+
+    #[test]
+    fn stale_phi_detection() {
+        let mut f = nest();
+        let cfg = Cfg::build(&f);
+        assert_eq!(stale_phi_edges(&f, &cfg), 0);
+        // Break an edge: retarget entry's branch away from outer.header.
+        let exit = f.block_by_name("exit").unwrap();
+        let t = f.terminator(f.entry()).unwrap();
+        let oh = f.block_by_name("outer.header").unwrap();
+        f.inst_mut(t).replace_successor(oh, exit);
+        let cfg = Cfg::build(&f);
+        assert!(stale_phi_edges(&f, &cfg) > 0);
+    }
+}

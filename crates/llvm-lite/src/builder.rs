@@ -1,0 +1,305 @@
+//! Positioned IR construction, in the style of `llvm::IRBuilder`.
+//!
+//! The builder borrows the function mutably and tracks an insertion block;
+//! every `build_*` method appends there and returns the produced [`Value`].
+
+use crate::inst::{FloatPred, Inst, InstData, IntPred, Opcode};
+use crate::module::{BlockId, Function, InstId};
+use crate::types::Type;
+use crate::value::Value;
+
+/// A positioned instruction builder over one function.
+pub struct IrBuilder<'f> {
+    func: &'f mut Function,
+    block: BlockId,
+}
+
+impl<'f> IrBuilder<'f> {
+    /// Build into `block` of `func`.
+    pub fn new(func: &'f mut Function, block: BlockId) -> IrBuilder<'f> {
+        IrBuilder { func, block }
+    }
+
+    /// Current insertion block.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Move the insertion point to another block.
+    pub fn position_at(&mut self, block: BlockId) {
+        self.block = block;
+    }
+
+    /// Create a new block (does not move the insertion point).
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Access the underlying function.
+    pub fn func(&mut self) -> &mut Function {
+        self.func
+    }
+
+    fn push(&mut self, inst: Inst) -> InstId {
+        self.func.push_inst(self.block, inst)
+    }
+
+    fn push_value(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.push(inst))
+    }
+
+    /// Integer/float binary operation with an explicit result type.
+    pub fn binop(&mut self, op: Opcode, ty: Type, lhs: Value, rhs: Value) -> Value {
+        debug_assert!(op.is_int_binop() || op.is_float_binop());
+        self.push_value(Inst::new(op, ty, vec![lhs, rhs]))
+    }
+
+    /// `add` with type inferred from the left operand when constant-typed.
+    pub fn add(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.binop(Opcode::Add, ty, lhs, rhs)
+    }
+
+    /// `sub`.
+    pub fn sub(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.binop(Opcode::Sub, ty, lhs, rhs)
+    }
+
+    /// `mul`.
+    pub fn mul(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.binop(Opcode::Mul, ty, lhs, rhs)
+    }
+
+    /// `fadd`.
+    pub fn fadd(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.binop(Opcode::FAdd, ty, lhs, rhs)
+    }
+
+    /// `fmul`.
+    pub fn fmul(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.binop(Opcode::FMul, ty, lhs, rhs)
+    }
+
+    /// `icmp <pred>`.
+    pub fn icmp(&mut self, pred: IntPred, lhs: Value, rhs: Value) -> Value {
+        self.push_value(
+            Inst::new(Opcode::ICmp, Type::I1, vec![lhs, rhs]).with_data(InstData::ICmp(pred)),
+        )
+    }
+
+    /// `fcmp <pred>`.
+    pub fn fcmp(&mut self, pred: FloatPred, lhs: Value, rhs: Value) -> Value {
+        self.push_value(
+            Inst::new(Opcode::FCmp, Type::I1, vec![lhs, rhs]).with_data(InstData::FCmp(pred)),
+        )
+    }
+
+    /// `alloca <ty>` in the current block.
+    pub fn alloca(&mut self, ty: Type, name: impl Into<String>) -> Value {
+        self.push_value(
+            Inst::new(Opcode::Alloca, ty.ptr_to(), vec![])
+                .with_data(InstData::Alloca {
+                    allocated: ty.clone(),
+                    align: ty.align_in_bytes() as u32,
+                })
+                .with_name(name),
+        )
+    }
+
+    /// `load <ty>` from a pointer.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        let align = ty.align_in_bytes() as u32;
+        self.push_value(
+            Inst::new(Opcode::Load, ty, vec![ptr]).with_data(InstData::Load { align }),
+        )
+    }
+
+    /// `store` a value through a pointer.
+    pub fn store(&mut self, value: Value, ptr: Value, align: u32) {
+        self.push(
+            Inst::new(Opcode::Store, Type::Void, vec![value, ptr])
+                .with_data(InstData::Store { align }),
+        );
+    }
+
+    /// `getelementptr inbounds <base_ty>, ptr, indices...`. The result type
+    /// is computed by stepping through the indexed type.
+    pub fn gep(&mut self, base_ty: Type, ptr: Value, indices: Vec<Value>) -> Value {
+        let result_ty = gep_result_type(&base_ty, indices.len());
+        let mut ops = vec![ptr];
+        ops.extend(indices);
+        self.push_value(Inst::new(Opcode::Gep, result_ty, ops).with_data(InstData::Gep {
+            base_ty,
+            inbounds: true,
+        }))
+    }
+
+    /// `call @callee(args...) -> ret_ty`.
+    pub fn call(&mut self, callee: impl Into<String>, ret_ty: Type, args: Vec<Value>) -> Value {
+        let id = self.push(Inst::new(Opcode::Call, ret_ty.clone(), args).with_data(
+            InstData::Call {
+                callee: callee.into(),
+            },
+        ));
+        if ret_ty == Type::Void {
+            // Void calls still need a handle occasionally; return an undef
+            // of void-pointer kind would be wrong, so return Undef(Void)
+            // which nothing should consume.
+            Value::Undef(Type::Void)
+        } else {
+            Value::Inst(id)
+        }
+    }
+
+    /// `select i1 %c, T %a, T %b`.
+    pub fn select(&mut self, cond: Value, ty: Type, on_true: Value, on_false: Value) -> Value {
+        self.push_value(Inst::new(Opcode::Select, ty, vec![cond, on_true, on_false]))
+    }
+
+    /// An empty `phi` of type `ty`; fill incoming edges via
+    /// [`IrBuilder::phi_add_incoming`] / function-level edits.
+    pub fn phi(&mut self, ty: Type) -> InstId {
+        self.push(Inst::new(Opcode::Phi, ty, vec![]).with_data(InstData::Phi {
+            incoming: Vec::new(),
+        }))
+    }
+
+    /// Add an incoming `(value, block)` edge to a phi created by
+    /// [`IrBuilder::phi`].
+    pub fn phi_add_incoming(&mut self, phi: InstId, value: Value, block: BlockId) {
+        let inst = self.func.inst_mut(phi);
+        inst.operands.push(value);
+        match &mut inst.data {
+            InstData::Phi { incoming } => incoming.push(block),
+            _ => panic!("phi_add_incoming on non-phi"),
+        }
+    }
+
+    /// Cast helper covering all cast opcodes.
+    pub fn cast(&mut self, op: Opcode, value: Value, to: Type) -> Value {
+        debug_assert!(op.is_cast());
+        self.push_value(Inst::new(op, to, vec![value]))
+    }
+
+    /// `sext` to `to`.
+    pub fn sext(&mut self, value: Value, to: Type) -> Value {
+        self.cast(Opcode::SExt, value, to)
+    }
+
+    /// Unconditional branch terminator.
+    pub fn br(&mut self, dest: BlockId) -> InstId {
+        self.push(Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest }))
+    }
+
+    /// Conditional branch terminator.
+    pub fn cond_br(&mut self, cond: Value, on_true: BlockId, on_false: BlockId) -> InstId {
+        self.push(
+            Inst::new(Opcode::CondBr, Type::Void, vec![cond])
+                .with_data(InstData::CondBr { on_true, on_false }),
+        )
+    }
+
+    /// `ret void` or `ret <ty> %v`.
+    pub fn ret(&mut self, value: Option<Value>) -> InstId {
+        let ops = value.into_iter().collect();
+        self.push(Inst::new(Opcode::Ret, Type::Void, ops))
+    }
+}
+
+/// The pointer type produced by a GEP with `n_indices` indices over
+/// `base_ty` (first index steps the pointer, the rest step into arrays).
+pub fn gep_result_type(base_ty: &Type, n_indices: usize) -> Type {
+    let mut t = base_ty.clone();
+    for _ in 1..n_indices {
+        t = match t {
+            Type::Array(_, e) => (*e).clone(),
+            other => other,
+        };
+    }
+    t.ptr_to()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Param;
+
+    #[test]
+    fn builds_arith_and_ret() {
+        let mut f = Function::new("f", vec![Param::new("x", Type::I32)], Type::I32);
+        let entry = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, entry);
+        let t = b.add(Type::I32, Value::Arg(0), Value::i32(4));
+        let t2 = b.mul(Type::I32, t.clone(), t);
+        b.ret(Some(t2));
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(f.inst(2).opcode, Opcode::Ret);
+    }
+
+    #[test]
+    fn gep_result_type_steps_arrays() {
+        let ty = Type::Float.array_of(8).array_of(4); // [4 x [8 x float]]
+        assert_eq!(gep_result_type(&ty, 1), ty.ptr_to());
+        assert_eq!(
+            gep_result_type(&ty, 2),
+            Type::Float.array_of(8).ptr_to()
+        );
+        assert_eq!(gep_result_type(&ty, 3), Type::Float.ptr_to());
+    }
+
+    #[test]
+    fn alloca_load_store_round() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let entry = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, entry);
+        let slot = b.alloca(Type::Float, "buf");
+        b.store(Value::f32(2.0), slot.clone(), 4);
+        let v = b.load(Type::Float, slot);
+        assert_eq!(f.value_type(&crate::Module::new("m"), &v), Type::Float);
+        assert_eq!(f.count_opcode(Opcode::Alloca), 1);
+        assert_eq!(f.count_opcode(Opcode::Store), 1);
+    }
+
+    #[test]
+    fn phi_incoming_edges() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let a = f.add_block("a");
+        let c = f.add_block("c");
+        let mut b = IrBuilder::new(&mut f, c);
+        let phi = b.phi(Type::I32);
+        b.phi_add_incoming(phi, Value::i32(1), a);
+        b.phi_add_incoming(phi, Value::i32(2), c);
+        let inst = f.inst(phi);
+        assert_eq!(inst.operands.len(), 2);
+        match &inst.data {
+            InstData::Phi { incoming } => assert_eq!(incoming, &vec![a, c]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn void_call_returns_unusable_handle() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let entry = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, entry);
+        let v = b.call("ext", Type::Void, vec![]);
+        assert_eq!(v, Value::Undef(Type::Void));
+        let v2 = b.call("ext2", Type::I32, vec![]);
+        assert!(matches!(v2, Value::Inst(_)));
+    }
+
+    #[test]
+    fn terminators() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let a = f.add_block("a");
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        let mut b = IrBuilder::new(&mut f, a);
+        let c = b.icmp(IntPred::Slt, Value::i32(1), Value::i32(2));
+        b.cond_br(c, t, e);
+        b.position_at(t);
+        b.br(e);
+        b.position_at(e);
+        b.ret(None);
+        assert_eq!(f.terminator(a).map(|i| f.inst(i).successors()), Some(vec![t, e]));
+    }
+}

@@ -1,0 +1,469 @@
+//! Instructions.
+//!
+//! An [`Inst`] is an opcode plus an operand list plus opcode-specific payload
+//! ([`InstData`]). Control-flow successors live in the payload (not in the
+//! operand list) so that rewriting passes can treat "all value operands"
+//! uniformly.
+
+use crate::metadata::MdId;
+use crate::module::BlockId;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Instruction opcodes — the Vitis-relevant subset of LLVM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // Integer binary ops.
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    // Floating binary / unary ops.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FRem,
+    FNeg,
+    // Comparisons.
+    ICmp,
+    FCmp,
+    // Memory.
+    Load,
+    Store,
+    Gep,
+    Alloca,
+    // Misc.
+    Call,
+    Select,
+    Phi,
+    // Casts.
+    ZExt,
+    SExt,
+    Trunc,
+    FPExt,
+    FPTrunc,
+    FPToSI,
+    SIToFP,
+    PtrToInt,
+    IntToPtr,
+    BitCast,
+    // Terminators.
+    Br,
+    CondBr,
+    Ret,
+    Unreachable,
+}
+
+impl Opcode {
+    /// True if this opcode ends a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Br | Opcode::CondBr | Opcode::Ret | Opcode::Unreachable
+        )
+    }
+
+    /// True for the two-operand integer arithmetic/logic group.
+    pub fn is_int_binop(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::SDiv
+                | Opcode::UDiv
+                | Opcode::SRem
+                | Opcode::URem
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::LShr
+                | Opcode::AShr
+        )
+    }
+
+    /// True for the two-operand floating group (`fneg` excluded).
+    pub fn is_float_binop(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FRem
+        )
+    }
+
+    /// True for every cast opcode.
+    pub fn is_cast(self) -> bool {
+        matches!(
+            self,
+            Opcode::ZExt
+                | Opcode::SExt
+                | Opcode::Trunc
+                | Opcode::FPExt
+                | Opcode::FPTrunc
+                | Opcode::FPToSI
+                | Opcode::SIToFP
+                | Opcode::PtrToInt
+                | Opcode::IntToPtr
+                | Opcode::BitCast
+        )
+    }
+
+    /// Whether the instruction may read or write memory or have other side
+    /// effects; such instructions are never dead-code-eliminated.
+    pub fn has_side_effects(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::Call) || self.is_terminator()
+    }
+
+    /// The textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::SDiv => "sdiv",
+            Opcode::UDiv => "udiv",
+            Opcode::SRem => "srem",
+            Opcode::URem => "urem",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::LShr => "lshr",
+            Opcode::AShr => "ashr",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FRem => "frem",
+            Opcode::FNeg => "fneg",
+            Opcode::ICmp => "icmp",
+            Opcode::FCmp => "fcmp",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Gep => "getelementptr",
+            Opcode::Alloca => "alloca",
+            Opcode::Call => "call",
+            Opcode::Select => "select",
+            Opcode::Phi => "phi",
+            Opcode::ZExt => "zext",
+            Opcode::SExt => "sext",
+            Opcode::Trunc => "trunc",
+            Opcode::FPExt => "fpext",
+            Opcode::FPTrunc => "fptrunc",
+            Opcode::FPToSI => "fptosi",
+            Opcode::SIToFP => "sitofp",
+            Opcode::PtrToInt => "ptrtoint",
+            Opcode::IntToPtr => "inttoptr",
+            Opcode::BitCast => "bitcast",
+            Opcode::Br => "br",
+            Opcode::CondBr => "br",
+            Opcode::Ret => "ret",
+            Opcode::Unreachable => "unreachable",
+        }
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+impl IntPred {
+    /// Textual predicate keyword.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntPred::Eq => "eq",
+            IntPred::Ne => "ne",
+            IntPred::Slt => "slt",
+            IntPred::Sle => "sle",
+            IntPred::Sgt => "sgt",
+            IntPred::Sge => "sge",
+            IntPred::Ult => "ult",
+            IntPred::Ule => "ule",
+            IntPred::Ugt => "ugt",
+            IntPred::Uge => "uge",
+        }
+    }
+
+    /// Parse a predicate keyword.
+    pub fn from_mnemonic(s: &str) -> Option<IntPred> {
+        Some(match s {
+            "eq" => IntPred::Eq,
+            "ne" => IntPred::Ne,
+            "slt" => IntPred::Slt,
+            "sle" => IntPred::Sle,
+            "sgt" => IntPred::Sgt,
+            "sge" => IntPred::Sge,
+            "ult" => IntPred::Ult,
+            "ule" => IntPred::Ule,
+            "ugt" => IntPred::Ugt,
+            "uge" => IntPred::Uge,
+            _ => return None,
+        })
+    }
+}
+
+/// Floating comparison predicates (ordered subset plus `une`, which clang
+/// emits for `!=`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FloatPred {
+    Oeq,
+    One,
+    Olt,
+    Ole,
+    Ogt,
+    Oge,
+    Une,
+    Ord,
+    Uno,
+}
+
+impl FloatPred {
+    /// Textual predicate keyword.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatPred::Oeq => "oeq",
+            FloatPred::One => "one",
+            FloatPred::Olt => "olt",
+            FloatPred::Ole => "ole",
+            FloatPred::Ogt => "ogt",
+            FloatPred::Oge => "oge",
+            FloatPred::Une => "une",
+            FloatPred::Ord => "ord",
+            FloatPred::Uno => "uno",
+        }
+    }
+
+    /// Parse a predicate keyword.
+    pub fn from_mnemonic(s: &str) -> Option<FloatPred> {
+        Some(match s {
+            "oeq" => FloatPred::Oeq,
+            "one" => FloatPred::One,
+            "olt" => FloatPred::Olt,
+            "ole" => FloatPred::Ole,
+            "ogt" => FloatPred::Ogt,
+            "oge" => FloatPred::Oge,
+            "une" => FloatPred::Une,
+            "ord" => FloatPred::Ord,
+            "uno" => FloatPred::Uno,
+            _ => return None,
+        })
+    }
+}
+
+/// Opcode-specific payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstData {
+    /// No extra payload.
+    None,
+    /// `icmp <pred>`.
+    ICmp(IntPred),
+    /// `fcmp <pred>`.
+    FCmp(FloatPred),
+    /// `alloca <allocated>, align <align>`; `count` is a static element
+    /// count for array allocas expressed via the allocated type in text.
+    Alloca { allocated: Type, align: u32 },
+    /// `getelementptr [inbounds] <base_ty>, <base_ty>* %p, idx...`.
+    Gep { base_ty: Type, inbounds: bool },
+    /// `load <ty>, <ty>* %p, align <align>`.
+    Load { align: u32 },
+    /// `store <ty> %v, <ty>* %p, align <align>`.
+    Store { align: u32 },
+    /// `call <ret> @callee(args...)`.
+    Call { callee: String },
+    /// `phi <ty> [v0, %bb0], [v1, %bb1]` — blocks parallel to operands.
+    Phi { incoming: Vec<BlockId> },
+    /// `br label %dest`.
+    Br { dest: BlockId },
+    /// `br i1 %c, label %t, label %f`.
+    CondBr { on_true: BlockId, on_false: BlockId },
+}
+
+/// One instruction. Result type is [`Type::Void`] for instructions that
+/// produce no value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// What the instruction does.
+    pub opcode: Opcode,
+    /// The type of the produced value (or `void`).
+    pub ty: Type,
+    /// Value operands, in textual order. Successor blocks are *not* here —
+    /// see [`InstData`].
+    pub operands: Vec<Value>,
+    /// Result name hint used by the printer (empty = auto-number).
+    pub name: String,
+    /// Opcode-specific payload.
+    pub data: InstData,
+    /// `!llvm.loop` attachment — only meaningful on branch terminators; this
+    /// is how HLS pipelining/unrolling directives ride on the IR.
+    pub loop_md: Option<MdId>,
+}
+
+impl Inst {
+    /// Create an instruction with no payload or metadata.
+    pub fn new(opcode: Opcode, ty: Type, operands: Vec<Value>) -> Inst {
+        Inst {
+            opcode,
+            ty,
+            operands,
+            name: String::new(),
+            data: InstData::None,
+            loop_md: None,
+        }
+    }
+
+    /// Builder-style payload attachment.
+    pub fn with_data(mut self, data: InstData) -> Inst {
+        self.data = data;
+        self
+    }
+
+    /// Builder-style result-name attachment.
+    pub fn with_name(mut self, name: impl Into<String>) -> Inst {
+        self.name = name.into();
+        self
+    }
+
+    /// True if this instruction produces an SSA value.
+    pub fn has_result(&self) -> bool {
+        self.ty != Type::Void
+    }
+
+    /// True if this instruction terminates a block.
+    pub fn is_terminator(&self) -> bool {
+        self.opcode.is_terminator()
+    }
+
+    /// Successor blocks of a terminator (empty for `ret`/`unreachable`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match &self.data {
+            InstData::Br { dest } => vec![*dest],
+            InstData::CondBr { on_true, on_false } => vec![*on_true, *on_false],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Replace a successor block id (used by CFG rewrites). Returns how many
+    /// edges were redirected.
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) -> usize {
+        let mut n = 0;
+        match &mut self.data {
+            InstData::Br { dest }
+                if *dest == from => {
+                    *dest = to;
+                    n += 1;
+                }
+            InstData::CondBr { on_true, on_false } => {
+                if *on_true == from {
+                    *on_true = to;
+                    n += 1;
+                }
+                if *on_false == from {
+                    *on_false = to;
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+        assert!(Opcode::Mul.is_int_binop());
+        assert!(Opcode::FMul.is_float_binop());
+        assert!(!Opcode::FNeg.is_float_binop());
+        assert!(Opcode::SExt.is_cast());
+        assert!(Opcode::Store.has_side_effects());
+        assert!(!Opcode::Load.has_side_effects());
+    }
+
+    #[test]
+    fn predicate_round_trip() {
+        for p in [
+            IntPred::Eq,
+            IntPred::Ne,
+            IntPred::Slt,
+            IntPred::Sle,
+            IntPred::Sgt,
+            IntPred::Sge,
+            IntPred::Ult,
+            IntPred::Ule,
+            IntPred::Ugt,
+            IntPred::Uge,
+        ] {
+            assert_eq!(IntPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for p in [
+            FloatPred::Oeq,
+            FloatPred::One,
+            FloatPred::Olt,
+            FloatPred::Ole,
+            FloatPred::Ogt,
+            FloatPred::Oge,
+            FloatPred::Une,
+            FloatPred::Ord,
+            FloatPred::Uno,
+        ] {
+            assert_eq!(FloatPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        assert_eq!(IntPred::from_mnemonic("bogus"), None);
+        assert_eq!(FloatPred::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn successors_and_replacement() {
+        let mut br = Inst::new(Opcode::CondBr, Type::Void, vec![Value::bool(true)])
+            .with_data(InstData::CondBr {
+                on_true: 1,
+                on_false: 2,
+            });
+        assert_eq!(br.successors(), vec![1, 2]);
+        assert_eq!(br.replace_successor(2, 5), 1);
+        assert_eq!(br.successors(), vec![1, 5]);
+        assert_eq!(br.replace_successor(9, 0), 0);
+
+        let ret = Inst::new(Opcode::Ret, Type::Void, vec![]);
+        assert!(ret.successors().is_empty());
+    }
+
+    #[test]
+    fn has_result_follows_type() {
+        let add = Inst::new(
+            Opcode::Add,
+            Type::I32,
+            vec![Value::i32(1), Value::i32(2)],
+        );
+        assert!(add.has_result());
+        let st = Inst::new(Opcode::Store, Type::Void, vec![]);
+        assert!(!st.has_result());
+    }
+}

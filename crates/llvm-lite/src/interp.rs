@@ -1,0 +1,902 @@
+//! Reference interpreter.
+//!
+//! Executes IR with a byte-addressed, bounds-checked memory model. Used to
+//! co-simulate the adaptor flow against the HLS-C++ flow and against native
+//! Rust reference kernels — the IR-level equivalent of Vitis' C/RTL
+//! co-simulation step.
+//!
+//! Pointers are encoded as `((buffer_id + 1) << 32) | offset`, so null is 0
+//! and every dereference can be checked against its owning buffer.
+
+use std::collections::HashMap;
+
+use crate::inst::{FloatPred, InstData, IntPred, Opcode};
+use crate::module::{BlockId, Function, GlobalInit, Module};
+use crate::types::Type;
+use crate::value::Value;
+use crate::{Error, Result};
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RtVal {
+    /// Any integer (stored sign-extended).
+    I(i128),
+    /// Any float.
+    F(f64),
+    /// An encoded pointer.
+    P(u64),
+    /// The unit value of `void` calls.
+    Unit,
+}
+
+impl RtVal {
+    fn as_i(self) -> Result<i128> {
+        match self {
+            RtVal::I(v) => Ok(v),
+            other => Err(Error::Interp(format!("expected integer, got {other:?}"))),
+        }
+    }
+    fn as_f(self) -> Result<f64> {
+        match self {
+            RtVal::F(v) => Ok(v),
+            other => Err(Error::Interp(format!("expected float, got {other:?}"))),
+        }
+    }
+    fn as_p(self) -> Result<u64> {
+        match self {
+            RtVal::P(v) => Ok(v),
+            other => Err(Error::Interp(format!("expected pointer, got {other:?}"))),
+        }
+    }
+}
+
+/// The interpreter's heap: a set of independent, bounds-checked buffers.
+#[derive(Default)]
+pub struct Memory {
+    buffers: Vec<Vec<u8>>,
+}
+
+impl Memory {
+    /// Allocate `size` zeroed bytes; returns the base pointer.
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        self.buffers.push(vec![0u8; size as usize]);
+        (self.buffers.len() as u64) << 32
+    }
+
+    fn slice_mut(&mut self, ptr: u64, len: u64) -> Result<&mut [u8]> {
+        let id = (ptr >> 32) as usize;
+        let off = (ptr & 0xFFFF_FFFF) as usize;
+        if id == 0 {
+            return Err(Error::Interp("null pointer dereference".into()));
+        }
+        let buf = self
+            .buffers
+            .get_mut(id - 1)
+            .ok_or_else(|| Error::Interp(format!("wild pointer {ptr:#x}")))?;
+        let end = off
+            .checked_add(len as usize)
+            .ok_or_else(|| Error::Interp("pointer overflow".into()))?;
+        if end > buf.len() {
+            return Err(Error::Interp(format!(
+                "out-of-bounds access at offset {off}+{len} in buffer of {} bytes",
+                buf.len()
+            )));
+        }
+        Ok(&mut buf[off..end])
+    }
+
+    fn slice(&self, ptr: u64, len: u64) -> Result<&[u8]> {
+        let id = (ptr >> 32) as usize;
+        let off = (ptr & 0xFFFF_FFFF) as usize;
+        if id == 0 {
+            return Err(Error::Interp("null pointer dereference".into()));
+        }
+        let buf = self
+            .buffers
+            .get(id - 1)
+            .ok_or_else(|| Error::Interp(format!("wild pointer {ptr:#x}")))?;
+        let end = off + len as usize;
+        if end > buf.len() {
+            return Err(Error::Interp(format!(
+                "out-of-bounds access at offset {off}+{len} in buffer of {} bytes",
+                buf.len()
+            )));
+        }
+        Ok(&buf[off..end])
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, ptr: u64, ty: &Type, v: RtVal) -> Result<()> {
+        let size = ty.size_in_bytes();
+        match ty {
+            Type::Int(w) => {
+                let raw = v.as_i()? as u128;
+                let bytes = raw.to_le_bytes();
+                let n = ((*w).div_ceil(8) as usize).max(1);
+                self.slice_mut(ptr, size)?.copy_from_slice(&bytes[..n]);
+            }
+            Type::Float => {
+                let bits = (v.as_f()? as f32).to_bits();
+                self.slice_mut(ptr, 4)?.copy_from_slice(&bits.to_le_bytes());
+            }
+            Type::Double => {
+                let bits = v.as_f()?.to_bits();
+                self.slice_mut(ptr, 8)?.copy_from_slice(&bits.to_le_bytes());
+            }
+            Type::Ptr(_) => {
+                let raw = v.as_p()?;
+                self.slice_mut(ptr, 8)?.copy_from_slice(&raw.to_le_bytes());
+            }
+            other => return Err(Error::Interp(format!("cannot store type {other}"))),
+        }
+        Ok(())
+    }
+
+    /// Typed load.
+    pub fn load(&self, ptr: u64, ty: &Type) -> Result<RtVal> {
+        Ok(match ty {
+            Type::Int(w) => {
+                let n = ((*w).div_ceil(8) as usize).max(1);
+                let bytes = self.slice(ptr, n as u64)?;
+                let mut raw = [0u8; 16];
+                raw[..n].copy_from_slice(bytes);
+                let mut v = u128::from_le_bytes(raw) as i128;
+                // Sign extend from width w.
+                if *w < 128 {
+                    let shift = 128 - *w;
+                    v = (v << shift) >> shift;
+                }
+                RtVal::I(v)
+            }
+            Type::Float => {
+                let bytes = self.slice(ptr, 4)?;
+                RtVal::F(f32::from_le_bytes(bytes.try_into().unwrap()) as f64)
+            }
+            Type::Double => {
+                let bytes = self.slice(ptr, 8)?;
+                RtVal::F(f64::from_le_bytes(bytes.try_into().unwrap()))
+            }
+            Type::Ptr(_) => {
+                let bytes = self.slice(ptr, 8)?;
+                RtVal::P(u64::from_le_bytes(bytes.try_into().unwrap()))
+            }
+            other => return Err(Error::Interp(format!("cannot load type {other}"))),
+        })
+    }
+
+    /// Write an `f32` slice into a fresh buffer; returns its pointer.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> u64 {
+        let p = self.alloc(4 * data.len() as u64);
+        for (i, v) in data.iter().enumerate() {
+            self.store(p + 4 * i as u64, &Type::Float, RtVal::F(*v as f64))
+                .expect("in-bounds");
+        }
+        p
+    }
+
+    /// Read `n` `f32`s starting at `ptr`.
+    pub fn read_f32(&self, ptr: u64, n: usize) -> Result<Vec<f32>> {
+        (0..n)
+            .map(|i| Ok(self.load(ptr + 4 * i as u64, &Type::Float)?.as_f()? as f32))
+            .collect()
+    }
+
+    /// Write an `i32` slice into a fresh buffer.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> u64 {
+        let p = self.alloc(4 * data.len() as u64);
+        for (i, v) in data.iter().enumerate() {
+            self.store(p + 4 * i as u64, &Type::I32, RtVal::I(*v as i128))
+                .expect("in-bounds");
+        }
+        p
+    }
+
+    /// Read `n` `i32`s starting at `ptr`.
+    pub fn read_i32(&self, ptr: u64, n: usize) -> Result<Vec<i32>> {
+        (0..n)
+            .map(|i| Ok(self.load(ptr + 4 * i as u64, &Type::I32)?.as_i()? as i32))
+            .collect()
+    }
+}
+
+/// Execution statistics — doubles as a crude dynamic profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Function calls made (including intrinsics).
+    pub calls: u64,
+}
+
+/// The interpreter: owns memory and global bindings for one module.
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    /// Heap.
+    pub mem: Memory,
+    globals: HashMap<String, u64>,
+    /// Instruction budget; a trap fires when exceeded (guards non-
+    /// terminating kernels in tests).
+    pub step_limit: u64,
+    /// Counters.
+    pub stats: InterpStats,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Create an interpreter and materialize the module's globals.
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        let mut mem = Memory::default();
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            let p = mem.alloc(g.ty.size_in_bytes());
+            if let Some(init) = &g.init {
+                write_init(&mut mem, p, &g.ty, init);
+            }
+            globals.insert(g.name.clone(), p);
+        }
+        Interpreter {
+            module,
+            mem,
+            globals,
+            step_limit: 500_000_000,
+            stats: InterpStats::default(),
+        }
+    }
+
+    /// Call a function by name.
+    pub fn call(&mut self, name: &str, args: &[RtVal]) -> Result<RtVal> {
+        self.stats.calls += 1;
+        if let Some(v) = self.try_intrinsic(name, args)? {
+            return Ok(v);
+        }
+        let f = self
+            .module
+            .function(name)
+            .ok_or_else(|| Error::Interp(format!("unknown function @{name}")))?;
+        if f.is_declaration {
+            return Err(Error::Interp(format!(
+                "call to body-less declaration @{name}"
+            )));
+        }
+        if args.len() != f.params.len() {
+            return Err(Error::Interp(format!(
+                "@{name} called with {} args, expects {}",
+                args.len(),
+                f.params.len()
+            )));
+        }
+        self.run_function(f, args)
+    }
+
+    fn try_intrinsic(&mut self, name: &str, args: &[RtVal]) -> Result<Option<RtVal>> {
+        let v = match name {
+            "llvm.sqrt.f32" | "llvm.sqrt.f64" | "sqrtf" | "sqrt" => {
+                RtVal::F(args[0].as_f()?.sqrt())
+            }
+            "llvm.fabs.f32" | "llvm.fabs.f64" | "fabsf" | "fabs" => {
+                RtVal::F(args[0].as_f()?.abs())
+            }
+            "llvm.exp.f32" | "llvm.exp.f64" | "expf" | "exp" => RtVal::F(args[0].as_f()?.exp()),
+            "llvm.smax.i32" | "llvm.smax.i64" => RtVal::I(args[0].as_i()?.max(args[1].as_i()?)),
+            "llvm.smin.i32" | "llvm.smin.i64" => RtVal::I(args[0].as_i()?.min(args[1].as_i()?)),
+            "llvm.maxnum.f32" | "llvm.maxnum.f64" | "fmaxf" => {
+                RtVal::F(args[0].as_f()?.max(args[1].as_f()?))
+            }
+            "llvm.minnum.f32" | "llvm.minnum.f64" | "fminf" => {
+                RtVal::F(args[0].as_f()?.min(args[1].as_f()?))
+            }
+            "llvm.assume" => RtVal::Unit,
+            n if n.starts_with("llvm.lifetime.") => RtVal::Unit,
+            n if n.starts_with("llvm.memcpy.") => {
+                let dst = args[0].as_p()?;
+                let src = args[1].as_p()?;
+                let len = args[2].as_i()? as u64;
+                let data = self.mem.slice(src, len)?.to_vec();
+                self.mem.slice_mut(dst, len)?.copy_from_slice(&data);
+                RtVal::Unit
+            }
+            n if n.starts_with("llvm.memset.") => {
+                let dst = args[0].as_p()?;
+                let byte = args[1].as_i()? as u8;
+                let len = args[2].as_i()? as u64;
+                self.mem.slice_mut(dst, len)?.fill(byte);
+                RtVal::Unit
+            }
+            "malloc" => {
+                let size = args[0].as_i()? as u64;
+                RtVal::P(self.mem.alloc(size))
+            }
+            "free" => RtVal::Unit,
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+
+    fn eval(&self, f: &Function, env: &HashMap<u32, RtVal>, v: &Value) -> Result<RtVal> {
+        Ok(match v {
+            Value::Arg(i) => env[&(u32::MAX - *i)],
+            Value::Inst(id) => *env
+                .get(id)
+                .ok_or_else(|| Error::Interp(format!("read of unset %{id} in @{}", f.name)))?,
+            Value::ConstInt { value, .. } => RtVal::I(*value),
+            Value::ConstFloat { bits, .. } => RtVal::F(f64::from_bits(*bits)),
+            Value::Global(name) => RtVal::P(
+                *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| Error::Interp(format!("unknown global @{name}")))?,
+            ),
+            Value::NullPtr(_) => RtVal::P(0),
+            Value::Undef(ty) => match ty {
+                Type::Float | Type::Double => RtVal::F(0.0),
+                Type::Ptr(_) => RtVal::P(0),
+                _ => RtVal::I(0),
+            },
+        })
+    }
+
+    fn run_function(&mut self, f: &Function, args: &[RtVal]) -> Result<RtVal> {
+        // Args live in the same env map keyed from the top of the id space.
+        let mut env: HashMap<u32, RtVal> = HashMap::new();
+        for (i, a) in args.iter().enumerate() {
+            env.insert(u32::MAX - i as u32, *a);
+        }
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+        loop {
+            // Parallel phi evaluation at block entry.
+            if let Some(p) = prev {
+                let mut phi_vals: Vec<(u32, RtVal)> = Vec::new();
+                for &id in &f.blocks[block as usize].insts {
+                    let inst = f.inst(id);
+                    let InstData::Phi { incoming } = &inst.data else {
+                        break;
+                    };
+                    let pos = incoming.iter().position(|&b| b == p).ok_or_else(|| {
+                        Error::Interp(format!("phi %{id} has no edge from block {p}"))
+                    })?;
+                    phi_vals.push((id, self.eval(f, &env, &inst.operands[pos])?));
+                }
+                for (id, v) in phi_vals {
+                    env.insert(id, v);
+                }
+            }
+            // Straight-line execution.
+            let insts = f.blocks[block as usize].insts.clone();
+            for id in insts {
+                let inst = f.inst(id);
+                if inst.opcode == Opcode::Phi {
+                    if prev.is_none() {
+                        return Err(Error::Interp("phi in entry block".into()));
+                    }
+                    continue;
+                }
+                self.stats.steps += 1;
+                if self.stats.steps > self.step_limit {
+                    return Err(Error::Interp("step limit exceeded".into()));
+                }
+                match inst.opcode {
+                    Opcode::Br => {
+                        let InstData::Br { dest } = inst.data else {
+                            unreachable!()
+                        };
+                        prev = Some(block);
+                        block = dest;
+                        break;
+                    }
+                    Opcode::CondBr => {
+                        let InstData::CondBr { on_true, on_false } = inst.data else {
+                            unreachable!()
+                        };
+                        let c = self.eval(f, &env, &inst.operands[0])?.as_i()?;
+                        prev = Some(block);
+                        block = if c != 0 { on_true } else { on_false };
+                        break;
+                    }
+                    Opcode::Ret => {
+                        return match inst.operands.first() {
+                            None => Ok(RtVal::Unit),
+                            Some(v) => self.eval(f, &env, v),
+                        };
+                    }
+                    Opcode::Unreachable => {
+                        return Err(Error::Interp("executed unreachable".into()))
+                    }
+                    _ => {
+                        let v = self.exec_inst(f, &env, id)?;
+                        if f.inst(id).has_result() {
+                            env.insert(id, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_inst(&mut self, f: &Function, env: &HashMap<u32, RtVal>, id: u32) -> Result<RtVal> {
+        let inst = f.inst(id);
+        let ev = |s: &Self, i: usize| s.eval(f, env, &inst.operands[i]);
+        let wrap_to = |ty: &Type, v: i128| -> i128 {
+            let w = ty.int_width().unwrap_or(64);
+            if w >= 128 {
+                return v;
+            }
+            let m = 1i128 << w;
+            let r = v.rem_euclid(m);
+            if r >= m / 2 {
+                r - m
+            } else {
+                r
+            }
+        };
+        Ok(match inst.opcode {
+            op if op.is_int_binop() => {
+                let a = ev(self, 0)?.as_i()?;
+                let b = ev(self, 1)?.as_i()?;
+                let r = match op {
+                    Opcode::Add => a.wrapping_add(b),
+                    Opcode::Sub => a.wrapping_sub(b),
+                    Opcode::Mul => a.wrapping_mul(b),
+                    Opcode::SDiv => {
+                        if b == 0 {
+                            return Err(Error::Interp("sdiv by zero".into()));
+                        }
+                        a.wrapping_div(b)
+                    }
+                    Opcode::SRem => {
+                        if b == 0 {
+                            return Err(Error::Interp("srem by zero".into()));
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    Opcode::UDiv => {
+                        if b == 0 {
+                            return Err(Error::Interp("udiv by zero".into()));
+                        }
+                        ((a as u128) / (b as u128)) as i128
+                    }
+                    Opcode::URem => {
+                        if b == 0 {
+                            return Err(Error::Interp("urem by zero".into()));
+                        }
+                        ((a as u128) % (b as u128)) as i128
+                    }
+                    Opcode::And => a & b,
+                    Opcode::Or => a | b,
+                    Opcode::Xor => a ^ b,
+                    Opcode::Shl => a.wrapping_shl(b as u32),
+                    Opcode::LShr => ((a as u128) >> (b as u32)) as i128,
+                    Opcode::AShr => a >> (b as u32),
+                    _ => unreachable!(),
+                };
+                RtVal::I(wrap_to(&inst.ty, r))
+            }
+            op if op.is_float_binop() => {
+                let a = ev(self, 0)?.as_f()?;
+                let b = ev(self, 1)?.as_f()?;
+                let r = match op {
+                    Opcode::FAdd => a + b,
+                    Opcode::FSub => a - b,
+                    Opcode::FMul => a * b,
+                    Opcode::FDiv => a / b,
+                    Opcode::FRem => a % b,
+                    _ => unreachable!(),
+                };
+                // Emulate single precision where the type says so.
+                if inst.ty == Type::Float {
+                    RtVal::F((r as f32) as f64)
+                } else {
+                    RtVal::F(r)
+                }
+            }
+            Opcode::FNeg => RtVal::F(-ev(self, 0)?.as_f()?),
+            Opcode::ICmp => {
+                let InstData::ICmp(pred) = &inst.data else {
+                    unreachable!()
+                };
+                let (av, bv) = (ev(self, 0)?, ev(self, 1)?);
+                let (a, b) = match (av, bv) {
+                    (RtVal::P(a), RtVal::P(b)) => (a as i128, b as i128),
+                    _ => (av.as_i()?, bv.as_i()?),
+                };
+                let r = match pred {
+                    IntPred::Eq => a == b,
+                    IntPred::Ne => a != b,
+                    IntPred::Slt => a < b,
+                    IntPred::Sle => a <= b,
+                    IntPred::Sgt => a > b,
+                    IntPred::Sge => a >= b,
+                    IntPred::Ult => (a as u128) < (b as u128),
+                    IntPred::Ule => (a as u128) <= (b as u128),
+                    IntPred::Ugt => (a as u128) > (b as u128),
+                    IntPred::Uge => (a as u128) >= (b as u128),
+                };
+                RtVal::I(i128::from(r))
+            }
+            Opcode::FCmp => {
+                let InstData::FCmp(pred) = &inst.data else {
+                    unreachable!()
+                };
+                let a = ev(self, 0)?.as_f()?;
+                let b = ev(self, 1)?.as_f()?;
+                let r = match pred {
+                    FloatPred::Oeq => a == b,
+                    FloatPred::One => a != b && !a.is_nan() && !b.is_nan(),
+                    FloatPred::Olt => a < b,
+                    FloatPred::Ole => a <= b,
+                    FloatPred::Ogt => a > b,
+                    FloatPred::Oge => a >= b,
+                    FloatPred::Une => a != b,
+                    FloatPred::Ord => !a.is_nan() && !b.is_nan(),
+                    FloatPred::Uno => a.is_nan() || b.is_nan(),
+                };
+                RtVal::I(i128::from(r))
+            }
+            Opcode::Load => {
+                let p = ev(self, 0)?.as_p()?;
+                self.mem.load(p, &inst.ty)?
+            }
+            Opcode::Store => {
+                let v = ev(self, 0)?;
+                let p = ev(self, 1)?.as_p()?;
+                let vty = f.value_type(self.module, &inst.operands[0]);
+                self.mem.store(p, &vty, v)?;
+                RtVal::Unit
+            }
+            Opcode::Gep => {
+                let InstData::Gep { base_ty, .. } = &inst.data else {
+                    unreachable!()
+                };
+                let mut p = ev(self, 0)?.as_p()?;
+                let mut ty = base_ty.clone();
+                for (k, idx) in inst.operands[1..].iter().enumerate() {
+                    let i = self.eval(f, env, idx)?.as_i()?;
+                    if k == 0 {
+                        p = p.wrapping_add((i as i64 as u64).wrapping_mul(ty.size_in_bytes()));
+                    } else {
+                        match ty {
+                            Type::Array(_, e) => {
+                                ty = (*e).clone();
+                                p = p.wrapping_add(
+                                    (i as i64 as u64).wrapping_mul(ty.size_in_bytes()),
+                                );
+                            }
+                            other => {
+                                return Err(Error::Interp(format!(
+                                    "gep steps into non-array {other}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                RtVal::P(p)
+            }
+            Opcode::Alloca => {
+                let InstData::Alloca { allocated, .. } = &inst.data else {
+                    unreachable!()
+                };
+                RtVal::P(self.mem.alloc(allocated.size_in_bytes()))
+            }
+            Opcode::Call => {
+                let InstData::Call { callee } = &inst.data else {
+                    unreachable!()
+                };
+                let args: Vec<RtVal> = (0..inst.operands.len())
+                    .map(|i| ev(self, i))
+                    .collect::<Result<_>>()?;
+                let callee = callee.clone();
+                self.call(&callee, &args)?
+            }
+            Opcode::Select => {
+                let c = ev(self, 0)?.as_i()?;
+                if c != 0 {
+                    ev(self, 1)?
+                } else {
+                    ev(self, 2)?
+                }
+            }
+            Opcode::ZExt => {
+                let v = ev(self, 0)?.as_i()?;
+                let from_w = f
+                    .value_type(self.module, &inst.operands[0])
+                    .int_width()
+                    .unwrap_or(64);
+                let mask = if from_w >= 128 {
+                    -1i128
+                } else {
+                    (1i128 << from_w) - 1
+                };
+                RtVal::I(v & mask)
+            }
+            Opcode::SExt => RtVal::I(ev(self, 0)?.as_i()?),
+            Opcode::Trunc => {
+                let v = ev(self, 0)?.as_i()?;
+                RtVal::I(wrap_to(&inst.ty, v))
+            }
+            Opcode::FPExt | Opcode::FPTrunc => {
+                let v = ev(self, 0)?.as_f()?;
+                if inst.ty == Type::Float {
+                    RtVal::F((v as f32) as f64)
+                } else {
+                    RtVal::F(v)
+                }
+            }
+            Opcode::FPToSI => RtVal::I(ev(self, 0)?.as_f()? as i128),
+            Opcode::SIToFP => {
+                let v = ev(self, 0)?.as_i()? as f64;
+                if inst.ty == Type::Float {
+                    RtVal::F((v as f32) as f64)
+                } else {
+                    RtVal::F(v)
+                }
+            }
+            Opcode::PtrToInt => RtVal::I(ev(self, 0)?.as_p()? as i128),
+            Opcode::IntToPtr => RtVal::P(ev(self, 0)?.as_i()? as u64),
+            Opcode::BitCast => ev(self, 0)?,
+            op => return Err(Error::Interp(format!("cannot execute {op:?} here"))),
+        })
+    }
+}
+
+fn write_init(mem: &mut Memory, ptr: u64, ty: &Type, init: &GlobalInit) {
+    match (ty, init) {
+        (_, GlobalInit::Zero) => {}
+        (t, GlobalInit::Int(v)) => {
+            let _ = mem.store(ptr, t, RtVal::I(*v));
+        }
+        (t, GlobalInit::Float(bits)) => {
+            let _ = mem.store(ptr, t, RtVal::F(f64::from_bits(*bits)));
+        }
+        (Type::Array(_, elem), GlobalInit::Array(items)) => {
+            let sz = elem.size_in_bytes();
+            for (i, item) in items.iter().enumerate() {
+                write_init(mem, ptr + sz * i as u64, elem, item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn run(src: &str, name: &str, args: &[RtVal]) -> Result<RtVal> {
+        let m = parse_module("m", src).unwrap();
+        crate::verifier::verify_module(&m).unwrap();
+        let mut i = Interpreter::new(&m);
+        i.call(name, args)
+    }
+
+    #[test]
+    fn arith_and_control_flow() {
+        let src = r#"
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %then, label %else
+
+then:
+  ret i32 %a
+
+else:
+  ret i32 %b
+}
+"#;
+        assert_eq!(
+            run(src, "max", &[RtVal::I(3), RtVal::I(9)]).unwrap(),
+            RtVal::I(9)
+        );
+        assert_eq!(
+            run(src, "max", &[RtVal::I(10), RtVal::I(9)]).unwrap(),
+            RtVal::I(10)
+        );
+    }
+
+    #[test]
+    fn loop_with_phi() {
+        let src = r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %header
+
+exit:
+  ret i32 %acc
+}
+"#;
+        assert_eq!(run(src, "sum", &[RtVal::I(10)]).unwrap(), RtVal::I(45));
+        assert_eq!(run(src, "sum", &[RtVal::I(0)]).unwrap(), RtVal::I(0));
+    }
+
+    #[test]
+    fn memory_gep_load_store() {
+        let src = r#"
+define void @scale(float* %a, i32 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %w = sext i32 %i to i64
+  %p = getelementptr inbounds float, float* %a, i64 %w
+  %x = load float, float* %p, align 4
+  %y = fmul float %x, 0x4000000000000000
+  store float %y, float* %p, align 4
+  %next = add i32 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let mut interp = Interpreter::new(&m);
+        let a = interp.mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0]);
+        interp.call("scale", &[RtVal::P(a), RtVal::I(4)]).unwrap();
+        assert_eq!(
+            interp.mem.read_f32(a, 4).unwrap(),
+            vec![2.0, 4.0, 6.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn two_d_array_gep() {
+        let src = r#"
+define float @get([4 x [8 x float]]* %a, i64 %i, i64 %j) {
+entry:
+  %p = getelementptr inbounds [4 x [8 x float]], [4 x [8 x float]]* %a, i64 0, i64 %i, i64 %j
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let mut interp = Interpreter::new(&m);
+        let data: Vec<f32> = (0..32).map(|x| x as f32).collect();
+        let a = interp.mem.alloc_f32(&data);
+        let v = interp
+            .call("get", &[RtVal::P(a), RtVal::I(2), RtVal::I(5)])
+            .unwrap();
+        assert_eq!(v, RtVal::F(21.0));
+    }
+
+    #[test]
+    fn oob_access_traps() {
+        let src = r#"
+define float @bad(float* %a) {
+entry:
+  %p = getelementptr inbounds float, float* %a, i64 100
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let mut interp = Interpreter::new(&m);
+        let a = interp.mem.alloc_f32(&[0.0; 4]);
+        let e = interp.call("bad", &[RtVal::P(a)]).unwrap_err();
+        assert!(e.to_string().contains("out-of-bounds"));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let src = r#"
+define i32 @bad() {
+entry:
+  %v = load i32, i32* null, align 4
+  ret i32 %v
+}
+"#;
+        let e = run(src, "bad", &[]).unwrap_err();
+        assert!(e.to_string().contains("null"));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let src = r#"
+define void @spin() {
+entry:
+  br label %entry2
+
+entry2:
+  br label %entry2
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let mut interp = Interpreter::new(&m);
+        interp.step_limit = 1000;
+        let e = interp.call("spin", &[]).unwrap_err();
+        assert!(e.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn intrinsics_and_calls() {
+        let src = r#"
+declare float @llvm.sqrt.f32(float)
+
+define float @hyp(float %a, float %b) {
+entry:
+  %a2 = fmul float %a, %a
+  %b2 = fmul float %b, %b
+  %s = fadd float %a2, %b2
+  %r = call float @llvm.sqrt.f32(float %s)
+  ret float %r
+}
+"#;
+        assert_eq!(
+            run(src, "hyp", &[RtVal::F(3.0), RtVal::F(4.0)]).unwrap(),
+            RtVal::F(5.0)
+        );
+    }
+
+    #[test]
+    fn memcpy_memset() {
+        let src = r#"
+declare void @llvm.memcpy.p0i8.p0i8.i64(i8* %d, i8* %s, i64 %n, i1 %v)
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %b, i64 %n, i1 %v)
+
+define void @f(i8* %dst, i8* %src) {
+entry:
+  call void @llvm.memcpy.p0i8.p0i8.i64(i8* %dst, i8* %src, i64 8, i1 false)
+  %p = getelementptr inbounds i8, i8* %dst, i64 8
+  call void @llvm.memset.p0i8.i64(i8* %p, i8 7, i64 4, i1 false)
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let mut interp = Interpreter::new(&m);
+        let src_buf = interp.mem.alloc_i32(&[0x01020304, 0x05060708]);
+        let dst = interp.mem.alloc(16);
+        interp
+            .call("f", &[RtVal::P(dst), RtVal::P(src_buf)])
+            .unwrap();
+        let out = interp.mem.read_i32(dst, 3).unwrap();
+        assert_eq!(out[0], 0x01020304);
+        assert_eq!(out[1], 0x05060708);
+        assert_eq!(out[2], 0x07070707);
+    }
+
+    #[test]
+    fn globals_are_initialized() {
+        let src = r#"
+@lut = constant [3 x i32] [i32 10, i32 20, i32 30], align 4
+
+define i32 @get(i64 %i) {
+entry:
+  %p = getelementptr inbounds [3 x i32], [3 x i32]* @lut, i64 0, i64 %i
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"#;
+        assert_eq!(run(src, "get", &[RtVal::I(1)]).unwrap(), RtVal::I(20));
+        assert_eq!(run(src, "get", &[RtVal::I(2)]).unwrap(), RtVal::I(30));
+    }
+
+    #[test]
+    fn float_precision_is_single_where_typed() {
+        // 1e8 + 1 is not representable in f32; the interpreter must round
+        // like 32-bit hardware would.
+        let src = r#"
+define float @f(float %a) {
+entry:
+  %r = fadd float %a, 0x3FF0000000000000
+  ret float %r
+}
+"#;
+        let v = run(src, "f", &[RtVal::F(1.0e8)]).unwrap();
+        assert_eq!(v, RtVal::F(1.0e8f32 as f64));
+    }
+}

@@ -1,0 +1,77 @@
+//! `llvm-lite` — a self-contained, dependency-free subset of LLVM IR.
+//!
+//! This crate models the slice of LLVM IR that matters for High-Level
+//! Synthesis front-ends: typed pointers (the pre-opaque-pointer dialect that
+//! Vitis-era clang front-ends emit and accept), integer/floating arithmetic,
+//! `getelementptr`-based memory addressing, allocas, calls, PHI-based SSA
+//! control flow, and `!llvm.loop` metadata carrying pipelining/unrolling
+//! directives.
+//!
+//! It provides:
+//!
+//! * an arena-backed [`Module`]/[`Function`]/[`Block`]/[`Inst`] representation
+//!   ([`module`], [`inst`], [`value`], [`types`]);
+//! * an [`builder::IrBuilder`] for programmatic construction;
+//! * a textual printer ([`printer`]) and parser ([`parser`]) for a `.ll`
+//!   subset that round-trips;
+//! * a structural [`verifier`];
+//! * analyses: CFG utilities, dominators, natural loops, def-use
+//!   ([`analysis`]);
+//! * transforms: `mem2reg`, dead-code elimination, CFG simplification
+//!   ([`transforms`]);
+//! * a reference [`interp`]reter used for co-simulation of HLS flows.
+//!
+//! The representation is deliberately index-based (no `Rc` graphs): values are
+//! small copyable handles resolved against per-function arenas, which keeps
+//! rewriting passes cache-friendly and makes structural equality cheap.
+
+pub mod analysis;
+pub mod builder;
+pub mod interp;
+pub mod metadata;
+pub mod module;
+pub mod inst;
+pub mod parser;
+pub mod printer;
+pub mod transforms;
+pub mod types;
+pub mod value;
+pub mod verifier;
+
+pub use builder::IrBuilder;
+pub use inst::{FloatPred, Inst, InstData, IntPred, Opcode};
+pub use metadata::{LoopMetadata, MdId};
+pub use module::{Block, BlockId, Function, Global, GlobalInit, InstId, Module};
+pub use types::Type;
+pub use value::Value;
+
+/// Errors produced anywhere in the crate (parsing, verification,
+/// interpretation). Kept as one enum so callers can uniformly `?` through
+/// flow drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Textual parse error with 1-based line number.
+    Parse { line: u32, msg: String },
+    /// Module/function failed structural verification.
+    Verify(String),
+    /// Interpreter trapped (OOB access, missing function, div-by-zero...).
+    Interp(String),
+    /// A transform was asked to do something unsupported.
+    Transform(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::Verify(m) => write!(f, "verification error: {m}"),
+            Error::Interp(m) => write!(f, "interpreter trap: {m}"),
+            Error::Transform(m) => write!(f, "transform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

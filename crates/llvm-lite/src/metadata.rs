@@ -1,0 +1,112 @@
+//! `!llvm.loop` metadata.
+//!
+//! This is the channel through which HLS directives survive the journey from
+//! MLIR loop attributes down to the synthesis backend in the paper's
+//! "adaptor flow". Vitis HLS reads `llvm.loop.pipeline.enable`,
+//! `llvm.loop.unroll.*` and friends off the loop latch branch; we model the
+//! same attachment point (`Inst::loop_md` on branch terminators).
+
+/// Index of a [`LoopMetadata`] node in `Module::loop_mds`.
+pub type MdId = u32;
+
+/// Tripcount/II-affecting loop directives, the decoded form of a
+/// `!llvm.loop` distinct node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopMetadata {
+    /// `llvm.loop.pipeline.enable` with the requested initiation interval
+    /// (`ii = 1` is the common "pipeline as hard as possible" request).
+    pub pipeline_ii: Option<u32>,
+    /// `llvm.loop.unroll.count` — partial unroll factor.
+    pub unroll_factor: Option<u32>,
+    /// `llvm.loop.unroll.full`.
+    pub unroll_full: bool,
+    /// `llvm.loop.flatten.enable` — collapse a perfect loop nest.
+    pub flatten: bool,
+    /// `llvm.loop.tripcount` hint `(min, max)` for bound-unknown loops.
+    pub tripcount: Option<(u64, u64)>,
+    /// `llvm.loop.dataflow.enable` — task-level pipelining request.
+    pub dataflow: bool,
+}
+
+impl LoopMetadata {
+    /// A node requesting pipelining at the given II.
+    pub fn pipelined(ii: u32) -> LoopMetadata {
+        LoopMetadata {
+            pipeline_ii: Some(ii),
+            ..LoopMetadata::default()
+        }
+    }
+
+    /// A node requesting a partial unroll.
+    pub fn unrolled(factor: u32) -> LoopMetadata {
+        LoopMetadata {
+            unroll_factor: Some(factor),
+            ..LoopMetadata::default()
+        }
+    }
+
+    /// True if the node carries no directive at all (printable as a bare
+    /// distinct node, which LLVM uses to inhibit loop fusion).
+    pub fn is_empty(&self) -> bool {
+        *self == LoopMetadata::default()
+    }
+
+    /// Merge another node's directives into this one. Later wins on
+    /// conflicting scalar fields, mirroring LLVM's "last metadata operand
+    /// wins" convention.
+    pub fn merge(&mut self, other: &LoopMetadata) {
+        if other.pipeline_ii.is_some() {
+            self.pipeline_ii = other.pipeline_ii;
+        }
+        if other.unroll_factor.is_some() {
+            self.unroll_factor = other.unroll_factor;
+        }
+        self.unroll_full |= other.unroll_full;
+        self.flatten |= other.flatten;
+        if other.tripcount.is_some() {
+            self.tripcount = other.tripcount;
+        }
+        self.dataflow |= other.dataflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = LoopMetadata::pipelined(2);
+        assert_eq!(p.pipeline_ii, Some(2));
+        assert!(!p.is_empty());
+        let u = LoopMetadata::unrolled(4);
+        assert_eq!(u.unroll_factor, Some(4));
+        assert!(LoopMetadata::default().is_empty());
+    }
+
+    #[test]
+    fn merge_last_wins() {
+        let mut a = LoopMetadata::pipelined(1);
+        a.merge(&LoopMetadata::pipelined(4));
+        assert_eq!(a.pipeline_ii, Some(4));
+        a.merge(&LoopMetadata::unrolled(8));
+        // Merging a node without pipeline info must not clear pipeline info.
+        assert_eq!(a.pipeline_ii, Some(4));
+        assert_eq!(a.unroll_factor, Some(8));
+    }
+
+    #[test]
+    fn merge_ors_flags() {
+        let mut a = LoopMetadata::default();
+        let b = LoopMetadata {
+            flatten: true,
+            dataflow: true,
+            unroll_full: true,
+            tripcount: Some((1, 64)),
+            ..LoopMetadata::default()
+        };
+        a.merge(&b);
+        assert!(a.flatten && a.dataflow && a.unroll_full);
+        assert_eq!(a.tripcount, Some((1, 64)));
+    }
+}

@@ -1,0 +1,484 @@
+//! Textual output in `.ll` syntax.
+//!
+//! The emitted dialect is the typed-pointer one (LLVM ≤14 flavour) that HLS
+//! front-ends accept; float constants are always printed in the exact
+//! hexadecimal form (`0x<f64 bits>`) so the printer/parser pair round-trips
+//! bit-exactly.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::inst::{Inst, InstData, Opcode};
+use crate::module::{Function, Global, GlobalInit, InstId, Module};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Print a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; ModuleID = '{}'", m.name);
+    if let Some(t) = &m.target_triple {
+        let _ = writeln!(out, "target triple = \"{t}\"");
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for g in &m.globals {
+        out.push_str(&print_global(g));
+        out.push('\n');
+    }
+    for f in &m.functions {
+        out.push('\n');
+        out.push_str(&print_function(m, f));
+    }
+    if !m.loop_mds.is_empty() {
+        out.push('\n');
+        out.push_str(&print_loop_mds(m));
+    }
+    out
+}
+
+fn print_global(g: &Global) -> String {
+    let kind = if g.is_const { "constant" } else { "global" };
+    let init = match &g.init {
+        None => String::from("external"),
+        Some(i) => print_init(&g.ty, i),
+    };
+    let mut s = format!("@{} = {kind} {} {init}", g.name, g.ty);
+    if g.align != 0 {
+        let _ = write!(s, ", align {}", g.align);
+    }
+    s
+}
+
+fn print_init(ty: &Type, init: &GlobalInit) -> String {
+    match init {
+        GlobalInit::Zero => "zeroinitializer".to_string(),
+        GlobalInit::Int(v) => v.to_string(),
+        GlobalInit::Float(bits) => format!("0x{bits:016X}"),
+        GlobalInit::Array(elems) => {
+            let elem_ty = ty.array_elem().cloned().unwrap_or(Type::I8);
+            let body: Vec<String> = elems
+                .iter()
+                .map(|e| format!("{elem_ty} {}", print_init(&elem_ty, e)))
+                .collect();
+            format!("[{}]", body.join(", "))
+        }
+    }
+}
+
+/// Names assigned to instruction results and blocks during printing.
+pub struct NameMap {
+    inst_names: HashMap<InstId, String>,
+}
+
+impl NameMap {
+    /// Build names for every live value-producing instruction: the `name`
+    /// hint when present and unique, else `%tN`.
+    pub fn build(f: &Function) -> NameMap {
+        let mut used: HashMap<String, u32> = HashMap::new();
+        for p in &f.params {
+            used.insert(p.name.clone(), 1);
+        }
+        let mut inst_names = HashMap::new();
+        let mut counter = 0u32;
+        for (_, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            if !inst.has_result() {
+                continue;
+            }
+            let base = if inst.name.is_empty() {
+                let n = format!("t{counter}");
+                counter += 1;
+                n
+            } else {
+                inst.name.clone()
+            };
+            let name = match used.get(&base) {
+                None => base.clone(),
+                Some(n) => format!("{base}{n}"),
+            };
+            *used.entry(base).or_insert(0) += 1;
+            inst_names.insert(id, name);
+        }
+        NameMap { inst_names }
+    }
+
+    /// The printed name (without `%`) of an instruction result.
+    pub fn inst(&self, id: InstId) -> &str {
+        self.inst_names
+            .get(&id)
+            .map(String::as_str)
+            .unwrap_or("<dead>")
+    }
+}
+
+/// Print one function (definition or declaration).
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            let mut s = p.ty.to_string();
+            for (k, v) in &p.attrs {
+                let _ = write!(s, " \"{k}\"=\"{v}\"");
+            }
+            let _ = write!(s, " %{}", p.name);
+            s
+        })
+        .collect();
+    let attrs: String = f
+        .attrs
+        .iter()
+        .map(|(k, v)| format!(" \"{k}\"=\"{v}\""))
+        .collect();
+    if f.is_declaration {
+        let _ = writeln!(
+            out,
+            "declare {} @{}({}){attrs}",
+            f.ret_ty,
+            f.name,
+            params.join(", ")
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "define {} @{}({}){attrs} {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    );
+    let names = NameMap::build(f);
+    for (i, &b) in f.block_order.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{}:", f.blocks[b as usize].name);
+        for &iid in &f.blocks[b as usize].insts {
+            let _ = writeln!(out, "  {}", print_inst(m, f, &names, iid));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn val(_m: &Module, f: &Function, names: &NameMap, v: &Value) -> String {
+    match v {
+        Value::Arg(i) => format!("%{}", f.params[*i as usize].name),
+        Value::Inst(id) => format!("%{}", names.inst(*id)),
+        Value::ConstInt { value, .. } => value.to_string(),
+        Value::ConstFloat { bits, .. } => format!("0x{bits:016X}"),
+        Value::Global(name) => format!("@{name}"),
+        Value::NullPtr(_) => "null".to_string(),
+        Value::Undef(_) => "undef".to_string(),
+    }
+}
+
+fn typed_val(m: &Module, f: &Function, names: &NameMap, v: &Value) -> String {
+    format!("{} {}", f.value_type(m, v), val(m, f, names, v))
+}
+
+/// Print a single instruction (without indentation).
+pub fn print_inst(m: &Module, f: &Function, names: &NameMap, id: InstId) -> String {
+    let inst = f.inst(id);
+    let lhs = if inst.has_result() {
+        format!("%{} = ", names.inst(id))
+    } else {
+        String::new()
+    };
+    let body = print_inst_body(m, f, names, inst);
+    let md = match inst.loop_md {
+        Some(n) => format!(", !llvm.loop !{n}"),
+        None => String::new(),
+    };
+    format!("{lhs}{body}{md}")
+}
+
+fn print_inst_body(m: &Module, f: &Function, names: &NameMap, inst: &Inst) -> String {
+    let v = |x: &Value| val(m, f, names, x);
+    let tv = |x: &Value| typed_val(m, f, names, x);
+    let bname = |b: u32| f.blocks[b as usize].name.clone();
+    match (&inst.opcode, &inst.data) {
+        (op, _) if op.is_int_binop() || op.is_float_binop() => format!(
+            "{} {} {}, {}",
+            op.mnemonic(),
+            inst.ty,
+            v(&inst.operands[0]),
+            v(&inst.operands[1])
+        ),
+        (Opcode::FNeg, _) => format!("fneg {} {}", inst.ty, v(&inst.operands[0])),
+        (Opcode::ICmp, InstData::ICmp(p)) => format!(
+            "icmp {} {} {}, {}",
+            p.mnemonic(),
+            f.value_type(m, &inst.operands[0]),
+            v(&inst.operands[0]),
+            v(&inst.operands[1])
+        ),
+        (Opcode::FCmp, InstData::FCmp(p)) => format!(
+            "fcmp {} {} {}, {}",
+            p.mnemonic(),
+            f.value_type(m, &inst.operands[0]),
+            v(&inst.operands[0]),
+            v(&inst.operands[1])
+        ),
+        (Opcode::Load, InstData::Load { align }) => format!(
+            "load {}, {}, align {align}",
+            inst.ty,
+            tv(&inst.operands[0])
+        ),
+        (Opcode::Store, InstData::Store { align }) => format!(
+            "store {}, {}, align {align}",
+            tv(&inst.operands[0]),
+            tv(&inst.operands[1])
+        ),
+        (Opcode::Gep, InstData::Gep { base_ty, inbounds }) => {
+            let mut s = String::from("getelementptr ");
+            if *inbounds {
+                s.push_str("inbounds ");
+            }
+            let _ = write!(s, "{base_ty}, {}", tv(&inst.operands[0]));
+            for idx in &inst.operands[1..] {
+                let _ = write!(s, ", {}", tv(idx));
+            }
+            s
+        }
+        (Opcode::Alloca, InstData::Alloca { allocated, align }) => {
+            format!("alloca {allocated}, align {align}")
+        }
+        (Opcode::Call, InstData::Call { callee }) => {
+            let args: Vec<String> = inst.operands.iter().map(tv).collect();
+            format!("call {} @{callee}({})", inst.ty, args.join(", "))
+        }
+        (Opcode::Select, _) => format!(
+            "select {}, {}, {}",
+            tv(&inst.operands[0]),
+            tv(&inst.operands[1]),
+            tv(&inst.operands[2])
+        ),
+        (Opcode::Phi, InstData::Phi { incoming }) => {
+            let edges: Vec<String> = inst
+                .operands
+                .iter()
+                .zip(incoming)
+                .map(|(op, b)| format!("[ {}, %{} ]", v(op), bname(*b)))
+                .collect();
+            format!("phi {} {}", inst.ty, edges.join(", "))
+        }
+        (op, _) if op.is_cast() => format!(
+            "{} {} to {}",
+            op.mnemonic(),
+            tv(&inst.operands[0]),
+            inst.ty
+        ),
+        (Opcode::Br, InstData::Br { dest }) => format!("br label %{}", bname(*dest)),
+        (Opcode::CondBr, InstData::CondBr { on_true, on_false }) => format!(
+            "br {}, label %{}, label %{}",
+            tv(&inst.operands[0]),
+            bname(*on_true),
+            bname(*on_false)
+        ),
+        (Opcode::Ret, _) => match inst.operands.first() {
+            None => "ret void".to_string(),
+            Some(x) => format!("ret {}", tv(x)),
+        },
+        (Opcode::Unreachable, _) => "unreachable".to_string(),
+        (op, data) => panic!("malformed instruction {op:?} with payload {data:?}"),
+    }
+}
+
+fn print_loop_mds(m: &Module) -> String {
+    let mut out = String::new();
+    let mut aux = m.loop_mds.len() as u32;
+    for (i, md) in m.loop_mds.iter().enumerate() {
+        let mut refs = Vec::new();
+        let mut lines = Vec::new();
+        let mut emit = |line: String, aux: &mut u32| {
+            let id = *aux;
+            *aux += 1;
+            lines.push(format!("!{id} = !{{{line}}}"));
+            id
+        };
+        if let Some(ii) = md.pipeline_ii {
+            let id = emit(
+                format!("!\"llvm.loop.pipeline.enable\", i32 {ii}"),
+                &mut aux,
+            );
+            refs.push(id);
+        }
+        if let Some(fac) = md.unroll_factor {
+            let id = emit(format!("!\"llvm.loop.unroll.count\", i32 {fac}"), &mut aux);
+            refs.push(id);
+        }
+        if md.unroll_full {
+            let id = emit("!\"llvm.loop.unroll.full\"".to_string(), &mut aux);
+            refs.push(id);
+        }
+        if md.flatten {
+            let id = emit("!\"llvm.loop.flatten.enable\"".to_string(), &mut aux);
+            refs.push(id);
+        }
+        if md.dataflow {
+            let id = emit("!\"llvm.loop.dataflow.enable\"".to_string(), &mut aux);
+            refs.push(id);
+        }
+        if let Some((lo, hi)) = md.tripcount {
+            let id = emit(
+                format!("!\"llvm.loop.tripcount\", i32 {lo}, i32 {hi}"),
+                &mut aux,
+            );
+            refs.push(id);
+        }
+        let mut parts = vec![format!("!{i}")];
+        parts.extend(refs.iter().map(|r| format!("!{r}")));
+        let _ = writeln!(out, "!{i} = distinct !{{{}}}", parts.join(", "));
+        for l in lines {
+            let _ = writeln!(out, "{l}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::inst::IntPred;
+    use crate::metadata::LoopMetadata;
+    use crate::module::Param;
+
+    fn demo_module() -> Module {
+        let mut m = Module::new("demo");
+        let mut f = Function::new(
+            "scale",
+            vec![
+                Param::new("a", Type::Float.ptr_to()),
+                Param::new("n", Type::I32),
+            ],
+            Type::Void,
+        );
+        let entry = f.add_block("entry");
+        let header = f.add_block("loop.header");
+        let body = f.add_block("loop.body");
+        let exit = f.add_block("exit");
+        let mut b = IrBuilder::new(&mut f, entry);
+        b.br(header);
+        b.position_at(header);
+        let i = b.phi(Type::I32);
+        b.phi_add_incoming(i, Value::i32(0), entry);
+        let cond = b.icmp(IntPred::Slt, Value::Inst(i), Value::Arg(1));
+        b.cond_br(cond, body, exit);
+        b.position_at(body);
+        let i64v = b.sext(Value::Inst(i), Type::I64);
+        let p = b.gep(Type::Float, Value::Arg(0), vec![i64v]);
+        let x = b.load(Type::Float, p.clone());
+        let y = b.fmul(Type::Float, x, Value::f32(2.0));
+        b.store(y, p, 4);
+        let next = b.add(Type::I32, Value::Inst(i), Value::i32(1));
+        b.phi_add_incoming(i, next, body);
+        let latch = b.br(header);
+        b.position_at(exit);
+        b.ret(None);
+        let md = m.add_loop_md(LoopMetadata::pipelined(1));
+        f.inst_mut(latch).loop_md = Some(md);
+        m.functions.push(f);
+        m
+    }
+
+    #[test]
+    fn prints_structural_elements() {
+        let m = demo_module();
+        let text = print_module(&m);
+        assert!(text.contains("define void @scale(float* %a, i32 %n) {"));
+        assert!(text.contains("phi i32 [ 0, %entry ]"));
+        assert!(text.contains("br label %loop.header, !llvm.loop !0"));
+        assert!(text.contains("!0 = distinct !{!0, !1}"));
+        assert!(text.contains("!\"llvm.loop.pipeline.enable\", i32 1"));
+        assert!(text.contains("getelementptr inbounds float, float* %a, i64"));
+        assert!(text.contains("load float, float*"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn float_constants_are_hex_exact() {
+        let m = demo_module();
+        let text = print_module(&m);
+        let bits = (2.0f32 as f64).to_bits();
+        assert!(text.contains(&format!("0x{bits:016X}")));
+    }
+
+    #[test]
+    fn declaration_prints_one_line() {
+        let mut m = Module::new("m");
+        m.functions.push(Function::declaration(
+            "llvm.sqrt.f32",
+            vec![Param::new("x", Type::Float)],
+            Type::Float,
+        ));
+        let text = print_module(&m);
+        assert!(text.contains("declare float @llvm.sqrt.f32(float %x)"));
+    }
+
+    #[test]
+    fn global_printing() {
+        let mut m = Module::new("m");
+        m.globals.push(Global {
+            name: "lut".into(),
+            ty: Type::I32.array_of(3),
+            init: Some(GlobalInit::Array(vec![
+                GlobalInit::Int(1),
+                GlobalInit::Int(2),
+                GlobalInit::Int(3),
+            ])),
+            is_const: true,
+            align: 4,
+        });
+        m.globals.push(Global {
+            name: "buf".into(),
+            ty: Type::Float.array_of(16),
+            init: Some(GlobalInit::Zero),
+            is_const: false,
+            align: 0,
+        });
+        let text = print_module(&m);
+        assert!(text.contains("@lut = constant [3 x i32] [i32 1, i32 2, i32 3], align 4"));
+        assert!(text.contains("@buf = global [16 x float] zeroinitializer"));
+    }
+
+    #[test]
+    fn name_hints_are_respected_and_uniqued() {
+        let mut f = Function::new("f", vec![], Type::I32);
+        let e = f.add_block("entry");
+        let a = f.push_inst(
+            e,
+            Inst::new(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)])
+                .with_name("sum"),
+        );
+        let b2 = f.push_inst(
+            e,
+            Inst::new(
+                Opcode::Add,
+                Type::I32,
+                vec![Value::Inst(a), Value::i32(3)],
+            )
+            .with_name("sum"),
+        );
+        f.push_inst(e, Inst::new(Opcode::Ret, Type::Void, vec![Value::Inst(b2)]));
+        let names = NameMap::build(&f);
+        assert_eq!(names.inst(a), "sum");
+        assert_eq!(names.inst(b2), "sum1");
+    }
+
+    #[test]
+    fn function_attrs_are_printed() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("top", vec![], Type::Void);
+        f.attrs.insert("hls.top".into(), "1".into());
+        let e = f.add_block("entry");
+        f.push_inst(e, Inst::new(Opcode::Ret, Type::Void, vec![]));
+        m.functions.push(f);
+        let text = print_module(&m);
+        assert!(text.contains("define void @top() \"hls.top\"=\"1\" {"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Dead code elimination.
+//!
+//! Iteratively removes value-producing instructions with no users and no
+//! side effects. Runs to a local fixed point within each call.
+
+use crate::analysis::DefUse;
+use crate::module::Module;
+use crate::transforms::ModulePass;
+use crate::Result;
+
+/// The DCE pass.
+pub struct Dce;
+
+impl ModulePass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            loop {
+                let du = DefUse::build(f);
+                let dead: Vec<u32> = f
+                    .inst_ids()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .filter(|&id| {
+                        let inst = f.inst(id);
+                        inst.has_result()
+                            && !inst.opcode.has_side_effects()
+                            && du.num_uses(id) == 0
+                    })
+                    .collect();
+                if dead.is_empty() {
+                    break;
+                }
+                for id in dead {
+                    f.remove_inst(id);
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn removes_unused_chain() {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  %dead1 = add i32 %a, 1
+  %dead2 = mul i32 %dead1, 2
+  %live = add i32 %a, 3
+  ret i32 %live
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Dce.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 2); // %live + ret
+        assert_eq!(f.count_opcode(Opcode::Mul), 0);
+    }
+
+    #[test]
+    fn keeps_side_effecting_instructions() {
+        let src = r#"
+declare i32 @ext()
+
+define void @f(i32* %p) {
+entry:
+  %unused = call i32 @ext()
+  store i32 0, i32* %p, align 4
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        let changed = Dce.run(&mut m).unwrap();
+        assert!(!changed);
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Call), 1);
+        assert_eq!(f.count_opcode(Opcode::Store), 1);
+    }
+
+    #[test]
+    fn keeps_loads_with_uses_only() {
+        // Loads are side-effect free here (no volatile), so an unused load
+        // goes away, but a used one stays.
+        let src = r#"
+define i32 @f(i32* %p) {
+entry:
+  %dead = load i32, i32* %p, align 4
+  %live = load i32, i32* %p, align 4
+  ret i32 %live
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Dce.run(&mut m).unwrap());
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Load), 1);
+    }
+
+    #[test]
+    fn noop_on_clean_function() {
+        let src = "define void @f() {\nentry:\n  ret void\n}\n";
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!Dce.run(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,305 @@
+//! Constant folding and trivial algebraic identities.
+//!
+//! The affine-map expansion in the lowering pipeline produces long chains of
+//! `mul`/`add` with constant operands (`i*32 + j` style address math); this
+//! pass collapses them, which matters both for readability of the adapted IR
+//! and for honest operation counts in the scheduler.
+
+use crate::inst::{InstData, IntPred, Opcode};
+use crate::module::Module;
+use crate::transforms::ModulePass;
+use crate::types::Type;
+use crate::value::Value;
+use crate::Result;
+
+/// The constant-folding pass.
+pub struct FoldConstants;
+
+impl ModulePass for FoldConstants {
+    fn name(&self) -> &'static str {
+        "fold-constants"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            loop {
+                let mut step = false;
+                for (_, id) in f.inst_ids() {
+                    let inst = f.inst(id);
+                    let Some(folded) = fold_inst(inst.opcode, &inst.data, &inst.operands, &inst.ty)
+                    else {
+                        continue;
+                    };
+                    f.replace_all_uses(&Value::Inst(id), &folded);
+                    f.remove_inst(id);
+                    step = true;
+                    break; // ids snapshot invalidated; restart scan
+                }
+                if !step {
+                    break;
+                }
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Wrap an integer to its type width (two's complement).
+fn wrap(ty: &Type, v: i128) -> i128 {
+    let w = ty.int_width().unwrap_or(64);
+    if w >= 128 {
+        return v;
+    }
+    let m = 1i128 << w;
+    let r = v.rem_euclid(m);
+    if w > 0 && r >= m / 2 {
+        r - m
+    } else {
+        r
+    }
+}
+
+fn fold_inst(op: Opcode, data: &InstData, ops: &[Value], ty: &Type) -> Option<Value> {
+    // Two-constant integer folds.
+    if op.is_int_binop() {
+        let (a, b) = (ops[0].int_value(), ops[1].int_value());
+        if let (Some(a), Some(b)) = (a, b) {
+            let r = match op {
+                Opcode::Add => a.checked_add(b)?,
+                Opcode::Sub => a.checked_sub(b)?,
+                Opcode::Mul => a.checked_mul(b)?,
+                Opcode::SDiv => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.checked_div(b)?
+                }
+                Opcode::SRem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.checked_rem(b)?
+                }
+                Opcode::UDiv => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as u128).checked_div(b as u128)? as i128
+                }
+                Opcode::URem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as u128).checked_rem(b as u128)? as i128
+                }
+                Opcode::And => a & b,
+                Opcode::Or => a | b,
+                Opcode::Xor => a ^ b,
+                Opcode::Shl => a.checked_shl(u32::try_from(b).ok()?)?,
+                Opcode::LShr => ((a as u128) >> u32::try_from(b).ok()?) as i128,
+                Opcode::AShr => a >> u32::try_from(b).ok()?,
+                _ => return None,
+            };
+            return Some(Value::const_int(ty.clone(), wrap(ty, r)));
+        }
+        // Identities with one constant.
+        match (op, a, b) {
+            (Opcode::Add, Some(0), _) => return Some(ops[1].clone()),
+            (Opcode::Add, _, Some(0)) => return Some(ops[0].clone()),
+            (Opcode::Sub, _, Some(0)) => return Some(ops[0].clone()),
+            (Opcode::Mul, Some(1), _) => return Some(ops[1].clone()),
+            (Opcode::Mul, _, Some(1)) => return Some(ops[0].clone()),
+            (Opcode::Mul, Some(0), _) | (Opcode::Mul, _, Some(0)) => {
+                return Some(Value::const_int(ty.clone(), 0))
+            }
+            (Opcode::Shl, _, Some(0)) => return Some(ops[0].clone()),
+            (Opcode::And, _, Some(0)) | (Opcode::And, Some(0), _) => {
+                return Some(Value::const_int(ty.clone(), 0))
+            }
+            (Opcode::Or, _, Some(0)) => return Some(ops[0].clone()),
+            (Opcode::Or, Some(0), _) => return Some(ops[1].clone()),
+            _ => {}
+        }
+        return None;
+    }
+    match op {
+        Opcode::ICmp => {
+            let InstData::ICmp(pred) = data else {
+                return None;
+            };
+            let (a, b) = (ops[0].int_value()?, ops[1].int_value()?);
+            let r = match pred {
+                IntPred::Eq => a == b,
+                IntPred::Ne => a != b,
+                IntPred::Slt => a < b,
+                IntPred::Sle => a <= b,
+                IntPred::Sgt => a > b,
+                IntPred::Sge => a >= b,
+                IntPred::Ult => (a as u128) < (b as u128),
+                IntPred::Ule => (a as u128) <= (b as u128),
+                IntPred::Ugt => (a as u128) > (b as u128),
+                IntPred::Uge => (a as u128) >= (b as u128),
+            };
+            Some(Value::bool(r))
+        }
+        Opcode::Select => {
+            let c = ops[0].int_value()?;
+            Some(if c != 0 { ops[1].clone() } else { ops[2].clone() })
+        }
+        Opcode::SExt | Opcode::ZExt => {
+            let v = ops[0].int_value()?;
+            // Stored representation is already sign-extended i128; zext needs
+            // masking by the source width, which we don't track here, so only
+            // fold sext and non-negative zext.
+            if op == Opcode::ZExt && v < 0 {
+                return None;
+            }
+            Some(Value::const_int(ty.clone(), v))
+        }
+        Opcode::Trunc => {
+            let v = ops[0].int_value()?;
+            Some(Value::const_int(ty.clone(), wrap(ty, v)))
+        }
+        Opcode::SIToFP => {
+            let v = ops[0].int_value()?;
+            Some(match ty {
+                Type::Float => Value::f32(v as f32),
+                _ => Value::f64(v as f64),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    fn run(src: &str) -> Module {
+        let mut m = parse_module("m", src).unwrap();
+        FoldConstants.run(&mut m).unwrap();
+        crate::transforms::Dce.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let m = run(r#"
+define i32 @f() {
+entry:
+  %a = mul i32 6, 7
+  %b = add i32 %a, 0
+  %c = add i32 %b, 1
+  ret i32 %c
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1);
+        assert_eq!(f.inst(f.terminator(f.entry()).unwrap()).operands[0], Value::i32(43));
+    }
+
+    #[test]
+    fn identity_elimination() {
+        let m = run(r#"
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 0
+  %b = mul i32 %a, 1
+  %c = mul i32 %b, 0
+  ret i32 %c
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1);
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::i32(0)
+        );
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let m = run(r#"
+define i8 @f() {
+entry:
+  %a = add i8 127, 1
+  ret i8 %a
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::const_int(Type::Int(8), -128)
+        );
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        let src = r#"
+define i32 @f() {
+entry:
+  %a = sdiv i32 1, 0
+  ret i32 %a
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!FoldConstants.run(&mut m).unwrap());
+    }
+
+    #[test]
+    fn folds_icmp_and_select() {
+        let m = run(r#"
+define i32 @f() {
+entry:
+  %c = icmp slt i32 3, 5
+  %r = select i1 %c, i32 10, i32 20
+  ret i32 %r
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::i32(10)
+        );
+    }
+
+    #[test]
+    fn folds_casts() {
+        let m = run(r#"
+define i64 @f() {
+entry:
+  %a = sext i32 -5 to i64
+  ret i64 %a
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::i64(-5)
+        );
+    }
+
+    #[test]
+    fn sitofp_fold() {
+        let m = run(r#"
+define float @f() {
+entry:
+  %a = sitofp i32 3 to float
+  ret float %a
+}
+"#);
+        let f = m.function("f").unwrap();
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::f32(3.0)
+        );
+    }
+}

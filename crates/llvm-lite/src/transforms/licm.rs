@@ -1,0 +1,250 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure, loop-invariant computations (arithmetic, comparisons,
+//! casts, GEPs) out of natural loops into the preheader-position of the
+//! loop — the block that is the unique out-of-loop predecessor of the
+//! header. Memory operations and side-effecting instructions are never
+//! moved; this is the conservative subset every HLS frontend runs to keep
+//! address computations from being re-scheduled every iteration.
+
+use std::collections::HashSet;
+
+use crate::analysis::{Cfg, DomTree, LoopInfo};
+use crate::inst::Opcode;
+use crate::module::{BlockId, Function, InstId, Module};
+use crate::transforms::ModulePass;
+use crate::value::Value;
+use crate::Result;
+
+/// The LICM pass.
+pub struct Licm;
+
+impl ModulePass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            // Iterate: hoisting can expose more invariant operands.
+            loop {
+                if !hoist_once(f) {
+                    break;
+                }
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Is this instruction hoistable when its operands are invariant?
+fn hoistable(op: Opcode) -> bool {
+    op.is_int_binop() && !matches!(op, Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem)
+        || matches!(
+            op,
+            Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FNeg
+                | Opcode::ICmp
+                | Opcode::FCmp
+                | Opcode::Select
+                | Opcode::Gep
+        )
+        || op.is_cast()
+}
+
+/// Find one hoistable instruction and move it; returns whether any move
+/// happened (restart semantics keep the analyses simple).
+fn hoist_once(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = DomTree::build(f, &cfg);
+    let li = LoopInfo::build(f, &cfg, &dom);
+
+    for l in &li.loops {
+        // Preheader: the unique out-of-loop predecessor of the header.
+        let outside: Vec<BlockId> = cfg.preds[l.header as usize]
+            .iter()
+            .copied()
+            .filter(|p| !l.body.contains(p))
+            .collect();
+        let [preheader] = outside.as_slice() else {
+            continue;
+        };
+        let body_set: HashSet<BlockId> = l.body.iter().copied().collect();
+        // Defs inside the loop.
+        let mut inside_defs: HashSet<InstId> = HashSet::new();
+        for &b in &l.body {
+            inside_defs.extend(f.block(b).insts.iter().copied());
+        }
+        for &b in &l.body {
+            for &id in &f.block(b).insts.clone() {
+                let inst = f.inst(id);
+                if !hoistable(inst.opcode) || !inst.has_result() {
+                    continue;
+                }
+                let invariant = inst
+                    .operands
+                    .iter()
+                    .all(|v| match v {
+                        Value::Inst(d) => !inside_defs.contains(d),
+                        _ => true,
+                    });
+                if !invariant {
+                    continue;
+                }
+                // Move: unlink from its block, insert before the
+                // preheader's terminator.
+                let _ = body_set;
+                f.block_mut(b).insts.retain(|&x| x != id);
+                let pos = f.block(*preheader).insts.len().saturating_sub(1);
+                f.block_mut(*preheader).insts.insert(pos, id);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, RtVal};
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    const INVARIANT_MUL: &str = r#"
+define void @f([64 x float]* %a, i64 %row, i64 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %base = mul i64 %row, 8
+  %lin = add i64 %base, %i
+  %p = getelementptr inbounds [64 x float], [64 x float]* %a, i64 0, i64 %lin
+  %v = load float, float* %p, align 4
+  %w = fadd float %v, %v
+  store float %w, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn hoists_invariant_address_math() {
+        let mut m = parse_module("m", INVARIANT_MUL).unwrap();
+        assert!(Licm.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        // %base = mul %row, 8 must now live in the entry block.
+        let entry_ops: Vec<Opcode> = f
+            .block(f.entry())
+            .insts
+            .iter()
+            .map(|&i| f.inst(i).opcode)
+            .collect();
+        assert!(entry_ops.contains(&Opcode::Mul), "{entry_ops:?}");
+        // The loop-variant parts stay inside.
+        let body = f.block_by_name("body").unwrap();
+        let body_ops: Vec<Opcode> = f
+            .block(body)
+            .insts
+            .iter()
+            .map(|&i| f.inst(i).opcode)
+            .collect();
+        assert!(body_ops.contains(&Opcode::Gep));
+        assert!(!body_ops.contains(&Opcode::Mul));
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let m1 = parse_module("m", INVARIANT_MUL).unwrap();
+        let mut m2 = m1.clone();
+        Licm.run(&mut m2).unwrap();
+        let run = |m: &Module| {
+            let mut i = Interpreter::new(m);
+            let data: Vec<f32> = (0..64).map(|x| x as f32).collect();
+            let p = i.mem.alloc_f32(&data);
+            i.call("f", &[RtVal::P(p), RtVal::I(3), RtVal::I(8)]).unwrap();
+            i.mem.read_f32(p, 64).unwrap()
+        };
+        assert_eq!(run(&m1), run(&m2));
+    }
+
+    #[test]
+    fn never_hoists_loads_or_stores() {
+        let mut m = parse_module("m", INVARIANT_MUL).unwrap();
+        Licm.run(&mut m).unwrap();
+        let f = m.function("f").unwrap();
+        let entry_ops: Vec<Opcode> = f
+            .block(f.entry())
+            .insts
+            .iter()
+            .map(|&i| f.inst(i).opcode)
+            .collect();
+        assert!(!entry_ops.contains(&Opcode::Load));
+        assert!(!entry_ops.contains(&Opcode::Store));
+    }
+
+    #[test]
+    fn never_hoists_division() {
+        // Hoisting a division past the loop guard could introduce a trap
+        // on a zero divisor that the original program never executes.
+        let src = r#"
+define i64 @f(i64 %n, i64 %d) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %q = sdiv i64 100, %d
+  %acc2 = add i64 %acc, %q
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret i64 %acc
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        Licm.run(&mut m).unwrap();
+        let f = m.function("f").unwrap();
+        let body = f.block_by_name("body").unwrap();
+        assert!(f
+            .block(body)
+            .insts
+            .iter()
+            .any(|&i| f.inst(i).opcode == Opcode::SDiv));
+        // n=0, d=0: must still terminate without trapping.
+        let mut i = Interpreter::new(&m);
+        assert_eq!(
+            i.call("f", &[RtVal::I(0), RtVal::I(0)]).unwrap(),
+            RtVal::I(0)
+        );
+    }
+
+    #[test]
+    fn idempotent_after_fixpoint() {
+        let mut m = parse_module("m", INVARIANT_MUL).unwrap();
+        Licm.run(&mut m).unwrap();
+        assert!(!Licm.run(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,426 @@
+//! Classic SSA promotion of allocas (mem2reg).
+//!
+//! This is the first pass every HLS frontend runs over clang output: locals
+//! arrive as `alloca` + `load`/`store`, and scheduling quality depends on
+//! seeing them as SSA values. The baseline C++ flow in this repository
+//! re-creates exactly that shape, so this pass is what puts the two flows
+//! back on a comparable footing.
+//!
+//! Algorithm: Cytron-style — place PHIs on the iterated dominance frontier
+//! of each promotable alloca's stores, then rename with a dominator-tree
+//! walk.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::{Cfg, DomTree};
+use crate::inst::{Inst, InstData, Opcode};
+use crate::module::{BlockId, Function, InstId, Module};
+use crate::transforms::ModulePass;
+use crate::types::Type;
+use crate::value::Value;
+use crate::Result;
+
+/// The mem2reg pass.
+pub struct Mem2Reg;
+
+impl ModulePass for Mem2Reg {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if !f.is_declaration {
+                changed |= promote_function(f);
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Is this alloca promotable: scalar type, and used only as the pointer of
+/// loads and stores (never stored *as a value*, never GEP'd or passed on)?
+fn promotable_allocas(f: &Function) -> Vec<InstId> {
+    let mut candidates = Vec::new();
+    'next: for (_, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        if inst.opcode != Opcode::Alloca {
+            continue;
+        }
+        let InstData::Alloca { allocated, .. } = &inst.data else {
+            continue;
+        };
+        if !allocated.is_first_class_scalar() {
+            continue;
+        }
+        for (_, uid) in f.inst_ids() {
+            let user = f.inst(uid);
+            for (oi, op) in user.operands.iter().enumerate() {
+                if *op != Value::Inst(id) {
+                    continue;
+                }
+                let ok = match user.opcode {
+                    Opcode::Load => true,
+                    // Only the *pointer* slot of a store; storing the
+                    // address itself escapes the alloca.
+                    Opcode::Store => oi == 1,
+                    _ => false,
+                };
+                if !ok {
+                    continue 'next;
+                }
+            }
+        }
+        candidates.push(id);
+    }
+    candidates
+}
+
+/// Cooper's dominance-frontier computation.
+fn dominance_frontiers(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<HashSet<BlockId>> {
+    let mut df: Vec<HashSet<BlockId>> = vec![HashSet::new(); f.blocks.len()];
+    for &b in &cfg.rpo {
+        if cfg.preds[b as usize].len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = dom.idom[b as usize] else {
+            continue;
+        };
+        for &p in &cfg.preds[b as usize] {
+            let mut runner = p;
+            while runner != idom_b {
+                df[runner as usize].insert(b);
+                match dom.idom[runner as usize] {
+                    Some(d) if d != runner => runner = d,
+                    _ => break,
+                }
+            }
+        }
+    }
+    df
+}
+
+fn promote_function(f: &mut Function) -> bool {
+    let allocas = promotable_allocas(f);
+    if allocas.is_empty() {
+        return false;
+    }
+    let cfg = Cfg::build(f);
+    let dom = DomTree::build(f, &cfg);
+    let df = dominance_frontiers(f, &cfg, &dom);
+
+    // Dominator-tree children for the rename walk.
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for &b in &cfg.rpo {
+        if let Some(d) = dom.idom[b as usize] {
+            if d != b {
+                children[d as usize].push(b);
+            }
+        }
+    }
+
+    // Phase 1: phi placement on the iterated dominance frontier.
+    // phis[(block, alloca)] -> phi inst id
+    let mut phis: HashMap<(BlockId, InstId), InstId> = HashMap::new();
+    for &a in &allocas {
+        let ty = alloca_type(f, a);
+        let mut def_blocks: Vec<BlockId> = Vec::new();
+        for (b, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            if inst.opcode == Opcode::Store && inst.operands[1] == Value::Inst(a) {
+                def_blocks.push(b);
+            }
+        }
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        let mut work = def_blocks;
+        while let Some(b) = work.pop() {
+            for &front in &df[b as usize] {
+                if placed.insert(front) {
+                    let phi = f.insert_inst(
+                        front,
+                        0,
+                        Inst::new(Opcode::Phi, ty.clone(), vec![])
+                            .with_data(InstData::Phi {
+                                incoming: Vec::new(),
+                            })
+                            .with_name(format!("{}.ssa", f.inst(a).name)),
+                    );
+                    phis.insert((front, a), phi);
+                    work.push(front);
+                }
+            }
+        }
+    }
+
+    // Phase 2: rename along the dominator tree.
+    let alloca_set: HashSet<InstId> = allocas.iter().copied().collect();
+    let mut stacks: HashMap<InstId, Vec<Value>> = allocas.iter().map(|&a| (a, vec![])).collect();
+    let mut to_remove: Vec<InstId> = Vec::new();
+    rename(
+        f,
+        f.entry(),
+        &cfg,
+        &children,
+        &alloca_set,
+        &phis,
+        &mut stacks,
+        &mut to_remove,
+    );
+
+    for id in to_remove {
+        f.remove_inst(id);
+    }
+    for a in &allocas {
+        f.remove_inst(*a);
+    }
+    true
+}
+
+fn alloca_type(f: &Function, a: InstId) -> Type {
+    match &f.inst(a).data {
+        InstData::Alloca { allocated, .. } => allocated.clone(),
+        _ => unreachable!("alloca id"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rename(
+    f: &mut Function,
+    block: BlockId,
+    cfg: &Cfg,
+    children: &[Vec<BlockId>],
+    allocas: &HashSet<InstId>,
+    phis: &HashMap<(BlockId, InstId), InstId>,
+    stacks: &mut HashMap<InstId, Vec<Value>>,
+    to_remove: &mut Vec<InstId>,
+) {
+    let mut pushed: Vec<InstId> = Vec::new();
+
+    // Phis placed in this block define new current values.
+    for (&(b, a), &phi) in phis.iter() {
+        if b == block {
+            stacks.get_mut(&a).unwrap().push(Value::Inst(phi));
+            pushed.push(a);
+        }
+    }
+
+    let inst_list: Vec<InstId> = f.blocks[block as usize].insts.clone();
+    for id in inst_list {
+        if !f.is_live(id) {
+            continue;
+        }
+        let inst = f.inst(id);
+        match inst.opcode {
+            Opcode::Load => {
+                if let Value::Inst(a) = inst.operands[0] {
+                    if allocas.contains(&a) {
+                        let ty = alloca_type(f, a);
+                        let current = stacks[&a]
+                            .last()
+                            .cloned()
+                            .unwrap_or(Value::Undef(ty));
+                        f.replace_all_uses(&Value::Inst(id), &current);
+                        to_remove.push(id);
+                    }
+                }
+            }
+            Opcode::Store => {
+                if let Value::Inst(a) = inst.operands[1] {
+                    if allocas.contains(&a) {
+                        let v = inst.operands[0].clone();
+                        stacks.get_mut(&a).unwrap().push(v);
+                        pushed.push(a);
+                        to_remove.push(id);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Fill phi operands of successors.
+    for &succ in &cfg.succs[block as usize] {
+        for (&(b, a), &phi) in phis.iter() {
+            if b != succ {
+                continue;
+            }
+            let ty = alloca_type(f, a);
+            let current = stacks[&a].last().cloned().unwrap_or(Value::Undef(ty));
+            let inst = f.inst_mut(phi);
+            inst.operands.push(current);
+            match &mut inst.data {
+                InstData::Phi { incoming } => incoming.push(block),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    let kids = children[block as usize].clone();
+    for child in kids {
+        rename(f, child, cfg, children, allocas, phis, stacks, to_remove);
+    }
+
+    for a in pushed {
+        stacks.get_mut(&a).unwrap().pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn promotes_straightline_local() {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  %x = alloca i32, align 4
+  store i32 %a, i32* %x, align 4
+  %v = load i32, i32* %x, align 4
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Mem2Reg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Alloca), 0);
+        assert_eq!(f.count_opcode(Opcode::Load), 0);
+        assert_eq!(f.count_opcode(Opcode::Store), 0);
+        // %r now adds the argument directly.
+        let (_, add) = f
+            .inst_ids()
+            .into_iter()
+            .find(|(_, i)| f.inst(*i).opcode == Opcode::Add)
+            .unwrap();
+        assert_eq!(f.inst(add).operands[0], Value::Arg(0));
+    }
+
+    #[test]
+    fn places_phi_at_join() {
+        let src = r#"
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %m = alloca i32, align 4
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %then, label %else
+
+then:
+  store i32 %a, i32* %m, align 4
+  br label %join
+
+else:
+  store i32 %b, i32* %m, align 4
+  br label %join
+
+join:
+  %v = load i32, i32* %m, align 4
+  ret i32 %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Mem2Reg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("max").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Phi), 1);
+        assert_eq!(f.count_opcode(Opcode::Alloca), 0);
+    }
+
+    #[test]
+    fn loop_counter_becomes_phi() {
+        let src = r#"
+define i32 @sum(i32 %n) {
+entry:
+  %i = alloca i32, align 4
+  %acc = alloca i32, align 4
+  store i32 0, i32* %i, align 4
+  store i32 0, i32* %acc, align 4
+  br label %header
+
+header:
+  %iv = load i32, i32* %i, align 4
+  %c = icmp slt i32 %iv, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %av = load i32, i32* %acc, align 4
+  %a2 = add i32 %av, %iv
+  store i32 %a2, i32* %acc, align 4
+  %i2 = add i32 %iv, 1
+  store i32 %i2, i32* %i, align 4
+  br label %header
+
+exit:
+  %r = load i32, i32* %acc, align 4
+  ret i32 %r
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Mem2Reg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("sum").unwrap();
+        // Two loop-carried variables -> two phis in the header.
+        assert_eq!(f.count_opcode(Opcode::Phi), 2);
+        assert_eq!(f.count_opcode(Opcode::Load), 0);
+        assert_eq!(f.count_opcode(Opcode::Store), 0);
+    }
+
+    #[test]
+    fn escaping_alloca_is_left_alone() {
+        let src = r#"
+declare void @sink(i32* %p)
+
+define void @f() {
+entry:
+  %x = alloca i32, align 4
+  store i32 1, i32* %x, align 4
+  call void @sink(i32* %x)
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        Mem2Reg.run(&mut m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.count_opcode(Opcode::Alloca), 1);
+        assert_eq!(f.count_opcode(Opcode::Store), 1);
+    }
+
+    #[test]
+    fn array_alloca_is_left_alone() {
+        let src = r#"
+define float @f() {
+entry:
+  %buf = alloca [8 x float], align 4
+  %p = getelementptr inbounds [8 x float], [8 x float]* %buf, i64 0, i64 0
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        let changed = Mem2Reg.run(&mut m).unwrap();
+        assert!(!changed);
+        assert_eq!(m.function("f").unwrap().count_opcode(Opcode::Alloca), 1);
+    }
+
+    #[test]
+    fn uninitialized_read_becomes_undef() {
+        let src = r#"
+define i32 @f() {
+entry:
+  %x = alloca i32, align 4
+  %v = load i32, i32* %x, align 4
+  ret i32 %v
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(Mem2Reg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        let ret = f.terminator(f.entry()).unwrap();
+        assert!(matches!(f.inst(ret).operands[0], Value::Undef(_)));
+    }
+}

@@ -1,0 +1,190 @@
+//! IR-to-IR transforms and the pass manager they plug into.
+//!
+//! The pass manager is the same machinery the HLS adaptor crate builds its
+//! pipeline on: passes are module-level, report whether they changed the IR,
+//! and can be run to a fixed point.
+
+pub mod dce;
+pub mod fold;
+pub mod licm;
+pub mod mem2reg;
+pub mod simplify_cfg;
+
+pub use dce::Dce;
+pub use fold::FoldConstants;
+pub use licm::Licm;
+pub use mem2reg::Mem2Reg;
+pub use simplify_cfg::SimplifyCfg;
+
+use crate::module::Module;
+use crate::Result;
+
+/// A module-level transformation.
+pub trait ModulePass {
+    /// Stable pass name used in pipeline descriptions and statistics.
+    fn name(&self) -> &'static str;
+    /// Run over the module; return `true` if anything changed.
+    fn run(&self, m: &mut Module) -> Result<bool>;
+}
+
+/// Per-pass execution record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: &'static str,
+    /// Whether the pass reported a change.
+    pub changed: bool,
+}
+
+/// An ordered pipeline of [`ModulePass`]es.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn ModulePass>>,
+    /// Verify the module after each pass (on by default; pipelines are small).
+    pub verify_each: bool,
+}
+
+impl PassManager {
+    /// An empty pipeline with per-pass verification enabled.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+        }
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True when no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Run every pass once, in order. Returns per-pass stats.
+    pub fn run(&self, m: &mut Module) -> Result<Vec<PassStat>> {
+        let mut stats = Vec::with_capacity(self.passes.len());
+        for p in &self.passes {
+            let changed = p.run(m)?;
+            if self.verify_each {
+                crate::verifier::verify_module(m).map_err(|e| match e {
+                    crate::Error::Verify(msg) => {
+                        crate::Error::Verify(format!("after pass '{}': {msg}", p.name()))
+                    }
+                    other => other,
+                })?;
+            }
+            stats.push(PassStat {
+                name: p.name(),
+                changed,
+            });
+        }
+        Ok(stats)
+    }
+
+    /// Run the whole pipeline repeatedly until no pass reports a change
+    /// (bounded by `max_iters` to guard against oscillating passes).
+    pub fn run_to_fixpoint(&self, m: &mut Module, max_iters: usize) -> Result<usize> {
+        for iter in 0..max_iters {
+            let stats = self.run(m)?;
+            if stats.iter().all(|s| !s.changed) {
+                return Ok(iter + 1);
+            }
+        }
+        Ok(max_iters)
+    }
+}
+
+/// The standard cleanup pipeline run after lowering and after the C
+/// frontend: promote memory to registers, fold, simplify, strip dead code.
+pub fn standard_cleanup() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Mem2Reg)
+        .add(FoldConstants)
+        .add(SimplifyCfg)
+        .add(Dce);
+    pm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    struct Nop;
+    impl ModulePass for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&self, _m: &mut Module) -> Result<bool> {
+            Ok(false)
+        }
+    }
+
+    struct RenameOnce;
+    impl ModulePass for RenameOnce {
+        fn name(&self) -> &'static str {
+            "rename-once"
+        }
+        fn run(&self, m: &mut Module) -> Result<bool> {
+            if m.name == "renamed" {
+                Ok(false)
+            } else {
+                m.name = "renamed".into();
+                Ok(true)
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_reports_stats() {
+        let mut m = parse_module(
+            "m",
+            "define void @f() {\nentry:\n  ret void\n}\n",
+        )
+        .unwrap();
+        let mut pm = PassManager::new();
+        pm.add(Nop).add(RenameOnce);
+        let stats = pm.run(&mut m).unwrap();
+        assert_eq!(
+            stats,
+            vec![
+                PassStat {
+                    name: "nop",
+                    changed: false
+                },
+                PassStat {
+                    name: "rename-once",
+                    changed: true
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn fixpoint_terminates() {
+        let mut m = parse_module(
+            "m",
+            "define void @f() {\nentry:\n  ret void\n}\n",
+        )
+        .unwrap();
+        let mut pm = PassManager::new();
+        pm.add(RenameOnce);
+        let iters = pm.run_to_fixpoint(&mut m, 10).unwrap();
+        assert_eq!(iters, 2); // one changing iteration + one quiescent
+        assert_eq!(m.name, "renamed");
+    }
+
+    #[test]
+    fn standard_cleanup_is_nonempty() {
+        assert_eq!(standard_cleanup().len(), 4);
+    }
+}

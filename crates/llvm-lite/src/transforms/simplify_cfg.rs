@@ -1,0 +1,252 @@
+//! CFG simplification.
+//!
+//! Three conservative rewrites, applied to a fixed point:
+//!
+//! 1. delete blocks unreachable from the entry;
+//! 2. fold single-incoming PHIs into their operand;
+//! 3. merge `A -> B` when `A` ends in an unconditional branch, `B` has `A`
+//!    as its only predecessor, and the branch carries no loop metadata
+//!    (merging a latch would silently drop HLS directives).
+
+use crate::analysis::Cfg;
+use crate::inst::{InstData, Opcode};
+use crate::module::{Function, Module};
+use crate::transforms::ModulePass;
+use crate::value::Value;
+use crate::Result;
+
+/// The SimplifyCFG pass.
+pub struct SimplifyCfg;
+
+impl ModulePass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<bool> {
+        let mut changed = false;
+        for f in &mut m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            loop {
+                let step = remove_unreachable(f) || fold_single_phis(f) || merge_linear(f);
+                if !step {
+                    break;
+                }
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+fn remove_unreachable(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dead = cfg.unreachable_blocks(f);
+    if dead.is_empty() {
+        return false;
+    }
+    for &b in &dead {
+        // Drop phi edges coming from the dead block in all successors.
+        if let Some(t) = f.terminator(b) {
+            for succ in f.inst(t).successors() {
+                remove_phi_edge(f, succ, b);
+            }
+        }
+        f.remove_block(b);
+    }
+    true
+}
+
+fn remove_phi_edge(f: &mut Function, block: u32, pred: u32) {
+    let ids: Vec<u32> = f.blocks[block as usize].insts.clone();
+    for id in ids {
+        if !f.is_live(id) {
+            continue;
+        }
+        let inst = f.inst_mut(id);
+        if let InstData::Phi { incoming } = &mut inst.data {
+            if let Some(pos) = incoming.iter().position(|&b| b == pred) {
+                incoming.remove(pos);
+                inst.operands.remove(pos);
+            }
+        }
+    }
+}
+
+fn fold_single_phis(f: &mut Function) -> bool {
+    let mut changed = false;
+    for (_, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        if inst.opcode != Opcode::Phi || inst.operands.len() != 1 {
+            continue;
+        }
+        let replacement = inst.operands[0].clone();
+        // A phi can (transiently) reference itself; don't replace with self.
+        if replacement == Value::Inst(id) {
+            continue;
+        }
+        f.replace_all_uses(&Value::Inst(id), &replacement);
+        f.remove_inst(id);
+        changed = true;
+    }
+    changed
+}
+
+fn merge_linear(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    for &a in &f.block_order.clone() {
+        let Some(t) = f.terminator(a) else { continue };
+        let term = f.inst(t);
+        let InstData::Br { dest } = term.data else {
+            continue;
+        };
+        if term.loop_md.is_some() {
+            continue;
+        }
+        let b = dest;
+        if b == a || cfg.preds[b as usize].len() != 1 {
+            continue;
+        }
+        // B's phis (if any) have a single incoming and can be folded first.
+        if f.blocks[b as usize]
+            .insts
+            .iter()
+            .any(|&i| f.inst(i).opcode == Opcode::Phi)
+        {
+            continue; // fold_single_phis will clear these on the next round
+        }
+        // Splice B into A.
+        f.blocks[a as usize].insts.pop(); // drop `br label %b`
+        f.inst_removed[t as usize] = true;
+        let moved = std::mem::take(&mut f.blocks[b as usize].insts);
+        // Successor phis must now see A as the predecessor instead of B.
+        if let Some(&new_term) = moved.last() {
+            for s in f.insts[new_term as usize].successors() {
+                f.replace_phi_incoming(s, b, a);
+            }
+        }
+        f.blocks[a as usize].insts.extend(moved);
+        f.block_order.retain(|&x| x != b);
+        f.blocks[b as usize].removed = true;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn merges_linear_chain() {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  br label %mid
+
+mid:
+  %x = add i32 %a, 1
+  br label %tail
+
+tail:
+  ret i32 %x
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(SimplifyCfg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.block_order.len(), 1);
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    fn preserves_latch_with_metadata() {
+        let src = r#"
+define void @f(i32 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %header ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %header, label %exit
+
+exit:
+  br label %tail
+
+tail:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        SimplifyCfg.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        // exit+tail merge; loop structure intact.
+        assert!(f.block_by_name("header").is_some());
+        assert_eq!(f.block_order.len(), 3);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks_and_phi_edges() {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  br label %join
+
+dead:
+  br label %join
+
+join:
+  %x = phi i32 [ %a, %entry ], [ 0, %dead ]
+  ret i32 %x
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(SimplifyCfg.run(&mut m).unwrap());
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert!(f.block_by_name("dead").is_none());
+        // Single-edge phi then folds away entirely.
+        assert_eq!(f.count_opcode(Opcode::Phi), 0);
+    }
+
+    #[test]
+    fn does_not_merge_into_multi_pred_block() {
+        let src = r#"
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+
+a:
+  br label %join
+
+b:
+  br label %join
+
+join:
+  %x = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %x
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        SimplifyCfg.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        assert!(f.block_by_name("join").is_some());
+        assert_eq!(f.count_opcode(Opcode::Phi), 1);
+    }
+
+    #[test]
+    fn idempotent_on_minimal_function() {
+        let src = "define void @f() {\nentry:\n  ret void\n}\n";
+        let mut m = parse_module("m", src).unwrap();
+        assert!(!SimplifyCfg.run(&mut m).unwrap());
+    }
+}

@@ -1,0 +1,178 @@
+//! SSA values.
+//!
+//! A [`Value`] is a small, cheaply-clonable handle. Instruction results and
+//! function arguments are indices into per-function arenas; constants are
+//! carried inline (this mirrors LLVM, where constants are uniqued context
+//! objects rather than instructions, and removes an entire class of
+//! def-before-use bookkeeping for them).
+
+use crate::module::InstId;
+use crate::types::Type;
+
+/// Any SSA value usable as an instruction operand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The `i`-th formal parameter of the enclosing function.
+    Arg(u32),
+    /// The result of an instruction in the enclosing function.
+    Inst(InstId),
+    /// An integer constant of the given type (value stored sign-extended).
+    ConstInt { ty: Type, value: i128 },
+    /// A floating constant; stored as the raw bits of the `f64` encoding so
+    /// that equality/hashing stay total (NaN-safe).
+    ConstFloat { ty: Type, bits: u64 },
+    /// The address of a module-level global, typed as pointer-to-global-type.
+    Global(String),
+    /// A typed null pointer.
+    NullPtr(Type),
+    /// A typed undef.
+    Undef(Type),
+}
+
+impl Value {
+    /// Convenience constructor for an integer constant.
+    pub fn const_int(ty: Type, value: i128) -> Value {
+        Value::ConstInt { ty, value }
+    }
+
+    /// Convenience `i32` constant.
+    pub fn i32(value: i32) -> Value {
+        Value::ConstInt {
+            ty: Type::I32,
+            value: value as i128,
+        }
+    }
+
+    /// Convenience `i64` constant.
+    pub fn i64(value: i64) -> Value {
+        Value::ConstInt {
+            ty: Type::I64,
+            value: value as i128,
+        }
+    }
+
+    /// Convenience `i1` constant.
+    pub fn bool(value: bool) -> Value {
+        Value::ConstInt {
+            ty: Type::I1,
+            value: i128::from(value),
+        }
+    }
+
+    /// Convenience `float` constant.
+    pub fn f32(value: f32) -> Value {
+        Value::ConstFloat {
+            ty: Type::Float,
+            bits: (value as f64).to_bits(),
+        }
+    }
+
+    /// Convenience `double` constant.
+    pub fn f64(value: f64) -> Value {
+        Value::ConstFloat {
+            ty: Type::Double,
+            bits: value.to_bits(),
+        }
+    }
+
+    /// The floating payload of a [`Value::ConstFloat`].
+    pub fn float_value(&self) -> Option<f64> {
+        match self {
+            Value::ConstFloat { bits, .. } => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// The integer payload of a [`Value::ConstInt`].
+    pub fn int_value(&self) -> Option<i128> {
+        match self {
+            Value::ConstInt { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// True if this is any kind of constant (does not reference an arena).
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self,
+            Value::ConstInt { .. }
+                | Value::ConstFloat { .. }
+                | Value::NullPtr(_)
+                | Value::Undef(_)
+                | Value::Global(_)
+        )
+    }
+
+    /// The instruction id, if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The argument index, if this value is a function argument.
+    pub fn as_arg(&self) -> Option<u32> {
+        match self {
+            Value::Arg(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The type of the value when it is self-describing (constants). Arena
+    /// values need the function: see `Function::value_type`.
+    pub fn const_type(&self) -> Option<&Type> {
+        match self {
+            Value::ConstInt { ty, .. }
+            | Value::ConstFloat { ty, .. }
+            | Value::NullPtr(ty)
+            | Value::Undef(ty) => Some(ty),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_constructors() {
+        assert_eq!(
+            Value::i32(7),
+            Value::ConstInt {
+                ty: Type::I32,
+                value: 7
+            }
+        );
+        assert_eq!(Value::bool(true).int_value(), Some(1));
+        assert_eq!(Value::f32(1.5).float_value(), Some(1.5));
+        assert_eq!(Value::f64(-2.25).float_value(), Some(-2.25));
+    }
+
+    #[test]
+    fn nan_constants_compare_equal() {
+        // Bit-level storage makes NaN == NaN for IR structural equality.
+        assert_eq!(Value::f64(f64::NAN), Value::f64(f64::NAN));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Value::i32(0).is_const());
+        assert!(Value::Global("g".into()).is_const());
+        assert!(!Value::Inst(3).is_const());
+        assert_eq!(Value::Inst(3).as_inst(), Some(3));
+        assert_eq!(Value::Arg(2).as_arg(), Some(2));
+        assert_eq!(Value::Arg(2).as_inst(), None);
+    }
+
+    #[test]
+    fn const_type_lookup() {
+        assert_eq!(Value::i64(1).const_type(), Some(&Type::I64));
+        assert_eq!(
+            Value::NullPtr(Type::Float.ptr_to()).const_type(),
+            Some(&Type::Float.ptr_to())
+        );
+        assert_eq!(Value::Arg(0).const_type(), None);
+    }
+}

@@ -1,0 +1,488 @@
+//! Structural verifier.
+//!
+//! Checks the invariants the rest of the crate (and the Vitis simulator)
+//! relies on: every block terminated exactly once, operand types consistent,
+//! PHIs matching predecessor edges, defs dominating uses, and metadata
+//! references in range.
+
+use std::collections::HashSet;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::inst::{InstData, Opcode};
+use crate::module::{Function, InstId, Module};
+use crate::types::Type;
+use crate::value::Value;
+use crate::{Error, Result};
+
+/// Verify a whole module.
+pub fn verify_module(m: &Module) -> Result<()> {
+    let mut names = HashSet::new();
+    for f in &m.functions {
+        if !names.insert(&f.name) {
+            return Err(Error::Verify(format!("duplicate function @{}", f.name)));
+        }
+        if !f.is_declaration {
+            verify_function(m, f)?;
+        }
+    }
+    let mut gnames = HashSet::new();
+    for g in &m.globals {
+        if !gnames.insert(&g.name) {
+            return Err(Error::Verify(format!("duplicate global @{}", g.name)));
+        }
+    }
+    Ok(())
+}
+
+/// Verify a single function definition.
+pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
+    let err = |msg: String| Err(Error::Verify(format!("@{}: {msg}", f.name)));
+
+    if f.block_order.is_empty() {
+        return err("definition has no blocks".into());
+    }
+    // Unique labels.
+    let mut labels = HashSet::new();
+    for &b in &f.block_order {
+        if !labels.insert(&f.blocks[b as usize].name) {
+            return err(format!("duplicate label {}", f.blocks[b as usize].name));
+        }
+    }
+    // Block shape: exactly one terminator, at the end; phis lead the block.
+    for &b in &f.block_order {
+        let insts = &f.blocks[b as usize].insts;
+        let Some(&last) = insts.last() else {
+            return err(format!("block {} is empty", f.blocks[b as usize].name));
+        };
+        if !f.inst(last).is_terminator() {
+            return err(format!(
+                "block {} does not end in a terminator",
+                f.blocks[b as usize].name
+            ));
+        }
+        let mut seen_non_phi = false;
+        for (pos, &i) in insts.iter().enumerate() {
+            let inst = f.inst(i);
+            if inst.is_terminator() && pos + 1 != insts.len() {
+                return err(format!(
+                    "terminator in the middle of block {}",
+                    f.blocks[b as usize].name
+                ));
+            }
+            if inst.opcode == Opcode::Phi {
+                if seen_non_phi {
+                    return err(format!(
+                        "phi after non-phi in block {}",
+                        f.blocks[b as usize].name
+                    ));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+        }
+    }
+    let cfg = Cfg::build(f);
+    // PHI edges must exactly match predecessors.
+    for &b in &f.block_order {
+        let preds: HashSet<u32> = cfg.preds[b as usize].iter().copied().collect();
+        for &i in &f.blocks[b as usize].insts {
+            let inst = f.inst(i);
+            if let InstData::Phi { incoming } = &inst.data {
+                if inst.operands.len() != incoming.len() {
+                    return err(format!("phi %{i} operand/block count mismatch"));
+                }
+                let inc: HashSet<u32> = incoming.iter().copied().collect();
+                if inc != preds {
+                    return err(format!(
+                        "phi %{i} incoming blocks do not match predecessors of {}",
+                        f.blocks[b as usize].name
+                    ));
+                }
+            }
+        }
+    }
+    // Operand sanity + type rules.
+    for (_, id) in f.inst_ids() {
+        verify_inst(m, f, id)?;
+    }
+    // Defs dominate uses (phi uses checked at the incoming edge).
+    let dom = DomTree::build(f, &cfg);
+    for (b, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        for (oi, op) in inst.operands.iter().enumerate() {
+            let Value::Inst(def) = op else { continue };
+            if !f.is_live(*def) {
+                return err(format!("%{id} uses removed instruction %{def}"));
+            }
+            let Some(def_block) = f.block_of(*def) else {
+                return err(format!("%{id} uses unplaced instruction %{def}"));
+            };
+            let use_block = match &inst.data {
+                InstData::Phi { incoming } => incoming[oi],
+                _ => b,
+            };
+            let ok = if def_block == use_block && !matches!(inst.data, InstData::Phi { .. }) {
+                // Same-block ordering.
+                let blk = &f.blocks[b as usize].insts;
+                let dpos = blk.iter().position(|&x| x == *def);
+                let upos = blk.iter().position(|&x| x == id);
+                match (dpos, upos) {
+                    (Some(d), Some(u)) => d < u,
+                    _ => false,
+                }
+            } else {
+                dom.dominates(def_block, use_block)
+            };
+            if !ok {
+                return err(format!("%{id} use of %{def} is not dominated by its def"));
+            }
+        }
+    }
+    // Metadata references in range.
+    for (_, id) in f.inst_ids() {
+        if let Some(md) = f.inst(id).loop_md {
+            if md as usize >= m.loop_mds.len() {
+                return err(format!("%{id} references out-of-range loop metadata !{md}"));
+            }
+            if !f.inst(id).is_terminator() {
+                return err(format!("%{id}: loop metadata on a non-terminator"));
+            }
+        }
+    }
+    // Return types.
+    for (_, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        if inst.opcode == Opcode::Ret {
+            match (inst.operands.first(), &f.ret_ty) {
+                (None, Type::Void) => {}
+                (Some(v), ty) if &f.value_type(m, v) == ty => {}
+                _ => return err(format!("%{id}: ret type mismatch")),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
+    let inst = f.inst(id);
+    let err = |msg: String| Err(Error::Verify(format!("@{} %{id}: {msg}", f.name)));
+    let op_ty = |i: usize| f.value_type(m, &inst.operands[i]);
+    match inst.opcode {
+        op if op.is_int_binop() => {
+            if inst.operands.len() != 2 {
+                return err("binary op needs 2 operands".into());
+            }
+            if !inst.ty.is_int() || op_ty(0) != inst.ty || op_ty(1) != inst.ty {
+                return err(format!("integer binop type mismatch ({})", inst.ty));
+            }
+        }
+        op if op.is_float_binop() => {
+            if inst.operands.len() != 2 || !inst.ty.is_float() {
+                return err("float binop malformed".into());
+            }
+            if op_ty(0) != inst.ty || op_ty(1) != inst.ty {
+                return err("float binop operand type mismatch".into());
+            }
+        }
+        Opcode::FNeg
+            if (inst.operands.len() != 1 || !inst.ty.is_float()) => {
+                return err("fneg malformed".into());
+            }
+        Opcode::ICmp => {
+            if op_ty(0) != op_ty(1) || !(op_ty(0).is_int() || op_ty(0).is_ptr()) {
+                return err("icmp operand mismatch".into());
+            }
+            if inst.ty != Type::I1 {
+                return err("icmp must produce i1".into());
+            }
+        }
+        Opcode::FCmp
+            if (op_ty(0) != op_ty(1) || !op_ty(0).is_float()) => {
+                return err("fcmp operand mismatch".into());
+            }
+        Opcode::Load => {
+            let pt = op_ty(0);
+            match pt.pointee() {
+                Some(p) if *p == inst.ty => {}
+                _ => return err(format!("load type {} from pointer {}", inst.ty, pt)),
+            }
+        }
+        Opcode::Store => {
+            let vt = op_ty(0);
+            let pt = op_ty(1);
+            match pt.pointee() {
+                Some(p) if *p == vt => {}
+                _ => return err(format!("store type {vt} through pointer {pt}")),
+            }
+        }
+        Opcode::Gep => {
+            let InstData::Gep { base_ty, .. } = &inst.data else {
+                return err("gep without payload".into());
+            };
+            let pt = op_ty(0);
+            match pt.pointee() {
+                Some(p) if p == base_ty => {}
+                _ => return err(format!("gep base type {base_ty} vs pointer {pt}")),
+            }
+            for idx in &inst.operands[1..] {
+                if !f.value_type(m, idx).is_int() {
+                    return err("gep index must be an integer".into());
+                }
+            }
+            let expect = crate::builder::gep_result_type(base_ty, inst.operands.len());
+            if expect != inst.ty {
+                return err(format!("gep result {} but computed {}", inst.ty, expect));
+            }
+        }
+        Opcode::Alloca => {
+            let InstData::Alloca { allocated, .. } = &inst.data else {
+                return err("alloca without payload".into());
+            };
+            if inst.ty != allocated.ptr_to() {
+                return err("alloca result type mismatch".into());
+            }
+        }
+        Opcode::Call => {
+            let InstData::Call { callee } = &inst.data else {
+                return err("call without payload".into());
+            };
+            if let Some(target) = m.function(callee) {
+                if !callee.starts_with("llvm.") {
+                    if target.params.len() != inst.operands.len() {
+                        return err(format!("call @{callee}: arity mismatch"));
+                    }
+                    for (i, p) in target.params.iter().enumerate() {
+                        if op_ty(i) != p.ty {
+                            return err(format!("call @{callee}: argument {i} type mismatch"));
+                        }
+                    }
+                    if target.ret_ty != inst.ty {
+                        return err(format!("call @{callee}: return type mismatch"));
+                    }
+                }
+            }
+        }
+        Opcode::Select
+            if (op_ty(0) != Type::I1 || op_ty(1) != inst.ty || op_ty(2) != inst.ty) => {
+                return err("select type mismatch".into());
+            }
+        Opcode::Phi => {
+            for op in &inst.operands {
+                if f.value_type(m, op) != inst.ty {
+                    return err("phi operand type mismatch".into());
+                }
+            }
+        }
+        op if op.is_cast() => {
+            if inst.operands.len() != 1 {
+                return err("cast needs exactly one operand".into());
+            }
+            let from = op_ty(0);
+            let to = &inst.ty;
+            let ok = match op {
+                Opcode::ZExt | Opcode::SExt => {
+                    from.is_int()
+                        && to.is_int()
+                        && from.int_width().unwrap() < to.int_width().unwrap()
+                }
+                Opcode::Trunc => {
+                    from.is_int()
+                        && to.is_int()
+                        && from.int_width().unwrap() > to.int_width().unwrap()
+                }
+                Opcode::FPExt => from == Type::Float && *to == Type::Double,
+                Opcode::FPTrunc => from == Type::Double && *to == Type::Float,
+                Opcode::FPToSI => from.is_float() && to.is_int(),
+                Opcode::SIToFP => from.is_int() && to.is_float(),
+                Opcode::PtrToInt => from.is_ptr() && to.is_int(),
+                Opcode::IntToPtr => from.is_int() && to.is_ptr(),
+                Opcode::BitCast => from.is_ptr() && to.is_ptr(),
+                _ => unreachable!(),
+            };
+            if !ok {
+                return err(format!("invalid cast {} -> {}", from, inst.ty));
+            }
+        }
+        Opcode::CondBr
+            if op_ty(0) != Type::I1 => {
+                return err("conditional branch condition must be i1".into());
+            }
+        Opcode::Br | Opcode::Ret | Opcode::Unreachable => {}
+        // Every concrete opcode is covered by the guards above; the compiler
+        // cannot see through `is_int_binop`-style guards.
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::inst::Inst;
+    use crate::module::Param;
+
+    fn ok_module() -> Module {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  ret i32 %x
+}
+"#;
+        crate::parser::parse_module("m", src).unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        assert!(verify_module(&ok_module()).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let mut m = ok_module();
+        let f = m.functions[0].clone();
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Type::Void);
+        let e = f.add_block("entry");
+        f.push_inst(
+            e,
+            Inst::new(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)]),
+        );
+        m.functions.push(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("terminator"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_binop() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Param::new("a", Type::I64)], Type::Void);
+        let e = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, e);
+        // i32 add fed an i64 argument: invalid.
+        b.add(Type::I32, Value::Arg(0), Value::i32(1));
+        b.ret(None);
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_mismatched_predecessors() {
+        let src = r#"
+define i32 @f(i32 %a) {
+entry:
+  br label %next
+
+next:
+  %x = phi i32 [ 0, %entry ], [ 1, %next ]
+  ret i32 %x
+}
+"#;
+        let m = crate::parser::parse_module("m", src).unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("incoming blocks"));
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Type::Void);
+        let e = f.add_block("entry");
+        // Manually create use-before-def: inst 0 uses inst 1.
+        f.push_inst(
+            e,
+            Inst::new(Opcode::Add, Type::I32, vec![Value::Inst(1), Value::i32(1)]),
+        );
+        f.push_inst(
+            e,
+            Inst::new(Opcode::Add, Type::I32, vec![Value::i32(2), Value::i32(3)]),
+        );
+        f.push_inst(e, Inst::new(Opcode::Ret, Type::Void, vec![]));
+        m.functions.push(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.to_string().contains("dominated"));
+    }
+
+    #[test]
+    fn rejects_bad_cast() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Param::new("a", Type::I64)], Type::Void);
+        let e = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, e);
+        b.cast(Opcode::SExt, Value::Arg(0), Type::I32); // narrowing sext
+        b.ret(None);
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_ret_type_mismatch() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Type::I32);
+        let e = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, e);
+        b.ret(Some(Value::f32(1.0)));
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let src = r#"
+define void @callee(i32 %x) {
+entry:
+  ret void
+}
+
+define void @caller() {
+entry:
+  call void @callee(i32 1, i32 2)
+  ret void
+}
+"#;
+        let m = crate::parser::parse_module("m", src).unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_metadata() {
+        let mut m = ok_module();
+        let f = &mut m.functions[0];
+        let t = f.terminator(f.entry()).unwrap();
+        f.inst_mut(t).loop_md = Some(42);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_load_type_mismatch() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Param::new("p", Type::Float.ptr_to())], Type::Void);
+        let e = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, e);
+        b.load(Type::I32, Value::Arg(0)); // i32 load through float*
+        b.ret(None);
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn gep_verification_checks_result_type() {
+        let src = r#"
+define float* @f([8 x float]* %a) {
+entry:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 3
+  ret float* %p
+}
+"#;
+        let m = crate::parser::parse_module("m", src).unwrap();
+        assert!(verify_module(&m).is_ok());
+    }
+}

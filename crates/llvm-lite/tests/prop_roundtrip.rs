@@ -1,0 +1,184 @@
+//! Property tests over the IR core: textual round-trips, verifier
+//! stability, and semantics preservation of the cleanup transforms, on
+//! randomly generated programs.
+
+use proptest::prelude::*;
+
+use llvm_lite::interp::{Interpreter, RtVal};
+use llvm_lite::transforms::{Dce, FoldConstants, Mem2Reg, ModulePass, SimplifyCfg};
+use llvm_lite::{IrBuilder, Module, Opcode, Type, Value};
+use llvm_lite::module::{Function, Param};
+
+/// One random integer operation over previously defined values.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Bin(u8, usize, usize),
+    Const(i32),
+    Select(usize, usize, usize),
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..8, any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| GenOp::Bin(o, a, b)),
+            (-100i32..100).prop_map(GenOp::Const),
+            (any::<usize>(), any::<usize>(), any::<usize>())
+                .prop_map(|(c, a, b)| GenOp::Select(c, a, b)),
+        ],
+        1..24,
+    )
+}
+
+/// Materialize the op list as a straight-line function `i32 f(i32, i32)`.
+fn build(ops: &[GenOp]) -> Module {
+    let mut m = Module::new("prop");
+    let mut f = Function::new(
+        "f",
+        vec![Param::new("a", Type::I32), Param::new("b", Type::I32)],
+        Type::I32,
+    );
+    let entry = f.add_block("entry");
+    let mut b = IrBuilder::new(&mut f, entry);
+    let mut vals: Vec<Value> = vec![Value::Arg(0), Value::Arg(1)];
+    for op in ops {
+        let v = match op {
+            GenOp::Const(c) => Value::i32(*c),
+            GenOp::Bin(o, x, y) => {
+                let x = vals[*x % vals.len()].clone();
+                let y = vals[*y % vals.len()].clone();
+                let opcode = match o % 8 {
+                    0 => Opcode::Add,
+                    1 => Opcode::Sub,
+                    2 => Opcode::Mul,
+                    3 => Opcode::And,
+                    4 => Opcode::Or,
+                    5 => Opcode::Xor,
+                    6 => Opcode::Add,
+                    _ => Opcode::Sub,
+                };
+                b.binop(opcode, Type::I32, x, y)
+            }
+            GenOp::Select(c, x, y) => {
+                let c = vals[*c % vals.len()].clone();
+                let cond = b.icmp(llvm_lite::IntPred::Slt, c, Value::i32(0));
+                let x = vals[*x % vals.len()].clone();
+                let y = vals[*y % vals.len()].clone();
+                b.select(cond, Type::I32, x, y)
+            }
+        };
+        vals.push(v);
+    }
+    let ret = vals.last().unwrap().clone();
+    b.ret(Some(ret));
+    m.functions.push(f);
+    m
+}
+
+fn run(m: &Module, a: i32, bb: i32) -> i128 {
+    let mut i = Interpreter::new(m);
+    match i
+        .call("f", &[RtVal::I(a as i128), RtVal::I(bb as i128)])
+        .unwrap()
+    {
+        RtVal::I(v) => v,
+        other => panic!("non-int result {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_programs_verify(ops in gen_ops()) {
+        let m = build(&ops);
+        llvm_lite::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn print_parse_print_is_stable(ops in gen_ops()) {
+        let m = build(&ops);
+        let t1 = llvm_lite::printer::print_module(&m);
+        let m2 = llvm_lite::parser::parse_module("prop", &t1).unwrap();
+        llvm_lite::verifier::verify_module(&m2).unwrap();
+        let t2 = llvm_lite::printer::print_module(&m2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parse_preserves_semantics(ops in gen_ops(), a in -50i32..50, b in -50i32..50) {
+        let m = build(&ops);
+        let text = llvm_lite::printer::print_module(&m);
+        let m2 = llvm_lite::parser::parse_module("prop", &text).unwrap();
+        prop_assert_eq!(run(&m, a, b), run(&m2, a, b));
+    }
+
+    #[test]
+    fn cleanup_preserves_semantics(ops in gen_ops(), a in -50i32..50, b in -50i32..50) {
+        let m = build(&ops);
+        let before = run(&m, a, b);
+        let mut m2 = m.clone();
+        FoldConstants.run(&mut m2).unwrap();
+        SimplifyCfg.run(&mut m2).unwrap();
+        Dce.run(&mut m2).unwrap();
+        llvm_lite::verifier::verify_module(&m2).unwrap();
+        prop_assert_eq!(before, run(&m2, a, b));
+    }
+
+    #[test]
+    fn dce_never_grows_the_function(ops in gen_ops()) {
+        let mut m = build(&ops);
+        let before = m.functions[0].num_insts();
+        Dce.run(&mut m).unwrap();
+        prop_assert!(m.functions[0].num_insts() <= before);
+    }
+}
+
+/// Random store/load sequences through an alloca slot: mem2reg must be an
+/// exact semantics-preserving transform.
+fn build_slot_program(writes: &[(bool, i32)]) -> Module {
+    let mut m = Module::new("prop");
+    // Two params so the shared `run` helper applies; %b is unused.
+    let mut f = Function::new(
+        "f",
+        vec![Param::new("a", Type::I32), Param::new("b", Type::I32)],
+        Type::I32,
+    );
+    let entry = f.add_block("entry");
+    let mut b = IrBuilder::new(&mut f, entry);
+    let slot = b.alloca(Type::I32, "x");
+    b.store(Value::Arg(0), slot.clone(), 4);
+    let mut acc = Value::Arg(0);
+    for (do_store, c) in writes {
+        if *do_store {
+            let v = b.add(Type::I32, acc.clone(), Value::i32(*c));
+            b.store(v, slot.clone(), 4);
+        } else {
+            let v = b.load(Type::I32, slot.clone());
+            acc = b.binop(Opcode::Xor, Type::I32, v, Value::i32(*c));
+        }
+    }
+    let last = b.load(Type::I32, slot);
+    let out = b.add(Type::I32, last, acc);
+    b.ret(Some(out));
+    m.functions.push(f);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mem2reg_preserves_semantics(
+        writes in prop::collection::vec((any::<bool>(), -20i32..20), 1..16),
+        a in -100i32..100,
+    ) {
+        let m = build_slot_program(&writes);
+        let before = run(&m, a, 0);
+        let mut m2 = m.clone();
+        Mem2Reg.run(&mut m2).unwrap();
+        llvm_lite::verifier::verify_module(&m2).unwrap();
+        prop_assert_eq!(before, run(&m2, a, 0));
+        // And the slot is actually gone.
+        prop_assert_eq!(m2.functions[0].count_opcode(Opcode::Alloca), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! `affine` → `scf` lowering.
+//!
+//! * `affine.for` becomes `scf.for` with materialized `arith.constant`
+//!   bounds; the body block is moved wholesale so induction-variable
+//!   references stay valid.
+//! * `affine.load`/`affine.store` expand their subscript maps into `arith`
+//!   index computations feeding `memref.load`/`memref.store`.
+//! * `affine.apply` expands the same way.
+//!
+//! HLS directive attributes on loops are carried over verbatim. This is the
+//! stage where affine maps — the structured detail the paper wants to keep —
+//! are erased into plain arithmetic; everything downstream sees only what
+//! survives here.
+
+use mlir_lite::affine::AffineExpr;
+use mlir_lite::dialects::{arith, scf};
+use mlir_lite::ir::{MValue, MlirModule, Op};
+use mlir_lite::Attr;
+
+use crate::Result;
+
+/// Lower all affine ops in the module.
+pub fn run(m: &mut MlirModule) -> Result<()> {
+    for f in &mut m.ops {
+        lower_in_op(f)?;
+    }
+    Ok(())
+}
+
+fn lower_in_op(op: &mut Op) -> Result<()> {
+    for r in &mut op.regions {
+        for b in &mut r.blocks {
+            let mut out: Vec<Op> = Vec::new();
+            for mut inner in std::mem::take(&mut b.ops) {
+                lower_in_op(&mut inner)?;
+                lower_one(inner, &mut out)?;
+            }
+            b.ops = out;
+        }
+    }
+    Ok(())
+}
+
+fn lower_one(op: Op, out: &mut Vec<Op>) -> Result<()> {
+    match op.name.as_str() {
+        "affine.for" => {
+            let lb = op.int_attr("lower_bound").unwrap_or(0);
+            let ub = op.int_attr("upper_bound").unwrap_or(0);
+            let step = op.int_attr("step").unwrap_or(1);
+            let clb = arith::const_index(lb);
+            let cub = arith::const_index(ub);
+            let cstep = arith::const_index(step);
+            let mut lowered = scf::for_loop(clb.result(0), cub.result(0), cstep.result(0));
+            out.push(clb);
+            out.push(cub);
+            out.push(cstep);
+            // Move the body region wholesale: block uid (and hence the IV
+            // block-arg references) survive.
+            let mut op = op;
+            lowered.regions = std::mem::take(&mut op.regions);
+            // Retarget the terminator.
+            if let Some(last) = lowered.regions[0].entry_mut().ops.last_mut() {
+                if last.name == "affine.yield" {
+                    last.name = "scf.yield".into();
+                }
+            }
+            // Carry HLS directives across.
+            for (k, v) in &op.attrs {
+                if k.starts_with("hls.") {
+                    lowered.attrs.insert(k.clone(), v.clone());
+                }
+            }
+            out.push(lowered);
+        }
+        "affine.load" => {
+            let map = op
+                .attrs
+                .get("map")
+                .and_then(Attr::as_map)
+                .cloned()
+                .ok_or_else(|| crate::Error::Transform("affine.load without map".into()))?;
+            let dims: Vec<MValue> = op.operands[1..].to_vec();
+            let indices = expand_map(&map, &dims, out);
+            let mut replacement = mlir_lite::dialects::memref::load(op.operands[0].clone(), indices);
+            replacement.uid = op.uid; // keep existing uses valid
+            out.push(replacement);
+        }
+        "affine.store" => {
+            let map = op
+                .attrs
+                .get("map")
+                .and_then(Attr::as_map)
+                .cloned()
+                .ok_or_else(|| crate::Error::Transform("affine.store without map".into()))?;
+            let dims: Vec<MValue> = op.operands[2..].to_vec();
+            let indices = expand_map(&map, &dims, out);
+            let mut replacement = mlir_lite::dialects::memref::store(
+                op.operands[0].clone(),
+                op.operands[1].clone(),
+                indices,
+            );
+            replacement.uid = op.uid;
+            out.push(replacement);
+        }
+        "affine.apply" => {
+            let map = op
+                .attrs
+                .get("map")
+                .and_then(Attr::as_map)
+                .cloned()
+                .ok_or_else(|| crate::Error::Transform("affine.apply without map".into()))?;
+            let mut vals = expand_map(&map, &op.operands, out);
+            let v = vals.pop().expect("single-result map");
+            // Keep the op in place as a pass-through so existing uses (which
+            // reference op.uid) resolve: rewrite into an addi with zero.
+            let zero = arith::const_index(0);
+            let mut passthrough = arith::addi(v, zero.result(0));
+            passthrough.uid = op.uid;
+            out.push(zero);
+            out.push(passthrough);
+        }
+        _ => out.push(op),
+    }
+    Ok(())
+}
+
+/// Expand every map result into index arithmetic; returns one value per
+/// result. Constant and bare-dim results reuse existing values where
+/// possible.
+fn expand_map(
+    map: &mlir_lite::AffineMap,
+    dims: &[MValue],
+    out: &mut Vec<Op>,
+) -> Vec<MValue> {
+    map.results
+        .iter()
+        .map(|e| expand_expr(e, dims, out))
+        .collect()
+}
+
+fn expand_expr(e: &AffineExpr, dims: &[MValue], out: &mut Vec<Op>) -> MValue {
+    match e {
+        AffineExpr::Dim(i) => dims[*i as usize].clone(),
+        AffineExpr::Sym(_) => {
+            // Symbols are not used by the kernel subset; materialize zero so
+            // failures are visible rather than silent.
+            let c = arith::const_index(0);
+            let v = c.result(0);
+            out.push(c);
+            v
+        }
+        AffineExpr::Const(v) => {
+            let c = arith::const_index(*v);
+            let val = c.result(0);
+            out.push(c);
+            val
+        }
+        AffineExpr::Add(a, b) => {
+            let av = expand_expr(a, dims, out);
+            let bv = expand_expr(b, dims, out);
+            let op = arith::addi(av, bv);
+            let v = op.result(0);
+            out.push(op);
+            v
+        }
+        AffineExpr::Mul(a, b) => {
+            let av = expand_expr(a, dims, out);
+            let bv = expand_expr(b, dims, out);
+            let op = arith::muli(av, bv);
+            let v = op.result(0);
+            out.push(op);
+            v
+        }
+        AffineExpr::Mod(a, m) => {
+            let av = expand_expr(a, dims, out);
+            let c = arith::const_index(*m);
+            let cv = c.result(0);
+            out.push(c);
+            let op = arith::remsi(av, cv);
+            let v = op.result(0);
+            out.push(op);
+            v
+        }
+        AffineExpr::FloorDiv(a, d) | AffineExpr::CeilDiv(a, d) => {
+            // Loop bounds in this subset are non-negative, where signed
+            // division matches floor division; ceildiv adds (d-1) first.
+            let mut av = expand_expr(a, dims, out);
+            if matches!(e, AffineExpr::CeilDiv(..)) {
+                let c = arith::const_index(*d - 1);
+                let cv = c.result(0);
+                out.push(c);
+                let add = arith::addi(av, cv);
+                av = add.result(0);
+                out.push(add);
+            }
+            let c = arith::const_index(*d);
+            let cv = c.result(0);
+            out.push(c);
+            let op = arith::divsi(av, cv);
+            let v = op.result(0);
+            out.push(op);
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_lite::parser::parse_module;
+
+    #[test]
+    fn loops_become_scf() {
+        let src = r#"
+func.func @f(%m: memref<4xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[%i] : memref<4xf32>
+    affine.store %v, %m[%i] : memref<4xf32>
+  } {hls.pipeline_ii = 2 : i32}
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        run(&mut m).unwrap();
+        assert_eq!(m.count_ops(|o| o.name == "affine.for"), 0);
+        assert_eq!(m.count_ops(|o| o.name == "scf.for"), 1);
+        assert_eq!(m.count_ops(|o| o.name == "memref.load"), 1);
+        assert_eq!(m.count_ops(|o| o.name == "affine.load"), 0);
+        // Directive carried over.
+        let mut ii = None;
+        m.walk(&mut |o| {
+            if o.name == "scf.for" {
+                ii = mlir_lite::dialects::hls::pipeline_ii(o);
+            }
+        });
+        assert_eq!(ii, Some(2));
+    }
+
+    #[test]
+    fn subscript_arithmetic_is_materialized() {
+        let src = r#"
+func.func @f(%m: memref<16xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[2 * %i + 1] : memref<16xf32>
+    affine.store %v, %m[%i] : memref<16xf32>
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        run(&mut m).unwrap();
+        // 2*%i -> muli, +1 -> addi.
+        assert!(m.count_ops(|o| o.name == "arith.muli") >= 1);
+        assert!(m.count_ops(|o| o.name == "arith.addi") >= 1);
+    }
+
+    #[test]
+    fn iv_references_survive_the_region_move() {
+        let src = r#"
+func.func @f(%m: memref<4xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[%i] : memref<4xf32>
+    affine.store %v, %m[%i] : memref<4xf32>
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        run(&mut m).unwrap();
+        // The scf verifier checks operand visibility — a broken IV reference
+        // would fail here.
+        mlir_lite::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn apply_becomes_arith() {
+        let src = r#"
+func.func @f(%m: memref<16xf32>) {
+  affine.for %i = 0 to 4 {
+    %idx = affine.apply (3 * %i + 2)
+    %v = memref.load %m[%idx] : memref<16xf32>
+    affine.store %v, %m[%i] : memref<16xf32>
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        run(&mut m).unwrap();
+        assert_eq!(m.count_ops(|o| o.name == "affine.apply"), 0);
+        mlir_lite::verifier::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,314 @@
+//! `scf` → `cf` lowering: structured loops and conditionals become explicit
+//! basic blocks with block arguments.
+//!
+//! An `scf.for` lowers to the canonical rotated-loop shape:
+//!
+//! ```text
+//!   cf.br ^header(%lb)
+//! ^header(%iv: index):
+//!   %cond = arith.cmpi slt, %iv, %ub
+//!   cf.cond_br %cond, ^body, ^exit
+//! ^body:
+//!   ...body...
+//!   %next = arith.addi %iv, %step
+//!   cf.br ^header(%next)        // carries the loop's hls.* attributes
+//! ^exit:
+//! ```
+//!
+//! The header block *reuses the uid* of the loop's body entry block, so every
+//! use of the induction variable (a block-arg reference) resolves to the
+//! header's argument with no rewriting. HLS directives migrate from the loop
+//! op to the latch branch, which is where the LLVM translation expects them
+//! (mirroring clang's placement of `!llvm.loop` on the latch).
+
+use mlir_lite::dialects::{arith, cf};
+use mlir_lite::ir::{MBlock, MType, MlirModule, Op};
+
+use crate::Result;
+
+/// Lower every function in the module to cf-level control flow.
+pub fn run(m: &mut MlirModule) -> Result<()> {
+    for f in &mut m.ops {
+        if f.name != "func.func" {
+            continue;
+        }
+        let region = &mut f.regions[0];
+        let mut entry = std::mem::take(&mut region.blocks)
+            .into_iter()
+            .next()
+            .expect("func has entry block");
+        let ops = std::mem::take(&mut entry.ops);
+        let mut ctx = Ctx { blocks: Vec::new() };
+        ctx.blocks.push(entry);
+        let last = flatten(ops, &mut ctx, 0)?;
+        // Ensure the final block is terminated (func.return flows here).
+        let _ = last;
+        region.blocks = ctx.blocks;
+    }
+    Ok(())
+}
+
+struct Ctx {
+    blocks: Vec<MBlock>,
+}
+
+impl Ctx {
+    fn push_block(&mut self, b: MBlock) -> usize {
+        self.blocks.push(b);
+        self.blocks.len() - 1
+    }
+}
+
+/// Flatten `ops` into `ctx.blocks`, starting in block index `cur`; returns
+/// the index of the block where control continues.
+fn flatten(ops: Vec<Op>, ctx: &mut Ctx, mut cur: usize) -> Result<usize> {
+    for op in ops {
+        match op.name.as_str() {
+            "scf.for" => cur = flatten_for(op, ctx, cur)?,
+            "scf.if" => cur = flatten_if(op, ctx, cur)?,
+            "scf.yield" => {
+                // Stripped by the caller; a stray yield is a structure bug.
+                return Err(crate::Error::Transform(
+                    "unexpected scf.yield outside a region".into(),
+                ));
+            }
+            _ => ctx.blocks[cur].ops.push(op),
+        }
+    }
+    Ok(cur)
+}
+
+fn flatten_for(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
+    let lb = op.operands[0].clone();
+    let ub = op.operands[1].clone();
+    let step = op.operands[2].clone();
+
+    let mut body_region = op.regions.remove(0);
+    let body_entry = &mut body_region.blocks[0];
+    let body_uid = body_entry.uid;
+    let mut body_ops = std::mem::take(&mut body_entry.ops);
+    if body_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+        body_ops.pop();
+    }
+
+    // Header reuses the body block's uid so IV references stay valid.
+    let mut header = MBlock::new(vec![MType::Index]);
+    header.uid = body_uid;
+    let iv = header.arg(0);
+
+    let body = MBlock::new(vec![]);
+    let body_block_uid = body.uid;
+    let exit = MBlock::new(vec![]);
+    let exit_uid = exit.uid;
+
+    // Current block jumps into the header with the lower bound.
+    ctx.blocks[cur].ops.push(cf::br_uid(body_uid, vec![lb]));
+
+    // Header: compare and branch.
+    let cmp = arith::cmpi("slt", iv.clone(), ub);
+    let cmp_v = cmp.result(0);
+    header.ops.push(cmp);
+    header
+        .ops
+        .push(cf::cond_br_uid(cmp_v, body_block_uid, vec![], exit_uid, vec![]));
+    ctx.push_block(header);
+
+    // Body (recursively flattened).
+    let body_idx = ctx.push_block(body);
+    let body_end = flatten(body_ops, ctx, body_idx)?;
+
+    // Latch: increment and loop back, carrying the directives.
+    let next = arith::addi(iv, step);
+    let next_v = next.result(0);
+    ctx.blocks[body_end].ops.push(next);
+    let mut latch = cf::br_uid(body_uid, vec![next_v]);
+    for (k, v) in &op.attrs {
+        if k.starts_with("hls.") {
+            latch.attrs.insert(k.clone(), v.clone());
+        }
+    }
+    ctx.blocks[body_end].ops.push(latch);
+
+    Ok(ctx.push_block(exit))
+}
+
+fn flatten_if(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
+    let cond = op.operands[0].clone();
+    let mut then_region = op.regions.remove(0);
+    let mut then_ops = std::mem::take(&mut then_region.blocks[0].ops);
+    if then_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+        then_ops.pop();
+    }
+    let mut else_ops = if !op.regions.is_empty() {
+        let mut else_region = op.regions.remove(0);
+        std::mem::take(&mut else_region.blocks[0].ops)
+    } else {
+        Vec::new()
+    };
+    if else_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+        else_ops.pop();
+    }
+
+    let then_block = MBlock::new(vec![]);
+    let then_uid = then_block.uid;
+    let merge = MBlock::new(vec![]);
+    let merge_uid = merge.uid;
+
+    let has_else = !else_ops.is_empty();
+    let else_block = MBlock::new(vec![]);
+    let else_uid = else_block.uid;
+
+    let false_target = if has_else { else_uid } else { merge_uid };
+    ctx.blocks[cur]
+        .ops
+        .push(cf::cond_br_uid(cond, then_uid, vec![], false_target, vec![]));
+
+    let then_idx = ctx.push_block(then_block);
+    let then_end = flatten(then_ops, ctx, then_idx)?;
+    ctx.blocks[then_end].ops.push(cf::br_uid(merge_uid, vec![]));
+
+    if has_else {
+        let else_idx = ctx.push_block(else_block);
+        let else_end = flatten(else_ops, ctx, else_idx)?;
+        ctx.blocks[else_end].ops.push(cf::br_uid(merge_uid, vec![]));
+    }
+
+    Ok(ctx.push_block(merge))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_lite::parser::parse_module;
+
+    fn lower_to_cf(src: &str) -> MlirModule {
+        let mut m = parse_module("t", src).unwrap();
+        crate::affine_to_scf::run(&mut m).unwrap();
+        run(&mut m).unwrap();
+        m
+    }
+
+    #[test]
+    fn single_loop_produces_four_blocks() {
+        let m = lower_to_cf(
+            r#"
+func.func @f(%m: memref<4xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[%i] : memref<4xf32>
+    affine.store %v, %m[%i] : memref<4xf32>
+  }
+  func.return
+}
+"#,
+        );
+        let f = m.func("f").unwrap();
+        // entry, header, body, exit.
+        assert_eq!(f.regions[0].blocks.len(), 4);
+        assert_eq!(m.count_ops(|o| o.name == "scf.for"), 0);
+        assert_eq!(m.count_ops(|o| o.name == "cf.br"), 2);
+        assert_eq!(m.count_ops(|o| o.name == "cf.cond_br"), 1);
+    }
+
+    #[test]
+    fn header_reuses_body_uid_for_iv() {
+        let m = lower_to_cf(
+            r#"
+func.func @f(%m: memref<4xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[%i] : memref<4xf32>
+    affine.store %v, %m[%i] : memref<4xf32>
+  }
+  func.return
+}
+"#,
+        );
+        let f = m.func("f").unwrap();
+        let header = &f.regions[0].blocks[1];
+        assert_eq!(header.arg_types, vec![MType::Index]);
+        // The load in the body must reference the header's block arg.
+        let body = &f.regions[0].blocks[2];
+        let load = body.ops.iter().find(|o| o.name == "memref.load").unwrap();
+        let iv_ref = &load.operands[1];
+        assert_eq!(
+            iv_ref.kind,
+            mlir_lite::MValueKind::BlockArg {
+                block: header.uid,
+                idx: 0
+            }
+        );
+    }
+
+    #[test]
+    fn directives_move_to_latch() {
+        let m = lower_to_cf(
+            r#"
+func.func @f(%m: memref<4xf32>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %m[%i] : memref<4xf32>
+    affine.store %v, %m[%i] : memref<4xf32>
+  } {hls.pipeline_ii = 1 : i32}
+  func.return
+}
+"#,
+        );
+        let mut found = false;
+        m.walk(&mut |o| {
+            if o.name == "cf.br" && o.attrs.contains_key("hls.pipeline_ii") {
+                found = true;
+            }
+        });
+        assert!(found, "latch branch must carry the pipeline directive");
+    }
+
+    #[test]
+    fn nested_loops_flatten() {
+        let m = lower_to_cf(
+            r#"
+func.func @f(%m: memref<4x4xf32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      %v = affine.load %m[%i, %j] : memref<4x4xf32>
+      affine.store %v, %m[%j, %i] : memref<4x4xf32>
+    }
+  }
+  func.return
+}
+"#,
+        );
+        let f = m.func("f").unwrap();
+        // entry + 2*(header, body, exit) + inner exit merges = 7 blocks.
+        assert_eq!(f.regions[0].blocks.len(), 7);
+        assert_eq!(m.count_ops(|o| o.name == "cf.cond_br"), 2);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        // scf.if is produced by transforms rather than parsed; build one.
+        use mlir_lite::dialects::{arith, func as func_ops, scf};
+        let mut m = MlirModule::new("m");
+        let mut f = func_ops::func("f", vec![], MType::None);
+        let c = arith::const_int(1, MType::I1);
+        let mut iff = scf::if_(c.result(0));
+        iff.regions[0]
+            .entry_mut()
+            .ops
+            .push(arith::const_index(1));
+        iff.regions[0].entry_mut().ops.push(scf::yield_());
+        iff.regions[1]
+            .entry_mut()
+            .ops
+            .push(arith::const_index(2));
+        iff.regions[1].entry_mut().ops.push(scf::yield_());
+        {
+            let body = f.regions[0].entry_mut();
+            body.ops.push(c);
+            body.ops.push(iff);
+            body.ops.push(func_ops::ret(None));
+        }
+        m.ops.push(f);
+        run(&mut m).unwrap();
+        let f = m.func("f").unwrap();
+        // entry, then, else, merge.
+        assert_eq!(f.regions[0].blocks.len(), 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Affine-level full loop unrolling.
+//!
+//! Loops tagged `hls.unroll_full` (by hand or by the
+//! `UnrollSmallLoops` marking pass) are expanded in place: the body is
+//! deep-cloned once per iteration with the induction variable replaced by a
+//! constant `affine.apply`-free index constant. Expansion happens at the
+//! affine level so subscript maps fold to constants before lowering.
+
+use mlir_lite::attr::Attr;
+use mlir_lite::dialects::{arith, hls};
+use mlir_lite::ir::{MValueKind, MlirModule, Op};
+
+use crate::Result;
+
+/// Expand every `hls.unroll_full` loop in the module. Nested tagged loops
+/// are expanded inner-first.
+pub fn expand_full_unroll(m: &mut MlirModule) -> Result<()> {
+    for f in &mut m.ops {
+        expand_in_op(f)?;
+    }
+    strip_provenance(m);
+    Ok(())
+}
+
+fn expand_in_op(op: &mut Op) -> Result<()> {
+    for r in &mut op.regions {
+        for b in &mut r.blocks {
+            // Inner-first: recurse, then expand at this level.
+            for inner in &mut b.ops {
+                expand_in_op(inner)?;
+            }
+            let mut out: Vec<Op> = Vec::new();
+            for inner in std::mem::take(&mut b.ops) {
+                if inner.name == "affine.for"
+                    && inner
+                        .attrs
+                        .get(hls::UNROLL_FULL)
+                        .map(|a| a.as_int() == Some(1) || matches!(a, Attr::Unit))
+                        .unwrap_or(false)
+                {
+                    expand_loop(inner, &mut out)?;
+                } else {
+                    out.push(inner);
+                }
+            }
+            b.ops = out;
+        }
+    }
+    Ok(())
+}
+
+fn expand_loop(mut l: Op, out: &mut Vec<Op>) -> Result<()> {
+    let lb = l.int_attr("lower_bound").unwrap_or(0);
+    let ub = l.int_attr("upper_bound").unwrap_or(0);
+    let step = l.int_attr("step").unwrap_or(1).max(1);
+    let body_block_uid = l.regions[0].entry().uid;
+    let body_ops = std::mem::take(&mut l.regions[0].entry_mut().ops);
+    let mut iv = lb;
+    while iv < ub {
+        // Per-iteration constant for the IV.
+        let c = arith::const_index(iv);
+        let c_val = c.result(0);
+        out.push(c);
+        for o in &body_ops {
+            if o.name == "affine.yield" {
+                continue;
+            }
+            let mut cloned = clone_with_uid_map(o, out);
+            // Replace IV uses (body block arg 0) with the constant.
+            cloned.walk_mut(&mut |inner| {
+                for v in &mut inner.operands {
+                    if v.kind
+                        == (MValueKind::BlockArg {
+                            block: body_block_uid,
+                            idx: 0,
+                        })
+                    {
+                        *v = c_val.clone();
+                    }
+                }
+            });
+            out.push(cloned);
+        }
+        iv += step;
+    }
+    Ok(())
+}
+
+/// Clone an op subtree with fresh uids, then fix references *between the
+/// clones emitted this iteration*: deep_clone remaps internal references;
+/// references to sibling ops cloned earlier in the same iteration are fixed
+/// via the sibling map accumulated in `emitted`.
+fn clone_with_uid_map(op: &Op, emitted: &[Op]) -> Op {
+    // deep_clone handles intra-subtree references. Cross-sibling references
+    // (op A's result used by op B at the same nesting level) must be
+    // remapped too: we track original-uid -> latest-clone-uid via an
+    // attribute-free sidecar — the `mha.orig_uid` attr set below.
+    let mut cloned = op.deep_clone();
+    // Record provenance on the top-level clone.
+    cloned
+        .attrs
+        .insert("mha.orig_uid".into(), Attr::i64(op.uid as i64));
+    // Remap operands that referenced earlier siblings (by original uid).
+    let mut latest: std::collections::BTreeMap<i64, u32> = std::collections::BTreeMap::new();
+    for e in emitted {
+        if let Some(orig) = e.int_attr("mha.orig_uid") {
+            latest.insert(orig, e.uid);
+        }
+    }
+    cloned.walk_mut(&mut |inner| {
+        for v in &mut inner.operands {
+            if let MValueKind::OpResult { op: uid, idx } = v.kind {
+                if let Some(&n) = latest.get(&(uid as i64)) {
+                    v.kind = MValueKind::OpResult { op: n, idx };
+                }
+            }
+        }
+    });
+    cloned
+}
+
+/// Strip the provenance attributes `clone_with_uid_map` leaves behind.
+pub fn strip_provenance(m: &mut MlirModule) {
+    for f in &mut m.ops {
+        f.walk_mut(&mut |o| {
+            o.attrs.remove("mha.orig_uid");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_lite::parser::parse_module;
+
+    #[test]
+    fn expands_simple_loop() {
+        let src = r#"
+func.func @f(%m: memref<3xf32>) {
+  affine.for %i = 0 to 3 {
+    %v = affine.load %m[%i] : memref<3xf32>
+    %w = arith.addf %v, %v : f32
+    affine.store %w, %m[%i] : memref<3xf32>
+  } {hls.unroll_full = true}
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        expand_full_unroll(&mut m).unwrap();
+        assert_eq!(m.count_ops(|o| o.name == "affine.for"), 0);
+        assert_eq!(m.count_ops(|o| o.name == "affine.load"), 3);
+        assert_eq!(m.count_ops(|o| o.name == "affine.store"), 3);
+        assert_eq!(m.count_ops(|o| o.name == "arith.addf"), 3);
+        mlir_lite::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn untagged_loops_are_untouched() {
+        let src = r#"
+func.func @f(%m: memref<3xf32>) {
+  affine.for %i = 0 to 3 {
+    %v = affine.load %m[%i] : memref<3xf32>
+    affine.store %v, %m[%i] : memref<3xf32>
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        expand_full_unroll(&mut m).unwrap();
+        assert_eq!(m.count_ops(|o| o.name == "affine.for"), 1);
+    }
+
+    #[test]
+    fn sibling_references_are_remapped() {
+        // %v feeds %w inside the same unrolled iteration; the clone of %w
+        // must point at the clone of %v, not the original.
+        let src = r#"
+func.func @f(%m: memref<2xf32>) {
+  affine.for %i = 0 to 2 {
+    %v = affine.load %m[%i] : memref<2xf32>
+    %w = arith.mulf %v, %v : f32
+    affine.store %w, %m[%i] : memref<2xf32>
+  } {hls.unroll_full = true}
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        expand_full_unroll(&mut m).unwrap();
+        // Verification catches dangling sibling references.
+        mlir_lite::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn nested_tagged_loops_expand_completely() {
+        let src = r#"
+func.func @f(%m: memref<2x2xf32>) {
+  affine.for %i = 0 to 2 {
+    affine.for %j = 0 to 2 {
+      %v = affine.load %m[%i, %j] : memref<2x2xf32>
+      affine.store %v, %m[%i, %j] : memref<2x2xf32>
+    } {hls.unroll_full = true}
+  } {hls.unroll_full = true}
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        expand_full_unroll(&mut m).unwrap();
+        assert_eq!(m.count_ops(|o| o.name == "affine.for"), 0);
+        assert_eq!(m.count_ops(|o| o.name == "affine.load"), 4);
+        mlir_lite::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn step_respected_in_expansion() {
+        let src = r#"
+func.func @f(%m: memref<8xf32>) {
+  affine.for %i = 0 to 8 step 3 {
+    %v = affine.load %m[%i] : memref<8xf32>
+    affine.store %v, %m[%i] : memref<8xf32>
+  } {hls.unroll_full = true}
+  func.return
+}
+"#;
+        let mut m = parse_module("f", src).unwrap();
+        expand_full_unroll(&mut m).unwrap();
+        // Iterations at 0, 3, 6.
+        assert_eq!(m.count_ops(|o| o.name == "affine.load"), 3);
+    }
+}

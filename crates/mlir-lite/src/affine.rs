@@ -1,0 +1,455 @@
+//! Affine expressions and maps.
+//!
+//! These are the "expression details" the paper argues a direct IR path
+//! preserves: multi-dimensional subscripts like `(d0, d1) -> (d0 + 1, 2*d1)`
+//! survive as structured maps in the adaptor flow, whereas the HLS-C++
+//! detour flattens them into pointer arithmetic the downstream frontend must
+//! re-derive.
+
+use std::fmt;
+
+/// An affine expression over dimensions `d0..dN` and symbols `s0..sM`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AffineExpr {
+    /// `dI` — loop induction dimension.
+    Dim(u32),
+    /// `sI` — symbolic (loop-invariant) operand.
+    Sym(u32),
+    /// Integer constant.
+    Const(i64),
+    /// Sum of two affine expressions.
+    Add(Box<AffineExpr>, Box<AffineExpr>),
+    /// Product — affine only when one side is constant.
+    Mul(Box<AffineExpr>, Box<AffineExpr>),
+    /// Euclidean remainder by a positive constant.
+    Mod(Box<AffineExpr>, i64),
+    /// Floor division by a positive constant.
+    FloorDiv(Box<AffineExpr>, i64),
+    /// Ceiling division by a positive constant.
+    CeilDiv(Box<AffineExpr>, i64),
+}
+
+// The builder methods `add`/`mul`/`sub` intentionally shadow operator names:
+// they are the AffineExpr algebra, taken by value with eager folding, and
+// implementing the std operator traits would hide the folding contract.
+#[allow(clippy::should_implement_trait)]
+impl AffineExpr {
+    /// `d<i>`.
+    pub fn dim(i: u32) -> AffineExpr {
+        AffineExpr::Dim(i)
+    }
+
+    /// `s<i>`.
+    pub fn sym(i: u32) -> AffineExpr {
+        AffineExpr::Sym(i)
+    }
+
+    /// Constant expression.
+    pub fn cst(v: i64) -> AffineExpr {
+        AffineExpr::Const(v)
+    }
+
+    /// `self + rhs`, with eager constant folding.
+    pub fn add(self, rhs: AffineExpr) -> AffineExpr {
+        match (self, rhs) {
+            (AffineExpr::Const(a), AffineExpr::Const(b)) => AffineExpr::Const(a + b),
+            (a, AffineExpr::Const(0)) | (AffineExpr::Const(0), a) => a,
+            (a, b) => AffineExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `self * rhs`, with eager constant folding. Panics if neither side is
+    /// constant (that would not be affine).
+    pub fn mul(self, rhs: AffineExpr) -> AffineExpr {
+        match (self, rhs) {
+            (AffineExpr::Const(a), AffineExpr::Const(b)) => AffineExpr::Const(a * b),
+            (a, AffineExpr::Const(1)) | (AffineExpr::Const(1), a) => a,
+            (_, AffineExpr::Const(0)) | (AffineExpr::Const(0), _) => AffineExpr::Const(0),
+            (a, b @ AffineExpr::Const(_)) => AffineExpr::Mul(Box::new(a), Box::new(b)),
+            (a @ AffineExpr::Const(_), b) => AffineExpr::Mul(Box::new(b), Box::new(a)),
+            (a, b) => panic!("non-affine product of {a:?} and {b:?}"),
+        }
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self.add(rhs.mul(AffineExpr::Const(-1)))
+    }
+
+    /// Evaluate with concrete dimension and symbol values.
+    pub fn eval(&self, dims: &[i64], syms: &[i64]) -> i64 {
+        match self {
+            AffineExpr::Dim(i) => dims[*i as usize],
+            AffineExpr::Sym(i) => syms[*i as usize],
+            AffineExpr::Const(v) => *v,
+            AffineExpr::Add(a, b) => a.eval(dims, syms) + b.eval(dims, syms),
+            AffineExpr::Mul(a, b) => a.eval(dims, syms) * b.eval(dims, syms),
+            AffineExpr::Mod(a, m) => a.eval(dims, syms).rem_euclid(*m),
+            AffineExpr::FloorDiv(a, d) => a.eval(dims, syms).div_euclid(*d),
+            AffineExpr::CeilDiv(a, d) => {
+                let v = a.eval(dims, syms);
+                -((-v).div_euclid(*d))
+            }
+        }
+    }
+
+    /// Largest dimension index referenced, plus one (0 if none).
+    pub fn num_dims_used(&self) -> u32 {
+        match self {
+            AffineExpr::Dim(i) => i + 1,
+            AffineExpr::Sym(_) | AffineExpr::Const(_) => 0,
+            AffineExpr::Add(a, b) | AffineExpr::Mul(a, b) => {
+                a.num_dims_used().max(b.num_dims_used())
+            }
+            AffineExpr::Mod(a, _) | AffineExpr::FloorDiv(a, _) | AffineExpr::CeilDiv(a, _) => {
+                a.num_dims_used()
+            }
+        }
+    }
+
+    /// Is this expression a bare `dI` or constant (i.e. trivially
+    /// pattern-matchable by a downstream dependence analyzer)?
+    pub fn is_simple(&self) -> bool {
+        matches!(self, AffineExpr::Dim(_) | AffineExpr::Const(_))
+    }
+
+    /// Normal form: flatten to `sum(coeff_i * d_i) + sum(coeff_j * s_j) + c`
+    /// when the expression contains no mod/div; returns
+    /// `(dim_coeffs, sym_coeffs, constant)` padded to the given sizes.
+    pub fn linear_form(&self, num_dims: u32, num_syms: u32) -> Option<(Vec<i64>, Vec<i64>, i64)> {
+        let mut dims = vec![0i64; num_dims as usize];
+        let mut syms = vec![0i64; num_syms as usize];
+        let mut cst = 0i64;
+        if self.accumulate(1, &mut dims, &mut syms, &mut cst) {
+            Some((dims, syms, cst))
+        } else {
+            None
+        }
+    }
+
+    fn accumulate(&self, factor: i64, dims: &mut [i64], syms: &mut [i64], cst: &mut i64) -> bool {
+        match self {
+            AffineExpr::Dim(i) => {
+                if (*i as usize) < dims.len() {
+                    dims[*i as usize] += factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            AffineExpr::Sym(i) => {
+                if (*i as usize) < syms.len() {
+                    syms[*i as usize] += factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            AffineExpr::Const(v) => {
+                *cst += factor * v;
+                true
+            }
+            AffineExpr::Add(a, b) => {
+                a.accumulate(factor, dims, syms, cst) && b.accumulate(factor, dims, syms, cst)
+            }
+            AffineExpr::Mul(a, b) => match (&**a, &**b) {
+                (x, AffineExpr::Const(k)) | (AffineExpr::Const(k), x) => {
+                    x.accumulate(factor * k, dims, syms, cst)
+                }
+                _ => false,
+            },
+            AffineExpr::Mod(..) | AffineExpr::FloorDiv(..) | AffineExpr::CeilDiv(..) => false,
+        }
+    }
+
+    /// Canonicalize into sorted linear form where possible; returns `self`
+    /// unchanged for expressions with mod/div.
+    pub fn canonicalize(&self, num_dims: u32, num_syms: u32) -> AffineExpr {
+        let Some((dims, syms, cst)) = self.linear_form(num_dims, num_syms) else {
+            return self.clone();
+        };
+        let mut out: Option<AffineExpr> = None;
+        let push = |e: AffineExpr, out: &mut Option<AffineExpr>| {
+            *out = Some(match out.take() {
+                None => e,
+                Some(acc) => acc.add(e),
+            });
+        };
+        for (i, &c) in dims.iter().enumerate() {
+            if c != 0 {
+                push(
+                    AffineExpr::dim(i as u32).mul(AffineExpr::cst(c)),
+                    &mut out,
+                );
+            }
+        }
+        for (i, &c) in syms.iter().enumerate() {
+            if c != 0 {
+                push(
+                    AffineExpr::sym(i as u32).mul(AffineExpr::cst(c)),
+                    &mut out,
+                );
+            }
+        }
+        if cst != 0 || out.is_none() {
+            push(AffineExpr::cst(cst), &mut out);
+        }
+        out.unwrap()
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineExpr::Dim(i) => write!(f, "d{i}"),
+            AffineExpr::Sym(i) => write!(f, "s{i}"),
+            AffineExpr::Const(v) => write!(f, "{v}"),
+            AffineExpr::Add(a, b) => match &**b {
+                AffineExpr::Const(c) if *c < 0 => write!(f, "{a} - {}", -c),
+                AffineExpr::Mul(x, k) if matches!(&**k, AffineExpr::Const(c) if *c < 0) => {
+                    let AffineExpr::Const(c) = &**k else {
+                        unreachable!()
+                    };
+                    write!(f, "{a} - {} * {x}", -c)
+                }
+                _ => write!(f, "{a} + {b}"),
+            },
+            AffineExpr::Mul(a, b) => write!(f, "{b} * {a}"),
+            AffineExpr::Mod(a, m) => write!(f, "({a}) mod {m}"),
+            AffineExpr::FloorDiv(a, d) => write!(f, "({a}) floordiv {d}"),
+            AffineExpr::CeilDiv(a, d) => write!(f, "({a}) ceildiv {d}"),
+        }
+    }
+}
+
+/// An affine map `(d0, ..) [s0, ..] -> (e0, .., eK)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineMap {
+    /// Number of dimension inputs.
+    pub num_dims: u32,
+    /// Number of symbol inputs.
+    pub num_syms: u32,
+    /// Result expressions.
+    pub results: Vec<AffineExpr>,
+}
+
+impl AffineMap {
+    /// A new map (panics if a result references an out-of-range dim).
+    pub fn new(num_dims: u32, num_syms: u32, results: Vec<AffineExpr>) -> AffineMap {
+        for r in &results {
+            assert!(
+                r.num_dims_used() <= num_dims,
+                "expression uses dim beyond num_dims"
+            );
+        }
+        AffineMap {
+            num_dims,
+            num_syms,
+            results,
+        }
+    }
+
+    /// The identity map over `n` dimensions: `(d0..dn-1) -> (d0..dn-1)`.
+    pub fn identity(n: u32) -> AffineMap {
+        AffineMap::new(n, 0, (0..n).map(AffineExpr::dim).collect())
+    }
+
+    /// A map returning a single constant.
+    pub fn constant(v: i64) -> AffineMap {
+        AffineMap::new(0, 0, vec![AffineExpr::cst(v)])
+    }
+
+    /// Evaluate every result.
+    pub fn eval(&self, dims: &[i64], syms: &[i64]) -> Vec<i64> {
+        assert_eq!(dims.len(), self.num_dims as usize, "dim arity");
+        assert_eq!(syms.len(), self.num_syms as usize, "sym arity");
+        self.results.iter().map(|e| e.eval(dims, syms)).collect()
+    }
+
+    /// Canonicalize all results.
+    pub fn canonicalize(&self) -> AffineMap {
+        AffineMap {
+            num_dims: self.num_dims,
+            num_syms: self.num_syms,
+            results: self
+                .results
+                .iter()
+                .map(|e| e.canonicalize(self.num_dims, self.num_syms))
+                .collect(),
+        }
+    }
+
+    /// True when every result is a bare dim or constant — the "clean
+    /// subscript" property downstream dependence analysis keys on.
+    pub fn is_simple(&self) -> bool {
+        self.results.iter().all(AffineExpr::is_simple)
+    }
+
+    /// Whether this is an identity map.
+    pub fn is_identity(&self) -> bool {
+        self.results.len() == self.num_dims as usize
+            && self
+                .results
+                .iter()
+                .enumerate()
+                .all(|(i, e)| *e == AffineExpr::Dim(i as u32))
+    }
+}
+
+impl fmt::Display for AffineMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for i in 0..self.num_dims {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "d{i}")?;
+        }
+        write!(f, ")")?;
+        if self.num_syms > 0 {
+            write!(f, "[")?;
+            for i in 0..self.num_syms {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "s{i}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, " -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_linear() {
+        // (d0, d1) -> (d0*8 + d1 + 1)
+        let e = AffineExpr::dim(0)
+            .mul(AffineExpr::cst(8))
+            .add(AffineExpr::dim(1))
+            .add(AffineExpr::cst(1));
+        assert_eq!(e.eval(&[2, 3], &[]), 20);
+    }
+
+    #[test]
+    fn eval_mod_floordiv_euclidean() {
+        let m = AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 4);
+        assert_eq!(m.eval(&[-1], &[]), 3); // euclidean, not truncated
+        let fd = AffineExpr::FloorDiv(Box::new(AffineExpr::dim(0)), 4);
+        assert_eq!(fd.eval(&[-1], &[]), -1);
+        assert_eq!(fd.eval(&[7], &[]), 1);
+        let cd = AffineExpr::CeilDiv(Box::new(AffineExpr::dim(0)), 4);
+        assert_eq!(cd.eval(&[7], &[]), 2);
+        assert_eq!(cd.eval(&[8], &[]), 2);
+    }
+
+    #[test]
+    fn constant_folding_in_builders() {
+        assert_eq!(
+            AffineExpr::cst(2).add(AffineExpr::cst(3)),
+            AffineExpr::Const(5)
+        );
+        assert_eq!(
+            AffineExpr::dim(0).mul(AffineExpr::cst(0)),
+            AffineExpr::Const(0)
+        );
+        assert_eq!(AffineExpr::dim(0).mul(AffineExpr::cst(1)), AffineExpr::dim(0));
+        assert_eq!(AffineExpr::dim(0).add(AffineExpr::cst(0)), AffineExpr::dim(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-affine")]
+    fn non_affine_product_panics() {
+        let _ = AffineExpr::dim(0).mul(AffineExpr::dim(1));
+    }
+
+    #[test]
+    fn linear_form_collects_coefficients() {
+        // d0*4 + d1 + d0*2 + 7  ->  dims [6, 1], const 7
+        let e = AffineExpr::dim(0)
+            .mul(AffineExpr::cst(4))
+            .add(AffineExpr::dim(1))
+            .add(AffineExpr::dim(0).mul(AffineExpr::cst(2)))
+            .add(AffineExpr::cst(7));
+        let (dims, syms, c) = e.linear_form(2, 0).unwrap();
+        assert_eq!(dims, vec![6, 1]);
+        assert!(syms.is_empty());
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn linear_form_rejects_mod() {
+        let e = AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 2);
+        assert!(e.linear_form(1, 0).is_none());
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_semantics_preserving() {
+        let e = AffineExpr::dim(1)
+            .add(AffineExpr::dim(0).mul(AffineExpr::cst(3)))
+            .add(AffineExpr::dim(0).mul(AffineExpr::cst(5)))
+            .sub(AffineExpr::cst(2));
+        let c1 = e.canonicalize(2, 0);
+        let c2 = c1.canonicalize(2, 0);
+        assert_eq!(c1, c2);
+        for d0 in -3..4 {
+            for d1 in -3..4 {
+                assert_eq!(e.eval(&[d0, d1], &[]), c1.eval(&[d0, d1], &[]));
+            }
+        }
+    }
+
+    #[test]
+    fn map_identity_and_eval() {
+        let id = AffineMap::identity(3);
+        assert!(id.is_identity());
+        assert!(id.is_simple());
+        assert_eq!(id.eval(&[4, 5, 6], &[]), vec![4, 5, 6]);
+        let c = AffineMap::constant(9);
+        assert_eq!(c.eval(&[], &[]), vec![9]);
+        assert!(!c.is_identity());
+    }
+
+    #[test]
+    fn map_display() {
+        let m = AffineMap::new(
+            2,
+            0,
+            vec![
+                AffineExpr::dim(0).add(AffineExpr::cst(1)),
+                AffineExpr::dim(1).mul(AffineExpr::cst(2)),
+            ],
+        );
+        assert_eq!(m.to_string(), "(d0, d1) -> (d0 + 1, 2 * d1)");
+        let s = AffineMap::new(1, 1, vec![AffineExpr::dim(0).add(AffineExpr::sym(0))]);
+        assert_eq!(s.to_string(), "(d0)[s0] -> (d0 + s0)");
+    }
+
+    #[test]
+    fn display_negative_terms_as_subtraction() {
+        let e = AffineExpr::dim(0).sub(AffineExpr::cst(1));
+        assert_eq!(e.to_string(), "d0 - 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "dim arity")]
+    fn eval_checks_arity() {
+        AffineMap::identity(2).eval(&[1], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond num_dims")]
+    fn map_rejects_out_of_range_dims() {
+        AffineMap::new(1, 0, vec![AffineExpr::dim(3)]);
+    }
+}

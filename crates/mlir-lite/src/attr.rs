@@ -1,0 +1,155 @@
+//! Attributes — compile-time constants attached to operations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::affine::AffineMap;
+use crate::ir::MType;
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Attr {
+    /// Integer with an associated type (`1 : i32`, `4 : index`).
+    Int(i64, MType),
+    /// Float constant (stored as f64 bits live in the type).
+    Float(f64, MType),
+    /// String attribute.
+    Str(String),
+    /// Bare unit attribute (presence is the information).
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// A type attribute (e.g. function signatures).
+    Type(MType),
+    /// An affine map (subscript maps of `affine.load`/`store`/`apply`).
+    Map(AffineMap),
+    /// Array of attributes.
+    Array(Vec<Attr>),
+    /// Nested dictionary.
+    Dict(BTreeMap<String, Attr>),
+    /// A symbol reference (`@gemm`).
+    SymbolRef(String),
+}
+
+impl Attr {
+    /// `v : i64` helper.
+    pub fn i64(v: i64) -> Attr {
+        Attr::Int(v, MType::Int(64))
+    }
+
+    /// `v : index` helper.
+    pub fn index(v: i64) -> Attr {
+        Attr::Int(v, MType::Index)
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attr::Int(v, _) => Some(*v),
+            Attr::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if any.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attr::Float(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attr::Str(s) | Attr::SymbolRef(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The affine-map payload, if any.
+    pub fn as_map(&self) -> Option<&AffineMap> {
+        match self {
+            Attr::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The type payload, if any.
+    pub fn as_type(&self) -> Option<&MType> {
+        match self {
+            Attr::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attr::Int(v, t) => write!(f, "{v} : {t}"),
+            Attr::Float(v, t) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1} : {t}")
+                } else {
+                    write!(f, "{v} : {t}")
+                }
+            }
+            Attr::Str(s) => write!(f, "\"{s}\""),
+            Attr::Unit => write!(f, "unit"),
+            Attr::Bool(b) => write!(f, "{b}"),
+            Attr::Type(t) => write!(f, "{t}"),
+            Attr::Map(m) => write!(f, "affine_map<{m}>"),
+            Attr::Array(items) => {
+                write!(f, "[")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Attr::Dict(d) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Attr::SymbolRef(s) => write!(f, "@{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attr::i64(5).as_int(), Some(5));
+        assert_eq!(Attr::Bool(true).as_int(), Some(1));
+        assert_eq!(Attr::Float(1.5, MType::F32).as_float(), Some(1.5));
+        assert_eq!(Attr::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Attr::i64(5).as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attr::Int(3, MType::Index).to_string(), "3 : index");
+        assert_eq!(Attr::Float(2.0, MType::F32).to_string(), "2.0 : f32");
+        assert_eq!(Attr::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Attr::SymbolRef("f".into()).to_string(), "@f");
+        let m = AffineMap::new(1, 0, vec![AffineExpr::dim(0)]);
+        assert_eq!(Attr::Map(m).to_string(), "affine_map<(d0) -> (d0)>");
+        assert_eq!(
+            Attr::Array(vec![Attr::i64(1), Attr::i64(2)]).to_string(),
+            "[1 : i64, 2 : i64]"
+        );
+    }
+}

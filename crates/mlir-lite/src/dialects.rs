@@ -1,0 +1,473 @@
+//! Dialect op constructors and encoding conventions.
+//!
+//! Each function builds one well-formed [`Op`]. The conventions (which
+//! attribute holds what) are the single source of truth shared by the
+//! builder, printer, parser, verifier and lowering:
+//!
+//! | op | operands | attrs | regions |
+//! |----|----------|-------|---------|
+//! | `func.func` | — | `sym_name`, `ret_type`, opt `hls.top` | 1 (entry args = params) |
+//! | `func.return` | opt value | — | — |
+//! | `func.call` | args | `callee` | — |
+//! | `arith.constant` | — | `value` | — |
+//! | `arith.<binop>` | a, b | — | — |
+//! | `arith.cmpi/cmpf` | a, b | `predicate` | — |
+//! | `arith.select` | c, a, b | — | — |
+//! | `affine.for` | — | `lower_bound`, `upper_bound`, `step`, opt `hls.*` | 1 (1 index arg) |
+//! | `affine.load` | memref, dims… | `map` | — |
+//! | `affine.store` | value, memref, dims… | `map` | — |
+//! | `affine.apply` | dims… | `map` | — |
+//! | `scf.for` | lb, ub, step | opt `hls.*` | 1 (1 index arg) |
+//! | `scf.if` | cond | — | 2 (then, else) |
+//! | `memref.load` | memref, indices… | — | — |
+//! | `memref.store` | value, memref, indices… | — | — |
+//! | `cf.br` / `cf.cond_br` | (cond) | — | successors |
+
+use crate::affine::AffineMap;
+use crate::attr::Attr;
+use crate::ir::{MBlock, MType, MValue, Op, Region};
+
+/// `func` dialect.
+pub mod func {
+    use super::*;
+
+    /// A `func.func` definition. The entry block of its single region holds
+    /// the parameters as block arguments.
+    pub fn func(name: &str, param_types: Vec<MType>, ret_type: MType) -> Op {
+        let mut op = Op::new("func.func")
+            .with_attr("sym_name", Attr::Str(name.to_string()))
+            .with_attr("ret_type", Attr::Type(ret_type));
+        op.regions.push(Region::with_entry(param_types));
+        op
+    }
+
+    /// `func.return` with an optional value.
+    pub fn ret(value: Option<MValue>) -> Op {
+        Op::new("func.return").with_operands(value.into_iter().collect())
+    }
+
+    /// `func.call @callee(args) : -> ret`.
+    pub fn call(callee: &str, args: Vec<MValue>, ret: Option<MType>) -> Op {
+        Op::new("func.call")
+            .with_attr("callee", Attr::SymbolRef(callee.to_string()))
+            .with_operands(args)
+            .with_results(ret.into_iter().collect())
+    }
+}
+
+/// `arith` dialect.
+pub mod arith {
+    use super::*;
+
+    /// `arith.constant <v> : index`.
+    pub fn const_index(v: i64) -> Op {
+        Op::new("arith.constant")
+            .with_attr("value", Attr::Int(v, MType::Index))
+            .with_results(vec![MType::Index])
+    }
+
+    /// `arith.constant <v> : iN`.
+    pub fn const_int(v: i64, ty: MType) -> Op {
+        Op::new("arith.constant")
+            .with_attr("value", Attr::Int(v, ty.clone()))
+            .with_results(vec![ty])
+    }
+
+    /// `arith.constant <v> : f32/f64`.
+    pub fn const_float(v: f64, ty: MType) -> Op {
+        Op::new("arith.constant")
+            .with_attr("value", Attr::Float(v, ty.clone()))
+            .with_results(vec![ty])
+    }
+
+    fn binop(name: &str, a: MValue, b: MValue) -> Op {
+        let ty = a.ty.clone();
+        Op::new(name).with_operands(vec![a, b]).with_results(vec![ty])
+    }
+
+    /// Integer/index add.
+    pub fn addi(a: MValue, b: MValue) -> Op {
+        binop("arith.addi", a, b)
+    }
+    /// Integer/index sub.
+    pub fn subi(a: MValue, b: MValue) -> Op {
+        binop("arith.subi", a, b)
+    }
+    /// Integer/index mul.
+    pub fn muli(a: MValue, b: MValue) -> Op {
+        binop("arith.muli", a, b)
+    }
+    /// Signed division.
+    pub fn divsi(a: MValue, b: MValue) -> Op {
+        binop("arith.divsi", a, b)
+    }
+    /// Signed remainder.
+    pub fn remsi(a: MValue, b: MValue) -> Op {
+        binop("arith.remsi", a, b)
+    }
+    /// Float add.
+    pub fn addf(a: MValue, b: MValue) -> Op {
+        binop("arith.addf", a, b)
+    }
+    /// Float sub.
+    pub fn subf(a: MValue, b: MValue) -> Op {
+        binop("arith.subf", a, b)
+    }
+    /// Float mul.
+    pub fn mulf(a: MValue, b: MValue) -> Op {
+        binop("arith.mulf", a, b)
+    }
+    /// Float div.
+    pub fn divf(a: MValue, b: MValue) -> Op {
+        binop("arith.divf", a, b)
+    }
+    /// Float negation.
+    pub fn negf(a: MValue) -> Op {
+        let ty = a.ty.clone();
+        Op::new("arith.negf").with_operands(vec![a]).with_results(vec![ty])
+    }
+
+    /// `arith.cmpi <pred>` — predicates use LLVM spelling (`slt`, `sle`, …).
+    pub fn cmpi(pred: &str, a: MValue, b: MValue) -> Op {
+        Op::new("arith.cmpi")
+            .with_attr("predicate", Attr::Str(pred.to_string()))
+            .with_operands(vec![a, b])
+            .with_results(vec![MType::I1])
+    }
+
+    /// `arith.cmpf <pred>` — `olt`, `oge`, ….
+    pub fn cmpf(pred: &str, a: MValue, b: MValue) -> Op {
+        Op::new("arith.cmpf")
+            .with_attr("predicate", Attr::Str(pred.to_string()))
+            .with_operands(vec![a, b])
+            .with_results(vec![MType::I1])
+    }
+
+    /// `arith.select`.
+    pub fn select(c: MValue, a: MValue, b: MValue) -> Op {
+        let ty = a.ty.clone();
+        Op::new("arith.select")
+            .with_operands(vec![c, a, b])
+            .with_results(vec![ty])
+    }
+
+    /// `arith.index_cast` between `index` and integers.
+    pub fn index_cast(v: MValue, to: MType) -> Op {
+        Op::new("arith.index_cast")
+            .with_operands(vec![v])
+            .with_results(vec![to])
+    }
+
+    /// `arith.sitofp`.
+    pub fn sitofp(v: MValue, to: MType) -> Op {
+        Op::new("arith.sitofp")
+            .with_operands(vec![v])
+            .with_results(vec![to])
+    }
+
+    /// `arith.fptosi`.
+    pub fn fptosi(v: MValue, to: MType) -> Op {
+        Op::new("arith.fptosi")
+            .with_operands(vec![v])
+            .with_results(vec![to])
+    }
+}
+
+/// `math` dialect.
+pub mod math {
+    use super::*;
+
+    fn unary(name: &str, v: MValue) -> Op {
+        let ty = v.ty.clone();
+        Op::new(name).with_operands(vec![v]).with_results(vec![ty])
+    }
+
+    /// `math.sqrt`.
+    pub fn sqrt(v: MValue) -> Op {
+        unary("math.sqrt", v)
+    }
+    /// `math.exp`.
+    pub fn exp(v: MValue) -> Op {
+        unary("math.exp", v)
+    }
+    /// `math.absf`.
+    pub fn absf(v: MValue) -> Op {
+        unary("math.absf", v)
+    }
+}
+
+/// `memref` dialect.
+pub mod memref {
+    use super::*;
+
+    /// Stack allocation of a static memref.
+    pub fn alloca(ty: MType) -> Op {
+        Op::new("memref.alloca").with_results(vec![ty])
+    }
+
+    /// Heap allocation of a static memref.
+    pub fn alloc(ty: MType) -> Op {
+        Op::new("memref.alloc").with_results(vec![ty])
+    }
+
+    /// Deallocation.
+    pub fn dealloc(m: MValue) -> Op {
+        Op::new("memref.dealloc").with_operands(vec![m])
+    }
+
+    /// Raw (non-affine) load.
+    pub fn load(m: MValue, indices: Vec<MValue>) -> Op {
+        let elem = m.ty.memref_elem().expect("memref operand").clone();
+        let mut ops = vec![m];
+        ops.extend(indices);
+        Op::new("memref.load")
+            .with_operands(ops)
+            .with_results(vec![elem])
+    }
+
+    /// Raw (non-affine) store.
+    pub fn store(v: MValue, m: MValue, indices: Vec<MValue>) -> Op {
+        let mut ops = vec![v, m];
+        ops.extend(indices);
+        Op::new("memref.store").with_operands(ops)
+    }
+}
+
+/// `affine` dialect.
+pub mod affine {
+    use super::*;
+
+    /// `affine.for %iv = lb to ub step s` with constant bounds. The region's
+    /// entry block has a single `index` argument (the IV) and must end in
+    /// `affine.yield`.
+    pub fn for_loop(lb: i64, ub: i64, step: i64) -> Op {
+        assert!(step > 0, "affine.for step must be positive");
+        let mut op = Op::new("affine.for")
+            .with_attr("lower_bound", Attr::index(lb))
+            .with_attr("upper_bound", Attr::index(ub))
+            .with_attr("step", Attr::index(step));
+        op.regions.push(Region::with_entry(vec![MType::Index]));
+        op
+    }
+
+    /// `affine.load %m[map(dims)]`.
+    pub fn load(m: MValue, map: AffineMap, dims: Vec<MValue>) -> Op {
+        assert_eq!(map.num_dims as usize, dims.len(), "map arity");
+        let elem = m.ty.memref_elem().expect("memref operand").clone();
+        let mut ops = vec![m];
+        ops.extend(dims);
+        Op::new("affine.load")
+            .with_attr("map", Attr::Map(map))
+            .with_operands(ops)
+            .with_results(vec![elem])
+    }
+
+    /// `affine.store %v, %m[map(dims)]`.
+    pub fn store(v: MValue, m: MValue, map: AffineMap, dims: Vec<MValue>) -> Op {
+        assert_eq!(map.num_dims as usize, dims.len(), "map arity");
+        let mut ops = vec![v, m];
+        ops.extend(dims);
+        Op::new("affine.store")
+            .with_attr("map", Attr::Map(map))
+            .with_operands(ops)
+    }
+
+    /// `affine.apply map(dims)` — single-result map.
+    pub fn apply(map: AffineMap, dims: Vec<MValue>) -> Op {
+        assert_eq!(map.results.len(), 1, "affine.apply needs 1 result");
+        Op::new("affine.apply")
+            .with_attr("map", Attr::Map(map))
+            .with_operands(dims)
+            .with_results(vec![MType::Index])
+    }
+
+    /// Region terminator.
+    pub fn yield_() -> Op {
+        Op::new("affine.yield")
+    }
+}
+
+/// `scf` dialect.
+pub mod scf {
+    use super::*;
+
+    /// `scf.for %iv = %lb to %ub step %s` (all `index` operands).
+    pub fn for_loop(lb: MValue, ub: MValue, step: MValue) -> Op {
+        let mut op = Op::new("scf.for").with_operands(vec![lb, ub, step]);
+        op.regions.push(Region::with_entry(vec![MType::Index]));
+        op
+    }
+
+    /// `scf.if %cond` with then and else regions (else may stay empty).
+    pub fn if_(cond: MValue) -> Op {
+        let mut op = Op::new("scf.if").with_operands(vec![cond]);
+        op.regions.push(Region::with_entry(vec![]));
+        op.regions.push(Region::with_entry(vec![]));
+        op
+    }
+
+    /// Region terminator.
+    pub fn yield_() -> Op {
+        Op::new("scf.yield")
+    }
+}
+
+/// `cf` (unstructured control flow) dialect.
+pub mod cf {
+    use super::*;
+
+    /// `cf.br ^dest(args)`.
+    pub fn br(dest: &MBlock, args: Vec<MValue>) -> Op {
+        let mut op = Op::new("cf.br");
+        op.successors.push((dest.uid, args));
+        op
+    }
+
+    /// `cf.br` by raw block uid (for blocks not yet inserted).
+    pub fn br_uid(dest: u32, args: Vec<MValue>) -> Op {
+        let mut op = Op::new("cf.br");
+        op.successors.push((dest, args));
+        op
+    }
+
+    /// `cf.cond_br %c, ^t(targs), ^f(fargs)`.
+    pub fn cond_br_uid(cond: MValue, t: u32, targs: Vec<MValue>, f: u32, fargs: Vec<MValue>) -> Op {
+        let mut op = Op::new("cf.cond_br").with_operands(vec![cond]);
+        op.successors.push((t, targs));
+        op.successors.push((f, fargs));
+        op
+    }
+}
+
+/// HLS directive attribute keys, shared between the MLIR level (loop
+/// attributes) and the lowering that turns them into `!llvm.loop` metadata.
+pub mod hls {
+    use super::*;
+
+    /// Requested pipeline initiation interval.
+    pub const PIPELINE_II: &str = "hls.pipeline_ii";
+    /// Partial unroll factor.
+    pub const UNROLL_FACTOR: &str = "hls.unroll_factor";
+    /// Full-unroll request.
+    pub const UNROLL_FULL: &str = "hls.unroll_full";
+    /// Array partition spec (on func args): `cyclic:<dim>:<factor>` etc.
+    pub const ARRAY_PARTITION: &str = "hls.array_partition";
+    /// Marks the synthesis top function.
+    pub const TOP: &str = "hls.top";
+    /// Collapse the enclosing perfect loop nest into one pipeline.
+    pub const FLATTEN: &str = "hls.flatten";
+
+    /// Attach a pipeline directive to a loop op.
+    pub fn set_pipeline(op: &mut Op, ii: u32) {
+        op.attrs
+            .insert(PIPELINE_II.to_string(), Attr::Int(ii as i64, MType::I32));
+    }
+
+    /// Attach an unroll directive to a loop op.
+    pub fn set_unroll(op: &mut Op, factor: u32) {
+        op.attrs.insert(
+            UNROLL_FACTOR.to_string(),
+            Attr::Int(factor as i64, MType::I32),
+        );
+    }
+
+    /// Read the pipeline directive.
+    pub fn pipeline_ii(op: &Op) -> Option<u32> {
+        op.int_attr(PIPELINE_II).map(|v| v as u32)
+    }
+
+    /// Read the unroll directive.
+    pub fn unroll_factor(op: &Op) -> Option<u32> {
+        op.int_attr(UNROLL_FACTOR).map(|v| v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+
+    #[test]
+    fn func_shape() {
+        let f = func::func("gemm", vec![MType::F32.memref(&[8, 8])], MType::None);
+        assert_eq!(f.name, "func.func");
+        assert_eq!(f.regions.len(), 1);
+        assert_eq!(f.regions[0].entry().arg_types.len(), 1);
+        assert_eq!(
+            f.attrs.get("sym_name").and_then(Attr::as_str),
+            Some("gemm")
+        );
+    }
+
+    #[test]
+    fn arith_types_propagate() {
+        let c = arith::const_float(1.5, MType::F32);
+        let v = c.result(0);
+        let add = arith::addf(v.clone(), v);
+        assert_eq!(add.result_types, vec![MType::F32]);
+        let cmp = arith::cmpi("slt", arith::const_index(0).result(0), arith::const_index(1).result(0));
+        assert_eq!(cmp.result_types, vec![MType::I1]);
+        assert_eq!(cmp.attrs.get("predicate").and_then(Attr::as_str), Some("slt"));
+    }
+
+    #[test]
+    fn affine_for_has_iv() {
+        let l = affine::for_loop(0, 32, 1);
+        assert_eq!(l.int_attr("upper_bound"), Some(32));
+        assert_eq!(l.regions[0].entry().arg_types, vec![MType::Index]);
+        let iv = l.regions[0].entry().arg(0);
+        assert_eq!(iv.ty, MType::Index);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn affine_for_rejects_zero_step() {
+        affine::for_loop(0, 8, 0);
+    }
+
+    #[test]
+    fn affine_load_checks_arity() {
+        let m = memref::alloca(MType::F32.memref(&[4, 4]));
+        let mv = m.result(0);
+        let l = affine::for_loop(0, 4, 1);
+        let iv = l.regions[0].entry().arg(0);
+        let map = AffineMap::new(1, 0, vec![AffineExpr::dim(0), AffineExpr::cst(0)]);
+        let ld = affine::load(mv, map, vec![iv]);
+        assert_eq!(ld.result_types, vec![MType::F32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "map arity")]
+    fn affine_load_rejects_bad_arity() {
+        let m = memref::alloca(MType::F32.memref(&[4]));
+        let map = AffineMap::identity(2);
+        affine::load(m.result(0), map, vec![]);
+    }
+
+    #[test]
+    fn hls_directive_round_trip() {
+        let mut l = affine::for_loop(0, 8, 1);
+        hls::set_pipeline(&mut l, 2);
+        hls::set_unroll(&mut l, 4);
+        assert_eq!(hls::pipeline_ii(&l), Some(2));
+        assert_eq!(hls::unroll_factor(&l), Some(4));
+    }
+
+    #[test]
+    fn cf_successors() {
+        let b1 = MBlock::new(vec![MType::Index]);
+        let b2 = MBlock::new(vec![]);
+        let c = arith::const_int(1, MType::I1);
+        let br = cf::cond_br_uid(c.result(0), b1.uid, vec![arith::const_index(0).result(0)], b2.uid, vec![]);
+        assert_eq!(br.successors.len(), 2);
+        assert_eq!(br.successors[0].0, b1.uid);
+        assert_eq!(br.successors[0].1.len(), 1);
+    }
+
+    #[test]
+    fn scf_if_has_two_regions() {
+        let c = arith::const_int(1, MType::I1);
+        let i = scf::if_(c.result(0));
+        assert_eq!(i.regions.len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! `mlir-lite` — a self-contained subset of MLIR.
+//!
+//! Models the multi-level IR side of the paper's pipeline: generic
+//! operations with regions, the `builtin`/`func`/`arith`/`math`/`memref`/
+//! `affine`/`scf`/`cf` dialects, first-class affine maps, HLS directive
+//! attributes, a structured-syntax printer and parser, a verifier, and an
+//! MLIR-level pass manager with canonicalization/CSE/directive passes.
+//!
+//! The design follows upstream MLIR's shape (ops own regions own blocks own
+//! ops; values are handles) but with a tree-ownership model instead of
+//! uniqued context objects, which keeps the whole crate safe Rust with no
+//! interior mutability.
+
+pub mod affine;
+pub mod attr;
+pub mod dialects;
+pub mod ir;
+pub mod parser;
+pub mod passes;
+pub mod printer;
+pub mod stats;
+pub mod verifier;
+
+pub use affine::{AffineExpr, AffineMap};
+pub use attr::Attr;
+pub use ir::{MBlock, MType, MValue, MValueKind, MlirModule, Op, Region};
+
+/// Errors for parsing/verification at the MLIR level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Textual parse error with a 1-based line number.
+    Parse { line: u32, msg: String },
+    /// Structural verification failure.
+    Verify(String),
+    /// A lowering/transform precondition failed.
+    Transform(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::Verify(m) => write!(f, "verification error: {m}"),
+            Error::Transform(m) => write!(f, "transform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,109 @@
+//! Structural statistics over modules — the raw material of the paper's
+//! "expression details" argument (our Table 3).
+
+use crate::attr::Attr;
+use crate::ir::MlirModule;
+
+/// Detail-retention metrics of one module.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Total operations.
+    pub total_ops: usize,
+    /// `affine.for` loops.
+    pub affine_loops: usize,
+    /// `affine.load`/`affine.store` accesses.
+    pub affine_accesses: usize,
+    /// Accesses whose subscript map is simple (bare dims/constants).
+    pub simple_accesses: usize,
+    /// Accesses with non-identity (but still affine) maps — the structure
+    /// a C++ round-trip flattens into pointer arithmetic.
+    pub structured_accesses: usize,
+    /// Loops carrying any `hls.*` directive.
+    pub directive_loops: usize,
+    /// Distinct memref operands touched.
+    pub memrefs: usize,
+}
+
+/// Compute [`ModuleStats`].
+pub fn module_stats(m: &MlirModule) -> ModuleStats {
+    let mut s = ModuleStats::default();
+    let mut memref_uids = std::collections::BTreeSet::new();
+    m.walk(&mut |op| {
+        s.total_ops += 1;
+        match op.name.as_str() {
+            "affine.for" => {
+                s.affine_loops += 1;
+                if op.attrs.keys().any(|k| k.starts_with("hls.")) {
+                    s.directive_loops += 1;
+                }
+            }
+            "affine.load" | "affine.store" => {
+                s.affine_accesses += 1;
+                let mref_idx = usize::from(op.name == "affine.store");
+                match op.operands[mref_idx].kind {
+                    crate::ir::MValueKind::OpResult { op: uid, idx }
+                    | crate::ir::MValueKind::BlockArg { block: uid, idx } => {
+                        memref_uids.insert((uid, idx));
+                    }
+                }
+                if let Some(map) = op.attrs.get("map").and_then(Attr::as_map) {
+                    if map.is_simple() {
+                        s.simple_accesses += 1;
+                    } else {
+                        s.structured_accesses += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    s.memrefs = memref_uids.len();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn counts_gemm_structure() {
+        let src = r#"
+func.func @gemm(%A: memref<4x4xf32>, %C: memref<4x4xf32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      %a = affine.load %A[%i, %j] : memref<4x4xf32>
+      affine.store %a, %C[%i, %j] : memref<4x4xf32>
+    } {hls.pipeline_ii = 1 : i32}
+  }
+  func.return
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let s = module_stats(&m);
+        assert_eq!(s.affine_loops, 2);
+        assert_eq!(s.affine_accesses, 2);
+        assert_eq!(s.simple_accesses, 2);
+        assert_eq!(s.structured_accesses, 0);
+        assert_eq!(s.directive_loops, 1);
+        assert_eq!(s.memrefs, 2);
+    }
+
+    #[test]
+    fn stencil_maps_count_as_structured() {
+        let src = r#"
+func.func @blur(%in: memref<16xf32>, %out: memref<16xf32>) {
+  affine.for %i = 1 to 15 {
+    %l = affine.load %in[%i - 1] : memref<16xf32>
+    %c = affine.load %in[%i] : memref<16xf32>
+    affine.store %c, %out[%i] : memref<16xf32>
+  }
+  func.return
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let s = module_stats(&m);
+        assert_eq!(s.structured_accesses, 1); // %i - 1
+        assert_eq!(s.simple_accesses, 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the affine-expression algebra: canonicalization must
+//! be semantics-preserving and idempotent, and linear forms must agree with
+//! direct evaluation.
+
+use mlir_lite::affine::{AffineExpr, AffineMap};
+use proptest::prelude::*;
+
+const DIMS: u32 = 3;
+
+fn gen_expr() -> impl Strategy<Value = AffineExpr> {
+    let leaf = prop_oneof![
+        (0u32..DIMS).prop_map(AffineExpr::dim),
+        (-20i64..20).prop_map(AffineExpr::cst),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), -5i64..6).prop_map(|(a, k)| a.mul(AffineExpr::cst(k))),
+            (inner.clone(), 1i64..8).prop_map(|(a, m)| AffineExpr::Mod(Box::new(a), m)),
+            (inner, 1i64..8).prop_map(|(a, d)| AffineExpr::FloorDiv(Box::new(a), d)),
+        ]
+    })
+}
+
+/// Linear (mod/div-free) expressions only.
+fn gen_linear_expr() -> impl Strategy<Value = AffineExpr> {
+    let leaf = prop_oneof![
+        (0u32..DIMS).prop_map(AffineExpr::dim),
+        (-20i64..20).prop_map(AffineExpr::cst),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner, -5i64..6).prop_map(|(a, k)| a.mul(AffineExpr::cst(k))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn canonicalize_preserves_semantics(
+        e in gen_expr(),
+        d0 in -10i64..10, d1 in -10i64..10, d2 in -10i64..10,
+    ) {
+        let c = e.canonicalize(DIMS, 0);
+        let dims = [d0, d1, d2];
+        prop_assert_eq!(e.eval(&dims, &[]), c.eval(&dims, &[]));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(e in gen_expr()) {
+        let once = e.canonicalize(DIMS, 0);
+        let twice = once.canonicalize(DIMS, 0);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn linear_form_matches_eval(
+        e in gen_linear_expr(),
+        d0 in -10i64..10, d1 in -10i64..10, d2 in -10i64..10,
+    ) {
+        let (coeffs, _, cst) = e.linear_form(DIMS, 0).expect("mod/div-free");
+        let dims = [d0, d1, d2];
+        let linear: i64 = coeffs.iter().zip(&dims).map(|(c, d)| c * d).sum::<i64>() + cst;
+        prop_assert_eq!(e.eval(&dims, &[]), linear);
+    }
+
+    #[test]
+    fn canonical_linear_exprs_are_simple_or_flat(e in gen_linear_expr()) {
+        // Canonicalized linear expressions never nest adds inside muls.
+        fn well_formed(e: &AffineExpr) -> bool {
+            match e {
+                AffineExpr::Add(a, b) => well_formed(a) && well_formed(b),
+                AffineExpr::Mul(a, b) => {
+                    matches!(**a, AffineExpr::Dim(_) | AffineExpr::Sym(_))
+                        && matches!(**b, AffineExpr::Const(_))
+                }
+                AffineExpr::Dim(_) | AffineExpr::Sym(_) | AffineExpr::Const(_) => true,
+                _ => false,
+            }
+        }
+        prop_assert!(well_formed(&e.canonicalize(DIMS, 0)));
+    }
+
+    #[test]
+    fn map_identity_roundtrip(n in 1u32..4, vals in prop::collection::vec(-50i64..50, 3)) {
+        let id = AffineMap::identity(n);
+        let dims: Vec<i64> = vals.into_iter().take(n as usize).collect();
+        if dims.len() == n as usize {
+            prop_assert_eq!(id.eval(&dims, &[]), dims);
+        }
+    }
+
+    #[test]
+    fn display_never_panics_and_is_nonempty(e in gen_expr()) {
+        prop_assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Resource binding and area estimation.
+//!
+//! * **BRAM** — every `ap_memory` interface array and local array buffer
+//!   binds to BRAM-18K blocks (`ceil(bits / 18432)`, min 1). `m_axi`
+//!   pointers live off-chip and consume none.
+//! * **Functional units** — multi-cycle units (floating add/mul/div,
+//!   integer mul/div, function units) are shared: a region needs
+//!   `ceil(ops/II)` instances when pipelined at II, or its peak per-cycle
+//!   issue count otherwise. Sequentially executed regions share units, so
+//!   the function-level need is the per-class maximum across regions.
+//! * **Control** — each loop contributes FSM overhead; the function adds a
+//!   base controller.
+
+use std::collections::HashMap;
+
+use llvm_lite::{Function, InstData, Opcode, Type};
+
+use crate::oplib::{Area, FuClass};
+use crate::report::Resources;
+
+/// Per-region functional-unit requirement.
+#[derive(Clone, Debug, Default)]
+pub struct FuNeed {
+    /// Shared FU instances required, per class.
+    pub units: HashMap<FuClass, u32>,
+    /// Representative (max) area of one unit per class.
+    pub unit_area: HashMap<FuClass, Area>,
+    /// Unshared combinational logic (LUT/FF) in this region.
+    pub logic_lut: u64,
+    /// Flip-flops of unshared logic.
+    pub logic_ff: u64,
+}
+
+impl FuNeed {
+    /// Record `n` required instances of a class with the given unit area.
+    pub fn require(&mut self, class: FuClass, n: u32, area: Area) {
+        if n == 0 {
+            return;
+        }
+        let e = self.units.entry(class).or_insert(0);
+        *e = (*e).max(n);
+        let a = self.unit_area.entry(class).or_insert(area);
+        if area.lut > a.lut {
+            *a = area;
+        }
+    }
+
+    /// Per-class maximum across two temporally exclusive regions.
+    pub fn max_with(&mut self, other: &FuNeed) {
+        for (class, &n) in &other.units {
+            let area = other.unit_area.get(class).copied().unwrap_or_default();
+            self.require(*class, n, area);
+        }
+        self.logic_lut = self.logic_lut.max(other.logic_lut);
+        self.logic_ff = self.logic_ff.max(other.logic_ff);
+    }
+
+    /// Total area of the required units plus logic.
+    pub fn area(&self) -> Resources {
+        let mut r = Resources::default();
+        for (class, &n) in &self.units {
+            let a = self.unit_area.get(class).copied().unwrap_or_default();
+            r.dsp += a.dsp * n;
+            r.lut += a.lut * n;
+            r.ff += a.ff * n;
+        }
+        r.lut += self.logic_lut as u32;
+        r.ff += self.logic_ff as u32;
+        r
+    }
+}
+
+/// Whether an FU class is a shared multi-cycle unit (vs absorbed logic).
+pub fn is_shared_unit(class: FuClass) -> bool {
+    matches!(
+        class,
+        FuClass::IMul
+            | FuClass::IDiv
+            | FuClass::FAddSub
+            | FuClass::FMul
+            | FuClass::FDiv
+            | FuClass::FFunc
+    )
+}
+
+/// BRAM-18K blocks for all on-chip arrays of a function.
+pub fn bram_banks(f: &Function) -> u32 {
+    let mut total = 0u32;
+    for p in &f.params {
+        // Explicit bindings win; pointer-to-array parameters without one
+        // default to `ap_memory` (the Vitis default for array arguments).
+        let iface = p.attrs.get("hls.interface").map(String::as_str);
+        if matches!(iface, Some(x) if x != "ap_memory") {
+            continue;
+        }
+        if let Some(arr @ Type::Array(..)) = p.ty.pointee() {
+            let factor = p
+                .attrs
+                .get("hls.array_partition")
+                .and_then(|s| crate::schedule::parse_partition(s))
+                .unwrap_or(1)
+                .min(arr.flat_len() as u32);
+            // Cyclic partitioning splits the object across `factor` banks;
+            // each bank rounds up to at least one BRAM.
+            total += banks_for(arr).max(factor);
+        }
+    }
+    for (_, id) in f.inst_ids() {
+        let inst = f.inst(id);
+        if inst.opcode == Opcode::Alloca {
+            if let InstData::Alloca { allocated, .. } = &inst.data {
+                if matches!(allocated, Type::Array(..)) {
+                    total += banks_for(allocated);
+                }
+            }
+        }
+    }
+    total
+}
+
+fn banks_for(arr: &Type) -> u32 {
+    let bits = arr.flat_len() * arr.scalar_base().size_in_bytes() * 8;
+    (bits.div_ceil(18_432)).max(1) as u32
+}
+
+/// FSM/control overhead: base controller plus per-loop state logic.
+pub fn control_overhead(num_loops: usize) -> Resources {
+    Resources {
+        dsp: 0,
+        lut: 200 + 50 * num_loops as u32,
+        ff: 150 + 80 * num_loops as u32,
+        bram_18k: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn bram_counts_interface_and_local_arrays() {
+        let src = r#"
+define void @f([1024 x float]* "hls.interface"="ap_memory" %a, float* "hls.interface"="m_axi" %b) {
+entry:
+  %buf = alloca [128 x float], align 4
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = m.function("f").unwrap();
+        // 1024 floats = 32768 bits -> 2 banks; local 128 floats -> 1 bank;
+        // m_axi pointer -> 0.
+        assert_eq!(bram_banks(f), 3);
+    }
+
+    #[test]
+    fn small_arrays_round_up_to_one_bank() {
+        let src = r#"
+define void @f([4 x float]* "hls.interface"="ap_memory" %a) {
+entry:
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        assert_eq!(bram_banks(m.function("f").unwrap()), 1);
+    }
+
+    #[test]
+    fn fu_need_maximum_composition() {
+        let mut a = FuNeed::default();
+        a.require(FuClass::FMul, 2, Area { dsp: 3, lut: 100, ff: 150 });
+        a.logic_lut = 500;
+        let mut b = FuNeed::default();
+        b.require(FuClass::FMul, 1, Area { dsp: 3, lut: 100, ff: 150 });
+        b.require(FuClass::FAddSub, 1, Area { dsp: 2, lut: 200, ff: 300 });
+        b.logic_lut = 300;
+        a.max_with(&b);
+        assert_eq!(a.units[&FuClass::FMul], 2);
+        assert_eq!(a.units[&FuClass::FAddSub], 1);
+        assert_eq!(a.logic_lut, 500);
+        let area = a.area();
+        assert_eq!(area.dsp, 3 * 2 + 2);
+        assert_eq!(area.lut as u64, 100 * 2 + 200 + 500);
+    }
+
+    #[test]
+    fn control_grows_with_loops() {
+        let base = control_overhead(0);
+        let three = control_overhead(3);
+        assert!(three.lut > base.lut);
+        assert!(three.ff > base.ff);
+        assert_eq!(three.dsp, 0);
+    }
+
+    #[test]
+    fn shared_unit_classification() {
+        assert!(is_shared_unit(FuClass::FAddSub));
+        assert!(is_shared_unit(FuClass::IMul));
+        assert!(!is_shared_unit(FuClass::Logic));
+        assert!(!is_shared_unit(FuClass::MemRead));
+        assert!(!is_shared_unit(FuClass::Free));
+    }
+}

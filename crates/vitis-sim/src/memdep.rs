@@ -1,0 +1,539 @@
+//! Memory-access analysis: base objects, affine-in-IV subscripts, and
+//! loop-carried dependence distances.
+//!
+//! The precision asymmetry here is the heart of the paper's QoR story: a
+//! structured GEP (`gep [32 x [32 x float]], %A, 0, %i, %k`) exposes exactly
+//! which subscript depends on the loop induction variable, so the scheduler
+//! can prove independence across iterations. Raw pointer arithmetic forces
+//! the conservative assumption (a distance-1 carried dependence), which
+//! inflates RecMII.
+
+use std::collections::HashMap;
+
+use llvm_lite::analysis::NaturalLoop;
+use llvm_lite::{Function, InstData, InstId, Opcode, Value};
+
+/// The root object an access resolves to.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BaseObject {
+    /// Function parameter index.
+    Param(u32),
+    /// Alloca instruction.
+    Alloca(InstId),
+    /// Module global.
+    Global(String),
+    /// Unresolvable pointer.
+    Unknown,
+}
+
+/// Resolve the base object of a pointer value by walking GEPs/bitcasts.
+pub fn base_object(f: &Function, v: &Value) -> BaseObject {
+    match v {
+        Value::Arg(i) => BaseObject::Param(*i),
+        Value::Global(g) => BaseObject::Global(g.clone()),
+        Value::Inst(id) => {
+            let inst = f.inst(*id);
+            match inst.opcode {
+                Opcode::Alloca => BaseObject::Alloca(*id),
+                Opcode::Gep | Opcode::BitCast => base_object(f, &inst.operands[0]),
+                Opcode::Select | Opcode::Phi => BaseObject::Unknown,
+                _ => BaseObject::Unknown,
+            }
+        }
+        _ => BaseObject::Unknown,
+    }
+}
+
+/// How a subscript relates to the loop induction variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IvRelation {
+    /// `c` — does not involve the IV.
+    Invariant,
+    /// `IV + c` (affine with unit coefficient).
+    IvPlus(i64),
+    /// Involves the IV in some other (or unprovable) way.
+    Complex,
+}
+
+/// Does `v` transitively depend on the instruction `iv`?
+pub fn value_depends_on(f: &Function, v: &Value, iv: InstId, depth: u32) -> bool {
+    if depth > 16 {
+        return true; // assume the worst on deep chains
+    }
+    match v {
+        Value::Inst(id) => {
+            if *id == iv {
+                return true;
+            }
+            if f.inst(*id).opcode == Opcode::Phi && depth > 0 {
+                return false; // don't walk through other loop-carried values
+            }
+            f.inst(*id)
+                .operands
+                .iter()
+                .any(|o| value_depends_on(f, o, iv, depth + 1))
+        }
+        _ => false,
+    }
+}
+
+/// Classify `v` relative to the induction phi `iv` of a loop.
+pub fn iv_relation(f: &Function, v: &Value, iv: InstId) -> IvRelation {
+    fn relation(f: &Function, v: &Value, iv: InstId, depth: u32) -> IvRelation {
+        if depth > 16 {
+            return IvRelation::Complex;
+        }
+        match v {
+            Value::Inst(id) if *id == iv => IvRelation::IvPlus(0),
+            Value::Inst(id) => {
+                let inst = f.inst(*id);
+                match inst.opcode {
+                    // Width casts preserve the affine form.
+                    Opcode::SExt | Opcode::ZExt | Opcode::Trunc => {
+                        relation(f, &inst.operands[0], iv, depth + 1)
+                    }
+                    Opcode::Add => {
+                        let (a, b) = (&inst.operands[0], &inst.operands[1]);
+                        match (relation(f, a, iv, depth + 1), b.int_value()) {
+                            (IvRelation::IvPlus(c), Some(k)) => {
+                                return IvRelation::IvPlus(c + k as i64)
+                            }
+                            (IvRelation::Invariant, Some(_)) => return IvRelation::Invariant,
+                            _ => {}
+                        }
+                        match (a.int_value(), relation(f, b, iv, depth + 1)) {
+                            (Some(k), IvRelation::IvPlus(c)) => IvRelation::IvPlus(c + k as i64),
+                            (Some(_), IvRelation::Invariant) => IvRelation::Invariant,
+                            _ => {
+                                if value_depends_on(f, v, iv, 0) {
+                                    IvRelation::Complex
+                                } else {
+                                    IvRelation::Invariant
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        if value_depends_on(f, v, iv, 0) {
+                            IvRelation::Complex
+                        } else {
+                            IvRelation::Invariant
+                        }
+                    }
+                }
+            }
+            _ => IvRelation::Invariant,
+        }
+    }
+    relation(f, v, iv, 0)
+}
+
+/// One memory access inside a loop body.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// The load/store instruction.
+    pub inst: InstId,
+    /// True for stores.
+    pub is_store: bool,
+    /// Resolved base.
+    pub base: BaseObject,
+    /// The pointer operand itself (for the identical-address fast path).
+    pub ptr: Value,
+    /// Whether the address depends on the loop IV at all (None = no IV
+    /// was recognizable for the loop).
+    pub iv_dependent: Option<bool>,
+    /// Subscript relations to the loop IV (one per GEP index, skipping the
+    /// leading 0 of structured GEPs). Empty = unanalyzable address.
+    pub subscripts: Vec<IvRelation>,
+}
+
+/// Collect all loads/stores in a loop body with their subscript analysis.
+pub fn loop_accesses(f: &Function, l: &NaturalLoop) -> Vec<Access> {
+    let iv = llvm_lite::analysis::loop_induction_phi(f, l);
+    let mut out = Vec::new();
+    for &b in &l.body {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            let (is_store, ptr) = match inst.opcode {
+                Opcode::Load => (false, &inst.operands[0]),
+                Opcode::Store => (true, &inst.operands[1]),
+                _ => continue,
+            };
+            let base = base_object(f, ptr);
+            let subscripts = match (ptr, iv) {
+                (Value::Inst(gid), Some(iv)) if f.inst(*gid).opcode == Opcode::Gep => {
+                    let gep = f.inst(*gid);
+                    let structured = matches!(
+                        &gep.data,
+                        InstData::Gep { base_ty, .. } if matches!(base_ty, llvm_lite::Type::Array(..))
+                    );
+                    let idx_ops: &[Value] = if structured {
+                        &gep.operands[2..] // skip the leading 0
+                    } else {
+                        &gep.operands[1..]
+                    };
+                    let rels: Vec<IvRelation> = idx_ops
+                        .iter()
+                        .map(|v| iv_relation(f, v, iv))
+                        .collect();
+                    // A flat (unstructured) gep over a multi-element space
+                    // whose single index mixes several loop variables is
+                    // only analyzable if the relation is clean.
+                    if structured || rels.iter().all(|r| *r != IvRelation::Complex) {
+                        rels
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => Vec::new(),
+            };
+            let iv_dependent = iv.map(|iv| value_depends_on(f, ptr, iv, 0));
+            out.push(Access {
+                inst: id,
+                is_store,
+                base,
+                ptr: ptr.clone(),
+                iv_dependent,
+                subscripts,
+            });
+        }
+    }
+    out
+}
+
+/// Loop-carried dependence distance between a store and a load/store on the
+/// same base, in iterations of the analyzed loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distance {
+    /// Provably never conflicts across iterations.
+    None,
+    /// Conflicts exactly `d` iterations apart (d >= 1).
+    Exact(u32),
+    /// Cannot tell — assume the tightest (distance 1).
+    Unknown,
+}
+
+/// Compute the carried-dependence distance between two accesses to the same
+/// base object.
+pub fn dependence_distance(a: &Access, b: &Access) -> Distance {
+    if a.base != b.base || a.base == BaseObject::Unknown {
+        return if a.base == BaseObject::Unknown && b.base == BaseObject::Unknown {
+            Distance::Unknown
+        } else {
+            Distance::None
+        };
+    }
+    // Identical pointer SSA value: the two accesses always hit the same
+    // address within an iteration. If that address moves with the IV the
+    // conflict is intra-iteration only; if it is IV-invariant, consecutive
+    // iterations collide (distance 1). This is how even flat pointer
+    // arithmetic keeps elementwise updates and accumulations analyzable.
+    if a.ptr == b.ptr {
+        return match a.iv_dependent {
+            Some(true) => Distance::None,
+            Some(false) => Distance::Exact(1),
+            None => Distance::Unknown,
+        };
+    }
+    if a.subscripts.is_empty() || b.subscripts.is_empty() {
+        return Distance::Unknown;
+    }
+    if a.subscripts.len() != b.subscripts.len() {
+        return Distance::Unknown;
+    }
+    // Any complex subscript: give up.
+    if a.subscripts.contains(&IvRelation::Complex) || b.subscripts.contains(&IvRelation::Complex)
+    {
+        return Distance::Unknown;
+    }
+    // If every subscript pair is IV-invariant on both sides, the same
+    // address is touched every iteration: distance 1.
+    let any_iv = a
+        .subscripts
+        .iter()
+        .chain(&b.subscripts)
+        .any(|r| matches!(r, IvRelation::IvPlus(_)));
+    if !any_iv {
+        return Distance::Exact(1);
+    }
+    // Compare dimension-wise: an IV-dependent dim with offsets c_a, c_b
+    // conflicts at distance |c_a - c_b| (0 = same-iteration only). A dim
+    // where one side is IV-dependent and the other invariant is
+    // unresolvable without values: Unknown.
+    let mut distance: Option<u32> = None;
+    for (ra, rb) in a.subscripts.iter().zip(&b.subscripts) {
+        match (ra, rb) {
+            (IvRelation::IvPlus(ca), IvRelation::IvPlus(cb)) => {
+                let d = (ca - cb).unsigned_abs() as u32;
+                distance = Some(match distance {
+                    None => d,
+                    Some(prev) if prev == d => d,
+                    // Conflicting requirements across dims: no single
+                    // iteration offset lines both up -> independent.
+                    Some(_) => return Distance::None,
+                });
+            }
+            (IvRelation::Invariant, IvRelation::Invariant) => {}
+            _ => return Distance::Unknown,
+        }
+    }
+    match distance {
+        Some(0) => Distance::None, // same iteration only; no carried dep
+        Some(d) => Distance::Exact(d),
+        None => Distance::Exact(1),
+    }
+}
+
+/// Count accesses per base object (used for memory-port ResMII).
+pub fn accesses_per_base(accesses: &[Access]) -> HashMap<BaseObject, u32> {
+    let mut map = HashMap::new();
+    for a in accesses {
+        *map.entry(a.base.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::analysis::{Cfg, DomTree, LoopInfo};
+    use llvm_lite::parser::parse_module;
+
+    fn loop_of(src: &str) -> (llvm_lite::Module, usize) {
+        let m = parse_module("m", src).unwrap();
+        (m, 0)
+    }
+
+    fn analyze(src: &str) -> Vec<Access> {
+        let (m, fi) = loop_of(src);
+        let f = &m.functions[fi];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let li = LoopInfo::build(f, &cfg, &dom);
+        let l = li.innermost_loops()[0];
+        loop_accesses(f, l)
+    }
+
+    /// A[i] = A[i] * 2 — structured 1-D accesses.
+    const ELEMENTWISE: &str = r#"
+define void @f([32 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  %v = load float, float* %p, align 4
+  %w = fmul float %v, %v
+  store float %w, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn elementwise_has_no_carried_dep() {
+        let acc = analyze(ELEMENTWISE);
+        assert_eq!(acc.len(), 2);
+        let (ld, st) = (&acc[0], &acc[1]);
+        assert_eq!(ld.base, BaseObject::Param(0));
+        assert_eq!(ld.subscripts, vec![IvRelation::IvPlus(0)]);
+        assert_eq!(dependence_distance(st, ld), Distance::None);
+    }
+
+    /// acc[0] += A[i]: the accumulator address is IV-invariant.
+    const REDUCTION: &str = r#"
+define void @f([32 x float]* %a, [1 x float]* %acc) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  %v = load float, float* %p, align 4
+  %q = getelementptr inbounds [1 x float], [1 x float]* %acc, i64 0, i64 0
+  %s = load float, float* %q, align 4
+  %t = fadd float %s, %v
+  store float %t, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn reduction_has_distance_one() {
+        let acc = analyze(REDUCTION);
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        let acc_ld = acc
+            .iter()
+            .find(|a| !a.is_store && a.base == st.base)
+            .unwrap();
+        assert_eq!(dependence_distance(st, acc_ld), Distance::Exact(1));
+    }
+
+    /// Stencil: out[i] = in[i-1] + in[i+1] — different arrays, no dep;
+    /// store out[i], load out-of... write/read offsets on the same array.
+    const SHIFT: &str = r#"
+define void @f([32 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 1, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 31
+  br i1 %c, label %body, label %exit
+
+body:
+  %im1 = add i64 %i, -1
+  %p0 = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %im1
+  %v = load float, float* %p0, align 4
+  %p1 = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  store float %v, float* %p1, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn shifted_accesses_have_exact_distance() {
+        let acc = analyze(SHIFT);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(ld.subscripts, vec![IvRelation::IvPlus(-1)]);
+        assert_eq!(st.subscripts, vec![IvRelation::IvPlus(0)]);
+        assert_eq!(dependence_distance(st, ld), Distance::Exact(1));
+    }
+
+    /// Flat pointer arithmetic the analyzer cannot see through: the load
+    /// and store addresses are *different* opaque expressions.
+    const FLAT: &str = r#"
+define void @f(float* "hls.interface"="m_axi" %a, i64 %stride) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %off = mul i64 %i, %stride
+  %p = getelementptr inbounds float, float* %a, i64 %off
+  %v = load float, float* %p, align 4
+  %off2 = add i64 %off, %stride
+  %q = getelementptr inbounds float, float* %a, i64 %off2
+  store float %v, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn opaque_arithmetic_is_conservative() {
+        let acc = analyze(FLAT);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert!(ld.subscripts.is_empty());
+        assert_eq!(dependence_distance(st, ld), Distance::Unknown);
+    }
+
+    #[test]
+    fn identical_flat_pointer_is_still_analyzable() {
+        // Elementwise update through one flat pointer: same SSA address on
+        // load and store, IV-dependent -> no carried dependence.
+        let src = r#"
+define void @f(float* "hls.interface"="m_axi" %a, i64 %stride) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %off = mul i64 %i, %stride
+  %p = getelementptr inbounds float, float* %a, i64 %off
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let acc = analyze(src);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(ld.iv_dependent, Some(true));
+        assert_eq!(dependence_distance(st, ld), Distance::None);
+    }
+
+    #[test]
+    fn different_bases_never_conflict() {
+        let acc = analyze(REDUCTION);
+        let a_ld = acc
+            .iter()
+            .find(|x| !x.is_store && x.base == BaseObject::Param(0))
+            .unwrap();
+        let st = acc.iter().find(|x| x.is_store).unwrap();
+        assert_eq!(dependence_distance(st, a_ld), Distance::None);
+    }
+
+    #[test]
+    fn access_counting() {
+        let acc = analyze(REDUCTION);
+        let counts = accesses_per_base(&acc);
+        assert_eq!(counts[&BaseObject::Param(0)], 1);
+        assert_eq!(counts[&BaseObject::Param(1)], 2);
+    }
+
+    #[test]
+    fn iv_relation_through_sext() {
+        let src = r#"
+define void @f([32 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %w = sext i32 %i to i64
+  %p = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %w
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  %next = add i32 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let acc = analyze(src);
+        assert_eq!(acc[0].subscripts, vec![IvRelation::IvPlus(0)]);
+    }
+}

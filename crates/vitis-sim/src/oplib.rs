@@ -1,0 +1,229 @@
+//! The operation library: latency, chainable delay and area per operation.
+//!
+//! Numbers are calibrated to the orders of magnitude Vitis HLS reports for
+//! a mid-range Artix/Zynq part at 100 MHz (10 ns clock): single-precision
+//! adders take ~4 cycles on DSP slices, multipliers ~3 cycles, dividers and
+//! square roots are long iterative units, and integer add/compare logic is
+//! combinational and chains within a cycle.
+
+use llvm_lite::{Function, Inst, InstData, Module, Opcode, Type};
+
+/// Functional-unit class an operation binds to (used for sharing analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Combinational logic absorbed into LUTs (no shared FU).
+    Logic,
+    /// Integer multiplier.
+    IMul,
+    /// Integer divider.
+    IDiv,
+    /// Floating adder/subtractor.
+    FAddSub,
+    /// Floating multiplier.
+    FMul,
+    /// Floating divider.
+    FDiv,
+    /// Long-latency floating function unit (sqrt/exp).
+    FFunc,
+    /// Memory read port.
+    MemRead,
+    /// Memory write port.
+    MemWrite,
+    /// No hardware (constants, phis, control).
+    Free,
+}
+
+/// Area cost of one functional-unit instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Area {
+    /// DSP slices.
+    pub dsp: u32,
+    /// Lookup tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+/// Timing/area description of one operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpSpec {
+    /// Cycles until the result is registered (0 = combinational).
+    pub latency: u32,
+    /// Combinational delay in ns (used for chaining when `latency == 0`).
+    pub delay_ns: f64,
+    /// FU class for binding/sharing.
+    pub class: FuClass,
+    /// Area of one instance.
+    pub area: Area,
+}
+
+impl OpSpec {
+    const fn new(latency: u32, delay_ns: f64, class: FuClass, dsp: u32, lut: u32, ff: u32) -> OpSpec {
+        OpSpec {
+            latency,
+            delay_ns,
+            class,
+            area: Area { dsp, lut, ff },
+        }
+    }
+
+    /// A zero-cost pseudo-op.
+    pub const FREE: OpSpec = OpSpec::new(0, 0.0, FuClass::Free, 0, 0, 0);
+}
+
+/// Look up the spec of an instruction in context.
+pub fn op_spec(m: &Module, f: &Function, inst: &Inst) -> OpSpec {
+    let is_f64 = inst.ty == Type::Double
+        || inst
+            .operands
+            .first()
+            .map(|v| f.value_type(m, v) == Type::Double)
+            .unwrap_or(false);
+    match inst.opcode {
+        Opcode::Add | Opcode::Sub => OpSpec::new(0, 1.8, FuClass::Logic, 0, 32, 0),
+        Opcode::Mul => {
+            if is_f64 {
+                OpSpec::new(6, 0.0, FuClass::IMul, 8, 60, 120)
+            } else {
+                OpSpec::new(2, 0.0, FuClass::IMul, 3, 24, 60)
+            }
+        }
+        Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem => {
+            OpSpec::new(18, 0.0, FuClass::IDiv, 0, 900, 1000)
+        }
+        Opcode::And | Opcode::Or | Opcode::Xor => OpSpec::new(0, 0.7, FuClass::Logic, 0, 16, 0),
+        Opcode::Shl | Opcode::LShr | Opcode::AShr => {
+            OpSpec::new(0, 1.0, FuClass::Logic, 0, 40, 0)
+        }
+        Opcode::FAdd | Opcode::FSub => {
+            if is_f64 {
+                OpSpec::new(7, 0.0, FuClass::FAddSub, 3, 400, 600)
+            } else {
+                OpSpec::new(4, 0.0, FuClass::FAddSub, 2, 200, 300)
+            }
+        }
+        Opcode::FMul => {
+            if is_f64 {
+                OpSpec::new(6, 0.0, FuClass::FMul, 11, 200, 300)
+            } else {
+                OpSpec::new(3, 0.0, FuClass::FMul, 3, 100, 150)
+            }
+        }
+        Opcode::FDiv | Opcode::FRem => {
+            if is_f64 {
+                OpSpec::new(29, 0.0, FuClass::FDiv, 0, 1600, 1800)
+            } else {
+                OpSpec::new(14, 0.0, FuClass::FDiv, 0, 800, 900)
+            }
+        }
+        Opcode::FNeg => OpSpec::new(0, 0.5, FuClass::Logic, 0, 8, 0),
+        Opcode::ICmp => OpSpec::new(0, 1.2, FuClass::Logic, 0, 16, 0),
+        Opcode::FCmp => OpSpec::new(1, 0.0, FuClass::Logic, 0, 66, 0),
+        Opcode::Select => OpSpec::new(0, 0.9, FuClass::Logic, 0, 16, 0),
+        Opcode::Gep => OpSpec::new(0, 1.0, FuClass::Logic, 0, 20, 0),
+        Opcode::Load => OpSpec::new(2, 0.0, FuClass::MemRead, 0, 8, 8),
+        Opcode::Store => OpSpec::new(1, 0.0, FuClass::MemWrite, 0, 8, 8),
+        Opcode::Alloca => OpSpec::FREE,
+        Opcode::Call => call_spec(inst),
+        Opcode::ZExt | Opcode::SExt | Opcode::Trunc | Opcode::BitCast => OpSpec::FREE,
+        Opcode::FPExt | Opcode::FPTrunc => OpSpec::new(2, 0.0, FuClass::Logic, 0, 100, 100),
+        Opcode::FPToSI | Opcode::SIToFP => OpSpec::new(3, 0.0, FuClass::Logic, 0, 200, 200),
+        Opcode::PtrToInt | Opcode::IntToPtr => OpSpec::FREE,
+        Opcode::Phi | Opcode::Br | Opcode::CondBr | Opcode::Ret | Opcode::Unreachable => {
+            OpSpec::FREE
+        }
+    }
+}
+
+fn call_spec(inst: &Inst) -> OpSpec {
+    let InstData::Call { callee } = &inst.data else {
+        return OpSpec::FREE;
+    };
+    let is_f64 = callee.ends_with("f64");
+    match callee.as_str() {
+        c if c.starts_with("llvm.sqrt.") => {
+            if is_f64 {
+                OpSpec::new(28, 0.0, FuClass::FFunc, 0, 2000, 2200)
+            } else {
+                OpSpec::new(14, 0.0, FuClass::FFunc, 0, 900, 1000)
+            }
+        }
+        c if c.starts_with("llvm.exp.") => OpSpec::new(20, 0.0, FuClass::FFunc, 7, 1400, 1500),
+        c if c.starts_with("llvm.fabs.") => OpSpec::new(0, 0.5, FuClass::Logic, 0, 8, 0),
+        c if c.starts_with("llvm.maxnum.") || c.starts_with("llvm.minnum.") => {
+            OpSpec::new(1, 0.0, FuClass::Logic, 0, 70, 0)
+        }
+        // Calls to user functions are inlined by the flows before csynth;
+        // an unexpected one is modeled as a long black box.
+        _ => OpSpec::new(10, 0.0, FuClass::FFunc, 0, 500, 500),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::Value;
+
+    fn spec_of(opcode: Opcode, ty: Type, operands: Vec<Value>) -> OpSpec {
+        let m = Module::new("m");
+        let f = Function::new("f", vec![], Type::Void);
+        op_spec(&m, &f, &Inst::new(opcode, ty, operands))
+    }
+
+    #[test]
+    fn integer_add_is_chainable() {
+        let s = spec_of(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)]);
+        assert_eq!(s.latency, 0);
+        assert!(s.delay_ns > 0.0);
+        assert_eq!(s.area.dsp, 0);
+    }
+
+    #[test]
+    fn f32_units_match_vitis_orders() {
+        let fadd = spec_of(Opcode::FAdd, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        assert_eq!(fadd.latency, 4);
+        assert_eq!(fadd.area.dsp, 2);
+        let fmul = spec_of(Opcode::FMul, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        assert_eq!(fmul.latency, 3);
+        assert_eq!(fmul.area.dsp, 3);
+        let fdiv = spec_of(Opcode::FDiv, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        assert!(fdiv.latency > 10);
+    }
+
+    #[test]
+    fn f64_is_slower_and_larger_than_f32() {
+        let a32 = spec_of(Opcode::FAdd, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        let a64 = spec_of(Opcode::FAdd, Type::Double, vec![Value::f64(1.0), Value::f64(2.0)]);
+        assert!(a64.latency > a32.latency);
+        assert!(a64.area.dsp >= a32.area.dsp);
+    }
+
+    #[test]
+    fn memory_ops_have_port_classes() {
+        let ld = spec_of(Opcode::Load, Type::Float, vec![]);
+        assert_eq!(ld.class, FuClass::MemRead);
+        assert_eq!(ld.latency, 2);
+        let st = spec_of(Opcode::Store, Type::Void, vec![]);
+        assert_eq!(st.class, FuClass::MemWrite);
+    }
+
+    #[test]
+    fn sqrt_intrinsic_is_long_latency() {
+        let m = Module::new("m");
+        let f = Function::new("f", vec![], Type::Void);
+        let call = Inst::new(Opcode::Call, Type::Float, vec![Value::f32(2.0)]).with_data(
+            InstData::Call {
+                callee: "llvm.sqrt.f32".into(),
+            },
+        );
+        let s = op_spec(&m, &f, &call);
+        assert_eq!(s.class, FuClass::FFunc);
+        assert!(s.latency >= 10);
+    }
+
+    #[test]
+    fn casts_are_free() {
+        let s = spec_of(Opcode::SExt, Type::I64, vec![Value::i32(1)]);
+        assert_eq!(s, OpSpec::FREE);
+    }
+}

@@ -1,0 +1,381 @@
+//! Loop pipelining: the initiation-interval model.
+//!
+//! For a pipelined loop, the achieved II is
+//!
+//! ```text
+//! II = max(RecMII, ResMII, II_target)
+//! ```
+//!
+//! * **RecMII** comes from loop-carried memory recurrences: for every
+//!   (store, load) pair on the same base object with carried distance `d`,
+//!   the candidate is `ceil(cycle_latency / d)`, where `cycle_latency` is
+//!   the registered latency around the dependence cycle (load → compute →
+//!   store). Unknown distances are treated as `d = 1` — this is where flat
+//!   pointer arithmetic pays its price.
+//! * **ResMII** comes from memory-port pressure: `ceil(accesses / ports)`
+//!   per BRAM bank, and `ceil(accesses / axi_ports)` for the shared bus.
+
+use std::collections::HashMap;
+
+use llvm_lite::analysis::NaturalLoop;
+use llvm_lite::{Function, InstId, Module, Opcode, Value};
+
+use crate::memdep::{
+    accesses_per_base, dependence_distance, loop_accesses, Access, BaseObject, Distance,
+};
+use crate::oplib::op_spec;
+use crate::schedule::ScheduleCtx;
+use crate::Target;
+
+/// Why the achieved II ended up where it did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IiBound {
+    /// Limited by a carried dependence on the named base.
+    Recurrence(String),
+    /// Limited by memory ports on the named base.
+    MemoryPorts(String),
+    /// Met the requested target.
+    Target,
+}
+
+/// Result of the II computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IiResult {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// The binding constraint.
+    pub bound: IiBound,
+    /// The recurrence-implied minimum.
+    pub rec_mii: u32,
+    /// The resource-implied minimum.
+    pub res_mii: u32,
+}
+
+/// Compute the II of a pipelined loop, given the unroll replication factor
+/// applied to its body (1 = no unroll).
+pub fn compute_ii(
+    m: &Module,
+    f: &Function,
+    l: &NaturalLoop,
+    target: &Target,
+    cx: &ScheduleCtx,
+    requested: u32,
+    unroll: u32,
+) -> IiResult {
+    let accesses = loop_accesses(f, l);
+
+    // ResMII: port pressure per base (unroll replicates accesses).
+    let mut res_mii = 1u32;
+    let mut res_base = String::new();
+    for (base, count) in accesses_per_base(&accesses) {
+        let ports = if cx.m_axi_bases.contains(&base) {
+            target.axi_ports
+        } else {
+            cx.ports_for(&base, target)
+        };
+        let need = (count * unroll).div_ceil(ports.max(1));
+        if need > res_mii {
+            res_mii = need;
+            res_base = describe_base(f, &base);
+        }
+    }
+
+    // RecMII: carried dependences.
+    let mut rec_mii = 1u32;
+    let mut rec_base = String::new();
+    for st in accesses.iter().filter(|a| a.is_store) {
+        for other in &accesses {
+            if other.inst == st.inst {
+                continue;
+            }
+            let dist = dependence_distance(st, other);
+            let d = match dist {
+                Distance::None => continue,
+                Distance::Exact(d) => d.max(1),
+                Distance::Unknown => 1,
+            };
+            let lat = recurrence_latency(m, f, st, other, target, cx);
+            let cand = lat.div_ceil(d);
+            if cand > rec_mii {
+                rec_mii = cand;
+                rec_base = describe_base(f, &st.base);
+            }
+        }
+    }
+
+    let floor = rec_mii.max(res_mii);
+    let ii = floor.max(requested.max(1));
+    let bound = if floor <= requested.max(1) {
+        IiBound::Target
+    } else if rec_mii >= res_mii {
+        IiBound::Recurrence(rec_base)
+    } else {
+        IiBound::MemoryPorts(res_base)
+    };
+    IiResult {
+        ii,
+        bound,
+        rec_mii,
+        res_mii,
+    }
+}
+
+fn describe_base(f: &Function, base: &BaseObject) -> String {
+    match base {
+        BaseObject::Param(i) => format!("%{}", f.params[*i as usize].name),
+        BaseObject::Alloca(id) => {
+            let n = &f.inst(*id).name;
+            if n.is_empty() {
+                format!("%{id}")
+            } else {
+                format!("%{n}")
+            }
+        }
+        BaseObject::Global(g) => format!("@{g}"),
+        BaseObject::Unknown => "<unknown>".to_string(),
+    }
+}
+
+/// Registered latency around the dependence cycle `other(load) → … →
+/// st(store)`: load latency + the longest SSA path from the load's result
+/// to the store's value operand + the store's own cycle.
+fn recurrence_latency(
+    m: &Module,
+    f: &Function,
+    st: &Access,
+    other: &Access,
+    target: &Target,
+    cx: &ScheduleCtx,
+) -> u32 {
+    let axi_extra = if cx.m_axi_bases.contains(&other.base) {
+        target.axi_extra_latency
+    } else {
+        0
+    };
+    let load_lat = if other.is_store {
+        1 // store→store WAW recurrence: one cycle
+    } else {
+        op_spec(m, f, f.inst(other.inst)).latency + axi_extra
+    };
+    let mut memo: HashMap<InstId, Option<u32>> = HashMap::new();
+    let path = path_latency(m, f, &f.inst(st.inst).operands[0], other.inst, &mut memo)
+        .unwrap_or(0);
+    // +1 for the store commit cycle.
+    (load_lat + path + 1).max(1)
+}
+
+/// Longest registered-latency SSA path from `target_load`'s result to `v`
+/// (inclusive of intermediate op latencies; combinational ops count 0 but
+/// at least the whole path costs what its multi-cycle ops cost).
+fn path_latency(
+    m: &Module,
+    f: &Function,
+    v: &Value,
+    target_load: InstId,
+    memo: &mut HashMap<InstId, Option<u32>>,
+) -> Option<u32> {
+    let id = v.as_inst()?;
+    if id == target_load {
+        return Some(0);
+    }
+    if let Some(cached) = memo.get(&id) {
+        return *cached;
+    }
+    memo.insert(id, None); // cycle guard
+    let inst = f.inst(id);
+    if inst.opcode == Opcode::Phi {
+        memo.insert(id, None);
+        return None;
+    }
+    let mut best: Option<u32> = None;
+    for op in &inst.operands {
+        if let Some(sub) = path_latency(m, f, op, target_load, memo) {
+            let here = sub + op_spec(m, f, inst).latency;
+            best = Some(best.map_or(here, |b| b.max(here)));
+        }
+    }
+    memo.insert(id, best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::analysis::{Cfg, DomTree, LoopInfo};
+    use llvm_lite::parser::parse_module;
+
+    fn ii_of(src: &str, requested: u32) -> IiResult {
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let li = LoopInfo::build(f, &cfg, &dom);
+        let l = li.innermost_loops()[0];
+        let cx = ScheduleCtx::from_function(f);
+        compute_ii(&m, f, l, &Target::default(), &cx, requested, 1)
+    }
+
+    const ELEMENTWISE: &str = r#"
+define void @f([32 x float]* %a, [32 x float]* %b) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  %v = load float, float* %p, align 4
+  %w = fmul float %v, %v
+  %q = getelementptr inbounds [32 x float], [32 x float]* %b, i64 0, i64 %i
+  store float %w, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn elementwise_achieves_ii_one() {
+        let r = ii_of(ELEMENTWISE, 1);
+        assert_eq!(r.ii, 1);
+        assert_eq!(r.rec_mii, 1);
+        assert_eq!(r.res_mii, 1);
+        assert_eq!(r.bound, IiBound::Target);
+    }
+
+    /// Accumulation into an IV-invariant address — the gemm inner loop.
+    const ACCUM: &str = r#"
+define void @f([32 x float]* %a, [1 x float]* %acc) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  %v = load float, float* %p, align 4
+  %q = getelementptr inbounds [1 x float], [1 x float]* %acc, i64 0, i64 0
+  %s = load float, float* %q, align 4
+  %t = fadd float %s, %v
+  store float %t, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn accumulation_is_recurrence_bound() {
+        let r = ii_of(ACCUM, 1);
+        // load (2) + fadd (4) + store (1) = 7 around the cycle.
+        assert_eq!(r.rec_mii, 7);
+        assert_eq!(r.ii, 7);
+        assert!(matches!(r.bound, IiBound::Recurrence(ref b) if b == "%acc"));
+    }
+
+    #[test]
+    fn requested_ii_is_a_floor() {
+        let r = ii_of(ELEMENTWISE, 4);
+        assert_eq!(r.ii, 4);
+        assert_eq!(r.bound, IiBound::Target);
+    }
+
+    /// Three reads of one array per iteration exceed two BRAM ports.
+    const PORT_BOUND: &str = r#"
+define void @f([34 x float]* %a, [34 x float]* %b) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 1, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 33
+  br i1 %c, label %body, label %exit
+
+body:
+  %im1 = add i64 %i, -1
+  %ip1 = add i64 %i, 1
+  %p0 = getelementptr inbounds [34 x float], [34 x float]* %a, i64 0, i64 %im1
+  %p1 = getelementptr inbounds [34 x float], [34 x float]* %a, i64 0, i64 %i
+  %p2 = getelementptr inbounds [34 x float], [34 x float]* %a, i64 0, i64 %ip1
+  %v0 = load float, float* %p0, align 4
+  %v1 = load float, float* %p1, align 4
+  %v2 = load float, float* %p2, align 4
+  %s0 = fadd float %v0, %v1
+  %s1 = fadd float %s0, %v2
+  %q = getelementptr inbounds [34 x float], [34 x float]* %b, i64 0, i64 %i
+  store float %s1, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn stencil_is_port_bound() {
+        let r = ii_of(PORT_BOUND, 1);
+        assert_eq!(r.res_mii, 2); // ceil(3 reads / 2 ports)
+        assert_eq!(r.ii, 2);
+        assert!(matches!(r.bound, IiBound::MemoryPorts(ref b) if b == "%a"));
+    }
+
+    #[test]
+    fn unroll_multiplies_port_pressure() {
+        let m = parse_module("m", PORT_BOUND).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let li = LoopInfo::build(f, &cfg, &dom);
+        let l = li.innermost_loops()[0];
+        let cx = ScheduleCtx::from_function(f);
+        let r = compute_ii(&m, f, l, &Target::default(), &cx, 1, 4);
+        assert_eq!(r.res_mii, 6); // ceil(12 / 2)
+    }
+
+    #[test]
+    fn opaque_shifted_flat_pointers_are_conservative() {
+        // Store address = load address + unknown stride: the analyzer
+        // cannot bound the distance, so the full recurrence (including bus
+        // latency) is assumed.
+        let src = r#"
+define void @f(float* "hls.interface"="m_axi" %a, i64 %stride) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 32
+  br i1 %c, label %body, label %exit
+
+body:
+  %off = mul i64 %i, %stride
+  %p = getelementptr inbounds float, float* %a, i64 %off
+  %v = load float, float* %p, align 4
+  %w = fmul float %v, %v
+  %off2 = add i64 %off, %stride
+  %q = getelementptr inbounds float, float* %a, i64 %off2
+  store float %w, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let r = ii_of(src, 1);
+        // load (2 + 6 axi) + fmul (3) + 1 = 12 around the cycle.
+        assert!(r.ii >= 10, "expected conservative II, got {}", r.ii);
+        assert!(matches!(r.bound, IiBound::Recurrence(_)));
+    }
+}

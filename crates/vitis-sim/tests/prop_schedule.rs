@@ -1,0 +1,193 @@
+//! Property tests for the scheduler: on random straight-line blocks, the
+//! schedule must respect SSA dependences, memory-port capacity, and basic
+//! monotonicity laws.
+
+use proptest::prelude::*;
+
+use llvm_lite::module::{Function, Param};
+use llvm_lite::{Inst, InstData, Module, Opcode, Type, Value};
+use vitis_sim::schedule::{schedule_block, ScheduleCtx};
+use vitis_sim::Target;
+
+/// A random op over previously defined float values plus random loads.
+#[derive(Clone, Debug)]
+enum GenOp {
+    FAdd(usize, usize),
+    FMul(usize, usize),
+    Load(usize),
+    Store(usize, usize),
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GenOp::FAdd(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GenOp::FMul(a, b)),
+            (0usize..8).prop_map(GenOp::Load),
+            (any::<usize>(), 0usize..8).prop_map(|(v, i)| GenOp::Store(v, i)),
+        ],
+        1..20,
+    )
+}
+
+/// Build `void f([8 x float]* %m, float %s)` with the random body.
+fn build(ops: &[GenOp]) -> (Module, Function) {
+    let m = Module::new("prop");
+    let mut f = Function::new(
+        "f",
+        vec![
+            Param::new("m", Type::Float.array_of(8).ptr_to()),
+            Param::new("s", Type::Float),
+        ],
+        Type::Void,
+    );
+    let entry = f.add_block("entry");
+    let mut vals: Vec<Value> = vec![Value::Arg(1)];
+    let arr = Type::Float.array_of(8);
+    let mut gep_for = |f: &mut Function, idx: usize| -> Value {
+        let g = f.push_inst(
+            entry,
+            Inst::new(
+                Opcode::Gep,
+                Type::Float.ptr_to(),
+                vec![Value::Arg(0), Value::i64(0), Value::i64(idx as i64)],
+            )
+            .with_data(InstData::Gep {
+                base_ty: arr.clone(),
+                inbounds: true,
+            }),
+        );
+        Value::Inst(g)
+    };
+    for op in ops {
+        match op {
+            GenOp::FAdd(a, b) | GenOp::FMul(a, b) => {
+                let x = vals[*a % vals.len()].clone();
+                let y = vals[*b % vals.len()].clone();
+                let opcode = if matches!(op, GenOp::FAdd(..)) {
+                    Opcode::FAdd
+                } else {
+                    Opcode::FMul
+                };
+                let id = f.push_inst(entry, Inst::new(opcode, Type::Float, vec![x, y]));
+                vals.push(Value::Inst(id));
+            }
+            GenOp::Load(i) => {
+                let p = gep_for(&mut f, *i);
+                let id = f.push_inst(
+                    entry,
+                    Inst::new(Opcode::Load, Type::Float, vec![p])
+                        .with_data(InstData::Load { align: 4 }),
+                );
+                vals.push(Value::Inst(id));
+            }
+            GenOp::Store(v, i) => {
+                let val = vals[*v % vals.len()].clone();
+                let p = gep_for(&mut f, *i);
+                f.push_inst(
+                    entry,
+                    Inst::new(Opcode::Store, Type::Void, vec![val, p])
+                        .with_data(InstData::Store { align: 4 }),
+                );
+            }
+        }
+    }
+    f.push_inst(entry, Inst::new(Opcode::Ret, Type::Void, vec![]));
+    (m, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No consumer starts before its producer's result is available
+    /// (multi-cycle producers; chained combinational ops share cycles).
+    #[test]
+    fn schedule_respects_ssa_dependences(ops in gen_ops()) {
+        let (m, f) = build(&ops);
+        let s = schedule_block(&m, &f, &Target::default(), f.entry(), &ScheduleCtx::default());
+        for (_, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            for op in &inst.operands {
+                if let Some(def) = op.as_inst() {
+                    let def_spec = vitis_sim::oplib::op_spec(&m, &f, f.inst(def));
+                    if def_spec.latency > 0 {
+                        prop_assert!(
+                            s.start[&id] >= s.done[&def],
+                            "%{id} starts at {} before %{def} completes at {}",
+                            s.start[&id], s.done[&def]
+                        );
+                    } else {
+                        prop_assert!(s.start[&id] >= s.start[&def]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Never more than `bram_ports` accesses to one array per cycle.
+    #[test]
+    fn schedule_respects_memory_ports(ops in gen_ops()) {
+        let (m, f) = build(&ops);
+        let target = Target::default();
+        let s = schedule_block(&m, &f, &target, f.entry(), &ScheduleCtx::default());
+        let mut per_cycle = std::collections::HashMap::new();
+        for (_, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            if matches!(inst.opcode, Opcode::Load | Opcode::Store) {
+                *per_cycle.entry(s.start[&id]).or_insert(0u32) += 1;
+            }
+        }
+        for (cycle, n) in per_cycle {
+            prop_assert!(
+                n <= target.bram_ports,
+                "cycle {cycle} has {n} accesses (ports = {})",
+                target.bram_ports
+            );
+        }
+    }
+
+    /// Program order among memory operations on the same array is kept:
+    /// a store never starts before an earlier load/store completes.
+    #[test]
+    fn schedule_respects_memory_order(ops in gen_ops()) {
+        let (m, f) = build(&ops);
+        let s = schedule_block(&m, &f, &Target::default(), f.entry(), &ScheduleCtx::default());
+        let mut mem_ids = Vec::new();
+        for (_, id) in f.inst_ids() {
+            if matches!(f.inst(id).opcode, Opcode::Load | Opcode::Store) {
+                mem_ids.push(id);
+            }
+        }
+        for w in mem_ids.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Only store-involving pairs are ordered.
+            let a_store = f.inst(a).opcode == Opcode::Store;
+            let b_store = f.inst(b).opcode == Opcode::Store;
+            if a_store && b_store {
+                prop_assert!(s.start[&b] >= s.done[&a]);
+            }
+        }
+    }
+
+    /// A faster clock (longer period) never lengthens the schedule.
+    #[test]
+    fn slower_clock_never_helps(ops in gen_ops()) {
+        let (m, f) = build(&ops);
+        let fast = Target { clock_ns: 5.0, ..Target::default() };
+        let slow = Target { clock_ns: 20.0, ..Target::default() };
+        let s_fast = schedule_block(&m, &f, &fast, f.entry(), &ScheduleCtx::default());
+        let s_slow = schedule_block(&m, &f, &slow, f.entry(), &ScheduleCtx::default());
+        prop_assert!(s_slow.length <= s_fast.length);
+    }
+
+    /// More BRAM ports never lengthen the schedule.
+    #[test]
+    fn more_ports_never_hurt(ops in gen_ops()) {
+        let (m, f) = build(&ops);
+        let two = Target::default();
+        let four = Target { bram_ports: 4, ..Target::default() };
+        let s2 = schedule_block(&m, &f, &two, f.entry(), &ScheduleCtx::default());
+        let s4 = schedule_block(&m, &f, &four, f.entry(), &ScheduleCtx::default());
+        prop_assert!(s4.length <= s2.length, "4 ports {} vs 2 ports {}", s4.length, s2.length);
+    }
+}

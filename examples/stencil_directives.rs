@@ -1,0 +1,100 @@
+//! Directive exploration on a stencil: how pipelining and unrolling move
+//! the latency/resource point, and where memory ports bite.
+//!
+//! ```text
+//! cargo run --example stencil_directives
+//! ```
+
+use driver::{run_flow, Directives, Flow};
+use vitis_sim::{csynth, Target};
+
+fn main() {
+    let kernel = kernels::kernel("jacobi2d").unwrap();
+    let target = Target::default();
+
+    println!("jacobi2d (16x16, 5-point) — directive sweep through the adaptor flow\n");
+    println!("{:<28} {:>8} {:>6} {:>6} {:>6}", "directives", "latency", "II", "DSP", "LUT");
+
+    let configs: Vec<(&str, Directives)> = vec![
+        ("none (sequential)", Directives::default()),
+        ("pipeline II=1", Directives::pipelined(1)),
+        ("pipeline II=2", Directives::pipelined(2)),
+        (
+            "pipeline + unroll 2",
+            Directives {
+                pipeline_ii: Some(1),
+                unroll_factor: Some(2),
+                partition_factor: None,
+                flatten: false,
+            },
+        ),
+        (
+            "pipeline + unroll 4",
+            Directives {
+                pipeline_ii: Some(1),
+                unroll_factor: Some(4),
+                partition_factor: None,
+                flatten: false,
+            },
+        ),
+        (
+            "pipeline + partition 4",
+            Directives {
+                pipeline_ii: Some(1),
+                unroll_factor: None,
+                partition_factor: Some(4),
+                flatten: false,
+            },
+        ),
+        (
+            "pipeline + flatten",
+            Directives {
+                pipeline_ii: Some(1),
+                unroll_factor: None,
+                partition_factor: None,
+                flatten: true,
+            },
+        ),
+        (
+            "pipeline+flatten+part 4",
+            Directives {
+                pipeline_ii: Some(1),
+                unroll_factor: None,
+                partition_factor: Some(4),
+                flatten: true,
+            },
+        ),
+    ];
+
+    for (label, d) in configs {
+        let art = run_flow(kernel, &d, Flow::Adaptor).expect("flow");
+        let r = csynth(&art.module, &target).expect("csynth");
+        let ii = r
+            .loops
+            .iter()
+            .filter_map(|l| l.ii_achieved)
+            .max()
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<28} {:>8} {:>6} {:>6} {:>6}",
+            label, r.latency, ii, r.resources.dsp, r.resources.lut
+        );
+    }
+
+    println!();
+    println!("Five reads of A per iteration against two BRAM ports pin the achieved II");
+    println!("at ceil(5/2)=3 even when II=1 is requested; unrolling multiplies the");
+    println!("pressure. Cyclic partitioning multiplies the ports (reaching II=1 at a");
+    println!("BRAM cost), and flattening removes the per-row pipeline drain; together");
+    println!("they approach the ideal II * 14 * 14 bound.");
+
+    // Show the II-limiting diagnosis from the loop report.
+    let art = run_flow(kernel, &Directives::pipelined(1), Flow::Adaptor).unwrap();
+    let r = csynth(&art.module, &target).unwrap();
+    for l in &r.loops {
+        if let Some(bound) = &l.ii_bound {
+            println!("loop {}: II {} — limited by {bound}", l.name, l.ii_achieved.unwrap_or(0));
+        }
+    }
+}

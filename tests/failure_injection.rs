@@ -1,0 +1,129 @@
+//! Failure injection: broken inputs must fail loudly at the right layer,
+//! never silently produce a design.
+
+use adaptor::AdaptorConfig;
+use driver::Directives;
+use vitis_sim::{csynth, CsynthError, Target};
+
+#[test]
+fn malformed_mlir_fails_at_parse() {
+    let e = mlir_lite::parser::parse_module("bad", "func.func @f( {").unwrap_err();
+    assert!(matches!(e, mlir_lite::Error::Parse { .. }));
+}
+
+#[test]
+fn type_errors_fail_at_mlir_verification() {
+    // f32 load stored into an index-typed memref slot.
+    let src = r#"
+func.func @f(%a: memref<4xf32>, %b: memref<4xindex>) {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %a[%i] : memref<4xf32>
+    affine.store %v, %b[%i] : memref<4xindex>
+  }
+  func.return
+}
+"#;
+    let m = mlir_lite::parser::parse_module("bad", src).unwrap();
+    assert!(mlir_lite::verifier::verify_module(&m).is_err());
+}
+
+#[test]
+fn malformed_llvm_ir_fails_at_parse_with_line_numbers() {
+    let e = llvm_lite::parser::parse_module("bad", "define void @f() {\nentry:\n  bogus\n}\n")
+        .unwrap_err();
+    match e {
+        // The unknown mnemonic is on line 3; the parser may report the
+        // lookahead position (line 4) for unexpected-token errors.
+        llvm_lite::Error::Parse { line, .. } => assert!((3..=4).contains(&line), "line {line}"),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn frontend_rejects_unadapted_ir_with_actionable_messages() {
+    let k = kernels::kernel("two_mm").unwrap();
+    let m = driver::flow::prepare_mlir(k, &Directives::default()).unwrap();
+    let lowered = lowering::lower(m).unwrap();
+    match csynth(&lowered, &Target::default()) {
+        Err(CsynthError::Frontend(errs)) => {
+            assert!(errs.iter().any(|e| e.contains("malloc")));
+            assert!(errs.iter().any(|e| e.contains("pointer parameter")));
+        }
+        other => panic!("expected frontend rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn adaptor_gate_refuses_partial_pipelines() {
+    let k = kernels::kernel("gemm").unwrap();
+    let m = driver::flow::prepare_mlir(k, &Directives::default()).unwrap();
+    let mut module = lowering::lower(m).unwrap();
+    let cfg = AdaptorConfig::default()
+        .without("recover-arrays")
+        .without("synthesize-interface");
+    assert!(adaptor::run_adaptor(&mut module, &cfg).is_err());
+}
+
+#[test]
+fn interpreter_traps_on_out_of_bounds_kernels() {
+    // A kernel indexing past its memref: the lowering is type-consistent,
+    // so the bug must be caught dynamically by the interpreter.
+    let src = r#"
+func.func @oob(%a: memref<4xf32>) attributes {hls.top} {
+  affine.for %i = 0 to 4 {
+    %v = affine.load %a[%i + 4] : memref<4xf32>
+    affine.store %v, %a[%i] : memref<4xf32>
+  }
+  func.return
+}
+"#;
+    let m = mlir_lite::parser::parse_module("oob", src).unwrap();
+    let module = lowering::lower(m).unwrap();
+    let mut interp = llvm_lite::interp::Interpreter::new(&module);
+    let p = interp.mem.alloc_f32(&[0.0; 4]);
+    let e = interp
+        .call("oob", &[llvm_lite::interp::RtVal::P(p)])
+        .unwrap_err();
+    assert!(e.to_string().contains("out-of-bounds"));
+}
+
+#[test]
+fn c_frontend_rejects_unknown_functions_and_bad_loops() {
+    assert!(hls_cpp::compile_cpp("t", "void f(float a[4]) { a[0] = mystery(1.0f); }").is_err());
+    assert!(hls_cpp::compile_cpp(
+        "t",
+        "void f(float a[4]) { for (int i = 0; i < 4; i *= 2) { a[i] = 0.0f; } }"
+    )
+    .is_err());
+}
+
+#[test]
+fn cpp_emitter_refuses_dynamic_interfaces() {
+    use mlir_lite::dialects::func;
+    use mlir_lite::MType;
+    let mut m = mlir_lite::MlirModule::new("m");
+    let mut f = func::func("f", vec![MType::F32.memref(&[-1])], MType::None);
+    f.regions[0].entry_mut().ops.push(func::ret(None));
+    m.ops.push(f);
+    let e = hls_cpp::emit_cpp(&m).unwrap_err();
+    assert!(e.to_string().contains("dynamic"));
+}
+
+#[test]
+fn scheduler_never_accepts_what_the_gate_rejected() {
+    // Anything the adaptor's compat verifier flags must also be refused by
+    // the independent frontend model (no false confidence).
+    for k in kernels::all_kernels() {
+        let m = driver::flow::prepare_mlir(k, &Directives::default()).unwrap();
+        let lowered = lowering::lower(m).unwrap();
+        let adaptor_says_bad = !adaptor::compat_issues(&lowered).is_empty();
+        let frontend_says_bad = !vitis_sim::csynth::frontend_check(&lowered).is_empty();
+        if frontend_says_bad {
+            assert!(
+                adaptor_says_bad,
+                "{}: frontend rejects but the adaptor's model saw nothing",
+                k.name
+            );
+        }
+    }
+}
