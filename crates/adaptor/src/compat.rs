@@ -12,8 +12,7 @@
 use llvm_lite::analysis::{Cfg, DomTree, LoopInfo};
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::{InstData, Module, Opcode, Type};
-
-use crate::Result;
+use pass_core::{Diagnostic, Loc, PassResult};
 
 /// What kind of rejection the frontend would produce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,6 +74,16 @@ pub struct CompatIssue {
     pub detail: String,
 }
 
+impl CompatIssue {
+    /// Render as a located [`Diagnostic`], e.g.
+    /// `error[verify-compat] @f:call @malloc: dynamic allocation is not
+    /// synthesizable`.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error("verify-compat", self.kind.describe())
+            .with_loc(Loc::function(&self.function).at_inst(&self.detail))
+    }
+}
+
 /// Intrinsics the frozen frontend understands.
 fn intrinsic_whitelisted(name: &str) -> bool {
     const WHITELIST: &[&str] = &[
@@ -99,9 +108,7 @@ fn attr_whitelisted(key: &str) -> bool {
 
 fn name_is_legal(name: &str) -> bool {
     !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().unwrap().is_ascii_digit()
 }
 
@@ -121,7 +128,11 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
             continue;
         }
         if !name_is_legal(&f.name) {
-            push(IssueKind::IllegalName, &f.name, format!("function @{}", f.name));
+            push(
+                IssueKind::IllegalName,
+                &f.name,
+                format!("function @{}", f.name),
+            );
         }
         for k in f.attrs.keys() {
             if !attr_whitelisted(k) {
@@ -134,7 +145,11 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
         }
         for p in &f.params {
             if !name_is_legal(&p.name) {
-                push(IssueKind::IllegalName, &f.name, format!("parameter %{}", p.name));
+                push(
+                    IssueKind::IllegalName,
+                    &f.name,
+                    format!("parameter %{}", p.name),
+                );
             }
             for k in p.attrs.keys() {
                 if !attr_whitelisted(k) {
@@ -170,9 +185,11 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
             }
             // Vitis tolerates dots in labels (it renames them), so only
             // reject genuinely hostile labels.
-            if f.block(b).name.chars().any(|c| {
-                !(c.is_ascii_alphanumeric() || c == '_' || c == '.')
-            }) {
+            if f.block(b)
+                .name
+                .chars()
+                .any(|c| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            {
                 push(
                     IssueKind::IllegalName,
                     &f.name,
@@ -191,7 +208,11 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
                         continue;
                     };
                     if callee == "malloc" || callee == "free" {
-                        push(IssueKind::HeapAllocation, &f.name, format!("call @{callee}"));
+                        push(
+                            IssueKind::HeapAllocation,
+                            &f.name,
+                            format!("call @{callee}"),
+                        );
                     } else if callee.starts_with("llvm.") {
                         if !intrinsic_whitelisted(callee) {
                             push(
@@ -216,14 +237,13 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
                         }
                     }
                 }
-                Opcode::Alloca
-                    if b != f.entry() => {
-                        push(
-                            IssueKind::NonEntryAlloca,
-                            &f.name,
-                            format!("alloca %{id} in block {}", f.block(b).name),
-                        );
-                    }
+                Opcode::Alloca if b != f.entry() => {
+                    push(
+                        IssueKind::NonEntryAlloca,
+                        &f.name,
+                        format!("alloca %{id} in block {}", f.block(b).name),
+                    );
+                }
                 Opcode::PtrToInt | Opcode::IntToPtr => {
                     push(
                         IssueKind::PointerIntCast,
@@ -321,24 +341,24 @@ fn find_recursion(m: &Module) -> Vec<CompatIssue> {
 /// The compat gate as a pass: errors if any issue remains.
 pub struct VerifyCompat;
 
-impl ModulePass for VerifyCompat {
+impl ModulePass<Module> for VerifyCompat {
     fn name(&self) -> &'static str {
         "verify-compat"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let issues = compat_issues(m);
         if issues.is_empty() {
             Ok(false)
         } else {
             let mut msg = format!("{} HLS compatibility issue(s):", issues.len());
             for i in issues.iter().take(8) {
-                msg.push_str(&format!(
-                    "\n  [{:?}] @{}: {}",
-                    i.kind, i.function, i.detail
-                ));
+                msg.push_str(&format!("\n  {}", i.to_diagnostic()));
             }
-            Err(llvm_lite::Error::Verify(msg))
+            // The summary diagnostic points at the first offender; the full
+            // list is in the message body.
+            Err(Diagnostic::error("verify-compat", msg)
+                .with_loc(Loc::function(&issues[0].function).at_inst(&issues[0].detail)))
         }
     }
 }
@@ -538,5 +558,22 @@ entry:
         let mut m = parse_module("m", src).unwrap();
         let e = VerifyCompat.run(&mut m).unwrap_err();
         assert!(e.to_string().contains("HLS compatibility"));
+        // The gate's summary diagnostic carries the first offender's
+        // function + instruction context.
+        assert_eq!(e.loc.function.as_deref(), Some("f"));
+        assert_eq!(e.loc.inst.as_deref(), Some("call @malloc"));
+    }
+
+    #[test]
+    fn issue_diagnostics_render_with_location() {
+        let issue = CompatIssue {
+            kind: IssueKind::HeapAllocation,
+            function: "f".into(),
+            detail: "call @malloc".into(),
+        };
+        assert_eq!(
+            issue.to_diagnostic().to_string(),
+            "error[verify-compat] @f:call @malloc: dynamic allocation is not synthesizable"
+        );
     }
 }

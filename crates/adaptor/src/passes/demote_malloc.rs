@@ -13,16 +13,17 @@ use llvm_lite::transforms::ModulePass;
 use llvm_lite::{Inst, InstData, Module, Opcode, Type, Value};
 
 use crate::Result;
+use pass_core::PassResult;
 
 /// The malloc-demotion pass.
 pub struct DemoteMalloc;
 
-impl ModulePass for DemoteMalloc {
+impl ModulePass<Module> for DemoteMalloc {
     fn name(&self) -> &'static str {
         "demote-malloc"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {

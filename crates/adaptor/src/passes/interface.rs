@@ -16,17 +16,17 @@
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::{Module, Type};
 
-use crate::Result;
+use pass_core::PassResult;
 
 /// The interface-synthesis pass.
 pub struct SynthesizeInterface;
 
-impl ModulePass for SynthesizeInterface {
+impl ModulePass<Module> for SynthesizeInterface {
     fn name(&self) -> &'static str {
         "synthesize-interface"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let Some(top_name) = m.top_function().map(|f| f.name.clone()) else {
             return Ok(false);
         };
@@ -103,11 +103,7 @@ entry:
 "#;
         let mut m = parse_module("m", src).unwrap();
         assert!(SynthesizeInterface.run(&mut m).unwrap());
-        assert!(m
-            .function("only")
-            .unwrap()
-            .attrs
-            .contains_key("hls.top"));
+        assert!(m.function("only").unwrap().attrs.contains_key("hls.top"));
     }
 
     #[test]

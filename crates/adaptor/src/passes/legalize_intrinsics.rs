@@ -10,21 +10,20 @@
 //!   like any other loop.
 
 use llvm_lite::transforms::ModulePass;
-use llvm_lite::{
-    Function, Inst, InstData, IntPred, Module, Opcode, Type, Value,
-};
+use llvm_lite::{Function, Inst, InstData, IntPred, Module, Opcode, Type, Value};
 
 use crate::Result;
+use pass_core::PassResult;
 
 /// The intrinsic-legalization pass.
 pub struct LegalizeIntrinsics;
 
-impl ModulePass for LegalizeIntrinsics {
+impl ModulePass<Module> for LegalizeIntrinsics {
     fn name(&self) -> &'static str {
         "legalize-intrinsics"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for fi in 0..m.functions.len() {
             if m.functions[fi].is_declaration {
@@ -185,12 +184,10 @@ fn expand_mem_loop(
     );
     f.push_inst(
         header,
-        Inst::new(Opcode::CondBr, Type::Void, vec![Value::Inst(cmp)]).with_data(
-            InstData::CondBr {
-                on_true: body,
-                on_false: cont,
-            },
-        ),
+        Inst::new(Opcode::CondBr, Type::Void, vec![Value::Inst(cmp)]).with_data(InstData::CondBr {
+            on_true: body,
+            on_false: cont,
+        }),
     );
     // body
     let dst_gep = f.push_inst(
@@ -218,11 +215,13 @@ fn expand_mem_loop(
                 inbounds: true,
             }),
         );
-        Value::Inst(f.push_inst(
-            body,
-            Inst::new(Opcode::Load, Type::I8, vec![Value::Inst(src_gep)])
-                .with_data(InstData::Load { align: 1 }),
-        ))
+        Value::Inst(
+            f.push_inst(
+                body,
+                Inst::new(Opcode::Load, Type::I8, vec![Value::Inst(src_gep)])
+                    .with_data(InstData::Load { align: 1 }),
+            ),
+        )
     } else {
         // memset: the byte value operand (i8).
         inst.operands[1].clone()
@@ -234,7 +233,11 @@ fn expand_mem_loop(
     );
     let next = f.push_inst(
         body,
-        Inst::new(Opcode::Add, Type::I64, vec![Value::Inst(phi), Value::i64(1)]),
+        Inst::new(
+            Opcode::Add,
+            Type::I64,
+            vec![Value::Inst(phi), Value::i64(1)],
+        ),
     );
     f.push_inst(
         body,
@@ -313,7 +316,10 @@ entry:
         let f = m.function("f").unwrap();
         assert_eq!(f.count_opcode(Opcode::Select), 1);
         let mut i = Interpreter::new(&m);
-        assert_eq!(i.call("f", &[RtVal::I(3), RtVal::I(9)]).unwrap(), RtVal::I(9));
+        assert_eq!(
+            i.call("f", &[RtVal::I(3), RtVal::I(9)]).unwrap(),
+            RtVal::I(9)
+        );
         let mut i2 = Interpreter::new(&m);
         assert_eq!(
             i2.call("f", &[RtVal::I(-3), RtVal::I(-9)]).unwrap(),

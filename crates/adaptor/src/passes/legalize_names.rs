@@ -11,17 +11,17 @@ use std::collections::{HashMap, HashSet};
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::{InstData, Module};
 
-use crate::Result;
+use pass_core::PassResult;
 
 /// The name-legalization pass.
 pub struct LegalizeNames;
 
-impl ModulePass for LegalizeNames {
+impl ModulePass<Module> for LegalizeNames {
     fn name(&self) -> &'static str {
         "legalize-names"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
 
         // Functions (and call sites).
@@ -96,7 +96,13 @@ impl ModulePass for LegalizeNames {
 pub fn legalize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() {
         out.push('v');

@@ -16,17 +16,17 @@ use llvm_lite::analysis::{Cfg, DomTree, LoopInfo};
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::{Function, Module};
 
-use crate::Result;
+use pass_core::PassResult;
 
 /// The metadata-normalization pass.
 pub struct NormalizeLoopMetadata;
 
-impl ModulePass for NormalizeLoopMetadata {
+impl ModulePass<Module> for NormalizeLoopMetadata {
     fn name(&self) -> &'static str {
         "normalize-loop-metadata"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for fi in 0..m.functions.len() {
             if m.functions[fi].is_declaration {
@@ -102,9 +102,15 @@ fn add_tripcounts(m: &mut Module, fi: usize) -> bool {
         let loops = LoopInfo::build(f, &cfg, &dom);
         let mut updates: Vec<(llvm_lite::InstId, u64)> = Vec::new();
         for l in &loops.loops {
-            let Some(&latch) = l.latches.first() else { continue };
-            let Some(term) = f.terminator(latch) else { continue };
-            let Some(md_id) = f.inst(term).loop_md else { continue };
+            let Some(&latch) = l.latches.first() else {
+                continue;
+            };
+            let Some(term) = f.terminator(latch) else {
+                continue;
+            };
+            let Some(md_id) = f.inst(term).loop_md else {
+                continue;
+            };
             if m.loop_mds[md_id as usize].tripcount.is_some() {
                 continue;
             }

@@ -1,10 +1,10 @@
 //! The adaptor's rewriting passes.
 
 pub mod demote_malloc;
+pub mod interface;
 pub mod legalize_intrinsics;
 pub mod legalize_names;
 pub mod metadata;
-pub mod interface;
 pub mod recover_arrays;
 pub mod scrub_attrs;
 

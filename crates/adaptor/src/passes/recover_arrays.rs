@@ -28,17 +28,17 @@
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::{Function, InstData, Module, Opcode, Type, Value};
 
-use crate::Result;
+use pass_core::PassResult;
 
 /// The array-recovery pass.
 pub struct RecoverArrays;
 
-impl ModulePass for RecoverArrays {
+impl ModulePass<Module> for RecoverArrays {
     fn name(&self) -> &'static str {
         "recover-arrays"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {
@@ -114,10 +114,7 @@ fn recover_params(f: &mut Function) -> bool {
             if !uses_arg {
                 continue;
             }
-            if inst.opcode == Opcode::Gep
-                && inst.operands[0] == arg
-                && inst.operands.len() == 2
-            {
+            if inst.opcode == Opcode::Gep && inst.operands[0] == arg && inst.operands.len() == 2 {
                 match delinearize(f, &inst.operands[1], &dims) {
                     Some(indices) => rewrites.push((id, indices)),
                     None => {
@@ -259,10 +256,7 @@ fn fold_decay_geps(f: &mut Function) -> bool {
         let users: Vec<llvm_lite::InstId> = f
             .inst_ids()
             .into_iter()
-            .filter(|(_, id)| {
-                f.inst(*id)
-                    .operands.contains(&Value::Inst(decay))
-            })
+            .filter(|(_, id)| f.inst(*id).operands.contains(&Value::Inst(decay)))
             .map(|(_, id)| id)
             .collect();
         let mut all_flat_geps = true;
@@ -303,10 +297,7 @@ mod tests {
 
     #[test]
     fn parse_shape_forms() {
-        assert_eq!(
-            parse_shape("4x8xf32"),
-            Some((vec![4, 8], Type::Float))
-        );
+        assert_eq!(parse_shape("4x8xf32"), Some((vec![4, 8], Type::Float)));
         assert_eq!(parse_shape("16xi32"), Some((vec![16], Type::I32)));
         assert_eq!(parse_shape("f64"), Some((vec![], Type::Double)));
         assert_eq!(parse_shape("?x4xf32"), None);
@@ -349,7 +340,8 @@ entry:
             let mut i = Interpreter::new(module);
             let data: Vec<f32> = (0..32).map(|x| x as f32).collect();
             let p = i.mem.alloc_f32(&data);
-            i.call("t", &[RtVal::P(p), RtVal::I(2), RtVal::I(5)]).unwrap();
+            i.call("t", &[RtVal::P(p), RtVal::I(2), RtVal::I(5)])
+                .unwrap();
             i.mem.read_f32(p, 32).unwrap()
         };
         assert_eq!(run(&m_before), run(&m));
@@ -464,13 +456,10 @@ entry:
         assert!(RecoverArrays.run(&mut m).unwrap());
         verify_module(&m).unwrap();
         let text = print_module(&m);
-        assert!(text.contains(
-            "getelementptr inbounds [8 x float], [8 x float]* %buf, i64 0, i64 %i"
-        ));
-        // The decay gep is gone.
-        assert_eq!(
-            m.function("g").unwrap().count_opcode(Opcode::Gep),
-            1
+        assert!(
+            text.contains("getelementptr inbounds [8 x float], [8 x float]* %buf, i64 0, i64 %i")
         );
+        // The decay gep is gone.
+        assert_eq!(m.function("g").unwrap().count_opcode(Opcode::Gep), 1);
     }
 }

@@ -9,7 +9,7 @@
 use llvm_lite::transforms::ModulePass;
 use llvm_lite::Module;
 
-use crate::Result;
+use pass_core::PassResult;
 
 /// The attribute-scrubbing pass.
 pub struct ScrubAttributes;
@@ -18,12 +18,12 @@ fn keep(key: &str) -> bool {
     key == "hls.top" || key == "hls.array_partition" || key.starts_with("hls.interface")
 }
 
-impl ModulePass for ScrubAttributes {
+impl ModulePass<Module> for ScrubAttributes {
     fn name(&self) -> &'static str {
         "scrub-attributes"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             let before = f.attrs.len();

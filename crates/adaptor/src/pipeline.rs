@@ -1,7 +1,8 @@
 //! The assembled adaptor pipeline and its report.
 
-use llvm_lite::transforms::{ModulePass, PassManager};
+use llvm_lite::transforms::{ModulePass, PassManager, PassRegistry};
 use llvm_lite::Module;
+use pass_core::{Diagnostic, PassResult, PipelineReport};
 
 use crate::compat::{compat_issues, VerifyCompat};
 use crate::passes::{
@@ -9,6 +10,18 @@ use crate::passes::{
     ScrubAttributes, SynthesizeInterface,
 };
 use crate::Result;
+
+/// The adaptor's pass names, in pipeline order (the `without` ablation
+/// vocabulary).
+pub const PASS_NAMES: &[&str] = &[
+    "legalize-intrinsics",
+    "demote-malloc",
+    "recover-arrays",
+    "normalize-loop-metadata",
+    "synthesize-interface",
+    "legalize-names",
+    "scrub-attributes",
+];
 
 /// Which passes run — every field defaults to `true`; the ablation bench
 /// flips them one at a time.
@@ -57,9 +70,9 @@ impl AdaptorConfig {
         }
     }
 
-    /// Disable one pass by its name (for ablations). Unknown names panic —
-    /// an ablation over a nonexistent pass is a harness bug.
-    pub fn without(mut self, pass: &str) -> AdaptorConfig {
+    /// Disable one pass by its name (for ablations). Unknown names produce
+    /// a [`Diagnostic`] listing the valid names.
+    pub fn without(mut self, pass: &str) -> std::result::Result<AdaptorConfig, Diagnostic> {
         match pass {
             "legalize-intrinsics" => self.legalize_intrinsics = false,
             "demote-malloc" => self.demote_malloc = false,
@@ -68,9 +81,17 @@ impl AdaptorConfig {
             "synthesize-interface" => self.synthesize_interface = false,
             "legalize-names" => self.legalize_names = false,
             "scrub-attributes" => self.scrub_attrs = false,
-            other => panic!("unknown adaptor pass '{other}'"),
+            other => {
+                return Err(Diagnostic::error(
+                    "adaptor",
+                    format!(
+                        "unknown adaptor pass '{other}'; valid passes: {}",
+                        PASS_NAMES.join(", ")
+                    ),
+                ))
+            }
         }
-        self
+        Ok(self)
     }
 }
 
@@ -80,11 +101,40 @@ pub struct AdaptorReport {
     /// Compat issues in the input module.
     pub issues_before: usize,
     /// `(pass name, issues remaining after it ran)`.
-    pub issues_after_pass: Vec<(&'static str, usize)>,
+    pub issues_after_pass: Vec<(String, usize)>,
     /// Compat issues in the output module.
     pub issues_after: usize,
     /// Names of passes that changed the IR.
-    pub changed_passes: Vec<&'static str>,
+    pub changed_passes: Vec<String>,
+    /// The instrumented per-pass execution report (timing, size deltas).
+    pub pipeline: PipelineReport,
+}
+
+/// Build the configured pipeline (without the gate).
+fn build_pipeline(cfg: &AdaptorConfig) -> PassManager {
+    let mut pm = PassManager::with_label("hls-adaptor");
+    if cfg.legalize_intrinsics {
+        pm.add(LegalizeIntrinsics);
+    }
+    if cfg.demote_malloc {
+        pm.add(DemoteMalloc);
+    }
+    if cfg.recover_arrays {
+        pm.add(RecoverArrays);
+    }
+    if cfg.normalize_metadata {
+        pm.add(NormalizeLoopMetadata);
+    }
+    if cfg.synthesize_interface {
+        pm.add(SynthesizeInterface);
+    }
+    if cfg.legalize_names {
+        pm.add(LegalizeNames);
+    }
+    if cfg.scrub_attrs {
+        pm.add(ScrubAttributes);
+    }
+    pm
 }
 
 /// Run the adaptor pipeline over a module.
@@ -93,51 +143,63 @@ pub fn run_adaptor(m: &mut Module, cfg: &AdaptorConfig) -> Result<AdaptorReport>
         issues_before: compat_issues(m).len(),
         ..AdaptorReport::default()
     };
-    // Staged execution so issue counts can be sampled between passes.
-    let mut stages: Vec<Box<dyn ModulePass>> = Vec::new();
-    if cfg.legalize_intrinsics {
-        stages.push(Box::new(LegalizeIntrinsics));
-    }
-    if cfg.demote_malloc {
-        stages.push(Box::new(DemoteMalloc));
-    }
-    if cfg.recover_arrays {
-        stages.push(Box::new(RecoverArrays));
-    }
-    if cfg.normalize_metadata {
-        stages.push(Box::new(NormalizeLoopMetadata));
-    }
-    if cfg.synthesize_interface {
-        stages.push(Box::new(SynthesizeInterface));
-    }
-    if cfg.legalize_names {
-        stages.push(Box::new(LegalizeNames));
-    }
-    if cfg.scrub_attrs {
-        stages.push(Box::new(ScrubAttributes));
-    }
-    for pass in stages {
-        let changed = pass.run(m)?;
-        llvm_lite::verifier::verify_module(m).map_err(|e| match e {
-            llvm_lite::Error::Verify(msg) => {
-                llvm_lite::Error::Verify(format!("after adaptor pass '{}': {msg}", pass.name()))
-            }
-            other => other,
-        })?;
-        if changed {
-            report.changed_passes.push(pass.name());
-        }
-        report
-            .issues_after_pass
-            .push((pass.name(), compat_issues(m).len()));
-    }
+    // One instrumented pipeline; the observer samples the compat-issue
+    // count after each pass (the Table-4 metric) while pass-core handles
+    // verification, timing, and change tracking.
+    let pm = build_pipeline(cfg);
+    let pipeline = pm
+        .run_observed(m, &mut |ir, rec| {
+            report
+                .issues_after_pass
+                .push((rec.pass.clone(), compat_issues(ir).len()));
+        })
+        .map_err(llvm_lite::Error::from)?;
+    report.changed_passes = pipeline
+        .changed_passes()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    report.pipeline = pipeline;
     report.issues_after = compat_issues(m).len();
     if cfg.gate {
-        let mut pm = PassManager::new();
+        let mut pm = PassManager::with_label("compat-gate");
         pm.add(VerifyCompat);
-        pm.run(m)?;
+        pm.run(m).map_err(llvm_lite::Error::from)?;
     }
     Ok(report)
+}
+
+/// The whole adaptor as one registerable pass (default config), so drivers
+/// can splice it into `--passes` pipelines by name.
+pub struct HlsAdaptor;
+
+impl ModulePass<Module> for HlsAdaptor {
+    fn name(&self) -> &'static str {
+        "hls-adaptor"
+    }
+
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
+        let report = run_adaptor(m, &AdaptorConfig::default())?;
+        Ok(!report.changed_passes.is_empty())
+    }
+}
+
+/// Registry of the adaptor's passes (individually, plus the assembled
+/// `hls-adaptor` pipeline and the `verify-compat` gate), keyed by name.
+pub fn registry() -> PassRegistry<Module> {
+    let mut r = PassRegistry::new();
+    r.register("legalize-intrinsics", || Box::new(LegalizeIntrinsics))
+        .register("demote-malloc", || Box::new(DemoteMalloc))
+        .register("recover-arrays", || Box::new(RecoverArrays))
+        .register("normalize-loop-metadata", || {
+            Box::new(NormalizeLoopMetadata)
+        })
+        .register("synthesize-interface", || Box::new(SynthesizeInterface))
+        .register("legalize-names", || Box::new(LegalizeNames))
+        .register("scrub-attributes", || Box::new(ScrubAttributes))
+        .register("verify-compat", || Box::new(VerifyCompat))
+        .register("hls-adaptor", || Box::new(HlsAdaptor));
+    r
 }
 
 #[cfg(test)]
@@ -244,7 +306,7 @@ func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) a
         // pass falls back to bus-master pointers — but the QoR-relevant
         // array structure is lost. This is the A1 ablation's mechanism.
         let mut m = lowered_gemm();
-        let cfg = AdaptorConfig::default().without("recover-arrays");
+        let cfg = AdaptorConfig::default().without("recover-arrays").unwrap();
         run_adaptor(&mut m, &cfg).unwrap();
         let f = m.function("gemm").unwrap();
         for p in &f.params {
@@ -261,7 +323,9 @@ func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) a
         let mut m = lowered_gemm();
         let cfg = AdaptorConfig::default()
             .without("synthesize-interface")
-            .without("recover-arrays");
+            .unwrap()
+            .without("recover-arrays")
+            .unwrap();
         // Flat pointers with no binding: UnshapedInterface remains.
         let result = run_adaptor(&mut m, &cfg);
         assert!(result.is_err());
@@ -275,14 +339,42 @@ func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) a
             ..AdaptorConfig::default()
         }
         .without("synthesize-interface")
-        .without("recover-arrays");
+        .unwrap()
+        .without("recover-arrays")
+        .unwrap();
         let report = run_adaptor(&mut m, &cfg).unwrap();
         assert!(report.issues_after > 0);
     }
 
     #[test]
-    #[should_panic(expected = "unknown adaptor pass")]
-    fn unknown_ablation_name_panics() {
-        let _ = AdaptorConfig::default().without("nonsense");
+    fn unknown_ablation_name_lists_valid_names() {
+        let e = AdaptorConfig::default().without("nonsense").unwrap_err();
+        assert!(e.message.contains("unknown adaptor pass 'nonsense'"));
+        for name in PASS_NAMES {
+            assert!(e.message.contains(name), "error should list '{name}'");
+        }
+    }
+
+    #[test]
+    fn report_carries_instrumented_pipeline() {
+        let mut m = lowered_gemm();
+        let report = run_adaptor(&mut m, &AdaptorConfig::default()).unwrap();
+        assert_eq!(report.pipeline.label, "hls-adaptor");
+        assert_eq!(report.pipeline.passes.len(), 7);
+        // Issue samples line up 1:1 with executed passes.
+        assert_eq!(report.issues_after_pass.len(), 7);
+        for (rec, (name, _)) in report.pipeline.passes.iter().zip(&report.issues_after_pass) {
+            assert_eq!(&rec.pass, name);
+        }
+        assert!(report.pipeline.passes.iter().all(|p| p.size_after > 0));
+    }
+
+    #[test]
+    fn registry_round_trips_every_pass() {
+        let r = registry();
+        for name in r.names() {
+            assert_eq!(r.create(name).unwrap().name(), name);
+        }
+        assert!(r.contains("hls-adaptor") && r.contains("verify-compat"));
     }
 }

@@ -78,7 +78,10 @@ fn read_at(m: &Module, data: &[f32], i: i64, j: i64) -> f32 {
     let mut interp = Interpreter::new(m);
     let p = interp.mem.alloc_f32(data);
     match interp
-        .call("f", &[RtVal::P(p), RtVal::I(i as i128), RtVal::I(j as i128)])
+        .call(
+            "f",
+            &[RtVal::P(p), RtVal::I(i as i128), RtVal::I(j as i128)],
+        )
         .unwrap()
     {
         RtVal::F(v) => v as f32,

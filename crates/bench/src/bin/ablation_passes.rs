@@ -2,20 +2,11 @@
 //! at a time and record (a) whether the frontend still accepts the design,
 //! (b) the synthesis latency when it does (QoR cost of losing the pass).
 
+use adaptor::pipeline::PASS_NAMES;
 use adaptor::AdaptorConfig;
 use driver::{flow::prepare_mlir, Directives};
 use hls_bench::render_table;
 use vitis_sim::{csynth, Target};
-
-const PASSES: &[&str] = &[
-    "legalize-intrinsics",
-    "demote-malloc",
-    "recover-arrays",
-    "normalize-loop-metadata",
-    "synthesize-interface",
-    "legalize-names",
-    "scrub-attributes",
-];
 
 fn run_config(kernel: &kernels::Kernel, cfg: &AdaptorConfig) -> (String, String) {
     let d = Directives::pipelined(1);
@@ -42,8 +33,8 @@ fn main() {
         let mut rows = Vec::new();
         let (lat, dsp) = run_config(k, &AdaptorConfig::default());
         rows.push(vec!["(full pipeline)".to_string(), lat, dsp]);
-        for pass in PASSES {
-            let cfg = AdaptorConfig::default().without(pass);
+        for pass in PASS_NAMES {
+            let cfg = AdaptorConfig::default().without(pass).expect("known pass");
             let (lat, dsp) = run_config(k, &cfg);
             rows.push(vec![format!("- {pass}"), lat, dsp]);
         }

@@ -9,12 +9,7 @@ use hls_bench::render_table;
 fn median_us(kernel: &kernels::Kernel, flow: Flow, reps: usize) -> u64 {
     let d = Directives::pipelined(1);
     let mut times: Vec<u64> = (0..reps)
-        .map(|_| {
-            run_flow(kernel, &d, flow)
-                .expect("flow")
-                .elapsed
-                .as_micros() as u64
-        })
+        .map(|_| run_flow(kernel, &d, flow).expect("flow").elapsed_us())
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
@@ -36,6 +31,9 @@ fn main() {
     println!("Figure 2 (series data): flow conversion time, median of {reps} runs (us)");
     print!(
         "{}",
-        render_table(&["kernel", "adaptor (us)", "hls-c++ (us)", "cpp/adaptor"], &rows)
+        render_table(
+            &["kernel", "adaptor (us)", "hls-c++ (us)", "cpp/adaptor"],
+            &rows
+        )
     );
 }

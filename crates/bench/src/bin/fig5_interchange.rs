@@ -120,8 +120,15 @@ fn main() {
             ii(&swapped).to_string(),
             base.latency.to_string(),
             swapped.latency.to_string(),
-            format!("{:.2}x", base.latency as f64 / swapped.latency.max(1) as f64),
-            if exact { "bit-exact".into() } else { "DIVERGED".into() },
+            format!(
+                "{:.2}x",
+                base.latency as f64 / swapped.latency.max(1) as f64
+            ),
+            if exact {
+                "bit-exact".into()
+            } else {
+                "DIVERGED".into()
+            },
         ]);
     }
     println!("Figure 5 (series data): MLIR-level loop interchange, PIPELINE II=1");

@@ -7,8 +7,7 @@ use hls_bench::{ratio, render_table};
 use vitis_sim::Target;
 
 fn main() {
-    let rows_data =
-        run_suite(&Directives::pipelined(1), &Target::default()).expect("suite run");
+    let rows_data = run_suite(&Directives::pipelined(1), &Target::default()).expect("suite run");
     let mut rows = Vec::new();
     for r in &rows_data {
         rows.push(vec![

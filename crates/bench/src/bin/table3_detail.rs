@@ -46,8 +46,16 @@ fn main() {
         let s = &adaptor.mlir_stats;
         let (a_struct, a_flat) = structured_geps(&adaptor.module);
         let (c_struct, c_flat) = structured_geps(&cpp.module);
-        let a_insts = adaptor.module.top_function().map(|f| f.num_insts()).unwrap_or(0);
-        let c_insts = cpp.module.top_function().map(|f| f.num_insts()).unwrap_or(0);
+        let a_insts = adaptor
+            .module
+            .top_function()
+            .map(|f| f.num_insts())
+            .unwrap_or(0);
+        let c_insts = cpp
+            .module
+            .top_function()
+            .map(|f| f.num_insts())
+            .unwrap_or(0);
         rows.push(vec![
             k.name.to_string(),
             s.affine_accesses.to_string(),

@@ -20,8 +20,14 @@ fn main() {
     };
     let quiet = args.iter().any(|a| a == "--quiet");
 
-    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).expect("parse");
-    let mut module = lowering::lower(m).expect("lowering");
+    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let mut module = lowering::lower(m).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 
     let before = adaptor::compat_issues(&module);
     eprintln!("== Issues before the adaptor ({})", before.len());
@@ -29,8 +35,10 @@ fn main() {
         eprintln!("  [{:?}] @{}: {}", i.kind, i.function, i.detail);
     }
 
-    let report = adaptor::run_adaptor(&mut module, &AdaptorConfig::default())
-        .expect("adaptor pipeline");
+    let report = adaptor::run_adaptor(&mut module, &AdaptorConfig::default()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     eprintln!("== Pass pipeline");
     for (pass, remaining) in &report.issues_after_pass {
         let changed = if report.changed_passes.contains(pass) {
@@ -41,6 +49,7 @@ fn main() {
         eprintln!("  {pass:<26} {changed}   issues remaining: {remaining}");
     }
     eprintln!("== Issues after: {}", report.issues_after);
+    eprint!("{}", report.pipeline.render());
 
     if !quiet {
         print!("{}", llvm_lite::printer::print_module(&module));

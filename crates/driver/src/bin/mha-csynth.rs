@@ -63,7 +63,11 @@ fn main() {
             match csynth(&art.module, &target) {
                 Ok(report) => {
                     let sim = cosim(&art.module, k, 2026).expect("cosim");
-                    println!("--- flow: {} (cosim max err {})", flow.label(), sim.max_abs_err);
+                    println!(
+                        "--- flow: {} (cosim max err {})",
+                        flow.label(),
+                        sim.max_abs_err
+                    );
                     print!("{}", report.render());
                 }
                 Err(e) => println!("  [{}] csynth failed: {e}", flow.label()),

@@ -3,61 +3,53 @@
 //! standalone utility: `mha-opt --passes hls-adaptor in.ll`.
 //!
 //! ```text
-//! mha-opt [--passes p1,p2,...] [<file.ll>|-]
-//!
-//! passes: mem2reg, dce, simplify-cfg, fold-constants, licm,
-//!         legalize-intrinsics, demote-malloc, recover-arrays,
-//!         normalize-loop-metadata, synthesize-interface, legalize-names,
-//!         scrub-attributes, verify-compat,
-//!         hls-adaptor (the full adaptor pipeline)
+//! mha-opt [--passes p1,p2,...] [--report-json <path>] [<file.ll>|-]
 //! ```
+//!
+//! Pass names come from the unified registry (LLVM-level cleanup passes
+//! plus the adaptor's passes, `verify-compat`, and the assembled
+//! `hls-adaptor` pipeline); an unknown name exits with the full list of
+//! valid names. After the pipeline runs, a per-pass timing/size report is
+//! printed to stderr, and `--report-json` additionally writes it as JSON
+//! (schema in EXPERIMENTS.md).
 
 use std::io::Read;
 
-use llvm_lite::transforms::ModulePass;
-
-fn pass_by_name(name: &str) -> Option<Box<dyn ModulePass>> {
-    Some(match name {
-        "mem2reg" => Box::new(llvm_lite::transforms::Mem2Reg),
-        "dce" => Box::new(llvm_lite::transforms::Dce),
-        "simplify-cfg" => Box::new(llvm_lite::transforms::SimplifyCfg),
-        "fold-constants" => Box::new(llvm_lite::transforms::FoldConstants),
-        "licm" => Box::new(llvm_lite::transforms::Licm),
-        "legalize-intrinsics" => Box::new(adaptor::passes::LegalizeIntrinsics),
-        "demote-malloc" => Box::new(adaptor::passes::DemoteMalloc),
-        "recover-arrays" => Box::new(adaptor::passes::RecoverArrays),
-        "normalize-loop-metadata" => Box::new(adaptor::passes::NormalizeLoopMetadata),
-        "synthesize-interface" => Box::new(adaptor::passes::SynthesizeInterface),
-        "legalize-names" => Box::new(adaptor::passes::LegalizeNames),
-        "scrub-attributes" => Box::new(adaptor::passes::ScrubAttributes),
-        "verify-compat" => Box::new(adaptor::compat::VerifyCompat),
-        _ => return None,
-    })
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let passes_arg = args
-        .iter()
-        .position(|a| a == "--passes")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_default();
-    let input = args
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--") && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--passes")
-        })
-        .map(|(_, a)| a.clone())
-        .next_back();
+    let mut passes_arg = String::new();
+    let mut report_json: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--passes" => {
+                passes_arg = args.next().unwrap_or_else(|| {
+                    eprintln!("--passes needs a comma-separated pass list");
+                    std::process::exit(2);
+                })
+            }
+            "--report-json" => {
+                report_json = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--report-json needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "-" => input = Some(a),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'");
+                std::process::exit(2);
+            }
+            _ => input = Some(a),
+        }
+    }
 
     let src = match input.as_deref() {
         None | Some("-") => {
             let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .expect("read stdin");
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("cannot read stdin: {e}");
+                std::process::exit(2);
+            }
             buf
         }
         Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -78,37 +70,31 @@ fn main() {
         std::process::exit(1);
     }
 
-    for name in passes_arg.split(',').filter(|s| !s.is_empty()) {
-        if name == "hls-adaptor" {
-            match adaptor::run_adaptor(&mut module, &adaptor::AdaptorConfig::default()) {
-                Ok(report) => eprintln!(
-                    "; hls-adaptor: {} -> {} compatibility issues",
-                    report.issues_before, report.issues_after
-                ),
-                Err(e) => {
-                    eprintln!("hls-adaptor failed: {e}");
-                    std::process::exit(1);
-                }
-            }
-            continue;
-        }
-        let Some(pass) = pass_by_name(name) else {
-            eprintln!("unknown pass '{name}'");
+    // One namespace over every pass the workspace defines.
+    let mut registry = llvm_lite::transforms::registry();
+    registry.merge(adaptor::registry());
+    let pm = match registry.build_pipeline(&passes_arg) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
-        };
-        // Run directly with the pass manager's post-verification behavior.
-        match pass.run(&mut module) {
-            Ok(changed) => {
-                if let Err(e) = llvm_lite::verifier::verify_module(&module) {
-                    eprintln!("module broken after '{name}': {e}");
-                    std::process::exit(1);
+        }
+    };
+    match pm.run(&mut module) {
+        Ok(report) => {
+            if !report.passes.is_empty() {
+                eprint!("{}", report.render());
+            }
+            if let Some(path) = report_json {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
                 }
-                eprintln!("; {name}: {}", if changed { "changed" } else { "no change" });
             }
-            Err(e) => {
-                eprintln!("pass '{name}' failed: {e}");
-                std::process::exit(1);
-            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
     }
     print!("{}", llvm_lite::printer::print_module(&module));

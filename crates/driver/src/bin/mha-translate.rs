@@ -23,12 +23,18 @@ fn main() {
     };
     let show_mlir = args.iter().any(|a| a == "--mlir");
 
-    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).expect("parse kernel");
+    let m = driver::flow::prepare_mlir(kernel, &Directives::pipelined(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     if show_mlir {
         print!("{}", mlir_lite::printer::print_module(&m));
         return;
     }
-    let lowered = lowering::lower(m).expect("lowering");
+    let lowered = lowering::lower(m).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     print!("{}", llvm_lite::printer::print_module(&lowered));
     eprintln!();
     eprintln!(

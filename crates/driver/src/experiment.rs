@@ -69,7 +69,12 @@ impl ExperimentRow {
     }
 }
 
-fn outcome(kernel: &Kernel, directives: &Directives, flow: Flow, target: &Target) -> Result<FlowOutcome> {
+fn outcome(
+    kernel: &Kernel,
+    directives: &Directives,
+    flow: Flow,
+    target: &Target,
+) -> Result<FlowOutcome> {
     let art = run_flow(kernel, directives, flow)?;
     let report = csynth(&art.module, target)?;
     let sim = cosim(&art.module, kernel, 2026)?;
@@ -81,7 +86,7 @@ fn outcome(kernel: &Kernel, directives: &Directives, flow: Flow, target: &Target
     Ok(FlowOutcome {
         report,
         cosim_err: sim.max_abs_err,
-        flow_us: art.elapsed.as_micros() as u64,
+        flow_us: art.elapsed_us(),
         ir_insts,
     })
 }

@@ -1,11 +1,10 @@
 //! The two competing flows from one kernel definition.
 
-use std::time::{Duration, Instant};
-
 use adaptor::{AdaptorConfig, AdaptorReport};
 use kernels::Kernel;
 use mlir_lite::dialects::hls;
 use mlir_lite::MlirModule;
+use pass_core::PipelineReport;
 
 use crate::{DriverError, Result};
 
@@ -36,10 +35,17 @@ pub struct FlowArtifacts {
     pub adaptor_report: Option<AdaptorReport>,
     /// Generated C++ (C++ flow only).
     pub cpp_source: Option<String>,
-    /// Wall-clock time of the MLIR→HLS-ready-IR conversion.
-    pub elapsed: Duration,
+    /// Per-stage timing of the MLIR→HLS-ready-IR conversion.
+    pub report: PipelineReport,
     /// MLIR-level structure statistics of the input (for Table 3).
     pub mlir_stats: mlir_lite::stats::ModuleStats,
+}
+
+impl FlowArtifacts {
+    /// Total conversion wall-clock time, microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.report.total_us()
+    }
 }
 
 /// Parse a kernel into MLIR and apply directives.
@@ -91,30 +97,39 @@ pub fn run_flow(
 ) -> Result<FlowArtifacts> {
     let m = prepare_mlir(kernel, directives)?;
     let mlir_stats = mlir_lite::stats::module_stats(&m);
-    let start = Instant::now();
+    let mut report = PipelineReport::new(flow.label());
     match flow {
         Flow::Adaptor => {
-            let mut module = lowering::lower(m).map_err(DriverError::from)?;
-            let report = adaptor::run_adaptor(&mut module, &AdaptorConfig::default())?;
+            let mut module =
+                report.time_stage("lower", || lowering::lower(m).map_err(DriverError::from))?;
+            let adaptor_report = report.time_stage("adaptor", || {
+                adaptor::run_adaptor(&mut module, &AdaptorConfig::default())
+                    .map_err(DriverError::from)
+            })?;
             Ok(FlowArtifacts {
                 module,
-                adaptor_report: Some(report),
+                adaptor_report: Some(adaptor_report),
                 cpp_source: None,
-                elapsed: start.elapsed(),
+                report,
                 mlir_stats,
             })
         }
         Flow::Cpp => {
-            let cpp = hls_cpp::emit_cpp(&m)?;
-            let mut module = hls_cpp::compile_cpp(kernel.name, &cpp)?;
-            llvm_lite::transforms::standard_cleanup()
+            let cpp = report.time_stage("emit-cpp", || {
+                hls_cpp::emit_cpp(&m).map_err(DriverError::from)
+            })?;
+            let mut module = report.time_stage("frontend", || {
+                hls_cpp::compile_cpp(kernel.name, &cpp).map_err(DriverError::from)
+            })?;
+            let cleanup = llvm_lite::transforms::standard_cleanup()
                 .run_to_fixpoint(&mut module, 4)
                 .map_err(DriverError::from)?;
+            report.extend_prefixed("cleanup", &cleanup);
             Ok(FlowArtifacts {
                 module,
                 adaptor_report: None,
                 cpp_source: Some(cpp),
-                elapsed: start.elapsed(),
+                report,
                 mlir_stats,
             })
         }
@@ -145,7 +160,25 @@ mod tests {
         assert!(rep.issues_before > 0);
         assert_eq!(rep.issues_after, 0);
         // two_mm's heap temporary must have been demoted.
-        assert!(rep.changed_passes.contains(&"demote-malloc"));
+        assert!(rep.changed_passes.iter().any(|p| p == "demote-malloc"));
+    }
+
+    #[test]
+    fn flow_report_breaks_down_stages() {
+        let k = kernels::kernel("gemm").unwrap();
+        let adaptor = run_flow(k, &Directives::default(), Flow::Adaptor).unwrap();
+        let stages: Vec<&str> = adaptor
+            .report
+            .passes
+            .iter()
+            .map(|p| p.pass.as_str())
+            .collect();
+        assert_eq!(stages, vec!["lower", "adaptor"]);
+        assert_eq!(adaptor.elapsed_us(), adaptor.report.total_us());
+        let cpp = run_flow(k, &Directives::default(), Flow::Cpp).unwrap();
+        let stages: Vec<&str> = cpp.report.passes.iter().map(|p| p.pass.as_str()).collect();
+        assert!(stages.starts_with(&["emit-cpp", "frontend"]));
+        assert!(stages.iter().any(|s| s.starts_with("cleanup/")));
     }
 
     #[test]

@@ -34,6 +34,12 @@ impl std::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
+impl From<pass_core::Diagnostic> for DriverError {
+    fn from(d: pass_core::Diagnostic) -> Self {
+        DriverError(d.to_string())
+    }
+}
+
 impl From<mlir_lite::Error> for DriverError {
     fn from(e: mlir_lite::Error) -> Self {
         DriverError(format!("mlir: {e}"))

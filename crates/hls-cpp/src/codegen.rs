@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 
 use llvm_lite::{
-    Function, Inst, InstData, IntPred, FloatPred, LoopMetadata, Module, Opcode, Type, Value,
+    FloatPred, Function, Inst, InstData, IntPred, LoopMetadata, Module, Opcode, Type, Value,
 };
 
 use crate::ast::*;
@@ -128,12 +128,17 @@ fn gen_func(m: &mut Module, cf: &CFunc) -> Result<Function> {
             let slot = cx.alloca_entry(&mut f, ty.clone(), &format!("{}.addr", p.name));
             cx.push(
                 &mut f,
-                Inst::new(Opcode::Store, Type::Void, vec![Value::Arg(i as u32), slot.clone()])
-                    .with_data(InstData::Store {
-                        align: ty.align_in_bytes() as u32,
-                    }),
+                Inst::new(
+                    Opcode::Store,
+                    Type::Void,
+                    vec![Value::Arg(i as u32), slot.clone()],
+                )
+                .with_data(InstData::Store {
+                    align: ty.align_in_bytes() as u32,
+                }),
             );
-            cx.vars.insert(p.name.clone(), Slot::Scalar { ptr: slot, ty });
+            cx.vars
+                .insert(p.name.clone(), Slot::Scalar { ptr: slot, ty });
         } else {
             cx.vars.insert(
                 p.name.clone(),
@@ -150,11 +155,10 @@ fn gen_func(m: &mut Module, cf: &CFunc) -> Result<Function> {
     // Fall-through return for void functions. A trailing `return` leaves an
     // empty, unreachable continuation block behind — drop it.
     if f.terminator(cx.block).is_none() {
-        let is_dead_tail =
-            cx.block != f.entry() && f.block(cx.block).insts.is_empty() && {
-                let cfg = llvm_lite::analysis::Cfg::build(&f);
-                cfg.preds[cx.block as usize].is_empty()
-            };
+        let is_dead_tail = cx.block != f.entry() && f.block(cx.block).insts.is_empty() && {
+            let cfg = llvm_lite::analysis::Cfg::build(&f);
+            cfg.preds[cx.block as usize].is_empty()
+        };
         if is_dead_tail {
             f.remove_block(cx.block);
         } else if f.ret_ty == Type::Void {
@@ -186,7 +190,8 @@ fn gen_stmt(cx: &mut Cx<'_>, f: &mut Function, stmt: &Stmt) -> Result<()> {
                     ),
                 );
             }
-            cx.vars.insert(name.clone(), Slot::Scalar { ptr: slot, ty: lty });
+            cx.vars
+                .insert(name.clone(), Slot::Scalar { ptr: slot, ty: lty });
             Ok(())
         }
         Stmt::DeclArray { ty, name, dims } => {
@@ -313,11 +318,13 @@ fn gen_for(
     );
     // Header: load, compare, branch.
     cx.block = header;
-    let iv = Value::Inst(cx.push(
-        f,
-        Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
-            .with_data(InstData::Load { align: 4 }),
-    ));
+    let iv = Value::Inst(
+        cx.push(
+            f,
+            Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
+                .with_data(InstData::Load { align: 4 }),
+        ),
+    );
     let (bv, bt) = gen_expr(cx, f, bound)?;
     let bv = coerce(cx, f, bv, &bt, &iv_ty)?;
     let pred = match cmp {
@@ -351,11 +358,13 @@ fn gen_for(
         gen_stmt(cx, f, s)?;
     }
     // Latch: i += step; br header (with metadata from pragmas).
-    let cur = Value::Inst(cx.push(
-        f,
-        Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
-            .with_data(InstData::Load { align: 4 }),
-    ));
+    let cur = Value::Inst(
+        cx.push(
+            f,
+            Inst::new(Opcode::Load, iv_ty.clone(), vec![slot.clone()])
+                .with_data(InstData::Load { align: 4 }),
+        ),
+    );
     let next = Value::Inst(cx.push(
         f,
         Inst::new(Opcode::Add, iv_ty, vec![cur, Value::i32(step as i32)]),
@@ -487,11 +496,7 @@ fn coerce(cx: &mut Cx<'_>, f: &mut Function, v: Value, from: &Type, to: &Type) -
         (ft, Type::Int(_)) if ft.is_float() => Inst::new(Opcode::FPToSI, to.clone(), vec![v]),
         (Type::Float, Type::Double) => Inst::new(Opcode::FPExt, to.clone(), vec![v]),
         (Type::Double, Type::Float) => Inst::new(Opcode::FPTrunc, to.clone(), vec![v]),
-        _ => {
-            return Err(Error::Codegen(format!(
-                "cannot convert {from} to {to}"
-            )))
-        }
+        _ => return Err(Error::Codegen(format!("cannot convert {from} to {to}"))),
     };
     // Constants fold inline to keep the IR clang-like.
     if let Some(c) = v_const_coerce(&inst) {
@@ -520,8 +525,12 @@ fn to_bool(cx: &mut Cx<'_>, f: &mut Function, v: Value, ty: &Type) -> Result<Val
     }
     let id = cx.push(
         f,
-        Inst::new(Opcode::ICmp, Type::I1, vec![v, Value::const_int(ty.clone(), 0)])
-            .with_data(InstData::ICmp(IntPred::Ne)),
+        Inst::new(
+            Opcode::ICmp,
+            Type::I1,
+            vec![v, Value::const_int(ty.clone(), 0)],
+        )
+        .with_data(InstData::ICmp(IntPred::Ne)),
     );
     Ok(Value::Inst(id))
 }
@@ -569,7 +578,11 @@ fn gen_expr(cx: &mut Cx<'_>, f: &mut Function, e: &Expr) -> Result<(Value, Type)
             } else {
                 let id = cx.push(
                     f,
-                    Inst::new(Opcode::Sub, ty.clone(), vec![Value::const_int(ty.clone(), 0), v]),
+                    Inst::new(
+                        Opcode::Sub,
+                        ty.clone(),
+                        vec![Value::const_int(ty.clone(), 0), v],
+                    ),
                 );
                 Ok((Value::Inst(id), ty))
             }
@@ -582,10 +595,26 @@ fn gen_expr(cx: &mut Cx<'_>, f: &mut Function, e: &Expr) -> Result<(Value, Type)
             let b = coerce(cx, f, b, &bt, &ct)?;
             let is_f = ct.is_float();
             let (opcode, result_ty, data) = match op {
-                BinOp::Add => (if is_f { Opcode::FAdd } else { Opcode::Add }, ct.clone(), None),
-                BinOp::Sub => (if is_f { Opcode::FSub } else { Opcode::Sub }, ct.clone(), None),
-                BinOp::Mul => (if is_f { Opcode::FMul } else { Opcode::Mul }, ct.clone(), None),
-                BinOp::Div => (if is_f { Opcode::FDiv } else { Opcode::SDiv }, ct.clone(), None),
+                BinOp::Add => (
+                    if is_f { Opcode::FAdd } else { Opcode::Add },
+                    ct.clone(),
+                    None,
+                ),
+                BinOp::Sub => (
+                    if is_f { Opcode::FSub } else { Opcode::Sub },
+                    ct.clone(),
+                    None,
+                ),
+                BinOp::Mul => (
+                    if is_f { Opcode::FMul } else { Opcode::Mul },
+                    ct.clone(),
+                    None,
+                ),
+                BinOp::Div => (
+                    if is_f { Opcode::FDiv } else { Opcode::SDiv },
+                    ct.clone(),
+                    None,
+                ),
                 BinOp::Rem => (Opcode::SRem, ct.clone(), None),
                 cmp => {
                     let (opcode, data) = if is_f {
@@ -609,10 +638,7 @@ fn gen_expr(cx: &mut Cx<'_>, f: &mut Function, e: &Expr) -> Result<(Value, Type)
                         };
                         (Opcode::ICmp, InstData::ICmp(p))
                     };
-                    let id = cx.push(
-                        f,
-                        Inst::new(opcode, Type::I1, vec![a, b]).with_data(data),
-                    );
+                    let id = cx.push(f, Inst::new(opcode, Type::I1, vec![a, b]).with_data(data));
                     return Ok((Value::Inst(id), Type::I1));
                 }
             };
@@ -852,7 +878,10 @@ mod tests {
         );
         let f = m.function("f").unwrap();
         assert_eq!(
-            f.params[0].attrs.get("hls.array_partition").map(String::as_str),
+            f.params[0]
+                .attrs
+                .get("hls.array_partition")
+                .map(String::as_str),
             Some("cyclic:4")
         );
     }

@@ -14,8 +14,7 @@ pub fn compile_cpp(name: &str, src: &str) -> Result<llvm_lite::Module> {
     if let Some(f) = m.functions.iter_mut().find(|f| !f.is_declaration) {
         f.attrs.insert("hls.top".into(), "1".into());
     }
-    llvm_lite::verifier::verify_module(&m)
-        .map_err(|e| crate::Error::Codegen(e.to_string()))?;
+    llvm_lite::verifier::verify_module(&m).map_err(|e| crate::Error::Codegen(e.to_string()))?;
     Ok(m)
 }
 

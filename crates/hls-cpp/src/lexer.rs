@@ -80,15 +80,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = pos;
-                while pos < b.len()
-                    && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_')
-                {
+                while pos < b.len() && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_') {
                     pos += 1;
                 }
                 out.push(Spanned {
-                    tok: CTok::Ident(
-                        std::str::from_utf8(&b[start..pos]).unwrap().to_string(),
-                    ),
+                    tok: CTok::Ident(std::str::from_utf8(&b[start..pos]).unwrap().to_string()),
                     line,
                 });
             }
@@ -115,9 +111,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
                 let text = std::str::from_utf8(&b[start..pos]).unwrap();
                 if is_float {
-                    let value: f64 = text
-                        .parse()
-                        .map_err(|_| err(line, "bad float literal"))?;
+                    let value: f64 = text.parse().map_err(|_| err(line, "bad float literal"))?;
                     let f32suffix = b.get(pos) == Some(&b'f');
                     if f32suffix {
                         pos += 1;
@@ -137,8 +131,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                             line,
                         });
                     } else {
-                        let value: i64 =
-                            text.parse().map_err(|_| err(line, "bad int literal"))?;
+                        let value: i64 = text.parse().map_err(|_| err(line, "bad int literal"))?;
                         out.push(Spanned {
                             tok: CTok::Int(value),
                             line,

@@ -106,9 +106,7 @@ impl P {
                 self.bump();
                 match self.bump() {
                     CTok::Int(d) if d > 0 => dims.push(d as u64),
-                    other => {
-                        return Err(self.err(format!("expected array dim, got {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected array dim, got {other:?}"))),
                 }
                 self.eat_punct(']')?;
             }
@@ -186,9 +184,7 @@ impl P {
                     let target = match e {
                         Expr::Var(v) => LValue::Var(v),
                         Expr::Index { base, indices } => LValue::Index { base, indices },
-                        other => {
-                            return Err(self.err(format!("not assignable: {other:?}")))
-                        }
+                        other => return Err(self.err(format!("not assignable: {other:?}"))),
                     };
                     Ok(Some(Stmt::Assign { target, value }))
                 } else {
@@ -553,7 +549,10 @@ mod tests {
             "void f(float a[8]) { for (int i = 0; i < 8; i += 1) {\n#pragma HLS PIPELINE II=2\n a[i] = a[i] + 1.0f; } }",
         )
         .unwrap();
-        let Stmt::For { pragmas, cmp, step, .. } = &u.funcs[0].body[0] else {
+        let Stmt::For {
+            pragmas, cmp, step, ..
+        } = &u.funcs[0].body[0]
+        else {
             panic!("expected for");
         };
         assert_eq!(pragmas, &vec![Pragma::Pipeline { ii: 2 }]);
@@ -567,7 +566,10 @@ mod tests {
             parse_pragma("HLS UNROLL factor=4"),
             Some(Pragma::Unroll { factor: Some(4) })
         );
-        assert_eq!(parse_pragma("HLS UNROLL"), Some(Pragma::Unroll { factor: None }));
+        assert_eq!(
+            parse_pragma("HLS UNROLL"),
+            Some(Pragma::Unroll { factor: None })
+        );
         assert_eq!(parse_pragma("HLS INTERFACE ap_memory port=a"), None);
         assert_eq!(parse_pragma("once"), None);
     }
@@ -622,9 +624,10 @@ mod tests {
 
     #[test]
     fn parses_if_else() {
-        let u =
-            parse_c("void f(int n, float a[4]) { if (n < 2) { a[0] = 1.0f; } else { a[1] = 2.0f; } }")
-                .unwrap();
+        let u = parse_c(
+            "void f(int n, float a[4]) { if (n < 2) { a[0] = 1.0f; } else { a[1] = 2.0f; } }",
+        )
+        .unwrap();
         let Stmt::If { then, els, .. } = &u.funcs[0].body[0] else {
             panic!()
         };
@@ -642,7 +645,11 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let u = parse_c("void f() { int x = -3; float y = -1.5f; }").unwrap();
-        let Stmt::DeclScalar { init: Some(Expr::Int(v)), .. } = &u.funcs[0].body[0] else {
+        let Stmt::DeclScalar {
+            init: Some(Expr::Int(v)),
+            ..
+        } = &u.funcs[0].body[0]
+        else {
             panic!()
         };
         assert_eq!(*v, -3);

@@ -27,9 +27,10 @@ mod tests {
         for k in all_kernels() {
             let m = mlir_lite::parser::parse_module(k.name, k.mlir)
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            mlir_lite::verifier::verify_module(&m)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            let f = m.func(k.name).unwrap_or_else(|| panic!("{}: missing top", k.name));
+            mlir_lite::verifier::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let f = m
+                .func(k.name)
+                .unwrap_or_else(|| panic!("{}: missing top", k.name));
             assert_eq!(
                 f.regions[0].entry().arg_types.len(),
                 k.args.len(),

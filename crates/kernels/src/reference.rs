@@ -191,7 +191,11 @@ mod tests {
     fn fir_impulse_response() {
         // x = delta at 0 -> y[0..8] = h reversed? No: y[n] = sum h[k]x[n+k],
         // delta at position 3 -> y[n] = h[3-n] for n <= 3.
-        let mut args = vec![vec![0.0; 72], (0..8).map(|i| i as f32).collect(), vec![0.0; 64]];
+        let mut args = vec![
+            vec![0.0; 72],
+            (0..8).map(|i| i as f32).collect(),
+            vec![0.0; 64],
+        ];
         args[0][3] = 1.0;
         fir(&mut args);
         assert_eq!(args[2][0], 3.0); // h[3]
@@ -223,9 +227,7 @@ mod tests {
         seidel2d(&mut sei);
         // Same stencil, but Seidel reads freshly-written neighbours, so the
         // two results must differ somewhere in the interior.
-        let differs = (1..15).any(|i| {
-            (1..15).any(|j| jac[1][i * 16 + j] != sei[0][i * 16 + j])
-        });
+        let differs = (1..15).any(|i| (1..15).any(|j| jac[1][i * 16 + j] != sei[0][i * 16 + j]));
         assert!(differs);
         // First interior point is identical (no updated neighbours yet).
         assert_eq!(jac[1][17], sei[0][17]);
@@ -247,7 +249,12 @@ mod tests {
 
     #[test]
     fn gesummv_combines_both_products() {
-        let mut args = vec![vec![0.0; N * N], vec![0.0; N * N], vec![1.0; N], vec![0.0; N]];
+        let mut args = vec![
+            vec![0.0; N * N],
+            vec![0.0; N * N],
+            vec![1.0; N],
+            vec![0.0; N],
+        ];
         for i in 0..N {
             args[0][i * N + i] = 2.0; // A = 2I
             args[1][i * N + i] = 4.0; // B = 4I
@@ -260,7 +267,7 @@ mod tests {
     #[test]
     fn two_mm_matches_composed_gemm() {
         let a: Vec<f32> = (0..256).map(|i| ((i % 5) as f32) - 2.0).collect();
-        let b: Vec<f32> = (0..256).map(|i| ((i % 3) as f32)).collect();
+        let b: Vec<f32> = (0..256).map(|i| (i % 3) as f32).collect();
         let c: Vec<f32> = (0..256).map(|i| ((i % 7) as f32) - 3.0).collect();
         let mut args2mm = vec![a.clone(), b.clone(), c.clone(), vec![0.0; 256]];
         two_mm(&mut args2mm);

@@ -219,17 +219,17 @@ impl LoopInfo {
         }
         // Establish nesting: a loop's parent is the smallest other loop whose
         // body strictly contains its header.
-        let snapshots: Vec<(BlockId, Vec<BlockId>)> = loops
-            .iter()
-            .map(|l| (l.header, l.body.clone()))
-            .collect();
+        let snapshots: Vec<(BlockId, Vec<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.body.clone())).collect();
         for l in &mut loops {
             let mut best: Option<(usize, BlockId)> = None;
             for (h, body) in &snapshots {
-                if *h != l.header && body.contains(&l.header)
-                    && best.map(|(n, _)| body.len() < n).unwrap_or(true) {
-                        best = Some((body.len(), *h));
-                    }
+                if *h != l.header
+                    && body.contains(&l.header)
+                    && best.map(|(n, _)| body.len() < n).unwrap_or(true)
+                {
+                    best = Some((body.len(), *h));
+                }
             }
             l.parent = best.map(|(_, h)| h);
         }

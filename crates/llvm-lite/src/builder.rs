@@ -108,9 +108,7 @@ impl<'f> IrBuilder<'f> {
     /// `load <ty>` from a pointer.
     pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
         let align = ty.align_in_bytes() as u32;
-        self.push_value(
-            Inst::new(Opcode::Load, ty, vec![ptr]).with_data(InstData::Load { align }),
-        )
+        self.push_value(Inst::new(Opcode::Load, ty, vec![ptr]).with_data(InstData::Load { align }))
     }
 
     /// `store` a value through a pointer.
@@ -127,10 +125,12 @@ impl<'f> IrBuilder<'f> {
         let result_ty = gep_result_type(&base_ty, indices.len());
         let mut ops = vec![ptr];
         ops.extend(indices);
-        self.push_value(Inst::new(Opcode::Gep, result_ty, ops).with_data(InstData::Gep {
-            base_ty,
-            inbounds: true,
-        }))
+        self.push_value(
+            Inst::new(Opcode::Gep, result_ty, ops).with_data(InstData::Gep {
+                base_ty,
+                inbounds: true,
+            }),
+        )
     }
 
     /// `call @callee(args...) -> ret_ty`.
@@ -239,10 +239,7 @@ mod tests {
     fn gep_result_type_steps_arrays() {
         let ty = Type::Float.array_of(8).array_of(4); // [4 x [8 x float]]
         assert_eq!(gep_result_type(&ty, 1), ty.ptr_to());
-        assert_eq!(
-            gep_result_type(&ty, 2),
-            Type::Float.array_of(8).ptr_to()
-        );
+        assert_eq!(gep_result_type(&ty, 2), Type::Float.array_of(8).ptr_to());
         assert_eq!(gep_result_type(&ty, 3), Type::Float.ptr_to());
     }
 
@@ -300,6 +297,9 @@ mod tests {
         b.br(e);
         b.position_at(e);
         b.ret(None);
-        assert_eq!(f.terminator(a).map(|i| f.inst(i).successors()), Some(vec![t, e]));
+        assert_eq!(
+            f.terminator(a).map(|i| f.inst(i).successors()),
+            Some(vec![t, e])
+        );
     }
 }

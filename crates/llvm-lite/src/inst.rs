@@ -368,11 +368,10 @@ impl Inst {
     pub fn replace_successor(&mut self, from: BlockId, to: BlockId) -> usize {
         let mut n = 0;
         match &mut self.data {
-            InstData::Br { dest }
-                if *dest == from => {
-                    *dest = to;
-                    n += 1;
-                }
+            InstData::Br { dest } if *dest == from => {
+                *dest = to;
+                n += 1;
+            }
             InstData::CondBr { on_true, on_false } => {
                 if *on_true == from {
                     *on_true = to;
@@ -441,11 +440,12 @@ mod tests {
 
     #[test]
     fn successors_and_replacement() {
-        let mut br = Inst::new(Opcode::CondBr, Type::Void, vec![Value::bool(true)])
-            .with_data(InstData::CondBr {
+        let mut br = Inst::new(Opcode::CondBr, Type::Void, vec![Value::bool(true)]).with_data(
+            InstData::CondBr {
                 on_true: 1,
                 on_false: 2,
-            });
+            },
+        );
         assert_eq!(br.successors(), vec![1, 2]);
         assert_eq!(br.replace_successor(2, 5), 1);
         assert_eq!(br.successors(), vec![1, 5]);
@@ -457,11 +457,7 @@ mod tests {
 
     #[test]
     fn has_result_follows_type() {
-        let add = Inst::new(
-            Opcode::Add,
-            Type::I32,
-            vec![Value::i32(1), Value::i32(2)],
-        );
+        let add = Inst::new(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)]);
         assert!(add.has_result());
         let st = Inst::new(Opcode::Store, Type::Void, vec![]);
         assert!(!st.has_result());

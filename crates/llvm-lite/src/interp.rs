@@ -272,9 +272,7 @@ impl<'m> Interpreter<'m> {
             "llvm.sqrt.f32" | "llvm.sqrt.f64" | "sqrtf" | "sqrt" => {
                 RtVal::F(args[0].as_f()?.sqrt())
             }
-            "llvm.fabs.f32" | "llvm.fabs.f64" | "fabsf" | "fabs" => {
-                RtVal::F(args[0].as_f()?.abs())
-            }
+            "llvm.fabs.f32" | "llvm.fabs.f64" | "fabsf" | "fabs" => RtVal::F(args[0].as_f()?.abs()),
             "llvm.exp.f32" | "llvm.exp.f64" | "expf" | "exp" => RtVal::F(args[0].as_f()?.exp()),
             "llvm.smax.i32" | "llvm.smax.i64" => RtVal::I(args[0].as_i()?.max(args[1].as_i()?)),
             "llvm.smin.i32" | "llvm.smin.i64" => RtVal::I(args[0].as_i()?.min(args[1].as_i()?)),
@@ -748,10 +746,7 @@ exit:
         let mut interp = Interpreter::new(&m);
         let a = interp.mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0]);
         interp.call("scale", &[RtVal::P(a), RtVal::I(4)]).unwrap();
-        assert_eq!(
-            interp.mem.read_f32(a, 4).unwrap(),
-            vec![2.0, 4.0, 6.0, 8.0]
-        );
+        assert_eq!(interp.mem.read_f32(a, 4).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]

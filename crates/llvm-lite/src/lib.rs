@@ -27,10 +27,10 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod inst;
 pub mod interp;
 pub mod metadata;
 pub mod module;
-pub mod inst;
 pub mod parser;
 pub mod printer;
 pub mod transforms;
@@ -58,6 +58,8 @@ pub enum Error {
     Interp(String),
     /// A transform was asked to do something unsupported.
     Transform(String),
+    /// A structured, located diagnostic from the pass/verifier layer.
+    Diag(pass_core::Diagnostic),
 }
 
 impl std::fmt::Display for Error {
@@ -67,11 +69,38 @@ impl std::fmt::Display for Error {
             Error::Verify(m) => write!(f, "verification error: {m}"),
             Error::Interp(m) => write!(f, "interpreter trap: {m}"),
             Error::Transform(m) => write!(f, "transform error: {m}"),
+            Error::Diag(d) => write!(f, "{d}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
 
+impl From<pass_core::Diagnostic> for Error {
+    fn from(d: pass_core::Diagnostic) -> Error {
+        Error::Diag(d)
+    }
+}
+
+impl From<Error> for pass_core::Diagnostic {
+    fn from(e: Error) -> pass_core::Diagnostic {
+        match e {
+            Error::Diag(d) => d,
+            other => pass_core::Diagnostic::error("llvm-lite", other.to_string()),
+        }
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+impl pass_core::PassIr for Module {
+    /// Live instructions across all function definitions.
+    fn ir_size(&self) -> usize {
+        self.functions.iter().map(|f| f.num_insts()).sum()
+    }
+
+    fn verify_ir(&self) -> pass_core::PassResult<()> {
+        verifier::verify_module_diag(self)
+    }
+}

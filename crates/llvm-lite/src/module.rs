@@ -198,7 +198,10 @@ impl Function {
 
     /// The block that currently contains `id`, if any.
     pub fn block_of(&self, id: InstId) -> Option<BlockId> {
-        self.block_order.iter().find(|&&b| self.blocks[b as usize].insts.contains(&id)).copied()
+        self.block_order
+            .iter()
+            .find(|&&b| self.blocks[b as usize].insts.contains(&id))
+            .copied()
     }
 
     /// The terminator of a block, if it has one.
@@ -380,11 +383,7 @@ mod tests {
     use super::*;
 
     fn simple_fn() -> Function {
-        let mut f = Function::new(
-            "f",
-            vec![Param::new("x", Type::I32)],
-            Type::I32,
-        );
+        let mut f = Function::new("f", vec![Param::new("x", Type::I32)], Type::I32);
         let b = f.add_block("entry");
         let add = f.push_inst(
             b,

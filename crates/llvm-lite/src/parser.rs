@@ -199,7 +199,9 @@ impl<'a> Lexer<'a> {
                     .map(Tok::Int)
                     .map_err(|_| self.err("bad integer literal"))
             }
-            c if c.is_ascii_alphabetic() || c == b'_' || c == b'.' => Ok(Tok::Word(self.ident_tail())),
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'.' => {
+                Ok(Tok::Word(self.ident_tail()))
+            }
             c => {
                 self.pos += 1;
                 Ok(Tok::Punct(c as char))
@@ -605,7 +607,11 @@ impl<'a> Parser<'a> {
             let Some(&b) = blocks.get(&label) else {
                 return Err(self.err(format!("branch to undefined label %{label}")));
             };
-            if let (InstData::Phi { incoming }, SuccSlot::PhiEdge(i)) = (&mut f.inst_mut(inst).data, slot) { incoming[i] = b }
+            if let (InstData::Phi { incoming }, SuccSlot::PhiEdge(i)) =
+                (&mut f.inst_mut(inst).data, slot)
+            {
+                incoming[i] = b
+            }
         }
         Ok(())
     }
@@ -813,10 +819,8 @@ impl<'a> Parser<'a> {
                     idx += 1;
                 }
                 let result_ty = crate::builder::gep_result_type(&base_ty, ops.len() - 1);
-                Ok(Inst::new(Opcode::Gep, result_ty, ops).with_data(InstData::Gep {
-                    base_ty,
-                    inbounds,
-                }))
+                Ok(Inst::new(Opcode::Gep, result_ty, ops)
+                    .with_data(InstData::Gep { base_ty, inbounds }))
             }
             "alloca" => {
                 let ty = self.parse_type()?;
@@ -929,8 +933,7 @@ impl<'a> Parser<'a> {
                         other => return Err(self.err(format!("expected label, got {other:?}"))),
                     };
                     let dest = get_block(f, blocks, &label);
-                    Ok(Inst::new(Opcode::Br, Type::Void, vec![])
-                        .with_data(InstData::Br { dest }))
+                    Ok(Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest }))
                 } else {
                     let cty = self.parse_type()?;
                     let c = self.parse_value(&cty, names, pending, 0)?;

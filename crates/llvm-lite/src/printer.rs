@@ -223,11 +223,9 @@ fn print_inst_body(m: &Module, f: &Function, names: &NameMap, inst: &Inst) -> St
             v(&inst.operands[0]),
             v(&inst.operands[1])
         ),
-        (Opcode::Load, InstData::Load { align }) => format!(
-            "load {}, {}, align {align}",
-            inst.ty,
-            tv(&inst.operands[0])
-        ),
+        (Opcode::Load, InstData::Load { align }) => {
+            format!("load {}, {}, align {align}", inst.ty, tv(&inst.operands[0]))
+        }
         (Opcode::Store, InstData::Store { align }) => format!(
             "store {}, {}, align {align}",
             tv(&inst.operands[0]),
@@ -266,12 +264,9 @@ fn print_inst_body(m: &Module, f: &Function, names: &NameMap, inst: &Inst) -> St
                 .collect();
             format!("phi {} {}", inst.ty, edges.join(", "))
         }
-        (op, _) if op.is_cast() => format!(
-            "{} {} to {}",
-            op.mnemonic(),
-            tv(&inst.operands[0]),
-            inst.ty
-        ),
+        (op, _) if op.is_cast() => {
+            format!("{} {} to {}", op.mnemonic(), tv(&inst.operands[0]), inst.ty)
+        }
         (Opcode::Br, InstData::Br { dest }) => format!("br label %{}", bname(*dest)),
         (Opcode::CondBr, InstData::CondBr { on_true, on_false }) => format!(
             "br {}, label %{}, label %{}",
@@ -452,17 +447,11 @@ mod tests {
         let e = f.add_block("entry");
         let a = f.push_inst(
             e,
-            Inst::new(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)])
-                .with_name("sum"),
+            Inst::new(Opcode::Add, Type::I32, vec![Value::i32(1), Value::i32(2)]).with_name("sum"),
         );
         let b2 = f.push_inst(
             e,
-            Inst::new(
-                Opcode::Add,
-                Type::I32,
-                vec![Value::Inst(a), Value::i32(3)],
-            )
-            .with_name("sum"),
+            Inst::new(Opcode::Add, Type::I32, vec![Value::Inst(a), Value::i32(3)]).with_name("sum"),
         );
         f.push_inst(e, Inst::new(Opcode::Ret, Type::Void, vec![Value::Inst(b2)]));
         let names = NameMap::build(&f);

@@ -6,17 +6,17 @@
 use crate::analysis::DefUse;
 use crate::module::Module;
 use crate::transforms::ModulePass;
-use crate::Result;
+use pass_core::PassResult;
 
 /// The DCE pass.
 pub struct Dce;
 
-impl ModulePass for Dce {
+impl ModulePass<Module> for Dce {
     fn name(&self) -> &'static str {
         "dce"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {
@@ -30,9 +30,7 @@ impl ModulePass for Dce {
                     .map(|(_, id)| id)
                     .filter(|&id| {
                         let inst = f.inst(id);
-                        inst.has_result()
-                            && !inst.opcode.has_side_effects()
-                            && du.num_uses(id) == 0
+                        inst.has_result() && !inst.opcode.has_side_effects() && du.num_uses(id) == 0
                     })
                     .collect();
                 if dead.is_empty() {

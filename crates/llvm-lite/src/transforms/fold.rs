@@ -10,17 +10,17 @@ use crate::module::Module;
 use crate::transforms::ModulePass;
 use crate::types::Type;
 use crate::value::Value;
-use crate::Result;
+use pass_core::PassResult;
 
 /// The constant-folding pass.
 pub struct FoldConstants;
 
-impl ModulePass for FoldConstants {
+impl ModulePass<Module> for FoldConstants {
     fn name(&self) -> &'static str {
         "fold-constants"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {
@@ -149,7 +149,11 @@ fn fold_inst(op: Opcode, data: &InstData, ops: &[Value], ty: &Type) -> Option<Va
         }
         Opcode::Select => {
             let c = ops[0].int_value()?;
-            Some(if c != 0 { ops[1].clone() } else { ops[2].clone() })
+            Some(if c != 0 {
+                ops[1].clone()
+            } else {
+                ops[2].clone()
+            })
         }
         Opcode::SExt | Opcode::ZExt => {
             let v = ops[0].int_value()?;
@@ -203,7 +207,10 @@ entry:
 "#);
         let f = m.function("f").unwrap();
         assert_eq!(f.num_insts(), 1);
-        assert_eq!(f.inst(f.terminator(f.entry()).unwrap()).operands[0], Value::i32(43));
+        assert_eq!(
+            f.inst(f.terminator(f.entry()).unwrap()).operands[0],
+            Value::i32(43)
+        );
     }
 
     #[test]

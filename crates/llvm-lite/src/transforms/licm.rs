@@ -14,17 +14,17 @@ use crate::inst::Opcode;
 use crate::module::{BlockId, Function, InstId, Module};
 use crate::transforms::ModulePass;
 use crate::value::Value;
-use crate::Result;
+use pass_core::PassResult;
 
 /// The LICM pass.
 pub struct Licm;
 
-impl ModulePass for Licm {
+impl ModulePass<Module> for Licm {
     fn name(&self) -> &'static str {
         "licm"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {
@@ -44,7 +44,11 @@ impl ModulePass for Licm {
 
 /// Is this instruction hoistable when its operands are invariant?
 fn hoistable(op: Opcode) -> bool {
-    op.is_int_binop() && !matches!(op, Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem)
+    op.is_int_binop()
+        && !matches!(
+            op,
+            Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem
+        )
         || matches!(
             op,
             Opcode::FAdd
@@ -88,13 +92,10 @@ fn hoist_once(f: &mut Function) -> bool {
                 if !hoistable(inst.opcode) || !inst.has_result() {
                     continue;
                 }
-                let invariant = inst
-                    .operands
-                    .iter()
-                    .all(|v| match v {
-                        Value::Inst(d) => !inside_defs.contains(d),
-                        _ => true,
-                    });
+                let invariant = inst.operands.iter().all(|v| match v {
+                    Value::Inst(d) => !inside_defs.contains(d),
+                    _ => true,
+                });
                 if !invariant {
                     continue;
                 }
@@ -178,7 +179,8 @@ exit:
             let mut i = Interpreter::new(m);
             let data: Vec<f32> = (0..64).map(|x| x as f32).collect();
             let p = i.mem.alloc_f32(&data);
-            i.call("f", &[RtVal::P(p), RtVal::I(3), RtVal::I(8)]).unwrap();
+            i.call("f", &[RtVal::P(p), RtVal::I(3), RtVal::I(8)])
+                .unwrap();
             i.mem.read_f32(p, 64).unwrap()
         };
         assert_eq!(run(&m1), run(&m2));

@@ -18,17 +18,17 @@ use crate::module::{BlockId, Function, InstId, Module};
 use crate::transforms::ModulePass;
 use crate::types::Type;
 use crate::value::Value;
-use crate::Result;
+use pass_core::PassResult;
 
 /// The mem2reg pass.
 pub struct Mem2Reg;
 
-impl ModulePass for Mem2Reg {
+impl ModulePass<Module> for Mem2Reg {
     fn name(&self) -> &'static str {
         "mem2reg"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if !f.is_declaration {
@@ -216,10 +216,7 @@ fn rename(
                 if let Value::Inst(a) = inst.operands[0] {
                     if allocas.contains(&a) {
                         let ty = alloca_type(f, a);
-                        let current = stacks[&a]
-                            .last()
-                            .cloned()
-                            .unwrap_or(Value::Undef(ty));
+                        let current = stacks[&a].last().cloned().unwrap_or(Value::Undef(ty));
                         f.replace_all_uses(&Value::Inst(id), &current);
                         to_remove.push(id);
                     }

@@ -1,8 +1,10 @@
-//! IR-to-IR transforms and the pass manager they plug into.
+//! IR-to-IR transforms over [`Module`].
 //!
-//! The pass manager is the same machinery the HLS adaptor crate builds its
-//! pipeline on: passes are module-level, report whether they changed the IR,
-//! and can be run to a fixed point.
+//! The pass machinery itself lives in the `pass-core` crate — one
+//! instrumented [`PassManager`] shared by the MLIR level, this crate, and
+//! the HLS adaptor. This module re-exports it specialized to [`Module`]
+//! and provides the standard pipelines plus the string-keyed registry the
+//! `mha-opt` driver resolves pass names against.
 
 pub mod dce;
 pub mod fold;
@@ -16,125 +18,57 @@ pub use licm::Licm;
 pub use mem2reg::Mem2Reg;
 pub use simplify_cfg::SimplifyCfg;
 
+/// A module-level transformation (the generic `pass-core` trait; implement
+/// it as `ModulePass<Module>`).
+pub use pass_core::Pass as ModulePass;
+pub use pass_core::{PassRecord, PassRegistry, PipelineReport};
+
 use crate::module::Module;
-use crate::Result;
 
-/// A module-level transformation.
-pub trait ModulePass {
-    /// Stable pass name used in pipeline descriptions and statistics.
-    fn name(&self) -> &'static str;
-    /// Run over the module; return `true` if anything changed.
-    fn run(&self, m: &mut Module) -> Result<bool>;
-}
-
-/// Per-pass execution record.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PassStat {
-    /// Pass name.
-    pub name: &'static str,
-    /// Whether the pass reported a change.
-    pub changed: bool,
-}
-
-/// An ordered pipeline of [`ModulePass`]es.
-#[derive(Default)]
-pub struct PassManager {
-    passes: Vec<Box<dyn ModulePass>>,
-    /// Verify the module after each pass (on by default; pipelines are small).
-    pub verify_each: bool,
-}
-
-impl PassManager {
-    /// An empty pipeline with per-pass verification enabled.
-    pub fn new() -> PassManager {
-        PassManager {
-            passes: Vec::new(),
-            verify_each: true,
-        }
-    }
-
-    /// Append a pass.
-    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut Self {
-        self.passes.push(Box::new(pass));
-        self
-    }
-
-    /// Number of registered passes.
-    pub fn len(&self) -> usize {
-        self.passes.len()
-    }
-
-    /// True when no passes are registered.
-    pub fn is_empty(&self) -> bool {
-        self.passes.is_empty()
-    }
-
-    /// Run every pass once, in order. Returns per-pass stats.
-    pub fn run(&self, m: &mut Module) -> Result<Vec<PassStat>> {
-        let mut stats = Vec::with_capacity(self.passes.len());
-        for p in &self.passes {
-            let changed = p.run(m)?;
-            if self.verify_each {
-                crate::verifier::verify_module(m).map_err(|e| match e {
-                    crate::Error::Verify(msg) => {
-                        crate::Error::Verify(format!("after pass '{}': {msg}", p.name()))
-                    }
-                    other => other,
-                })?;
-            }
-            stats.push(PassStat {
-                name: p.name(),
-                changed,
-            });
-        }
-        Ok(stats)
-    }
-
-    /// Run the whole pipeline repeatedly until no pass reports a change
-    /// (bounded by `max_iters` to guard against oscillating passes).
-    pub fn run_to_fixpoint(&self, m: &mut Module, max_iters: usize) -> Result<usize> {
-        for iter in 0..max_iters {
-            let stats = self.run(m)?;
-            if stats.iter().all(|s| !s.changed) {
-                return Ok(iter + 1);
-            }
-        }
-        Ok(max_iters)
-    }
-}
+/// The pass manager for LLVM-level pipelines.
+pub type PassManager = pass_core::PassManager<Module>;
 
 /// The standard cleanup pipeline run after lowering and after the C
 /// frontend: promote memory to registers, fold, simplify, strip dead code.
 pub fn standard_cleanup() -> PassManager {
-    let mut pm = PassManager::new();
-    pm.add(Mem2Reg)
-        .add(FoldConstants)
-        .add(SimplifyCfg)
-        .add(Dce);
+    let mut pm = PassManager::with_label("standard-cleanup");
+    pm.add(Mem2Reg).add(FoldConstants).add(SimplifyCfg).add(Dce);
     pm
+}
+
+/// Registry of this crate's LLVM-level passes, keyed by stable name.
+pub fn registry() -> PassRegistry<Module> {
+    let mut r = PassRegistry::new();
+    r.register("mem2reg", || Box::new(Mem2Reg))
+        .register("fold-constants", || Box::new(FoldConstants))
+        .register("simplify-cfg", || Box::new(SimplifyCfg))
+        .register("dce", || Box::new(Dce))
+        .register("licm", || Box::new(Licm));
+    r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_module;
+    use pass_core::PassResult;
 
     struct Nop;
-    impl ModulePass for Nop {
+    impl ModulePass<Module> for Nop {
         fn name(&self) -> &'static str {
             "nop"
         }
-        fn run(&self, _m: &mut Module) -> Result<bool> {
+        fn run(&self, _m: &mut Module) -> PassResult<bool> {
             Ok(false)
         }
     }
 
     struct RenameOnce;
-    impl ModulePass for RenameOnce {
+    impl ModulePass<Module> for RenameOnce {
         fn name(&self) -> &'static str {
             "rename-once"
         }
-        fn run(&self, m: &mut Module) -> Result<bool> {
+        fn run(&self, m: &mut Module) -> PassResult<bool> {
             if m.name == "renamed" {
                 Ok(false)
             } else {
@@ -146,45 +80,41 @@ mod tests {
 
     #[test]
     fn pipeline_reports_stats() {
-        let mut m = parse_module(
-            "m",
-            "define void @f() {\nentry:\n  ret void\n}\n",
-        )
-        .unwrap();
+        let mut m = parse_module("m", "define void @f() {\nentry:\n  ret void\n}\n").unwrap();
         let mut pm = PassManager::new();
         pm.add(Nop).add(RenameOnce);
-        let stats = pm.run(&mut m).unwrap();
-        assert_eq!(
-            stats,
-            vec![
-                PassStat {
-                    name: "nop",
-                    changed: false
-                },
-                PassStat {
-                    name: "rename-once",
-                    changed: true
-                }
-            ]
-        );
+        let report = pm.run(&mut m).unwrap();
+        let summary: Vec<(&str, bool)> = report
+            .passes
+            .iter()
+            .map(|p| (p.pass.as_str(), p.changed))
+            .collect();
+        assert_eq!(summary, vec![("nop", false), ("rename-once", true)]);
+        assert_eq!(report.changed_passes(), vec!["rename-once"]);
     }
 
     #[test]
     fn fixpoint_terminates() {
-        let mut m = parse_module(
-            "m",
-            "define void @f() {\nentry:\n  ret void\n}\n",
-        )
-        .unwrap();
+        let mut m = parse_module("m", "define void @f() {\nentry:\n  ret void\n}\n").unwrap();
         let mut pm = PassManager::new();
         pm.add(RenameOnce);
-        let iters = pm.run_to_fixpoint(&mut m, 10).unwrap();
-        assert_eq!(iters, 2); // one changing iteration + one quiescent
+        let report = pm.run_to_fixpoint(&mut m, 10).unwrap();
+        assert_eq!(report.iterations, 2); // one changing iteration + one quiescent
         assert_eq!(m.name, "renamed");
     }
 
     #[test]
     fn standard_cleanup_is_nonempty() {
         assert_eq!(standard_cleanup().len(), 4);
+    }
+
+    #[test]
+    fn registry_round_trips_every_pass() {
+        let r = registry();
+        for name in r.names() {
+            assert_eq!(r.create(name).unwrap().name(), name);
+        }
+        let pm = r.build_pipeline("mem2reg,dce").unwrap();
+        assert_eq!(pm.len(), 2);
     }
 }

@@ -13,17 +13,17 @@ use crate::inst::{InstData, Opcode};
 use crate::module::{Function, Module};
 use crate::transforms::ModulePass;
 use crate::value::Value;
-use crate::Result;
+use pass_core::PassResult;
 
 /// The SimplifyCFG pass.
 pub struct SimplifyCfg;
 
-impl ModulePass for SimplifyCfg {
+impl ModulePass<Module> for SimplifyCfg {
     fn name(&self) -> &'static str {
         "simplify-cfg"
     }
 
-    fn run(&self, m: &mut Module) -> Result<bool> {
+    fn run(&self, m: &mut Module) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.functions {
             if f.is_declaration {

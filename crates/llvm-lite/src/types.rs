@@ -27,10 +27,7 @@ pub enum Type {
     /// Fixed-size array `[N x T]`.
     Array(u64, Box<Type>),
     /// Function type; only appears behind pointers and in declarations.
-    Func {
-        ret: Box<Type>,
-        params: Vec<Type>,
-    },
+    Func { ret: Box<Type>, params: Vec<Type> },
 }
 
 impl Type {

@@ -4,39 +4,68 @@
 //! relies on: every block terminated exactly once, operand types consistent,
 //! PHIs matching predecessor edges, defs dominating uses, and metadata
 //! references in range.
+//!
+//! Failures are reported as located [`Diagnostic`]s naming the function,
+//! block and instruction involved, rendered as
+//! `error[verifier] @func:block:%N: message`.
 
 use std::collections::HashSet;
 
+use pass_core::{Diagnostic, Loc, PassResult};
+
 use crate::analysis::{Cfg, DomTree};
 use crate::inst::{InstData, Opcode};
-use crate::module::{Function, InstId, Module};
+use crate::module::{BlockId, Function, InstId, Module};
 use crate::types::Type;
 use crate::value::Value;
-use crate::{Error, Result};
+use crate::Result;
 
-/// Verify a whole module.
-pub fn verify_module(m: &Module) -> Result<()> {
+fn diag(msg: impl Into<String>, loc: Loc) -> Diagnostic {
+    Diagnostic::error("verifier", msg).with_loc(loc)
+}
+
+/// Verify a whole module, producing a located diagnostic on failure.
+pub fn verify_module_diag(m: &Module) -> PassResult<()> {
     let mut names = HashSet::new();
     for f in &m.functions {
         if !names.insert(&f.name) {
-            return Err(Error::Verify(format!("duplicate function @{}", f.name)));
+            return Err(diag("duplicate function", Loc::function(&f.name)));
         }
         if !f.is_declaration {
-            verify_function(m, f)?;
+            verify_function_diag(m, f)?;
         }
     }
     let mut gnames = HashSet::new();
     for g in &m.globals {
         if !gnames.insert(&g.name) {
-            return Err(Error::Verify(format!("duplicate global @{}", g.name)));
+            return Err(diag(
+                format!("duplicate global @{}", g.name),
+                Loc::default(),
+            ));
         }
     }
     Ok(())
 }
 
-/// Verify a single function definition.
+/// Verify a whole module (crate-error wrapper around [`verify_module_diag`]).
+pub fn verify_module(m: &Module) -> Result<()> {
+    verify_module_diag(m).map_err(crate::Error::from)
+}
+
+/// Verify a single function definition (crate-error wrapper).
 pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
-    let err = |msg: String| Err(Error::Verify(format!("@{}: {msg}", f.name)));
+    verify_function_diag(m, f).map_err(crate::Error::from)
+}
+
+/// Verify a single function definition.
+pub fn verify_function_diag(m: &Module, f: &Function) -> PassResult<()> {
+    let err = |msg: String| Err(diag(msg, Loc::function(&f.name)));
+    let berr = |b: BlockId, msg: String| {
+        Err(diag(
+            msg,
+            Loc::function(&f.name).in_block(&f.blocks[b as usize].name),
+        ))
+    };
 
     if f.block_order.is_empty() {
         return err("definition has no blocks".into());
@@ -45,36 +74,27 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
     let mut labels = HashSet::new();
     for &b in &f.block_order {
         if !labels.insert(&f.blocks[b as usize].name) {
-            return err(format!("duplicate label {}", f.blocks[b as usize].name));
+            return berr(b, format!("duplicate label {}", f.blocks[b as usize].name));
         }
     }
     // Block shape: exactly one terminator, at the end; phis lead the block.
     for &b in &f.block_order {
         let insts = &f.blocks[b as usize].insts;
         let Some(&last) = insts.last() else {
-            return err(format!("block {} is empty", f.blocks[b as usize].name));
+            return berr(b, "block is empty".into());
         };
         if !f.inst(last).is_terminator() {
-            return err(format!(
-                "block {} does not end in a terminator",
-                f.blocks[b as usize].name
-            ));
+            return berr(b, "block does not end in a terminator".into());
         }
         let mut seen_non_phi = false;
         for (pos, &i) in insts.iter().enumerate() {
             let inst = f.inst(i);
             if inst.is_terminator() && pos + 1 != insts.len() {
-                return err(format!(
-                    "terminator in the middle of block {}",
-                    f.blocks[b as usize].name
-                ));
+                return berr(b, "terminator in the middle of the block".into());
             }
             if inst.opcode == Opcode::Phi {
                 if seen_non_phi {
-                    return err(format!(
-                        "phi after non-phi in block {}",
-                        f.blocks[b as usize].name
-                    ));
+                    return berr(b, format!("phi %{i} after non-phi"));
                 }
             } else {
                 seen_non_phi = true;
@@ -89,33 +109,38 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
             let inst = f.inst(i);
             if let InstData::Phi { incoming } = &inst.data {
                 if inst.operands.len() != incoming.len() {
-                    return err(format!("phi %{i} operand/block count mismatch"));
+                    return berr(b, format!("phi %{i} operand/block count mismatch"));
                 }
                 let inc: HashSet<u32> = incoming.iter().copied().collect();
                 if inc != preds {
-                    return err(format!(
-                        "phi %{i} incoming blocks do not match predecessors of {}",
-                        f.blocks[b as usize].name
-                    ));
+                    return berr(
+                        b,
+                        format!("phi %{i} incoming blocks do not match predecessors"),
+                    );
                 }
             }
         }
     }
     // Operand sanity + type rules.
-    for (_, id) in f.inst_ids() {
-        verify_inst(m, f, id)?;
+    for (b, id) in f.inst_ids() {
+        verify_inst(m, f, b, id)?;
     }
     // Defs dominate uses (phi uses checked at the incoming edge).
     let dom = DomTree::build(f, &cfg);
     for (b, id) in f.inst_ids() {
         let inst = f.inst(id);
+        let iloc = || {
+            Loc::function(&f.name)
+                .in_block(&f.blocks[b as usize].name)
+                .at_inst(format!("%{id}"))
+        };
         for (oi, op) in inst.operands.iter().enumerate() {
             let Value::Inst(def) = op else { continue };
             if !f.is_live(*def) {
-                return err(format!("%{id} uses removed instruction %{def}"));
+                return Err(diag(format!("use of removed instruction %{def}"), iloc()));
             }
             let Some(def_block) = f.block_of(*def) else {
-                return err(format!("%{id} uses unplaced instruction %{def}"));
+                return Err(diag(format!("use of unplaced instruction %{def}"), iloc()));
             };
             let use_block = match &inst.data {
                 InstData::Phi { incoming } => incoming[oi],
@@ -134,38 +159,66 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
                 dom.dominates(def_block, use_block)
             };
             if !ok {
-                return err(format!("%{id} use of %{def} is not dominated by its def"));
+                return Err(diag(
+                    format!("use of %{def} is not dominated by its def"),
+                    iloc(),
+                ));
             }
         }
     }
     // Metadata references in range.
-    for (_, id) in f.inst_ids() {
+    for (b, id) in f.inst_ids() {
+        let iloc = || {
+            Loc::function(&f.name)
+                .in_block(&f.blocks[b as usize].name)
+                .at_inst(format!("%{id}"))
+        };
         if let Some(md) = f.inst(id).loop_md {
             if md as usize >= m.loop_mds.len() {
-                return err(format!("%{id} references out-of-range loop metadata !{md}"));
+                return Err(diag(
+                    format!("references out-of-range loop metadata !{md}"),
+                    iloc(),
+                ));
             }
             if !f.inst(id).is_terminator() {
-                return err(format!("%{id}: loop metadata on a non-terminator"));
+                return Err(diag(
+                    "loop metadata on a non-terminator".to_string(),
+                    iloc(),
+                ));
             }
         }
     }
     // Return types.
-    for (_, id) in f.inst_ids() {
+    for (b, id) in f.inst_ids() {
         let inst = f.inst(id);
         if inst.opcode == Opcode::Ret {
             match (inst.operands.first(), &f.ret_ty) {
                 (None, Type::Void) => {}
                 (Some(v), ty) if &f.value_type(m, v) == ty => {}
-                _ => return err(format!("%{id}: ret type mismatch")),
+                _ => {
+                    return Err(diag(
+                        "ret type mismatch".to_string(),
+                        Loc::function(&f.name)
+                            .in_block(&f.blocks[b as usize].name)
+                            .at_inst(format!("%{id}")),
+                    ))
+                }
             }
         }
     }
     Ok(())
 }
 
-fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
+fn verify_inst(m: &Module, f: &Function, b: BlockId, id: InstId) -> PassResult<()> {
     let inst = f.inst(id);
-    let err = |msg: String| Err(Error::Verify(format!("@{} %{id}: {msg}", f.name)));
+    let err = |msg: String| {
+        Err(diag(
+            msg,
+            Loc::function(&f.name)
+                .in_block(&f.blocks[b as usize].name)
+                .at_inst(format!("%{id}")),
+        ))
+    };
     let op_ty = |i: usize| f.value_type(m, &inst.operands[i]);
     match inst.opcode {
         op if op.is_int_binop() => {
@@ -184,10 +237,9 @@ fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
                 return err("float binop operand type mismatch".into());
             }
         }
-        Opcode::FNeg
-            if (inst.operands.len() != 1 || !inst.ty.is_float()) => {
-                return err("fneg malformed".into());
-            }
+        Opcode::FNeg if (inst.operands.len() != 1 || !inst.ty.is_float()) => {
+            return err("fneg malformed".into());
+        }
         Opcode::ICmp => {
             if op_ty(0) != op_ty(1) || !(op_ty(0).is_int() || op_ty(0).is_ptr()) {
                 return err("icmp operand mismatch".into());
@@ -196,10 +248,9 @@ fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
                 return err("icmp must produce i1".into());
             }
         }
-        Opcode::FCmp
-            if (op_ty(0) != op_ty(1) || !op_ty(0).is_float()) => {
-                return err("fcmp operand mismatch".into());
-            }
+        Opcode::FCmp if (op_ty(0) != op_ty(1) || !op_ty(0).is_float()) => {
+            return err("fcmp operand mismatch".into());
+        }
         Opcode::Load => {
             let pt = op_ty(0);
             match pt.pointee() {
@@ -262,10 +313,9 @@ fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
                 }
             }
         }
-        Opcode::Select
-            if (op_ty(0) != Type::I1 || op_ty(1) != inst.ty || op_ty(2) != inst.ty) => {
-                return err("select type mismatch".into());
-            }
+        Opcode::Select if (op_ty(0) != Type::I1 || op_ty(1) != inst.ty || op_ty(2) != inst.ty) => {
+            return err("select type mismatch".into());
+        }
         Opcode::Phi => {
             for op in &inst.operands {
                 if f.value_type(m, op) != inst.ty {
@@ -303,10 +353,9 @@ fn verify_inst(m: &Module, f: &Function, id: InstId) -> Result<()> {
                 return err(format!("invalid cast {} -> {}", from, inst.ty));
             }
         }
-        Opcode::CondBr
-            if op_ty(0) != Type::I1 => {
-                return err("conditional branch condition must be i1".into());
-            }
+        Opcode::CondBr if op_ty(0) != Type::I1 => {
+            return err("conditional branch condition must be i1".into());
+        }
         Opcode::Br | Opcode::Ret | Opcode::Unreachable => {}
         // Every concrete opcode is covered by the guards above; the compiler
         // cannot see through `is_int_binop`-style guards.
@@ -358,6 +407,31 @@ entry:
         m.functions.push(f);
         let e = verify_module(&m).unwrap_err();
         assert!(e.to_string().contains("terminator"));
+    }
+
+    #[test]
+    fn diagnostics_carry_function_block_and_inst() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Param::new("a", Type::I64)], Type::Void);
+        let e = f.add_block("entry");
+        let mut b = IrBuilder::new(&mut f, e);
+        // i32 add fed an i64 argument: invalid.
+        b.add(Type::I32, Value::Arg(0), Value::i32(1));
+        b.ret(None);
+        m.functions.push(f);
+        let d = verify_module_diag(&m).unwrap_err();
+        assert_eq!(d.loc.function.as_deref(), Some("f"));
+        assert_eq!(d.loc.block.as_deref(), Some("entry"));
+        assert_eq!(d.loc.inst.as_deref(), Some("%0"));
+        assert_eq!(
+            d.to_string(),
+            "error[verifier] @f:entry:%0: integer binop type mismatch (i32)"
+        );
+        // The crate-error wrapper renders the same text.
+        assert_eq!(
+            verify_module(&m).unwrap_err().to_string(),
+            "error[verifier] @f:entry:%0: integer binop type mismatch (i32)"
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 
 use llvm_lite::interp::{Interpreter, RtVal};
+use llvm_lite::module::{Function, Param};
 use llvm_lite::transforms::{Dce, FoldConstants, Mem2Reg, ModulePass, SimplifyCfg};
 use llvm_lite::{IrBuilder, Module, Opcode, Type, Value};
-use llvm_lite::module::{Function, Param};
 
 /// One random integer operation over previously defined values.
 #[derive(Clone, Debug)]

@@ -81,7 +81,8 @@ fn lower_one(op: Op, out: &mut Vec<Op>) -> Result<()> {
                 .ok_or_else(|| crate::Error::Transform("affine.load without map".into()))?;
             let dims: Vec<MValue> = op.operands[1..].to_vec();
             let indices = expand_map(&map, &dims, out);
-            let mut replacement = mlir_lite::dialects::memref::load(op.operands[0].clone(), indices);
+            let mut replacement =
+                mlir_lite::dialects::memref::load(op.operands[0].clone(), indices);
             replacement.uid = op.uid; // keep existing uses valid
             out.push(replacement);
         }
@@ -127,11 +128,7 @@ fn lower_one(op: Op, out: &mut Vec<Op>) -> Result<()> {
 /// Expand every map result into index arithmetic; returns one value per
 /// result. Constant and bare-dim results reuse existing values where
 /// possible.
-fn expand_map(
-    map: &mlir_lite::AffineMap,
-    dims: &[MValue],
-    out: &mut Vec<Op>,
-) -> Vec<MValue> {
+fn expand_map(map: &mlir_lite::AffineMap, dims: &[MValue], out: &mut Vec<Op>) -> Vec<MValue> {
     map.results
         .iter()
         .map(|e| expand_expr(e, dims, out))

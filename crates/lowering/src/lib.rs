@@ -118,10 +118,7 @@ func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) a
             Some("4x4xf32")
         );
         // Pipeline directive became loop metadata.
-        assert!(out
-            .loop_mds
-            .iter()
-            .any(|md| md.pipeline_ii == Some(1)));
+        assert!(out.loop_mds.iter().any(|md| md.pipeline_ii == Some(1)));
     }
 
     #[test]
@@ -173,7 +170,9 @@ func.func @blur(%in: memref<8xf32>, %out: memref<8xf32>) {
         let input: Vec<f32> = (0..8).map(|x| x as f32).collect();
         let pin = interp.mem.alloc_f32(&input);
         let pout = interp.mem.alloc_f32(&[0.0; 8]);
-        interp.call("blur", &[RtVal::P(pin), RtVal::P(pout)]).unwrap();
+        interp
+            .call("blur", &[RtVal::P(pin), RtVal::P(pout)])
+            .unwrap();
         let got = interp.mem.read_f32(pout, 8).unwrap();
         for i in 1..7 {
             assert_eq!(got[i], input[i - 1] + input[i] + input[i + 1]);
@@ -234,10 +233,7 @@ func.func @f(%m: memref<4xf32>) {
         let mut interp = Interpreter::new(&out);
         let p = interp.mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0]);
         interp.call("f", &[RtVal::P(p)]).unwrap();
-        assert_eq!(
-            interp.mem.read_f32(p, 4).unwrap(),
-            vec![2.0, 4.0, 6.0, 8.0]
-        );
+        assert_eq!(interp.mem.read_f32(p, 4).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]

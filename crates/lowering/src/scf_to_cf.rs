@@ -87,7 +87,11 @@ fn flatten_for(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
     let body_entry = &mut body_region.blocks[0];
     let body_uid = body_entry.uid;
     let mut body_ops = std::mem::take(&mut body_entry.ops);
-    if body_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+    if body_ops
+        .last()
+        .map(|o| o.name == "scf.yield")
+        .unwrap_or(false)
+    {
         body_ops.pop();
     }
 
@@ -108,9 +112,13 @@ fn flatten_for(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
     let cmp = arith::cmpi("slt", iv.clone(), ub);
     let cmp_v = cmp.result(0);
     header.ops.push(cmp);
-    header
-        .ops
-        .push(cf::cond_br_uid(cmp_v, body_block_uid, vec![], exit_uid, vec![]));
+    header.ops.push(cf::cond_br_uid(
+        cmp_v,
+        body_block_uid,
+        vec![],
+        exit_uid,
+        vec![],
+    ));
     ctx.push_block(header);
 
     // Body (recursively flattened).
@@ -136,7 +144,11 @@ fn flatten_if(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
     let cond = op.operands[0].clone();
     let mut then_region = op.regions.remove(0);
     let mut then_ops = std::mem::take(&mut then_region.blocks[0].ops);
-    if then_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+    if then_ops
+        .last()
+        .map(|o| o.name == "scf.yield")
+        .unwrap_or(false)
+    {
         then_ops.pop();
     }
     let mut else_ops = if !op.regions.is_empty() {
@@ -145,7 +157,11 @@ fn flatten_if(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
     } else {
         Vec::new()
     };
-    if else_ops.last().map(|o| o.name == "scf.yield").unwrap_or(false) {
+    if else_ops
+        .last()
+        .map(|o| o.name == "scf.yield")
+        .unwrap_or(false)
+    {
         else_ops.pop();
     }
 
@@ -159,9 +175,13 @@ fn flatten_if(mut op: Op, ctx: &mut Ctx, cur: usize) -> Result<usize> {
     let else_uid = else_block.uid;
 
     let false_target = if has_else { else_uid } else { merge_uid };
-    ctx.blocks[cur]
-        .ops
-        .push(cf::cond_br_uid(cond, then_uid, vec![], false_target, vec![]));
+    ctx.blocks[cur].ops.push(cf::cond_br_uid(
+        cond,
+        then_uid,
+        vec![],
+        false_target,
+        vec![],
+    ));
 
     let then_idx = ctx.push_block(then_block);
     let then_end = flatten(then_ops, ctx, then_idx)?;
@@ -289,15 +309,9 @@ func.func @f(%m: memref<4x4xf32>) {
         let mut f = func_ops::func("f", vec![], MType::None);
         let c = arith::const_int(1, MType::I1);
         let mut iff = scf::if_(c.result(0));
-        iff.regions[0]
-            .entry_mut()
-            .ops
-            .push(arith::const_index(1));
+        iff.regions[0].entry_mut().ops.push(arith::const_index(1));
         iff.regions[0].entry_mut().ops.push(scf::yield_());
-        iff.regions[1]
-            .entry_mut()
-            .ops
-            .push(arith::const_index(2));
+        iff.regions[1].entry_mut().ops.push(arith::const_index(2));
         iff.regions[1].entry_mut().ops.push(scf::yield_());
         {
             let body = f.regions[0].entry_mut();

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use llvm_lite::{
-    Function, Inst, InstData, IntPred, FloatPred, LoopMetadata, Module, Opcode, Type, Value,
+    FloatPred, Function, Inst, InstData, IntPred, LoopMetadata, Module, Opcode, Type, Value,
 };
 use mlir_lite::attr::Attr;
 use mlir_lite::ir::{MType, MValue, MValueKind, MlirModule, Op};
@@ -226,11 +226,7 @@ fn linearize(
         );
         let add = func.push_inst(
             lb,
-            Inst::new(
-                Opcode::Add,
-                Type::I64,
-                vec![Value::Inst(mul), idx.clone()],
-            ),
+            Inst::new(Opcode::Add, Type::I64, vec![Value::Inst(mul), idx.clone()]),
         );
         lin = Value::Inst(add);
     }
@@ -481,10 +477,14 @@ fn translate_op(
             cx.declare("malloc", vec![Type::I64], Type::I8.ptr_to());
             let call = func.push_inst(
                 lb,
-                Inst::new(Opcode::Call, Type::I8.ptr_to(), vec![Value::i64(bytes as i64)])
-                    .with_data(InstData::Call {
-                        callee: "malloc".to_string(),
-                    }),
+                Inst::new(
+                    Opcode::Call,
+                    Type::I8.ptr_to(),
+                    vec![Value::i64(bytes as i64)],
+                )
+                .with_data(InstData::Call {
+                    callee: "malloc".to_string(),
+                }),
             );
             let cast = func.push_inst(
                 lb,
@@ -495,10 +495,7 @@ fn translate_op(
         "memref.dealloc" => {
             let v = cx.value(&op.operands[0])?;
             cx.declare("free", vec![Type::I8.ptr_to()], Type::Void);
-            let cast = func.push_inst(
-                lb,
-                Inst::new(Opcode::BitCast, Type::I8.ptr_to(), vec![v]),
-            );
+            let cast = func.push_inst(lb, Inst::new(Opcode::BitCast, Type::I8.ptr_to(), vec![v]));
             func.push_inst(
                 lb,
                 Inst::new(Opcode::Call, Type::Void, vec![Value::Inst(cast)]).with_data(
@@ -512,8 +509,8 @@ fn translate_op(
             let (dest_uid, args) = &op.successors[0];
             let dest = cx.blocks[dest_uid];
             fill_phis(cx, func, lb, dest, args)?;
-            let mut inst = Inst::new(Opcode::Br, Type::Void, vec![])
-                .with_data(InstData::Br { dest });
+            let mut inst =
+                Inst::new(Opcode::Br, Type::Void, vec![]).with_data(InstData::Br { dest });
             if let Some(md) = hls_attrs_to_md(op) {
                 let id = cx.module.add_loop_md(md);
                 inst.loop_md = Some(id);
@@ -646,7 +643,10 @@ mod tests {
             convert_type(&MType::F32.memref(&[4, 4])),
             Type::Float.ptr_to()
         );
-        assert_eq!(shape_string(&MType::F32.memref(&[4, 4])).unwrap(), "4x4xf32");
+        assert_eq!(
+            shape_string(&MType::F32.memref(&[4, 4])).unwrap(),
+            "4x4xf32"
+        );
         assert_eq!(shape_string(&MType::F32), None);
     }
 

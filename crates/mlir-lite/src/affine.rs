@@ -177,18 +177,12 @@ impl AffineExpr {
         };
         for (i, &c) in dims.iter().enumerate() {
             if c != 0 {
-                push(
-                    AffineExpr::dim(i as u32).mul(AffineExpr::cst(c)),
-                    &mut out,
-                );
+                push(AffineExpr::dim(i as u32).mul(AffineExpr::cst(c)), &mut out);
             }
         }
         for (i, &c) in syms.iter().enumerate() {
             if c != 0 {
-                push(
-                    AffineExpr::sym(i as u32).mul(AffineExpr::cst(c)),
-                    &mut out,
-                );
+                push(AffineExpr::sym(i as u32).mul(AffineExpr::cst(c)), &mut out);
             }
         }
         if cst != 0 || out.is_none() {
@@ -363,8 +357,14 @@ mod tests {
             AffineExpr::dim(0).mul(AffineExpr::cst(0)),
             AffineExpr::Const(0)
         );
-        assert_eq!(AffineExpr::dim(0).mul(AffineExpr::cst(1)), AffineExpr::dim(0));
-        assert_eq!(AffineExpr::dim(0).add(AffineExpr::cst(0)), AffineExpr::dim(0));
+        assert_eq!(
+            AffineExpr::dim(0).mul(AffineExpr::cst(1)),
+            AffineExpr::dim(0)
+        );
+        assert_eq!(
+            AffineExpr::dim(0).add(AffineExpr::cst(0)),
+            AffineExpr::dim(0)
+        );
     }
 
     #[test]

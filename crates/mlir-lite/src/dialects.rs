@@ -82,7 +82,9 @@ pub mod arith {
 
     fn binop(name: &str, a: MValue, b: MValue) -> Op {
         let ty = a.ty.clone();
-        Op::new(name).with_operands(vec![a, b]).with_results(vec![ty])
+        Op::new(name)
+            .with_operands(vec![a, b])
+            .with_results(vec![ty])
     }
 
     /// Integer/index add.
@@ -124,7 +126,9 @@ pub mod arith {
     /// Float negation.
     pub fn negf(a: MValue) -> Op {
         let ty = a.ty.clone();
-        Op::new("arith.negf").with_operands(vec![a]).with_results(vec![ty])
+        Op::new("arith.negf")
+            .with_operands(vec![a])
+            .with_results(vec![ty])
     }
 
     /// `arith.cmpi <pred>` — predicates use LLVM spelling (`slt`, `sle`, …).
@@ -393,10 +397,7 @@ mod tests {
         assert_eq!(f.name, "func.func");
         assert_eq!(f.regions.len(), 1);
         assert_eq!(f.regions[0].entry().arg_types.len(), 1);
-        assert_eq!(
-            f.attrs.get("sym_name").and_then(Attr::as_str),
-            Some("gemm")
-        );
+        assert_eq!(f.attrs.get("sym_name").and_then(Attr::as_str), Some("gemm"));
     }
 
     #[test]
@@ -405,9 +406,16 @@ mod tests {
         let v = c.result(0);
         let add = arith::addf(v.clone(), v);
         assert_eq!(add.result_types, vec![MType::F32]);
-        let cmp = arith::cmpi("slt", arith::const_index(0).result(0), arith::const_index(1).result(0));
+        let cmp = arith::cmpi(
+            "slt",
+            arith::const_index(0).result(0),
+            arith::const_index(1).result(0),
+        );
         assert_eq!(cmp.result_types, vec![MType::I1]);
-        assert_eq!(cmp.attrs.get("predicate").and_then(Attr::as_str), Some("slt"));
+        assert_eq!(
+            cmp.attrs.get("predicate").and_then(Attr::as_str),
+            Some("slt")
+        );
     }
 
     #[test]
@@ -458,7 +466,13 @@ mod tests {
         let b1 = MBlock::new(vec![MType::Index]);
         let b2 = MBlock::new(vec![]);
         let c = arith::const_int(1, MType::I1);
-        let br = cf::cond_br_uid(c.result(0), b1.uid, vec![arith::const_index(0).result(0)], b2.uid, vec![]);
+        let br = cf::cond_br_uid(
+            c.result(0),
+            b1.uid,
+            vec![arith::const_index(0).result(0)],
+            b2.uid,
+            vec![],
+        );
         assert_eq!(br.successors.len(), 2);
         assert_eq!(br.successors[0].0, b1.uid);
         assert_eq!(br.successors[0].1.len(), 1);

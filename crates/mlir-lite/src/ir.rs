@@ -425,16 +425,14 @@ impl MlirModule {
     /// Find a `func.func` by its `sym_name`.
     pub fn func(&self, name: &str) -> Option<&Op> {
         self.ops.iter().find(|o| {
-            o.name == "func.func"
-                && o.attrs.get("sym_name").and_then(Attr::as_str) == Some(name)
+            o.name == "func.func" && o.attrs.get("sym_name").and_then(Attr::as_str) == Some(name)
         })
     }
 
     /// Mutable [`MlirModule::func`].
     pub fn func_mut(&mut self, name: &str) -> Option<&mut Op> {
         self.ops.iter_mut().find(|o| {
-            o.name == "func.func"
-                && o.attrs.get("sym_name").and_then(Attr::as_str) == Some(name)
+            o.name == "func.func" && o.attrs.get("sym_name").and_then(Attr::as_str) == Some(name)
         })
     }
 
@@ -507,10 +505,7 @@ mod tests {
         assert_eq!(op.result(1).ty, MType::F32);
         assert_eq!(
             op.result(1).kind,
-            MValueKind::OpResult {
-                op: op.uid,
-                idx: 1
-            }
+            MValueKind::OpResult { op: op.uid, idx: 1 }
         );
     }
 

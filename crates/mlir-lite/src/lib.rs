@@ -34,6 +34,8 @@ pub enum Error {
     Verify(String),
     /// A lowering/transform precondition failed.
     Transform(String),
+    /// A structured, located diagnostic from the pass/verifier layer.
+    Diag(pass_core::Diagnostic),
 }
 
 impl std::fmt::Display for Error {
@@ -42,11 +44,38 @@ impl std::fmt::Display for Error {
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             Error::Verify(m) => write!(f, "verification error: {m}"),
             Error::Transform(m) => write!(f, "transform error: {m}"),
+            Error::Diag(d) => write!(f, "{d}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
 
+impl From<pass_core::Diagnostic> for Error {
+    fn from(d: pass_core::Diagnostic) -> Error {
+        Error::Diag(d)
+    }
+}
+
+impl From<Error> for pass_core::Diagnostic {
+    fn from(e: Error) -> pass_core::Diagnostic {
+        match e {
+            Error::Diag(d) => d,
+            other => pass_core::Diagnostic::error("mlir-lite", other.to_string()),
+        }
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+impl pass_core::PassIr for MlirModule {
+    /// Total operation count (all nesting levels).
+    fn ir_size(&self) -> usize {
+        self.count_ops(|_| true)
+    }
+
+    fn verify_ir(&self) -> pass_core::PassResult<()> {
+        verifier::verify_module_diag(self)
+    }
+}

@@ -100,8 +100,7 @@ impl<'a> Lexer<'a> {
             } else if c == close {
                 depth -= 1;
                 if depth == 0 {
-                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1])
-                        .into_owned());
+                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned());
                 }
             } else if c == b'\n' {
                 self.line += 1;
@@ -129,8 +128,7 @@ impl<'a> Lexer<'a> {
                 let start = self.pos;
                 while let Some(c) = self.peek() {
                     if c == b'"' {
-                        let s =
-                            String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                        let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                         self.pos += 1;
                         return Ok(Tok::Str(s));
                     }
@@ -258,7 +256,6 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| self.err(format!("use of undefined value %{name}")))
     }
 
-
     fn take_and_lookup(&mut self, env: &Env) -> Result<MValue> {
         let name = self.take_val()?;
         self.lookup(env, &name)
@@ -282,9 +279,10 @@ impl<'a> Parser<'a> {
                     // piece; simplest robust approach: the lexer call below.
                     Err(self.err("internal: memref must be parsed via parse_type_text"))
                 }
-                _ if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => {
-                    Ok(MType::Int(w[1..].parse().unwrap()))
-                }
+                _ if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => w[1..]
+                    .parse()
+                    .map(MType::Int)
+                    .map_err(|_| self.err("bad integer type width")),
                 other => Err(self.err(format!("unknown type '{other}'"))),
             },
             other => Err(self.err(format!("expected type, got {other:?}"))),
@@ -297,16 +295,15 @@ impl<'a> Parser<'a> {
     fn parse_type_pos(&mut self) -> Result<MType> {
         if self.at_word("memref") {
             self.bump()?; // 'memref'
-            // self.tok is now '<'; the raw payload must be taken from the
-            // lexer directly, bypassing the one-token lookahead.
+                          // self.tok is now '<'; the raw payload must be taken from the
+                          // lexer directly, bypassing the one-token lookahead.
             if self.tok != Tok::Punct('<') {
                 return Err(self.err("expected '<' after memref"));
             }
             let payload = self.lex.raw_until_balanced(b'<', b'>')?;
             self.tok = self.lex.next()?;
-            parse_memref_payload(&payload).ok_or_else(|| {
-                self.err(format!("bad memref type 'memref<{payload}>'"))
-            })
+            parse_memref_payload(&payload)
+                .ok_or_else(|| self.err(format!("bad memref type 'memref<{payload}>'")))
         } else {
             self.parse_type()
         }
@@ -1042,5 +1039,12 @@ func.func @relu(%m: memref<8xf32>) {
         let m = parse_module("relu", src).unwrap();
         assert_eq!(m.count_ops(|o| o.name == "arith.select"), 1);
         assert_eq!(m.count_ops(|o| o.name == "arith.cmpf"), 1);
+    }
+
+    #[test]
+    fn absurd_integer_width_is_a_parse_error_not_a_panic() {
+        let src = "func.func @f(%a: i99999999999999999999) {\n  func.return\n}\n";
+        let e = parse_module("m", src).unwrap_err();
+        assert!(e.to_string().contains("integer type width"), "{e}");
     }
 }

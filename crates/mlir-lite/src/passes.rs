@@ -6,68 +6,47 @@
 
 use std::collections::BTreeMap;
 
+use pass_core::PassResult;
+
 use crate::attr::Attr;
 use crate::dialects::hls;
-use crate::ir::{MlirModule, MValue, MValueKind, Op};
-use crate::Result;
+use crate::ir::{MValue, MValueKind, MlirModule, Op};
 
-/// A module-level MLIR pass.
-pub trait MlirPass {
-    /// Stable name for pipeline descriptions.
-    fn name(&self) -> &'static str;
-    /// Run; report whether anything changed.
-    fn run(&self, m: &mut MlirModule) -> Result<bool>;
-}
+/// A module-level MLIR pass (the generic `pass-core` trait; implement it as
+/// `MlirPass<MlirModule>`).
+pub use pass_core::Pass as MlirPass;
+pub use pass_core::PassRegistry;
 
-/// Ordered pipeline of MLIR passes, with optional per-pass verification.
-#[derive(Default)]
-pub struct MlirPassManager {
-    passes: Vec<Box<dyn MlirPass>>,
-    /// Verify after each pass.
-    pub verify_each: bool,
-}
+/// The pass manager for MLIR-level pipelines.
+pub type MlirPassManager = pass_core::PassManager<MlirModule>;
 
-impl MlirPassManager {
-    /// Empty pipeline with verification enabled.
-    pub fn new() -> MlirPassManager {
-        MlirPassManager {
-            passes: Vec::new(),
-            verify_each: true,
-        }
-    }
-
-    /// Append a pass.
-    pub fn add(&mut self, p: impl MlirPass + 'static) -> &mut Self {
-        self.passes.push(Box::new(p));
-        self
-    }
-
-    /// Run all passes once, in order. Returns the names of passes that
-    /// changed the module.
-    pub fn run(&self, m: &mut MlirModule) -> Result<Vec<&'static str>> {
-        let mut changed = Vec::new();
-        for p in &self.passes {
-            if p.run(m)? {
-                changed.push(p.name());
-            }
-            if self.verify_each {
-                crate::verifier::verify_module(m)?;
-            }
-        }
-        Ok(changed)
-    }
+/// Registry of this crate's MLIR-level passes, keyed by stable name.
+/// Parameterized passes register with their conventional defaults
+/// (`pipeline-innermost` at II=1, `unroll-small-loops` at trip<=8).
+pub fn registry() -> PassRegistry<MlirModule> {
+    let mut r = PassRegistry::new();
+    r.register("canonicalize", || Box::new(Canonicalize))
+        .register("cse", || Box::new(Cse))
+        .register("pipeline-innermost", || {
+            Box::new(PipelineInnermost { ii: 1 })
+        })
+        .register("unroll-small-loops", || {
+            Box::new(UnrollSmallLoops { max_trip: 8 })
+        })
+        .register("interchange-innermost", || Box::new(InterchangeInnermost));
+    r
 }
 
 /// Canonicalization: fold constant `arith` ops, canonicalize affine maps,
 /// drop no-op `affine.apply` (identity maps).
 pub struct Canonicalize;
 
-impl MlirPass for Canonicalize {
+impl MlirPass<MlirModule> for Canonicalize {
     fn name(&self) -> &'static str {
         "canonicalize"
     }
 
-    fn run(&self, m: &mut MlirModule) -> Result<bool> {
+    fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.ops {
             changed |= canon_op(f);
@@ -161,12 +140,12 @@ fn fold_arith(op: &mut Op, consts: &BTreeMap<u32, Attr>) -> bool {
 /// is *not* attempted — loads are left alone for safety).
 pub struct Cse;
 
-impl MlirPass for Cse {
+impl MlirPass<MlirModule> for Cse {
     fn name(&self) -> &'static str {
         "cse"
     }
 
-    fn run(&self, m: &mut MlirModule) -> Result<bool> {
+    fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.ops {
             changed |= cse_op(f);
@@ -238,12 +217,12 @@ pub struct PipelineInnermost {
     pub ii: u32,
 }
 
-impl MlirPass for PipelineInnermost {
+impl MlirPass<MlirModule> for PipelineInnermost {
     fn name(&self) -> &'static str {
         "pipeline-innermost"
     }
 
-    fn run(&self, m: &mut MlirModule) -> Result<bool> {
+    fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.ops {
             changed |= mark_innermost(f, self.ii);
@@ -293,12 +272,12 @@ pub struct UnrollSmallLoops {
     pub max_trip: u64,
 }
 
-impl MlirPass for UnrollSmallLoops {
+impl MlirPass<MlirModule> for UnrollSmallLoops {
     fn name(&self) -> &'static str {
         "unroll-small-loops"
     }
 
-    fn run(&self, m: &mut MlirModule) -> Result<bool> {
+    fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         // Marking pass: tags qualifying loops with the full-unroll attribute
         // (the expansion itself happens during lowering where SSA repair is
         // natural).
@@ -436,10 +415,24 @@ func.func @f(%m: memref<4xf32>) {
 }
 "#;
         let mut m = parse_module("m", src).unwrap();
-        let mut pm = MlirPassManager::new();
-        pm.add(Canonicalize).add(Cse).add(PipelineInnermost { ii: 1 });
-        let changed = pm.run(&mut m).unwrap();
-        assert_eq!(changed, vec!["pipeline-innermost"]);
+        let mut pm = MlirPassManager::with_label("mlir-opt");
+        pm.add(Canonicalize)
+            .add(Cse)
+            .add(PipelineInnermost { ii: 1 });
+        let report = pm.run(&mut m).unwrap();
+        assert_eq!(report.changed_passes(), vec!["pipeline-innermost"]);
+        assert_eq!(report.passes.len(), 3);
+        // The op-count instrumentation sees the module size.
+        assert!(report.passes.iter().all(|p| p.size_after > 0));
+    }
+
+    #[test]
+    fn registry_round_trips_every_pass() {
+        let r = registry();
+        for name in r.names() {
+            assert_eq!(r.create(name).unwrap().name(), name);
+        }
+        assert!(r.create("bogus").is_err());
     }
 }
 
@@ -453,12 +446,12 @@ func.func @f(%m: memref<4xf32>) {
 /// directives in MLIR): both loop orders must compute the same result.
 pub struct InterchangeInnermost;
 
-impl MlirPass for InterchangeInnermost {
+impl MlirPass<MlirModule> for InterchangeInnermost {
     fn name(&self) -> &'static str {
         "interchange-innermost"
     }
 
-    fn run(&self, m: &mut MlirModule) -> Result<bool> {
+    fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.ops {
             changed |= interchange_in(f);
@@ -508,17 +501,13 @@ fn interchange_in(op: &mut Op) -> bool {
     child.walk_mut(&mut |inner| {
         for v in &mut inner.operands {
             match v.kind {
-                crate::ir::MValueKind::BlockArg { block, idx: 0 }
-                    if block == parent_block_uid =>
-                {
+                crate::ir::MValueKind::BlockArg { block, idx: 0 } if block == parent_block_uid => {
                     v.kind = crate::ir::MValueKind::BlockArg {
                         block: child_block_uid,
                         idx: 0,
                     };
                 }
-                crate::ir::MValueKind::BlockArg { block, idx: 0 }
-                    if block == child_block_uid =>
-                {
+                crate::ir::MValueKind::BlockArg { block, idx: 0 } if block == child_block_uid => {
                     v.kind = crate::ir::MValueKind::BlockArg {
                         block: parent_block_uid,
                         idx: 0,

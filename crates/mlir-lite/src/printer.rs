@@ -36,7 +36,13 @@ pub fn print_op(op: &Op) -> String {
 fn sanitize(name: &str) -> String {
     let s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() {
         "m".to_string()
@@ -114,10 +120,7 @@ impl Printer {
         for i in 0..op.result_types.len() as u32 {
             let base = format!("{}", self.counter);
             self.counter += 1;
-            let name = self.bind(
-                &MValueKind::OpResult { op: op.uid, idx: i },
-                &base,
-            );
+            let name = self.bind(&MValueKind::OpResult { op: op.uid, idx: i }, &base);
             lhs.push(format!("%{name}"));
         }
         format!("{} = ", lhs.join(", "))
@@ -151,8 +154,7 @@ impl Printer {
                 let lhs = self.bind_results(op);
                 let mref = self.val(&op.operands[0]);
                 let map = op.attrs.get("map").and_then(Attr::as_map).cloned();
-                let dims: Vec<String> =
-                    op.operands[1..].iter().map(|v| self.val(v)).collect();
+                let dims: Vec<String> = op.operands[1..].iter().map(|v| self.val(v)).collect();
                 let subs = subscripts(&map, &dims);
                 let _ = writeln!(
                     self.out,
@@ -164,8 +166,7 @@ impl Printer {
                 let v = self.val(&op.operands[0]);
                 let mref = self.val(&op.operands[1]);
                 let map = op.attrs.get("map").and_then(Attr::as_map).cloned();
-                let dims: Vec<String> =
-                    op.operands[2..].iter().map(|v| self.val(v)).collect();
+                let dims: Vec<String> = op.operands[2..].iter().map(|v| self.val(v)).collect();
                 let subs = subscripts(&map, &dims);
                 let _ = writeln!(
                     self.out,
@@ -212,15 +213,10 @@ impl Printer {
             }
             "func.call" => {
                 let lhs = self.bind_results(op);
-                let callee = op
-                    .attrs
-                    .get("callee")
-                    .and_then(Attr::as_str)
-                    .unwrap_or("?");
+                let callee = op.attrs.get("callee").and_then(Attr::as_str).unwrap_or("?");
                 let args: Vec<String> = op.operands.iter().map(|v| self.val(v)).collect();
                 let tys: Vec<String> = op.operands.iter().map(|v| v.ty.to_string()).collect();
-                let rets: Vec<String> =
-                    op.result_types.iter().map(|t| t.to_string()).collect();
+                let rets: Vec<String> = op.result_types.iter().map(|t| t.to_string()).collect();
                 let _ = writeln!(
                     self.out,
                     "{pad}{lhs}func.call @{callee}({}) : ({}) -> ({})",
@@ -256,7 +252,11 @@ impl Printer {
 
     fn print_func(&mut self, op: &Op, indent: usize) {
         let pad = "  ".repeat(indent);
-        let name = op.attrs.get("sym_name").and_then(Attr::as_str).unwrap_or("?");
+        let name = op
+            .attrs
+            .get("sym_name")
+            .and_then(Attr::as_str)
+            .unwrap_or("?");
         let entry = op.regions[0].entry();
         let mut params = Vec::new();
         for (i, ty) in entry.arg_types.iter().enumerate() {
@@ -387,11 +387,7 @@ impl Printer {
         let attr_str = if op.attrs.is_empty() {
             String::new()
         } else {
-            let items: Vec<String> = op
-                .attrs
-                .iter()
-                .map(|(k, v)| format!("{k} = {v}"))
-                .collect();
+            let items: Vec<String> = op.attrs.iter().map(|(k, v)| format!("{k} = {v}")).collect();
             format!(" {{{}}}", items.join(", "))
         };
         let in_tys: Vec<String> = op.operands.iter().map(|v| v.ty.to_string()).collect();

@@ -7,16 +7,24 @@
 
 use std::collections::HashSet;
 
+use pass_core::{Diagnostic, Loc, PassResult};
+
 use crate::attr::Attr;
 use crate::ir::{MType, MValue, MValueKind, MlirModule, Op};
-use crate::{Error, Result};
+use crate::Result;
 
-/// Verify a module.
-pub fn verify_module(m: &MlirModule) -> Result<()> {
+fn diag(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("verifier", msg)
+}
+
+/// Verify a module, producing a located diagnostic on failure (the
+/// enclosing function ends up in `loc.function`, the offending op in
+/// `loc.inst`).
+pub fn verify_module_diag(m: &MlirModule) -> PassResult<()> {
     let mut names = HashSet::new();
     for op in &m.ops {
         if op.name != "func.func" {
-            return Err(Error::Verify(format!(
+            return Err(diag(format!(
                 "top-level op must be func.func, found {}",
                 op.name
             )));
@@ -25,13 +33,21 @@ pub fn verify_module(m: &MlirModule) -> Result<()> {
             .attrs
             .get("sym_name")
             .and_then(Attr::as_str)
-            .ok_or_else(|| Error::Verify("func.func without sym_name".into()))?;
+            .ok_or_else(|| diag("func.func without sym_name"))?;
         if !names.insert(name.to_string()) {
-            return Err(Error::Verify(format!("duplicate function @{name}")));
+            return Err(diag("duplicate function").with_loc(Loc::function(name)));
         }
-        verify_func(op)?;
+        verify_func(op).map_err(|mut d| {
+            d.loc.function = Some(name.to_string());
+            d
+        })?;
     }
     Ok(())
+}
+
+/// Verify a module (crate-error wrapper around [`verify_module_diag`]).
+pub fn verify_module(m: &MlirModule) -> Result<()> {
+    verify_module_diag(m).map_err(crate::Error::from)
 }
 
 struct Scope {
@@ -41,9 +57,9 @@ struct Scope {
     visible_blocks: HashSet<u32>,
 }
 
-fn verify_func(f: &Op) -> Result<()> {
+fn verify_func(f: &Op) -> PassResult<()> {
     if f.regions.len() != 1 {
-        return Err(Error::Verify("func.func must have exactly 1 region".into()));
+        return Err(diag("func.func must have exactly 1 region"));
     }
     let mut scope = Scope {
         visible_ops: HashSet::new(),
@@ -53,11 +69,11 @@ fn verify_func(f: &Op) -> Result<()> {
     // Body must end in func.return.
     match f.regions[0].entry().ops.last() {
         Some(last) if last.name == "func.return" => Ok(()),
-        _ => Err(Error::Verify("func.func body must end in func.return".into())),
+        _ => Err(diag("func.func body must end in func.return")),
     }
 }
 
-fn verify_region_block(op: &Op, region: usize, scope: &mut Scope) -> Result<()> {
+fn verify_region_block(op: &Op, region: usize, scope: &mut Scope) -> PassResult<()> {
     let block = op.regions[region].entry();
     scope.visible_blocks.insert(block.uid);
     let mut added_ops = Vec::new();
@@ -74,7 +90,7 @@ fn verify_region_block(op: &Op, region: usize, scope: &mut Scope) -> Result<()> 
     Ok(())
 }
 
-fn check_operand(op: &Op, v: &MValue, scope: &Scope) -> Result<()> {
+fn check_operand(op: &Op, v: &MValue, scope: &Scope) -> PassResult<()> {
     let ok = match v.kind {
         MValueKind::OpResult { op: uid, .. } => scope.visible_ops.contains(&uid),
         MValueKind::BlockArg { block, .. } => scope.visible_blocks.contains(&block),
@@ -82,22 +98,22 @@ fn check_operand(op: &Op, v: &MValue, scope: &Scope) -> Result<()> {
     if ok {
         Ok(())
     } else {
-        Err(Error::Verify(format!(
-            "{}: operand {:?} is not visible at its use",
-            op.name, v.kind
-        )))
+        Err(
+            diag(format!("operand {:?} is not visible at its use", v.kind))
+                .with_loc(Loc::default().at_inst(&op.name)),
+        )
     }
 }
 
-fn expect(cond: bool, op: &Op, msg: &str) -> Result<()> {
+fn expect(cond: bool, op: &Op, msg: &str) -> PassResult<()> {
     if cond {
         Ok(())
     } else {
-        Err(Error::Verify(format!("{}: {msg}", op.name)))
+        Err(diag(msg).with_loc(Loc::default().at_inst(&op.name)))
     }
 }
 
-fn verify_op(op: &Op, scope: &mut Scope) -> Result<()> {
+fn verify_op(op: &Op, scope: &mut Scope) -> PassResult<()> {
     for v in &op.operands {
         check_operand(op, v, scope)?;
     }
@@ -155,21 +171,18 @@ fn verify_op(op: &Op, scope: &mut Scope) -> Result<()> {
         }
         "affine.load" | "memref.load" => {
             let mref = &op.operands[0];
-            let elem = mref
-                .ty
-                .memref_elem()
-                .ok_or_else(|| Error::Verify(format!("{}: not a memref operand", op.name)))?;
+            let elem = mref.ty.memref_elem().ok_or_else(|| {
+                diag("not a memref operand").with_loc(Loc::default().at_inst(&op.name))
+            })?;
             expect(
                 op.result_types == vec![elem.clone()],
                 op,
                 "result must be the memref element type",
             )?;
             if op.name == "affine.load" {
-                let map = op
-                    .attrs
-                    .get("map")
-                    .and_then(Attr::as_map)
-                    .ok_or_else(|| Error::Verify("affine.load: missing map".into()))?;
+                let map = op.attrs.get("map").and_then(Attr::as_map).ok_or_else(|| {
+                    diag("missing map").with_loc(Loc::default().at_inst("affine.load"))
+                })?;
                 expect(
                     map.num_dims as usize == op.operands.len() - 1,
                     op,
@@ -188,17 +201,14 @@ fn verify_op(op: &Op, scope: &mut Scope) -> Result<()> {
         "affine.store" | "memref.store" => {
             let v = &op.operands[0];
             let mref = &op.operands[1];
-            let elem = mref
-                .ty
-                .memref_elem()
-                .ok_or_else(|| Error::Verify(format!("{}: not a memref operand", op.name)))?;
+            let elem = mref.ty.memref_elem().ok_or_else(|| {
+                diag("not a memref operand").with_loc(Loc::default().at_inst(&op.name))
+            })?;
             expect(&v.ty == elem, op, "stored value must match element type")?;
             if op.name == "affine.store" {
-                let map = op
-                    .attrs
-                    .get("map")
-                    .and_then(Attr::as_map)
-                    .ok_or_else(|| Error::Verify("affine.store: missing map".into()))?;
+                let map = op.attrs.get("map").and_then(Attr::as_map).ok_or_else(|| {
+                    diag("missing map").with_loc(Loc::default().at_inst("affine.store"))
+                })?;
                 expect(
                     map.num_dims as usize == op.operands.len() - 2,
                     op,
@@ -294,7 +304,10 @@ func.func @f(%A: memref<4x4xf32>) {
     fn rejects_duplicate_function() {
         let src = "func.func @f() {\n  func.return\n}\nfunc.func @f() {\n  func.return\n}\n";
         let m = parse_module("m", src).unwrap();
-        assert!(verify_module(&m).unwrap_err().to_string().contains("duplicate"));
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]
@@ -362,10 +375,7 @@ func.func @f(%A: memref<4x4xf32>) {
 }
 "#;
         let m = parse_module("m", src).unwrap();
-        assert!(verify_module(&m)
-            .unwrap_err()
-            .to_string()
-            .contains("rank"));
+        assert!(verify_module(&m).unwrap_err().to_string().contains("rank"));
     }
 
     #[test]
@@ -391,8 +401,8 @@ func.func @f(%A: memref<4x4xf32>) {
         let mut f = func::func("f", vec![MType::F32.memref(&[4])], MType::None);
         let a = f.regions[0].entry().arg(0);
         let c = arith::const_index(0);
-        let bad = crate::ir::Op::new("memref.store")
-            .with_operands(vec![c.result(0), a, c.result(0)]); // stores an index into f32 memref
+        let bad =
+            crate::ir::Op::new("memref.store").with_operands(vec![c.result(0), a, c.result(0)]); // stores an index into f32 memref
         {
             let body = f.regions[0].entry_mut();
             body.ops.push(c);

@@ -1,0 +1,328 @@
+//! `pass-core` — the shared pass-management substrate.
+//!
+//! The workspace used to carry three near-duplicate pass infrastructures
+//! (`mlir_lite::passes::MlirPassManager`, `llvm_lite::transforms::PassManager`,
+//! and the ad-hoc adaptor pipeline). This crate replaces all three with one
+//! generic, instrumented implementation:
+//!
+//! * [`Pass<IR>`] — a named module-level transformation over any IR that
+//!   implements [`PassIr`];
+//! * [`PassManager<IR>`] — ordered pipelines with per-pass wall-clock
+//!   timing, changed/IR-size-delta stats, optional verify-after-each, and
+//!   fixed-point iteration;
+//! * [`PassRegistry<IR>`] — string-keyed pass resolution with
+//!   list-valid-names-on-error diagnostics;
+//! * [`PipelineReport`] — a serializable `-time-passes`-style execution
+//!   report (JSON schema in EXPERIMENTS.md);
+//! * [`Diagnostic`] — structured, source-located errors shared by passes,
+//!   verifiers, and the HLS compat gate.
+
+pub mod diag;
+pub mod registry;
+pub mod report;
+
+pub use diag::{Diagnostic, Loc, Severity};
+pub use registry::PassRegistry;
+pub use report::{PassRecord, PipelineReport};
+
+/// Result alias for pass execution.
+pub type PassResult<T> = std::result::Result<T, Diagnostic>;
+
+/// What an IR must provide for the pass manager to instrument and check it.
+pub trait PassIr {
+    /// A size measure (operation/instruction count) for delta stats.
+    fn ir_size(&self) -> usize;
+
+    /// Structural verification, returning a located diagnostic on failure.
+    fn verify_ir(&self) -> PassResult<()>;
+}
+
+/// A module-level transformation over `IR`.
+pub trait Pass<IR: PassIr> {
+    /// Stable name used in pipeline specs, registries, and reports.
+    fn name(&self) -> &'static str;
+
+    /// Run over the IR; report whether anything changed.
+    fn run(&self, ir: &mut IR) -> PassResult<bool>;
+}
+
+/// An ordered, instrumented pipeline of passes.
+pub struct PassManager<IR: PassIr> {
+    passes: Vec<Box<dyn Pass<IR>>>,
+    /// Verify the IR after each pass (on by default).
+    pub verify_each: bool,
+    label: String,
+}
+
+impl<IR: PassIr> Default for PassManager<IR> {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+impl<IR: PassIr> PassManager<IR> {
+    /// Empty pipeline with per-pass verification enabled.
+    pub fn new() -> PassManager<IR> {
+        PassManager::with_label("pipeline")
+    }
+
+    /// Empty pipeline with a label used in reports.
+    pub fn with_label(label: impl Into<String>) -> PassManager<IR> {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+            label: label.into(),
+        }
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: impl Pass<IR> + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Append an already-boxed pass (registry output).
+    pub fn add_boxed(&mut self, pass: Box<dyn Pass<IR>>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True when no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Run every pass once, in order.
+    pub fn run(&self, ir: &mut IR) -> PassResult<PipelineReport> {
+        self.run_observed(ir, &mut |_, _| {})
+    }
+
+    /// Run every pass once, invoking `observer` with the IR and the pass's
+    /// record after each pass completes (and verifies, when enabled). This
+    /// is how callers sample pass-dependent metrics — e.g. the adaptor
+    /// counts remaining HLS compat issues between passes — without a second
+    /// pass-manager implementation.
+    pub fn run_observed(
+        &self,
+        ir: &mut IR,
+        observer: &mut dyn FnMut(&IR, &PassRecord),
+    ) -> PassResult<PipelineReport> {
+        let mut report = PipelineReport::new(&self.label);
+        self.run_once(ir, &mut report, observer)?;
+        Ok(report)
+    }
+
+    fn run_once(
+        &self,
+        ir: &mut IR,
+        report: &mut PipelineReport,
+        observer: &mut dyn FnMut(&IR, &PassRecord),
+    ) -> PassResult<bool> {
+        let mut any_changed = false;
+        for pass in &self.passes {
+            let size_before = ir.ir_size();
+            let start = std::time::Instant::now();
+            let changed = pass.run(ir).map_err(|d| d.in_pass(pass.name()))?;
+            if self.verify_each {
+                ir.verify_ir().map_err(|d| {
+                    Diagnostic {
+                        message: format!("IR broken after pass '{}': {}", pass.name(), d.message),
+                        ..d
+                    }
+                    .in_pass(pass.name())
+                })?;
+            }
+            let rec = PassRecord {
+                pass: pass.name().to_string(),
+                changed,
+                wall_us: start.elapsed().as_micros() as u64,
+                size_before,
+                size_after: ir.ir_size(),
+            };
+            observer(ir, &rec);
+            report.push(rec);
+            any_changed |= changed;
+        }
+        Ok(any_changed)
+    }
+
+    /// Run the pipeline repeatedly until no pass reports a change, bounded
+    /// by `max_iters`. The report accumulates records across iterations and
+    /// its `iterations` field records how many sweeps ran.
+    pub fn run_to_fixpoint(&self, ir: &mut IR, max_iters: usize) -> PassResult<PipelineReport> {
+        let mut report = PipelineReport::new(&self.label);
+        report.iterations = 0;
+        for _ in 0..max_iters {
+            report.iterations += 1;
+            if !self.run_once(ir, &mut report, &mut |_, _| {})? {
+                break;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Tiny IR + passes shared by this crate's unit tests (kept out of `#[cfg(test)]`
+/// so the registry tests can use them too).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// An "IR" that is just a counter, with a verifier tripwire.
+    #[derive(Default)]
+    pub struct CountIr {
+        pub count: usize,
+        pub poison: bool,
+    }
+
+    impl PassIr for CountIr {
+        fn ir_size(&self) -> usize {
+            self.count
+        }
+
+        fn verify_ir(&self) -> PassResult<()> {
+            if self.poison {
+                Err(Diagnostic::error("verifier", "poisoned counter")
+                    .with_loc(Loc::function("f").in_block("entry").at_inst("%0")))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// Grows the counter by `by` until it reaches `until`.
+    pub struct Grow {
+        pub by: usize,
+        pub until: usize,
+    }
+
+    impl Pass<CountIr> for Grow {
+        fn name(&self) -> &'static str {
+            "grow"
+        }
+
+        fn run(&self, ir: &mut CountIr) -> PassResult<bool> {
+            if ir.count >= self.until {
+                Ok(false)
+            } else {
+                ir.count = (ir.count + self.by).min(self.until);
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{CountIr, Grow};
+    use super::*;
+
+    struct Nop;
+
+    impl Pass<CountIr> for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+
+        fn run(&self, _ir: &mut CountIr) -> PassResult<bool> {
+            Ok(false)
+        }
+    }
+
+    struct Poison;
+
+    impl Pass<CountIr> for Poison {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+
+        fn run(&self, ir: &mut CountIr) -> PassResult<bool> {
+            ir.poison = true;
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_immediately_on_noop() {
+        let mut pm = PassManager::new();
+        pm.add(Nop);
+        let mut ir = CountIr::default();
+        let report = pm.run_to_fixpoint(&mut ir, 100).unwrap();
+        assert_eq!(report.iterations, 1);
+        assert_eq!(report.passes.len(), 1);
+    }
+
+    #[test]
+    fn fixpoint_converges_and_counts_iterations() {
+        let mut pm = PassManager::new();
+        pm.add(Grow { by: 2, until: 5 });
+        let mut ir = CountIr::default();
+        let report = pm.run_to_fixpoint(&mut ir, 100).unwrap();
+        // 0→2→4→5, then one quiescent sweep.
+        assert_eq!(ir.count, 5);
+        assert_eq!(report.iterations, 4);
+    }
+
+    #[test]
+    fn report_records_timing_and_size_deltas() {
+        let mut pm = PassManager::with_label("unit");
+        pm.add(Grow { by: 3, until: 3 }).add(Nop);
+        let mut ir = CountIr::default();
+        let report = pm.run(&mut ir).unwrap();
+        assert_eq!(report.label, "unit");
+        assert_eq!(report.passes.len(), 2);
+        let grow = &report.passes[0];
+        assert_eq!((grow.pass.as_str(), grow.changed), ("grow", true));
+        assert_eq!((grow.size_before, grow.size_after), (0, 3));
+        assert_eq!(grow.size_delta(), 3);
+        let nop = &report.passes[1];
+        assert_eq!((nop.pass.as_str(), nop.changed), ("nop", false));
+        assert_eq!(report.changed_passes(), vec!["grow"]);
+        // Timing is recorded (possibly 0us for a trivial pass, but present
+        // and summable).
+        assert_eq!(
+            report.total_us(),
+            report.passes.iter().map(|p| p.wall_us).sum()
+        );
+    }
+
+    #[test]
+    fn verify_each_surfaces_located_diagnostic() {
+        let mut pm = PassManager::new();
+        pm.add(Poison);
+        let mut ir = CountIr::default();
+        let err = pm.run(&mut ir).unwrap_err();
+        assert_eq!(err.pass, "poison");
+        assert_eq!(err.loc.function.as_deref(), Some("f"));
+        assert_eq!(err.loc.block.as_deref(), Some("entry"));
+        assert_eq!(err.loc.inst.as_deref(), Some("%0"));
+        assert_eq!(
+            err.to_string(),
+            "error[poison] @f:entry:%0: IR broken after pass 'poison': poisoned counter"
+        );
+        // With verification off, the pipeline completes.
+        let mut pm = PassManager::new();
+        pm.add(Poison);
+        pm.verify_each = false;
+        assert!(pm.run(&mut CountIr::default()).is_ok());
+    }
+
+    #[test]
+    fn observer_sees_ir_state_after_each_pass() {
+        let mut pm = PassManager::new();
+        pm.add(Grow { by: 1, until: 2 })
+            .add(Grow { by: 1, until: 2 });
+        let mut ir = CountIr::default();
+        let mut seen = Vec::new();
+        pm.run_observed(&mut ir, &mut |ir, rec| {
+            seen.push((rec.pass.clone(), ir.count))
+        })
+        .unwrap();
+        assert_eq!(seen, vec![("grow".to_string(), 1), ("grow".to_string(), 2)]);
+    }
+}

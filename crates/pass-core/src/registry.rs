@@ -1,0 +1,129 @@
+//! String-keyed pass registry.
+//!
+//! Every IR level registers its passes by stable name; CLIs and ablation
+//! harnesses resolve names uniformly and get the full list of valid names
+//! in the error when a name does not resolve.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::{Pass, PassIr, PassManager};
+
+/// Factory producing a fresh boxed pass.
+type Factory<IR> = Box<dyn Fn() -> Box<dyn Pass<IR>>>;
+
+/// Name → pass factory map for one IR level.
+pub struct PassRegistry<IR: PassIr> {
+    factories: BTreeMap<&'static str, Factory<IR>>,
+}
+
+impl<IR: PassIr> Default for PassRegistry<IR> {
+    fn default() -> Self {
+        PassRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+}
+
+impl<IR: PassIr> PassRegistry<IR> {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a pass factory under a stable name. Re-registering a name
+    /// replaces the factory (later registrations win, so downstream crates
+    /// can override upstream defaults).
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn Pass<IR>> + 'static,
+    ) -> &mut Self {
+        self.factories.insert(name, Box::new(factory));
+        self
+    }
+
+    /// Absorb every factory from `other` (its registrations win on name
+    /// clashes). Lets a driver expose several IR levels' passes — e.g. the
+    /// LLVM cleanup passes plus the HLS adaptor passes — as one namespace.
+    pub fn merge(&mut self, other: PassRegistry<IR>) -> &mut Self {
+        self.factories.extend(other.factories);
+        self
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.factories.keys().copied().collect()
+    }
+
+    /// Whether a name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Instantiate a pass by name. Unknown names produce a [`Diagnostic`]
+    /// listing every valid name.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Pass<IR>>, Diagnostic> {
+        match self.factories.get(name) {
+            Some(f) => Ok(f()),
+            None => Err(self.unknown(name)),
+        }
+    }
+
+    /// The unknown-name diagnostic (shared with callers that do their own
+    /// name matching, e.g. ablation configs).
+    pub fn unknown(&self, name: &str) -> Diagnostic {
+        Diagnostic::error(
+            "pass-registry",
+            format!(
+                "unknown pass '{name}'; valid passes: {}",
+                self.names().join(", ")
+            ),
+        )
+    }
+
+    /// Build a pipeline from a comma-separated spec (`mem2reg,dce,...`).
+    /// Empty segments are ignored so trailing commas are harmless.
+    pub fn build_pipeline(&self, spec: &str) -> Result<PassManager<IR>, Diagnostic> {
+        let mut pm = PassManager::with_label(spec);
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            pm.add_boxed(self.create(name)?);
+        }
+        Ok(pm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{CountIr, Grow};
+
+    fn registry() -> PassRegistry<CountIr> {
+        let mut r = PassRegistry::new();
+        r.register("grow", || Box::new(Grow { by: 1, until: 5 }));
+        r
+    }
+
+    #[test]
+    fn create_resolves_registered_names() {
+        let r = registry();
+        assert!(r.contains("grow"));
+        assert_eq!(r.create("grow").unwrap().name(), "grow");
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_names() {
+        let Err(e) = registry().create("nonsense").map(|_| ()) else {
+            panic!("expected unknown-pass error");
+        };
+        assert!(e.message.contains("unknown pass 'nonsense'"));
+        assert!(e.message.contains("valid passes: grow"));
+    }
+
+    #[test]
+    fn pipeline_spec_builds_in_order() {
+        let pm = registry().build_pipeline("grow,grow,").unwrap();
+        assert_eq!(pm.len(), 2);
+        assert!(registry().build_pipeline("grow,bogus").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Pipeline execution reports (LLVM `-time-passes` / `mlir-timing` style).
+//!
+//! A [`PipelineReport`] records, per executed pass/stage: wall-clock time,
+//! whether the IR changed, and the IR size before/after. Reports render as
+//! an aligned text table and serialize to JSON (hand-rolled emitter — the
+//! schema is documented in EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// One executed pass or pipeline stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassRecord {
+    /// Pass/stage name (nested stages use `outer/inner`).
+    pub pass: String,
+    /// Whether the pass reported an IR change.
+    pub changed: bool,
+    /// Wall-clock time, microseconds.
+    pub wall_us: u64,
+    /// IR size (op/instruction count) before the pass.
+    pub size_before: usize,
+    /// IR size after the pass.
+    pub size_after: usize,
+}
+
+impl PassRecord {
+    /// Signed size delta (negative = the pass shrank the IR).
+    pub fn size_delta(&self) -> i64 {
+        self.size_after as i64 - self.size_before as i64
+    }
+}
+
+/// Execution report for one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Pipeline label (e.g. `hls-adaptor`, `standard-cleanup`).
+    pub label: String,
+    /// Fixed-point iterations executed (1 for a single sweep).
+    pub iterations: usize,
+    /// Per-pass records, in execution order (repeated across iterations).
+    pub passes: Vec<PassRecord>,
+}
+
+impl PipelineReport {
+    /// Empty report with a label.
+    pub fn new(label: impl Into<String>) -> PipelineReport {
+        PipelineReport {
+            label: label.into(),
+            iterations: 1,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, rec: PassRecord) {
+        self.passes.push(rec);
+    }
+
+    /// Total wall-clock time across all recorded passes, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.passes.iter().map(|p| p.wall_us).sum()
+    }
+
+    /// Names of passes that changed the IR (deduplicated, in order).
+    pub fn changed_passes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.passes {
+            if p.changed && !out.contains(&p.pass.as_str()) {
+                out.push(&p.pass);
+            }
+        }
+        out
+    }
+
+    /// Time one arbitrary stage (not necessarily a registered pass) and
+    /// record it. IR sizes are the caller's to supply via
+    /// [`PipelineReport::push`] when known; stages recorded here carry 0/0.
+    pub fn time_stage<T, E>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let start = std::time::Instant::now();
+        let out = f()?;
+        self.push(PassRecord {
+            pass: name.to_string(),
+            changed: true,
+            wall_us: start.elapsed().as_micros() as u64,
+            size_before: 0,
+            size_after: 0,
+        });
+        Ok(out)
+    }
+
+    /// Merge another report's records under `prefix/`.
+    pub fn extend_prefixed(&mut self, prefix: &str, other: &PipelineReport) {
+        for p in &other.passes {
+            self.passes.push(PassRecord {
+                pass: format!("{prefix}/{}", p.pass),
+                ..p.clone()
+            });
+        }
+    }
+
+    /// Render the aligned text table shown by the CLIs.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "=== pipeline '{}': {} pass(es), {} iteration(s), {} us total\n",
+            self.label,
+            self.passes.len(),
+            self.iterations,
+            self.total_us()
+        );
+        let name_w = self
+            .passes
+            .iter()
+            .map(|p| p.pass.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "{:<name_w$}  {:>10}  {:>9}  {:>12}  {}\n",
+            "pass", "wall (us)", "size", "delta", "changed"
+        ));
+        for p in &self.passes {
+            let delta = p.size_delta();
+            let size_col = if p.size_before == 0 && p.size_after == 0 {
+                "-".to_string()
+            } else {
+                format!("{}->{}", p.size_before, p.size_after)
+            };
+            out.push_str(&format!(
+                "{:<name_w$}  {:>10}  {:>9}  {:>12}  {}\n",
+                p.pass,
+                p.wall_us,
+                size_col,
+                if delta == 0 {
+                    "0".to_string()
+                } else {
+                    format!("{delta:+}")
+                },
+                if p.changed { "yes" } else { "-" }
+            ));
+        }
+        out
+    }
+
+    /// Serialize to JSON (schema in EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"label\":{},", json_str(&self.label)));
+        out.push_str(&format!("\"iterations\":{},", self.iterations));
+        out.push_str(&format!("\"total_us\":{},", self.total_us()));
+        out.push_str("\"passes\":[");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"pass\":{},\"changed\":{},\"wall_us\":{},\"size_before\":{},\"size_after\":{}}}",
+                json_str(&p.pass),
+                p.changed,
+                p.wall_us,
+                p.size_before,
+                p.size_after
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let mut r = PipelineReport::new("demo");
+        r.push(PassRecord {
+            pass: "mem2reg".into(),
+            changed: true,
+            wall_us: 120,
+            size_before: 40,
+            size_after: 31,
+        });
+        r.push(PassRecord {
+            pass: "dce".into(),
+            changed: false,
+            wall_us: 15,
+            size_before: 31,
+            size_after: 31,
+        });
+        r
+    }
+
+    #[test]
+    fn totals_and_changed() {
+        let r = sample();
+        assert_eq!(r.total_us(), 135);
+        assert_eq!(r.changed_passes(), vec!["mem2reg"]);
+        assert_eq!(r.passes[0].size_delta(), -9);
+    }
+
+    #[test]
+    fn render_contains_all_passes() {
+        let text = sample().render();
+        assert!(text.contains("pipeline 'demo'"));
+        assert!(text.contains("mem2reg"));
+        assert!(text.contains("40->31"));
+        assert!(text.contains("-9"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"label\":\"demo\""));
+        assert!(j.contains("\"pass\":\"mem2reg\""));
+        assert!(j.contains("\"size_before\":40"));
+        assert!(j.contains("\"total_us\":135"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -169,11 +169,35 @@ entry:
     #[test]
     fn fu_need_maximum_composition() {
         let mut a = FuNeed::default();
-        a.require(FuClass::FMul, 2, Area { dsp: 3, lut: 100, ff: 150 });
+        a.require(
+            FuClass::FMul,
+            2,
+            Area {
+                dsp: 3,
+                lut: 100,
+                ff: 150,
+            },
+        );
         a.logic_lut = 500;
         let mut b = FuNeed::default();
-        b.require(FuClass::FMul, 1, Area { dsp: 3, lut: 100, ff: 150 });
-        b.require(FuClass::FAddSub, 1, Area { dsp: 2, lut: 200, ff: 300 });
+        b.require(
+            FuClass::FMul,
+            1,
+            Area {
+                dsp: 3,
+                lut: 100,
+                ff: 150,
+            },
+        );
+        b.require(
+            FuClass::FAddSub,
+            1,
+            Area {
+                dsp: 2,
+                lut: 200,
+                ff: 300,
+            },
+        );
         b.logic_lut = 300;
         a.max_with(&b);
         assert_eq!(a.units[&FuClass::FMul], 2);

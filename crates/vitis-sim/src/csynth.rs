@@ -191,11 +191,7 @@ fn synthesize_function(
             let mut cur = l.parent;
             while let Some(ph) = cur {
                 let parent = li.loop_with_header(ph).expect("parent exists");
-                let siblings = li
-                    .loops
-                    .iter()
-                    .filter(|c| c.parent == Some(ph))
-                    .count();
+                let siblings = li.loops.iter().filter(|c| c.parent == Some(ph)).count();
                 let parent_child_blocks: HashSet<BlockId> = li
                     .loops
                     .iter()
@@ -211,8 +207,7 @@ fn synthesize_function(
                 let parent_trip = counted_loop_tripcount(f, parent);
                 // Perfect level: exactly one child loop, negligible own work,
                 // known trip count.
-                let (Some(parent_trip), true, true) =
-                    (parent_trip, siblings == 1, parent_own <= 3)
+                let (Some(parent_trip), true, true) = (parent_trip, siblings == 1, parent_own <= 3)
                 else {
                     break;
                 };
@@ -234,7 +229,11 @@ fn synthesize_function(
             // This level was folded into a flattened descendant pipeline:
             // it contributes no iterations of its own.
             let latency = child_latency + own_latency.min(1) + 1;
-            (latency, None, Some("flattened into inner pipeline".to_string()))
+            (
+                latency,
+                None,
+                Some("flattened into inner pipeline".to_string()),
+            )
         } else if pipelined {
             let r = compute_ii(m, f, l, target, &cx, md.pipeline_ii.unwrap(), unroll);
             // Shared FUs at II: one instance serves II cycles.
@@ -287,7 +286,11 @@ fn synthesize_function(
     }
 
     // Function level: blocks outside all loops + top-level loops.
-    let in_loop: HashSet<BlockId> = li.loops.iter().flat_map(|l| l.body.iter().copied()).collect();
+    let in_loop: HashSet<BlockId> = li
+        .loops
+        .iter()
+        .flat_map(|l| l.body.iter().copied())
+        .collect();
     let straightline: u64 = f
         .block_order
         .iter()

@@ -172,10 +172,8 @@ pub fn loop_accesses(f: &Function, l: &NaturalLoop) -> Vec<Access> {
                     } else {
                         &gep.operands[1..]
                     };
-                    let rels: Vec<IvRelation> = idx_ops
-                        .iter()
-                        .map(|v| iv_relation(f, v, iv))
-                        .collect();
+                    let rels: Vec<IvRelation> =
+                        idx_ops.iter().map(|v| iv_relation(f, v, iv)).collect();
                     // A flat (unstructured) gep over a multi-element space
                     // whose single index mixes several loop variables is
                     // only analyzable if the relation is clean.
@@ -242,8 +240,7 @@ pub fn dependence_distance(a: &Access, b: &Access) -> Distance {
         return Distance::Unknown;
     }
     // Any complex subscript: give up.
-    if a.subscripts.contains(&IvRelation::Complex) || b.subscripts.contains(&IvRelation::Complex)
-    {
+    if a.subscripts.contains(&IvRelation::Complex) || b.subscripts.contains(&IvRelation::Complex) {
         return Distance::Unknown;
     }
     // If every subscript pair is IV-invariant on both sides, the same

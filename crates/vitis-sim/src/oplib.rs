@@ -58,7 +58,14 @@ pub struct OpSpec {
 }
 
 impl OpSpec {
-    const fn new(latency: u32, delay_ns: f64, class: FuClass, dsp: u32, lut: u32, ff: u32) -> OpSpec {
+    const fn new(
+        latency: u32,
+        delay_ns: f64,
+        class: FuClass,
+        dsp: u32,
+        lut: u32,
+        ff: u32,
+    ) -> OpSpec {
         OpSpec {
             latency,
             delay_ns,
@@ -92,9 +99,7 @@ pub fn op_spec(m: &Module, f: &Function, inst: &Inst) -> OpSpec {
             OpSpec::new(18, 0.0, FuClass::IDiv, 0, 900, 1000)
         }
         Opcode::And | Opcode::Or | Opcode::Xor => OpSpec::new(0, 0.7, FuClass::Logic, 0, 16, 0),
-        Opcode::Shl | Opcode::LShr | Opcode::AShr => {
-            OpSpec::new(0, 1.0, FuClass::Logic, 0, 40, 0)
-        }
+        Opcode::Shl | Opcode::LShr | Opcode::AShr => OpSpec::new(0, 1.0, FuClass::Logic, 0, 40, 0),
         Opcode::FAdd | Opcode::FSub => {
             if is_f64 {
                 OpSpec::new(7, 0.0, FuClass::FAddSub, 3, 400, 600)
@@ -180,20 +185,40 @@ mod tests {
 
     #[test]
     fn f32_units_match_vitis_orders() {
-        let fadd = spec_of(Opcode::FAdd, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        let fadd = spec_of(
+            Opcode::FAdd,
+            Type::Float,
+            vec![Value::f32(1.0), Value::f32(2.0)],
+        );
         assert_eq!(fadd.latency, 4);
         assert_eq!(fadd.area.dsp, 2);
-        let fmul = spec_of(Opcode::FMul, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        let fmul = spec_of(
+            Opcode::FMul,
+            Type::Float,
+            vec![Value::f32(1.0), Value::f32(2.0)],
+        );
         assert_eq!(fmul.latency, 3);
         assert_eq!(fmul.area.dsp, 3);
-        let fdiv = spec_of(Opcode::FDiv, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
+        let fdiv = spec_of(
+            Opcode::FDiv,
+            Type::Float,
+            vec![Value::f32(1.0), Value::f32(2.0)],
+        );
         assert!(fdiv.latency > 10);
     }
 
     #[test]
     fn f64_is_slower_and_larger_than_f32() {
-        let a32 = spec_of(Opcode::FAdd, Type::Float, vec![Value::f32(1.0), Value::f32(2.0)]);
-        let a64 = spec_of(Opcode::FAdd, Type::Double, vec![Value::f64(1.0), Value::f64(2.0)]);
+        let a32 = spec_of(
+            Opcode::FAdd,
+            Type::Float,
+            vec![Value::f32(1.0), Value::f32(2.0)],
+        );
+        let a64 = spec_of(
+            Opcode::FAdd,
+            Type::Double,
+            vec![Value::f64(1.0), Value::f64(2.0)],
+        );
         assert!(a64.latency > a32.latency);
         assert!(a64.area.dsp >= a32.area.dsp);
     }
@@ -211,11 +236,10 @@ mod tests {
     fn sqrt_intrinsic_is_long_latency() {
         let m = Module::new("m");
         let f = Function::new("f", vec![], Type::Void);
-        let call = Inst::new(Opcode::Call, Type::Float, vec![Value::f32(2.0)]).with_data(
-            InstData::Call {
+        let call =
+            Inst::new(Opcode::Call, Type::Float, vec![Value::f32(2.0)]).with_data(InstData::Call {
                 callee: "llvm.sqrt.f32".into(),
-            },
-        );
+            });
         let s = op_spec(&m, &f, &call);
         assert_eq!(s.class, FuClass::FFunc);
         assert!(s.latency >= 10);

@@ -158,8 +158,7 @@ fn recurrence_latency(
         op_spec(m, f, f.inst(other.inst)).latency + axi_extra
     };
     let mut memo: HashMap<InstId, Option<u32>> = HashMap::new();
-    let path = path_latency(m, f, &f.inst(st.inst).operands[0], other.inst, &mut memo)
-        .unwrap_or(0);
+    let path = path_latency(m, f, &f.inst(st.inst).operands[0], other.inst, &mut memo).unwrap_or(0);
     // +1 for the store commit cycle.
     (load_lat + path + 1).max(1)
 }

@@ -150,7 +150,11 @@ pub fn schedule_block(
                 }
             }
             if *is_store {
-                for &l in loads_since_store.get(base).map(Vec::as_slice).unwrap_or(&[]) {
+                for &l in loads_since_store
+                    .get(base)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
                     bump(l, &mut cycle, &mut offset, &out);
                 }
             }
@@ -267,8 +271,7 @@ entry:
             body.push_str(&format!("  %x{i} = add i32 {prev}, 1\n"));
             prev = format!("%x{i}");
         }
-        let src =
-            format!("define i32 @f(i32 %a) {{\nentry:\n{body}  ret i32 {prev}\n}}\n");
+        let src = format!("define i32 @f(i32 %a) {{\nentry:\n{body}  ret i32 {prev}\n}}\n");
         let (_, s) = sched(&src);
         assert!(s.length >= 2, "chain must break: {}", s.length);
     }

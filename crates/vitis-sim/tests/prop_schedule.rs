@@ -44,7 +44,7 @@ fn build(ops: &[GenOp]) -> (Module, Function) {
     let entry = f.add_block("entry");
     let mut vals: Vec<Value> = vec![Value::Arg(1)];
     let arr = Type::Float.array_of(8);
-    let mut gep_for = |f: &mut Function, idx: usize| -> Value {
+    let gep_for = |f: &mut Function, idx: usize| -> Value {
         let g = f.push_inst(
             entry,
             Inst::new(

@@ -25,7 +25,10 @@ fn main() {
     println!("\n==== Adaptor flow ====");
     let lowered = lowering::lower(prepare_mlir(kernel, &directives).unwrap()).unwrap();
     let issues = adaptor::compat_issues(&lowered);
-    println!("raw MLIR lowering: {} issue(s) the Vitis frontend would reject:", issues.len());
+    println!(
+        "raw MLIR lowering: {} issue(s) the Vitis frontend would reject:",
+        issues.len()
+    );
     for i in issues.iter().take(5) {
         println!("  [{:?}] {}", i.kind, i.detail);
     }
@@ -33,7 +36,10 @@ fn main() {
         println!("  ... and {} more", issues.len() - 5);
     }
     let adaptor_art = run_flow(kernel, &directives, Flow::Adaptor).unwrap();
-    println!("after the adaptor: {} issue(s)", adaptor::compat_issues(&adaptor_art.module).len());
+    println!(
+        "after the adaptor: {} issue(s)",
+        adaptor::compat_issues(&adaptor_art.module).len()
+    );
 
     // --- C++ flow, step by step. ----------------------------------------
     println!("\n==== HLS-C++ flow (baseline) ====");

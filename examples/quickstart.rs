@@ -14,8 +14,8 @@ fn main() {
     // 2. Run the paper's flow: MLIR -> LLVM IR -> HLS adaptor.
     //    Directives are applied at the MLIR level; here: pipeline the
     //    innermost loop with a target initiation interval of 1.
-    let artifacts = run_flow(kernel, &Directives::pipelined(1), Flow::Adaptor)
-        .expect("adaptor flow");
+    let artifacts =
+        run_flow(kernel, &Directives::pipelined(1), Flow::Adaptor).expect("adaptor flow");
 
     // 3. The adaptor reports what it had to fix.
     let report = artifacts.adaptor_report.as_ref().unwrap();

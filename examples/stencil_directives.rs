@@ -13,7 +13,10 @@ fn main() {
     let target = Target::default();
 
     println!("jacobi2d (16x16, 5-point) — directive sweep through the adaptor flow\n");
-    println!("{:<28} {:>8} {:>6} {:>6} {:>6}", "directives", "latency", "II", "DSP", "LUT");
+    println!(
+        "{:<28} {:>8} {:>6} {:>6} {:>6}",
+        "directives", "latency", "II", "DSP", "LUT"
+    );
 
     let configs: Vec<(&str, Directives)> = vec![
         ("none (sequential)", Directives::default()),
@@ -94,7 +97,11 @@ fn main() {
     let r = csynth(&art.module, &target).unwrap();
     for l in &r.loops {
         if let Some(bound) = &l.ii_bound {
-            println!("loop {}: II {} — limited by {bound}", l.name, l.ii_achieved.unwrap_or(0));
+            println!(
+                "loop {}: II {} — limited by {bound}",
+                l.name,
+                l.ii_achieved.unwrap_or(0)
+            );
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Offline stub for the `proptest` crate.
+//!
+//! Implements the generation side of proptest — strategies, combinators,
+//! the `proptest!` macro — with a deterministic SplitMix64 RNG. There is no
+//! shrinking: a failing case panics with its case index so it can be
+//! replayed (cases are a pure function of the case index).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::TestRng;
+
+/// Per-property configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Types with a canonical strategy (subset of `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (for `any::<usize>()`-style calls).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+/// The `prop::` namespace (`collection`, `option`, ...).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Inclusive minimum length.
+        pub min: usize,
+        /// Exclusive maximum length.
+        pub max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::option`.
+pub mod option {
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy for `Option<T>`: `None` in roughly a quarter of cases.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` namespace as the real prelude exposes it.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Assert inside a property (no shrinking: plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Property-test entry point. Each property becomes one `#[test]` running
+/// `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $(let $arg = $strat;)+
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::for_case(case as u64);
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,44 @@
+//! Deterministic RNG for case generation.
+
+/// SplitMix64 generator; every case derives its stream purely from the case
+/// index, so failures reproduce across runs without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for one property-test case.
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng {
+            // Golden-ratio offset keeps case streams decorrelated.
+            state: case.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x005e_ed0f_cafe_f00d,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn case_streams_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        let mut c = TestRng::for_case(4);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

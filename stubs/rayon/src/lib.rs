@@ -1,0 +1,52 @@
+//! Offline stub for the `rayon` crate.
+//!
+//! `par_iter()` returns the ordinary sequential iterator, so downstream
+//! `.map(...).collect()` chains compile and behave identically — minus the
+//! parallelism. Correctness is unaffected: rayon's parallel iterators
+//! promise the same observable results as sequential iteration.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// Subset of `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type yielded by the "parallel" iterator.
+        type Item: 'data;
+        /// The iterator type (here: the sequential one).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for parallel iteration.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: &[i32] = &v;
+        assert_eq!(s.par_iter().sum::<i32>(), 6);
+    }
+}

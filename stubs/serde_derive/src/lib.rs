@@ -1,0 +1,41 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The derives scan the item's tokens for its name (no `syn` available
+//! offline) and emit empty marker impls matching the stub `serde` traits.
+//! Only non-generic `struct`/`enum` items are supported — which covers every
+//! derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum` keyword, skipping
+/// attributes and visibility tokens.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("serde stub: could not find type name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("serde stub: could not find type name");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -60,8 +60,11 @@ fn adaptor_gate_refuses_partial_pipelines() {
     let mut module = lowering::lower(m).unwrap();
     let cfg = AdaptorConfig::default()
         .without("recover-arrays")
-        .without("synthesize-interface");
-    assert!(adaptor::run_adaptor(&mut module, &cfg).is_err());
+        .unwrap()
+        .without("synthesize-interface")
+        .unwrap();
+    let err = adaptor::run_adaptor(&mut module, &cfg).unwrap_err();
+    assert!(err.to_string().contains("HLS compatibility"));
 }
 
 #[test]

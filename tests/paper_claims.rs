@@ -42,8 +42,7 @@ fn claim_adaptor_closes_the_syntax_gap() {
         let mut module = lowering::lower(m).unwrap();
         let before = adaptor::compat_issues(&module).len();
         assert!(before > 0, "{}: no gap to close?", k.name);
-        let report =
-            adaptor::run_adaptor(&mut module, &adaptor::AdaptorConfig::default()).unwrap();
+        let report = adaptor::run_adaptor(&mut module, &adaptor::AdaptorConfig::default()).unwrap();
         assert_eq!(report.issues_after, 0, "{}", k.name);
         // Monotone improvement across the pipeline's tail.
         let last = report.issues_after_pass.last().unwrap().1;
@@ -97,8 +96,7 @@ fn claim_directive_scaling_shape() {
     let k = kernels::kernel("fir").unwrap();
     let fir_base = run_experiment(k, &Directives::default(), &target).unwrap();
     let piped = run_experiment(k, &Directives::pipelined(1), &target).unwrap();
-    let fir_gain =
-        fir_base.adaptor.report.latency as f64 / piped.adaptor.report.latency as f64;
+    let fir_gain = fir_base.adaptor.report.latency as f64 / piped.adaptor.report.latency as f64;
     assert!(
         fir_gain > 1.0 && fir_gain < 3.0,
         "fir gain should be modest (recurrence-bound), got {fir_gain:.2}"
@@ -166,7 +164,10 @@ fn claim_dependences_shape_the_ii() {
             .unwrap_or(0)
     };
     let (ii_jac, ii_sei) = (ii(&jac), ii(&sei));
-    assert!(ii_jac <= 3, "jacobi2d should be near port-bound: II {ii_jac}");
+    assert!(
+        ii_jac <= 3,
+        "jacobi2d should be near port-bound: II {ii_jac}"
+    );
     assert!(
         ii_sei > 2 * ii_jac,
         "seidel2d carried dependence must dominate: II {ii_sei} vs jacobi {ii_jac}"
@@ -202,12 +203,14 @@ fn claim_partitioning_lifts_the_port_bound() {
     };
     // Port-bound II=3 without partitioning; the 4-way split reaches II=1.
     assert!(ii(&plain.adaptor) > ii(&parted.adaptor));
-    assert_eq!(ii(&parted.adaptor), 1, "partitioned jacobi2d should hit II=1");
+    assert_eq!(
+        ii(&parted.adaptor),
+        1,
+        "partitioned jacobi2d should hit II=1"
+    );
     // Latency improves; BRAM pays for it.
     assert!(parted.adaptor.report.latency < plain.adaptor.report.latency);
-    assert!(
-        parted.adaptor.report.resources.bram_18k > plain.adaptor.report.resources.bram_18k
-    );
+    assert!(parted.adaptor.report.resources.bram_18k > plain.adaptor.report.resources.bram_18k);
     // Both flows agree (pragma path == attribute path).
     assert_eq!(ii(&parted.adaptor), ii(&parted.cpp));
     assert_eq!(parted.adaptor.report.latency, parted.cpp.report.latency);
@@ -275,9 +278,8 @@ fn claim_mlir_level_interchange_breaks_the_recurrence() {
     };
     let (base, _) = synth(false);
     let (swapped, swapped_mod) = synth(true);
-    let ii = |r: &vitis_sim::CsynthReport| {
-        r.loops.iter().filter_map(|l| l.ii_achieved).max().unwrap()
-    };
+    let ii =
+        |r: &vitis_sim::CsynthReport| r.loops.iter().filter_map(|l| l.ii_achieved).max().unwrap();
     // Recurrence-bound before; floor after.
     assert!(ii(&base) >= 5, "II before {}", ii(&base));
     assert_eq!(ii(&swapped), 1, "II after {}", ii(&swapped));

@@ -61,9 +61,7 @@ fn render_kernel(stmts: &[RandStmt], ii: Option<u32>, unroll: Option<u32>) -> St
             sub(s.aj, "j")
         ));
         body.push_str(&format!("      %c{k} = arith.constant {}.0 : f32\n", s.c));
-        body.push_str(&format!(
-            "      %m{k} = arith.mulf %a{k}, %c{k} : f32\n"
-        ));
+        body.push_str(&format!("      %m{k} = arith.mulf %a{k}, %c{k} : f32\n"));
         let mut val = format!("%m{k}");
         if s.relu {
             body.push_str(&format!("      %z{k} = arith.constant 0.0 : f32\n"));
@@ -79,9 +77,7 @@ fn render_kernel(stmts: &[RandStmt], ii: Option<u32>, unroll: Option<u32>) -> St
             body.push_str(&format!(
                 "      %old{k} = affine.load %B[%i, %j] : memref<8x8xf32>\n"
             ));
-            body.push_str(&format!(
-                "      %s{k} = arith.addf %old{k}, {val} : f32\n"
-            ));
+            body.push_str(&format!("      %s{k} = arith.addf %old{k}, {val} : f32\n"));
             val = format!("%s{k}");
         }
         body.push_str(&format!(
