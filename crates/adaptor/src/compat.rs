@@ -107,9 +107,12 @@ fn attr_whitelisted(key: &str) -> bool {
 }
 
 fn name_is_legal(name: &str) -> bool {
-    !name.is_empty()
-        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && !name.chars().next().unwrap().is_ascii_digit()
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false; // empty symbol: nothing to name the RTL object with
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// Scan a module and produce every compatibility issue.
@@ -276,7 +279,11 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
             // a parameter annotated with a rank>=2 shape means array
             // recovery has not run (or failed).
             if inst.opcode == Opcode::Gep {
-                if let Some(arg) = inst.operands[0].as_arg() {
+                // Resolve through bitcasts/phis/selects with the shared
+                // points-to analysis, not just a direct-argument match.
+                if let analysis::MemObject::Param(arg) =
+                    analysis::resolve_base(f, &inst.operands[0])
+                {
                     let p = &f.params[arg as usize];
                     if let Some(shape) = p.attrs.get("mha.shape") {
                         let rank = shape.matches('x').count();
@@ -298,44 +305,17 @@ pub fn compat_issues(m: &Module) -> Vec<CompatIssue> {
 }
 
 fn find_recursion(m: &Module) -> Vec<CompatIssue> {
-    let mut out = Vec::new();
-    let names: Vec<&str> = m
-        .functions
-        .iter()
-        .filter(|f| !f.is_declaration)
-        .map(|f| f.name.as_str())
-        .collect();
-    for root in &names {
-        // DFS from root; revisiting root = cycle.
-        let mut stack = vec![*root];
-        let mut seen = std::collections::HashSet::new();
-        while let Some(cur) = stack.pop() {
-            let Some(f) = m.function(cur) else { continue };
-            if f.is_declaration {
-                continue;
-            }
-            for (_, id) in f.inst_ids() {
-                if let InstData::Call { callee } = &f.inst(id).data {
-                    if callee == root {
-                        out.push(CompatIssue {
-                            kind: IssueKind::Recursion,
-                            function: root.to_string(),
-                            detail: format!("cycle through @{cur}"),
-                        });
-                        return out;
-                    }
-                    if seen.insert(callee.clone()) {
-                        if let Some(next) = m.function(callee) {
-                            if !next.is_declaration {
-                                stack.push(&next.name);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    out
+    // Tarjan SCCs over the shared call graph: one issue per cycle, with the
+    // closing callee named (for self-recursion that is the function itself).
+    analysis::callgraph::CallGraph::build(m)
+        .recursive_cycles()
+        .into_iter()
+        .map(|cycle| CompatIssue {
+            kind: IssueKind::Recursion,
+            function: cycle[0].clone(),
+            detail: format!("cycle through @{}", cycle.last().expect("nonempty cycle")),
+        })
+        .collect()
 }
 
 /// The compat gate as a pass: errors if any issue remains.
@@ -484,6 +464,63 @@ entry:
 }
 "#;
         assert!(issues_of(src).contains(&IssueKind::Recursion));
+    }
+
+    #[test]
+    fn detects_mutual_recursion_naming_the_cycle() {
+        let src = r#"
+define void @a() {
+entry:
+  call void @b()
+  ret void
+}
+
+define void @b() {
+entry:
+  call void @a()
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let issues: Vec<_> = compat_issues(&m)
+            .into_iter()
+            .filter(|i| i.kind == IssueKind::Recursion)
+            .collect();
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].function, "a");
+        assert_eq!(issues[0].detail, "cycle through @b");
+    }
+
+    #[test]
+    fn empty_symbol_names_are_reported_not_panicked() {
+        let src = r#"
+define void @f(float* "hls.interface"="m_axi" %a) {
+entry:
+  ret void
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        // Symbols can arrive empty from a degenerate producer; the gate must
+        // report them as illegal, not crash.
+        m.functions[0].params[0].name = String::new();
+        let issues = compat_issues(&m);
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == IssueKind::IllegalName && i.detail == "parameter %"));
+    }
+
+    #[test]
+    fn flattened_access_is_found_through_a_bitcast() {
+        let src = r#"
+define void @f(float* "mha.shape"="4x4xf32" %a, i64 %i) {
+entry:
+  %b = bitcast float* %a to float*
+  %p = getelementptr inbounds float, float* %b, i64 %i
+  %v = load float, float* %p, align 4
+  ret void
+}
+"#;
+        assert!(issues_of(src).contains(&IssueKind::FlattenedAccess));
     }
 
     #[test]

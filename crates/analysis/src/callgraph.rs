@@ -1,0 +1,205 @@
+//! Call graph over defined functions, with Tarjan SCCs.
+//!
+//! Used for recursion detection: a function is unsynthesizable if it sits
+//! on a call cycle — a strongly connected component with more than one
+//! node, or a single node with a self edge.
+
+use std::collections::HashMap;
+
+use llvm_lite::{InstData, Module};
+
+/// The call graph of a module (declarations excluded — calls into them are
+/// a separate compat issue).
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Defined function names, in module order.
+    pub names: Vec<String>,
+    /// `edges[i]` — indices of functions called by `names[i]` (deduped).
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from every call instruction in `m`.
+    pub fn build(m: &Module) -> CallGraph {
+        let names: Vec<String> = m
+            .functions
+            .iter()
+            .filter(|f| !f.is_declaration)
+            .map(|f| f.name.clone())
+            .collect();
+        let index: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut edges = vec![Vec::new(); names.len()];
+        for f in m.functions.iter().filter(|f| !f.is_declaration) {
+            let from = index[f.name.as_str()];
+            for (_, id) in f.inst_ids() {
+                if let InstData::Call { callee } = &f.inst(id).data {
+                    if let Some(&to) = index.get(callee.as_str()) {
+                        if !edges[from].contains(&to) {
+                            edges[from].push(to);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { names, edges }
+    }
+
+    /// Tarjan's algorithm; each SCC is a list of node indices.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        struct State<'a> {
+            g: &'a CallGraph,
+            index: Vec<Option<usize>>,
+            lowlink: Vec<usize>,
+            on_stack: Vec<bool>,
+            stack: Vec<usize>,
+            next: usize,
+            out: Vec<Vec<usize>>,
+        }
+        fn strongconnect(s: &mut State, v: usize) {
+            s.index[v] = Some(s.next);
+            s.lowlink[v] = s.next;
+            s.next += 1;
+            s.stack.push(v);
+            s.on_stack[v] = true;
+            for i in 0..s.g.edges[v].len() {
+                let w = s.g.edges[v][i];
+                if s.index[w].is_none() {
+                    strongconnect(s, w);
+                    s.lowlink[v] = s.lowlink[v].min(s.lowlink[w]);
+                } else if s.on_stack[w] {
+                    s.lowlink[v] = s.lowlink[v].min(s.index[w].unwrap());
+                }
+            }
+            if s.lowlink[v] == s.index[v].unwrap() {
+                let mut scc = Vec::new();
+                loop {
+                    let w = s.stack.pop().unwrap();
+                    s.on_stack[w] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                scc.sort_unstable();
+                s.out.push(scc);
+            }
+        }
+        let n = self.names.len();
+        let mut s = State {
+            g: self,
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+        for v in 0..n {
+            if s.index[v].is_none() {
+                strongconnect(&mut s, v);
+            }
+        }
+        s.out
+    }
+
+    /// Recursive cycles: for every SCC that contains a cycle, the function
+    /// names along one cycle path, starting at the SCC's first-in-module
+    /// function and following call edges back to it.
+    pub fn recursive_cycles(&self) -> Vec<Vec<String>> {
+        let mut cycles = Vec::new();
+        for scc in self.sccs() {
+            let cyclic = scc.len() > 1 || self.edges[scc[0]].contains(&scc[0]);
+            if !cyclic {
+                continue;
+            }
+            // Trace one in-SCC path from the first node back to itself.
+            let start = scc[0];
+            let mut path = vec![start];
+            let mut cur = start;
+            loop {
+                let next = self.edges[cur]
+                    .iter()
+                    .copied()
+                    .find(|n| scc.contains(n) && (*n == start || !path.contains(n)));
+                match next {
+                    Some(n) if n == start => break,
+                    Some(n) => {
+                        path.push(n);
+                        cur = n;
+                    }
+                    None => break, // dense SCC; the prefix already shows the cycle
+                }
+            }
+            cycles.push(path.into_iter().map(|i| self.names[i].clone()).collect());
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn self_recursion_is_a_cycle() {
+        let src = r#"
+define void @f() {
+entry:
+  call void @f()
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.recursive_cycles(), vec![vec!["f".to_string()]]);
+    }
+
+    #[test]
+    fn mutual_recursion_traces_the_cycle() {
+        let src = r#"
+define void @a() {
+entry:
+  call void @b()
+  ret void
+}
+
+define void @b() {
+entry:
+  call void @a()
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let cg = CallGraph::build(&m);
+        assert_eq!(
+            cg.recursive_cycles(),
+            vec![vec!["a".to_string(), "b".to_string()]]
+        );
+    }
+
+    #[test]
+    fn acyclic_call_tree_is_clean() {
+        let src = r#"
+define void @leaf() {
+entry:
+  ret void
+}
+
+define void @top() {
+entry:
+  call void @leaf()
+  call void @leaf()
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let cg = CallGraph::build(&m);
+        assert!(cg.recursive_cycles().is_empty());
+        assert_eq!(cg.sccs().len(), 2);
+    }
+}

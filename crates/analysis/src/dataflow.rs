@@ -1,0 +1,278 @@
+//! The generic worklist dataflow engine.
+//!
+//! An analysis is a [`Lattice`] (a fact type with a bottom element and a
+//! join) plus a [`TransferFunction`] (direction, boundary fact, and a
+//! per-block transfer). [`solve`] iterates block facts to a fixed point,
+//! seeding the worklist in reverse post order (forward) or post order
+//! (backward) so that acyclic regions converge in one sweep.
+//!
+//! Must-analyses are expressed by inverting the lattice: `bottom` is the
+//! universal set and `join` is intersection — unreachable predecessors then
+//! contribute the neutral element automatically.
+
+use std::collections::VecDeque;
+
+use llvm_lite::analysis::Cfg;
+use llvm_lite::{BlockId, Function};
+
+/// Which way facts propagate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along CFG edges (entry → exits).
+    Forward,
+    /// Facts flow against CFG edges (exits → entry).
+    Backward,
+}
+
+/// The value domain of an analysis.
+pub trait Lattice {
+    /// The per-program-point fact.
+    type Fact: Clone + PartialEq;
+
+    /// The initial fact at every program point (⊥ of the join).
+    fn bottom(&self, f: &Function) -> Self::Fact;
+
+    /// Join `other` into `into`; return whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+}
+
+/// The program-dependent half of an analysis.
+pub trait TransferFunction: Lattice {
+    /// Forward or backward.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: function entry (forward) or every exit
+    /// block (backward).
+    fn boundary(&self, f: &Function) -> Self::Fact {
+        self.bottom(f)
+    }
+
+    /// Apply the whole block's effect to an incoming fact.
+    fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact;
+
+    /// Refine a fact as it crosses the edge `from → to` (e.g. attribute PHI
+    /// operands to the predecessor edge they flow along). The fact passed in
+    /// is the one at `to`'s entry (forward) or `to`'s... the propagated
+    /// endpoint; the default is the identity.
+    fn edge(&self, _f: &Function, _from: BlockId, _to: BlockId, fact: &Self::Fact) -> Self::Fact {
+        fact.clone()
+    }
+}
+
+/// Per-block solution: the fact at each block's entry and exit.
+#[derive(Clone, Debug)]
+pub struct BlockFacts<F> {
+    /// Fact at the top of each block (indexed by `BlockId as usize`).
+    pub entry: Vec<F>,
+    /// Fact at the bottom of each block.
+    pub exit: Vec<F>,
+}
+
+/// Run `t` over `f` to a fixed point and return the per-block facts.
+pub fn solve<T: TransferFunction>(f: &Function, cfg: &Cfg, t: &T) -> BlockFacts<T::Fact> {
+    let n = f.blocks.len();
+    let mut entry: Vec<T::Fact> = (0..n).map(|_| t.bottom(f)).collect();
+    let mut exit: Vec<T::Fact> = (0..n).map(|_| t.bottom(f)).collect();
+    if cfg.rpo.is_empty() {
+        return BlockFacts { entry, exit };
+    }
+
+    let forward = t.direction() == Direction::Forward;
+    let order: Vec<BlockId> = if forward {
+        cfg.rpo.clone()
+    } else {
+        cfg.rpo.iter().rev().copied().collect()
+    };
+
+    let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
+    let mut queued = vec![false; n];
+    for &b in &order {
+        queued[b as usize] = true;
+    }
+
+    // Monotone joins terminate; the step cap only guards against a
+    // non-monotone transfer in a client.
+    let mut steps = 0usize;
+    let max_steps = (n + 1) * 256;
+    while let Some(b) = queue.pop_front() {
+        queued[b as usize] = false;
+        steps += 1;
+        if steps > max_steps {
+            break;
+        }
+        if forward {
+            // entry[b] = boundary (entry block) ⊔ ⨆ edge(p→b, exit[p])
+            let mut inb = t.bottom(f);
+            if b == f.entry() {
+                t.join(&mut inb, &t.boundary(f));
+            }
+            for &p in &cfg.preds[b as usize] {
+                let along = t.edge(f, p, b, &exit[p as usize]);
+                t.join(&mut inb, &along);
+            }
+            let outb = t.transfer(f, b, &inb);
+            entry[b as usize] = inb;
+            if outb != exit[b as usize] {
+                exit[b as usize] = outb;
+                for &s in &cfg.succs[b as usize] {
+                    if !queued[s as usize] {
+                        queued[s as usize] = true;
+                        queue.push_back(s);
+                    }
+                }
+            }
+        } else {
+            // exit[b] = boundary (exit blocks) ⊔ ⨆ edge(b→s, entry[s])
+            let mut outb = t.bottom(f);
+            if cfg.succs[b as usize].is_empty() {
+                t.join(&mut outb, &t.boundary(f));
+            }
+            for &s in &cfg.succs[b as usize] {
+                let along = t.edge(f, b, s, &entry[s as usize]);
+                t.join(&mut outb, &along);
+            }
+            let inb = t.transfer(f, b, &outb);
+            exit[b as usize] = outb;
+            if inb != entry[b as usize] {
+                entry[b as usize] = inb;
+                for &p in &cfg.preds[b as usize] {
+                    if !queued[p as usize] {
+                        queued[p as usize] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    BlockFacts { entry, exit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+    use std::collections::BTreeSet;
+
+    /// A toy forward analysis: the set of block names reachable-through on
+    /// some path from the entry (gen = own name, no kill, union join).
+    struct TracePaths;
+
+    impl Lattice for TracePaths {
+        type Fact = BTreeSet<String>;
+        fn bottom(&self, _f: &Function) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().cloned());
+            into.len() != before
+        }
+    }
+
+    impl TransferFunction for TracePaths {
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone();
+            out.insert(f.block(b).name.clone());
+            out
+        }
+    }
+
+    const DIAMOND: &str = r#"
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+
+left:
+  br label %join
+
+right:
+  br label %join
+
+join:
+  ret void
+}
+"#;
+
+    #[test]
+    fn forward_union_reaches_fixed_point() {
+        let m = parse_module("m", DIAMOND).unwrap();
+        let f = &m.functions[0];
+        let cfg = llvm_lite::analysis::Cfg::build(f);
+        let facts = solve(f, &cfg, &TracePaths);
+        let join = f.block_by_name("join").unwrap() as usize;
+        let at_join: Vec<&str> = facts.entry[join].iter().map(|s| s.as_str()).collect();
+        assert_eq!(at_join, vec!["entry", "left", "right"]);
+    }
+
+    /// The same domain backward: blocks on some path to an exit.
+    struct TraceToExit;
+
+    impl Lattice for TraceToExit {
+        type Fact = BTreeSet<String>;
+        fn bottom(&self, _f: &Function) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().cloned());
+            into.len() != before
+        }
+    }
+
+    impl TransferFunction for TraceToExit {
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone();
+            out.insert(f.block(b).name.clone());
+            out
+        }
+    }
+
+    #[test]
+    fn backward_propagates_against_edges() {
+        let m = parse_module("m", DIAMOND).unwrap();
+        let f = &m.functions[0];
+        let cfg = llvm_lite::analysis::Cfg::build(f);
+        let facts = solve(f, &cfg, &TraceToExit);
+        let entry = f.entry() as usize;
+        // Everything downstream of the entry shows up in its exit fact.
+        assert!(facts.exit[entry].contains("join"));
+        assert!(facts.exit[entry].contains("left"));
+        assert!(facts.exit[entry].contains("right"));
+        assert!(!facts.exit[entry].contains("entry"));
+    }
+
+    #[test]
+    fn loops_converge() {
+        let src = r#"
+define void @f(i32 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %next = add i32 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = llvm_lite::analysis::Cfg::build(f);
+        let facts = solve(f, &cfg, &TracePaths);
+        let exit = f.block_by_name("exit").unwrap() as usize;
+        // The loop body is on a path to the exit fact via the back edge.
+        assert!(facts.entry[exit].contains("body"));
+    }
+}

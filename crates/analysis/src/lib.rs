@@ -1,0 +1,35 @@
+//! Static analysis over `llvm-lite` IR.
+//!
+//! The crate has two layers:
+//!
+//! * A generic **worklist dataflow engine** ([`dataflow`]) over the
+//!   [`llvm_lite::analysis::Cfg`]: a [`dataflow::Lattice`] /
+//!   [`dataflow::TransferFunction`] trait pair, forward/backward direction,
+//!   and RPO-ordered iteration to a fixed point. [`liveness`] and
+//!   [`reachdefs`] are the two CFG-shaped clients; [`alias`] (Andersen-lite
+//!   points-to) and [`range`] (integer value ranges over induction
+//!   variables) are flow-insensitive companions, and [`callgraph`] provides
+//!   module-level SCCs.
+//!
+//! * The **`mha-lint` check suite** ([`lint`]): checks that consume the
+//!   analyses and emit located [`pass_core::Diagnostic`]s for HLS-breaking
+//!   IR — out-of-bounds accesses, reads of uninitialized allocas, dead
+//!   stores, unreachable blocks, unsynthesizable constructs.
+//!
+//! The alias layer is shared infrastructure: `vitis-sim::memdep` resolves
+//! its base objects through [`alias::resolve_base`] and `adaptor::compat`
+//! uses the same resolution plus [`callgraph`], so scheduler pessimism and
+//! lint findings can never disagree about what a pointer may reference.
+
+pub mod alias;
+pub mod callgraph;
+pub mod dataflow;
+pub mod lint;
+pub mod liveness;
+pub mod range;
+pub mod reachdefs;
+
+pub use alias::{resolve_base, MemObject, PointsTo};
+pub use dataflow::{solve, BlockFacts, Direction, Lattice, TransferFunction};
+pub use lint::lint_module;
+pub use range::{Range, ValueRanges};

@@ -1,0 +1,568 @@
+//! The `mha-lint` check suite: HLS-breaking IR caught before synthesis.
+//!
+//! Every check emits located [`Diagnostic`]s whose pass name is a stable
+//! `lint-*` identifier, rendering as
+//!
+//! ```text
+//! error[lint-oob] @f:body:%p: subscript 0 of %a ranges [0, 11], outside [0, 7]
+//! ```
+//!
+//! Severities follow one rule: **errors** are constructs the downstream
+//! tool would miscompile or reject (out-of-bounds access, reads of
+//! uninitialized memory, recursion, aliasing that defeats a partition
+//! directive); **warnings** are QoR or hygiene hazards (dead stores,
+//! unreachable blocks, unprovable trip counts, ambiguous pointers). The
+//! II-blocker explainer lives in `vitis-sim` (it needs operator latencies)
+//! and joins these findings at the `mha-lint` driver level.
+
+use std::collections::HashSet;
+
+use llvm_lite::analysis::{counted_loop_tripcount, Cfg, DomTree, LoopInfo};
+use llvm_lite::{Function, InstData, InstId, Module, Opcode, Type};
+use pass_core::{Diagnostic, Loc};
+
+use crate::alias::{escaping_allocas, points_to_set, MemObject};
+use crate::range::ValueRanges;
+use crate::reachdefs::{Def, ReachingDefs};
+
+/// Out-of-bounds GEP/array access.
+pub const LINT_OOB: &str = "lint-oob";
+/// Load of an alloca before any store.
+pub const LINT_UNINIT_READ: &str = "lint-uninit-read";
+/// Store whose value is never read.
+pub const LINT_DEAD_STORE: &str = "lint-dead-store";
+/// Block unreachable from the entry.
+pub const LINT_UNREACHABLE: &str = "lint-unreachable";
+/// Loop with no provable trip count.
+pub const LINT_TRIPCOUNT: &str = "lint-tripcount";
+/// Recursive call cycle.
+pub const LINT_RECURSION: &str = "lint-recursion";
+/// Aliased access onto a partitioned array.
+pub const LINT_ALIASED_PARTITION: &str = "lint-aliased-partition";
+/// Pointer with no unique base object.
+pub const LINT_AMBIGUOUS_BASE: &str = "lint-ambiguous-base";
+
+/// Printable reference to an instruction (`%name` or `%id`).
+fn inst_ref(f: &Function, id: InstId) -> String {
+    let n = &f.inst(id).name;
+    if n.is_empty() {
+        format!("%{id}")
+    } else {
+        format!("%{n}")
+    }
+}
+
+fn loc_of(f: &Function, b: llvm_lite::BlockId, id: InstId) -> Loc {
+    Loc::function(&f.name)
+        .in_block(&f.block(b).name)
+        .at_inst(inst_ref(f, id))
+}
+
+/// Leading integer dimensions of an `mha.shape` attr (`"4x4xf32"` → `[4, 4]`).
+fn shape_dims(shape: &str) -> Vec<u64> {
+    shape
+        .split('x')
+        .map_while(|s| s.parse::<u64>().ok())
+        .collect()
+}
+
+/// Nested array dimensions of a type (`[4 x [8 x float]]` → `[4, 8]`).
+fn array_dims(ty: &Type) -> Vec<u64> {
+    let mut dims = Vec::new();
+    let mut cur = ty;
+    while let Type::Array(n, inner) = cur {
+        dims.push(*n);
+        cur = inner;
+    }
+    dims
+}
+
+/// Lint one function. All checks except recursion are intraprocedural.
+pub fn lint_function(f: &Function) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let cfg = Cfg::build(f);
+
+    // Unreachable blocks (`Cfg::unreachable_blocks`, finally wired up).
+    for b in cfg.unreachable_blocks(f) {
+        diags.push(
+            Diagnostic::warning(LINT_UNREACHABLE, "block is unreachable from the entry")
+                .with_loc(Loc::function(&f.name).in_block(&f.block(b).name)),
+        );
+    }
+
+    // Loops with no provable trip count: latency and pipeline depth become
+    // guesses, and Vitis would report "undetermined" latency.
+    let dom = DomTree::build(f, &cfg);
+    let loops = LoopInfo::build(f, &cfg, &dom);
+    for l in &loops.loops {
+        if counted_loop_tripcount(f, l).is_none() {
+            diags.push(
+                Diagnostic::warning(LINT_TRIPCOUNT, "loop has no provable trip count")
+                    .with_loc(Loc::function(&f.name).in_block(&f.block(l.header).name)),
+            );
+        }
+    }
+
+    // Out-of-bounds subscripts: value ranges vs array dims / mha.shape.
+    let vr = ValueRanges::build(f);
+    let reachable: Vec<_> = cfg.rpo.clone();
+    for &b in &reachable {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            if inst.opcode != Opcode::Gep {
+                continue;
+            }
+            let InstData::Gep { base_ty, .. } = &inst.data else {
+                continue;
+            };
+            let base = crate::alias::resolve_base(f, &inst.operands[0]);
+            let base_name = base.describe(f);
+            let dims = array_dims(base_ty);
+            if !dims.is_empty() {
+                // Structured GEP: operand 1 steps over the whole object and
+                // must stay at 0; operands 2.. are per-dimension subscripts.
+                if let Some(r) = vr.of_value(&inst.operands[1]) {
+                    if r.min > 0 || r.max < 0 {
+                        diags.push(
+                            Diagnostic::error(
+                                LINT_OOB,
+                                format!(
+                                    "pointer-level index of {base_name} ranges [{}, {}], \
+                                     stepping off the array object",
+                                    r.min, r.max
+                                ),
+                            )
+                            .with_loc(loc_of(f, b, id)),
+                        );
+                    }
+                }
+                for (dim_i, (op, &dim)) in inst.operands[2..].iter().zip(&dims).enumerate() {
+                    let Some(r) = vr.of_value(op) else { continue };
+                    if r.min < 0 || r.max >= dim as i128 {
+                        diags.push(
+                            Diagnostic::error(
+                                LINT_OOB,
+                                format!(
+                                    "subscript {dim_i} of {base_name} ranges [{}, {}], \
+                                     outside [0, {}]",
+                                    r.min,
+                                    r.max,
+                                    dim - 1
+                                ),
+                            )
+                            .with_loc(loc_of(f, b, id)),
+                        );
+                    }
+                }
+            } else if inst.operands.len() == 2 {
+                // Flat GEP: bounded only when the base parameter declares
+                // its shape.
+                if let MemObject::Param(p) = base {
+                    if let Some(shape) = f.params[p as usize].attrs.get("mha.shape") {
+                        let total: u64 = shape_dims(shape).iter().product();
+                        if total > 0 {
+                            if let Some(r) = vr.of_value(&inst.operands[1]) {
+                                if r.min < 0 || r.max >= total as i128 {
+                                    diags.push(
+                                        Diagnostic::error(
+                                            LINT_OOB,
+                                            format!(
+                                                "flat index into {base_name} ranges [{}, {}], \
+                                                 outside [0, {}] of shape {shape}",
+                                                r.min,
+                                                r.max,
+                                                total - 1
+                                            ),
+                                        )
+                                        .with_loc(loc_of(f, b, id)),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Read-before-write and dead stores, off reaching definitions.
+    let rd = ReachingDefs::new(f);
+    let facts = crate::dataflow::solve(f, &cfg, &rd);
+    let escaped = escaping_allocas(f);
+    let mut used_stores: HashSet<InstId> = HashSet::new();
+    for &b in &reachable {
+        rd.walk_block(f, b, &facts.entry[b as usize], |id, fact| {
+            let inst = f.inst(id);
+            if inst.opcode != Opcode::Load {
+                return;
+            }
+            let pts = points_to_set(f, &inst.operands[0]);
+            let opaque = pts.contains(&MemObject::Unknown);
+            let mut reported = false;
+            for d in fact {
+                match d {
+                    Def::Uninit(a) if !reported && pts.contains(&MemObject::Alloca(*a)) => {
+                        diags.push(
+                            Diagnostic::error(
+                                LINT_UNINIT_READ,
+                                format!(
+                                    "load may read {} before it is written",
+                                    MemObject::Alloca(*a).describe(f)
+                                ),
+                            )
+                            .with_loc(loc_of(f, b, id)),
+                        );
+                        reported = true;
+                    }
+                    Def::Store(s) => {
+                        let sb = &rd.store_base[s];
+                        if opaque || *sb == MemObject::Unknown || pts.contains(sb) {
+                            used_stores.insert(*s);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+    }
+    for &b in &reachable {
+        for &id in &f.block(b).insts {
+            if f.inst(id).opcode != Opcode::Store || used_stores.contains(&id) {
+                continue;
+            }
+            if let MemObject::Alloca(a) = &rd.store_base[&id] {
+                if !escaped.contains(a) {
+                    diags.push(
+                        Diagnostic::warning(
+                            LINT_DEAD_STORE,
+                            format!(
+                                "store to {} is never read (dead store)",
+                                MemObject::Alloca(*a).describe(f)
+                            ),
+                        )
+                        .with_loc(loc_of(f, b, id)),
+                    );
+                }
+            }
+        }
+    }
+
+    // Ambiguous bases and aliased partitions: an access the binder cannot
+    // pin to one memory. If any candidate base carries an array-partition
+    // directive, banking is defeated outright — that is an error.
+    for &b in &reachable {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            let ptr = match inst.opcode {
+                Opcode::Load => &inst.operands[0],
+                Opcode::Store => &inst.operands[1],
+                _ => continue,
+            };
+            let pts = points_to_set(f, ptr);
+            if pts.len() <= 1 && !pts.contains(&MemObject::Unknown) {
+                continue;
+            }
+            let partitioned: Vec<String> = pts
+                .iter()
+                .filter_map(|o| match o {
+                    MemObject::Param(p)
+                        if f.params[*p as usize]
+                            .attrs
+                            .contains_key("hls.array_partition") =>
+                    {
+                        Some(o.describe(f))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let candidates: Vec<String> = pts.iter().map(|o| o.describe(f)).collect();
+            if !partitioned.is_empty() {
+                diags.push(
+                    Diagnostic::error(
+                        LINT_ALIASED_PARTITION,
+                        format!(
+                            "access may touch any of {{{}}}; aliasing defeats the array \
+                             partitioning of {}",
+                            candidates.join(", "),
+                            partitioned.join(", ")
+                        ),
+                    )
+                    .with_loc(loc_of(f, b, id)),
+                );
+            } else {
+                diags.push(
+                    Diagnostic::warning(
+                        LINT_AMBIGUOUS_BASE,
+                        format!(
+                            "pointer has no unique base (candidates: {{{}}}); the scheduler \
+                             must assume a distance-1 carried dependence",
+                            candidates.join(", ")
+                        ),
+                    )
+                    .with_loc(loc_of(f, b, id)),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Lint a whole module: every defined function, plus call-graph recursion.
+pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in m.functions.iter().filter(|f| !f.is_declaration) {
+        diags.extend(lint_function(f));
+    }
+    let cg = crate::callgraph::CallGraph::build(m);
+    for cycle in cg.recursive_cycles() {
+        let root = &cycle[0];
+        let next = cycle.get(1).unwrap_or(root);
+        let mut loc = Loc::function(root);
+        if let Some(f) = m.function(root) {
+            // Point at the call that closes (or starts) the cycle.
+            for (b, id) in f.inst_ids() {
+                if let InstData::Call { callee } = &f.inst(id).data {
+                    if callee == next {
+                        loc = loc_of(f, b, id);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut path: Vec<String> = cycle.iter().map(|n| format!("@{n}")).collect();
+        path.push(format!("@{root}"));
+        diags.push(
+            Diagnostic::error(
+                LINT_RECURSION,
+                format!("recursive call cycle: {}", path.join(" -> ")),
+            )
+            .with_loc(loc),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_module(&parse_module("m", src).unwrap())
+    }
+
+    #[test]
+    fn clean_kernel_shape_has_no_findings() {
+        let src = r#"
+define void @f([8 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 8
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 %i
+  %v = load float, float* %p, align 4
+  store float %v, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        assert_eq!(lint(src), Vec::new());
+    }
+
+    #[test]
+    fn oob_constant_subscript_is_an_error() {
+        let src = r#"
+define void @f([8 x float]* %a) {
+entry:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 9
+  store float 0x0000000000000000, float* %p, align 4
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].to_string(),
+            "error[lint-oob] @f:entry:%p: subscript 0 of %a ranges [9, 9], outside [0, 7]"
+        );
+    }
+
+    #[test]
+    fn oob_iv_range_is_an_error() {
+        let src = r#"
+define void @f([8 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 12
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 %i
+  store float 0x0000000000000000, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert!(diags
+            .iter()
+            .any(|d| d.pass == LINT_OOB && d.message.contains("[0, 11]")));
+    }
+
+    #[test]
+    fn uninit_read_and_dead_store_are_found() {
+        let src = r#"
+define float @f() {
+entry:
+  %buf = alloca [4 x float], align 4
+  %tmp = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  %v = load float, float* %p, align 4
+  %q = getelementptr inbounds [4 x float], [4 x float]* %tmp, i64 0, i64 0
+  store float %v, float* %q, align 4
+  ret float %v
+}
+"#;
+        let diags = lint(src);
+        assert!(diags
+            .iter()
+            .any(|d| d.pass == LINT_UNINIT_READ && d.message.contains("%buf")));
+        assert!(diags
+            .iter()
+            .any(|d| d.pass == LINT_DEAD_STORE && d.message.contains("%tmp")));
+    }
+
+    #[test]
+    fn initialized_alloca_is_clean() {
+        let src = r#"
+define float @f() {
+entry:
+  %buf = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  store float 0x0000000000000000, float* %p, align 4
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let diags = lint(src);
+        assert!(diags.iter().all(|d| d.pass != LINT_UNINIT_READ));
+        assert!(diags.iter().all(|d| d.pass != LINT_DEAD_STORE));
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let src = r#"
+define void @f() {
+entry:
+  ret void
+
+orphan:
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].to_string(),
+            "warning[lint-unreachable] @f:orphan: block is unreachable from the entry"
+        );
+    }
+
+    #[test]
+    fn unbounded_loop_is_flagged() {
+        let src = r#"
+define void @f(i64 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert!(diags.iter().any(|d| d.pass == LINT_TRIPCOUNT));
+    }
+
+    #[test]
+    fn recursion_is_an_error_with_the_cycle_named() {
+        let src = r#"
+define void @a() {
+entry:
+  call void @b()
+  ret void
+}
+
+define void @b() {
+entry:
+  call void @a()
+  ret void
+}
+"#;
+        let diags = lint(src);
+        let rec: Vec<_> = diags.iter().filter(|d| d.pass == LINT_RECURSION).collect();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(
+            rec[0].to_string(),
+            "error[lint-recursion] @a:entry:%0: recursive call cycle: @a -> @b -> @a"
+        );
+    }
+
+    #[test]
+    fn aliased_partition_is_an_error() {
+        let src = r#"
+define void @f([8 x float]* "hls.array_partition"="cyclic:2" %a, [8 x float]* "hls.array_partition"="cyclic:2" %b, i1 %c) {
+entry:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 0
+  %q = getelementptr inbounds [8 x float], [8 x float]* %b, i64 0, i64 0
+  %s = select i1 %c, float* %p, float* %q
+  store float 0x0000000000000000, float* %s, align 4
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert!(diags
+            .iter()
+            .any(|d| d.pass == LINT_ALIASED_PARTITION && d.message.contains("%a")));
+    }
+
+    #[test]
+    fn select_of_one_base_is_not_ambiguous() {
+        let src = r#"
+define void @f([8 x float]* %a, i1 %c) {
+entry:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 0
+  %q = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 1
+  %s = select i1 %c, float* %p, float* %q
+  %v = load float, float* %s, align 4
+  ret void
+}
+"#;
+        let diags = lint(src);
+        assert!(diags.iter().all(|d| d.pass != LINT_AMBIGUOUS_BASE));
+        assert!(diags.iter().all(|d| d.pass != LINT_ALIASED_PARTITION));
+    }
+}

@@ -1,0 +1,174 @@
+//! Liveness of SSA values (backward may-analysis on the dataflow engine).
+//!
+//! PHI semantics are edge-precise: a PHI's operands are *not* uses inside
+//! its own block; each operand is live out of the predecessor it flows
+//! from. The engine's `edge` hook injects them when a fact crosses the
+//! corresponding edge.
+
+use std::collections::BTreeSet;
+
+use llvm_lite::analysis::Cfg;
+use llvm_lite::{BlockId, Function, InstData, InstId, Opcode, Value};
+
+use crate::dataflow::{solve, BlockFacts, Direction, Lattice, TransferFunction};
+
+/// An SSA value that can be live: an instruction result or an argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarId {
+    /// Instruction result.
+    Inst(InstId),
+    /// Function argument index.
+    Arg(u32),
+}
+
+fn var_of(v: &Value) -> Option<VarId> {
+    match v {
+        Value::Inst(id) => Some(VarId::Inst(*id)),
+        Value::Arg(i) => Some(VarId::Arg(*i)),
+        _ => None,
+    }
+}
+
+/// The liveness analysis (unit struct; all state lives in the facts).
+pub struct Liveness;
+
+impl Lattice for Liveness {
+    type Fact = BTreeSet<VarId>;
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(other.iter().copied());
+        into.len() != before
+    }
+}
+
+impl TransferFunction for Liveness {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut live = fact.clone();
+        for &id in f.block(b).insts.iter().rev() {
+            let inst = f.inst(id);
+            live.remove(&VarId::Inst(id));
+            if inst.opcode == Opcode::Phi {
+                continue; // operands belong to predecessor edges
+            }
+            for op in &inst.operands {
+                if let Some(v) = var_of(op) {
+                    live.insert(v);
+                }
+            }
+        }
+        live
+    }
+
+    fn edge(&self, f: &Function, from: BlockId, to: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut live = fact.clone();
+        for &id in &f.block(to).insts {
+            let inst = f.inst(id);
+            let InstData::Phi { incoming } = &inst.data else {
+                break; // PHIs lead the block
+            };
+            for (op, inb) in inst.operands.iter().zip(incoming) {
+                if *inb == from {
+                    if let Some(v) = var_of(op) {
+                        live.insert(v);
+                    }
+                }
+            }
+        }
+        live
+    }
+}
+
+/// Live-in/live-out sets per block.
+pub fn live_sets(f: &Function, cfg: &Cfg) -> BlockFacts<BTreeSet<VarId>> {
+    solve(f, cfg, &Liveness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn value_is_live_across_the_blocks_that_need_it() {
+        let src = r#"
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  %a = add i32 %x, 1
+  br i1 %c, label %use, label %skip
+
+use:
+  %b = add i32 %a, 2
+  br label %done
+
+skip:
+  br label %done
+
+done:
+  %r = phi i32 [ %b, %use ], [ 0, %skip ]
+  ret i32 %r
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let facts = live_sets(f, &cfg);
+
+        let entry = f.entry();
+        let a = f.block(entry).insts[0];
+        let use_b = f.block_by_name("use").unwrap();
+        let skip_b = f.block_by_name("skip").unwrap();
+        let b = f.block(use_b).insts[0];
+
+        // %a is live out of entry (used in %use) …
+        assert!(facts.exit[entry as usize].contains(&VarId::Inst(a)));
+        // … but not live through the arm that ignores it.
+        assert!(!facts.entry[skip_b as usize].contains(&VarId::Inst(a)));
+        // The PHI operand %b is live out of %use only (edge-precise).
+        assert!(facts.exit[use_b as usize].contains(&VarId::Inst(b)));
+        assert!(!facts.exit[skip_b as usize].contains(&VarId::Inst(b)));
+        // %x is consumed in entry, so nothing keeps it live afterwards.
+        assert!(!facts.exit[entry as usize].contains(&VarId::Arg(0)));
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live_around_the_loop() {
+        let src = r#"
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %next = add i32 %i, 1
+  br label %header
+
+exit:
+  ret i32 %i
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let facts = live_sets(f, &cfg);
+        let body = f.block_by_name("body").unwrap();
+        let header = f.block_by_name("header").unwrap();
+        let next = f.block(body).insts[0];
+        // %next is live out of the body (feeds the header PHI on the back
+        // edge) and the bound %n stays live around the whole loop.
+        assert!(facts.exit[body as usize].contains(&VarId::Inst(next)));
+        assert!(facts.entry[header as usize].contains(&VarId::Arg(0)));
+    }
+}

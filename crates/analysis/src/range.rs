@@ -1,0 +1,370 @@
+//! Integer value-range analysis over induction variables.
+//!
+//! Counted loops give their IV PHIs an exact range `[init, init +
+//! (trip−1)·step]`; ranges then propagate through the arithmetic kernels
+//! actually use for subscripts (add/sub/mul, width casts, select). PHIs
+//! that are not recognized IVs — and anything loaded, called, or passed in
+//! as an argument — stay unbounded, so a known range is always a sound
+//! over-approximation of the runtime values. That makes the ranges usable
+//! for proving out-of-bounds accesses (the `lint-oob` check): a subscript
+//! whose range escapes the array dimension is a real bug, never noise from
+//! the analysis guessing.
+
+use std::collections::HashMap;
+
+use llvm_lite::analysis::{counted_loop_tripcount, loop_induction_phi, Cfg, DomTree, LoopInfo};
+use llvm_lite::{Function, InstData, InstId, Opcode, Type, Value};
+
+/// An inclusive integer interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest possible value.
+    pub min: i128,
+    /// Largest possible value.
+    pub max: i128,
+}
+
+impl Range {
+    /// The single-point interval.
+    pub fn exact(v: i128) -> Range {
+        Range { min: v, max: v }
+    }
+
+    fn add(self, o: Range) -> Option<Range> {
+        Some(Range {
+            min: self.min.checked_add(o.min)?,
+            max: self.max.checked_add(o.max)?,
+        })
+    }
+
+    fn sub(self, o: Range) -> Option<Range> {
+        Some(Range {
+            min: self.min.checked_sub(o.max)?,
+            max: self.max.checked_sub(o.min)?,
+        })
+    }
+
+    fn mul(self, o: Range) -> Option<Range> {
+        let corners = [
+            self.min.checked_mul(o.min)?,
+            self.min.checked_mul(o.max)?,
+            self.max.checked_mul(o.min)?,
+            self.max.checked_mul(o.max)?,
+        ];
+        Some(Range {
+            min: *corners.iter().min().unwrap(),
+            max: *corners.iter().max().unwrap(),
+        })
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(self, o: Range) -> Range {
+        Range {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
+    }
+
+    /// Does the interval fit a signed integer of the given bit width?
+    fn fits_int(self, width: u32) -> bool {
+        if width == 0 || width > 127 {
+            return false;
+        }
+        let half = 1i128 << (width - 1);
+        self.min >= -half && self.max < half
+    }
+}
+
+/// Per-instruction ranges for one function.
+#[derive(Clone, Debug, Default)]
+pub struct ValueRanges {
+    map: HashMap<InstId, Range>,
+}
+
+impl ValueRanges {
+    /// Seed IV ranges from the loop forest, then propagate through the
+    /// subscript arithmetic in RPO (SSA dominance makes one sweep enough:
+    /// every non-PHI operand is defined upstream, and non-IV PHIs stay
+    /// unbounded).
+    pub fn build(f: &Function) -> ValueRanges {
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let loops = LoopInfo::build(f, &cfg, &dom);
+
+        let mut vr = ValueRanges::default();
+        for l in &loops.loops {
+            let Some((phi, init, step)) = iv_seed(f, l) else {
+                continue;
+            };
+            let Some(trip) = counted_loop_tripcount(f, l) else {
+                continue;
+            };
+            let last = if trip == 0 {
+                init
+            } else {
+                let Some(span) = step.checked_mul(trip as i128 - 1) else {
+                    continue;
+                };
+                let Some(last) = init.checked_add(span) else {
+                    continue;
+                };
+                last
+            };
+            vr.map.insert(
+                phi,
+                Range {
+                    min: init,
+                    max: last,
+                },
+            );
+        }
+
+        for &b in &cfg.rpo {
+            for &id in &f.block(b).insts {
+                if vr.map.contains_key(&id) {
+                    continue; // seeded IV
+                }
+                let inst = f.inst(id);
+                let r = match inst.opcode {
+                    Opcode::Add => vr.binary(&inst.operands, Range::add),
+                    Opcode::Sub => vr.binary(&inst.operands, Range::sub),
+                    Opcode::Mul => vr.binary(&inst.operands, Range::mul),
+                    Opcode::SExt => vr.of_value(&inst.operands[0]),
+                    Opcode::ZExt => vr.of_value(&inst.operands[0]).filter(|r| r.min >= 0),
+                    Opcode::Trunc => {
+                        let target = match inst.ty {
+                            Type::Int(w) => w,
+                            _ => 0,
+                        };
+                        vr.of_value(&inst.operands[0])
+                            .filter(|r| r.fits_int(target))
+                    }
+                    Opcode::Select => {
+                        match (
+                            vr.of_value(&inst.operands[1]),
+                            vr.of_value(&inst.operands[2]),
+                        ) {
+                            (Some(a), Some(bq)) => Some(a.hull(bq)),
+                            _ => None,
+                        }
+                    }
+                    Opcode::ICmp => Some(Range { min: 0, max: 1 }),
+                    _ => None,
+                };
+                if let Some(r) = r {
+                    vr.map.insert(id, r);
+                }
+            }
+        }
+        vr
+    }
+
+    fn binary(&self, ops: &[Value], op: impl Fn(Range, Range) -> Option<Range>) -> Option<Range> {
+        let a = self.of_value(&ops[0])?;
+        let b = self.of_value(&ops[1])?;
+        op(a, b)
+    }
+
+    /// The known range of a value, if any.
+    pub fn of_value(&self, v: &Value) -> Option<Range> {
+        match v {
+            Value::ConstInt { value, .. } => Some(Range::exact(*value)),
+            Value::Inst(id) => self.map.get(id).copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Recognize the IV PHI of a counted loop and return `(phi, init, step)`.
+fn iv_seed(f: &Function, l: &llvm_lite::analysis::NaturalLoop) -> Option<(InstId, i128, i128)> {
+    let phi_id = loop_induction_phi(f, l)?;
+    let phi = f.inst(phi_id);
+    let InstData::Phi { incoming } = &phi.data else {
+        return None;
+    };
+    let mut init = None;
+    let mut step = None;
+    for (v, b) in phi.operands.iter().zip(incoming) {
+        if l.body.contains(b) {
+            if let Value::Inst(add_id) = v {
+                let add = f.inst(*add_id);
+                if add.opcode == Opcode::Add {
+                    let (a, b2) = (&add.operands[0], &add.operands[1]);
+                    if *a == Value::Inst(phi_id) {
+                        step = b2.int_value();
+                    } else if *b2 == Value::Inst(phi_id) {
+                        step = a.int_value();
+                    }
+                }
+            }
+        } else {
+            init = v.int_value();
+        }
+    }
+    match (init, step) {
+        (Some(i), Some(s)) if s > 0 => Some((phi_id, i, s)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    fn ranges_of(src: &str) -> (llvm_lite::Module, ValueRanges) {
+        let m = parse_module("m", src).unwrap();
+        let vr = ValueRanges::build(&m.functions[0]);
+        (m, vr)
+    }
+
+    #[test]
+    fn iv_and_derived_subscripts_are_bounded() {
+        let src = r#"
+define void @f([32 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 1, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 31
+  br i1 %c, label %body, label %exit
+
+body:
+  %im1 = add i64 %i, -1
+  %twice = mul i64 %i, 2
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let (m, vr) = ranges_of(src);
+        let f = &m.functions[0];
+        let header = f.block_by_name("header").unwrap();
+        let body = f.block_by_name("body").unwrap();
+        let iv = f.block(header).insts[0];
+        let im1 = f.block(body).insts[0];
+        let twice = f.block(body).insts[1];
+        assert_eq!(
+            vr.of_value(&Value::Inst(iv)),
+            Some(Range { min: 1, max: 30 })
+        );
+        assert_eq!(
+            vr.of_value(&Value::Inst(im1)),
+            Some(Range { min: 0, max: 29 })
+        );
+        assert_eq!(
+            vr.of_value(&Value::Inst(twice)),
+            Some(Range { min: 2, max: 60 })
+        );
+    }
+
+    #[test]
+    fn unknown_bounds_stay_unbounded() {
+        let src = r#"
+define void @f(i64 %n) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let (m, vr) = ranges_of(src);
+        let f = &m.functions[0];
+        let header = f.block_by_name("header").unwrap();
+        let iv = f.block(header).insts[0];
+        // Trip count depends on %n: no provable range.
+        assert_eq!(vr.of_value(&Value::Inst(iv)), None);
+        assert_eq!(vr.of_value(&Value::Arg(0)), None);
+    }
+
+    #[test]
+    fn casts_preserve_ranges_when_sound() {
+        let src = r#"
+define void @f() {
+entry:
+  br label %header
+
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, 16
+  br i1 %c, label %body, label %exit
+
+body:
+  %w = sext i32 %i to i64
+  %z = zext i32 %i to i64
+  %next = add i32 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let (m, vr) = ranges_of(src);
+        let f = &m.functions[0];
+        let body = f.block_by_name("body").unwrap();
+        let w = f.block(body).insts[0];
+        let z = f.block(body).insts[1];
+        assert_eq!(
+            vr.of_value(&Value::Inst(w)),
+            Some(Range { min: 0, max: 15 })
+        );
+        assert_eq!(
+            vr.of_value(&Value::Inst(z)),
+            Some(Range { min: 0, max: 15 })
+        );
+    }
+
+    #[test]
+    fn nested_loop_ivs_combine() {
+        let src = r#"
+define void @f() {
+entry:
+  br label %oh
+
+oh:
+  %i = phi i64 [ 0, %entry ], [ %inext, %ol ]
+  %ci = icmp slt i64 %i, 64
+  br i1 %ci, label %ih, label %exit
+
+ih:
+  %k = phi i64 [ 0, %oh ], [ %knext, %ib ]
+  %ck = icmp slt i64 %k, 8
+  br i1 %ck, label %ib, label %ol
+
+ib:
+  %idx = add i64 %i, %k
+  %knext = add i64 %k, 1
+  br label %ih
+
+ol:
+  %inext = add i64 %i, 1
+  br label %oh
+
+exit:
+  ret void
+}
+"#;
+        let (m, vr) = ranges_of(src);
+        let f = &m.functions[0];
+        let ib = f.block_by_name("ib").unwrap();
+        let idx = f.block(ib).insts[0];
+        // i in [0,63], k in [0,7]: the FIR-style x[n+k] subscript.
+        assert_eq!(
+            vr.of_value(&Value::Inst(idx)),
+            Some(Range { min: 0, max: 70 })
+        );
+    }
+}

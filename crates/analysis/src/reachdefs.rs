@@ -1,0 +1,388 @@
+//! Reaching definitions over memory (forward may-analysis).
+//!
+//! Definitions are store instructions, plus one synthetic `Uninit` def per
+//! alloca injected at the function boundary. Granularity is the base
+//! object: any store to an alloca counts as initializing it (we do not
+//! track elements), and a store strongly kills only earlier stores through
+//! the *identical* pointer SSA value. This is deliberately coarse but
+//! sound for the two lints built on top:
+//!
+//! * **read-before-write** — a load whose base alloca still carries its
+//!   `Uninit` def may observe garbage;
+//! * **dead store** — a store to a non-escaping alloca that reaches no
+//!   aliasing load is never observed.
+
+use std::collections::{BTreeSet, HashMap};
+
+use llvm_lite::analysis::{counted_loop_tripcount, Cfg, DomTree, LoopInfo};
+use llvm_lite::{BlockId, Function, InstId, Opcode, Value};
+
+use crate::alias::{resolve_base, MemObject};
+use crate::dataflow::{solve, BlockFacts, Direction, Lattice, TransferFunction};
+
+/// One memory definition.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Def {
+    /// A store instruction.
+    Store(InstId),
+    /// The named alloca has not been written on some path.
+    Uninit(InstId),
+}
+
+/// The reaching-definitions analysis, with per-store bases precomputed.
+pub struct ReachingDefs {
+    /// Base object of each store's address.
+    pub store_base: HashMap<InstId, MemObject>,
+    /// Address operand of each store (for strong updates).
+    store_ptr: HashMap<InstId, Value>,
+    /// All allocas of the function.
+    pub allocas: Vec<InstId>,
+    /// Per-edge `Uninit` kills: on the exit edges of a counted loop with
+    /// trip count >= 1, an alloca stored on *every* iteration (its store
+    /// block dominates every latch) is definitely initialized — the
+    /// structural zero-trip bypass through the header is infeasible. This
+    /// is what keeps `for (i) buf[i] = 0; … read buf` patterns (atax's
+    /// intermediate vector) from tripping the read-before-write lint.
+    exit_kill: HashMap<(BlockId, BlockId), BTreeSet<InstId>>,
+}
+
+impl ReachingDefs {
+    /// Scan `f` for stores and allocas.
+    pub fn new(f: &Function) -> ReachingDefs {
+        let mut store_base = HashMap::new();
+        let mut store_ptr = HashMap::new();
+        let mut allocas = Vec::new();
+        let mut store_block = HashMap::new();
+        for (b, id) in f.inst_ids() {
+            let inst = f.inst(id);
+            match inst.opcode {
+                Opcode::Store => {
+                    store_base.insert(id, resolve_base(f, &inst.operands[1]));
+                    store_ptr.insert(id, inst.operands[1].clone());
+                    store_block.insert(id, b);
+                }
+                Opcode::Alloca => allocas.push(id),
+                _ => {}
+            }
+        }
+
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let loops = LoopInfo::build(f, &cfg, &dom);
+        // Allocas definitely initialized by one complete iteration of each
+        // loop: a store whose block dominates every latch runs every
+        // iteration; so does everything an inner counted (trip >= 1) loop
+        // initializes, if that inner header dominates the latches. Process
+        // innermost-first so nests compose (two_mm's demoted intermediate
+        // is filled by a k-loop inside the i/j nest).
+        let mut order: Vec<&llvm_lite::analysis::NaturalLoop> = loops.loops.iter().collect();
+        order.sort_by_key(|l| l.body.len());
+        let mut per_loop: HashMap<BlockId, BTreeSet<InstId>> = HashMap::new();
+        for l in &order {
+            let mut certain = BTreeSet::new();
+            for (s, base) in &store_base {
+                if let MemObject::Alloca(a) = base {
+                    let sb = store_block[s];
+                    if l.body.contains(&sb) && l.latches.iter().all(|&lt| dom.dominates(sb, lt)) {
+                        certain.insert(*a);
+                    }
+                }
+            }
+            for inner in &order {
+                if inner.header == l.header || !l.body.contains(&inner.header) {
+                    continue;
+                }
+                if counted_loop_tripcount(f, inner).is_none_or(|t| t < 1) {
+                    continue;
+                }
+                if l.latches.iter().all(|&lt| dom.dominates(inner.header, lt)) {
+                    if let Some(init) = per_loop.get(&inner.header) {
+                        certain.extend(init.iter().copied());
+                    }
+                }
+            }
+            per_loop.insert(l.header, certain);
+        }
+        let mut exit_kill: HashMap<(BlockId, BlockId), BTreeSet<InstId>> = HashMap::new();
+        for l in &order {
+            if counted_loop_tripcount(f, l).is_none_or(|t| t < 1) {
+                continue;
+            }
+            let certain = &per_loop[&l.header];
+            if certain.is_empty() {
+                continue;
+            }
+            for &b in &l.body {
+                for &s in &cfg.succs[b as usize] {
+                    if !l.body.contains(&s) {
+                        exit_kill
+                            .entry((b, s))
+                            .or_default()
+                            .extend(certain.iter().copied());
+                    }
+                }
+            }
+        }
+
+        ReachingDefs {
+            store_base,
+            store_ptr,
+            allocas,
+            exit_kill,
+        }
+    }
+
+    /// Apply one instruction's gen/kill to a fact in place.
+    pub fn apply(&self, id: InstId, inst_opcode: Opcode, fact: &mut BTreeSet<Def>) {
+        if inst_opcode != Opcode::Store {
+            return;
+        }
+        let base = &self.store_base[&id];
+        // Any store to an alloca clears its uninitialized def.
+        if let MemObject::Alloca(a) = base {
+            fact.remove(&Def::Uninit(*a));
+        }
+        // Strong update: identical address overwrites the previous store.
+        let ptr = &self.store_ptr[&id];
+        fact.retain(|d| match d {
+            Def::Store(s) => self.store_ptr.get(s) != Some(ptr),
+            Def::Uninit(_) => true,
+        });
+        fact.insert(Def::Store(id));
+    }
+
+    /// Walk a block from its entry fact, invoking `visit` with the fact in
+    /// force *before* each instruction.
+    pub fn walk_block(
+        &self,
+        f: &Function,
+        b: BlockId,
+        entry_fact: &BTreeSet<Def>,
+        mut visit: impl FnMut(InstId, &BTreeSet<Def>),
+    ) {
+        let mut cur = entry_fact.clone();
+        for &id in &f.block(b).insts {
+            visit(id, &cur);
+            self.apply(id, f.inst(id).opcode, &mut cur);
+        }
+    }
+}
+
+impl Lattice for ReachingDefs {
+    type Fact = BTreeSet<Def>;
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(other.iter().cloned());
+        into.len() != before
+    }
+}
+
+impl TransferFunction for ReachingDefs {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _f: &Function) -> Self::Fact {
+        self.allocas.iter().map(|&a| Def::Uninit(a)).collect()
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut cur = fact.clone();
+        for &id in &f.block(b).insts {
+            self.apply(id, f.inst(id).opcode, &mut cur);
+        }
+        cur
+    }
+
+    fn edge(&self, _f: &Function, from: BlockId, to: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut cur = fact.clone();
+        if let Some(kills) = self.exit_kill.get(&(from, to)) {
+            cur.retain(|d| match d {
+                Def::Uninit(a) => !kills.contains(a),
+                Def::Store(_) => true,
+            });
+        }
+        cur
+    }
+}
+
+/// Solve reaching definitions for `f`.
+pub fn reaching_defs(f: &Function, cfg: &Cfg) -> (ReachingDefs, BlockFacts<BTreeSet<Def>>) {
+    let rd = ReachingDefs::new(f);
+    let facts = solve(f, cfg, &rd);
+    (rd, facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llvm_lite::parser::parse_module;
+
+    #[test]
+    fn store_clears_uninit_and_reaches_the_load() {
+        let src = r#"
+define float @f() {
+entry:
+  %buf = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  store float 0x0000000000000000, float* %p, align 4
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let (rd, facts) = reaching_defs(f, &cfg);
+        let entry = f.entry();
+        let buf = f.block(entry).insts[0];
+        let store = f.block(entry).insts[2];
+        let load = f.block(entry).insts[3];
+        let mut seen_at_load = None;
+        rd.walk_block(f, entry, &facts.entry[entry as usize], |id, fact| {
+            if id == load {
+                seen_at_load = Some(fact.clone());
+            }
+        });
+        let at_load = seen_at_load.unwrap();
+        assert!(at_load.contains(&Def::Store(store)));
+        assert!(!at_load.contains(&Def::Uninit(buf)));
+    }
+
+    #[test]
+    fn uninit_survives_the_unwritten_path() {
+        let src = r#"
+define float @f(i1 %c) {
+entry:
+  %buf = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  br i1 %c, label %init, label %join
+
+init:
+  store float 0x0000000000000000, float* %p, align 4
+  br label %join
+
+join:
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let (_, facts) = reaching_defs(f, &cfg);
+        let join = f.block_by_name("join").unwrap();
+        let buf = f.block(f.entry()).insts[0];
+        // The fall-through path never wrote the alloca.
+        assert!(facts.entry[join as usize].contains(&Def::Uninit(buf)));
+    }
+
+    #[test]
+    fn counted_init_loop_definitely_initializes() {
+        // for (i = 0; i < 4; i++) buf[i] = 0;  then read buf[0]: the
+        // zero-trip bypass through the header is structurally present but
+        // infeasible (trip = 4), so the read is NOT uninitialized.
+        let src = r#"
+define float @f() {
+entry:
+  %buf = alloca [4 x float], align 4
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 4
+  br i1 %c, label %body, label %after
+
+body:
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 %i
+  store float 0x0000000000000000, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+after:
+  %q = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  %v = load float, float* %q, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let (_, facts) = reaching_defs(f, &cfg);
+        let after = f.block_by_name("after").unwrap();
+        let buf = f.block(f.entry()).insts[0];
+        assert!(!facts.entry[after as usize].contains(&Def::Uninit(buf)));
+    }
+
+    #[test]
+    fn conditional_store_in_a_loop_does_not_initialize() {
+        // The store only happens on some iterations (guarded); the bypass
+        // kill must not fire because the store block does not dominate the
+        // latch.
+        let src = r#"
+define float @f(i1 %g) {
+entry:
+  %buf = alloca [4 x float], align 4
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i64 %i, 4
+  br i1 %c, label %body, label %after
+
+body:
+  br i1 %g, label %write, label %latch
+
+write:
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 %i
+  store float 0x0000000000000000, float* %p, align 4
+  br label %latch
+
+latch:
+  %next = add i64 %i, 1
+  br label %header
+
+after:
+  %q = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  %v = load float, float* %q, align 4
+  ret float %v
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let (_, facts) = reaching_defs(f, &cfg);
+        let after = f.block_by_name("after").unwrap();
+        let buf = f.block(f.entry()).insts[0];
+        assert!(facts.entry[after as usize].contains(&Def::Uninit(buf)));
+    }
+
+    #[test]
+    fn identical_pointer_store_is_a_strong_update() {
+        let src = r#"
+define void @f() {
+entry:
+  %buf = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  store float 0x0000000000000000, float* %p, align 4
+  store float 0x3ff0000000000000, float* %p, align 4
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let (_, facts) = reaching_defs(f, &cfg);
+        let entry = f.entry();
+        let first = f.block(entry).insts[2];
+        let second = f.block(entry).insts[3];
+        let out = &facts.exit[entry as usize];
+        assert!(!out.contains(&Def::Store(first)));
+        assert!(out.contains(&Def::Store(second)));
+    }
+}

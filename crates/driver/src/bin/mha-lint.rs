@@ -1,0 +1,134 @@
+//! `mha-lint` — catch HLS-breaking IR before synthesis.
+//!
+//! ```text
+//! mha-lint [--format text|json] [--no-explain] [<kernel>... | all | <file.ll>...]
+//! ```
+//!
+//! Targets are benchmark kernel names (run through the adaptor flow to
+//! HLS-ready IR first), the literal `all` for the whole suite, or paths to
+//! `.ll` files (linted as-is). With no target, the whole suite is linted.
+//!
+//! Exit code is the worst finding across all targets: 0 clean, 1 warnings,
+//! 2 errors (or a usage/read failure). II-blocker notes never affect it.
+
+use driver::lint::LintReport;
+
+struct Job {
+    name: String,
+    report: Result<LintReport, String>,
+}
+
+fn main() {
+    let mut format_json = false;
+    let mut explain = true;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format_json = false,
+                Some("json") => format_json = true,
+                other => {
+                    eprintln!(
+                        "--format needs 'text' or 'json', got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            },
+            "--no-explain" => explain = false,
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'");
+                eprintln!(
+                    "usage: mha-lint [--format text|json] [--no-explain] \
+                     [<kernel>... | all | <file.ll>...]"
+                );
+                std::process::exit(2);
+            }
+            _ => targets.push(a),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = kernels::all_kernels()
+            .iter()
+            .map(|k| k.name.to_string())
+            .collect();
+    }
+
+    let jobs: Vec<Job> = targets
+        .iter()
+        .map(|t| Job {
+            name: t.clone(),
+            report: lint_target(t, explain),
+        })
+        .collect();
+
+    let mut exit = 0;
+    if format_json {
+        let mut out = String::from("[");
+        for (i, j) in jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &j.report {
+                Ok(r) => {
+                    out.push_str(&format!(
+                        "{{\"target\":{},\"errors\":{},\"warnings\":{},\"notes\":{},\"findings\":{}}}",
+                        pass_core::report::json_str(&j.name),
+                        r.count(pass_core::Severity::Error),
+                        r.count(pass_core::Severity::Warning),
+                        r.count(pass_core::Severity::Note),
+                        r.to_json(),
+                    ));
+                    exit = exit.max(r.exit_code());
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{{\"target\":{},\"failure\":{}}}",
+                        pass_core::report::json_str(&j.name),
+                        pass_core::report::json_str(e),
+                    ));
+                    exit = 2;
+                }
+            }
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for j in &jobs {
+            match &j.report {
+                Ok(r) => {
+                    if jobs.len() > 1 {
+                        println!(
+                            "== {} — {} error(s), {} warning(s), {} note(s)",
+                            j.name,
+                            r.count(pass_core::Severity::Error),
+                            r.count(pass_core::Severity::Warning),
+                            r.count(pass_core::Severity::Note),
+                        );
+                    }
+                    print!("{}", r.render());
+                    exit = exit.max(r.exit_code());
+                }
+                Err(e) => {
+                    eprintln!("mha-lint: {}: {e}", j.name);
+                    exit = 2;
+                }
+            }
+        }
+    }
+    std::process::exit(exit);
+}
+
+fn lint_target(t: &str, explain: bool) -> Result<LintReport, String> {
+    if std::path::Path::new(t)
+        .extension()
+        .is_some_and(|e| e == "ll")
+    {
+        let src = std::fs::read_to_string(t).map_err(|e| format!("cannot read: {e}"))?;
+        let m = llvm_lite::parser::parse_module(t, &src).map_err(|e| e.to_string())?;
+        Ok(LintReport::for_module(&m, explain))
+    } else {
+        driver::lint_kernel(t, explain).map_err(|e| e.to_string())
+    }
+}

@@ -3,31 +3,36 @@
 //! standalone utility: `mha-opt --passes hls-adaptor in.ll`.
 //!
 //! ```text
-//! mha-opt [--passes p1,p2,...] [--report-json <path>] [<file.ll>|-]
+//! mha-opt [--passes p1,p2,...] [--lint] [--report-json <path>] [<file.ll>|-]
 //! ```
 //!
 //! Pass names come from the unified registry (LLVM-level cleanup passes
 //! plus the adaptor's passes, `verify-compat`, and the assembled
 //! `hls-adaptor` pipeline); an unknown name exits with the full list of
-//! valid names. After the pipeline runs, a per-pass timing/size report is
-//! printed to stderr, and `--report-json` additionally writes it as JSON
-//! (schema in EXPERIMENTS.md).
+//! valid names. An explicitly empty `--passes` spec is a clean no-op (the
+//! input is verified and reprinted) with a warning. After the pipeline
+//! runs, a per-pass timing/size report is printed to stderr, and
+//! `--report-json` additionally writes it as JSON (schema in
+//! EXPERIMENTS.md). `--lint` runs the mha-lint suite over the *result* and
+//! prints findings to stderr; error-severity findings make the exit code 1.
 
 use std::io::Read;
 
 fn main() {
-    let mut passes_arg = String::new();
+    let mut passes_arg: Option<String> = None;
+    let mut lint = false;
     let mut report_json: Option<String> = None;
     let mut input: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--passes" => {
-                passes_arg = args.next().unwrap_or_else(|| {
+                passes_arg = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--passes needs a comma-separated pass list");
                     std::process::exit(2);
-                })
+                }))
             }
+            "--lint" => lint = true,
             "--report-json" => {
                 report_json = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--report-json needs a path");
@@ -70,10 +75,21 @@ fn main() {
         std::process::exit(1);
     }
 
+    // An explicit-but-empty spec (`--passes ""` or commas/whitespace only)
+    // is a deliberate no-op, but almost always a scripting mistake — say so.
+    if let Some(spec) = &passes_arg {
+        if spec.split(',').all(|s| s.trim().is_empty()) {
+            eprintln!(
+                "warning: --passes spec '{spec}' names no passes; \
+                 verifying and reprinting the input unchanged"
+            );
+        }
+    }
+
     // One namespace over every pass the workspace defines.
     let mut registry = llvm_lite::transforms::registry();
     registry.merge(adaptor::registry());
-    let pm = match registry.build_pipeline(&passes_arg) {
+    let pm = match registry.build_pipeline(passes_arg.as_deref().unwrap_or("")) {
         Ok(pm) => pm,
         Err(e) => {
             eprintln!("{e}");
@@ -98,4 +114,12 @@ fn main() {
         }
     }
     print!("{}", llvm_lite::printer::print_module(&module));
+
+    if lint {
+        let report = driver::lint::LintReport::for_module(&module, true);
+        eprint!("{}", report.render());
+        if report.exit_code() >= 2 {
+            std::process::exit(1);
+        }
+    }
 }

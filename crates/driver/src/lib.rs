@@ -17,10 +17,12 @@
 pub mod cosim;
 pub mod experiment;
 pub mod flow;
+pub mod lint;
 
 pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
 pub use flow::{run_flow, Flow, FlowArtifacts};
+pub use lint::{lint_kernel, LintReport};
 
 /// Unified error type for the driver layer.
 #[derive(Debug, Clone)]

@@ -1,0 +1,143 @@
+//! The `mha-lint` surface: combine the `analysis` crate's check suite with
+//! the simulator's II-blocker explainer and render the result.
+//!
+//! The split mirrors the dependency structure: structural checks
+//! (out-of-bounds subscripts, uninitialized reads, recursion, aliasing)
+//! need only the IR, while explaining *why a loop cannot reach II = 1*
+//! needs the operator latency library — so that explainer lives in
+//! `vitis-sim` and the two meet here.
+
+use llvm_lite::Module;
+use pass_core::report::json_str;
+use pass_core::{Diagnostic, Severity};
+
+/// Everything mha-lint found for one module.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, check-suite findings first, II notes last.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Run the full suite over an HLS-ready LLVM module.
+    pub fn for_module(m: &Module, explain_ii: bool) -> LintReport {
+        let mut diagnostics = analysis::lint_module(m);
+        if explain_ii {
+            let target = vitis_sim::Target::default();
+            for f in m.functions.iter().filter(|f| !f.is_declaration) {
+                diagnostics.extend(vitis_sim::explain_ii_blockers(m, f, &target));
+            }
+        }
+        LintReport { diagnostics }
+    }
+
+    /// Findings of exactly the given severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Process exit code: 2 with errors, 1 with warnings, 0 otherwise.
+    /// Notes (the II explainer) never affect the exit code.
+    pub fn exit_code(&self) -> i32 {
+        if self.count(Severity::Error) > 0 {
+            2
+        } else if self.count(Severity::Warning) > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Clean means no errors and no warnings (notes are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.exit_code() == 0
+    }
+
+    /// One rendered line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON array of findings (no external serializer; same hand-rolled
+    /// style as `PipelineReport::to_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":{},\"check\":{},\"function\":{},\"block\":{},\"inst\":{},\"message\":{}}}",
+                json_str(&d.severity.to_string()),
+                json_str(&d.pass),
+                json_str(d.loc.function.as_deref().unwrap_or("")),
+                json_str(d.loc.block.as_deref().unwrap_or("")),
+                json_str(d.loc.inst.as_deref().unwrap_or("")),
+                json_str(&d.message),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Lint a named benchmark kernel: run the adaptor flow to HLS-ready IR,
+/// then the suite over the result.
+pub fn lint_kernel(name: &str, explain_ii: bool) -> crate::Result<LintReport> {
+    let k = kernels::kernel(name)
+        .ok_or_else(|| crate::DriverError(format!("unknown kernel '{name}'")))?;
+    let art = crate::flow::run_flow(k, &crate::Directives::default(), crate::Flow::Adaptor)?;
+    Ok(LintReport::for_module(&art.module, explain_ii))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_worst_severity() {
+        let mut r = LintReport::default();
+        assert_eq!(r.exit_code(), 0);
+        r.diagnostics.push(Diagnostic::note("ii-blocker", "info"));
+        assert_eq!(r.exit_code(), 0);
+        r.diagnostics
+            .push(Diagnostic::warning("lint-dead-store", "w"));
+        assert_eq!(r.exit_code(), 1);
+        r.diagnostics.push(Diagnostic::error("lint-oob", "e"));
+        assert_eq!(r.exit_code(), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_escapes_and_structures_findings() {
+        let mut r = LintReport::default();
+        r.diagnostics.push(
+            Diagnostic::error("lint-oob", "index \"oob\"")
+                .with_loc(pass_core::Loc::function("f").in_block("body").at_inst("%p")),
+        );
+        let j = r.to_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"check\":\"lint-oob\""));
+        assert!(j.contains("\"function\":\"f\""));
+        assert!(j.contains("\\\"oob\\\""));
+    }
+
+    #[test]
+    fn kernel_lint_runs_end_to_end() {
+        let r = lint_kernel("gemm", true).unwrap();
+        assert!(r.is_clean(), "gemm should be lint-clean:\n{}", r.render());
+        // The accumulation recurrence must be explained.
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == vitis_sim::II_BLOCKER_PASS));
+    }
+}

@@ -129,6 +129,14 @@ impl Diagnostic {
         }
     }
 
+    /// An informational note from the given component.
+    pub fn note(pass: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(pass, message)
+        }
+    }
+
     /// Attach a location.
     pub fn with_loc(mut self, loc: Loc) -> Diagnostic {
         self.loc = loc;

@@ -36,6 +36,7 @@ pub mod report;
 pub mod schedule;
 
 pub use csynth::{csynth, CsynthError};
+pub use pipeline::{explain_ii_blockers, II_BLOCKER_PASS};
 pub use report::{CsynthReport, LoopReport, Resources};
 
 /// Synthesis target description.

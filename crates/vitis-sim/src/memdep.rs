@@ -13,35 +13,19 @@ use std::collections::HashMap;
 use llvm_lite::analysis::NaturalLoop;
 use llvm_lite::{Function, InstData, InstId, Opcode, Value};
 
-/// The root object an access resolves to.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum BaseObject {
-    /// Function parameter index.
-    Param(u32),
-    /// Alloca instruction.
-    Alloca(InstId),
-    /// Module global.
-    Global(String),
-    /// Unresolvable pointer.
-    Unknown,
-}
+/// The root object an access resolves to (shared with the `analysis`
+/// crate's points-to machinery; re-exported under the historical name).
+pub use analysis::alias::MemObject as BaseObject;
 
-/// Resolve the base object of a pointer value by walking GEPs/bitcasts.
+/// Resolve the base object of a pointer value.
+///
+/// Delegates to the shared Andersen-lite points-to analysis: GEPs and
+/// bitcasts are walked as before, but a Phi or Select whose incoming
+/// pointers all share one underlying object now resolves to that object
+/// instead of collapsing to `Unknown` — so e.g. a select between two GEPs
+/// into the same array stays analyzable for dependence distances.
 pub fn base_object(f: &Function, v: &Value) -> BaseObject {
-    match v {
-        Value::Arg(i) => BaseObject::Param(*i),
-        Value::Global(g) => BaseObject::Global(g.clone()),
-        Value::Inst(id) => {
-            let inst = f.inst(*id);
-            match inst.opcode {
-                Opcode::Alloca => BaseObject::Alloca(*id),
-                Opcode::Gep | Opcode::BitCast => base_object(f, &inst.operands[0]),
-                Opcode::Select | Opcode::Phi => BaseObject::Unknown,
-                _ => BaseObject::Unknown,
-            }
-        }
-        _ => BaseObject::Unknown,
-    }
+    analysis::alias::resolve_base(f, v)
 }
 
 /// How a subscript relates to the loop induction variable.
@@ -504,6 +488,40 @@ exit:
         let counts = accesses_per_base(&acc);
         assert_eq!(counts[&BaseObject::Param(0)], 1);
         assert_eq!(counts[&BaseObject::Param(1)], 2);
+    }
+
+    #[test]
+    fn select_between_geps_into_one_array_keeps_the_base() {
+        // The shared points-to analysis sees through the select: both arms
+        // root in %a, so the access still resolves (the old GEP walk
+        // collapsed this to Unknown and forced a distance-1 assumption).
+        let src = r#"
+define void @f([32 x float]* %a, i1 %cond) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 1, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 31
+  br i1 %c, label %body, label %exit
+
+body:
+  %im1 = add i64 %i, -1
+  %p0 = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %im1
+  %p1 = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  %s = select i1 %cond, float* %p0, float* %p1
+  %v = load float, float* %s, align 4
+  store float %v, float* %p1, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let acc = analyze(src);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        assert_eq!(ld.base, BaseObject::Param(0));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use llvm_lite::analysis::NaturalLoop;
 use llvm_lite::{Function, InstId, Module, Opcode, Value};
+use pass_core::Diagnostic;
 
 use crate::memdep::{
     accesses_per_base, dependence_distance, loop_accesses, Access, BaseObject, Distance,
@@ -118,6 +119,88 @@ pub fn compute_ii(
         rec_mii,
         res_mii,
     }
+}
+
+/// Pass name of the II-blocker explainer notes.
+pub const II_BLOCKER_PASS: &str = "ii-blocker";
+
+/// Explain why pipelined loops in `f` cannot reach II = 1: for every
+/// innermost loop whose RecMII exceeds 1, emit a note naming the exact
+/// loop-carried dependence cycle (store → load, base object, carried
+/// distance, registered cycle latency) and — when the distance is only
+/// assumed — the aliasing assumption behind it. These are `note`-severity
+/// diagnostics: a recurrence is a fact about the kernel, not a defect, but
+/// it is the single most common "why is my II not 1?" question.
+pub fn explain_ii_blockers(m: &Module, f: &Function, target: &Target) -> Vec<Diagnostic> {
+    let cfg = llvm_lite::analysis::Cfg::build(f);
+    let dom = llvm_lite::analysis::DomTree::build(f, &cfg);
+    let loops = llvm_lite::analysis::LoopInfo::build(f, &cfg, &dom);
+    let cx = ScheduleCtx::from_function(f);
+    let inst_ref = |id: InstId| {
+        let n = &f.inst(id).name;
+        if n.is_empty() {
+            format!("%{id}")
+        } else {
+            format!("%{n}")
+        }
+    };
+    let mut out = Vec::new();
+    for l in loops.innermost_loops() {
+        let accesses = loop_accesses(f, l);
+        // The binding recurrence: the (store, reader) pair with the largest
+        // ceil(latency / distance).
+        let mut worst: Option<(u32, &Access, &Access, Distance, u32)> = None;
+        for st in accesses.iter().filter(|a| a.is_store) {
+            for other in &accesses {
+                if other.inst == st.inst {
+                    continue;
+                }
+                let dist = dependence_distance(st, other);
+                let d = match dist {
+                    Distance::None => continue,
+                    Distance::Exact(d) => d.max(1),
+                    Distance::Unknown => 1,
+                };
+                let lat = recurrence_latency(m, f, st, other, target, &cx);
+                let cand = lat.div_ceil(d);
+                if worst.is_none_or(|(c, ..)| cand > c) {
+                    worst = Some((cand, st, other, dist, lat));
+                }
+            }
+        }
+        let Some((rec_mii, st, other, dist, lat)) = worst.filter(|(c, ..)| *c > 1) else {
+            continue;
+        };
+        let base = describe_base(f, &st.base);
+        let reader = if other.is_store {
+            format!("store {}", inst_ref(other.inst))
+        } else {
+            format!("load {}", inst_ref(other.inst))
+        };
+        let distance = match dist {
+            Distance::Exact(d) => format!("carried distance {d}"),
+            _ => "unprovable carried distance (flat pointer arithmetic: \
+                 distance 1 is assumed)"
+                .to_string(),
+        };
+        out.push(
+            Diagnostic::note(
+                II_BLOCKER_PASS,
+                format!(
+                    "RecMII = {rec_mii} on {base}: store {} feeds {reader} across \
+                     iterations at {distance}, and the load -> compute -> store \
+                     cycle takes {lat} registered cycles",
+                    inst_ref(st.inst)
+                ),
+            )
+            .with_loc(
+                pass_core::Loc::function(&f.name)
+                    .in_block(&f.block(l.header).name)
+                    .at_inst(inst_ref(st.inst)),
+            ),
+        );
+    }
+    out
 }
 
 fn describe_base(f: &Function, base: &BaseObject) -> String {
@@ -376,5 +459,28 @@ exit:
         // load (2 + 6 axi) + fmul (3) + 1 = 12 around the cycle.
         assert!(r.ii >= 10, "expected conservative II, got {}", r.ii);
         assert!(matches!(r.bound, IiBound::Recurrence(_)));
+    }
+
+    #[test]
+    fn accumulation_blocker_is_explained() {
+        let m = parse_module("m", ACCUM).unwrap();
+        let f = &m.functions[0];
+        let notes = explain_ii_blockers(&m, f, &Target::default());
+        assert_eq!(notes.len(), 1);
+        let n = &notes[0];
+        assert_eq!(n.severity, pass_core::Severity::Note);
+        assert_eq!(n.pass, II_BLOCKER_PASS);
+        assert!(n.message.contains("RecMII = 7"), "{}", n.message);
+        assert!(n.message.contains("%acc"), "{}", n.message);
+        assert!(n.message.contains("carried distance 1"), "{}", n.message);
+        assert!(n.message.contains("7 registered cycles"), "{}", n.message);
+        assert_eq!(n.loc.function.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn elementwise_loop_needs_no_explanation() {
+        let m = parse_module("m", ELEMENTWISE).unwrap();
+        let f = &m.functions[0];
+        assert!(explain_ii_blockers(&m, f, &Target::default()).is_empty());
     }
 }

@@ -1,0 +1,186 @@
+//! mha-lint end-to-end: the four canonical broken fixtures each produce a
+//! located `error[lint-*]` finding, and every benchmark kernel comes out of
+//! the adaptor flow lint-clean (no errors, no warnings — II-blocker notes
+//! are allowed and expected).
+
+use driver::lint::LintReport;
+use pass_core::Severity;
+
+fn lint_ir(src: &str) -> LintReport {
+    let m = llvm_lite::parser::parse_module("fixture", src).expect("fixture parses");
+    LintReport::for_module(&m, true)
+}
+
+fn rendered(report: &LintReport) -> Vec<String> {
+    report.diagnostics.iter().map(|d| d.to_string()).collect()
+}
+
+/// Fixture 1: a store past the end of the array, driven by a loop whose IV
+/// range provably escapes the dimension.
+#[test]
+fn oob_store_is_flagged_with_location() {
+    let report = lint_ir(
+        r#"
+define void @oob([8 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 12
+  br i1 %c, label %body, label %exit
+
+body:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 %i
+  store float 0x0000000000000000, float* %p, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#,
+    );
+    assert_eq!(report.exit_code(), 2);
+    let lines = rendered(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("error[lint-oob] @oob:body:%p:")
+                && l.contains("[0, 11]")
+                && l.contains("outside [0, 7]")),
+        "missing located OOB error in: {lines:#?}"
+    );
+}
+
+/// Fixture 2: a load from an alloca that no path has written.
+#[test]
+fn uninitialized_read_is_flagged_with_location() {
+    let report = lint_ir(
+        r#"
+define float @uninit(i1 %c) {
+entry:
+  %buf = alloca [4 x float], align 4
+  %p = getelementptr inbounds [4 x float], [4 x float]* %buf, i64 0, i64 0
+  br i1 %c, label %init, label %read
+
+init:
+  store float 0x0000000000000000, float* %p, align 4
+  br label %read
+
+read:
+  %v = load float, float* %p, align 4
+  ret float %v
+}
+"#,
+    );
+    assert_eq!(report.exit_code(), 2);
+    let lines = rendered(&report);
+    assert!(
+        lines.iter().any(
+            |l| l.starts_with("error[lint-uninit-read] @uninit:read:%v:") && l.contains("%buf")
+        ),
+        "missing located uninit-read error in: {lines:#?}"
+    );
+}
+
+/// Fixture 3: mutual recursion — unsynthesizable, located at the call that
+/// closes the cycle.
+#[test]
+fn recursive_call_is_flagged_with_location() {
+    let report = lint_ir(
+        r#"
+define void @ping() {
+entry:
+  call void @pong()
+  ret void
+}
+
+define void @pong() {
+entry:
+  call void @ping()
+  ret void
+}
+"#,
+    );
+    assert_eq!(report.exit_code(), 2);
+    let lines = rendered(&report);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("error[lint-recursion] @ping:entry:")
+                && l.contains("@ping -> @pong -> @ping")),
+        "missing located recursion error in: {lines:#?}"
+    );
+}
+
+/// Fixture 4: a select between two *partitioned* arrays — the access can
+/// touch either, which defeats the banking the partition directive promised.
+#[test]
+fn aliased_partition_is_flagged_with_location() {
+    let report = lint_ir(
+        r#"
+define void @aliased([8 x float]* "hls.array_partition"="cyclic:2" %a, [8 x float]* "hls.array_partition"="cyclic:2" %b, i1 %c) {
+entry:
+  %p = getelementptr inbounds [8 x float], [8 x float]* %a, i64 0, i64 0
+  %q = getelementptr inbounds [8 x float], [8 x float]* %b, i64 0, i64 0
+  %s = select i1 %c, float* %p, float* %q
+  store float 0x0000000000000000, float* %s, align 4
+  ret void
+}
+"#,
+    );
+    assert_eq!(report.exit_code(), 2);
+    let lines = rendered(&report);
+    assert!(
+        lines.iter().any(
+            |l| l.starts_with("error[lint-aliased-partition] @aliased:entry:")
+                && l.contains("%a")
+                && l.contains("%b")
+        ),
+        "missing located aliased-partition error in: {lines:#?}"
+    );
+}
+
+/// Every benchmark kernel must be lint-clean after the adaptor flow: zero
+/// errors, zero warnings. Notes (the II-blocker explainer) are fine.
+#[test]
+fn all_kernels_are_lint_clean() {
+    for k in kernels::all_kernels() {
+        let report = driver::lint_kernel(k.name, true)
+            .unwrap_or_else(|e| panic!("{}: flow failed: {e}", k.name));
+        assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "{}:\n{}",
+            k.name,
+            report.render()
+        );
+        assert_eq!(
+            report.count(Severity::Warning),
+            0,
+            "{}:\n{}",
+            k.name,
+            report.render()
+        );
+    }
+}
+
+/// The gemm accumulation recurrence is the canonical II blocker: the
+/// explainer must name the base and the cycle arithmetic.
+#[test]
+fn gemm_ii_blocker_is_explained() {
+    let report = driver::lint_kernel("gemm", true).unwrap();
+    let note = report
+        .diagnostics
+        .iter()
+        .find(|d| d.pass == vitis_sim::II_BLOCKER_PASS)
+        .expect("gemm should carry an II-blocker note");
+    assert_eq!(note.severity, Severity::Note);
+    assert!(note.message.contains("RecMII ="), "{}", note.message);
+    assert!(
+        note.message.contains("registered cycles"),
+        "{}",
+        note.message
+    );
+}
