@@ -20,6 +20,67 @@
 //! its base objects through [`alias::resolve_base`] and `adaptor::compat`
 //! uses the same resolution plus [`callgraph`], so scheduler pessimism and
 //! lint findings can never disagree about what a pointer may reference.
+//!
+//! # Example: a custom analysis on the dataflow engine
+//!
+//! A client supplies a [`dataflow::Lattice`] (fact type, bottom, join) and a
+//! [`dataflow::TransferFunction`] (direction, boundary, per-block effect);
+//! [`solve`] runs it to a fixed point over a function's CFG. Here is block
+//! reachability as a minimal forward may-analysis:
+//!
+//! ```
+//! use analysis::{solve, Direction, Lattice, TransferFunction};
+//! use llvm_lite::analysis::Cfg;
+//! use llvm_lite::{BlockId, Function};
+//!
+//! struct Reachable;
+//!
+//! impl Lattice for Reachable {
+//!     type Fact = bool;
+//!     fn bottom(&self, _f: &Function) -> bool {
+//!         false
+//!     }
+//!     fn join(&self, into: &mut bool, other: &bool) -> bool {
+//!         let changed = !*into && *other;
+//!         *into |= *other;
+//!         changed
+//!     }
+//! }
+//!
+//! impl TransferFunction for Reachable {
+//!     fn direction(&self) -> Direction {
+//!         Direction::Forward
+//!     }
+//!     fn boundary(&self, _f: &Function) -> bool {
+//!         true // the entry block is reachable
+//!     }
+//!     fn transfer(&self, _f: &Function, _b: BlockId, fact: &bool) -> bool {
+//!         *fact // blocks pass reachability through unchanged
+//!     }
+//! }
+//!
+//! let m = llvm_lite::parser::parse_module(
+//!     "demo",
+//!     r#"
+//! define float @diamond(i1 %c) {
+//! entry:
+//!   br i1 %c, label %left, label %right
+//! left:
+//!   br label %exit
+//! right:
+//!   br label %exit
+//! exit:
+//!   ret float 0x0000000000000000
+//! }
+//! "#,
+//! )
+//! .expect("parses");
+//! let f = &m.functions[0];
+//! let facts = solve(f, &Cfg::build(f), &Reachable);
+//! assert!(facts.entry.iter().all(|reachable| *reachable));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod alias;
 pub mod callgraph;

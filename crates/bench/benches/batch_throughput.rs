@@ -1,0 +1,89 @@
+//! **Batch throughput** — cold vs warm wall-clock of the parallel batch
+//! driver over the full kernel suite, and the cache speedup between them.
+//!
+//! The cold pass starts from an empty cache directory and computes every
+//! stage; the warm pass reruns the identical batch and must serve all
+//! 3 × |suite| stage artifacts from the cache. The final line prints (and
+//! asserts) the warm/cold speedup — the ISSUE 3 acceptance bar is ≥ 5×.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use driver::batch::{run_batch, BatchOptions};
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mha-batch-bench-{tag}-{}", std::process::id()))
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let ks = kernels::all_kernels();
+    let dir = bench_dir("criterion");
+    let opts = BatchOptions {
+        jobs: 8,
+        cache_dir: Some(dir.clone()),
+        ..BatchOptions::default()
+    };
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold(empty-cache)"),
+        &opts,
+        |b, opts| {
+            b.iter_batched(
+                || {
+                    let _ = std::fs::remove_dir_all(&dir);
+                },
+                |()| run_batch(ks, opts).expect("cold batch"),
+                BatchSize::PerIteration,
+            );
+        },
+    );
+    // One priming run, then every iteration is fully warm.
+    run_batch(ks, &opts).expect("priming batch");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm(full-cache)"),
+        &opts,
+        |b, opts| {
+            b.iter(|| run_batch(ks, opts).expect("warm batch"));
+        },
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_speedup(c: &mut Criterion) {
+    // A single paired cold/warm measurement for the recorded speedup
+    // figure (EXPERIMENTS.md) and the ≥ 5× acceptance assertion.
+    let _ = c;
+    let ks = kernels::all_kernels();
+    let dir = bench_dir("speedup");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = BatchOptions {
+        jobs: 8,
+        cache_dir: Some(dir.clone()),
+        ..BatchOptions::default()
+    };
+
+    let t0 = Instant::now();
+    let cold = run_batch(ks, &opts).expect("cold batch");
+    let cold_wall = t0.elapsed();
+    assert_eq!(cold.cache_hits(), 0, "cold run must start from empty cache");
+
+    let t1 = Instant::now();
+    let warm = run_batch(ks, &opts).expect("warm batch");
+    let warm_wall = t1.elapsed().max(Duration::from_micros(1));
+    assert_eq!(warm.cache_misses(), 0, "warm run must be fully cached");
+
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64();
+    println!("bench batch_throughput/cold-once                 {cold_wall:>12.3?}");
+    println!("bench batch_throughput/warm-once                 {warm_wall:>12.3?}");
+    println!("bench batch_throughput/speedup                   {speedup:>11.1}x");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        speedup >= 5.0,
+        "warm batch ({warm_wall:?}) must be >= 5x faster than cold ({cold_wall:?}), got {speedup:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_batch, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,673 @@
+//! The parallel batch engine behind `mha-batch`.
+//!
+//! [`run_batch`] pushes every requested kernel through the full
+//! MLIR → flow → csynth → co-simulation pipeline on a worker pool
+//! (`--jobs` threads pulling from a shared queue), with each stage's output
+//! served from the content-addressed [`crate::cache`] when its inputs are
+//! unchanged. The stages communicate *only* through the printed `.ll`
+//! module text, so a stage's cache key is exactly a hash of its input text
+//! plus configuration — cold and warm runs execute the same pipeline on the
+//! same bytes.
+//!
+//! Failure isolation: a kernel that returns an error or panics is caught in
+//! its worker, recorded as a structured entry in the [`BatchSummary`], and
+//! never disturbs the other kernels. Exit codes follow the `mha-lint`
+//! convention: 0 all clean, 1 some kernels failed, 2 infrastructure error
+//! (reported as [`BatchError`] before any kernel runs).
+
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use kernels::Kernel;
+use pass_core::report::json_str;
+use pass_core::PipelineReport;
+use vitis_sim::{csynth, CsynthReport, Target};
+
+use crate::cache::{self, Cache, CacheError, CacheKey, KeyBuilder, Lookup};
+use crate::cosim::cosim;
+use crate::experiment::Directives;
+use crate::flow::{run_flow, Flow};
+
+/// Everything that configures one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Worker threads; 0 means "use the machine's available parallelism".
+    pub jobs: usize,
+    /// Directives applied to every kernel.
+    pub directives: Directives,
+    /// Which flow to run.
+    pub flow: Flow,
+    /// Artifact cache directory; `None` disables caching entirely
+    /// (`--no-cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Synthesis target.
+    pub target: Target,
+    /// Co-simulation input seed.
+    pub seed: u64,
+    /// Test hook: panic inside the worker processing this kernel, to
+    /// exercise failure isolation end to end (`--inject-panic`).
+    pub inject_panic: Option<String>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            jobs: 0,
+            directives: Directives::pipelined(1),
+            flow: Flow::Adaptor,
+            cache_dir: Some(Cache::default_dir()),
+            target: Target::default(),
+            seed: 2026,
+            inject_panic: None,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// The resolved worker count: `jobs`, or the machine's available
+    /// parallelism when `jobs == 0`, never more than the kernel count.
+    pub fn effective_jobs(&self, n_kernels: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let jobs = if self.jobs == 0 { auto } else { self.jobs };
+        jobs.clamp(1, n_kernels.max(1))
+    }
+}
+
+/// An infrastructure failure that prevents the batch from running at all
+/// (as opposed to a per-kernel failure, which is isolated and reported in
+/// the summary). Maps to exit code 2.
+#[derive(Debug, Clone)]
+pub enum BatchError {
+    /// The cache directory could not be opened or written.
+    Cache(CacheError),
+    /// The request itself is unusable (e.g. no kernels selected).
+    Usage(String),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Cache(e) => write!(f, "batch infrastructure: {e}"),
+            BatchError::Usage(m) => write!(f, "batch usage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Cache(e) => Some(e),
+            BatchError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<CacheError> for BatchError {
+    fn from(e: CacheError) -> Self {
+        BatchError::Cache(e)
+    }
+}
+
+/// The artifacts a successfully processed kernel contributes to the
+/// summary.
+#[derive(Clone, Debug)]
+pub struct KernelArtifacts {
+    /// The HLS-ready module, printed (`.ll` text) — the canonical artifact
+    /// all downstream stages key on.
+    pub module_text: String,
+    /// FNV-1a digest of `module_text` (hex), for cheap equality checks.
+    pub module_digest: String,
+    /// Synthesis report.
+    pub csynth: CsynthReport,
+    /// Co-simulation max |err| against the reference.
+    pub cosim_max_err: f32,
+    /// Co-simulation interpreter step count.
+    pub cosim_steps: u64,
+    /// Per-stage timing, with cached stages marked.
+    pub report: PipelineReport,
+    /// Stages served from the cache for this kernel (0–3).
+    pub cache_hits: usize,
+    /// Stages recomputed (and, when caching is on, stored) for this kernel.
+    pub cache_misses: usize,
+}
+
+/// How one kernel's run ended.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// All stages completed.
+    Completed(Box<KernelArtifacts>),
+    /// A stage returned an error.
+    Failed {
+        /// Which stage failed (`flow`, `csynth`, `cosim`).
+        stage: String,
+        /// The rendered error.
+        error: String,
+    },
+    /// The worker caught a panic from this kernel.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+/// One kernel's entry in the batch summary.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub kernel: String,
+    /// What happened.
+    pub outcome: RunOutcome,
+}
+
+impl KernelRun {
+    /// True when the kernel completed all stages.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Completed(_))
+    }
+}
+
+/// Aggregated result of one batch invocation.
+#[derive(Clone, Debug)]
+pub struct BatchSummary {
+    /// Which flow ran.
+    pub flow: String,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Whether the artifact cache was enabled.
+    pub cache_enabled: bool,
+    /// Total wall-clock for the whole batch, microseconds.
+    pub wall_us: u64,
+    /// Per-kernel results, in the order the kernels were given.
+    pub runs: Vec<KernelRun>,
+    /// Non-fatal cache warnings (corrupt entries that fell back to
+    /// recompute).
+    pub warnings: Vec<String>,
+}
+
+impl BatchSummary {
+    /// Kernels that completed.
+    pub fn ok_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Kernels that failed or panicked.
+    pub fn failed_count(&self) -> usize {
+        self.runs.len() - self.ok_count()
+    }
+
+    /// Total cache hits across kernels.
+    pub fn cache_hits(&self) -> usize {
+        self.artifacts().map(|a| a.cache_hits).sum()
+    }
+
+    /// Total cache misses across kernels.
+    pub fn cache_misses(&self) -> usize {
+        self.artifacts().map(|a| a.cache_misses).sum()
+    }
+
+    fn artifacts(&self) -> impl Iterator<Item = &KernelArtifacts> {
+        self.runs.iter().filter_map(|r| match &r.outcome {
+            RunOutcome::Completed(a) => Some(a.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Process exit code under the mha-lint convention: 0 all kernels
+    /// clean, 1 some kernels failed (the rest still reported). Code 2 is
+    /// reserved for [`BatchError`], which precludes a summary.
+    pub fn exit_code(&self) -> i32 {
+        if self.failed_count() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Render the human-readable batch table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== mha-batch: {} kernel(s), flow {}, jobs {}, cache {} ({} hit / {} miss), {} ms\n",
+            self.runs.len(),
+            self.flow,
+            self.jobs,
+            if self.cache_enabled { "on" } else { "off" },
+            self.cache_hits(),
+            self.cache_misses(),
+            self.wall_us / 1000
+        );
+        out.push_str(&format!(
+            "{:<10}  {:<7}  {:>8}  {:>8}  {:>9}  {:>9}  {}\n",
+            "kernel", "status", "latency", "interval", "cosim_err", "stage_us", "cache"
+        ));
+        for r in &self.runs {
+            match &r.outcome {
+                RunOutcome::Completed(a) => {
+                    out.push_str(&format!(
+                        "{:<10}  {:<7}  {:>8}  {:>8}  {:>9}  {:>9}  {}h/{}m\n",
+                        r.kernel,
+                        "ok",
+                        a.csynth.latency,
+                        a.csynth.interval,
+                        a.cosim_max_err,
+                        a.report.total_us(),
+                        a.cache_hits,
+                        a.cache_misses
+                    ));
+                }
+                RunOutcome::Failed { stage, error } => {
+                    out.push_str(&format!("{:<10}  FAILED   [{stage}] {error}\n", r.kernel));
+                }
+                RunOutcome::Panicked { message } => {
+                    out.push_str(&format!("{:<10}  PANIC    {message}\n", r.kernel));
+                }
+            }
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        out.push_str(&format!(
+            "== {} ok, {} failed\n",
+            self.ok_count(),
+            self.failed_count()
+        ));
+        out
+    }
+
+    /// Serialize the summary to JSON (hand-rolled, same style as
+    /// `PipelineReport::to_json`; schema documented in EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"flow\":{},", json_str(&self.flow)));
+        out.push_str(&format!("\"jobs\":{},", self.jobs));
+        out.push_str(&format!("\"cache_enabled\":{},", self.cache_enabled));
+        out.push_str(&format!("\"wall_us\":{},", self.wall_us));
+        out.push_str(&format!(
+            "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+            self.cache_hits(),
+            self.cache_misses()
+        ));
+        out.push_str("\"warnings\":[");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(w));
+        }
+        out.push_str("],\"kernels\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &r.outcome {
+                RunOutcome::Completed(a) => out.push_str(&format!(
+                    "{{\"kernel\":{},\"status\":\"ok\",\"module_digest\":{},\"latency\":{},\"interval\":{},\"cosim_max_err\":{},\"cosim_steps\":{},\"cache_hits\":{},\"cache_misses\":{},\"report\":{}}}",
+                    json_str(&r.kernel),
+                    json_str(&a.module_digest),
+                    a.csynth.latency,
+                    a.csynth.interval,
+                    a.cosim_max_err,
+                    a.cosim_steps,
+                    a.cache_hits,
+                    a.cache_misses,
+                    a.report.to_json()
+                )),
+                RunOutcome::Failed { stage, error } => out.push_str(&format!(
+                    "{{\"kernel\":{},\"status\":\"failed\",\"stage\":{},\"error\":{}}}",
+                    json_str(&r.kernel),
+                    json_str(stage),
+                    json_str(error)
+                )),
+                RunOutcome::Panicked { message } => out.push_str(&format!(
+                    "{{\"kernel\":{},\"status\":\"panicked\",\"error\":{}}}",
+                    json_str(&r.kernel),
+                    json_str(message)
+                )),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A canonical, order-stable text form of the pass configuration; hashed
+/// into every flow-stage cache key so a directive change invalidates
+/// exactly the affected artifacts.
+fn directives_repr(d: &Directives, flow: Flow) -> String {
+    fn opt(v: Option<u32>) -> String {
+        v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+    }
+    format!(
+        "flow={};ii={};unroll={};partition={};flatten={}",
+        flow.label(),
+        opt(d.pipeline_ii),
+        opt(d.unroll_factor),
+        opt(d.partition_factor),
+        d.flatten
+    )
+}
+
+fn target_repr(t: &Target) -> String {
+    format!(
+        "clock={:016x};bram_ports={};axi_ports={};axi_extra={}",
+        t.clock_ns.to_bits(),
+        t.bram_ports,
+        t.axi_ports,
+        t.axi_extra_latency
+    )
+}
+
+/// Shared per-run context handed to every worker.
+struct BatchCtx<'a> {
+    opts: &'a BatchOptions,
+    cache: Option<Cache>,
+    warnings: Mutex<Vec<String>>,
+}
+
+impl BatchCtx<'_> {
+    /// Probe the cache; corrupt entries degrade to a miss plus a warning.
+    fn probe(&self, key: &CacheKey) -> Option<String> {
+        match self.cache.as_ref()?.load(key) {
+            Lookup::Hit(payload) => Some(payload),
+            Lookup::Miss => None,
+            Lookup::Corrupt(reason) => {
+                self.warn(format!("corrupt cache entry ignored: {reason}"));
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed artifact; store failures are warnings, not
+    /// errors — the batch result is already in hand.
+    fn keep(&self, key: &CacheKey, payload: &str) {
+        if let Some(c) = &self.cache {
+            if let Err(e) = c.store(key, payload) {
+                self.warn(format!("cache store failed: {e}"));
+            }
+        }
+    }
+
+    fn warn(&self, w: String) {
+        self.warnings
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(w);
+    }
+}
+
+/// Run one kernel through flow → csynth → cosim with stage-level caching.
+fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, String)> {
+    let opts = ctx.opts;
+    if opts.inject_panic.as_deref() == Some(k.name) {
+        panic!("injected panic for {} (test hook)", k.name);
+    }
+    let mut report = PipelineReport::new("batch");
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let config = directives_repr(&opts.directives, opts.flow);
+
+    // Stage 1: MLIR → HLS-ready module, keyed by kernel content + config.
+    let flow_key = KeyBuilder::new("flow")
+        .num("kernel", k.content_digest())
+        .text("config", &config)
+        .finish();
+    let start = std::time::Instant::now();
+    let module_text = match ctx.probe(&flow_key) {
+        Some(text) => {
+            hits += 1;
+            report.record_cached("flow", start.elapsed().as_micros() as u64);
+            text
+        }
+        None => {
+            misses += 1;
+            let art = run_flow(k, &opts.directives, opts.flow)
+                .map_err(|e| ("flow".to_string(), e.to_string()))?;
+            report.extend_prefixed("flow", &art.report);
+            let text = llvm_lite::printer::print_module(&art.module);
+            ctx.keep(&flow_key, &text);
+            text
+        }
+    };
+    let module_digest = format!("{:016x}", kernels::fnv1a64(module_text.as_bytes()));
+
+    // Stages 2 and 3 key on the module *text*: any IR change reflows them,
+    // any directive change already changed the text. The module is only
+    // re-parsed when at least one of them actually has to run.
+    let csynth_key = KeyBuilder::new("csynth")
+        .text("module", &module_text)
+        .text("target", &target_repr(&opts.target))
+        .finish();
+    let cosim_key = KeyBuilder::new("cosim")
+        .text("module", &module_text)
+        .num("kernel", k.content_digest())
+        .num("seed", opts.seed)
+        .finish();
+
+    let cached_csynth = {
+        let start = std::time::Instant::now();
+        ctx.probe(&csynth_key)
+            .and_then(|p| match cache::decode_csynth(&p) {
+                Ok(r) => {
+                    hits += 1;
+                    report.record_cached("csynth", start.elapsed().as_micros() as u64);
+                    Some(r)
+                }
+                Err(e) => {
+                    ctx.warn(format!("undecodable csynth entry for {}: {e}", k.name));
+                    None
+                }
+            })
+    };
+    let cached_cosim = {
+        let start = std::time::Instant::now();
+        ctx.probe(&cosim_key)
+            .and_then(|p| match cache::decode_cosim(&p) {
+                Ok(r) => {
+                    hits += 1;
+                    report.record_cached("cosim", start.elapsed().as_micros() as u64);
+                    Some(r)
+                }
+                Err(e) => {
+                    ctx.warn(format!("undecodable cosim entry for {}: {e}", k.name));
+                    None
+                }
+            })
+    };
+
+    let module = if cached_csynth.is_none() || cached_cosim.is_none() {
+        Some(
+            llvm_lite::parser::parse_module(k.name, &module_text)
+                .map_err(|e| ("parse".to_string(), e.to_string()))?,
+        )
+    } else {
+        None
+    };
+
+    let csynth_report = match cached_csynth {
+        Some(r) => r,
+        None => {
+            misses += 1;
+            let r = report
+                .time_stage("csynth", || csynth(module.as_ref().unwrap(), &opts.target))
+                .map_err(|e| ("csynth".to_string(), e.to_string()))?;
+            ctx.keep(&csynth_key, &cache::encode_csynth(&r));
+            r
+        }
+    };
+    let cosim_result = match cached_cosim {
+        Some(r) => r,
+        None => {
+            misses += 1;
+            let r = report
+                .time_stage("cosim", || cosim(module.as_ref().unwrap(), k, opts.seed))
+                .map_err(|e| ("cosim".to_string(), e.to_string()))?;
+            ctx.keep(&cosim_key, &cache::encode_cosim(&r));
+            r
+        }
+    };
+
+    Ok(KernelArtifacts {
+        module_text,
+        module_digest,
+        csynth: csynth_report,
+        cosim_max_err: cosim_result.max_abs_err,
+        cosim_steps: cosim_result.steps,
+        report,
+        cache_hits: hits,
+        cache_misses: misses,
+    })
+}
+
+fn run_one_isolated(k: &Kernel, ctx: &BatchCtx<'_>) -> KernelRun {
+    let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| run_one(k, ctx))) {
+        Ok(Ok(artifacts)) => RunOutcome::Completed(Box::new(artifacts)),
+        Ok(Err((stage, error))) => RunOutcome::Failed { stage, error },
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            RunOutcome::Panicked { message }
+        }
+    };
+    KernelRun {
+        kernel: k.name.to_string(),
+        outcome,
+    }
+}
+
+/// Run the batch: every kernel through the configured flow, on
+/// `opts.effective_jobs` worker threads, with per-kernel failure isolation
+/// and stage-level caching. Results come back in input order regardless of
+/// completion order.
+pub fn run_batch(kernels: &[Kernel], opts: &BatchOptions) -> Result<BatchSummary, BatchError> {
+    if kernels.is_empty() {
+        return Err(BatchError::Usage("no kernels selected".into()));
+    }
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(Cache::open(dir)?),
+        None => None,
+    };
+    let ctx = BatchCtx {
+        opts,
+        cache,
+        warnings: Mutex::new(Vec::new()),
+    };
+    let jobs = opts.effective_jobs(kernels.len());
+    let start = std::time::Instant::now();
+
+    // Worker pool: `jobs` threads pull indices from a shared counter, so a
+    // slow kernel never blocks the queue behind it. (The workspace's rayon
+    // stand-in is sequential — see stubs/rayon — so the pool is built
+    // directly on scoped threads.)
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<KernelRun>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(k) = kernels.get(i) else { break };
+                let run = run_one_isolated(k, &ctx);
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(run);
+            });
+        }
+    });
+
+    let runs = slots
+        .into_iter()
+        .zip(kernels)
+        .map(|(slot, k)| {
+            slot.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or(KernelRun {
+                    kernel: k.name.to_string(),
+                    outcome: RunOutcome::Panicked {
+                        message: "worker disappeared without reporting".into(),
+                    },
+                })
+        })
+        .collect();
+
+    Ok(BatchSummary {
+        flow: opts.flow.label().to_string(),
+        jobs,
+        cache_enabled: ctx.cache.is_some(),
+        wall_us: start.elapsed().as_micros() as u64,
+        runs,
+        warnings: ctx.warnings.into_inner().unwrap_or_else(|p| p.into_inner()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_cache_opts() -> BatchOptions {
+        BatchOptions {
+            cache_dir: None,
+            jobs: 4,
+            ..BatchOptions::default()
+        }
+    }
+
+    #[test]
+    fn batch_over_two_kernels_completes() {
+        let ks: Vec<Kernel> = ["gemm", "fir"]
+            .iter()
+            .map(|n| *kernels::kernel(n).unwrap())
+            .collect();
+        let s = run_batch(&ks, &no_cache_opts()).unwrap();
+        assert_eq!(s.runs.len(), 2);
+        assert_eq!(s.exit_code(), 0);
+        assert_eq!(s.cache_hits(), 0);
+        for r in &s.runs {
+            match &r.outcome {
+                RunOutcome::Completed(a) => {
+                    assert_eq!(a.cosim_max_err, 0.0, "{}", r.kernel);
+                    assert!(a.csynth.latency > 0);
+                }
+                other => panic!("{}: {other:?}", r.kernel),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_a_usage_error() {
+        let err = run_batch(&[], &no_cache_opts()).unwrap_err();
+        assert!(matches!(err, BatchError::Usage(_)));
+        assert!(err.to_string().contains("no kernels"));
+    }
+
+    #[test]
+    fn summary_json_has_the_documented_shape() {
+        let ks = [*kernels::kernel("fir").unwrap()];
+        let s = run_batch(&ks, &no_cache_opts()).unwrap();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for needle in [
+            "\"flow\":\"adaptor\"",
+            "\"cache_enabled\":false",
+            "\"kernels\":[",
+            "\"kernel\":\"fir\"",
+            "\"status\":\"ok\"",
+            "\"module_digest\":",
+            "\"report\":{",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn directive_repr_is_canonical() {
+        let a = directives_repr(&Directives::pipelined(1), Flow::Adaptor);
+        let b = directives_repr(&Directives::pipelined(2), Flow::Adaptor);
+        let c = directives_repr(&Directives::pipelined(1), Flow::Cpp);
+        assert_eq!(a, "flow=adaptor;ii=1;unroll=-;partition=-;flatten=false");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,162 @@
+//! `mha-batch` — run the whole kernel suite through the flow in parallel,
+//! with a content-addressed artifact cache.
+//!
+//! ```text
+//! mha-batch [--jobs N] [--format text|json] [--flow adaptor|cpp]
+//!           [--no-cache] [--cache-dir DIR] [--report-json DIR]
+//!           [--ii N] [--unroll N] [--partition N] [--flatten]
+//!           [--seed N] [--inject-panic KERNEL]
+//!           [<kernel>... | all]
+//! ```
+//!
+//! With no targets (or `all`), the full suite runs. Each kernel goes
+//! through MLIR → flow → csynth → co-simulation on a `--jobs`-wide worker
+//! pool; every stage output is cached under `--cache-dir` (default
+//! `target/mha-cache`) keyed by a hash of its input text and configuration,
+//! so a warm rerun only re-reads artifacts. A kernel that fails or panics
+//! is reported in the summary without disturbing the others.
+//!
+//! Exit codes: 0 all kernels clean, 1 some kernels failed, 2
+//! infrastructure/usage error.
+
+use std::path::PathBuf;
+
+use driver::batch::{run_batch, BatchOptions, RunOutcome};
+use driver::{Directives, Flow};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mha-batch [--jobs N] [--format text|json] [--flow adaptor|cpp]\n\
+         \x20                [--no-cache] [--cache-dir DIR] [--report-json DIR]\n\
+         \x20                [--ii N] [--unroll N] [--partition N] [--flatten]\n\
+         \x20                [--seed N] [--inject-panic KERNEL] [<kernel>... | all]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_u32(s: &str, flag: &str) -> u32 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer, got '{s}'");
+        usage();
+    })
+}
+
+fn main() {
+    let mut opts = BatchOptions {
+        directives: Directives::pipelined(1),
+        ..BatchOptions::default()
+    };
+    let mut format_json = false;
+    let mut report_json_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => opts.jobs = parse_u32(&flag_value(&mut args, "--jobs"), "--jobs") as usize,
+            "--format" => match flag_value(&mut args, "--format").as_str() {
+                "text" => format_json = false,
+                "json" => format_json = true,
+                other => {
+                    eprintln!("--format needs 'text' or 'json', got '{other}'");
+                    usage();
+                }
+            },
+            "--flow" => match flag_value(&mut args, "--flow").as_str() {
+                "adaptor" => opts.flow = Flow::Adaptor,
+                "cpp" => opts.flow = Flow::Cpp,
+                other => {
+                    eprintln!("--flow needs 'adaptor' or 'cpp', got '{other}'");
+                    usage();
+                }
+            },
+            "--no-cache" => opts.cache_dir = None,
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(flag_value(&mut args, "--cache-dir")))
+            }
+            "--report-json" => {
+                report_json_dir = Some(PathBuf::from(flag_value(&mut args, "--report-json")))
+            }
+            "--ii" => {
+                opts.directives.pipeline_ii =
+                    Some(parse_u32(&flag_value(&mut args, "--ii"), "--ii"))
+            }
+            "--unroll" => {
+                opts.directives.unroll_factor =
+                    Some(parse_u32(&flag_value(&mut args, "--unroll"), "--unroll"))
+            }
+            "--partition" => {
+                opts.directives.partition_factor = Some(parse_u32(
+                    &flag_value(&mut args, "--partition"),
+                    "--partition",
+                ))
+            }
+            "--flatten" => opts.directives.flatten = true,
+            "--seed" => opts.seed = parse_u32(&flag_value(&mut args, "--seed"), "--seed") as u64,
+            "--inject-panic" => opts.inject_panic = Some(flag_value(&mut args, "--inject-panic")),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'");
+                usage();
+            }
+            _ => targets.push(a),
+        }
+    }
+
+    let selected: Vec<kernels::Kernel> = if targets.is_empty() || targets.iter().any(|t| t == "all")
+    {
+        kernels::all_kernels().to_vec()
+    } else {
+        targets
+            .iter()
+            .map(|t| match kernels::kernel(t) {
+                Some(k) => *k,
+                None => {
+                    eprintln!("unknown kernel '{t}'");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    };
+
+    let summary = match run_batch(&selected, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mha-batch: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dir) = &report_json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("mha-batch: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        for r in &summary.runs {
+            if let RunOutcome::Completed(a) = &r.outcome {
+                let path = dir.join(format!("{}.json", r.kernel));
+                if let Err(e) = std::fs::write(&path, a.report.to_json()) {
+                    eprintln!("mha-batch: cannot write {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    if format_json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render());
+    }
+    std::process::exit(summary.exit_code());
+}

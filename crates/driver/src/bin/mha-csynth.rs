@@ -50,6 +50,7 @@ fn main() {
         }
     };
     let target = Target::default();
+    let mut failures = 0u32;
     for k in list {
         println!("### {} — {}", k.name, k.description);
         for &flow in &flows {
@@ -57,22 +58,35 @@ fn main() {
                 Ok(a) => a,
                 Err(e) => {
                     println!("  [{}] flow failed: {e}", flow.label());
+                    failures += 1;
                     continue;
                 }
             };
             match csynth(&art.module, &target) {
-                Ok(report) => {
-                    let sim = cosim(&art.module, k, 2026).expect("cosim");
-                    println!(
-                        "--- flow: {} (cosim max err {})",
-                        flow.label(),
-                        sim.max_abs_err
-                    );
-                    print!("{}", report.render());
+                Ok(report) => match cosim(&art.module, k, 2026) {
+                    Ok(sim) => {
+                        println!(
+                            "--- flow: {} (cosim max err {})",
+                            flow.label(),
+                            sim.max_abs_err
+                        );
+                        print!("{}", report.render());
+                    }
+                    Err(e) => {
+                        println!("  [{}] cosim failed: {e}", flow.label());
+                        failures += 1;
+                    }
+                },
+                Err(e) => {
+                    println!("  [{}] csynth failed: {e}", flow.label());
+                    failures += 1;
                 }
-                Err(e) => println!("  [{}] csynth failed: {e}", flow.label()),
             }
         }
         println!();
+    }
+    // Same convention as mha-batch: partial failures exit 1.
+    if failures > 0 {
+        std::process::exit(1);
     }
 }

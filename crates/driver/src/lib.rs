@@ -12,13 +12,33 @@
 //! The driver also hosts the experiment harness used by the bench binaries:
 //! it runs kernels through both flows (in parallel with rayon), co-simulates
 //! against the reference implementations, and collects csynth reports and
-//! flow timings.
+//! flow timings — plus the [`batch`] engine behind `mha-batch`, which runs
+//! the whole suite on a worker pool over the content-addressed [`cache`].
+//!
+//! # Example: run one kernel through the adaptor flow
+//!
+//! ```
+//! use driver::{run_flow, Directives, Flow};
+//!
+//! let gemm = kernels::kernel("gemm").expect("suite kernel");
+//! let art = run_flow(gemm, &Directives::pipelined(1), Flow::Adaptor)?;
+//! // The result is synthesis-ready LLVM IR plus a per-stage timing report.
+//! assert!(art.module.top_function().is_some());
+//! assert_eq!(art.report.passes[0].pass, "lower");
+//! # Ok::<(), driver::DriverError>(())
+//! ```
 
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
 pub mod cosim;
 pub mod experiment;
 pub mod flow;
 pub mod lint;
 
+pub use batch::{run_batch, BatchError, BatchOptions, BatchSummary};
+pub use cache::{Cache, CacheError};
 pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
 pub use flow::{run_flow, Flow, FlowArtifacts};

@@ -1,0 +1,149 @@
+//! Stable content digests for kernels and derived artifacts.
+//!
+//! The batch driver's artifact cache addresses every stage output by a hash
+//! of its inputs, so the hash must be *stable*: the same bytes must produce
+//! the same digest across processes, runs, and platforms. The standard
+//! library's `DefaultHasher` is explicitly not guaranteed stable, so this
+//! module carries a small FNV-1a implementation instead. It is the
+//! workspace's shared content-hash primitive — `driver::cache` builds its
+//! cache keys on top of [`Hasher64`].
+//!
+//! FNV-1a is not cryptographic; it is used purely as a content address in a
+//! trusted local cache, where an (astronomically unlikely) collision costs a
+//! stale artifact, not a security boundary.
+
+use crate::suite::Kernel;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash one byte slice with FNV-1a (64-bit).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// An incremental FNV-1a (64-bit) hasher for composing digests from several
+/// labelled fields without allocating a combined buffer.
+#[derive(Clone, Debug)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Hasher64::new()
+    }
+}
+
+impl Hasher64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Hasher64 {
+        Hasher64 { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a length-delimited field: the length guard keeps
+    /// `("ab","c")` and `("a","bc")` from colliding.
+    pub fn field(&mut self, bytes: &[u8]) -> &mut Self {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes)
+    }
+
+    /// Absorb a length-delimited string field.
+    pub fn field_str(&mut self, s: &str) -> &mut Self {
+        self.field(s.as_bytes())
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The current digest as the 16-hex-digit form used in cache filenames.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+impl Kernel {
+    /// A stable digest of everything that defines this kernel's *content*:
+    /// name, MLIR source, and the argument specification. The prose
+    /// description is deliberately excluded — editing a comment must not
+    /// invalidate cached artifacts. Two kernels computing different things
+    /// always differ in at least one hashed field.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Hasher64::new();
+        h.field_str("kernel-v1")
+            .field_str(self.name)
+            .field_str(self.mlir);
+        for a in self.args {
+            h.field_str(a.name)
+                .field(&(a.len as u64).to_le_bytes())
+                .update(&[a.input as u8, a.output as u8]);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_kernels;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_delimiting_prevents_concatenation_collisions() {
+        let mut a = Hasher64::new();
+        a.field_str("ab").field_str("c");
+        let mut b = Hasher64::new();
+        b.field_str("a").field_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn kernel_digests_are_stable_and_distinct() {
+        let all = all_kernels();
+        for k in all {
+            assert_eq!(k.content_digest(), k.content_digest());
+        }
+        let mut digests: Vec<u64> = all.iter().map(|k| k.content_digest()).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), all.len(), "digest collision in the suite");
+    }
+
+    #[test]
+    fn digest_tracks_source_edits() {
+        let gemm = crate::kernel("gemm").unwrap();
+        let mut edited = *gemm;
+        edited.mlir = "func.func @gemm() { func.return }";
+        assert_ne!(gemm.content_digest(), edited.content_digest());
+    }
+
+    #[test]
+    fn hex_form_is_16_digits() {
+        let mut h = Hasher64::new();
+        h.field_str("x");
+        assert_eq!(h.finish_hex().len(), 16);
+        assert_eq!(h.finish_hex(), format!("{:016x}", h.finish()));
+    }
+}

@@ -7,10 +7,12 @@
 //! kernel through both flows stays interactive.
 
 pub mod data;
+pub mod digest;
 pub mod reference;
 pub mod suite;
 
 pub use data::gen_inputs;
+pub use digest::{fnv1a64, Hasher64};
 pub use suite::{all_kernels, kernel, ArgSpec, Kernel};
 
 #[cfg(test)]

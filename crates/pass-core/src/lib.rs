@@ -16,6 +16,54 @@
 //!   report (JSON schema in EXPERIMENTS.md);
 //! * [`Diagnostic`] — structured, source-located errors shared by passes,
 //!   verifiers, and the HLS compat gate.
+//!
+//! # Example: define an IR, a pass, and run an instrumented pipeline
+//!
+//! Any type can be piped through a [`PassManager`] by implementing
+//! [`PassIr`] (a size measure plus a verifier) and giving it passes:
+//!
+//! ```
+//! use pass_core::{Pass, PassIr, PassManager, PassResult};
+//!
+//! /// A toy IR: a list of numbers; "verification" forbids negatives.
+//! struct Numbers(Vec<i64>);
+//!
+//! impl PassIr for Numbers {
+//!     fn ir_size(&self) -> usize {
+//!         self.0.len()
+//!     }
+//!     fn verify_ir(&self) -> PassResult<()> {
+//!         match self.0.iter().find(|n| **n < 0) {
+//!             Some(n) => Err(pass_core::Diagnostic::error("verify", format!("negative {n}"))),
+//!             None => Ok(()),
+//!         }
+//!     }
+//! }
+//!
+//! /// A "DCE" pass: drop zeros, report whether anything changed.
+//! struct DropZeros;
+//!
+//! impl Pass<Numbers> for DropZeros {
+//!     fn name(&self) -> &'static str {
+//!         "drop-zeros"
+//!     }
+//!     fn run(&self, ir: &mut Numbers) -> PassResult<bool> {
+//!         let before = ir.0.len();
+//!         ir.0.retain(|n| *n != 0);
+//!         Ok(ir.0.len() != before)
+//!     }
+//! }
+//!
+//! let mut pm = PassManager::with_label("cleanup");
+//! pm.add(DropZeros);
+//! let mut ir = Numbers(vec![3, 0, 1, 0]);
+//! let report = pm.run(&mut ir).expect("pipeline runs");
+//! assert_eq!(ir.0, vec![3, 1]);
+//! assert_eq!(report.passes[0].size_delta(), -2);
+//! assert_eq!(report.changed_passes(), vec!["drop-zeros"]);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod diag;
 pub mod registry;
@@ -143,6 +191,7 @@ impl<IR: PassIr> PassManager<IR> {
                 wall_us: start.elapsed().as_micros() as u64,
                 size_before,
                 size_after: ir.ir_size(),
+                cached: false,
             };
             observer(ir, &rec);
             report.push(rec);

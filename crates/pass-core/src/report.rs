@@ -20,6 +20,10 @@ pub struct PassRecord {
     pub size_before: usize,
     /// IR size after the pass.
     pub size_after: usize,
+    /// True when the stage's output was materialized from the artifact
+    /// cache instead of being recomputed (`wall_us` is then the cache load
+    /// time). Ordinary pass executions leave this false.
+    pub cached: bool,
 }
 
 impl PassRecord {
@@ -87,8 +91,29 @@ impl PipelineReport {
             wall_us: start.elapsed().as_micros() as u64,
             size_before: 0,
             size_after: 0,
+            cached: false,
         });
         Ok(out)
+    }
+
+    /// Record a stage whose output came from the artifact cache: no work
+    /// was done beyond loading it, which took `wall_us` microseconds.
+    /// Cached stages report `changed: false` (they did not transform
+    /// anything this run) and render with a `cache` marker.
+    pub fn record_cached(&mut self, name: &str, wall_us: u64) {
+        self.push(PassRecord {
+            pass: name.to_string(),
+            changed: false,
+            wall_us,
+            size_before: 0,
+            size_after: 0,
+            cached: true,
+        });
+    }
+
+    /// How many recorded stages were served from the artifact cache.
+    pub fn cached_stages(&self) -> usize {
+        self.passes.iter().filter(|p| p.cached).count()
     }
 
     /// Merge another report's records under `prefix/`.
@@ -138,7 +163,13 @@ impl PipelineReport {
                 } else {
                     format!("{delta:+}")
                 },
-                if p.changed { "yes" } else { "-" }
+                if p.cached {
+                    "cache"
+                } else if p.changed {
+                    "yes"
+                } else {
+                    "-"
+                }
             ));
         }
         out
@@ -156,12 +187,13 @@ impl PipelineReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"pass\":{},\"changed\":{},\"wall_us\":{},\"size_before\":{},\"size_after\":{}}}",
+                "{{\"pass\":{},\"changed\":{},\"wall_us\":{},\"size_before\":{},\"size_after\":{},\"cached\":{}}}",
                 json_str(&p.pass),
                 p.changed,
                 p.wall_us,
                 p.size_before,
-                p.size_after
+                p.size_after,
+                p.cached
             ));
         }
         out.push_str("]}");
@@ -200,6 +232,7 @@ mod tests {
             wall_us: 120,
             size_before: 40,
             size_after: 31,
+            cached: false,
         });
         r.push(PassRecord {
             pass: "dce".into(),
@@ -207,6 +240,7 @@ mod tests {
             wall_us: 15,
             size_before: 31,
             size_after: 31,
+            cached: false,
         });
         r
     }
@@ -241,5 +275,22 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn cached_stages_are_counted_and_marked() {
+        let mut r = sample();
+        r.record_cached("csynth", 7);
+        assert_eq!(r.cached_stages(), 1);
+        let cached = r.passes.last().unwrap();
+        assert!(cached.cached && !cached.changed);
+        assert_eq!(cached.wall_us, 7);
+        // Cached stages never show up as IR-changing passes.
+        assert_eq!(r.changed_passes(), vec!["mem2reg"]);
+        assert!(r.render().contains("cache"));
+        assert!(r
+            .to_json()
+            .contains("\"pass\":\"csynth\",\"changed\":false"));
+        assert!(r.to_json().contains("\"cached\":true"));
     }
 }

@@ -1,0 +1,237 @@
+//! Cache correctness suite for the batch driver (ISSUE 3).
+//!
+//! The contract under test: caching is invisible except in wall-clock — a
+//! warm run reproduces the cold run byte-for-byte; any change to the pass
+//! configuration or the kernel IR invalidates the affected entries; a
+//! corrupted entry degrades to a recompute plus a warning, never to a wrong
+//! answer; and a panicking kernel is isolated from the rest of the batch.
+
+use std::path::PathBuf;
+
+use driver::batch::{run_batch, BatchOptions, KernelArtifacts, RunOutcome};
+use driver::{run_flow, Directives, Flow};
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mha-batch-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &std::path::Path) -> BatchOptions {
+    BatchOptions {
+        jobs: 4,
+        cache_dir: Some(dir.to_path_buf()),
+        ..BatchOptions::default()
+    }
+}
+
+fn artifacts(outcome: &RunOutcome) -> &KernelArtifacts {
+    match outcome {
+        RunOutcome::Completed(a) => a,
+        other => panic!("kernel did not complete: {other:?}"),
+    }
+}
+
+#[test]
+fn warm_run_is_byte_identical_to_cold_and_fully_cached() {
+    let dir = temp_cache("warm-identical");
+    let o = opts(&dir);
+    let ks = kernels::all_kernels();
+
+    let cold = run_batch(ks, &o).unwrap();
+    assert_eq!(cold.exit_code(), 0);
+    assert_eq!(cold.cache_hits(), 0);
+    assert_eq!(cold.cache_misses(), 3 * ks.len());
+
+    let warm = run_batch(ks, &o).unwrap();
+    assert_eq!(warm.exit_code(), 0);
+    assert_eq!(warm.cache_misses(), 0, "warnings: {:?}", warm.warnings);
+    assert_eq!(warm.cache_hits(), 3 * ks.len());
+
+    for (c, w) in cold.runs.iter().zip(&warm.runs) {
+        assert_eq!(c.kernel, w.kernel);
+        let (ca, wa) = (artifacts(&c.outcome), artifacts(&w.outcome));
+        // Byte-identical artifact, field-identical reports.
+        assert_eq!(ca.module_text, wa.module_text, "{}", c.kernel);
+        assert_eq!(ca.module_digest, wa.module_digest, "{}", c.kernel);
+        assert_eq!(ca.csynth, wa.csynth, "{}", c.kernel);
+        assert_eq!(
+            ca.cosim_max_err.to_bits(),
+            wa.cosim_max_err.to_bits(),
+            "{}",
+            c.kernel
+        );
+        assert_eq!(ca.cosim_steps, wa.cosim_steps, "{}", c.kernel);
+        // Every warm stage is marked cached in the pipeline report.
+        assert_eq!(wa.report.cached_stages(), 3, "{}", c.kernel);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_batch_matches_serial_run_flow() {
+    // Acceptance criterion: `--jobs 8` over the full suite produces
+    // per-kernel results identical to serial `run_flow`.
+    let ks = kernels::all_kernels();
+    let o = BatchOptions {
+        jobs: 8,
+        cache_dir: None,
+        ..BatchOptions::default()
+    };
+    let batch = run_batch(ks, &o).unwrap();
+    assert_eq!(batch.jobs, 8.min(ks.len()));
+    for (k, r) in ks.iter().zip(&batch.runs) {
+        let a = artifacts(&r.outcome);
+        let serial = run_flow(k, &o.directives, Flow::Adaptor).unwrap();
+        assert_eq!(
+            a.module_text,
+            llvm_lite::printer::print_module(&serial.module),
+            "{}: batch module differs from serial flow",
+            k.name
+        );
+        let serial_csynth = vitis_sim::csynth(&serial.module, &o.target).unwrap();
+        assert_eq!(a.csynth, serial_csynth, "{}", k.name);
+        let serial_cosim = driver::cosim(&serial.module, k, o.seed).unwrap();
+        assert_eq!(
+            a.cosim_max_err.to_bits(),
+            serial_cosim.max_abs_err.to_bits()
+        );
+        assert_eq!(a.cosim_steps, serial_cosim.steps, "{}", k.name);
+    }
+}
+
+#[test]
+fn cache_invalidated_by_pass_config_change() {
+    let dir = temp_cache("config-change");
+    let ks = [*kernels::kernel("fir").unwrap()];
+
+    let cold = run_batch(&ks, &opts(&dir)).unwrap();
+    assert_eq!(cold.cache_misses(), 3);
+
+    // Same kernel, different pipeline config: nothing may be reused.
+    let mut changed = opts(&dir);
+    changed.directives = Directives {
+        pipeline_ii: Some(2),
+        ..Directives::pipelined(2)
+    };
+    let after = run_batch(&ks, &changed).unwrap();
+    assert_eq!(after.cache_hits(), 0, "config change must invalidate");
+    assert_eq!(after.cache_misses(), 3);
+
+    // The original config is still cached untouched.
+    let back = run_batch(&ks, &opts(&dir)).unwrap();
+    assert_eq!(back.cache_misses(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_invalidated_by_ir_edit() {
+    let dir = temp_cache("ir-edit");
+    let base = *kernels::kernel("jacobi2d").unwrap();
+
+    let cold = run_batch(&[base], &opts(&dir)).unwrap();
+    assert_eq!(cold.cache_misses(), 3);
+
+    // Same kernel name, edited MLIR source: the content digest changes, so
+    // every stage recomputes.
+    let mut edited = base;
+    edited.mlir = Box::leak(
+        base.mlir
+            .replace("arith.constant 0.2", "arith.constant 0.25")
+            .into_boxed_str(),
+    );
+    assert_ne!(base.content_digest(), edited.content_digest());
+    let after = run_batch(&[edited], &opts(&dir)).unwrap();
+    assert_eq!(after.cache_hits(), 0, "IR edit must invalidate");
+    assert_ne!(
+        artifacts(&cold.runs[0].outcome).module_digest,
+        artifacts(&after.runs[0].outcome).module_digest
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entry_falls_back_to_recompute_with_warning() {
+    let dir = temp_cache("corrupt-entry");
+    let ks = [*kernels::kernel("gemm").unwrap()];
+    let o = opts(&dir);
+
+    let cold = run_batch(&ks, &o).unwrap();
+    let reference = artifacts(&cold.runs[0].outcome).clone();
+
+    // Vandalize every entry: flip payload bytes behind the headers.
+    let mut vandalized = 0;
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let path = e.unwrap().path();
+        std::fs::write(&path, "mha-cache 1 0000 0000 4\njunk").unwrap();
+        vandalized += 1;
+    }
+    assert_eq!(vandalized, 3);
+
+    let warm = run_batch(&ks, &o).unwrap();
+    assert_eq!(warm.exit_code(), 0);
+    // Fell back to a full recompute, with one warning per damaged entry...
+    assert_eq!(warm.cache_hits(), 0);
+    assert_eq!(warm.cache_misses(), 3);
+    assert_eq!(warm.warnings.len(), 3, "{:?}", warm.warnings);
+    assert!(warm.warnings.iter().all(|w| w.contains("corrupt")));
+    // ...and the answer is still byte-identical to the cold run.
+    let recovered = artifacts(&warm.runs[0].outcome);
+    assert_eq!(recovered.module_text, reference.module_text);
+    assert_eq!(recovered.csynth, reference.csynth);
+
+    // The rewritten entries serve the next run in full.
+    let healed = run_batch(&ks, &o).unwrap();
+    assert_eq!(healed.cache_misses(), 0);
+    assert!(healed.warnings.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panic_is_isolated_from_other_kernels() {
+    // Acceptance criterion: an injected per-kernel panic yields exit code 1
+    // with the other kernels' results intact.
+    let ks = kernels::all_kernels();
+    let clean = run_batch(
+        ks,
+        &BatchOptions {
+            jobs: 4,
+            cache_dir: None,
+            ..BatchOptions::default()
+        },
+    )
+    .unwrap();
+
+    let poisoned = run_batch(
+        ks,
+        &BatchOptions {
+            jobs: 4,
+            cache_dir: None,
+            inject_panic: Some("two_mm".into()),
+            ..BatchOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(poisoned.exit_code(), 1);
+    assert_eq!(poisoned.failed_count(), 1);
+    assert_eq!(poisoned.ok_count(), ks.len() - 1);
+
+    for (c, p) in clean.runs.iter().zip(&poisoned.runs) {
+        if p.kernel == "two_mm" {
+            match &p.outcome {
+                RunOutcome::Panicked { message } => {
+                    assert!(message.contains("injected panic"), "{message}")
+                }
+                other => panic!("expected panic outcome, got {other:?}"),
+            }
+        } else {
+            // Every other kernel's artifacts are unaffected by the panic.
+            assert_eq!(
+                artifacts(&c.outcome).module_text,
+                artifacts(&p.outcome).module_text,
+                "{}",
+                p.kernel
+            );
+        }
+    }
+}
