@@ -34,7 +34,9 @@ pub mod passes;
 pub mod pipeline;
 
 pub use compat::{compat_issues, CompatIssue, IssueKind};
-pub use pipeline::{registry, run_adaptor, AdaptorConfig, AdaptorReport, HlsAdaptor};
+pub use pipeline::{
+    registry, run_adaptor, run_adaptor_budgeted, AdaptorConfig, AdaptorReport, HlsAdaptor,
+};
 
 /// Errors are llvm-lite errors (the adaptor is an LLVM-level component).
 pub type Error = llvm_lite::Error;

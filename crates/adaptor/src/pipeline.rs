@@ -139,6 +139,19 @@ fn build_pipeline(cfg: &AdaptorConfig) -> PassManager {
 
 /// Run the adaptor pipeline over a module.
 pub fn run_adaptor(m: &mut Module, cfg: &AdaptorConfig) -> Result<AdaptorReport> {
+    run_adaptor_budgeted(m, cfg, &pass_core::Budget::unlimited())
+}
+
+/// [`run_adaptor`] under a [`pass_core::Budget`]: each legalization pass
+/// (and the compat gate) charges one fuel unit and checks the deadline, so
+/// a budgeted caller gets a structured trip (the `budget` diagnostic,
+/// recoverable with `BudgetError::from_rendered`) instead of an unbounded
+/// pipeline run.
+pub fn run_adaptor_budgeted(
+    m: &mut Module,
+    cfg: &AdaptorConfig,
+    budget: &pass_core::Budget,
+) -> Result<AdaptorReport> {
     let mut report = AdaptorReport {
         issues_before: compat_issues(m).len(),
         ..AdaptorReport::default()
@@ -148,11 +161,15 @@ pub fn run_adaptor(m: &mut Module, cfg: &AdaptorConfig) -> Result<AdaptorReport>
     // verification, timing, and change tracking.
     let pm = build_pipeline(cfg);
     let pipeline = pm
-        .run_observed(m, &mut |ir, rec| {
-            report
-                .issues_after_pass
-                .push((rec.pass.clone(), compat_issues(ir).len()));
-        })
+        .run_observed_budgeted(
+            m,
+            &mut |ir, rec| {
+                report
+                    .issues_after_pass
+                    .push((rec.pass.clone(), compat_issues(ir).len()));
+            },
+            budget,
+        )
         .map_err(llvm_lite::Error::from)?;
     report.changed_passes = pipeline
         .changed_passes()
@@ -164,7 +181,7 @@ pub fn run_adaptor(m: &mut Module, cfg: &AdaptorConfig) -> Result<AdaptorReport>
     if cfg.gate {
         let mut pm = PassManager::with_label("compat-gate");
         pm.add(VerifyCompat);
-        pm.run(m).map_err(llvm_lite::Error::from)?;
+        pm.run_budgeted(m, budget).map_err(llvm_lite::Error::from)?;
     }
     Ok(report)
 }
@@ -367,6 +384,23 @@ func.func @gemm(%A: memref<4x4xf32>, %B: memref<4x4xf32>, %C: memref<4x4xf32>) a
             assert_eq!(&rec.pass, name);
         }
         assert!(report.pipeline.passes.iter().all(|p| p.size_after > 0));
+    }
+
+    #[test]
+    fn fuel_budget_trips_adaptor_with_recoverable_error() {
+        let mut m = lowered_gemm();
+        let budget = pass_core::Budget::unlimited().with_fuel(2);
+        let err = run_adaptor_budgeted(&mut m, &AdaptorConfig::default(), &budget).unwrap_err();
+        let trip = pass_core::BudgetError::from_rendered(&err.to_string())
+            .expect("budget trip survives the llvm-lite error channel");
+        assert_eq!(trip.kind, pass_core::BudgetKind::Fuel);
+        // Two fuel units ran exactly the first two passes before tripping.
+        assert_eq!(trip.stage, PASS_NAMES[2]);
+        // An unlimited budget matches the plain entry point.
+        let mut m2 = lowered_gemm();
+        let r =
+            run_adaptor_budgeted(&mut m2, &AdaptorConfig::default(), &Default::default()).unwrap();
+        assert_eq!(r.issues_after, 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The parallel batch engine behind `mha-batch`.
+//! The parallel batch engine behind `mha-batch`, run under the
+//! [`crate::supervisor`] layer.
 //!
 //! [`run_batch`] pushes every requested kernel through the full
 //! MLIR → flow → csynth → co-simulation pipeline on a worker pool
@@ -9,26 +10,52 @@
 //! plus configuration — cold and warm runs execute the same pipeline on the
 //! same bytes.
 //!
-//! Failure isolation: a kernel that returns an error or panics is caught in
-//! its worker, recorded as a structured entry in the [`BatchSummary`], and
-//! never disturbs the other kernels. Exit codes follow the `mha-lint`
-//! convention: 0 all clean, 1 some kernels failed, 2 infrastructure error
-//! (reported as [`BatchError`] before any kernel runs).
+//! Supervision (ISSUE 4) adds four guarantees on top of PR 3's engine:
+//!
+//! * **Budgets** — every pipeline attempt runs under a fresh
+//!   [`pass_core::Budget`] built from `--deadline-ms` / `--fuel`, carried
+//!   through the flow, the adaptor pass pipeline, and `vitis-sim`'s
+//!   scheduling loops. A hang becomes a structured
+//!   [`StageError::BudgetExceeded`] instead of a wedged worker.
+//! * **Retries** — cache I/O (probe and store) runs under the
+//!   [`RetryPolicy`]; only [`FaultClass::Transient`] failures retry, and a
+//!   probe abandoned after backoff degrades to a recompute, never an error.
+//! * **Degradation** — when the adaptor flow fails *deterministically* for
+//!   a kernel (legalization rejection), the kernel re-runs through the
+//!   baseline C++ flow and is reported as [`RunOutcome::Degraded`]; the
+//!   batch exits 1 but the suite's numbers survive.
+//! * **Journal** — with caching enabled, a write-ahead `journal.jsonl`
+//!   (next to the cache entries) records every kernel start and outcome;
+//!   `--resume` replays completed kernels instead of re-running them.
+//!
+//! Failure isolation is unchanged: a kernel that returns an error or panics
+//! is caught in its worker, recorded as a structured entry in the
+//! [`BatchSummary`], and never disturbs the other kernels. Exit codes
+//! follow the `mha-lint` convention: 0 all clean, 1 some kernels failed or
+//! degraded, 2 infrastructure error (reported as [`BatchError`] before any
+//! kernel runs). Non-fatal warnings go to **stderr**, keeping
+//! `--format json` stdout a single parseable document.
 
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use kernels::Kernel;
+use pass_core::json::JsonValue;
 use pass_core::report::json_str;
-use pass_core::PipelineReport;
-use vitis_sim::{csynth, CsynthReport, Target};
+use pass_core::{Budget, BudgetError, PipelineReport};
+use vitis_sim::{csynth_budgeted, CsynthReport, Target};
 
 use crate::cache::{self, Cache, CacheError, CacheKey, KeyBuilder, Lookup};
 use crate::cosim::cosim;
 use crate::experiment::Directives;
-use crate::flow::{run_flow, Flow};
+use crate::flow::{run_flow_budgeted, Flow};
+use crate::supervisor::{
+    ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, JournalOutcomes,
+    RetryPolicy, StageError,
+};
 
 /// Everything that configures one batch run.
 #[derive(Clone, Debug)]
@@ -40,15 +67,32 @@ pub struct BatchOptions {
     /// Which flow to run.
     pub flow: Flow,
     /// Artifact cache directory; `None` disables caching entirely
-    /// (`--no-cache`).
+    /// (`--no-cache`). The run journal lives next to the cache entries, so
+    /// `--no-cache` also disables the journal (and `--resume`).
     pub cache_dir: Option<PathBuf>,
     /// Synthesis target.
     pub target: Target,
     /// Co-simulation input seed.
     pub seed: u64,
     /// Test hook: panic inside the worker processing this kernel, to
-    /// exercise failure isolation end to end (`--inject-panic`).
+    /// exercise failure isolation end to end (`--inject-panic`). The seeded
+    /// [`ChaosConfig`] harness generalizes this; the hook remains for
+    /// targeting one specific kernel.
     pub inject_panic: Option<String>,
+    /// Per-kernel wall-clock deadline (`--deadline-ms`); each pipeline
+    /// attempt gets this long before tripping
+    /// [`StageError::BudgetExceeded`].
+    pub deadline_ms: Option<u64>,
+    /// Per-kernel fuel allowance (`--fuel`): units of work (passes,
+    /// scheduled instructions, II-search probes) one pipeline attempt may
+    /// spend across all its stages.
+    pub fuel: Option<u64>,
+    /// Seeded fault injection (`--chaos seed,rate`), `None` when off.
+    pub chaos: Option<ChaosConfig>,
+    /// Replay completed kernels from the run journal (`--resume`).
+    pub resume: bool,
+    /// Retry policy for transient faults (cache I/O, injected I/O errors).
+    pub retry: RetryPolicy,
 }
 
 impl Default for BatchOptions {
@@ -61,6 +105,11 @@ impl Default for BatchOptions {
             target: Target::default(),
             seed: 2026,
             inject_panic: None,
+            deadline_ms: None,
+            fuel: None,
+            chaos: None,
+            resume: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -75,6 +124,19 @@ impl BatchOptions {
         let jobs = if self.jobs == 0 { auto } else { self.jobs };
         jobs.clamp(1, n_kernels.max(1))
     }
+
+    /// One pipeline attempt's budget, built fresh from the options so a
+    /// degraded fallback is not charged for the failed adaptor attempt.
+    fn fresh_budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(units) = self.fuel {
+            b = b.with_fuel(units);
+        }
+        b
+    }
 }
 
 /// An infrastructure failure that prevents the batch from running at all
@@ -84,6 +146,9 @@ impl BatchOptions {
 pub enum BatchError {
     /// The cache directory could not be opened or written.
     Cache(CacheError),
+    /// The run journal could not be created or resumed (config mismatch,
+    /// interior corruption, unwritable directory).
+    Journal(JournalError),
     /// The request itself is unusable (e.g. no kernels selected).
     Usage(String),
 }
@@ -92,6 +157,7 @@ impl std::fmt::Display for BatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BatchError::Cache(e) => write!(f, "batch infrastructure: {e}"),
+            BatchError::Journal(e) => write!(f, "batch infrastructure: {e}"),
             BatchError::Usage(m) => write!(f, "batch usage: {m}"),
         }
     }
@@ -101,6 +167,7 @@ impl std::error::Error for BatchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BatchError::Cache(e) => Some(e),
+            BatchError::Journal(e) => Some(e),
             BatchError::Usage(_) => None,
         }
     }
@@ -109,6 +176,12 @@ impl std::error::Error for BatchError {
 impl From<CacheError> for BatchError {
     fn from(e: CacheError) -> Self {
         BatchError::Cache(e)
+    }
+}
+
+impl From<JournalError> for BatchError {
+    fn from(e: JournalError) -> Self {
+        BatchError::Journal(e)
     }
 }
 
@@ -127,7 +200,8 @@ pub struct KernelArtifacts {
     pub cosim_max_err: f32,
     /// Co-simulation interpreter step count.
     pub cosim_steps: u64,
-    /// Per-stage timing, with cached stages marked.
+    /// Per-stage timing, with cached stages marked (and `degraded` set when
+    /// these artifacts came from the C++-flow fallback).
     pub report: PipelineReport,
     /// Stages served from the cache for this kernel (0–3).
     pub cache_hits: usize,
@@ -138,15 +212,19 @@ pub struct KernelArtifacts {
 /// How one kernel's run ended.
 #[derive(Clone, Debug)]
 pub enum RunOutcome {
-    /// All stages completed.
+    /// All stages completed under the requested flow.
     Completed(Box<KernelArtifacts>),
-    /// A stage returned an error.
-    Failed {
-        /// Which stage failed (`flow`, `csynth`, `cosim`).
-        stage: String,
-        /// The rendered error.
-        error: String,
+    /// The adaptor flow failed deterministically; the baseline C++ flow
+    /// produced these artifacts instead. Counts toward exit code 1.
+    Degraded {
+        /// Artifacts from the C++-flow fallback (`report.degraded` set).
+        artifacts: Box<KernelArtifacts>,
+        /// Why the adaptor flow was abandoned.
+        reason: String,
     },
+    /// A stage failed with a classified [`StageError`] (fault or budget
+    /// trip).
+    Failed(StageError),
     /// The worker caught a panic from this kernel.
     Panicked {
         /// The panic payload, if it was a string.
@@ -164,9 +242,14 @@ pub struct KernelRun {
 }
 
 impl KernelRun {
-    /// True when the kernel completed all stages.
+    /// True when the kernel completed all stages under the requested flow.
     pub fn is_ok(&self) -> bool {
         matches!(self.outcome, RunOutcome::Completed(_))
+    }
+
+    /// True when the kernel only survived via the C++-flow fallback.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Degraded { .. })
     }
 }
 
@@ -183,51 +266,61 @@ pub struct BatchSummary {
     pub wall_us: u64,
     /// Per-kernel results, in the order the kernels were given.
     pub runs: Vec<KernelRun>,
-    /// Non-fatal cache warnings (corrupt entries that fell back to
-    /// recompute).
+    /// Non-fatal warnings (corrupt cache entries healed, abandoned
+    /// retries, degradations, jobs clamping). Already printed to stderr as
+    /// they occurred; collected here for the JSON summary.
     pub warnings: Vec<String>,
 }
 
 impl BatchSummary {
-    /// Kernels that completed.
+    /// Kernels that completed under the requested flow.
     pub fn ok_count(&self) -> usize {
         self.runs.iter().filter(|r| r.is_ok()).count()
     }
 
-    /// Kernels that failed or panicked.
-    pub fn failed_count(&self) -> usize {
-        self.runs.len() - self.ok_count()
+    /// Kernels that fell back to the C++ flow.
+    pub fn degraded_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_degraded()).count()
     }
 
-    /// Total cache hits across kernels.
+    /// Kernels that failed or panicked outright.
+    pub fn failed_count(&self) -> usize {
+        self.runs.len() - self.ok_count() - self.degraded_count()
+    }
+
+    /// Total cache hits across kernels (degraded fallbacks included).
     pub fn cache_hits(&self) -> usize {
         self.artifacts().map(|a| a.cache_hits).sum()
     }
 
-    /// Total cache misses across kernels.
+    /// Total cache misses across kernels (degraded fallbacks included).
     pub fn cache_misses(&self) -> usize {
         self.artifacts().map(|a| a.cache_misses).sum()
     }
 
     fn artifacts(&self) -> impl Iterator<Item = &KernelArtifacts> {
         self.runs.iter().filter_map(|r| match &r.outcome {
-            RunOutcome::Completed(a) => Some(a.as_ref()),
+            RunOutcome::Completed(a) | RunOutcome::Degraded { artifacts: a, .. } => {
+                Some(a.as_ref())
+            }
             _ => None,
         })
     }
 
     /// Process exit code under the mha-lint convention: 0 all kernels
-    /// clean, 1 some kernels failed (the rest still reported). Code 2 is
-    /// reserved for [`BatchError`], which precludes a summary.
+    /// clean, 1 some kernels failed *or degraded* (the rest still
+    /// reported). Code 2 is reserved for [`BatchError`], which precludes a
+    /// summary.
     pub fn exit_code(&self) -> i32 {
-        if self.failed_count() > 0 {
+        if self.failed_count() > 0 || self.degraded_count() > 0 {
             1
         } else {
             0
         }
     }
 
-    /// Render the human-readable batch table.
+    /// Render the human-readable batch table. Warnings are *not* included —
+    /// they stream to stderr as they occur.
     pub fn render(&self) -> String {
         let mut out = format!(
             "== mha-batch: {} kernel(s), flow {}, jobs {}, cache {} ({} hit / {} miss), {} ms\n",
@@ -240,41 +333,52 @@ impl BatchSummary {
             self.wall_us / 1000
         );
         out.push_str(&format!(
-            "{:<10}  {:<7}  {:>8}  {:>8}  {:>9}  {:>9}  {}\n",
+            "{:<10}  {:<8}  {:>8}  {:>8}  {:>9}  {:>9}  {}\n",
             "kernel", "status", "latency", "interval", "cosim_err", "stage_us", "cache"
         ));
         for r in &self.runs {
             match &r.outcome {
                 RunOutcome::Completed(a) => {
+                    out.push_str(&Self::artifact_row(&r.kernel, "ok", a));
+                }
+                RunOutcome::Degraded { artifacts, .. } => {
+                    out.push_str(&Self::artifact_row(&r.kernel, "degraded", artifacts));
+                }
+                RunOutcome::Failed(e) => {
                     out.push_str(&format!(
-                        "{:<10}  {:<7}  {:>8}  {:>8}  {:>9}  {:>9}  {}h/{}m\n",
+                        "{:<10}  FAILED    [{}|{}] {}\n",
                         r.kernel,
-                        "ok",
-                        a.csynth.latency,
-                        a.csynth.interval,
-                        a.cosim_max_err,
-                        a.report.total_us(),
-                        a.cache_hits,
-                        a.cache_misses
+                        e.stage(),
+                        e.class_label(),
+                        e.detail()
                     ));
                 }
-                RunOutcome::Failed { stage, error } => {
-                    out.push_str(&format!("{:<10}  FAILED   [{stage}] {error}\n", r.kernel));
-                }
                 RunOutcome::Panicked { message } => {
-                    out.push_str(&format!("{:<10}  PANIC    {message}\n", r.kernel));
+                    out.push_str(&format!("{:<10}  PANIC     {message}\n", r.kernel));
                 }
             }
         }
-        for w in &self.warnings {
-            out.push_str(&format!("warning: {w}\n"));
-        }
         out.push_str(&format!(
-            "== {} ok, {} failed\n",
+            "== {} ok, {} degraded, {} failed\n",
             self.ok_count(),
+            self.degraded_count(),
             self.failed_count()
         ));
         out
+    }
+
+    fn artifact_row(kernel: &str, status: &str, a: &KernelArtifacts) -> String {
+        format!(
+            "{:<10}  {:<8}  {:>8}  {:>8}  {:>9}  {:>9}  {}h/{}m\n",
+            kernel,
+            status,
+            a.csynth.latency,
+            a.csynth.interval,
+            a.cosim_max_err,
+            a.report.total_us(),
+            a.cache_hits,
+            a.cache_misses
+        )
     }
 
     /// Serialize the summary to JSON (hand-rolled, same style as
@@ -304,22 +408,22 @@ impl BatchSummary {
             }
             match &r.outcome {
                 RunOutcome::Completed(a) => out.push_str(&format!(
-                    "{{\"kernel\":{},\"status\":\"ok\",\"module_digest\":{},\"latency\":{},\"interval\":{},\"cosim_max_err\":{},\"cosim_steps\":{},\"cache_hits\":{},\"cache_misses\":{},\"report\":{}}}",
+                    "{{\"kernel\":{},\"status\":\"ok\",{}}}",
                     json_str(&r.kernel),
-                    json_str(&a.module_digest),
-                    a.csynth.latency,
-                    a.csynth.interval,
-                    a.cosim_max_err,
-                    a.cosim_steps,
-                    a.cache_hits,
-                    a.cache_misses,
-                    a.report.to_json()
+                    Self::artifact_json_fields(a)
                 )),
-                RunOutcome::Failed { stage, error } => out.push_str(&format!(
-                    "{{\"kernel\":{},\"status\":\"failed\",\"stage\":{},\"error\":{}}}",
+                RunOutcome::Degraded { artifacts, reason } => out.push_str(&format!(
+                    "{{\"kernel\":{},\"status\":\"degraded\",\"reason\":{},{}}}",
                     json_str(&r.kernel),
-                    json_str(stage),
-                    json_str(error)
+                    json_str(reason),
+                    Self::artifact_json_fields(artifacts)
+                )),
+                RunOutcome::Failed(e) => out.push_str(&format!(
+                    "{{\"kernel\":{},\"status\":\"failed\",\"stage\":{},\"class\":{},\"error\":{}}}",
+                    json_str(&r.kernel),
+                    json_str(e.stage()),
+                    json_str(&e.class_label()),
+                    json_str(e.detail())
                 )),
                 RunOutcome::Panicked { message } => out.push_str(&format!(
                     "{{\"kernel\":{},\"status\":\"panicked\",\"error\":{}}}",
@@ -330,6 +434,122 @@ impl BatchSummary {
         }
         out.push_str("]}");
         out
+    }
+
+    fn artifact_json_fields(a: &KernelArtifacts) -> String {
+        format!(
+            "\"module_digest\":{},\"latency\":{},\"interval\":{},\"cosim_max_err\":{},\"cosim_steps\":{},\"cache_hits\":{},\"cache_misses\":{},\"report\":{}",
+            json_str(&a.module_digest),
+            a.csynth.latency,
+            a.csynth.interval,
+            a.cosim_max_err,
+            a.cosim_steps,
+            a.cache_hits,
+            a.cache_misses,
+            a.report.to_json()
+        )
+    }
+}
+
+/// Serialize a [`RunOutcome`] as the journal's `done`-record payload. The
+/// encoding is total: every artifact field travels (module text, exact
+/// csynth/cosim payload encodings, the nested report), so
+/// [`outcome_from_json`] reconstructs the outcome field-for-field and a
+/// `--resume` replay is indistinguishable from having run the kernel.
+pub fn outcome_to_json(o: &RunOutcome) -> String {
+    fn artifact_fields(a: &KernelArtifacts) -> String {
+        format!(
+            "\"module_text\":{},\"module_digest\":{},\"csynth\":{},\"cosim\":{},\"cache_hits\":{},\"cache_misses\":{},\"report\":{}",
+            json_str(&a.module_text),
+            json_str(&a.module_digest),
+            json_str(&cache::encode_csynth(&a.csynth)),
+            json_str(&cache::encode_cosim(&crate::CosimResult {
+                max_abs_err: a.cosim_max_err,
+                steps: a.cosim_steps,
+            })),
+            a.cache_hits,
+            a.cache_misses,
+            a.report.to_json()
+        )
+    }
+    match o {
+        RunOutcome::Completed(a) => format!("{{\"status\":\"ok\",{}}}", artifact_fields(a)),
+        RunOutcome::Degraded { artifacts, reason } => format!(
+            "{{\"status\":\"degraded\",\"reason\":{},{}}}",
+            json_str(reason),
+            artifact_fields(artifacts)
+        ),
+        RunOutcome::Failed(e) => format!(
+            "{{\"status\":\"failed\",\"stage\":{},\"class\":{},\"error\":{}}}",
+            json_str(e.stage()),
+            json_str(&e.class_label()),
+            json_str(e.detail())
+        ),
+        RunOutcome::Panicked { message } => {
+            format!(
+                "{{\"status\":\"panicked\",\"error\":{}}}",
+                json_str(message)
+            )
+        }
+    }
+}
+
+/// Parse a journal `done`-record payload back into a [`RunOutcome`].
+pub fn outcome_from_json(v: &JsonValue) -> Result<RunOutcome, String> {
+    fn artifacts(v: &JsonValue) -> Result<KernelArtifacts, String> {
+        let text = |k: &str| {
+            v.get(k)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("journal outcome: missing '{k}'"))
+        };
+        let count = |k: &str| {
+            v.get(k)
+                .and_then(|x| x.as_u64())
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("journal outcome: missing '{k}'"))
+        };
+        let csynth = cache::decode_csynth(&text("csynth")?)
+            .map_err(|e| format!("journal outcome: bad csynth payload: {e}"))?;
+        let cosim = cache::decode_cosim(&text("cosim")?)
+            .map_err(|e| format!("journal outcome: bad cosim payload: {e}"))?;
+        let report = PipelineReport::from_json_value(
+            v.get("report").ok_or("journal outcome: missing 'report'")?,
+        )?;
+        Ok(KernelArtifacts {
+            module_text: text("module_text")?,
+            module_digest: text("module_digest")?,
+            csynth,
+            cosim_max_err: cosim.max_abs_err,
+            cosim_steps: cosim.steps,
+            report,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+        })
+    }
+    let status = v
+        .get("status")
+        .and_then(|x| x.as_str())
+        .ok_or("journal outcome: missing 'status'")?;
+    match status {
+        "ok" => Ok(RunOutcome::Completed(Box::new(artifacts(v)?))),
+        "degraded" => Ok(RunOutcome::Degraded {
+            artifacts: Box::new(artifacts(v)?),
+            reason: v
+                .get("reason")
+                .and_then(|x| x.as_str())
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        "failed" => Ok(RunOutcome::Failed(StageError::from_json(v)?)),
+        "panicked" => Ok(RunOutcome::Panicked {
+            message: v
+                .get("error")
+                .and_then(|x| x.as_str())
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        other => Err(format!("journal outcome: unknown status '{other}'")),
     }
 }
 
@@ -360,62 +580,206 @@ fn target_repr(t: &Target) -> String {
     )
 }
 
+/// The full configuration identity a journal is bound to: resuming under a
+/// different value of any of these would mix incomparable outcomes.
+fn batch_config_repr(opts: &BatchOptions) -> String {
+    fn opt_u64(v: Option<u64>) -> String {
+        v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+    }
+    format!(
+        "{};target={};seed={};deadline_ms={};fuel={};chaos={}",
+        directives_repr(&opts.directives, opts.flow),
+        target_repr(&opts.target),
+        opts.seed,
+        opt_u64(opts.deadline_ms),
+        opt_u64(opts.fuel),
+        opts.chaos.map(|c| c.repr()).unwrap_or_else(|| "-".into()),
+    )
+}
+
 /// Shared per-run context handed to every worker.
 struct BatchCtx<'a> {
     opts: &'a BatchOptions,
     cache: Option<Cache>,
+    chaos: Option<ChaosEngine>,
+    journal: Option<Journal>,
     warnings: Mutex<Vec<String>>,
 }
 
+/// Faults the chaos engine may inject at a pipeline stage boundary.
+const BOUNDARY_MENU: &[ChaosFault] = &[
+    ChaosFault::Panic,
+    ChaosFault::Delay,
+    ChaosFault::FuelExhaustion,
+];
+
+/// At the adaptor flow's boundary a legalization rejection is also on the
+/// menu, to exercise the degraded C++-flow fallback.
+const ADAPTOR_BOUNDARY_MENU: &[ChaosFault] = &[
+    ChaosFault::Panic,
+    ChaosFault::Delay,
+    ChaosFault::FuelExhaustion,
+    ChaosFault::AdaptorReject,
+];
+
 impl BatchCtx<'_> {
-    /// Probe the cache; corrupt entries degrade to a miss plus a warning.
-    fn probe(&self, key: &CacheKey) -> Option<String> {
-        match self.cache.as_ref()?.load(key) {
-            Lookup::Hit(payload) => Some(payload),
-            Lookup::Miss => None,
-            Lookup::Corrupt(reason) => {
-                self.warn(format!("corrupt cache entry ignored: {reason}"));
-                None
-            }
-        }
-    }
-
-    /// Store a freshly computed artifact; store failures are warnings, not
-    /// errors — the batch result is already in hand.
-    fn keep(&self, key: &CacheKey, payload: &str) {
-        if let Some(c) = &self.cache {
-            if let Err(e) = c.store(key, payload) {
-                self.warn(format!("cache store failed: {e}"));
-            }
-        }
-    }
-
+    /// Record a non-fatal warning: streamed to stderr immediately (stdout
+    /// stays a clean document for `--format json`) and collected for the
+    /// summary's `warnings` array.
     fn warn(&self, w: String) {
+        eprintln!("warning: {w}");
         self.warnings
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .push(w);
     }
+
+    fn chaos_roll(
+        &self,
+        kernel: &str,
+        site: &str,
+        attempt: u32,
+        menu: &[ChaosFault],
+    ) -> Option<ChaosFault> {
+        self.chaos
+            .as_ref()
+            .and_then(|c| c.roll(kernel, site, attempt, menu))
+    }
+
+    /// Roll (and apply) stage-boundary chaos for `kernel` at `site`.
+    /// Panics propagate to the worker's `catch_unwind`; a delay just
+    /// sleeps (letting a real deadline trip downstream); fuel exhaustion
+    /// drains the pool *and* trips immediately so the injection is
+    /// observable even without `--fuel`.
+    fn boundary_chaos(
+        &self,
+        kernel: &str,
+        site: &str,
+        flow: Flow,
+        budget: &Budget,
+    ) -> Result<(), StageError> {
+        let menu = if site == "flow" && flow == Flow::Adaptor {
+            ADAPTOR_BOUNDARY_MENU
+        } else {
+            BOUNDARY_MENU
+        };
+        match self.chaos_roll(kernel, site, 0, menu) {
+            None | Some(ChaosFault::IoError) => Ok(()),
+            Some(ChaosFault::Panic) => {
+                panic!("chaos: injected panic at {site} for {kernel}")
+            }
+            Some(ChaosFault::Delay) => {
+                std::thread::sleep(Duration::from_millis(25));
+                Ok(())
+            }
+            Some(ChaosFault::FuelExhaustion) => {
+                budget.exhaust_fuel();
+                Err(budget_trip(BudgetError::new(
+                    pass_core::BudgetKind::Fuel,
+                    site,
+                    "chaos: injected fuel exhaustion",
+                )))
+            }
+            Some(ChaosFault::AdaptorReject) => Err(StageError::Fault {
+                stage: "flow".to_string(),
+                class: FaultClass::Deterministic,
+                detail: "chaos: injected adaptor legalization rejection".to_string(),
+            }),
+        }
+    }
+
+    /// Probe the cache under the retry policy. Corrupt entries degrade to
+    /// a miss plus a warning; a probe still failing transiently after
+    /// backoff is abandoned (recompute), never fatal.
+    fn probe(&self, kernel: &str, stage: &str, key: &CacheKey) -> Option<String> {
+        let cache = self.cache.as_ref()?;
+        let site = format!("cache/{stage}");
+        let probed = self.opts.retry.run(&site, |attempt| {
+            if self
+                .chaos_roll(kernel, &site, attempt, &[ChaosFault::IoError])
+                .is_some()
+            {
+                return Err((
+                    FaultClass::Transient,
+                    "chaos: injected cache read error".to_string(),
+                ));
+            }
+            match cache.load(key) {
+                Lookup::Hit(payload) => Ok(Some(payload)),
+                Lookup::Miss => Ok(None),
+                Lookup::Corrupt(reason) => {
+                    self.warn(format!("corrupt cache entry ignored: {reason}"));
+                    Ok(None)
+                }
+            }
+        });
+        match probed {
+            Ok(v) => v,
+            Err(e) => {
+                self.warn(format!(
+                    "cache probe abandoned for {kernel} ({e}); recomputing"
+                ));
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed artifact under the retry policy; store
+    /// failures are warnings, not errors — the batch result is already in
+    /// hand.
+    fn keep(&self, kernel: &str, stage: &str, key: &CacheKey, payload: &str) {
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let site = format!("store/{stage}");
+        let stored = self.opts.retry.run(&site, |attempt| {
+            if self
+                .chaos_roll(kernel, &site, attempt, &[ChaosFault::IoError])
+                .is_some()
+            {
+                return Err((
+                    FaultClass::Transient,
+                    "chaos: injected cache write error".to_string(),
+                ));
+            }
+            cache
+                .store(key, payload)
+                .map_err(|e| (FaultClass::Transient, e.to_string()))
+        });
+        if let Err(e) = stored {
+            self.warn(format!("cache store failed: {e}"));
+        }
+    }
 }
 
-/// Run one kernel through flow → csynth → cosim with stage-level caching.
-fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, String)> {
-    let opts = ctx.opts;
-    if opts.inject_panic.as_deref() == Some(k.name) {
-        panic!("injected panic for {} (test hook)", k.name);
+/// Lift a [`BudgetError`] into the batch's [`StageError`] vocabulary.
+fn budget_trip(e: BudgetError) -> StageError {
+    StageError::BudgetExceeded {
+        stage: e.stage,
+        kind: e.kind,
+        detail: e.detail,
     }
+}
+
+/// Run one kernel through `flow` → csynth → cosim with stage-level caching,
+/// under a fresh per-attempt [`Budget`] and the chaos engine's boundary
+/// injections.
+fn run_pipeline(k: &Kernel, ctx: &BatchCtx<'_>, flow: Flow) -> Result<KernelArtifacts, StageError> {
+    let opts = ctx.opts;
+    let budget = opts.fresh_budget();
     let mut report = PipelineReport::new("batch");
     let mut hits = 0usize;
     let mut misses = 0usize;
-    let config = directives_repr(&opts.directives, opts.flow);
+    let config = directives_repr(&opts.directives, flow);
 
     // Stage 1: MLIR → HLS-ready module, keyed by kernel content + config.
+    ctx.boundary_chaos(k.name, "flow", flow, &budget)?;
     let flow_key = KeyBuilder::new("flow")
         .num("kernel", k.content_digest())
         .text("config", &config)
         .finish();
     let start = std::time::Instant::now();
-    let module_text = match ctx.probe(&flow_key) {
+    let module_text = match ctx.probe(k.name, "flow", &flow_key) {
         Some(text) => {
             hits += 1;
             report.record_cached("flow", start.elapsed().as_micros() as u64);
@@ -423,11 +787,12 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
         }
         None => {
             misses += 1;
-            let art = run_flow(k, &opts.directives, opts.flow)
-                .map_err(|e| ("flow".to_string(), e.to_string()))?;
+            let art = run_flow_budgeted(k, &opts.directives, flow, &budget).map_err(|e| {
+                StageError::classify("flow", &e.to_string(), FaultClass::Deterministic)
+            })?;
             report.extend_prefixed("flow", &art.report);
             let text = llvm_lite::printer::print_module(&art.module);
-            ctx.keep(&flow_key, &text);
+            ctx.keep(k.name, "flow", &flow_key, &text);
             text
         }
     };
@@ -446,9 +811,10 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
         .num("seed", opts.seed)
         .finish();
 
+    ctx.boundary_chaos(k.name, "csynth", flow, &budget)?;
     let cached_csynth = {
         let start = std::time::Instant::now();
-        ctx.probe(&csynth_key)
+        ctx.probe(k.name, "csynth", &csynth_key)
             .and_then(|p| match cache::decode_csynth(&p) {
                 Ok(r) => {
                     hits += 1;
@@ -461,9 +827,10 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
                 }
             })
     };
+    ctx.boundary_chaos(k.name, "cosim", flow, &budget)?;
     let cached_cosim = {
         let start = std::time::Instant::now();
-        ctx.probe(&cosim_key)
+        ctx.probe(k.name, "cosim", &cosim_key)
             .and_then(|p| match cache::decode_cosim(&p) {
                 Ok(r) => {
                     hits += 1;
@@ -479,8 +846,9 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
 
     let module = if cached_csynth.is_none() || cached_cosim.is_none() {
         Some(
-            llvm_lite::parser::parse_module(k.name, &module_text)
-                .map_err(|e| ("parse".to_string(), e.to_string()))?,
+            llvm_lite::parser::parse_module(k.name, &module_text).map_err(|e| {
+                StageError::classify("parse", &e.to_string(), FaultClass::Deterministic)
+            })?,
         )
     } else {
         None
@@ -491,9 +859,13 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
         None => {
             misses += 1;
             let r = report
-                .time_stage("csynth", || csynth(module.as_ref().unwrap(), &opts.target))
-                .map_err(|e| ("csynth".to_string(), e.to_string()))?;
-            ctx.keep(&csynth_key, &cache::encode_csynth(&r));
+                .time_stage("csynth", || {
+                    csynth_budgeted(module.as_ref().unwrap(), &opts.target, &budget)
+                })
+                .map_err(|e| {
+                    StageError::classify("csynth", &e.to_string(), FaultClass::Deterministic)
+                })?;
+            ctx.keep(k.name, "csynth", &csynth_key, &cache::encode_csynth(&r));
             r
         }
     };
@@ -501,10 +873,13 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
         Some(r) => r,
         None => {
             misses += 1;
+            budget.charge(1, "cosim").map_err(budget_trip)?;
             let r = report
                 .time_stage("cosim", || cosim(module.as_ref().unwrap(), k, opts.seed))
-                .map_err(|e| ("cosim".to_string(), e.to_string()))?;
-            ctx.keep(&cosim_key, &cache::encode_cosim(&r));
+                .map_err(|e| {
+                    StageError::classify("cosim", &e.to_string(), FaultClass::Deterministic)
+                })?;
+            ctx.keep(k.name, "cosim", &cosim_key, &cache::encode_cosim(&r));
             r
         }
     };
@@ -521,10 +896,44 @@ fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> Result<KernelArtifacts, (String, S
     })
 }
 
+/// One kernel under full supervision: the requested flow first; when the
+/// adaptor flow fails *deterministically* (a legalization property of the
+/// input, not a budget trip or transient fault), fall back to the baseline
+/// C++ flow and mark the kernel degraded.
+fn run_one(k: &Kernel, ctx: &BatchCtx<'_>) -> RunOutcome {
+    if ctx.opts.inject_panic.as_deref() == Some(k.name) {
+        panic!("injected panic for {} (test hook)", k.name);
+    }
+    match run_pipeline(k, ctx, ctx.opts.flow) {
+        Ok(a) => RunOutcome::Completed(Box::new(a)),
+        Err(StageError::Fault {
+            stage,
+            class: FaultClass::Deterministic,
+            detail,
+        }) if ctx.opts.flow == Flow::Adaptor && stage == "flow" => {
+            let reason = format!("deterministic fault in {stage}: {detail}");
+            ctx.warn(format!(
+                "{}: adaptor flow failed; degrading to the C++ flow ({detail})",
+                k.name
+            ));
+            match run_pipeline(k, ctx, Flow::Cpp) {
+                Ok(mut artifacts) => {
+                    artifacts.report.degraded = true;
+                    RunOutcome::Degraded {
+                        artifacts: Box::new(artifacts),
+                        reason,
+                    }
+                }
+                Err(e) => RunOutcome::Failed(e),
+            }
+        }
+        Err(e) => RunOutcome::Failed(e),
+    }
+}
+
 fn run_one_isolated(k: &Kernel, ctx: &BatchCtx<'_>) -> KernelRun {
     let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| run_one(k, ctx))) {
-        Ok(Ok(artifacts)) => RunOutcome::Completed(Box::new(artifacts)),
-        Ok(Err((stage, error))) => RunOutcome::Failed { stage, error },
+        Ok(outcome) => outcome,
         Err(payload) => {
             let message = payload
                 .downcast_ref::<String>()
@@ -541,37 +950,106 @@ fn run_one_isolated(k: &Kernel, ctx: &BatchCtx<'_>) -> KernelRun {
 }
 
 /// Run the batch: every kernel through the configured flow, on
-/// `opts.effective_jobs` worker threads, with per-kernel failure isolation
-/// and stage-level caching. Results come back in input order regardless of
-/// completion order.
+/// `opts.effective_jobs` worker threads, with per-kernel failure isolation,
+/// stage-level caching, budget supervision, and (with caching on) a
+/// write-ahead journal. Results come back in input order regardless of
+/// completion order; with `opts.resume`, kernels already completed in the
+/// journal are replayed instead of re-run.
 pub fn run_batch(kernels: &[Kernel], opts: &BatchOptions) -> Result<BatchSummary, BatchError> {
     if kernels.is_empty() {
         return Err(BatchError::Usage("no kernels selected".into()));
+    }
+    if opts.resume && opts.cache_dir.is_none() {
+        return Err(BatchError::Usage(
+            "--resume needs the run journal, which lives in the cache directory; \
+             drop --no-cache"
+                .into(),
+        ));
     }
     let cache = match &opts.cache_dir {
         Some(dir) => Some(Cache::open(dir)?),
         None => None,
     };
+    let config = batch_config_repr(opts);
+    let mut replayed = JournalOutcomes::new();
+    let journal = match &opts.cache_dir {
+        Some(dir) => {
+            let path = dir.join(Journal::FILE_NAME);
+            if opts.resume {
+                let (j, outcomes) = Journal::resume(&path, &config)?;
+                replayed = outcomes;
+                Some(j)
+            } else {
+                Some(Journal::create(&path, &config)?)
+            }
+        }
+        None => None,
+    };
     let ctx = BatchCtx {
         opts,
         cache,
+        chaos: opts.chaos.map(ChaosEngine::new),
+        journal,
         warnings: Mutex::new(Vec::new()),
     };
     let jobs = opts.effective_jobs(kernels.len());
+    if opts.jobs > kernels.len() {
+        ctx.warn(format!(
+            "--jobs {} exceeds the {} selected kernel(s); clamping to {jobs}",
+            opts.jobs,
+            kernels.len()
+        ));
+    }
     let start = std::time::Instant::now();
+
+    // Pre-fill slots for journal-replayed kernels; only the rest queue up.
+    let slots: Vec<Mutex<Option<KernelRun>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        match replayed.get(k.name).map(outcome_from_json) {
+            Some(Ok(outcome)) => {
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(KernelRun {
+                    kernel: k.name.to_string(),
+                    outcome,
+                });
+            }
+            Some(Err(e)) => {
+                ctx.warn(format!(
+                    "journal outcome for {} unusable ({e}); re-running",
+                    k.name
+                ));
+                pending.push(i);
+            }
+            None => pending.push(i),
+        }
+    }
+    let n_replayed = kernels.len() - pending.len();
+    if n_replayed > 0 {
+        eprintln!("mha-batch: --resume replayed {n_replayed} completed kernel(s) from the journal");
+    }
 
     // Worker pool: `jobs` threads pull indices from a shared counter, so a
     // slow kernel never blocks the queue behind it. (The workspace's rayon
     // stand-in is sequential — see stubs/rayon — so the pool is built
     // directly on scoped threads.)
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<KernelRun>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for _ in 0..jobs.min(pending.len().max(1)) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(k) = kernels.get(i) else { break };
+                let qi = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(qi) else { break };
+                let k = &kernels[i];
+                if let Some(j) = &ctx.journal {
+                    if let Err(e) = j.begin(k.name) {
+                        ctx.warn(format!("journal write failed for {}: {e}", k.name));
+                    }
+                }
                 let run = run_one_isolated(k, &ctx);
+                if let Some(j) = &ctx.journal {
+                    if let Err(e) = j.finish(k.name, &outcome_to_json(&run.outcome)) {
+                        ctx.warn(format!("journal write failed for {}: {e}", k.name));
+                    }
+                }
                 *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(run);
             });
         }
@@ -605,6 +1083,7 @@ pub fn run_batch(kernels: &[Kernel], opts: &BatchOptions) -> Result<BatchSummary
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pass_core::json;
 
     fn no_cache_opts() -> BatchOptions {
         BatchOptions {
@@ -643,6 +1122,21 @@ mod tests {
     }
 
     #[test]
+    fn resume_without_cache_is_a_usage_error() {
+        let ks = [*kernels::kernel("fir").unwrap()];
+        let err = run_batch(
+            &ks,
+            &BatchOptions {
+                resume: true,
+                ..no_cache_opts()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BatchError::Usage(_)));
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    #[test]
     fn summary_json_has_the_documented_shape() {
         let ks = [*kernels::kernel("fir").unwrap()];
         let s = run_batch(&ks, &no_cache_opts()).unwrap();
@@ -659,6 +1153,8 @@ mod tests {
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
+        // And it parses as one JSON document.
+        json::parse(&j).unwrap();
     }
 
     #[test]
@@ -669,5 +1165,76 @@ mod tests {
         assert_eq!(a, "flow=adaptor;ii=1;unroll=-;partition=-;flatten=false");
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fuel_starved_kernel_fails_with_budget_outcome_and_isolates() {
+        let ks: Vec<Kernel> = ["gemm", "fir"]
+            .iter()
+            .map(|n| *kernels::kernel(n).unwrap())
+            .collect();
+        let s = run_batch(
+            &ks,
+            &BatchOptions {
+                fuel: Some(2),
+                ..no_cache_opts()
+            },
+        )
+        .unwrap();
+        // Both kernels trip (each attempt gets its own 2-unit pool), with a
+        // structured budget outcome, not a hang or a panic.
+        assert_eq!(s.exit_code(), 1);
+        for r in &s.runs {
+            match &r.outcome {
+                RunOutcome::Failed(e) => {
+                    assert!(e.is_budget(), "{}: {e:?}", r.kernel);
+                    assert_eq!(e.class_label(), "budget-fuel", "{}", r.kernel);
+                }
+                other => panic!("{}: expected budget failure, got {other:?}", r.kernel),
+            }
+        }
+        // A generous pool completes normally.
+        let s = run_batch(
+            &ks,
+            &BatchOptions {
+                fuel: Some(1_000_000),
+                ..no_cache_opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.exit_code(), 0, "{:?}", s.runs[0].outcome);
+    }
+
+    #[test]
+    fn outcome_json_round_trips_every_shape() {
+        let ks = [*kernels::kernel("fir").unwrap()];
+        let s = run_batch(&ks, &no_cache_opts()).unwrap();
+        let completed = &s.runs[0].outcome;
+        let degraded = match completed {
+            RunOutcome::Completed(a) => RunOutcome::Degraded {
+                artifacts: a.clone(),
+                reason: "deterministic fault in flow: injected".to_string(),
+            },
+            other => panic!("{other:?}"),
+        };
+        let failed = RunOutcome::Failed(StageError::Fault {
+            stage: "flow".into(),
+            class: FaultClass::Deterministic,
+            detail: "no such kernel".into(),
+        });
+        let tripped = RunOutcome::Failed(StageError::BudgetExceeded {
+            stage: "csynth/schedule".into(),
+            kind: pass_core::BudgetKind::Fuel,
+            detail: "pool empty".into(),
+        });
+        let panicked = RunOutcome::Panicked {
+            message: "boom".into(),
+        };
+        for outcome in [completed, &degraded, &failed, &tripped, &panicked] {
+            let encoded = outcome_to_json(outcome);
+            let parsed = outcome_from_json(&json::parse(&encoded).unwrap()).unwrap();
+            // Field-for-field equality via the canonical encoding.
+            assert_eq!(encoded, outcome_to_json(&parsed));
+        }
     }
 }

@@ -6,6 +6,7 @@
 //!           [--no-cache] [--cache-dir DIR] [--report-json DIR]
 //!           [--ii N] [--unroll N] [--partition N] [--flatten]
 //!           [--seed N] [--inject-panic KERNEL]
+//!           [--deadline-ms N] [--fuel N] [--chaos SEED,RATE] [--resume]
 //!           [<kernel>... | all]
 //! ```
 //!
@@ -16,20 +17,30 @@
 //! so a warm rerun only re-reads artifacts. A kernel that fails or panics
 //! is reported in the summary without disturbing the others.
 //!
-//! Exit codes: 0 all kernels clean, 1 some kernels failed, 2
+//! Supervision flags (see ARCHITECTURE.md): `--deadline-ms`/`--fuel` bound
+//! each kernel attempt (budget trips report as structured failures, not
+//! hangs); `--chaos seed,rate` deterministically injects panics, delays,
+//! I/O errors, and budget exhaustion at stage boundaries; `--resume`
+//! replays kernels already completed in the run journal (`journal.jsonl`
+//! next to the cache) after a killed run. Warnings go to stderr, so
+//! `--format json` stdout is always one parseable document.
+//!
+//! Exit codes: 0 all kernels clean, 1 some kernels failed or degraded, 2
 //! infrastructure/usage error.
 
 use std::path::PathBuf;
 
 use driver::batch::{run_batch, BatchOptions, RunOutcome};
-use driver::{Directives, Flow};
+use driver::{ChaosConfig, Directives, Flow};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mha-batch [--jobs N] [--format text|json] [--flow adaptor|cpp]\n\
          \x20                [--no-cache] [--cache-dir DIR] [--report-json DIR]\n\
          \x20                [--ii N] [--unroll N] [--partition N] [--flatten]\n\
-         \x20                [--seed N] [--inject-panic KERNEL] [<kernel>... | all]"
+         \x20                [--seed N] [--inject-panic KERNEL]\n\
+         \x20                [--deadline-ms N] [--fuel N] [--chaos SEED,RATE]\n\
+         \x20                [--resume] [<kernel>... | all]"
     );
     std::process::exit(2);
 }
@@ -105,6 +116,21 @@ fn main() {
             "--flatten" => opts.directives.flatten = true,
             "--seed" => opts.seed = parse_u32(&flag_value(&mut args, "--seed"), "--seed") as u64,
             "--inject-panic" => opts.inject_panic = Some(flag_value(&mut args, "--inject-panic")),
+            "--deadline-ms" => {
+                opts.deadline_ms =
+                    Some(parse_u32(&flag_value(&mut args, "--deadline-ms"), "--deadline-ms") as u64)
+            }
+            "--fuel" => {
+                opts.fuel = Some(parse_u32(&flag_value(&mut args, "--fuel"), "--fuel") as u64)
+            }
+            "--chaos" => match ChaosConfig::parse(&flag_value(&mut args, "--chaos")) {
+                Ok(cfg) => opts.chaos = Some(cfg),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--resume" => opts.resume = true,
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag '{a}'");
                 usage();
@@ -143,7 +169,14 @@ fn main() {
             std::process::exit(2);
         }
         for r in &summary.runs {
-            if let RunOutcome::Completed(a) = &r.outcome {
+            // Degraded kernels still carry baseline (C++-flow) artifacts;
+            // their report has `degraded: true` set.
+            let artifacts = match &r.outcome {
+                RunOutcome::Completed(a) => Some(a),
+                RunOutcome::Degraded { artifacts, .. } => Some(artifacts),
+                _ => None,
+            };
+            if let Some(a) = artifacts {
                 let path = dir.join(format!("{}.json", r.kernel));
                 if let Err(e) = std::fs::write(&path, a.report.to_json()) {
                     eprintln!("mha-batch: cannot write {}: {e}", path.display());

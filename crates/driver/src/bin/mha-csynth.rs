@@ -3,12 +3,20 @@
 //!
 //! ```text
 //! mha-csynth <kernel|all> [--ii <n>] [--unroll <n>] [--flow adaptor|cpp|both]
+//!            [--deadline-ms <n>] [--fuel <n>]
 //! ```
+//!
+//! `--deadline-ms` and `--fuel` run every flow + synthesis attempt under a
+//! [`pass_core::Budget`]; an exhausted budget surfaces as a structured
+//! `budget exceeded` failure instead of a hang.
 
-use driver::{cosim, run_flow, Directives, Flow};
-use vitis_sim::{csynth, Target};
+use std::time::Duration;
 
-fn parse_flag(args: &[String], flag: &str) -> Option<u32> {
+use driver::{cosim, run_flow_budgeted, Directives, Flow};
+use pass_core::Budget;
+use vitis_sim::{csynth_budgeted, Target};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
@@ -18,14 +26,29 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u32> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(name) = args.first() else {
-        eprintln!("usage: mha-csynth <kernel|all> [--ii <n>] [--unroll <n>] [--partition <n>] [--flatten] [--flow adaptor|cpp|both]");
+        eprintln!(
+            "usage: mha-csynth <kernel|all> [--ii <n>] [--unroll <n>] [--partition <n>] \
+             [--flatten] [--flow adaptor|cpp|both] [--deadline-ms <n>] [--fuel <n>]"
+        );
         std::process::exit(2);
     };
     let directives = Directives {
-        pipeline_ii: parse_flag(&args, "--ii").or(Some(1)),
-        unroll_factor: parse_flag(&args, "--unroll"),
-        partition_factor: parse_flag(&args, "--partition"),
+        pipeline_ii: parse_flag(&args, "--ii").map(|v| v as u32).or(Some(1)),
+        unroll_factor: parse_flag(&args, "--unroll").map(|v| v as u32),
+        partition_factor: parse_flag(&args, "--partition").map(|v| v as u32),
         flatten: args.iter().any(|a| a == "--flatten"),
+    };
+    let deadline_ms = parse_flag(&args, "--deadline-ms");
+    let fuel = parse_flag(&args, "--fuel");
+    let budget_for_attempt = || {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = deadline_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(units) = fuel {
+            b = b.with_fuel(units);
+        }
+        b
     };
     let flow_sel = args
         .iter()
@@ -54,7 +77,10 @@ fn main() {
     for k in list {
         println!("### {} — {}", k.name, k.description);
         for &flow in &flows {
-            let art = match run_flow(k, &directives, flow) {
+            // One budget per (kernel, flow) attempt: the flow stages and
+            // synthesis draw from the same deadline and fuel pool.
+            let budget = budget_for_attempt();
+            let art = match run_flow_budgeted(k, &directives, flow, &budget) {
                 Ok(a) => a,
                 Err(e) => {
                     println!("  [{}] flow failed: {e}", flow.label());
@@ -62,7 +88,7 @@ fn main() {
                     continue;
                 }
             };
-            match csynth(&art.module, &target) {
+            match csynth_budgeted(&art.module, &target, &budget) {
                 Ok(report) => match cosim(&art.module, k, 2026) {
                     Ok(sim) => {
                         println!(

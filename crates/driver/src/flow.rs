@@ -95,15 +95,36 @@ pub fn run_flow(
     directives: &crate::experiment::Directives,
     flow: Flow,
 ) -> Result<FlowArtifacts> {
+    run_flow_budgeted(kernel, directives, flow, &pass_core::Budget::unlimited())
+}
+
+/// [`run_flow`] under a [`pass_core::Budget`]: every stage boundary
+/// (lower, adaptor, emit-cpp, frontend) charges one fuel unit and checks
+/// the deadline, and the pass pipelines inside (adaptor legalization, C++
+/// cleanup fixpoint) run budgeted too. A trip surfaces through
+/// [`DriverError`]'s string channel but keeps the stable budget grammar, so
+/// `pass_core::BudgetError::from_rendered` recovers it structurally.
+pub fn run_flow_budgeted(
+    kernel: &Kernel,
+    directives: &crate::experiment::Directives,
+    flow: Flow,
+    budget: &pass_core::Budget,
+) -> Result<FlowArtifacts> {
+    let charge = |stage: &str| -> Result<()> {
+        budget
+            .charge(1, stage)
+            .map_err(|e| DriverError::from(e.to_diagnostic()))
+    };
     let m = prepare_mlir(kernel, directives)?;
     let mlir_stats = mlir_lite::stats::module_stats(&m);
     let mut report = PipelineReport::new(flow.label());
     match flow {
         Flow::Adaptor => {
+            charge("flow/lower")?;
             let mut module =
                 report.time_stage("lower", || lowering::lower(m).map_err(DriverError::from))?;
             let adaptor_report = report.time_stage("adaptor", || {
-                adaptor::run_adaptor(&mut module, &AdaptorConfig::default())
+                adaptor::run_adaptor_budgeted(&mut module, &AdaptorConfig::default(), budget)
                     .map_err(DriverError::from)
             })?;
             Ok(FlowArtifacts {
@@ -115,14 +136,16 @@ pub fn run_flow(
             })
         }
         Flow::Cpp => {
+            charge("flow/emit-cpp")?;
             let cpp = report.time_stage("emit-cpp", || {
                 hls_cpp::emit_cpp(&m).map_err(DriverError::from)
             })?;
+            charge("flow/frontend")?;
             let mut module = report.time_stage("frontend", || {
                 hls_cpp::compile_cpp(kernel.name, &cpp).map_err(DriverError::from)
             })?;
             let cleanup = llvm_lite::transforms::standard_cleanup()
-                .run_to_fixpoint(&mut module, 4)
+                .run_to_fixpoint_budgeted(&mut module, 4, budget)
                 .map_err(DriverError::from)?;
             report.extend_prefixed("cleanup", &cleanup);
             Ok(FlowArtifacts {

@@ -36,13 +36,18 @@ pub mod cosim;
 pub mod experiment;
 pub mod flow;
 pub mod lint;
+pub mod supervisor;
 
 pub use batch::{run_batch, BatchError, BatchOptions, BatchSummary};
 pub use cache::{Cache, CacheError};
 pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
-pub use flow::{run_flow, Flow, FlowArtifacts};
+pub use flow::{run_flow, run_flow_budgeted, Flow, FlowArtifacts};
 pub use lint::{lint_kernel, LintReport};
+pub use supervisor::{
+    ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, RetryPolicy,
+    StageError,
+};
 
 /// Unified error type for the driver layer.
 #[derive(Debug, Clone)]

@@ -65,10 +65,13 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod diag;
+pub mod json;
 pub mod registry;
 pub mod report;
 
+pub use budget::{Budget, BudgetError, BudgetKind};
 pub use diag::{Diagnostic, Loc, Severity};
 pub use registry::PassRegistry;
 pub use report::{PassRecord, PipelineReport};
@@ -160,8 +163,28 @@ impl<IR: PassIr> PassManager<IR> {
         ir: &mut IR,
         observer: &mut dyn FnMut(&IR, &PassRecord),
     ) -> PassResult<PipelineReport> {
+        self.run_observed_budgeted(ir, observer, &Budget::unlimited())
+    }
+
+    /// [`PassManager::run`] under a [`Budget`]: one fuel unit is charged
+    /// per pass (before it runs), and the deadline is checked at the same
+    /// points. A trip surfaces as the [`budget::BUDGET_COMPONENT`]
+    /// diagnostic produced by [`BudgetError::to_diagnostic`], so callers on
+    /// stringly error channels can still recover it with
+    /// [`BudgetError::from_rendered`].
+    pub fn run_budgeted(&self, ir: &mut IR, budget: &Budget) -> PassResult<PipelineReport> {
+        self.run_observed_budgeted(ir, &mut |_, _| {}, budget)
+    }
+
+    /// [`PassManager::run_observed`] under a [`Budget`].
+    pub fn run_observed_budgeted(
+        &self,
+        ir: &mut IR,
+        observer: &mut dyn FnMut(&IR, &PassRecord),
+        budget: &Budget,
+    ) -> PassResult<PipelineReport> {
         let mut report = PipelineReport::new(&self.label);
-        self.run_once(ir, &mut report, observer)?;
+        self.run_once(ir, &mut report, observer, budget)?;
         Ok(report)
     }
 
@@ -170,9 +193,13 @@ impl<IR: PassIr> PassManager<IR> {
         ir: &mut IR,
         report: &mut PipelineReport,
         observer: &mut dyn FnMut(&IR, &PassRecord),
+        budget: &Budget,
     ) -> PassResult<bool> {
         let mut any_changed = false;
         for pass in &self.passes {
+            budget
+                .charge(1, pass.name())
+                .map_err(|e| e.to_diagnostic())?;
             let size_before = ir.ir_size();
             let start = std::time::Instant::now();
             let changed = pass.run(ir).map_err(|d| d.in_pass(pass.name()))?;
@@ -204,11 +231,30 @@ impl<IR: PassIr> PassManager<IR> {
     /// by `max_iters`. The report accumulates records across iterations and
     /// its `iterations` field records how many sweeps ran.
     pub fn run_to_fixpoint(&self, ir: &mut IR, max_iters: usize) -> PassResult<PipelineReport> {
+        self.run_to_fixpoint_budgeted(ir, max_iters, &Budget::unlimited())
+    }
+
+    /// [`PassManager::run_to_fixpoint`] under a [`Budget`]: besides the
+    /// per-pass fuel charge, the budget is checked between fixed-point
+    /// iterations, so a livelocked pipeline (oscillating passes that never
+    /// quiesce) is cut off at an iteration boundary instead of spinning
+    /// until `max_iters`.
+    pub fn run_to_fixpoint_budgeted(
+        &self,
+        ir: &mut IR,
+        max_iters: usize,
+        budget: &Budget,
+    ) -> PassResult<PipelineReport> {
         let mut report = PipelineReport::new(&self.label);
         report.iterations = 0;
-        for _ in 0..max_iters {
+        for iter in 0..max_iters {
+            if iter > 0 {
+                budget
+                    .check(&format!("{}/fixpoint", self.label))
+                    .map_err(|e| e.to_diagnostic())?;
+            }
             report.iterations += 1;
-            if !self.run_once(ir, &mut report, &mut |_, _| {})? {
+            if !self.run_once(ir, &mut report, &mut |_, _| {}, budget)? {
                 break;
             }
         }
@@ -359,6 +405,52 @@ mod tests {
         pm.add(Poison);
         pm.verify_each = false;
         assert!(pm.run(&mut CountIr::default()).is_ok());
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_pipeline_with_budget_diagnostic() {
+        let mut pm = PassManager::with_label("budgeted");
+        pm.add(Grow { by: 1, until: 100 });
+        let mut ir = CountIr::default();
+        // 3 fuel units = 3 pass executions, tripping inside sweep 4.
+        let budget = Budget::unlimited().with_fuel(3);
+        let err = pm
+            .run_to_fixpoint_budgeted(&mut ir, 100, &budget)
+            .unwrap_err();
+        assert_eq!(err.pass, budget::BUDGET_COMPONENT);
+        let trip = BudgetError::from_diagnostic(&err).expect("parsable trip");
+        assert_eq!(trip.kind, BudgetKind::Fuel);
+        // Fuel hits zero after sweep 3, so the inter-iteration check trips.
+        assert_eq!(trip.stage, "budgeted/fixpoint");
+        assert_eq!(ir.count, 3, "exactly 3 fueled passes ran");
+    }
+
+    #[test]
+    fn expired_deadline_checked_between_fixpoint_iterations() {
+        let mut pm = PassManager::with_label("budgeted");
+        pm.add(Grow {
+            by: 1,
+            until: 1_000_000,
+        });
+        let mut ir = CountIr::default();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = pm.run_budgeted(&mut ir, &budget).unwrap_err();
+        let trip = BudgetError::from_diagnostic(&err).expect("parsable trip");
+        assert_eq!(trip.kind, BudgetKind::Deadline);
+        assert_eq!(ir.count, 0, "no pass may run past the deadline");
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_run() {
+        let mut pm = PassManager::new();
+        pm.add(Grow { by: 2, until: 5 });
+        let (mut a, mut b) = (CountIr::default(), CountIr::default());
+        let ra = pm.run_to_fixpoint(&mut a, 100).unwrap();
+        let rb = pm
+            .run_to_fixpoint_budgeted(&mut b, 100, &Budget::unlimited())
+            .unwrap();
+        assert_eq!((a.count, ra.iterations), (b.count, rb.iterations));
     }
 
     #[test]

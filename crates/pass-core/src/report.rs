@@ -40,6 +40,11 @@ pub struct PipelineReport {
     pub label: String,
     /// Fixed-point iterations executed (1 for a single sweep).
     pub iterations: usize,
+    /// True when this report describes a degraded run: the primary flow
+    /// failed and the supervisor fell back to the baseline path (the
+    /// records then describe the fallback execution). Set by
+    /// `driver::batch`; ordinary runs leave it false.
+    pub degraded: bool,
     /// Per-pass records, in execution order (repeated across iterations).
     pub passes: Vec<PassRecord>,
 }
@@ -50,6 +55,7 @@ impl PipelineReport {
         PipelineReport {
             label: label.into(),
             iterations: 1,
+            degraded: false,
             passes: Vec::new(),
         }
     }
@@ -129,11 +135,12 @@ impl PipelineReport {
     /// Render the aligned text table shown by the CLIs.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "=== pipeline '{}': {} pass(es), {} iteration(s), {} us total\n",
+            "=== pipeline '{}': {} pass(es), {} iteration(s), {} us total{}\n",
             self.label,
             self.passes.len(),
             self.iterations,
-            self.total_us()
+            self.total_us(),
+            if self.degraded { " [degraded]" } else { "" }
         );
         let name_w = self
             .passes
@@ -180,6 +187,7 @@ impl PipelineReport {
         let mut out = String::from("{");
         out.push_str(&format!("\"label\":{},", json_str(&self.label)));
         out.push_str(&format!("\"iterations\":{},", self.iterations));
+        out.push_str(&format!("\"degraded\":{},", self.degraded));
         out.push_str(&format!("\"total_us\":{},", self.total_us()));
         out.push_str("\"passes\":[");
         for (i, p) in self.passes.iter().enumerate() {
@@ -198,6 +206,50 @@ impl PipelineReport {
         }
         out.push_str("]}");
         out
+    }
+
+    /// Parse a report back out of its [`PipelineReport::to_json`] form
+    /// (used by the batch run journal to replay completed kernels on
+    /// `--resume`). The derived `total_us` field is ignored; missing
+    /// optional fields (`degraded`, from pre-supervisor journals) default.
+    pub fn parse_json(text: &str) -> Result<PipelineReport, String> {
+        let v = crate::json::parse(text)?;
+        PipelineReport::from_json_value(&v)
+    }
+
+    /// [`PipelineReport::parse_json`] over an already-parsed value.
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<PipelineReport, String> {
+        let field_u64 = |v: &crate::json::JsonValue, k: &str| {
+            v.get(k)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("report JSON: missing numeric field '{k}'"))
+        };
+        let mut report = PipelineReport::new(
+            v.get("label")
+                .and_then(|x| x.as_str())
+                .ok_or("report JSON: missing 'label'")?,
+        );
+        report.iterations = field_u64(v, "iterations")? as usize;
+        report.degraded = v.get("degraded").and_then(|x| x.as_bool()).unwrap_or(false);
+        for p in v
+            .get("passes")
+            .and_then(|x| x.as_arr())
+            .ok_or("report JSON: missing 'passes' array")?
+        {
+            report.push(PassRecord {
+                pass: p
+                    .get("pass")
+                    .and_then(|x| x.as_str())
+                    .ok_or("report JSON: pass record missing 'pass'")?
+                    .to_string(),
+                changed: p.get("changed").and_then(|x| x.as_bool()).unwrap_or(false),
+                wall_us: field_u64(p, "wall_us")?,
+                size_before: field_u64(p, "size_before")? as usize,
+                size_after: field_u64(p, "size_after")? as usize,
+                cached: p.get("cached").and_then(|x| x.as_bool()).unwrap_or(false),
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -270,6 +322,31 @@ mod tests {
         assert!(j.contains("\"pass\":\"mem2reg\""));
         assert!(j.contains("\"size_before\":40"));
         assert!(j.contains("\"total_us\":135"));
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_json() {
+        let mut r = sample();
+        r.iterations = 3;
+        r.degraded = true;
+        r.record_cached("csynth", 7);
+        let back = PipelineReport::parse_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // Pre-supervisor journals lack `degraded`: it defaults to false.
+        let legacy = r.to_json().replace("\"degraded\":true,", "");
+        let parsed = PipelineReport::parse_json(&legacy).unwrap();
+        assert!(!parsed.degraded);
+        assert!(PipelineReport::parse_json("{\"label\":1}").is_err());
+    }
+
+    #[test]
+    fn degraded_flag_renders_and_serializes() {
+        let mut r = sample();
+        assert!(!r.render().contains("[degraded]"));
+        assert!(r.to_json().contains("\"degraded\":false"));
+        r.degraded = true;
+        assert!(r.render().contains("[degraded]"));
+        assert!(r.to_json().contains("\"degraded\":true"));
     }
 
     #[test]

@@ -6,12 +6,14 @@ use std::collections::{HashMap, HashSet};
 use llvm_lite::analysis::{counted_loop_tripcount, Cfg, DomTree, LoopInfo, NaturalLoop};
 use llvm_lite::{BlockId, Function, InstData, Module, Type};
 
+use pass_core::{Budget, BudgetError};
+
 use crate::binder::{bram_banks, control_overhead, is_shared_unit, FuNeed};
 use crate::memdep::{accesses_per_base, loop_accesses};
 use crate::oplib::{op_spec, FuClass};
-use crate::pipeline::{compute_ii, IiBound};
+use crate::pipeline::{compute_ii_budgeted, IiBound};
 use crate::report::{CsynthReport, LoopReport};
-use crate::schedule::{schedule_block, ScheduleCtx};
+use crate::schedule::{schedule_block_budgeted, ScheduleCtx};
 use crate::Target;
 
 /// Synthesis failure.
@@ -19,6 +21,8 @@ use crate::Target;
 pub enum CsynthError {
     /// The frontend (modeling the frozen Vitis clang/LLVM) rejected the IR.
     Frontend(Vec<String>),
+    /// The synthesis [`Budget`] (deadline or fuel) tripped mid-run.
+    Budget(BudgetError),
     /// No top function found, or a structural problem.
     Other(String),
 }
@@ -33,8 +37,17 @@ impl std::fmt::Display for CsynthError {
                 }
                 Ok(())
             }
+            // Render the trip verbatim: its grammar is what lets stringly
+            // layers recover the structured error (`BudgetError::from_rendered`).
+            CsynthError::Budget(e) => write!(f, "{e}"),
             CsynthError::Other(m) => write!(f, "csynth error: {m}"),
         }
+    }
+}
+
+impl From<BudgetError> for CsynthError {
+    fn from(e: BudgetError) -> CsynthError {
+        CsynthError::Budget(e)
     }
 }
 
@@ -93,6 +106,19 @@ pub fn frontend_check(m: &Module) -> Vec<String> {
 
 /// Synthesize the module's top function and produce a report.
 pub fn csynth(m: &Module, target: &Target) -> Result<CsynthReport, CsynthError> {
+    csynth_budgeted(m, target, &Budget::unlimited())
+}
+
+/// [`csynth`] under a [`Budget`]: fuel is charged per scheduled block (plus
+/// per instruction inside [`schedule_block_budgeted`]) and per processed
+/// loop, and the deadline is checked at the same points — a runaway
+/// schedule or II search returns [`CsynthError::Budget`] instead of wedging
+/// the calling worker.
+pub fn csynth_budgeted(
+    m: &Module,
+    target: &Target,
+    budget: &Budget,
+) -> Result<CsynthReport, CsynthError> {
     let errs = frontend_check(m);
     if !errs.is_empty() {
         return Err(CsynthError::Frontend(errs));
@@ -100,7 +126,7 @@ pub fn csynth(m: &Module, target: &Target) -> Result<CsynthReport, CsynthError> 
     let top = m
         .top_function()
         .ok_or_else(|| CsynthError::Other("module has no function definition".into()))?;
-    synthesize_function(m, top, target)
+    synthesize_function(m, top, target, budget)
 }
 
 struct LoopResult {
@@ -112,6 +138,7 @@ fn synthesize_function(
     m: &Module,
     f: &Function,
     target: &Target,
+    budget: &Budget,
 ) -> Result<CsynthReport, CsynthError> {
     let cfg = Cfg::build(f);
     let dom = DomTree::build(f, &cfg);
@@ -121,7 +148,8 @@ fn synthesize_function(
     // Block schedules (context-free; port conflicts within one block).
     let mut block_sched = HashMap::new();
     for &b in &f.block_order {
-        block_sched.insert(b, schedule_block(m, f, target, b, &cx));
+        budget.charge(1, "csynth/schedule")?;
+        block_sched.insert(b, schedule_block_budgeted(m, f, target, b, &cx, budget)?);
     }
 
     // Process loops innermost-first (ascending body size).
@@ -133,6 +161,7 @@ fn synthesize_function(
     let mut absorbed: HashSet<BlockId> = HashSet::new();
 
     for l in order {
+        budget.charge(1, "csynth/pipeline")?;
         let children: Vec<&NaturalLoop> = li
             .loops
             .iter()
@@ -235,7 +264,16 @@ fn synthesize_function(
                 Some("flattened into inner pipeline".to_string()),
             )
         } else if pipelined {
-            let r = compute_ii(m, f, l, target, &cx, md.pipeline_ii.unwrap(), unroll);
+            let r = compute_ii_budgeted(
+                m,
+                f,
+                l,
+                target,
+                &cx,
+                md.pipeline_ii.unwrap(),
+                unroll,
+                budget,
+            )?;
             // Shared FUs at II: one instance serves II cycles.
             let mut piped = FuNeed::default();
             collect_fu(m, f, &own_blocks, &mut piped, unroll, r.ii);
@@ -479,6 +517,39 @@ entry:
             csynth(&m, &Target::default()),
             Err(CsynthError::Frontend(_))
         ));
+    }
+
+    #[test]
+    fn fuel_budget_trips_synthesis_structurally() {
+        let m = parse_module("m", SCALE).unwrap();
+        // 1 fuel unit: the first block charge succeeds, the first
+        // instruction charge inside scheduling trips.
+        let budget = Budget::unlimited().with_fuel(1);
+        match csynth_budgeted(&m, &Target::default(), &budget) {
+            Err(CsynthError::Budget(e)) => {
+                assert_eq!(e.kind, pass_core::BudgetKind::Fuel);
+                assert!(e.stage.starts_with("csynth/"), "{}", e.stage);
+                // Rendered form round-trips for stringly consumers.
+                let rendered = CsynthError::Budget(e.clone()).to_string();
+                assert_eq!(BudgetError::from_rendered(&rendered).unwrap(), e);
+            }
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        // An unlimited budget reproduces the plain result exactly.
+        let plain = csynth(&m, &Target::default()).unwrap();
+        let unlimited = csynth_budgeted(&m, &Target::default(), &Budget::unlimited()).unwrap();
+        assert_eq!(plain, unlimited);
+    }
+
+    #[test]
+    fn deadline_budget_trips_synthesis() {
+        let m = parse_module("m", SCALE).unwrap();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        match csynth_budgeted(&m, &Target::default(), &budget) {
+            Err(CsynthError::Budget(e)) => assert_eq!(e.kind, pass_core::BudgetKind::Deadline),
+            other => panic!("expected budget trip, got {other:?}"),
+        }
     }
 
     #[test]

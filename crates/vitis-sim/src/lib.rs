@@ -35,7 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod schedule;
 
-pub use csynth::{csynth, CsynthError};
+pub use csynth::{csynth, csynth_budgeted, CsynthError};
 pub use pipeline::{explain_ii_blockers, II_BLOCKER_PASS};
 pub use report::{CsynthReport, LoopReport, Resources};
 

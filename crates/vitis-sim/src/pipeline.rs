@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use llvm_lite::analysis::NaturalLoop;
 use llvm_lite::{Function, InstId, Module, Opcode, Value};
-use pass_core::Diagnostic;
+use pass_core::{Budget, BudgetError, Diagnostic};
 
 use crate::memdep::{
     accesses_per_base, dependence_distance, loop_accesses, Access, BaseObject, Distance,
@@ -63,6 +63,24 @@ pub fn compute_ii(
     requested: u32,
     unroll: u32,
 ) -> IiResult {
+    compute_ii_budgeted(m, f, l, target, cx, requested, unroll, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`compute_ii`] under a [`Budget`]: the store×access dependence-pair scan
+/// (the quadratic part of RecMII) charges one fuel unit per store, so huge
+/// access sets trip cooperatively.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_ii_budgeted(
+    m: &Module,
+    f: &Function,
+    l: &NaturalLoop,
+    target: &Target,
+    cx: &ScheduleCtx,
+    requested: u32,
+    unroll: u32,
+    budget: &Budget,
+) -> Result<IiResult, BudgetError> {
     let accesses = loop_accesses(f, l);
 
     // ResMII: port pressure per base (unroll replicates accesses).
@@ -85,6 +103,7 @@ pub fn compute_ii(
     let mut rec_mii = 1u32;
     let mut rec_base = String::new();
     for st in accesses.iter().filter(|a| a.is_store) {
+        budget.charge(1, "csynth/ii")?;
         for other in &accesses {
             if other.inst == st.inst {
                 continue;
@@ -113,12 +132,12 @@ pub fn compute_ii(
     } else {
         IiBound::MemoryPorts(res_base)
     };
-    IiResult {
+    Ok(IiResult {
         ii,
         bound,
         rec_mii,
         res_mii,
-    }
+    })
 }
 
 /// Pass name of the II-blocker explainer notes.

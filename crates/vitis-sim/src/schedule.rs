@@ -15,6 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use llvm_lite::{BlockId, Function, InstId, Module, Opcode};
+use pass_core::{Budget, BudgetError};
 
 use crate::memdep::{base_object, BaseObject};
 use crate::oplib::{op_spec, FuClass};
@@ -85,6 +86,21 @@ pub fn schedule_block(
     block: BlockId,
     cx: &ScheduleCtx,
 ) -> BlockSchedule {
+    schedule_block_budgeted(m, f, target, block, cx, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`schedule_block`] under a [`Budget`]: one fuel unit per scheduled
+/// instruction, so a pathological region trips cooperatively instead of
+/// grinding through port arbitration unbounded.
+pub fn schedule_block_budgeted(
+    m: &Module,
+    f: &Function,
+    target: &Target,
+    block: BlockId,
+    cx: &ScheduleCtx,
+    budget: &Budget,
+) -> Result<BlockSchedule, BudgetError> {
     let insts = &f.block(block).insts;
     let mut out = BlockSchedule::default();
     // (cycle, combinational offset ns) at which each value is usable.
@@ -99,6 +115,7 @@ pub fn schedule_block(
     let mut issues: HashMap<(FuClass, u64), u32> = HashMap::new();
 
     for &id in insts {
+        budget.charge(1, "csynth/schedule")?;
         let inst = f.inst(id);
         if inst.opcode == Opcode::Phi {
             // Block inputs: available at cycle 0.
@@ -226,7 +243,7 @@ pub fn schedule_block(
         let e = out.fu_pressure.entry(class).or_insert(0);
         *e = (*e).max(n);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -403,5 +420,29 @@ entry:
     fn empty_ret_block_is_one_cycle() {
         let (_, s) = sched("define void @f() {\nentry:\n  ret void\n}\n");
         assert_eq!(s.length, 1);
+    }
+
+    #[test]
+    fn exhausted_fuel_trips_scheduling() {
+        let m = parse_module(
+            "m",
+            r#"
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = add i32 %x, 2
+  %z = add i32 %y, 3
+  ret i32 %z
+}
+"#,
+        )
+        .unwrap();
+        let f = &m.functions[0];
+        let cx = ScheduleCtx::from_function(f);
+        let budget = Budget::unlimited().with_fuel(2);
+        let err = schedule_block_budgeted(&m, f, &Target::default(), f.entry(), &cx, &budget)
+            .unwrap_err();
+        assert_eq!(err.stage, "csynth/schedule");
+        assert_eq!(err.kind, pass_core::BudgetKind::Fuel);
     }
 }

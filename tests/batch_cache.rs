@@ -154,17 +154,25 @@ fn cache_invalidated_by_ir_edit() {
 fn corrupted_entry_falls_back_to_recompute_with_warning() {
     let dir = temp_cache("corrupt-entry");
     let ks = [*kernels::kernel("gemm").unwrap()];
-    let o = opts(&dir);
+    // One worker for one kernel, so the jobs-clamp warning stays out of the
+    // warning-count assertions below.
+    let o = BatchOptions {
+        jobs: 1,
+        ..opts(&dir)
+    };
 
     let cold = run_batch(&ks, &o).unwrap();
     let reference = artifacts(&cold.runs[0].outcome).clone();
 
-    // Vandalize every entry: flip payload bytes behind the headers.
+    // Vandalize every cache entry (the run journal shares the directory
+    // and is left alone): flip payload bytes behind the headers.
     let mut vandalized = 0;
     for e in std::fs::read_dir(&dir).unwrap() {
         let path = e.unwrap().path();
-        std::fs::write(&path, "mha-cache 1 0000 0000 4\njunk").unwrap();
-        vandalized += 1;
+        if path.extension().and_then(|x| x.to_str()) == Some("entry") {
+            std::fs::write(&path, "mha-cache 1 0000 0000 4\njunk").unwrap();
+            vandalized += 1;
+        }
     }
     assert_eq!(vandalized, 3);
 
@@ -184,6 +192,54 @@ fn corrupted_entry_falls_back_to_recompute_with_warning() {
     let healed = run_batch(&ks, &o).unwrap();
     assert_eq!(healed.cache_misses(), 0);
     assert!(healed.warnings.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warnings_go_to_stderr_keeping_json_stdout_parseable() {
+    // Satellite (ISSUE 4): cache warnings must not pollute stdout — with
+    // `--format json`, stdout is exactly one parseable JSON document even
+    // when corrupt entries are healed, and the warnings appear on stderr.
+    let dir = temp_cache("stderr-warnings");
+    let run = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_mha-batch"));
+        cmd.args(["--jobs", "1", "--format", "json", "--cache-dir"])
+            .arg(&dir)
+            .args(extra)
+            .arg("fir");
+        cmd.output().unwrap()
+    };
+
+    let cold = run(&[]);
+    assert!(cold.status.success(), "{cold:?}");
+
+    // Vandalize the cache entries, then re-run: healed with warnings.
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let path = e.unwrap().path();
+        if path.extension().and_then(|x| x.to_str()) == Some("entry") {
+            std::fs::write(&path, "mha-cache 1 0000 0000 4\njunk").unwrap();
+        }
+    }
+    let healed = run(&[]);
+    assert!(healed.status.success(), "{healed:?}");
+    let stdout = String::from_utf8(healed.stdout).unwrap();
+    let stderr = String::from_utf8(healed.stderr).unwrap();
+    // stdout parses as a single JSON document...
+    let doc = pass_core::json::parse(stdout.trim()).unwrap();
+    // ...which still carries the warnings in its own field...
+    let warnings = doc.get("warnings").and_then(|w| w.as_arr()).unwrap();
+    assert_eq!(warnings.len(), 3, "stdout: {stdout}\nstderr: {stderr}");
+    // ...while the human-readable copies went to stderr.
+    assert!(stderr.contains("corrupt cache entry"), "stderr: {stderr}");
+    assert!(!stdout.contains("warning:"), "stdout: {stdout}");
+
+    // Over-asking for workers warns (once, on stderr) and clamps.
+    let clamped = run(&["--jobs", "64"]);
+    assert!(clamped.status.success(), "{clamped:?}");
+    let stderr = String::from_utf8(clamped.stderr).unwrap();
+    assert_eq!(stderr.matches("exceeds the").count(), 1, "stderr: {stderr}");
+    let doc = pass_core::json::parse(String::from_utf8(clamped.stdout).unwrap().trim()).unwrap();
+    assert_eq!(doc.get("jobs").and_then(|j| j.as_u64()), Some(1));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

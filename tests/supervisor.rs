@@ -1,0 +1,297 @@
+//! Supervised-execution suite for the batch driver (ISSUE 4).
+//!
+//! The contract under test: an exhausted budget yields a structured
+//! `BudgetExceeded` failure quickly (no wedged workers) while the other
+//! kernels complete; seeded chaos is deterministic — the same
+//! `--chaos seed,rate` reproduces the same per-kernel outcomes — and never
+//! escapes the per-kernel isolation (exit codes stay in {0, 1});
+//! a deterministically rejected adaptor kernel degrades to the baseline
+//! C++ flow with a real report and exit code 1; and a killed batch resumed
+//! with `--resume` produces a summary equal (modulo timings and warning
+//! text) to an uninterrupted run.
+
+use std::path::PathBuf;
+
+use driver::batch::{run_batch, BatchOptions, RunOutcome};
+use driver::{ChaosConfig, ChaosEngine, ChaosFault};
+use pass_core::json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mha-supervisor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn no_cache_opts() -> BatchOptions {
+    BatchOptions {
+        jobs: 4,
+        cache_dir: None,
+        ..BatchOptions::default()
+    }
+}
+
+#[test]
+fn expired_deadline_yields_structured_budget_failures_fast() {
+    // Acceptance criterion: a deadline-expired kernel reports
+    // StageError::BudgetExceeded within the budget — the batch returns
+    // promptly instead of wedging a worker.
+    let ks = kernels::all_kernels();
+    let start = std::time::Instant::now();
+    let s = run_batch(
+        ks,
+        &BatchOptions {
+            deadline_ms: Some(0),
+            ..no_cache_opts()
+        },
+    )
+    .unwrap();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "budget-tripped batch must not hang"
+    );
+    assert_eq!(s.exit_code(), 1);
+    assert_eq!(s.failed_count(), ks.len());
+    for r in &s.runs {
+        match &r.outcome {
+            RunOutcome::Failed(e) => {
+                assert!(e.is_budget(), "{}: {e:?}", r.kernel);
+                assert_eq!(e.class_label(), "budget-deadline", "{}", r.kernel);
+                assert!(!e.stage().is_empty(), "{}", r.kernel);
+            }
+            other => panic!("{}: expected budget trip, got {other:?}", r.kernel),
+        }
+    }
+    // The summary JSON carries the taxonomy fields.
+    let j = s.to_json();
+    assert!(j.contains("\"class\":\"budget-deadline\""), "{j}");
+}
+
+#[test]
+fn fuel_exhaustion_isolates_to_the_starved_attempt() {
+    // A tiny fuel pool trips every kernel with a fuel-budget failure; a
+    // huge one changes nothing. Either way no kernel disturbs another.
+    let ks = kernels::all_kernels();
+    let starved = run_batch(
+        ks,
+        &BatchOptions {
+            fuel: Some(1),
+            ..no_cache_opts()
+        },
+    )
+    .unwrap();
+    assert_eq!(starved.exit_code(), 1);
+    for r in &starved.runs {
+        match &r.outcome {
+            RunOutcome::Failed(e) => {
+                assert_eq!(e.class_label(), "budget-fuel", "{}: {e:?}", r.kernel)
+            }
+            other => panic!("{}: {other:?}", r.kernel),
+        }
+    }
+    let fed = run_batch(
+        ks,
+        &BatchOptions {
+            fuel: Some(10_000_000),
+            ..no_cache_opts()
+        },
+    )
+    .unwrap();
+    assert_eq!(fed.exit_code(), 0, "{:?}", fed.warnings);
+}
+
+/// Strip the non-deterministic parts (timings, warning order/text) before
+/// comparing two summary JSON documents.
+fn summaries_equal(a: &str, b: &str) -> bool {
+    let a = json::parse(a).unwrap();
+    let b = json::parse(b).unwrap();
+    a.equals_ignoring(&b, &["wall_us", "total_us", "warnings"])
+}
+
+#[test]
+fn chaos_soak_is_contained_and_reproducible() {
+    // Satellite (ISSUE 4): full suite under --chaos at several seeds.
+    // Whatever the injections do, the batch must return (exit 0 or 1, never
+    // a crash), degraded kernels must still carry a baseline report, and an
+    // identical re-run must reproduce the outcomes field-for-field.
+    let ks = kernels::all_kernels();
+    for seed in [1u64, 7, 23] {
+        let opts = BatchOptions {
+            chaos: Some(ChaosConfig { seed, rate: 0.25 }),
+            ..no_cache_opts()
+        };
+        let first = run_batch(ks, &opts).unwrap();
+        assert!(
+            first.exit_code() == 0 || first.exit_code() == 1,
+            "seed {seed}: exit {}",
+            first.exit_code()
+        );
+        assert_eq!(first.runs.len(), ks.len(), "seed {seed}");
+        for r in &first.runs {
+            if let RunOutcome::Degraded { artifacts, reason } = &r.outcome {
+                assert!(artifacts.report.degraded, "seed {seed}: {}", r.kernel);
+                assert!(artifacts.csynth.latency > 0, "seed {seed}: {}", r.kernel);
+                assert!(!reason.is_empty(), "seed {seed}: {}", r.kernel);
+            }
+        }
+        // Chaos is a pure function of (seed, kernel, site, attempt):
+        // repeating the run reproduces every outcome.
+        let second = run_batch(ks, &opts).unwrap();
+        assert!(
+            summaries_equal(&first.to_json(), &second.to_json()),
+            "seed {seed} not reproducible:\n{}\n{}",
+            first.to_json(),
+            second.to_json()
+        );
+    }
+}
+
+/// Search the chaos space for a seed that injects exactly one adaptor
+/// rejection (for `target`) and nothing else anywhere in the suite. Pure
+/// hashing, so the search is fast and its result is stable.
+fn seed_rejecting_only(target: &str, rate: f64) -> Option<u64> {
+    const ADAPTOR_MENU: [ChaosFault; 4] = [
+        ChaosFault::Panic,
+        ChaosFault::Delay,
+        ChaosFault::FuelExhaustion,
+        ChaosFault::AdaptorReject,
+    ];
+    const BOUNDARY_MENU: [ChaosFault; 3] = [
+        ChaosFault::Panic,
+        ChaosFault::Delay,
+        ChaosFault::FuelExhaustion,
+    ];
+    let names: Vec<&str> = kernels::all_kernels().iter().map(|k| k.name).collect();
+    'seed: for seed in 0..300_000u64 {
+        let e = ChaosEngine::new(ChaosConfig { seed, rate });
+        for &k in &names {
+            if k == target {
+                // The adaptor attempt must be rejected; the C++ fallback
+                // re-rolls the same site (same hash, shorter menu), so it
+                // must land on the harmless delay; downstream stays quiet.
+                if e.roll(k, "flow", 0, &ADAPTOR_MENU) != Some(ChaosFault::AdaptorReject)
+                    || e.roll(k, "flow", 0, &BOUNDARY_MENU) != Some(ChaosFault::Delay)
+                    || e.roll(k, "csynth", 0, &BOUNDARY_MENU).is_some()
+                    || e.roll(k, "cosim", 0, &BOUNDARY_MENU).is_some()
+                {
+                    continue 'seed;
+                }
+            } else if e.roll(k, "flow", 0, &ADAPTOR_MENU).is_some()
+                || e.roll(k, "csynth", 0, &BOUNDARY_MENU).is_some()
+                || e.roll(k, "cosim", 0, &BOUNDARY_MENU).is_some()
+            {
+                continue 'seed;
+            }
+        }
+        return Some(seed);
+    }
+    None
+}
+
+#[test]
+fn injected_adaptor_rejection_degrades_to_cpp_flow() {
+    // Tentpole: a kernel whose adaptor legalization fails deterministically
+    // falls back to the baseline C++ flow, is marked degraded in both the
+    // report and the summary, and the batch exits 1 without losing the
+    // other kernels.
+    let rate = 0.2;
+    let target = "gemm";
+    let seed = seed_rejecting_only(target, rate)
+        .expect("no seed injects a lone adaptor rejection in 300k tries");
+    let ks = kernels::all_kernels();
+    let s = run_batch(
+        ks,
+        &BatchOptions {
+            chaos: Some(ChaosConfig { seed, rate }),
+            ..no_cache_opts()
+        },
+    )
+    .unwrap();
+    assert_eq!(s.exit_code(), 1);
+    assert_eq!(s.degraded_count(), 1);
+    assert_eq!(s.ok_count(), ks.len() - 1);
+    let run = s.runs.iter().find(|r| r.kernel == target).unwrap();
+    match &run.outcome {
+        RunOutcome::Degraded { artifacts, reason } => {
+            assert!(
+                reason.contains("injected adaptor legalization rejection"),
+                "{reason}"
+            );
+            assert!(artifacts.report.degraded);
+            assert!(artifacts.csynth.latency > 0, "baseline report missing");
+            assert!(artifacts.report.render().contains("[degraded]"));
+        }
+        other => panic!("expected degradation, got {other:?}"),
+    }
+    let j = s.to_json();
+    assert!(j.contains("\"status\":\"degraded\""), "{j}");
+    assert!(j.contains("\"degraded\":true"), "{j}");
+}
+
+#[test]
+fn killed_run_resumed_with_resume_matches_uninterrupted_run() {
+    // Acceptance criterion: a batch killed partway and resumed with
+    // --resume produces a summary identical (modulo timings) to an
+    // uninterrupted run. The "kill" is simulated deterministically: run a
+    // two-kernel prefix under the same configuration (journaled), append a
+    // torn half-record as a kill-mid-write would, then --resume the full
+    // suite against that journal.
+    let exe = env!("CARGO_BIN_EXE_mha-batch");
+    let chaos = "11,0.15";
+    let base = |cache: &PathBuf| {
+        let mut c = std::process::Command::new(exe);
+        c.args([
+            "--jobs",
+            "2",
+            "--format",
+            "json",
+            "--chaos",
+            chaos,
+            "--cache-dir",
+        ])
+        .arg(cache);
+        c
+    };
+    let names: Vec<&str> = kernels::all_kernels().iter().map(|k| k.name).collect();
+    assert!(names.len() > 2, "suite too small to interrupt");
+
+    // Uninterrupted reference run.
+    let dir_full = temp_dir("resume-full");
+    let full = base(&dir_full).arg("all").output().unwrap();
+    let full_stdout = String::from_utf8(full.stdout).unwrap();
+
+    // "Killed" run: only a prefix completed, then a torn journal line.
+    let dir_part = temp_dir("resume-part");
+    let part = base(&dir_part).args(&names[..2]).output().unwrap();
+    assert!(
+        part.status.code().map(|c| c <= 1).unwrap_or(false),
+        "{part:?}"
+    );
+    let journal = dir_part.join("journal.jsonl");
+    let mut text = std::fs::read_to_string(&journal).unwrap();
+    text.push_str("{\"event\":\"done\",\"kernel\":\"torn\",\"outco");
+    std::fs::write(&journal, &text).unwrap();
+
+    // Resume over the full suite: the prefix replays, the rest runs.
+    let resumed = base(&dir_part).arg("--resume").arg("all").output().unwrap();
+    let resumed_stdout = String::from_utf8(resumed.stdout).unwrap();
+    let resumed_stderr = String::from_utf8(resumed.stderr).unwrap();
+    assert!(
+        resumed_stderr.contains("replayed 2 completed kernel(s)"),
+        "stderr: {resumed_stderr}"
+    );
+    assert_eq!(full.status.code(), resumed.status.code());
+    assert!(
+        summaries_equal(&full_stdout, &resumed_stdout),
+        "resumed summary diverged:\n{full_stdout}\n{resumed_stdout}"
+    );
+
+    // Resuming under a different configuration is refused (exit 2).
+    let mismatched = base(&dir_part)
+        .args(["--seed", "7", "--resume", "all"])
+        .output()
+        .unwrap();
+    assert_eq!(mismatched.status.code(), Some(2), "{mismatched:?}");
+
+    let _ = std::fs::remove_dir_all(&dir_full);
+    let _ = std::fs::remove_dir_all(&dir_part);
+}
