@@ -1,0 +1,175 @@
+//! `mha-reduce` — minimize a failing kernel while preserving its failure
+//! signature.
+//!
+//! ```text
+//! mha-reduce <kernel.mlir | entry.finding> [--seed N] [--out PATH]
+//!            [--max-attempts N] [--format text|json]
+//!            [--step-limit N] [--fuel N] [--deadline-ms N]
+//! ```
+//!
+//! The input is either a raw MLIR kernel or a corpus entry written by
+//! `mha-fuzz` (recognized by the `.finding` extension; the stored kernel
+//! text and seed are used). The kernel is first run through the oracle
+//! stack to capture its failure signature, then delta-debugged: drop
+//! loops/statements/buffers, shrink bounds, constant-fold subexpressions —
+//! keeping only edits under which the kernel *still fails with the same
+//! signature*.
+//!
+//! The minimized kernel goes to stdout (or `--out`); statistics go to
+//! stderr. With `--format json`, stdout is instead one JSON document
+//! carrying the text and the statistics.
+//!
+//! Exit codes: 0 reduction ran (even if nothing shrank), 1 the input does
+//! not fail any oracle (nothing to reduce), 2 infrastructure/usage error.
+
+use std::path::PathBuf;
+
+use driver::corpus::Corpus;
+use fuzzing::reduce::{reduce, ReduceOpts};
+use fuzzing::{run_oracles, OracleOpts};
+use pass_core::report::json_str;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mha-reduce <kernel.mlir | entry.finding> [--seed N] [--out PATH]\n\
+         \x20                 [--max-attempts N] [--format text|json]\n\
+         \x20                 [--step-limit N] [--fuel N] [--deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_u64(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer, got '{s}'");
+        usage();
+    })
+}
+
+fn main() {
+    let mut input: Option<PathBuf> = None;
+    let mut seed: Option<u64> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut ropts = ReduceOpts::default();
+    let mut oracle = OracleOpts::default();
+
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = Some(parse_u64(&flag_value(&mut args, "--seed"), "--seed")),
+            "--out" => out_path = Some(PathBuf::from(flag_value(&mut args, "--out"))),
+            "--max-attempts" => {
+                ropts.max_attempts =
+                    parse_u64(&flag_value(&mut args, "--max-attempts"), "--max-attempts") as usize
+            }
+            "--format" => match flag_value(&mut args, "--format").as_str() {
+                "text" => format_json = false,
+                "json" => format_json = true,
+                other => {
+                    eprintln!("--format needs 'text' or 'json', got '{other}'");
+                    usage();
+                }
+            },
+            "--step-limit" => {
+                oracle.step_limit =
+                    parse_u64(&flag_value(&mut args, "--step-limit"), "--step-limit")
+            }
+            "--fuel" => oracle.fuel = Some(parse_u64(&flag_value(&mut args, "--fuel"), "--fuel")),
+            "--deadline-ms" => {
+                oracle.deadline_ms = Some(parse_u64(
+                    &flag_value(&mut args, "--deadline-ms"),
+                    "--deadline-ms",
+                ))
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'");
+                usage();
+            }
+            _ if input.is_none() => input = Some(PathBuf::from(a)),
+            _ => {
+                eprintln!("only one input file is accepted");
+                usage();
+            }
+        }
+    }
+
+    let Some(input) = input else { usage() };
+
+    // A corpus entry brings its own kernel text and seed; a raw file is
+    // read verbatim with the seed from --seed (default 0).
+    let (text, entry_seed) = if input.extension().map(|x| x == "finding").unwrap_or(false) {
+        match Corpus::load(&input) {
+            Ok(e) => (e.kernel, e.seed),
+            Err(e) => {
+                eprintln!("mha-reduce: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(t) => (t, 0),
+            Err(e) => {
+                eprintln!("mha-reduce: cannot read {}: {e}", input.display());
+                std::process::exit(2);
+            }
+        }
+    };
+    let seed = seed.unwrap_or(entry_seed);
+
+    let target = match run_oracles(&text, seed, &oracle) {
+        Err(f) => f.signature(),
+        Ok(()) => {
+            eprintln!(
+                "mha-reduce: {} passes every oracle at seed {seed}; nothing to reduce",
+                input.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    eprintln!("mha-reduce: target signature: {target}");
+
+    let result = reduce(
+        &text,
+        &ropts,
+        &mut |cand| matches!(run_oracles(cand, seed, &oracle), Err(f) if f.signature() == target),
+    );
+    eprintln!(
+        "mha-reduce: {} -> {} lines ({} attempts, {} accepted)",
+        text.lines().count(),
+        result.text.lines().count(),
+        result.attempts,
+        result.accepted
+    );
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &result.text) {
+            eprintln!("mha-reduce: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    if format_json {
+        println!(
+            "{{\"signature\":{},\"seed\":{seed},\"original_lines\":{},\"reduced_lines\":{},\"attempts\":{},\"accepted\":{},\"text\":{}}}",
+            json_str(target.as_str()),
+            text.lines().count(),
+            result.text.lines().count(),
+            result.attempts,
+            result.accepted,
+            json_str(&result.text)
+        );
+    } else if out_path.is_none() {
+        print!("{}", result.text);
+    }
+    std::process::exit(0);
+}

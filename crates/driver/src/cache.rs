@@ -196,9 +196,8 @@ impl Cache {
         Lookup::Corrupt(format!("{}: {reason}", path.display()))
     }
 
-    /// Write `payload` under `key`, atomically enough for concurrent
-    /// writers: the entry is staged to a unique temp file and renamed into
-    /// place, so readers only ever observe complete entries.
+    /// Write `payload` under `key` via [`atomic_write`], so concurrent
+    /// readers only ever observe complete entries.
     pub fn store(&self, key: &CacheKey, payload: &str) -> Result<(), CacheError> {
         let digest = format!("{:016x}", kernels::fnv1a64(payload.as_bytes()));
         let entry = format!(
@@ -206,21 +205,32 @@ impl Cache {
             key.hex(),
             payload.len()
         );
-        let path = self.entry_path(key);
-        let tmp = self.dir.join(format!(
-            ".{}.{:x}.tmp",
-            key.hex(),
-            std::process::id() as u64 ^ (&entry as *const _ as u64)
-        ));
-        std::fs::write(&tmp, entry).map_err(|e| CacheError {
-            path: tmp.clone(),
-            detail: format!("cannot stage entry: {e}"),
-        })?;
-        std::fs::rename(&tmp, &path).map_err(|e| CacheError {
-            path,
-            detail: format!("cannot commit entry: {e}"),
-        })
+        atomic_write(&self.dir, &self.entry_path(key), &entry)
     }
+}
+
+/// Write `content` to `path`, atomically enough for concurrent writers:
+/// the content is staged to a unique temp file inside `dir` (same
+/// filesystem, so the rename is atomic) and renamed into place. Readers
+/// never observe a half-written file. Shared by the cache and the fuzzing
+/// corpus.
+pub fn atomic_write(dir: &Path, path: &Path, content: &str) -> Result<(), CacheError> {
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "entry".into());
+    let tmp = dir.join(format!(
+        ".{stem}.{:x}.tmp",
+        std::process::id() as u64 ^ (content.as_ptr() as u64)
+    ));
+    std::fs::write(&tmp, content).map_err(|e| CacheError {
+        path: tmp.clone(),
+        detail: format!("cannot stage entry: {e}"),
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| CacheError {
+        path: path.to_path_buf(),
+        detail: format!("cannot commit entry: {e}"),
+    })
 }
 
 /// Encode a csynth report as the cache payload. The format is line-based

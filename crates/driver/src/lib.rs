@@ -32,6 +32,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod corpus;
 pub mod cosim;
 pub mod experiment;
 pub mod flow;
@@ -40,6 +41,7 @@ pub mod supervisor;
 
 pub use batch::{run_batch, BatchError, BatchOptions, BatchSummary};
 pub use cache::{Cache, CacheError};
+pub use corpus::{Corpus, CorpusEntry};
 pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
 pub use flow::{run_flow, run_flow_budgeted, Flow, FlowArtifacts};

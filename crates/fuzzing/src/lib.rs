@@ -1,0 +1,33 @@
+//! Crash-resilient structured fuzzing of the adaptor stack.
+//!
+//! Four layers, composed by the `mha-fuzz` / `mha-reduce` binaries in the
+//! driver crate:
+//!
+//! * [`rng`] — a stable SplitMix64 stream so corpus entries replay from a
+//!   seed alone, forever.
+//! * [`gen`] — a seeded generator of valid-by-construction MLIR-lite
+//!   kernels (multi-loop and imperfect nests, guards, accumulation, relu,
+//!   multiple buffers, degenerate bounds).
+//! * [`oracle`] — the checks every kernel must survive: parse/verify,
+//!   print∘parse round-trips at both IR levels, the adaptor flow with
+//!   verify-after-each-pass, the HLS-C++ flow, and bit-exact differential
+//!   execution — each stage under `catch_unwind` and a [`pass_core`]
+//!   budget so panics and hangs become findings, not fuzzer deaths.
+//! * [`sig`] + [`mod@reduce`] + [`campaign`] — normalized failure signatures
+//!   for dedup, a delta-debugging text minimizer that preserves the
+//!   signature, and the seed-range loop tying it together.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod gen;
+pub mod oracle;
+pub mod reduce;
+pub mod rng;
+pub mod sig;
+
+pub use campaign::{run_campaign, CampaignOpts, CampaignResult, Finding};
+pub use gen::{generate, GenConfig, GeneratedKernel, TOP_NAME};
+pub use oracle::{run_oracles, OracleOpts};
+pub use reduce::{reduce, ReduceOpts, ReduceResult};
+pub use sig::{Failure, OracleKind, Signature};

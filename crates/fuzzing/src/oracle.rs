@@ -1,0 +1,336 @@
+//! The oracle stack: every check a generated kernel must survive.
+//!
+//! A kernel passes when *all* oracles pass; the first failure wins and is
+//! reported with its stage, so a signature pins down both *what* broke and
+//! *where*. The stack, in order:
+//!
+//! 1. **parse + verify** — generated text must parse and verify (a failure
+//!    here is a generator bug or a parser regression).
+//! 2. **MLIR round-trip** — `print ∘ parse` must be the identity on the
+//!    printed form at the MLIR-lite level.
+//! 3. **lower + adaptor** — the adaptor flow must legalize the module; the
+//!    pass manager's verify-after-each-pass is on, so a pass that corrupts
+//!    the IR is caught at the pass that did it.
+//! 4. **LLVM round-trip** — the printed `.ll` must re-parse and re-print
+//!    identically.
+//! 5. **C++ flow** — emission, the frontend, and the cleanup fixpoint must
+//!    succeed on the same kernel.
+//! 6. **differential execution** — both modules run under
+//!    [`llvm_lite::interp`] on deterministic pseudo-random inputs derived
+//!    from the seed; every output buffer must match bit-for-bit.
+//!
+//! Every stage runs under `catch_unwind` and a [`pass_core::Budget`], so a
+//! panic becomes a [`OracleKind::Panic`] failure, an infinite loop becomes
+//! a [`OracleKind::Budget`] trip (or an interpreter step-limit
+//! [`OracleKind::Exec`] trap) — never a stuck or dead fuzzer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use llvm_lite::interp::{Interpreter, RtVal};
+use mlir_lite::MType;
+use pass_core::{Budget, BudgetError};
+
+use crate::gen::TOP_NAME;
+use crate::sig::{Failure, OracleKind};
+
+/// Knobs bounding one oracle run.
+#[derive(Clone, Debug)]
+pub struct OracleOpts {
+    /// Wall-clock deadline for the whole attempt (None = unbounded; keep
+    /// it off when bit-reproducibility across machines matters).
+    pub deadline_ms: Option<u64>,
+    /// Shared fuel pool for the attempt's pass pipelines.
+    pub fuel: Option<u64>,
+    /// Interpreter instruction budget per execution.
+    pub step_limit: u64,
+}
+
+impl Default for OracleOpts {
+    fn default() -> OracleOpts {
+        OracleOpts {
+            deadline_ms: None,
+            fuel: None,
+            // Generous for 8x8 kernels (they run ~1e4 steps) while still
+            // catching runaway loops quickly.
+            step_limit: 5_000_000,
+        }
+    }
+}
+
+impl OracleOpts {
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(f) = self.fuel {
+            b = b.with_fuel(f);
+        }
+        b
+    }
+}
+
+/// Run `work` with panic and budget classification for `stage`.
+fn guarded<T>(
+    stage: &str,
+    oracle: OracleKind,
+    work: impl FnOnce() -> Result<T, String>,
+) -> Result<T, Failure> {
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(msg)) => {
+            // A budget trip travels through stringly error channels; give
+            // it its own oracle kind so hangs dedup apart from real bugs.
+            if BudgetError::from_rendered(&msg).is_some() {
+                Err(Failure::new(OracleKind::Budget, stage, msg))
+            } else {
+                Err(Failure::new(oracle, stage, msg))
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(Failure::new(OracleKind::Panic, stage, msg))
+        }
+    }
+}
+
+/// Drive one kernel through the full oracle stack. `seed` feeds the
+/// deterministic input generator for differential execution.
+pub fn run_oracles(src: &str, seed: u64, opts: &OracleOpts) -> Result<(), Failure> {
+    let budget = opts.budget();
+
+    // 1. Parse + verify.
+    let m = guarded("mlir-parse", OracleKind::Parse, || {
+        mlir_lite::parser::parse_module(TOP_NAME, src).map_err(|e| e.to_string())
+    })?;
+    guarded("mlir-verify", OracleKind::Verify, || {
+        mlir_lite::verifier::verify_module(&m).map_err(|e| e.to_string())
+    })?;
+
+    // 2. MLIR-level print/parse round-trip.
+    guarded("mlir-roundtrip", OracleKind::RoundTrip, || {
+        let t1 = mlir_lite::printer::print_module(&m);
+        let m2 = mlir_lite::parser::parse_module(TOP_NAME, &t1)
+            .map_err(|e| format!("printed module does not re-parse: {e}"))?;
+        let t2 = mlir_lite::printer::print_module(&m2);
+        if t1 != t2 {
+            return Err(first_divergence("mlir print", &t1, &t2));
+        }
+        Ok(())
+    })?;
+
+    // 3. Adaptor flow (lower → adaptor with verify-after-each-pass).
+    let adaptor_mod = guarded("lower", OracleKind::Stage, || {
+        lowering::lower(m.deep_clone()).map_err(|e| e.to_string())
+    })?;
+    let adaptor_mod = guarded("adaptor", OracleKind::Stage, || {
+        let mut module = adaptor_mod;
+        adaptor::run_adaptor_budgeted(&mut module, &adaptor::AdaptorConfig::default(), &budget)
+            .map_err(|e| e.to_string())?;
+        Ok(module)
+    })?;
+    guarded("llvm-verify", OracleKind::Verify, || {
+        llvm_lite::verifier::verify_module(&adaptor_mod).map_err(|e| e.to_string())
+    })?;
+
+    // 4. LLVM-level print/parse round-trip on the adaptor output.
+    guarded("llvm-roundtrip", OracleKind::RoundTrip, || {
+        let t1 = llvm_lite::printer::print_module(&adaptor_mod);
+        let m2 = llvm_lite::parser::parse_module(TOP_NAME, &t1)
+            .map_err(|e| format!("printed .ll does not re-parse: {e}"))?;
+        let t2 = llvm_lite::printer::print_module(&m2);
+        if t1 != t2 {
+            return Err(first_divergence("llvm print", &t1, &t2));
+        }
+        Ok(())
+    })?;
+
+    // 5. C++ flow.
+    let cpp_mod = guarded("emit-cpp", OracleKind::Stage, || {
+        hls_cpp::emit_cpp(&m).map_err(|e| e.to_string())
+    })
+    .and_then(|cpp| {
+        guarded("frontend", OracleKind::Stage, || {
+            hls_cpp::compile_cpp(TOP_NAME, &cpp).map_err(|e| e.to_string())
+        })
+    })
+    .and_then(|mut module| {
+        guarded("cleanup", OracleKind::Stage, || {
+            llvm_lite::transforms::standard_cleanup()
+                .run_to_fixpoint_budgeted(&mut module, 4, &budget)
+                .map_err(|e| e.to_string())?;
+            Ok(module)
+        })
+    })?;
+
+    // 6. Differential execution on deterministic inputs.
+    let shapes = buffer_shapes(&m)?;
+    let out_a = guarded("exec-adaptor", OracleKind::Exec, || {
+        execute(&adaptor_mod, &shapes, seed, opts.step_limit)
+    })?;
+    let out_c = guarded("exec-cpp", OracleKind::Exec, || {
+        execute(&cpp_mod, &shapes, seed, opts.step_limit)
+    })?;
+    guarded("compare", OracleKind::Differential, || {
+        for (bi, (a, c)) in out_a.iter().zip(out_c.iter()).enumerate() {
+            if a.len() != c.len() {
+                return Err(format!(
+                    "buffer {bi} length diverged: {} vs {}",
+                    a.len(),
+                    c.len()
+                ));
+            }
+            for (ei, (x, y)) in a.iter().zip(c.iter()).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "flows diverged at buffer {bi} element {ei}: adaptor={x} hls-cpp={y}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Pull the top function's memref parameter element counts out of the
+/// parsed module. Works on reduced kernels too (shapes come from the text,
+/// not from the generator).
+fn buffer_shapes(m: &mlir_lite::MlirModule) -> Result<Vec<usize>, Failure> {
+    let f = m
+        .func(TOP_NAME)
+        .or_else(|| {
+            // A reduced kernel may have been renamed; take the first func.
+            m.ops.iter().find(|o| o.name == "func.func")
+        })
+        .ok_or_else(|| Failure::new(OracleKind::Parse, "shapes", "module has no function"))?;
+    f.regions[0]
+        .entry()
+        .arg_types
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| match ty {
+            MType::MemRef { shape, .. } => {
+                let mut n: i64 = 1;
+                for d in shape {
+                    if *d < 0 {
+                        return Err(Failure::new(
+                            OracleKind::Exec,
+                            "shapes",
+                            format!("param {i} has a dynamic dimension"),
+                        ));
+                    }
+                    n *= *d;
+                }
+                Ok(n.max(1) as usize)
+            }
+            other => Err(Failure::new(
+                OracleKind::Exec,
+                "shapes",
+                format!("param {i} is not a memref: {other:?}"),
+            )),
+        })
+        .collect()
+}
+
+/// Deterministic input for buffer `b`, element `k`: small exact fractions
+/// so float results are reproducible and rarely overflow.
+pub fn input_value(seed: u64, buf: usize, elem: usize) -> f32 {
+    let h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((buf as u64) << 32)
+        .wrapping_add(elem as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (((h >> 16) % 33) as i64 - 16) as f32 / 4.0
+}
+
+/// Run the top function with per-buffer deterministic inputs; returns the
+/// final contents of every buffer.
+fn execute(
+    module: &llvm_lite::Module,
+    shapes: &[usize],
+    seed: u64,
+    step_limit: u64,
+) -> Result<Vec<Vec<f32>>, String> {
+    let mut interp = Interpreter::new(module);
+    interp.step_limit = step_limit;
+    let ptrs: Vec<u64> = shapes
+        .iter()
+        .enumerate()
+        .map(|(b, &n)| {
+            let data: Vec<f32> = (0..n).map(|k| input_value(seed, b, k)).collect();
+            interp.mem.alloc_f32(&data)
+        })
+        .collect();
+    let args: Vec<RtVal> = ptrs.iter().map(|p| RtVal::P(*p)).collect();
+    let name = module
+        .top_function()
+        .map(|f| f.name.clone())
+        .unwrap_or_else(|| TOP_NAME.to_string());
+    interp.call(&name, &args).map_err(|e| e.to_string())?;
+    ptrs.iter()
+        .zip(shapes.iter())
+        .map(|(p, &n)| interp.mem.read_f32(*p, n).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Render the first differing line of two texts for a round-trip failure.
+fn first_divergence(what: &str, t1: &str, t2: &str) -> String {
+    for (i, (a, b)) in t1.lines().zip(t2.lines()).enumerate() {
+        if a != b {
+            return format!("{what} not idempotent at line {}: '{a}' vs '{b}'", i + 1);
+        }
+    }
+    format!(
+        "{what} not idempotent: lengths {} vs {}",
+        t1.len(),
+        t2.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn a_simple_generated_kernel_passes_every_oracle() {
+        // Seed 0 is pinned in the CI smoke range; it must stay clean.
+        let k = generate(0, &GenConfig::default());
+        let r = run_oracles(&k.text, 0, &OracleOpts::default());
+        assert!(r.is_ok(), "seed 0 failed: {}\n{}", r.unwrap_err(), k.text);
+    }
+
+    #[test]
+    fn unparseable_input_fails_the_parse_oracle() {
+        let f = run_oracles("this is not mlir", 0, &OracleOpts::default()).unwrap_err();
+        assert_eq!(f.oracle, OracleKind::Parse);
+        assert_eq!(f.stage, "mlir-parse");
+    }
+
+    #[test]
+    fn hang_trips_the_budget_not_the_fuzzer() {
+        let k = generate(0, &GenConfig::default());
+        let opts = OracleOpts {
+            fuel: Some(1),
+            ..OracleOpts::default()
+        };
+        let f = run_oracles(&k.text, 0, &opts).unwrap_err();
+        assert_eq!(f.oracle, OracleKind::Budget, "{f}");
+    }
+
+    #[test]
+    fn input_values_are_deterministic_and_small() {
+        for b in 0..4 {
+            for k in 0..64 {
+                let v = input_value(9, b, k);
+                assert_eq!(v.to_bits(), input_value(9, b, k).to_bits());
+                assert!(v.abs() <= 4.0);
+            }
+        }
+    }
+}

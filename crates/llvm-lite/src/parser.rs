@@ -168,7 +168,8 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in hex literal"))?;
                 u64::from_str_radix(text, 16)
                     .map(Tok::HexFloat)
                     .map_err(|_| self.err("bad hex float"))
@@ -194,7 +195,8 @@ impl<'a> Lexer<'a> {
                 {
                     return Err(self.err("decimal float literals unsupported; use hex form"));
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in integer literal"))?;
                 text.parse::<i128>()
                     .map(Tok::Int)
                     .map_err(|_| self.err("bad integer literal"))
@@ -213,7 +215,15 @@ impl<'a> Lexer<'a> {
 struct Parser<'a> {
     lex: Lexer<'a>,
     tok: Tok,
+    /// Current recursion depth through `parse_type`/`parse_init`; bounded
+    /// so hostile input like `[1 x [1 x [1 x ...` becomes a located error
+    /// instead of a stack overflow (which aborts and cannot be caught).
+    depth: u32,
 }
+
+/// Deepest type/initializer nesting accepted. Real modules nest arrays two
+/// or three levels; the bound only defends against adversarial input.
+const MAX_NESTING_DEPTH: u32 = 16;
 
 /// Placeholder value for a not-yet-defined `%name`; patched at function end.
 struct Fixup {
@@ -226,7 +236,17 @@ impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Result<Parser<'a>> {
         let mut lex = Lexer::new(src);
         let tok = lex.next()?;
-        Ok(Parser { lex, tok })
+        Ok(Parser { lex, tok, depth: 0 })
+    }
+
+    fn enter_nesting(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!(
+                "type/initializer nesting deeper than {MAX_NESTING_DEPTH} levels"
+            )));
+        }
+        Ok(())
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -289,7 +309,10 @@ impl<'a> Parser<'a> {
                     other => return Err(self.err(format!("expected array length, got {other:?}"))),
                 };
                 self.eat_word("x")?;
-                let elem = self.parse_type()?;
+                self.enter_nesting()?;
+                let elem = self.parse_type();
+                self.depth -= 1;
+                let elem = elem?;
                 self.eat_punct(']')?;
                 Type::Array(n, Box::new(elem))
             }
@@ -452,7 +475,10 @@ impl<'a> Parser<'a> {
                         break;
                     }
                     let _ety = self.parse_type()?;
-                    elems.push(self.parse_init(&elem_ty)?);
+                    self.enter_nesting()?;
+                    let elem = self.parse_init(&elem_ty);
+                    self.depth -= 1;
+                    elems.push(elem?);
                     if self.tok == Tok::Punct(',') {
                         self.bump()?;
                     }
@@ -1258,5 +1284,43 @@ entry:
         let f = m.function("f").unwrap();
         assert_eq!(f.count_opcode(Opcode::Select), 1);
         assert_eq!(f.count_opcode(Opcode::SExt), 1);
+    }
+
+    #[test]
+    fn pathological_type_nesting_is_an_error_not_a_stack_overflow() {
+        let mut ty = String::from("float");
+        for _ in 0..5000 {
+            ty = format!("[1 x {ty}]");
+        }
+        let src = format!("@g = global {ty} zeroinitializer\n");
+        let e = parse_module("m", &src).unwrap_err();
+        assert!(e.to_string().contains("nesting deeper"), "{e}");
+    }
+
+    #[test]
+    fn pathological_initializer_nesting_is_an_error_not_a_stack_overflow() {
+        // An unbalanced initializer torrent must trip the depth bound, not
+        // recurse to an abort.
+        let src = format!("@g = global [1 x i32] {}0\n", "[i32 ".repeat(5000));
+        let e = parse_module("m", &src).unwrap_err();
+        assert!(e.to_string().contains("nesting deeper"), "{e}");
+    }
+
+    #[test]
+    fn overflowing_integer_literal_is_an_error() {
+        let src = "define void @f() {\nentry:\n  %x = add i32 9999999999999999999999999999999999999999, 1\n  ret void\n}\n";
+        let e = parse_module("m", src).unwrap_err();
+        assert!(e.to_string().contains("bad integer literal"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_tokens_are_errors() {
+        for bad in [
+            "@g = global [4 x float] zeroinitializer \"oops", // string
+            "define void @\"unterminated() {\nentry:\n ret void\n}", // quoted sym
+            "define void @f() {\nentry:\n  br label %x",      // truncated fn
+        ] {
+            assert!(parse_module("m", bad).is_err(), "{bad:?}");
+        }
     }
 }

@@ -161,12 +161,17 @@ impl<'a> Lexer<'a> {
                     {
                         is_float = true;
                         self.pos += 1;
-                    } else if (d == b'e' || d == b'E')
-                        && is_float
-                        && self.src.get(self.pos + 1).is_some()
-                    {
-                        is_float = true;
-                        self.pos += 2; // consume e and sign/digit
+                    } else if (d == b'e' || d == b'E') && is_float {
+                        // Exponent: 'e', optional sign, then at least one
+                        // digit. Consuming anything else here could split a
+                        // multi-byte UTF-8 character.
+                        self.pos += 1;
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.pos += 1;
+                        }
+                        if !self.peek().map(|x| x.is_ascii_digit()).unwrap_or(false) {
+                            return Err(self.err("malformed float exponent"));
+                        }
                         while let Some(x) = self.peek() {
                             if x.is_ascii_digit() {
                                 self.pos += 1;
@@ -179,7 +184,8 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in numeric literal"))?;
                 if is_float {
                     text.parse::<f64>()
                         .map(Tok::Float)
@@ -202,7 +208,19 @@ impl<'a> Lexer<'a> {
 struct Parser<'a> {
     lex: Lexer<'a>,
     tok: Tok,
+    /// Current region-nesting depth; bounded so adversarial input cannot
+    /// overflow the stack through `parse_op` → `parse_affine_for` recursion
+    /// (a stack overflow aborts the process and cannot be caught).
+    depth: u32,
 }
+
+/// Deepest region nesting accepted by the parser. Real kernels nest a
+/// handful of loops; this only exists to turn hostile input into a
+/// located error instead of a stack overflow (which aborts the process
+/// and cannot be isolated by `catch_unwind`). Each level costs ~70 KiB
+/// of parser frames in debug builds and test threads run on 2 MiB
+/// stacks, so 16 keeps a 2x safety margin.
+const MAX_NESTING_DEPTH: u32 = 16;
 
 type Env = HashMap<String, MValue>;
 
@@ -210,7 +228,7 @@ impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Result<Parser<'a>> {
         let mut lex = Lexer::new(src);
         let tok = lex.next()?;
-        Ok(Parser { lex, tok })
+        Ok(Parser { lex, tok, depth: 0 })
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -669,6 +687,18 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_affine_for(&mut self, env: &mut Env) -> Result<Op> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!(
+                "loop nesting deeper than {MAX_NESTING_DEPTH} levels"
+            )));
+        }
+        let op = self.parse_affine_for_inner(env);
+        self.depth -= 1;
+        op
+    }
+
+    fn parse_affine_for_inner(&mut self, env: &mut Env) -> Result<Op> {
         let iv_name = self.take_val()?;
         self.eat_punct('=')?;
         let lb = match self.bump()? {
@@ -1046,5 +1076,66 @@ func.func @relu(%m: memref<8xf32>) {
         let src = "func.func @f(%a: i99999999999999999999) {\n  func.return\n}\n";
         let e = parse_module("m", src).unwrap_err();
         assert!(e.to_string().contains("integer type width"), "{e}");
+    }
+
+    #[test]
+    fn multibyte_char_after_exponent_is_an_error_not_a_panic() {
+        // `1.5eé` used to slice the source mid-character and abort on
+        // `from_utf8(...).unwrap()`; it must be a located diagnostic.
+        let src = "func.func @f() {\n  %c = arith.constant 1.5eé : f32\n  func.return\n}\n";
+        let e = parse_module("m", src).unwrap_err();
+        assert!(e.to_string().contains("malformed float exponent"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn exponent_without_digits_is_an_error() {
+        for bad in ["1.5e", "1.5e+", "1.5e-", "2.0E }"] {
+            let src = format!("func.func @f() {{\n  %c = arith.constant {bad} : f32\n}}\n");
+            let e = parse_module("m", &src).unwrap_err();
+            assert!(
+                e.to_string().contains("malformed float exponent"),
+                "{bad}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_forms_still_parse() {
+        for (text, want) in [("1.5e3", 1.5e3), ("1.5e+3", 1.5e3), ("2.5e-2", 2.5e-2)] {
+            let src = format!(
+                "func.func @f() {{\n  %c = arith.constant {text} : f32\n  func.return\n}}\n"
+            );
+            let m = parse_module("m", &src).unwrap();
+            let mut got = None;
+            m.walk(&mut |o| {
+                if o.name == "arith.constant" {
+                    got = o.attrs.get("value").and_then(Attr::as_float);
+                }
+            });
+            assert_eq!(got, Some(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let mut src = String::from("func.func @f() {\n");
+        for d in 0..4000 {
+            src.push_str(&format!("affine.for %i{d} = 0 to 2 {{\n"));
+        }
+        // No closers needed: the depth limit must trip long before EOF.
+        let e = parse_module("m", &src).unwrap_err();
+        assert!(e.to_string().contains("nesting deeper"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_constructs_are_errors() {
+        for bad in [
+            "func.func @f(%a: memref<8xf32",       // unterminated type bracket
+            "func.func @f() attributes {x = \"ab", // unterminated string
+            "func.func @f() {\n  affine.for %i = 0 to 4 {\n", // unterminated region
+        ] {
+            assert!(parse_module("m", bad).is_err(), "{bad:?}");
+        }
     }
 }
