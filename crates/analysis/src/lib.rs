@@ -85,6 +85,7 @@
 pub mod alias;
 pub mod callgraph;
 pub mod dataflow;
+pub mod depend;
 pub mod lint;
 pub mod liveness;
 pub mod range;
@@ -92,5 +93,9 @@ pub mod reachdefs;
 
 pub use alias::{resolve_base, MemObject, PointsTo};
 pub use dataflow::{solve, BlockFacts, Direction, Lattice, TransferFunction};
+pub use depend::{
+    CarriedDistance, DepKind, Dependence, DistElem, LinExpr, LoopNest, NestAccess, NestLoop,
+    TransformLegality, Witness,
+};
 pub use lint::lint_module;
 pub use range::{Range, ValueRanges};

@@ -11,9 +11,13 @@
 //! tool would miscompile or reject (out-of-bounds access, reads of
 //! uninitialized memory, recursion, aliasing that defeats a partition
 //! directive); **warnings** are QoR or hygiene hazards (dead stores,
-//! unreachable blocks, unprovable trip counts, ambiguous pointers). The
-//! II-blocker explainer lives in `vitis-sim` (it needs operator latencies)
-//! and joins these findings at the `mha-lint` driver level.
+//! unreachable blocks, unprovable trip counts, ambiguous pointers);
+//! **notes** are dependence facts from the [`crate::depend`] engine
+//! (loop-carried recurrences, interchange hazards, parallel-safety
+//! certificates) — information about the kernel, never defects, and never
+//! part of an exit code. The II-blocker explainer lives in `vitis-sim` (it
+//! needs operator latencies) and joins these findings at the `mha-lint`
+//! driver level.
 
 use std::collections::HashSet;
 
@@ -41,6 +45,12 @@ pub const LINT_RECURSION: &str = "lint-recursion";
 pub const LINT_ALIASED_PARTITION: &str = "lint-aliased-partition";
 /// Pointer with no unique base object.
 pub const LINT_AMBIGUOUS_BASE: &str = "lint-ambiguous-base";
+/// Loop-carried dependence in an innermost loop (note: a fact, not a defect).
+pub const LINT_CARRIED_DEP: &str = "lint-carried-dep";
+/// Interchanging the two innermost loops would reverse a dependence.
+pub const LINT_ILLEGAL_INTERCHANGE: &str = "lint-illegal-interchange";
+/// Positive certificate: the innermost loop carries no dependence.
+pub const LINT_PARALLEL_SAFE: &str = "lint-parallel-safe";
 
 /// Printable reference to an instruction (`%name` or `%id`).
 fn inst_ref(f: &Function, id: InstId) -> String {
@@ -305,6 +315,62 @@ pub fn lint_function(f: &Function) -> Vec<Diagnostic> {
         }
     }
 
+    // Dependence facts from the nest engine, as notes: what the innermost
+    // loop carries, whether interchanging the two innermost levels is
+    // legal, and — when nothing is carried — a positive parallel-safety
+    // certificate. Notes never contribute to exit codes.
+    for inner in loops.innermost_loops() {
+        let Some(nest) = crate::depend::nest_of_innermost(f, &loops, inner) else {
+            continue;
+        };
+        let loc = Loc::function(&f.name).in_block(&f.block(inner.header).name);
+        let legal = crate::depend::TransformLegality::new(&nest);
+        let level = nest.innermost_level();
+        let mut carried = false;
+        for dep in legal.dependences() {
+            let d = nest.carried_distance_at(dep, level);
+            let dist = match d {
+                crate::depend::CarriedDistance::NotCarried => continue,
+                crate::depend::CarriedDistance::Exact(x) => format!("distance {x}"),
+                crate::depend::CarriedDistance::AtLeastOne => "distance >= 1".into(),
+            };
+            carried = true;
+            diags.push(
+                Diagnostic::note(
+                    LINT_CARRIED_DEP,
+                    format!(
+                        "loop {} carries a dependence ({dist}): {}",
+                        nest.loops[level].label,
+                        nest.render_dep(dep)
+                    ),
+                )
+                .with_loc(loc.clone()),
+            );
+        }
+        if level >= 1 {
+            if let Err(w) = legal.interchange_legal(level - 1, level) {
+                if w.dep.is_some() {
+                    diags.push(
+                        Diagnostic::note(LINT_ILLEGAL_INTERCHANGE, w.reason).with_loc(loc.clone()),
+                    );
+                }
+            }
+        }
+        if !carried && !nest.accesses.is_empty() && legal.unroll_parallel(level).is_ok() {
+            diags.push(
+                Diagnostic::note(
+                    LINT_PARALLEL_SAFE,
+                    format!(
+                        "loop {} carries no dependence: iterations are \
+                         parallel; unrolling and partitioning are safe",
+                        nest.loops[level].label
+                    ),
+                )
+                .with_loc(loc),
+            );
+        }
+    }
+
     diags
 }
 
@@ -375,7 +441,112 @@ exit:
   ret void
 }
 "#;
-        assert_eq!(lint(src), Vec::new());
+        let diags = lint(src);
+        // No defects — the only finding is the positive parallel-safety
+        // certificate (same-address load/store is intra-iteration only).
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity == pass_core::Severity::Note),
+            "{diags:?}"
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pass, LINT_PARALLEL_SAFE);
+        assert!(diags[0].message.contains("loop %i carries no dependence"));
+    }
+
+    #[test]
+    fn carried_dependence_is_noted_with_its_distance() {
+        // b[i] = b[i-1] + a[i]: flow dependence at distance 1.
+        let src = r#"
+define void @f([32 x float]* %a, [33 x float]* %b) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 1, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 33
+  br i1 %c, label %body, label %exit
+
+body:
+  %im1 = add i64 %i, -1
+  %p = getelementptr inbounds [33 x float], [33 x float]* %b, i64 0, i64 %im1
+  %v = load float, float* %p, align 4
+  %q = getelementptr inbounds [33 x float], [33 x float]* %b, i64 0, i64 %i
+  store float %v, float* %q, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let diags = lint(src);
+        let carried: Vec<_> = diags
+            .iter()
+            .filter(|d| d.pass == LINT_CARRIED_DEP)
+            .collect();
+        assert_eq!(carried.len(), 1, "{diags:?}");
+        assert_eq!(carried[0].severity, pass_core::Severity::Note);
+        assert!(
+            carried[0].message.contains("distance vector (1)")
+                && carried[0].message.contains("(distance 1)"),
+            "{}",
+            carried[0].message
+        );
+        assert!(diags.iter().all(|d| d.pass != LINT_PARALLEL_SAFE));
+    }
+
+    #[test]
+    fn illegal_interchange_is_noted_on_skewed_nests() {
+        // A[i+1][j] = A[i][j+1]: distance (1, -1) reverses under
+        // interchange.
+        let src = r#"
+define void @f([8 x [8 x float]]* %a) {
+entry:
+  br label %oheader
+
+oheader:
+  %i = phi i64 [ 0, %entry ], [ %inext, %olatch ]
+  %oc = icmp slt i64 %i, 7
+  br i1 %oc, label %iheader, label %exit
+
+iheader:
+  %j = phi i64 [ 0, %oheader ], [ %jnext, %body ]
+  %ic = icmp slt i64 %j, 7
+  br i1 %ic, label %body, label %olatch
+
+body:
+  %jp1 = add i64 %j, 1
+  %ip1 = add i64 %i, 1
+  %p = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %a, i64 0, i64 %i, i64 %jp1
+  %v = load float, float* %p, align 4
+  %q = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %a, i64 0, i64 %ip1, i64 %j
+  store float %v, float* %q, align 4
+  %jnext = add i64 %j, 1
+  br label %iheader
+
+olatch:
+  %inext = add i64 %i, 1
+  br label %oheader
+
+exit:
+  ret void
+}
+"#;
+        let diags = lint(src);
+        let ill: Vec<_> = diags
+            .iter()
+            .filter(|d| d.pass == LINT_ILLEGAL_INTERCHANGE)
+            .collect();
+        assert_eq!(ill.len(), 1, "{diags:?}");
+        assert_eq!(ill[0].severity, pass_core::Severity::Note);
+        assert!(
+            ill[0].message.contains("interchanging %i and %j")
+                && ill[0].message.contains("distance vector (1, -1)"),
+            "{}",
+            ill[0].message
+        );
     }
 
     #[test]

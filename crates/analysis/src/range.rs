@@ -57,6 +57,26 @@ impl Range {
         })
     }
 
+    fn shl(self, o: Range) -> Option<Range> {
+        // Only a constant non-negative shift amount is a clean scale.
+        if o.min != o.max || !(0..=62).contains(&o.min) {
+            return None;
+        }
+        self.mul(Range::exact(1i128 << o.min))
+    }
+
+    fn bitor(self, o: Range) -> Option<Range> {
+        // For non-negative operands, `a | b` is bounded below by both
+        // operands and above by their sum (bits can only be set).
+        if self.min < 0 || o.min < 0 {
+            return None;
+        }
+        Some(Range {
+            min: self.min.max(o.min),
+            max: self.max.checked_add(o.max)?,
+        })
+    }
+
     /// Smallest interval containing both.
     pub fn hull(self, o: Range) -> Range {
         Range {
@@ -129,6 +149,12 @@ impl ValueRanges {
                     Opcode::Add => vr.binary(&inst.operands, Range::add),
                     Opcode::Sub => vr.binary(&inst.operands, Range::sub),
                     Opcode::Mul => vr.binary(&inst.operands, Range::mul),
+                    // `2*i` and `2*i + 1` style subscripts are routinely
+                    // emitted as shifts and (disjoint) ors; without these
+                    // the scaled form has no range and `lint-oob` skips
+                    // the subscript silently.
+                    Opcode::Shl => vr.binary(&inst.operands, Range::shl),
+                    Opcode::Or => vr.binary(&inst.operands, Range::bitor),
                     Opcode::SExt => vr.of_value(&inst.operands[0]),
                     Opcode::ZExt => vr.of_value(&inst.operands[0]).filter(|r| r.min >= 0),
                     Opcode::Trunc => {
@@ -176,7 +202,10 @@ impl ValueRanges {
 }
 
 /// Recognize the IV PHI of a counted loop and return `(phi, init, step)`.
-fn iv_seed(f: &Function, l: &llvm_lite::analysis::NaturalLoop) -> Option<(InstId, i128, i128)> {
+pub(crate) fn iv_seed(
+    f: &Function,
+    l: &llvm_lite::analysis::NaturalLoop,
+) -> Option<(InstId, i128, i128)> {
     let phi_id = loop_induction_phi(f, l)?;
     let phi = f.inst(phi_id);
     let InstData::Phi { incoming } = &phi.data else {
@@ -258,6 +287,44 @@ exit:
         assert_eq!(
             vr.of_value(&Value::Inst(twice)),
             Some(Range { min: 2, max: 60 })
+        );
+    }
+
+    #[test]
+    fn shifted_and_ored_subscripts_are_bounded() {
+        // `2*i + 1` as codegen emits it: shl + or.
+        let src = r#"
+define void @f() {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 16
+  br i1 %c, label %body, label %exit
+
+body:
+  %even = shl i64 %i, 1
+  %odd = or i64 %even, 1
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+        let (m, vr) = ranges_of(src);
+        let f = &m.functions[0];
+        let body = f.block_by_name("body").unwrap();
+        let even = f.block(body).insts[0];
+        let odd = f.block(body).insts[1];
+        assert_eq!(
+            vr.of_value(&Value::Inst(even)),
+            Some(Range { min: 0, max: 30 })
+        );
+        assert_eq!(
+            vr.of_value(&Value::Inst(odd)),
+            Some(Range { min: 1, max: 31 })
         );
     }
 

@@ -66,7 +66,9 @@ fn cases() -> Vec<Case> {
 fn synthesize(mlir: &str, interchange: bool) -> (vitis_sim::CsynthReport, llvm_lite::Module) {
     let mut m = mlir_lite::parser::parse_module("k", mlir).expect("parse");
     if interchange {
-        InterchangeInnermost.run(&mut m).expect("interchange");
+        InterchangeInnermost::default()
+            .run(&mut m)
+            .expect("interchange");
     }
     PipelineInnermost { ii: 1 }.run(&mut m).expect("pipeline");
     let mut module = lowering::lower(m).expect("lower");

@@ -3,7 +3,7 @@
 //! ```text
 //! mha-fuzz [--seed N] [--count N] [--format text|json] [--corpus DIR]
 //!          [--step-limit N] [--fuel N] [--deadline-ms N]
-//!          [--no-reduce] [--reduce-budget N]
+//!          [--no-reduce] [--reduce-budget N] [--legality]
 //! ```
 //!
 //! Walks seeds `[--seed, --seed + --count)`; each seed deterministically
@@ -12,6 +12,11 @@
 //! round-trips at both IR levels, the adaptor flow with
 //! verify-after-each-pass, the HLS-C++ flow, and bit-exact differential
 //! execution. Panics and hangs are findings, not crashes.
+//!
+//! With `--legality`, each passing kernel additionally runs the
+//! transform-legality oracle: every interchange the `analysis::depend`
+//! engine approves is applied and the transformed kernel must stay
+//! bit-exact with the original — a divergence is a `legality` finding.
 //!
 //! Failures are deduplicated by normalized signature; each *new* signature
 //! is minimized by the built-in reducer (disable with `--no-reduce`) and
@@ -33,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mha-fuzz [--seed N] [--count N] [--format text|json]\n\
          \x20               [--corpus DIR] [--step-limit N] [--fuel N]\n\
-         \x20               [--deadline-ms N] [--no-reduce] [--reduce-budget N]"
+         \x20               [--deadline-ms N] [--no-reduce] [--reduce-budget N]\n\
+         \x20               [--legality]"
     );
     std::process::exit(2);
 }
@@ -94,6 +100,7 @@ fn main() {
                 ))
             }
             "--no-reduce" => opts.reduce = None,
+            "--legality" => opts.legality = true,
             "--reduce-budget" => {
                 let n = parse_u64(&flag_value(&mut args, "--reduce-budget"), "--reduce-budget");
                 opts.reduce = Some(ReduceOpts {
@@ -136,6 +143,7 @@ fn main() {
         out.push_str(&format!("\"count\":{count},"));
         out.push_str(&format!("\"attempts\":{},", result.attempts));
         out.push_str(&format!("\"passed\":{},", result.passed));
+        out.push_str(&format!("\"interchanged\":{},", result.interchanged));
         out.push_str(&format!("\"unique_findings\":{},", result.findings.len()));
         out.push_str("\"findings\":[");
         for (i, f) in result.findings.values().enumerate() {
@@ -160,8 +168,16 @@ fn main() {
         out.push_str("]}");
         println!("{out}");
     } else {
+        let legality = if opts.legality {
+            format!(
+                ", {} interchange(s) verified bit-exact",
+                result.interchanged
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "fuzzed seeds {seed_start}..{}: {} passed, {} unique signature(s)",
+            "fuzzed seeds {seed_start}..{}: {} passed, {} unique signature(s){legality}",
             seed_start + count,
             result.passed,
             result.findings.len()

@@ -1,22 +1,77 @@
-//! `mha-opt` — an `opt`-style driver over `.ll` files: read IR, run a
-//! named pass pipeline, print the result. This is the paper's tool as a
-//! standalone utility: `mha-opt --passes hls-adaptor in.ll`.
+//! `mha-opt` — an `opt`-style driver: read IR, run a named pass pipeline,
+//! print the result. This is the paper's tool as a standalone utility:
+//! `mha-opt --passes hls-adaptor in.ll`.
 //!
 //! ```text
-//! mha-opt [--passes p1,p2,...] [--lint] [--report-json <path>] [<file.ll>|-]
+//! mha-opt [--passes p1,p2,...] [--lint] [--report-json <path>] [<file>|-]
 //! ```
 //!
-//! Pass names come from the unified registry (LLVM-level cleanup passes
-//! plus the adaptor's passes, `verify-compat`, and the assembled
-//! `hls-adaptor` pipeline); an unknown name exits with the full list of
-//! valid names. An explicitly empty `--passes` spec is a clean no-op (the
-//! input is verified and reprinted) with a warning. After the pipeline
-//! runs, a per-pass timing/size report is printed to stderr, and
-//! `--report-json` additionally writes it as JSON (schema in
-//! EXPERIMENTS.md). `--lint` runs the mha-lint suite over the *result* and
-//! prints findings to stderr; error-severity findings make the exit code 1.
+//! The input level is auto-detected: text containing a `func.func` op is
+//! parsed as MLIR-lite and run through the MLIR pass registry
+//! (`canonicalize`, `interchange-innermost`, ...); anything else is LLVM
+//! IR and uses the unified LLVM registry (cleanup passes plus the
+//! adaptor's passes, `verify-compat`, and the assembled `hls-adaptor`
+//! pipeline). An unknown name exits with the full list of valid names.
+//! An explicitly empty `--passes` spec is a clean no-op (the input is
+//! verified and reprinted) with a warning. After the pipeline runs, a
+//! per-pass timing/size report is printed to stderr, and `--report-json`
+//! additionally writes it as JSON (schema in EXPERIMENTS.md). `--lint`
+//! runs the mha-lint suite over the *result* and prints findings to
+//! stderr; error-severity findings make the exit code 1.
+//!
+//! A pass that refuses to run — e.g. `interchange-innermost` on a nest
+//! whose dependence witness shows the swap would reverse a carried
+//! dependence — fails the pipeline: the witness diagnostic goes to stderr
+//! and the exit code is 1, with the input left unprinted.
 
 use std::io::Read;
+
+/// MLIR-lite mode: parse, verify, run the MLIR pass registry, reprint.
+/// Never returns — exits 0 on success, 1 on parse/verify/pass failure
+/// (including a legality refusal, whose witness diagnostic is the error),
+/// 2 on usage/IO errors.
+fn run_mlir(src: &str, spec: &str, lint: bool, report_json: Option<String>) -> ! {
+    if lint {
+        eprintln!("warning: --lint analyzes LLVM IR; ignored for MLIR input");
+    }
+    let mut module = match mlir_lite::parser::parse_module("mha-opt", src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = mlir_lite::verifier::verify_module(&module) {
+        eprintln!("input does not verify: {e}");
+        std::process::exit(1);
+    }
+    let pm = match mlir_lite::passes::registry().build_pipeline(spec) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match pm.run(&mut module) {
+        Ok(report) => {
+            if !report.passes.is_empty() {
+                eprint!("{}", report.render());
+            }
+            if let Some(path) = report_json {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{}", mlir_lite::printer::print_module(&module));
+    std::process::exit(0);
+}
 
 fn main() {
     let mut passes_arg: Option<String> = None;
@@ -63,6 +118,25 @@ fn main() {
         }),
     };
 
+    // An explicit-but-empty spec (`--passes ""` or commas/whitespace only)
+    // is a deliberate no-op, but almost always a scripting mistake — say so.
+    let empty_spec = passes_arg
+        .as_deref()
+        .is_some_and(|spec| spec.split(',').all(|s| s.trim().is_empty()));
+    if empty_spec {
+        eprintln!(
+            "warning: --passes spec '{}' names no passes; \
+             verifying and reprinting the input unchanged",
+            passes_arg.as_deref().unwrap_or("")
+        );
+    }
+
+    // MLIR-lite input is recognized structurally: every module at that
+    // level carries a `func.func` op, which never appears in LLVM IR text.
+    if src.contains("func.func") {
+        run_mlir(&src, passes_arg.as_deref().unwrap_or(""), lint, report_json);
+    }
+
     let mut module = match llvm_lite::parser::parse_module("mha-opt", &src) {
         Ok(m) => m,
         Err(e) => {
@@ -73,17 +147,6 @@ fn main() {
     if let Err(e) = llvm_lite::verifier::verify_module(&module) {
         eprintln!("input does not verify: {e}");
         std::process::exit(1);
-    }
-
-    // An explicit-but-empty spec (`--passes ""` or commas/whitespace only)
-    // is a deliberate no-op, but almost always a scripting mistake — say so.
-    if let Some(spec) = &passes_arg {
-        if spec.split(',').all(|s| s.trim().is_empty()) {
-            eprintln!(
-                "warning: --passes spec '{spec}' names no passes; \
-                 verifying and reprinting the input unchanged"
-            );
-        }
     }
 
     // One namespace over every pass the workspace defines.

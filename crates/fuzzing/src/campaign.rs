@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use crate::gen::{generate, GenConfig};
-use crate::oracle::{run_oracles, OracleOpts};
+use crate::oracle::{run_legality_oracle, run_oracles, OracleOpts};
 use crate::reduce::{reduce, ReduceOpts};
 use crate::sig::{Failure, Signature};
 
@@ -24,6 +24,9 @@ pub struct CampaignOpts {
     pub oracle: OracleOpts,
     /// Reduce each new finding automatically. `None` disables reduction.
     pub reduce: Option<ReduceOpts>,
+    /// Also run the transform-legality oracle: apply every engine-approved
+    /// interchange and require bit-exact results.
+    pub legality: bool,
 }
 
 /// One deduplicated failure: the first seed that hit a signature.
@@ -50,6 +53,9 @@ pub struct CampaignResult {
     pub attempts: u64,
     /// Seeds whose kernel passed every oracle.
     pub passed: u64,
+    /// Seeds where the legality oracle exercised a real interchange
+    /// (0 unless [`CampaignOpts::legality`] is set).
+    pub interchanged: u64,
     /// Unique findings keyed by signature (BTreeMap for stable ordering).
     pub findings: BTreeMap<Signature, Finding>,
 }
@@ -74,8 +80,11 @@ pub fn run_campaign(
     for seed in start..start.saturating_add(count) {
         result.attempts += 1;
         let kernel = generate(seed, &opts.gen);
-        match run_oracles(&kernel.text, seed, &opts.oracle) {
-            Ok(()) => result.passed += 1,
+        match run_all(&kernel.text, seed, opts) {
+            Ok(exercised) => {
+                result.passed += 1;
+                result.interchanged += u64::from(exercised);
+            }
             Err(failure) => {
                 let signature = failure.signature();
                 if let Some(existing) = result.findings.get_mut(&signature) {
@@ -86,7 +95,7 @@ pub fn run_campaign(
                 let reduced = opts.reduce.as_ref().and_then(|ropts| {
                     let r = reduce(&kernel.text, ropts, &mut |cand| {
                         matches!(
-                            run_oracles(cand, seed, &opts.oracle),
+                            run_all(cand, seed, opts),
                             Err(f) if f.signature() == signature
                         )
                     });
@@ -126,7 +135,18 @@ pub fn replay(seed: u64, text: Option<&str>, opts: &CampaignOpts) -> Result<(), 
             &owned
         }
     };
-    run_oracles(src, seed, &opts.oracle)
+    run_all(src, seed, opts).map(|_| ())
+}
+
+/// The full oracle stack plus (when enabled) the legality oracle. Returns
+/// whether the legality oracle exercised a real interchange.
+fn run_all(src: &str, seed: u64, opts: &CampaignOpts) -> Result<bool, Failure> {
+    run_oracles(src, seed, &opts.oracle)?;
+    if opts.legality {
+        run_legality_oracle(src, seed, &opts.oracle)
+    } else {
+        Ok(false)
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,6 @@ pub mod sig;
 
 pub use campaign::{run_campaign, CampaignOpts, CampaignResult, Finding};
 pub use gen::{generate, GenConfig, GeneratedKernel, TOP_NAME};
-pub use oracle::{run_oracles, OracleOpts};
+pub use oracle::{run_legality_oracle, run_oracles, OracleOpts};
 pub use reduce::{reduce, ReduceOpts, ReduceResult};
 pub use sig::{Failure, OracleKind, Signature};

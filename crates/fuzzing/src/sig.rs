@@ -29,6 +29,8 @@ pub enum OracleKind {
     Panic,
     /// A budget (deadline/fuel) tripped — the no-hang oracle.
     Budget,
+    /// An engine-approved "legal" transform changed observable results.
+    Legality,
 }
 
 impl OracleKind {
@@ -43,6 +45,7 @@ impl OracleKind {
             OracleKind::Exec => "exec",
             OracleKind::Panic => "panic",
             OracleKind::Budget => "budget",
+            OracleKind::Legality => "legality",
         }
     }
 
@@ -57,6 +60,7 @@ impl OracleKind {
             "exec" => OracleKind::Exec,
             "panic" => OracleKind::Panic,
             "budget" => OracleKind::Budget,
+            "legality" => OracleKind::Legality,
             _ => return None,
         })
     }

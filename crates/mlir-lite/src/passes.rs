@@ -6,7 +6,8 @@
 
 use std::collections::BTreeMap;
 
-use pass_core::PassResult;
+use analysis::depend::{LinExpr, LoopNest, NestAccess, NestLoop, TransformLegality};
+use pass_core::{Diagnostic, Loc, PassResult};
 
 use crate::attr::Attr;
 use crate::dialects::hls;
@@ -33,7 +34,9 @@ pub fn registry() -> PassRegistry<MlirModule> {
         .register("unroll-small-loops", || {
             Box::new(UnrollSmallLoops { max_trip: 8 })
         })
-        .register("interchange-innermost", || Box::new(InterchangeInnermost));
+        .register("interchange-innermost", || {
+            Box::new(InterchangeInnermost::default())
+        });
     r
 }
 
@@ -442,9 +445,19 @@ func.func @f(%m: memref<4xf32>) {
 /// the pipelining level, something no LLVM-stage rewrite can recover once
 /// the loop structure is lowered.
 ///
-/// Legality is the caller's responsibility (as with explicit interchange
-/// directives in MLIR): both loop orders must compute the same result.
-pub struct InterchangeInnermost;
+/// Every candidate pair is checked against the `analysis::depend` legality
+/// engine first: the pair's affine accesses are lifted into a
+/// [`analysis::depend::LoopNest`] (iteration-number space, outer IVs as
+/// symbols) and the swap only proceeds when
+/// [`TransformLegality::interchange_legal`] proves no dependence reverses.
+/// An illegal pair either fails the pass with the refusal witness as a
+/// located diagnostic (the default) or is silently left in place
+/// (`skip_illegal`, for exploratory pipelines and the fuzz oracle).
+#[derive(Default)]
+pub struct InterchangeInnermost {
+    /// When true, leave illegal nests untouched instead of failing.
+    pub skip_illegal: bool,
+}
 
 impl MlirPass<MlirModule> for InterchangeInnermost {
     fn name(&self) -> &'static str {
@@ -454,23 +467,39 @@ impl MlirPass<MlirModule> for InterchangeInnermost {
     fn run(&self, m: &mut MlirModule) -> PassResult<bool> {
         let mut changed = false;
         for f in &mut m.ops {
-            changed |= interchange_in(f);
+            let func = f
+                .attrs
+                .get("sym_name")
+                .and_then(Attr::as_str)
+                .unwrap_or("<module>")
+                .to_string();
+            let entry = if f.name == "func.func" && !f.regions.is_empty() {
+                Some(f.regions[0].entry().uid)
+            } else {
+                None
+            };
+            changed |= interchange_in(f, &func, entry, self.skip_illegal)?;
         }
         Ok(changed)
     }
 }
 
-fn interchange_in(op: &mut Op) -> bool {
+fn interchange_in(
+    op: &mut Op,
+    func: &str,
+    func_entry: Option<u32>,
+    skip_illegal: bool,
+) -> PassResult<bool> {
     let mut changed = false;
     for r in &mut op.regions {
         for b in &mut r.blocks {
             for inner in &mut b.ops {
-                changed |= interchange_in(inner);
+                changed |= interchange_in(inner, func, func_entry, skip_illegal)?;
             }
         }
     }
     if op.name != "affine.for" {
-        return changed;
+        return Ok(changed);
     }
     // Perfect pair: this loop's body is exactly [affine.for, affine.yield]
     // and the child is innermost.
@@ -480,7 +509,18 @@ fn interchange_in(op: &mut Op) -> bool {
         && body_ops[1].name == "affine.yield"
         && !has_inner_loop(&body_ops[0]);
     if !is_pair {
-        return changed;
+        return Ok(changed);
+    }
+    let nest = nest_of_pair(func, func_entry, op);
+    if let Err(w) = TransformLegality::new(&nest).interchange_legal(0, 1) {
+        if skip_illegal {
+            return Ok(changed);
+        }
+        return Err(Diagnostic::error(
+            "interchange-innermost",
+            format!("refusing to interchange: {w}"),
+        )
+        .with_loc(Loc::function(func).at_inst(loop_label(op))));
     }
     let parent_block_uid = op.regions[0].entry().uid;
     let child = &mut op.regions[0].entry_mut().ops[0];
@@ -517,7 +557,158 @@ fn interchange_in(op: &mut Op) -> bool {
             }
         }
     });
-    true
+    Ok(true)
+}
+
+/// Human-readable handle for an `affine.for` in diagnostics.
+fn loop_label(op: &Op) -> String {
+    let (lb, ub, step) = loop_bounds(op);
+    if step == 1 {
+        format!("affine.for {lb} to {ub}")
+    } else {
+        format!("affine.for {lb} to {ub} step {step}")
+    }
+}
+
+fn loop_bounds(op: &Op) -> (i64, i64, i64) {
+    let lb = op.int_attr("lower_bound").unwrap_or(0);
+    let ub = op.int_attr("upper_bound").unwrap_or(lb);
+    let step = op.int_attr("step").unwrap_or(1).max(1);
+    (lb, ub, step)
+}
+
+fn loop_trip(op: &Op) -> u64 {
+    let (lb, ub, step) = loop_bounds(op);
+    ((ub - lb).max(0) as u64).div_ceil(step as u64)
+}
+
+/// Printer-style name for a loop-invariant SSA value used in witnesses and
+/// as a base-object identity: function arguments render as `%argN`, other
+/// values fall back to uid-derived (still identity-correct) names.
+fn value_name(v: &MValueKind, func_entry: Option<u32>) -> String {
+    match *v {
+        MValueKind::BlockArg { block, idx } if Some(block) == func_entry => format!("%arg{idx}"),
+        MValueKind::BlockArg { block, idx } => format!("%b{block}a{idx}"),
+        MValueKind::OpResult { op, idx: 0 } => format!("%v{op}"),
+        MValueKind::OpResult { op, idx } => format!("%v{op}.{idx}"),
+    }
+}
+
+/// Lift a perfect `(parent, child)` `affine.for` pair into a dependence
+/// [`LoopNest`]: level 0 is the parent, level 1 the child, both in
+/// iteration-number space (`IV = lb + step * k`). IVs of loops *outside*
+/// the pair are modeled as nest-invariant symbols — sound for pair
+/// interchange, which leaves the outer iteration order untouched. Any
+/// non-affine memory op in the body becomes an opaque access, which makes
+/// the legality engine refuse.
+fn nest_of_pair(func: &str, func_entry: Option<u32>, parent: &Op) -> LoopNest {
+    let child = &parent.regions[0].entry().ops[0];
+    let pb = parent.regions[0].entry().uid;
+    let cb = child.regions[0].entry().uid;
+    let (plb, _, pstep) = loop_bounds(parent);
+    let (clb, _, cstep) = loop_bounds(child);
+    let loops = vec![
+        NestLoop {
+            label: loop_label(parent),
+            trip: Some(loop_trip(parent)),
+        },
+        NestLoop {
+            label: loop_label(child),
+            trip: Some(loop_trip(child)),
+        },
+    ];
+    // Values defined anywhere inside the pair are not nest-invariant.
+    let mut inside = std::collections::BTreeSet::new();
+    parent.walk(&mut |o| {
+        inside.insert(o.uid);
+    });
+    let iv = |kind: &MValueKind| -> Option<(usize, i64, i64)> {
+        match *kind {
+            MValueKind::BlockArg { block, idx: 0 } if block == pb => Some((0, plb, pstep)),
+            MValueKind::BlockArg { block, idx: 0 } if block == cb => Some((1, clb, cstep)),
+            _ => None,
+        }
+    };
+    let subs_of = |o: &Op, base_idx: usize| -> Option<Vec<LinExpr>> {
+        let map = match o.attrs.get("map") {
+            Some(Attr::Map(m)) => m,
+            _ => return None,
+        };
+        if map.num_syms != 0 {
+            return None; // symbol operand layout is not modeled
+        }
+        let dims = &o.operands[base_idx + 1..];
+        if dims.len() != map.num_dims as usize {
+            return None;
+        }
+        let mut subs = Vec::with_capacity(map.results.len());
+        for expr in &map.results {
+            let (dcoeffs, _, cst) = expr.linear_form(map.num_dims, 0)?;
+            let mut e = LinExpr::konst(2, cst);
+            for (d, &c) in dcoeffs.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let kind = &dims[d].kind;
+                let term = if let Some((level, lb, step)) = iv(kind) {
+                    // IV = lb + step * k in iteration-number space.
+                    LinExpr::term(2, level, c.checked_mul(step)?)
+                        .add(&LinExpr::konst(2, c.checked_mul(lb)?))?
+                } else {
+                    match *kind {
+                        MValueKind::OpResult { op, .. } if inside.contains(&op) => return None,
+                        _ => LinExpr::sym(2, value_name(kind, func_entry), c),
+                    }
+                };
+                e = e.add(&term)?;
+            }
+            subs.push(e);
+        }
+        Some(subs)
+    };
+    let mut accesses = Vec::new();
+    child.walk(&mut |o| {
+        let (base_idx, is_store) = match o.name.as_str() {
+            "affine.load" => (0, false),
+            "affine.store" => (1, true),
+            "memref.load" | "memref.store" | "func.call" => {
+                // Unanalyzable memory effects: an opaque access the
+                // legality engine refuses on.
+                accesses.push(NestAccess {
+                    id: o.uid as usize,
+                    label: format!("`{}`", o.name),
+                    is_store: o.name != "memref.load",
+                    base: None,
+                    subs: None,
+                });
+                return;
+            }
+            _ => return,
+        };
+        let base = value_name(&o.operands[base_idx].kind, func_entry);
+        let map_txt = match o.attrs.get("map") {
+            Some(Attr::Map(m)) => m
+                .canonicalize()
+                .results
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            _ => "?".into(),
+        };
+        accesses.push(NestAccess {
+            id: o.uid as usize,
+            label: format!("{base}[{map_txt}]"),
+            is_store,
+            base: Some(base),
+            subs: subs_of(o, base_idx),
+        });
+    });
+    LoopNest {
+        func: func.to_string(),
+        loops,
+        accesses,
+    }
 }
 
 #[cfg(test)]
@@ -540,7 +731,7 @@ func.func @f(%m: memref<4x8xf32>) {
 }
 "#;
         let mut m = parse_module("m", src).unwrap();
-        assert!(InterchangeInnermost.run(&mut m).unwrap());
+        assert!(InterchangeInnermost::default().run(&mut m).unwrap());
         crate::verifier::verify_module(&m).unwrap();
         let text = print_module(&m);
         // Outer now iterates 0..8, inner 0..4; subscripts still [row, col]
@@ -566,7 +757,96 @@ func.func @f(%m: memref<4xf32>) {
 }
 "#;
         let mut m = parse_module("m", src).unwrap();
-        assert!(!InterchangeInnermost.run(&mut m).unwrap());
+        assert!(!InterchangeInnermost::default().run(&mut m).unwrap());
+    }
+
+    /// A skewed stencil: `A[i+1][j] = A[i][j+1]` has flow distance
+    /// `(1, -1)`, the canonical interchange-illegal pattern.
+    const SKEWED: &str = r#"
+func.func @f(%m: memref<8x8xf32>) {
+  affine.for %i = 0 to 7 {
+    affine.for %j = 0 to 7 {
+      %v = affine.load %m[%i, %j + 1] : memref<8x8xf32>
+      affine.store %v, %m[%i + 1, %j] : memref<8x8xf32>
+    }
+  }
+  func.return
+}
+"#;
+
+    #[test]
+    fn illegal_interchange_is_refused_with_a_witness() {
+        let mut m = parse_module("m", SKEWED).unwrap();
+        let before = print_module(&m);
+        let err = InterchangeInnermost::default().run(&mut m).unwrap_err();
+        assert_eq!(err.pass, "interchange-innermost");
+        assert!(
+            err.message.contains("distance vector (1, -1)"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("%arg0[d0 + 1, d1]") && err.message.contains("%arg0[d0, d1 + 1]"),
+            "{}",
+            err.message
+        );
+        assert_eq!(err.loc.function.as_deref(), Some("f"));
+        // The module is left untouched by the failed run.
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn skip_illegal_mode_leaves_the_nest_alone() {
+        let mut m = parse_module("m", SKEWED).unwrap();
+        let before = print_module(&m);
+        let changed = InterchangeInnermost { skip_illegal: true }
+            .run(&mut m)
+            .unwrap();
+        assert!(!changed);
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn transposed_accesses_still_interchange() {
+        // B[j][i] = A[i][j]: distinct arrays, no dependence at all.
+        let src = r#"
+func.func @f(%a: memref<8x8xf32>, %b: memref<8x8xf32>) {
+  affine.for %i = 0 to 8 {
+    affine.for %j = 0 to 8 {
+      %v = affine.load %a[%i, %j] : memref<8x8xf32>
+      affine.store %v, %b[%j, %i] : memref<8x8xf32>
+    }
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        assert!(InterchangeInnermost::default().run(&mut m).unwrap());
+        crate::verifier::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn opaque_memory_ops_block_interchange() {
+        // A memref.store in the body has no affine map: legality cannot be
+        // proven, so the default mode refuses.
+        let src = r#"
+func.func @f(%m: memref<4x4xf32>, %i0: index) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      %v = affine.load %m[%i, %j] : memref<4x4xf32>
+      memref.store %v, %m[%i0, %i0] : memref<4x4xf32>
+    }
+  }
+  func.return
+}
+"#;
+        let mut m = parse_module("m", src).unwrap();
+        let err = InterchangeInnermost::default().run(&mut m).unwrap_err();
+        assert!(
+            err.message.contains("legality cannot be proven"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -585,7 +865,7 @@ func.func @f(%m: memref<2x4x8xf32>) {
 }
 "#;
         let mut m = parse_module("m", src).unwrap();
-        assert!(InterchangeInnermost.run(&mut m).unwrap());
+        assert!(InterchangeInnermost::default().run(&mut m).unwrap());
         crate::verifier::verify_module(&m).unwrap();
         let text = print_module(&m);
         // i stays outermost (its body is not a perfect pair after the j/k

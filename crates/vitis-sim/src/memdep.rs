@@ -35,8 +35,48 @@ pub enum IvRelation {
     Invariant,
     /// `IV + c` (affine with unit coefficient).
     IvPlus(i64),
+    /// `a*IV + c` (affine with non-unit coefficient `a`, from `mul`/`shl`
+    /// by a constant). Stride-2 kernels live here; collapsing them to
+    /// [`IvRelation::Complex`] used to force a spurious distance-1
+    /// carried dependence.
+    IvScaled(i64, i64),
     /// Involves the IV in some other (or unprovable) way.
     Complex,
+}
+
+impl IvRelation {
+    /// View as `a*IV + c` when affine in the IV.
+    pub fn affine(&self) -> Option<(i64, i64)> {
+        match self {
+            IvRelation::IvPlus(c) => Some((1, *c)),
+            IvRelation::IvScaled(a, c) => Some((*a, *c)),
+            _ => None,
+        }
+    }
+
+    /// `self * k`, staying in the affine lattice.
+    fn scaled(self, k: i64) -> IvRelation {
+        if k == 0 {
+            return IvRelation::Invariant;
+        }
+        match self.affine() {
+            Some((a, c)) => match (a.checked_mul(k), c.checked_mul(k)) {
+                (Some(1), Some(ck)) => IvRelation::IvPlus(ck),
+                (Some(ak), Some(ck)) => IvRelation::IvScaled(ak, ck),
+                _ => IvRelation::Complex,
+            },
+            None => self,
+        }
+    }
+
+    /// `self + k`, staying in the affine lattice.
+    fn plus(self, k: i64) -> IvRelation {
+        match self {
+            IvRelation::IvPlus(c) => IvRelation::IvPlus(c + k),
+            IvRelation::IvScaled(a, c) => IvRelation::IvScaled(a, c + k),
+            other => other,
+        }
+    }
 }
 
 /// Does `v` transitively depend on the instruction `iv`?
@@ -79,15 +119,52 @@ pub fn iv_relation(f: &Function, v: &Value, iv: InstId) -> IvRelation {
                     Opcode::Add => {
                         let (a, b) = (&inst.operands[0], &inst.operands[1]);
                         match (relation(f, a, iv, depth + 1), b.int_value()) {
-                            (IvRelation::IvPlus(c), Some(k)) => {
-                                return IvRelation::IvPlus(c + k as i64)
+                            (r @ (IvRelation::IvPlus(_) | IvRelation::IvScaled(..)), Some(k)) => {
+                                return r.plus(k as i64)
                             }
                             (IvRelation::Invariant, Some(_)) => return IvRelation::Invariant,
                             _ => {}
                         }
                         match (a.int_value(), relation(f, b, iv, depth + 1)) {
-                            (Some(k), IvRelation::IvPlus(c)) => IvRelation::IvPlus(c + k as i64),
+                            (Some(k), r @ (IvRelation::IvPlus(_) | IvRelation::IvScaled(..))) => {
+                                r.plus(k as i64)
+                            }
                             (Some(_), IvRelation::Invariant) => IvRelation::Invariant,
+                            _ => {
+                                if value_depends_on(f, v, iv, 0) {
+                                    IvRelation::Complex
+                                } else {
+                                    IvRelation::Invariant
+                                }
+                            }
+                        }
+                    }
+                    // Constant scaling keeps the subscript affine: `mul`
+                    // and `shl` by constants are how `2*i`-style strided
+                    // subscripts appear.
+                    Opcode::Mul => {
+                        let (a, b) = (&inst.operands[0], &inst.operands[1]);
+                        let scaled = match (relation(f, a, iv, depth + 1), b.int_value()) {
+                            (r, Some(k)) => Some(r.scaled(k as i64)),
+                            _ => match (a.int_value(), relation(f, b, iv, depth + 1)) {
+                                (Some(k), r) => Some(r.scaled(k as i64)),
+                                _ => None,
+                            },
+                        };
+                        scaled.unwrap_or_else(|| {
+                            if value_depends_on(f, v, iv, 0) {
+                                IvRelation::Complex
+                            } else {
+                                IvRelation::Invariant
+                            }
+                        })
+                    }
+                    Opcode::Shl => {
+                        match (
+                            relation(f, &inst.operands[0], iv, depth + 1),
+                            inst.operands[1].int_value(),
+                        ) {
+                            (r, Some(k)) if (0..63).contains(&k) => r.scaled(1i64 << k),
                             _ => {
                                 if value_depends_on(f, v, iv, 0) {
                                     IvRelation::Complex
@@ -129,11 +206,15 @@ pub struct Access {
     /// Subscript relations to the loop IV (one per GEP index, skipping the
     /// leading 0 of structured GEPs). Empty = unanalyzable address.
     pub subscripts: Vec<IvRelation>,
+    /// IV step of the analyzed loop, when recognizable. Distances are in
+    /// iterations, so subscript deltas must be divided by `coeff * step`.
+    pub step: Option<i64>,
 }
 
 /// Collect all loads/stores in a loop body with their subscript analysis.
 pub fn loop_accesses(f: &Function, l: &NaturalLoop) -> Vec<Access> {
     let iv = llvm_lite::analysis::loop_induction_phi(f, l);
+    let step = iv.and_then(|iv| loop_iv_step(f, l, iv));
     let mut out = Vec::new();
     for &b in &l.body {
         for &id in &f.block(b).insts {
@@ -177,10 +258,41 @@ pub fn loop_accesses(f: &Function, l: &NaturalLoop) -> Vec<Access> {
                 ptr: ptr.clone(),
                 iv_dependent,
                 subscripts,
+                step,
             });
         }
     }
     out
+}
+
+/// Constant increment of the loop's IV, read off its latch `add`.
+fn loop_iv_step(f: &Function, l: &NaturalLoop, iv: InstId) -> Option<i64> {
+    let phi = f.inst(iv);
+    let InstData::Phi { incoming } = &phi.data else {
+        return None;
+    };
+    for (v, b) in phi.operands.iter().zip(incoming) {
+        if !l.body.contains(b) {
+            continue;
+        }
+        let Value::Inst(add_id) = v else { continue };
+        let add = f.inst(*add_id);
+        if add.opcode != Opcode::Add {
+            continue;
+        }
+        let (x, y) = (&add.operands[0], &add.operands[1]);
+        let step = if *x == Value::Inst(iv) {
+            y.int_value()
+        } else if *y == Value::Inst(iv) {
+            x.int_value()
+        } else {
+            None
+        };
+        if let Some(s) = step {
+            return i64::try_from(s).ok().filter(|s| *s > 0);
+        }
+    }
+    None
 }
 
 /// Loop-carried dependence distance between a store and a load/store on the
@@ -233,19 +345,34 @@ pub fn dependence_distance(a: &Access, b: &Access) -> Distance {
         .subscripts
         .iter()
         .chain(&b.subscripts)
-        .any(|r| matches!(r, IvRelation::IvPlus(_)));
+        .any(|r| r.affine().is_some());
     if !any_iv {
         return Distance::Exact(1);
     }
-    // Compare dimension-wise: an IV-dependent dim with offsets c_a, c_b
-    // conflicts at distance |c_a - c_b| (0 = same-iteration only). A dim
-    // where one side is IV-dependent and the other invariant is
-    // unresolvable without values: Unknown.
+    // Compare dimension-wise in iteration space: a dim `coeff*IV + c_a`
+    // vs `coeff*IV + c_b` conflicts `(c_a - c_b) / (coeff * step)`
+    // iterations apart — when that quotient is not an integer the
+    // addresses interleave and never collide (the stride-2 case). A dim
+    // with mismatched coefficients, or one IV-dependent and one invariant
+    // side, is unresolvable without values: Unknown.
+    let step = a.step.or(b.step).unwrap_or(1).max(1);
     let mut distance: Option<u32> = None;
     for (ra, rb) in a.subscripts.iter().zip(&b.subscripts) {
-        match (ra, rb) {
-            (IvRelation::IvPlus(ca), IvRelation::IvPlus(cb)) => {
-                let d = (ca - cb).unsigned_abs() as u32;
+        match (ra.affine(), rb.affine()) {
+            (Some((ca_coeff, ca)), Some((cb_coeff, cb))) => {
+                if ca_coeff != cb_coeff {
+                    return Distance::Unknown;
+                }
+                let num = (ca - cb).unsigned_abs();
+                let den = ca_coeff.unsigned_abs() * step.unsigned_abs();
+                if den == 0 {
+                    return Distance::Unknown;
+                }
+                if num % den != 0 {
+                    // No integer iteration offset lines the dim up.
+                    return Distance::None;
+                }
+                let d = (num / den) as u32;
                 distance = Some(match distance {
                     None => d,
                     Some(prev) if prev == d => d,
@@ -254,7 +381,7 @@ pub fn dependence_distance(a: &Access, b: &Access) -> Distance {
                     Some(_) => return Distance::None,
                 });
             }
-            (IvRelation::Invariant, IvRelation::Invariant) => {}
+            (None, None) if *ra == IvRelation::Invariant && *rb == IvRelation::Invariant => {}
             _ => return Distance::Unknown,
         }
     }
@@ -522,6 +649,75 @@ exit:
         let acc = analyze(src);
         let ld = acc.iter().find(|a| !a.is_store).unwrap();
         assert_eq!(ld.base, BaseObject::Param(0));
+    }
+
+    /// A[2i] = A[2i+1]: scaled subscripts that used to collapse to
+    /// `Complex` and a spurious distance-1 carried dependence.
+    const STRIDE2: &str = r#"
+define void @f([64 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 31
+  br i1 %c, label %body, label %exit
+
+body:
+  %even = mul i64 %i, 2
+  %odd = add i64 %even, 1
+  %pl = getelementptr inbounds [64 x float], [64 x float]* %a, i64 0, i64 %odd
+  %v = load float, float* %pl, align 4
+  %ps = getelementptr inbounds [64 x float], [64 x float]* %a, i64 0, i64 %even
+  store float %v, float* %ps, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn scaled_subscripts_stay_affine_and_independent() {
+        let acc = analyze(STRIDE2);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(ld.subscripts, vec![IvRelation::IvScaled(2, 1)]);
+        assert_eq!(st.subscripts, vec![IvRelation::IvScaled(2, 0)]);
+        // 2d = 1 has no integer solution: even and odd lanes interleave.
+        assert_eq!(dependence_distance(st, ld), Distance::None);
+    }
+
+    #[test]
+    fn scaled_same_parity_distance_is_in_iterations() {
+        // A[2i] vs A[2i+2]: one iteration apart, not two.
+        let src = STRIDE2.replace("%even, 1", "%even, 2");
+        let acc = analyze(&src);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(dependence_distance(st, ld), Distance::Exact(1));
+    }
+
+    #[test]
+    fn stride_2_loop_shift_does_not_collide() {
+        // Step-2 loop, store A[i] vs load A[i-1]: the value delta 1 is
+        // not a multiple of the step, so iterations never collide (the
+        // old value-space math reported a bogus Exact(1) here).
+        let src = SHIFT.replace("%i, 1\n  br label %header", "%i, 2\n  br label %header");
+        let acc = analyze(&src);
+        let ld = acc.iter().find(|a| !a.is_store).unwrap();
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(st.step, Some(2));
+        assert_eq!(dependence_distance(st, ld), Distance::None);
+    }
+
+    #[test]
+    fn shl_subscript_is_scaled_affine() {
+        let src = STRIDE2.replace("mul i64 %i, 2", "shl i64 %i, 1");
+        let acc = analyze(&src);
+        let st = acc.iter().find(|a| a.is_store).unwrap();
+        assert_eq!(st.subscripts, vec![IvRelation::IvScaled(2, 0)]);
     }
 
     #[test]

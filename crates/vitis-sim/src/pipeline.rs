@@ -21,6 +21,8 @@ use llvm_lite::analysis::NaturalLoop;
 use llvm_lite::{Function, InstId, Module, Opcode, Value};
 use pass_core::{Budget, BudgetError, Diagnostic};
 
+use analysis::depend::{self, CarriedDistance};
+
 use crate::memdep::{
     accesses_per_base, dependence_distance, loop_accesses, Access, BaseObject, Distance,
 };
@@ -99,7 +101,9 @@ pub fn compute_ii_budgeted(
         }
     }
 
-    // RecMII: carried dependences.
+    // RecMII: carried dependences, with the whole-nest distance vectors
+    // refining the pairwise analysis where both accesses are affine.
+    let nf = nest_facts(f, l);
     let mut rec_mii = 1u32;
     let mut rec_base = String::new();
     for st in accesses.iter().filter(|a| a.is_store) {
@@ -108,7 +112,8 @@ pub fn compute_ii_budgeted(
             if other.inst == st.inst {
                 continue;
             }
-            let dist = dependence_distance(st, other);
+            let dist = refined_distance(nf.as_ref(), st, other)
+                .unwrap_or_else(|| dependence_distance(st, other));
             let d = match dist {
                 Distance::None => continue,
                 Distance::Exact(d) => d.max(1),
@@ -140,6 +145,71 @@ pub fn compute_ii_budgeted(
     })
 }
 
+/// Whole-nest dependence facts for one pipelined loop: the multi-IV
+/// distance vectors from `analysis::depend`, projected onto the innermost
+/// level. Refines the pairwise single-IV analysis — e.g. a store that only
+/// moves with an *outer* IV is no longer a blanket distance-1 recurrence.
+struct NestFacts {
+    nest: depend::LoopNest,
+    deps: Vec<depend::Dependence>,
+    level: usize,
+    idx: HashMap<usize, usize>,
+}
+
+fn nest_facts(f: &Function, l: &NaturalLoop) -> Option<NestFacts> {
+    let cfg = llvm_lite::analysis::Cfg::build(f);
+    let dom = llvm_lite::analysis::DomTree::build(f, &cfg);
+    let li = llvm_lite::analysis::LoopInfo::build(f, &cfg, &dom);
+    let inner = li.loop_with_header(l.header)?;
+    let nest = depend::nest_of_innermost(f, &li, inner)?;
+    let deps = nest.dependences();
+    let idx = nest
+        .accesses
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.id, i))
+        .collect();
+    Some(NestFacts {
+        level: nest.innermost_level(),
+        deps,
+        idx,
+        nest,
+    })
+}
+
+/// The carried distance of the (store, other) pair at the pipelined level,
+/// per the nest analysis. `None` = the pair is outside the nest engine's
+/// precision; fall back to the pairwise [`dependence_distance`].
+fn refined_distance(nf: Option<&NestFacts>, st: &Access, other: &Access) -> Option<Distance> {
+    let nf = nf?;
+    let &ai = nf.idx.get(&(st.inst as usize))?;
+    let &bi = nf.idx.get(&(other.inst as usize))?;
+    let (a, b) = (&nf.nest.accesses[ai], &nf.nest.accesses[bi]);
+    if a.base.is_none() || b.base.is_none() || a.subs.is_none() || b.subs.is_none() {
+        return None;
+    }
+    let mut exact: Option<u64> = None;
+    let mut may = false;
+    for d in &nf.deps {
+        if !(d.src == ai && d.dst == bi || d.src == bi && d.dst == ai) {
+            continue;
+        }
+        match nf.nest.carried_distance_at(d, nf.level) {
+            CarriedDistance::NotCarried => {}
+            CarriedDistance::Exact(x) => exact = Some(exact.map_or(x, |e| e.min(x))),
+            CarriedDistance::AtLeastOne => may = true,
+        }
+    }
+    Some(if may {
+        Distance::Unknown // assume distance 1, the tightest recurrence
+    } else {
+        match exact {
+            Some(d) => Distance::Exact(u32::try_from(d).unwrap_or(u32::MAX)),
+            None => Distance::None,
+        }
+    })
+}
+
 /// Pass name of the II-blocker explainer notes.
 pub const II_BLOCKER_PASS: &str = "ii-blocker";
 
@@ -166,6 +236,7 @@ pub fn explain_ii_blockers(m: &Module, f: &Function, target: &Target) -> Vec<Dia
     let mut out = Vec::new();
     for l in loops.innermost_loops() {
         let accesses = loop_accesses(f, l);
+        let nf = nest_facts(f, l);
         // The binding recurrence: the (store, reader) pair with the largest
         // ceil(latency / distance).
         let mut worst: Option<(u32, &Access, &Access, Distance, u32)> = None;
@@ -174,7 +245,8 @@ pub fn explain_ii_blockers(m: &Module, f: &Function, target: &Target) -> Vec<Dia
                 if other.inst == st.inst {
                     continue;
                 }
-                let dist = dependence_distance(st, other);
+                let dist = refined_distance(nf.as_ref(), st, other)
+                    .unwrap_or_else(|| dependence_distance(st, other));
                 let d = match dist {
                     Distance::None => continue,
                     Distance::Exact(d) => d.max(1),
@@ -198,7 +270,7 @@ pub fn explain_ii_blockers(m: &Module, f: &Function, target: &Target) -> Vec<Dia
         };
         let distance = match dist {
             Distance::Exact(d) => format!("carried distance {d}"),
-            _ => "unprovable carried distance (flat pointer arithmetic: \
+            _ => "unprovable carried distance (opaque address arithmetic: \
                  distance 1 is assumed)"
                 .to_string(),
         };
@@ -442,6 +514,64 @@ exit:
         let cx = ScheduleCtx::from_function(f);
         let r = compute_ii(&m, f, l, &Target::default(), &cx, 1, 4);
         assert_eq!(r.res_mii, 6); // ceil(12 / 2)
+    }
+
+    #[test]
+    fn multi_iv_flat_subscripts_are_refined_by_the_nest_engine() {
+        // Store to A[16*i + j] and load from A[j + 16*i]: the same address
+        // spelled as two different SSA expressions, as memref lowering
+        // produces. The single-IV pairwise analysis sees both subscripts as
+        // Complex (mixing two IVs) and assumes carried distance 1; the nest
+        // engine proves the only in-bounds solution of 16*di + dj = 0 is
+        // (0, 0), so the dependence is intra-iteration and II = 1 holds.
+        let src = r#"
+define void @f([256 x float]* %a) {
+entry:
+  br label %oheader
+
+oheader:
+  %i = phi i64 [ 0, %entry ], [ %inext, %olatch ]
+  %oc = icmp slt i64 %i, 16
+  br i1 %oc, label %iheader, label %exit
+
+iheader:
+  %j = phi i64 [ 0, %oheader ], [ %jnext, %body ]
+  %ic = icmp slt i64 %j, 16
+  br i1 %ic, label %body, label %olatch
+
+body:
+  %m = mul i64 %i, 16
+  %s1 = add i64 %m, %j
+  %s2 = add i64 %j, %m
+  %q = getelementptr inbounds [256 x float], [256 x float]* %a, i64 0, i64 %s2
+  %v = load float, float* %q, align 4
+  %w = fmul float %v, %v
+  %p = getelementptr inbounds [256 x float], [256 x float]* %a, i64 0, i64 %s1
+  store float %w, float* %p, align 4
+  %jnext = add i64 %j, 1
+  br label %iheader
+
+olatch:
+  %inext = add i64 %i, 1
+  br label %oheader
+
+exit:
+  ret void
+}
+"#;
+        let m = parse_module("m", src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::build(f, &cfg);
+        let li = LoopInfo::build(f, &cfg, &dom);
+        let inner = li.innermost_loops()[0];
+        let acc = loop_accesses(f, inner);
+        let (stores, others): (Vec<_>, Vec<_>) = acc.iter().partition(|a| a.is_store);
+        // The pairwise analysis alone is pessimistic on this pair.
+        assert_eq!(dependence_distance(stores[0], others[0]), Distance::Unknown);
+        let r = ii_of(src, 1);
+        assert_eq!(r.rec_mii, 1, "nest engine should prove independence");
+        assert_eq!(r.ii, 1);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Dependence-analysis + transform-legality pins over fixture nests.
+//!
+//! Each fixture pins the *exact* distance vectors the `analysis::depend`
+//! engine derives and the witness text it attaches to refusals, at both
+//! front ends: llvm-lite nests lifted by `analysis::depend::nests` and
+//! MLIR-lite nests as seen by the legality-gated `interchange-innermost`
+//! pass. The skewed nest is the headline regression: the old pass swapped
+//! any perfect pair unconditionally; the engine now refuses it with a
+//! dependence witness.
+
+use analysis::depend::{nests, DepKind, DistElem, TransformLegality};
+use mlir_lite::passes::{InterchangeInnermost, MlirPass};
+
+fn nest_of(src: &str) -> analysis::depend::LoopNest {
+    let m = llvm_lite::parser::parse_module("fixture", src).expect("fixture parses");
+    let mut ns = nests(&m.functions[0]);
+    assert_eq!(ns.len(), 1, "fixture must have exactly one innermost nest");
+    ns.pop().unwrap()
+}
+
+/// Canonical gemm i-j-k: C[i][j] += A[i][k] * B[k][j]. The accumulation
+/// recurrence on C is carried by the innermost (k) level only, so every
+/// pairwise interchange is legal, the i level is parallel, and the k
+/// level is not.
+const GEMM: &str = r#"
+define void @gemm([8 x [8 x float]]* %c, [8 x [8 x float]]* %a, [8 x [8 x float]]* %b) {
+entry:
+  br label %ih
+
+ih:
+  %i = phi i64 [ 0, %entry ], [ %inext, %il ]
+  %ci = icmp slt i64 %i, 8
+  br i1 %ci, label %jh, label %exit
+
+jh:
+  %j = phi i64 [ 0, %ih ], [ %jnext, %jl ]
+  %cj = icmp slt i64 %j, 8
+  br i1 %cj, label %kh, label %il
+
+kh:
+  %k = phi i64 [ 0, %jh ], [ %knext, %kb ]
+  %ck = icmp slt i64 %k, 8
+  br i1 %ck, label %kb, label %jl
+
+kb:
+  %pa = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %a, i64 0, i64 %i, i64 %k
+  %va = load float, float* %pa, align 4
+  %pb = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %b, i64 0, i64 %k, i64 %j
+  %vb = load float, float* %pb, align 4
+  %prod = fmul float %va, %vb
+  %pc = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %c, i64 0, i64 %i, i64 %j
+  %vc = load float, float* %pc, align 4
+  %sum = fadd float %vc, %prod
+  store float %sum, float* %pc, align 4
+  %knext = add i64 %k, 1
+  br label %kh
+
+jl:
+  %jnext = add i64 %j, 1
+  br label %jh
+
+il:
+  %inext = add i64 %i, 1
+  br label %ih
+
+exit:
+  ret void
+}
+"#;
+
+#[test]
+fn gemm_accumulation_is_carried_by_k_only() {
+    let nest = nest_of(GEMM);
+    assert_eq!(nest.loops.len(), 3);
+    let leg = TransformLegality::new(&nest);
+    // Every dependence is on C with (0, 0, *): independent at i and j,
+    // carried at k.
+    assert!(!leg.dependences().is_empty());
+    for d in leg.dependences() {
+        assert_eq!(
+            d.dist,
+            vec![DistElem::Exact(0), DistElem::Exact(0), DistElem::Star],
+            "unexpected vector for {}",
+            nest.render_dep(d)
+        );
+    }
+    // All three pairwise interchanges preserve the (0, 0, +) ordering.
+    assert!(leg.interchange_legal(0, 1).is_ok());
+    assert!(leg.interchange_legal(1, 2).is_ok());
+    assert!(leg.interchange_legal(0, 2).is_ok());
+    // i iterations never collide; k iterations form the recurrence.
+    assert!(leg.unroll_parallel(0).is_ok());
+    let w = leg.unroll_parallel(2).unwrap_err();
+    assert!(w.dep.is_some());
+    assert!(
+        w.reason.contains("level %k carries the") && w.reason.contains("distance vector (0, 0, *)"),
+        "witness: {}",
+        w.reason
+    );
+}
+
+/// The headline regression nest: A[i+1][j] = A[i][j+1] carries a (1, -1)
+/// flow dependence — legal as written, reversed by an i<->j interchange.
+/// The old `interchange-innermost` swapped any perfect pair; the engine
+/// must now refuse this one with the witness.
+const SKEWED_LL: &str = r#"
+define void @skew([16 x [16 x float]]* %a) {
+entry:
+  br label %oh
+
+oh:
+  %i = phi i64 [ 0, %entry ], [ %inext, %ol ]
+  %ci = icmp slt i64 %i, 8
+  br i1 %ci, label %ih, label %exit
+
+ih:
+  %j = phi i64 [ 0, %oh ], [ %jnext, %ib ]
+  %cj = icmp slt i64 %j, 8
+  br i1 %cj, label %ib, label %ol
+
+ib:
+  %jp1 = add i64 %j, 1
+  %ip1 = add i64 %i, 1
+  %pl = getelementptr inbounds [16 x [16 x float]], [16 x [16 x float]]* %a, i64 0, i64 %i, i64 %jp1
+  %v = load float, float* %pl, align 4
+  %ps = getelementptr inbounds [16 x [16 x float]], [16 x [16 x float]]* %a, i64 0, i64 %ip1, i64 %j
+  store float %v, float* %ps, align 4
+  %jnext = add i64 %j, 1
+  br label %ih
+
+ol:
+  %inext = add i64 %i, 1
+  br label %oh
+
+exit:
+  ret void
+}
+"#;
+
+#[test]
+fn skewed_nest_pins_the_exact_vector_and_witness() {
+    let nest = nest_of(SKEWED_LL);
+    let leg = TransformLegality::new(&nest);
+    assert_eq!(leg.dependences().len(), 1);
+    let d = &leg.dependences()[0];
+    assert_eq!(d.kind, DepKind::Flow);
+    assert!(d.exact, "the (1, -1) dependence is provably real");
+    assert_eq!(d.dist, vec![DistElem::Exact(1), DistElem::Exact(-1)]);
+
+    let w = leg.interchange_legal(0, 1).unwrap_err();
+    let dep = w.dep.as_ref().expect("refusal is dependence-backed");
+    assert_eq!(dep.dist, d.dist);
+    assert!(
+        w.reason
+            .contains("interchanging %i and %j would reverse the flow dependence")
+            && w.reason.contains("distance vector (1, -1)"),
+        "witness: {}",
+        w.reason
+    );
+    // Outer-carried: the inner level alone is still parallel-safe.
+    assert!(leg.unroll_parallel(1).is_ok());
+    assert!(leg.unroll_parallel(0).is_err());
+}
+
+/// The same skewed nest at the MLIR level: the legality-gated pass must
+/// refuse the interchange the pre-engine pass used to apply, leave the
+/// module untouched, and carry the witness in its diagnostic.
+#[test]
+fn mlir_pass_refuses_the_interchange_the_old_pass_applied() {
+    let src = r#"
+func.func @f(%m: memref<8x8xf32>) {
+  affine.for %i = 0 to 7 {
+    affine.for %j = 0 to 7 {
+      %v = affine.load %m[%i, %j + 1] : memref<8x8xf32>
+      affine.store %v, %m[%i + 1, %j] : memref<8x8xf32>
+    }
+  }
+  func.return
+}
+"#;
+    let mut m = mlir_lite::parser::parse_module("m", src).unwrap();
+    let before = mlir_lite::printer::print_module(&m);
+    let err = InterchangeInnermost::default().run(&mut m).unwrap_err();
+    assert_eq!(err.pass, "interchange-innermost");
+    assert!(
+        err.message.contains("refusing to interchange")
+            && err.message.contains("distance vector (1, -1)")
+            && err.message.contains("%arg0[d0 + 1, d1]")
+            && err.message.contains("%arg0[d0, d1 + 1]"),
+        "diagnostic: {}",
+        err.message
+    );
+    assert_eq!(mlir_lite::printer::print_module(&m), before);
+}
+
+/// A zero-trip inner loop executes nothing: its body's would-be
+/// loop-carried recurrence produces no dependence at all.
+const ZERO_TRIP: &str = r#"
+define void @zt([16 x float]* %a) {
+entry:
+  br label %oh
+
+oh:
+  %i = phi i64 [ 0, %entry ], [ %inext, %ol ]
+  %ci = icmp slt i64 %i, 8
+  br i1 %ci, label %ih, label %exit
+
+ih:
+  %j = phi i64 [ 0, %oh ], [ %jnext, %ib ]
+  %cj = icmp slt i64 %j, 0
+  br i1 %cj, label %ib, label %ol
+
+ib:
+  %jp1 = add i64 %j, 1
+  %pl = getelementptr inbounds [16 x float], [16 x float]* %a, i64 0, i64 %jp1
+  %v = load float, float* %pl, align 4
+  %ps = getelementptr inbounds [16 x float], [16 x float]* %a, i64 0, i64 %j
+  store float %v, float* %ps, align 4
+  %jnext = add i64 %j, 1
+  br label %ih
+
+ol:
+  %inext = add i64 %i, 1
+  br label %oh
+
+exit:
+  ret void
+}
+"#;
+
+#[test]
+fn zero_trip_inner_loop_has_no_dependences() {
+    let nest = nest_of(ZERO_TRIP);
+    assert_eq!(nest.loops[1].trip, Some(0));
+    let leg = TransformLegality::new(&nest);
+    assert!(leg.dependences().is_empty());
+    assert!(leg.interchange_legal(0, 1).is_ok());
+    assert!(leg.unroll_parallel(0).is_ok());
+    assert!(leg.unroll_parallel(1).is_ok());
+}
+
+/// Trip bounds prune phantom dependences: A[i] = A[i+5] with trip 4 can
+/// never collide (distance 5 >= trip), while the same shape with trip 8
+/// carries an exact distance-5 dependence.
+const SHIFT_BY_5: &str = r#"
+define void @shift([32 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, TRIP
+  br i1 %c, label %body, label %exit
+
+body:
+  %ip5 = add i64 %i, 5
+  %pl = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %ip5
+  %v = load float, float* %pl, align 4
+  %ps = getelementptr inbounds [32 x float], [32 x float]* %a, i64 0, i64 %i
+  store float %v, float* %ps, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+#[test]
+fn trip_bounds_prune_out_of_range_distances() {
+    // Trip 4: the distance-5 collision is outside the iteration space.
+    let nest = nest_of(&SHIFT_BY_5.replace("TRIP", "4"));
+    let leg = TransformLegality::new(&nest);
+    assert!(leg.dependences().is_empty());
+    assert!(leg.unroll_parallel(0).is_ok());
+
+    // Trip 8: the collision is real, exact, and carried.
+    let nest = nest_of(&SHIFT_BY_5.replace("TRIP", "8"));
+    let leg = TransformLegality::new(&nest);
+    assert_eq!(leg.dependences().len(), 1);
+    let d = &leg.dependences()[0];
+    assert!(d.exact);
+    assert_eq!(d.dist, vec![DistElem::Exact(5)]);
+    let w = leg.unroll_parallel(0).unwrap_err();
+    assert!(
+        w.reason.contains("distance vector (5)"),
+        "witness: {}",
+        w.reason
+    );
+}
+
+/// Partition legality: A[2i] vs A[2i+1] split cleanly across 2 banks;
+/// A[2i] vs A[2i+2] land in the same bank at different addresses.
+const STRIDE_PAIR: &str = r#"
+define void @banks([64 x float]* %a) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 16
+  br i1 %c, label %body, label %exit
+
+body:
+  %even = mul i64 %i, 2
+  %off = add i64 %even, OFFSET
+  %pl = getelementptr inbounds [64 x float], [64 x float]* %a, i64 0, i64 %off
+  %v = load float, float* %pl, align 4
+  %ps = getelementptr inbounds [64 x float], [64 x float]* %a, i64 0, i64 %even
+  store float %v, float* %ps, align 4
+  %next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret void
+}
+"#;
+
+#[test]
+fn partition_conflicts_require_congruent_offsets() {
+    // Offsets 0 and 1 are distinct mod 2: conflict-free banking.
+    let nest = nest_of(&STRIDE_PAIR.replace("OFFSET", "1"));
+    let base = nest.accesses[0].base.clone().unwrap();
+    let leg = TransformLegality::new(&nest);
+    assert!(leg.partition_conflict_free(&base, 0, 2).is_ok());
+
+    // Offsets 0 and 2 are congruent mod 2: same bank, different address.
+    let nest = nest_of(&STRIDE_PAIR.replace("OFFSET", "2"));
+    let leg = TransformLegality::new(&nest);
+    let w = leg.partition_conflict_free(&base, 0, 2).unwrap_err();
+    assert!(
+        w.reason.contains("may hit one bank of a 2-way partition")
+            && w.reason.contains("congruent mod 2"),
+        "witness: {}",
+        w.reason
+    );
+}

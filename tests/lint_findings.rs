@@ -166,6 +166,82 @@ fn all_kernels_are_lint_clean() {
     }
 }
 
+/// `mha-opt` in MLIR mode refuses an illegal interchange: the skewed nest
+/// carries a (1, -1) flow dependence that the swap would reverse, so the
+/// pipeline must fail with the dependence witness on stderr and exit 1.
+#[test]
+fn mha_opt_refuses_illegal_interchange_with_witness() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let skewed = r#"
+func.func @f(%m: memref<8x8xf32>) {
+  affine.for %i = 0 to 7 {
+    affine.for %j = 0 to 7 {
+      %v = affine.load %m[%i, %j + 1] : memref<8x8xf32>
+      affine.store %v, %m[%i + 1, %j] : memref<8x8xf32>
+    }
+  }
+  func.return
+}
+"#;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mha-opt"))
+        .args(["--passes", "interchange-innermost", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("mha-opt spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(skewed.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("error[interchange-innermost]")
+            && stderr.contains("refusing to interchange")
+            && stderr.contains("distance vector (1, -1)"),
+        "witness missing from stderr:\n{stderr}"
+    );
+    // The refused pipeline prints nothing: no half-transformed module.
+    assert!(out.stdout.is_empty());
+
+    // The same nest with distinct arrays is dependence-free: the swap is
+    // approved and the transformed module comes out on stdout.
+    let legal = skewed.replace(
+        "(%m: memref<8x8xf32>)",
+        "(%m: memref<8x8xf32>, %n: memref<8x8xf32>)",
+    );
+    let legal = legal.replace(
+        "affine.store %v, %m[%i + 1, %j]",
+        "affine.store %v, %n[%i + 1, %j]",
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mha-opt"))
+        .args(["--passes", "interchange-innermost", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("mha-opt spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(legal.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("affine.load %arg0[%j, %i + 1]"),
+        "interchange did not land:\n{stdout}"
+    );
+}
+
 /// The gemm accumulation recurrence is the canonical II blocker: the
 /// explainer must name the base and the cycle arithmetic.
 #[test]

@@ -268,7 +268,7 @@ fn claim_mlir_level_interchange_breaks_the_recurrence() {
     let synth = |interchange: bool| {
         let mut m = mlir_lite::parser::parse_module("mvt", mvt.mlir).unwrap();
         if interchange {
-            assert!(InterchangeInnermost.run(&mut m).unwrap());
+            assert!(InterchangeInnermost::default().run(&mut m).unwrap());
         }
         PipelineInnermost { ii: 1 }.run(&mut m).unwrap();
         let mut module = lowering::lower(m).unwrap();
