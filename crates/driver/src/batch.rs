@@ -556,7 +556,7 @@ pub fn outcome_from_json(v: &JsonValue) -> Result<RunOutcome, String> {
 /// A canonical, order-stable text form of the pass configuration; hashed
 /// into every flow-stage cache key so a directive change invalidates
 /// exactly the affected artifacts.
-fn directives_repr(d: &Directives, flow: Flow) -> String {
+pub(crate) fn directives_repr(d: &Directives, flow: Flow) -> String {
     fn opt(v: Option<u32>) -> String {
         v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
     }
@@ -570,7 +570,7 @@ fn directives_repr(d: &Directives, flow: Flow) -> String {
     )
 }
 
-fn target_repr(t: &Target) -> String {
+pub(crate) fn target_repr(t: &Target) -> String {
     format!(
         "clock={:016x};bram_ports={};axi_ports={};axi_extra={}",
         t.clock_ns.to_bits(),
@@ -947,6 +947,36 @@ fn run_one_isolated(k: &Kernel, ctx: &BatchCtx<'_>) -> KernelRun {
         kernel: k.name.to_string(),
         outcome,
     }
+}
+
+/// Run a single kernel through the full supervised pipeline — flow →
+/// csynth → co-simulation with stage-level caching, budget supervision,
+/// chaos injection, degraded-fallback, and panic isolation — without the
+/// batch machinery around it (no journal, no worker pool, no summary).
+///
+/// This is the per-request engine behind `mha-serve`: each HTTP request
+/// for a suite kernel becomes one `run_supervised` call sharing the same
+/// on-disk cache directory as `mha-batch`. Returns the outcome plus any
+/// warnings the run produced (the batch layer would stream these to
+/// stderr; a server attaches them to the response instead).
+pub fn run_supervised(
+    kernel: &Kernel,
+    opts: &BatchOptions,
+) -> Result<(RunOutcome, Vec<String>), BatchError> {
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(Cache::open(dir)?),
+        None => None,
+    };
+    let ctx = BatchCtx {
+        opts,
+        cache,
+        chaos: opts.chaos.map(ChaosEngine::new),
+        journal: None,
+        warnings: Mutex::new(Vec::new()),
+    };
+    let run = run_one_isolated(kernel, &ctx);
+    let warnings = ctx.warnings.into_inner().unwrap_or_else(|p| p.into_inner());
+    Ok((run.outcome, warnings))
 }
 
 /// Run the batch: every kernel through the configured flow, on

@@ -1,0 +1,425 @@
+//! `mha-load` — seeded load generator for `mha-serve` (EXPERIMENTS.md §S1).
+//!
+//! ```text
+//! mha-load --addr HOST:PORT [--requests N] [--concurrency N] [--rate R]
+//!          [--repeat N] [--seed N] [--mix suite|fuzz|both]
+//!          [--deadline-ms N] [--fuel N] [--min-warm-ratio F]
+//!          [--format text|json]
+//! ```
+//!
+//! Builds a deterministic request mix — suite kernels by name plus raw
+//! MLIR kernels from the `fuzzing` generator (`--mix both`, the default) —
+//! and drives `POST /v1/compile` with it from `--concurrency` threads.
+//! `--rate R` paces the whole run open-loop at R requests/second (each
+//! request has a scheduled start time; threads sleep until it); `--rate 0`
+//! (default) runs closed-loop, as fast as the server answers.
+//!
+//! The same request set is replayed `--repeat` times (default 2): phase 0
+//! is the **cold** phase (the server compiles), later phases are **warm**
+//! (responses come back `X-Mha-Served: cache|coalesced|warm`). Per phase
+//! the report records requests/s, p50/p99 latency, status-code counts, and
+//! how responses were served. Same `--seed` ⇒ byte-identical request set.
+//!
+//! Exit codes: **0** run clean, **1** assertions failed (any 5xx response,
+//! or the warm-phase hit ratio fell below `--min-warm-ratio`), **2**
+//! usage or connection errors. `--format json` stdout is one parseable
+//! document; progress goes to stderr.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pass_core::report::json_str;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mha-load --addr HOST:PORT [--requests N] [--concurrency N]\n\
+         \x20               [--rate R] [--repeat N] [--seed N]\n\
+         \x20               [--mix suite|fuzz|both] [--deadline-ms N] [--fuel N]\n\
+         \x20               [--min-warm-ratio F] [--format text|json]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_u64(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer, got '{s}'");
+        usage();
+    })
+}
+
+fn parse_f64(s: &str, flag: &str) -> f64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a number, got '{s}'");
+        usage();
+    })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Suite,
+    Fuzz,
+    Both,
+}
+
+/// One response as seen by the client.
+struct Sample {
+    phase: usize,
+    code: u16,
+    served: String,
+    latency_us: u64,
+}
+
+/// Minimal HTTP/1.1 POST over a fresh connection (the server closes after
+/// each response, mirroring its `Connection: close`).
+fn post(addr: &str, path: &str, body: &str) -> Result<(u16, String, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("status: {e}"))?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("bad status line '{}'", status_line.trim()))?;
+    let mut served = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("x-mha-served") {
+                served = value.trim().to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok((code, served, String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// The deterministic request set: suite kernel names and/or fuzzer MLIR,
+/// interleaved, as `POST /v1/compile` bodies.
+fn build_requests(
+    n: usize,
+    seed: u64,
+    mix: Mix,
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+) -> Vec<String> {
+    let suite = kernels::all_kernels();
+    let budget = |out: &mut String| {
+        if let Some(ms) = deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if let Some(f) = fuel {
+            out.push_str(&format!(",\"fuel\":{f}"));
+        }
+    };
+    (0..n)
+        .map(|i| {
+            let fuzzy = match mix {
+                Mix::Suite => false,
+                Mix::Fuzz => true,
+                Mix::Both => i % 2 == 1,
+            };
+            let mut body = if fuzzy {
+                let g =
+                    fuzzing::generate(seed.wrapping_add(i as u64), &fuzzing::GenConfig::default());
+                format!(
+                    "{{\"mlir\":{},\"name\":\"load-{}\"",
+                    json_str(&g.text),
+                    g.seed
+                )
+            } else {
+                let k = &suite[(seed as usize + i) % suite.len()];
+                format!("{{\"kernel\":{}", json_str(k.name))
+            };
+            budget(&mut body);
+            body.push('}');
+            body
+        })
+        .collect()
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut requests = 50usize;
+    let mut concurrency = 4usize;
+    let mut rate = 0f64;
+    let mut repeat = 2usize;
+    let mut seed = 0u64;
+    let mut mix = Mix::Both;
+    let mut deadline_ms = None;
+    let mut fuel = None;
+    let mut min_warm_ratio: Option<f64> = None;
+    let mut format_json = false;
+
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = flag_value(&mut args, "--addr"),
+            "--requests" => {
+                requests = parse_u64(&flag_value(&mut args, "--requests"), "--requests") as usize
+            }
+            "--concurrency" => {
+                concurrency =
+                    parse_u64(&flag_value(&mut args, "--concurrency"), "--concurrency") as usize
+            }
+            "--rate" => rate = parse_f64(&flag_value(&mut args, "--rate"), "--rate"),
+            "--repeat" => {
+                repeat = parse_u64(&flag_value(&mut args, "--repeat"), "--repeat") as usize
+            }
+            "--seed" => seed = parse_u64(&flag_value(&mut args, "--seed"), "--seed"),
+            "--mix" => match flag_value(&mut args, "--mix").as_str() {
+                "suite" => mix = Mix::Suite,
+                "fuzz" => mix = Mix::Fuzz,
+                "both" => mix = Mix::Both,
+                other => {
+                    eprintln!("--mix needs suite|fuzz|both, got '{other}'");
+                    usage();
+                }
+            },
+            "--deadline-ms" => {
+                deadline_ms = Some(parse_u64(
+                    &flag_value(&mut args, "--deadline-ms"),
+                    "--deadline-ms",
+                ))
+            }
+            "--fuel" => fuel = Some(parse_u64(&flag_value(&mut args, "--fuel"), "--fuel")),
+            "--min-warm-ratio" => {
+                min_warm_ratio = Some(parse_f64(
+                    &flag_value(&mut args, "--min-warm-ratio"),
+                    "--min-warm-ratio",
+                ))
+            }
+            "--format" => match flag_value(&mut args, "--format").as_str() {
+                "text" => format_json = false,
+                "json" => format_json = true,
+                other => {
+                    eprintln!("--format needs 'text' or 'json', got '{other}'");
+                    usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown flag '{a}'");
+                usage();
+            }
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("--addr is required");
+        usage();
+    }
+    if requests == 0 || repeat == 0 || concurrency == 0 {
+        eprintln!("--requests, --repeat, and --concurrency must be positive");
+        usage();
+    }
+
+    // Probe before loading so a dead server is exit 2, not 100 errors.
+    if let Err(e) = post(&addr, "/v1/healthz", "") {
+        eprintln!("mha-load: server unreachable: {e}");
+        std::process::exit(2);
+    }
+
+    let bodies = build_requests(requests, seed, mix, deadline_ms, fuel);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(requests * repeat));
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut phase_wall_us: Vec<u64> = Vec::with_capacity(repeat);
+
+    for phase in 0..repeat {
+        let next = AtomicUsize::new(0);
+        let phase_start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency.min(requests) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        return;
+                    }
+                    if rate > 0.0 {
+                        let due = Duration::from_secs_f64(i as f64 / rate);
+                        let elapsed = phase_start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                    }
+                    let start = Instant::now();
+                    match post(&addr, "/v1/compile", &bodies[i]) {
+                        Ok((code, served, _body)) => samples.lock().unwrap().push(Sample {
+                            phase,
+                            code,
+                            served,
+                            latency_us: start.elapsed().as_micros() as u64,
+                        }),
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+        });
+        phase_wall_us.push(phase_start.elapsed().as_micros() as u64);
+        eprintln!(
+            "mha-load: phase {phase} ({}) done in {:.1} ms",
+            if phase == 0 { "cold" } else { "warm" },
+            phase_wall_us[phase] as f64 / 1000.0
+        );
+    }
+
+    let samples = samples.into_inner().unwrap();
+    let errors = errors.into_inner().unwrap();
+    for e in &errors {
+        eprintln!("mha-load: request failed: {e}");
+    }
+    if !errors.is_empty() {
+        std::process::exit(2);
+    }
+
+    // Per-phase aggregation.
+    let mut phase_rows = Vec::new();
+    let mut five_xx = 0u64;
+    let mut warm_phase_total = 0u64;
+    let mut warm_phase_hits = 0u64;
+    for (phase, &phase_wall) in phase_wall_us.iter().enumerate().take(repeat) {
+        let mut lat: Vec<u64> = Vec::new();
+        let mut codes: HashMap<u16, u64> = HashMap::new();
+        let mut served: HashMap<String, u64> = HashMap::new();
+        for s in samples.iter().filter(|s| s.phase == phase) {
+            lat.push(s.latency_us);
+            *codes.entry(s.code).or_insert(0) += 1;
+            *served.entry(s.served.clone()).or_insert(0) += 1;
+            if s.code >= 500 {
+                five_xx += 1;
+            }
+            if phase > 0 {
+                warm_phase_total += 1;
+                if s.served != "compiled" {
+                    warm_phase_hits += 1;
+                }
+            }
+        }
+        lat.sort_unstable();
+        let wall_us = phase_wall.max(1);
+        let rps = lat.len() as f64 * 1_000_000.0 / wall_us as f64;
+        let mut code_rows: Vec<(u16, u64)> = codes.into_iter().collect();
+        code_rows.sort_unstable();
+        let mut served_rows: Vec<(String, u64)> = served.into_iter().collect();
+        served_rows.sort();
+        phase_rows.push((phase, lat, wall_us, rps, code_rows, served_rows));
+    }
+    let warm_ratio = if warm_phase_total > 0 {
+        warm_phase_hits as f64 / warm_phase_total as f64
+    } else {
+        0.0
+    };
+
+    if format_json {
+        let phases_json = phase_rows
+            .iter()
+            .map(|(phase, lat, wall_us, rps, codes, served)| {
+                let codes_json = codes
+                    .iter()
+                    .map(|(c, n)| format!("\"{c}\":{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let served_json = served
+                    .iter()
+                    .map(|(s, n)| format!("{}:{n}", json_str(s)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"phase\":{phase},\"label\":{},\"requests\":{},\"wall_us\":{wall_us},\
+                     \"rps\":{rps:.1},\"p50_us\":{},\"p99_us\":{},\"codes\":{{{codes_json}}},\
+                     \"served\":{{{served_json}}}}}",
+                    json_str(if *phase == 0 { "cold" } else { "warm" }),
+                    lat.len(),
+                    quantile(lat, 0.50),
+                    quantile(lat, 0.99),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"addr\":{},\"seed\":{seed},\"requests\":{requests},\"repeat\":{repeat},\
+             \"concurrency\":{concurrency},\"rate\":{rate},\"phases\":[{phases_json}],\
+             \"warm_ratio\":{warm_ratio:.3},\"five_xx\":{five_xx}}}",
+            json_str(&addr)
+        );
+    } else {
+        println!("mha-load against {addr} (seed {seed}, {requests} requests x {repeat} phases, {concurrency} threads)");
+        for (phase, lat, _wall, rps, codes, served) in &phase_rows {
+            let codes_s = codes
+                .iter()
+                .map(|(c, n)| format!("{c}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let served_s = served
+                .iter()
+                .map(|(s, n)| format!("{s}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "  phase {phase} ({}): {:8.1} req/s  p50 {:>8} us  p99 {:>8} us  [{codes_s}]  [{served_s}]",
+                if *phase == 0 { "cold" } else { "warm" },
+                rps,
+                quantile(lat, 0.50),
+                quantile(lat, 0.99),
+            );
+        }
+        println!("  warm-hit ratio {warm_ratio:.3}, 5xx responses {five_xx}");
+    }
+
+    let mut failed = false;
+    if five_xx > 0 {
+        eprintln!("mha-load: FAIL: {five_xx} 5xx response(s)");
+        failed = true;
+    }
+    if let Some(min) = min_warm_ratio {
+        if warm_ratio < min {
+            eprintln!("mha-load: FAIL: warm-hit ratio {warm_ratio:.3} below required {min:.3}");
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

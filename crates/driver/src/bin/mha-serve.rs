@@ -1,0 +1,112 @@
+//! `mha-serve` — the long-running compilation service (ARCHITECTURE.md §7).
+//!
+//! ```text
+//! mha-serve [--addr HOST:PORT] [--workers N]
+//!           [--no-cache] [--cache-dir DIR] [--fresh-journal]
+//!           [--deadline-ms N] [--fuel N] [--seed N] [--max-body BYTES]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:8787`; port 0 picks a free port),
+//! prints the bound address to stderr as `mha-serve: listening on ADDR`,
+//! and serves until `POST /v1/shutdown` drains the pool. Endpoints,
+//! request/response schemas, and the status-code ↔ fault-taxonomy mapping
+//! are documented in ARCHITECTURE.md §7; the operator runbook (journal
+//! layout, warm restarts, troubleshooting) is in OPERATIONS.md.
+//!
+//! The artifact cache is shared with `mha-batch` (default
+//! `target/mha-cache`); completed responses are journaled to
+//! `serve.jsonl` next to it and replayed on restart, so a restarted
+//! server answers previously-compiled requests warm. `--fresh-journal`
+//! truncates instead; `--no-cache` disables cache and journal both.
+//!
+//! `--deadline-ms`/`--fuel` set the *default* per-request budget; each
+//! request may override them in its body. Budget trips surface as HTTP
+//! 408 (deadline) / 429 (fuel), deterministic compile failures as 422,
+//! transient faults as 503, panics and harness failures as 500.
+//!
+//! Exit codes: **0** clean drain, **2** usage or startup error (bind
+//! failure, unusable cache dir).
+
+use std::path::PathBuf;
+
+use driver::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mha-serve [--addr HOST:PORT] [--workers N]\n\
+         \x20                [--no-cache] [--cache-dir DIR] [--fresh-journal]\n\
+         \x20                [--deadline-ms N] [--fuel N] [--seed N]\n\
+         \x20                [--max-body BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_u64(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an integer, got '{s}'");
+        usage();
+    })
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8787".into(),
+        ..ServeConfig::default()
+    };
+
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => config.addr = flag_value(&mut args, "--addr"),
+            "--workers" => {
+                config.workers =
+                    parse_u64(&flag_value(&mut args, "--workers"), "--workers") as usize
+            }
+            "--no-cache" => config.cache_dir = None,
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(flag_value(&mut args, "--cache-dir")))
+            }
+            "--fresh-journal" => config.resume = false,
+            "--deadline-ms" => {
+                config.deadline_ms = Some(parse_u64(
+                    &flag_value(&mut args, "--deadline-ms"),
+                    "--deadline-ms",
+                ))
+            }
+            "--fuel" => config.fuel = Some(parse_u64(&flag_value(&mut args, "--fuel"), "--fuel")),
+            "--seed" => config.seed = parse_u64(&flag_value(&mut args, "--seed"), "--seed"),
+            "--max-body" => {
+                config.max_body =
+                    parse_u64(&flag_value(&mut args, "--max-body"), "--max-body") as usize
+            }
+            _ => {
+                eprintln!("unknown flag '{a}'");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mha-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("mha-serve: listening on {}", server.addr());
+    // Workers run until POST /v1/shutdown flips the drain flag; join blocks
+    // until every in-flight request has completed and been journaled.
+    server.join();
+    eprintln!("mha-serve: drained");
+}

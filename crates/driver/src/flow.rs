@@ -53,7 +53,17 @@ pub fn prepare_mlir(
     kernel: &Kernel,
     directives: &crate::experiment::Directives,
 ) -> Result<MlirModule> {
-    let mut m = mlir_lite::parser::parse_module(kernel.name, kernel.mlir)?;
+    prepare_mlir_text(kernel.name, kernel.mlir, directives)
+}
+
+/// [`prepare_mlir`] over raw MLIR text — the entry point for sources that
+/// are not suite [`Kernel`]s (fuzzer output, `mha-serve` request bodies).
+pub fn prepare_mlir_text(
+    name: &str,
+    mlir: &str,
+    directives: &crate::experiment::Directives,
+) -> Result<MlirModule> {
+    let mut m = mlir_lite::parser::parse_module(name, mlir)?;
     mlir_lite::verifier::verify_module(&m)?;
     if let Some(ii) = directives.pipeline_ii {
         use mlir_lite::passes::MlirPass;
@@ -110,12 +120,26 @@ pub fn run_flow_budgeted(
     flow: Flow,
     budget: &pass_core::Budget,
 ) -> Result<FlowArtifacts> {
+    run_flow_on_text(kernel.name, kernel.mlir, directives, flow, budget)
+}
+
+/// [`run_flow_budgeted`] over raw MLIR text: the same staged, budgeted
+/// pipeline, but sourced from a `(name, mlir)` pair instead of a suite
+/// [`Kernel`]. This is what `mha-serve` compiles request bodies through,
+/// and what the fuzzing oracles effectively re-implement.
+pub fn run_flow_on_text(
+    name: &str,
+    mlir: &str,
+    directives: &crate::experiment::Directives,
+    flow: Flow,
+    budget: &pass_core::Budget,
+) -> Result<FlowArtifacts> {
     let charge = |stage: &str| -> Result<()> {
         budget
             .charge(1, stage)
             .map_err(|e| DriverError::from(e.to_diagnostic()))
     };
-    let m = prepare_mlir(kernel, directives)?;
+    let m = prepare_mlir_text(name, mlir, directives)?;
     let mlir_stats = mlir_lite::stats::module_stats(&m);
     let mut report = PipelineReport::new(flow.label());
     match flow {
@@ -142,7 +166,7 @@ pub fn run_flow_budgeted(
             })?;
             charge("flow/frontend")?;
             let mut module = report.time_stage("frontend", || {
-                hls_cpp::compile_cpp(kernel.name, &cpp).map_err(DriverError::from)
+                hls_cpp::compile_cpp(name, &cpp).map_err(DriverError::from)
             })?;
             let cleanup = llvm_lite::transforms::standard_cleanup()
                 .run_to_fixpoint_budgeted(&mut module, 4, budget)

@@ -37,6 +37,7 @@ pub mod cosim;
 pub mod experiment;
 pub mod flow;
 pub mod lint;
+pub mod serve;
 pub mod supervisor;
 
 pub use batch::{run_batch, BatchError, BatchOptions, BatchSummary};
@@ -44,8 +45,9 @@ pub use cache::{Cache, CacheError};
 pub use corpus::{Corpus, CorpusEntry};
 pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
-pub use flow::{run_flow, run_flow_budgeted, Flow, FlowArtifacts};
+pub use flow::{run_flow, run_flow_budgeted, run_flow_on_text, Flow, FlowArtifacts};
 pub use lint::{lint_kernel, LintReport};
+pub use serve::{ServeConfig, ServeError, Served, Server};
 pub use supervisor::{
     ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, RetryPolicy,
     StageError,

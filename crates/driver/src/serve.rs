@@ -1,0 +1,1084 @@
+//! The `mha-serve` compilation service: the batch substrate, long-running.
+//!
+//! `mha-batch` runs one supervised sweep and exits; this module keeps the
+//! same engine resident behind a small hand-rolled HTTP/1.1 server
+//! (`std::net::TcpListener`, no dependencies) so kernels compile on demand:
+//!
+//! * **`POST /v1/compile`** — kernel text + config in, a supervised
+//!   pipeline outcome out (flow → csynth → co-simulation → lint for suite
+//!   kernels; flow → csynth → lint for raw MLIR bodies, which have no
+//!   reference implementation to co-simulate against).
+//! * **`GET /v1/status`** — uptime, pool occupancy, cache/coalescing
+//!   counters, and per-stage latency [`Histogram`]s.
+//! * **`GET /v1/healthz`** — liveness probe.
+//! * **`POST /v1/shutdown`** — cooperative drain (see below).
+//!
+//! Three layers keep repeated work from repeating:
+//!
+//! 1. **Coalescing**: requests are keyed by an FNV-1a digest of their
+//!    full identity (source, directives, flow, target, seed, budget); an
+//!    identical request arriving while the first is still compiling waits
+//!    on the in-flight slot and shares its response (`X-Mha-Served:
+//!    coalesced`).
+//! 2. **The response cache**: completed `200`/`422` responses are kept
+//!    in memory and replayed byte-identically (`X-Mha-Served: cache`);
+//!    suite-kernel pipelines additionally share the on-disk stage cache
+//!    with `mha-batch`, and raw-MLIR responses persist under a `serve`
+//!    stage key in the same cache directory.
+//! 3. **The journal**: every cacheable response is appended to a
+//!    write-ahead journal (`serve.jsonl`, the batch [`Journal`] with an
+//!    `mha-serve` header magic) and flushed before the response is sent,
+//!    so a killed server loses only in-flight requests — a restarted
+//!    server replays the journal and serves those responses warm
+//!    (`X-Mha-Served: warm`).
+//!
+//! Failures map the supervisor's fault taxonomy onto HTTP statuses:
+//! deadline trips are `408`, fuel trips `429`, deterministic faults `422`
+//! (with the located diagnostics in the body), transient faults `503`,
+//! infra faults and panics `500`. Budget trips keep the stable budget
+//! grammar in the `rendered` field, so clients recover them structurally
+//! with `pass_core::BudgetError::from_rendered`.
+//!
+//! There is no signal handling here (the repo is `unsafe`-free, and
+//! catching SIGTERM in pure std is not possible): the per-response journal
+//! flush makes an uncooperative kill safe, and `POST /v1/shutdown` is the
+//! cooperative drain — workers finish their in-flight requests, journal
+//! them, and exit. See OPERATIONS.md for the runbook.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use kernels::digest::Hasher64;
+use pass_core::json::{self, JsonValue};
+use pass_core::report::json_str;
+use pass_core::{Budget, Histogram, PipelineReport};
+use vitis_sim::Target;
+
+use crate::batch::{
+    directives_repr, outcome_to_json, run_supervised, target_repr, BatchOptions, RunOutcome,
+};
+use crate::cache::{Cache, KeyBuilder, Lookup};
+use crate::experiment::Directives;
+use crate::flow::{run_flow_on_text, Flow};
+use crate::lint::LintReport;
+use crate::supervisor::{FaultClass, Journal, JournalError, StageError};
+
+/// Journal header magic distinguishing serve journals from batch journals.
+const JOURNAL_KIND: &str = "mha-serve";
+
+/// Default cap on request bodies (1 MiB) — far above any suite kernel.
+pub const DEFAULT_MAX_BODY: usize = 1 << 20;
+
+/// Server configuration (the `mha-serve` CLI surface).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (reported by [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means "use the machine's available parallelism".
+    pub workers: usize,
+    /// Artifact cache directory shared with `mha-batch`; `None` disables
+    /// both the stage cache and the journal.
+    pub cache_dir: Option<PathBuf>,
+    /// Replay the serve journal on startup (warm restart). Ignored without
+    /// a cache dir.
+    pub resume: bool,
+    /// Default per-request wall-clock deadline, overridable per request.
+    pub deadline_ms: Option<u64>,
+    /// Default per-request fuel allowance, overridable per request.
+    pub fuel: Option<u64>,
+    /// Synthesis target for every request.
+    pub target: Target,
+    /// Co-simulation input seed for suite kernels.
+    pub seed: u64,
+    /// Reject request bodies larger than this (HTTP 413).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_dir: Some(Cache::default_dir()),
+            resume: true,
+            deadline_ms: None,
+            fuel: None,
+            target: Target::default(),
+            seed: 2026,
+            max_body: DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Worker count after resolving 0 to the machine's parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+
+    /// The configuration identity the serve journal is bound to. Budgets
+    /// and directives are per-request (and part of each request's digest),
+    /// so only the cross-request knobs participate.
+    fn config_repr(&self) -> String {
+        format!("target={};seed={}", target_repr(&self.target), self.seed)
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind(String),
+    /// Cache directory unusable.
+    Cache(String),
+    /// Journal unusable.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind: {e}"),
+            ServeError::Cache(e) => write!(f, "cache: {e}"),
+            ServeError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How a compile response was produced, reported in `X-Mha-Served`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Ran the pipeline for this request.
+    Compiled,
+    /// Waited on an identical in-flight request and shared its response.
+    Coalesced,
+    /// Replayed from the in-memory response cache (completed earlier in
+    /// this server's lifetime).
+    Cache,
+    /// Replayed from the journal of a previous server lifetime.
+    Warm,
+}
+
+impl Served {
+    /// Header value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Served::Compiled => "compiled",
+            Served::Coalesced => "coalesced",
+            Served::Cache => "cache",
+            Served::Warm => "warm",
+        }
+    }
+}
+
+/// A finished response, replayable byte-for-byte.
+#[derive(Clone, Debug)]
+struct StoredResponse {
+    code: u16,
+    body: String,
+    /// True when this entry came from journal replay (served as `warm`
+    /// rather than `cache`).
+    from_journal: bool,
+}
+
+/// An in-flight compilation other requests can coalesce onto.
+struct Inflight {
+    slot: Mutex<Option<StoredResponse>>,
+    done: Condvar,
+}
+
+/// Aggregate request counters + per-stage latency histograms.
+#[derive(Default)]
+struct Metrics {
+    /// `POST /v1/compile` requests, by how they were served.
+    compiled: u64,
+    coalesced: u64,
+    cache_hits: u64,
+    warm_hits: u64,
+    /// All responses, by status code.
+    codes: HashMap<u16, u64>,
+    /// End-to-end compile-request latency.
+    request: Histogram,
+    /// Per-stage latencies, recorded from completed pipeline reports.
+    flow: Histogram,
+    csynth: Histogram,
+    cosim: Histogram,
+}
+
+impl Metrics {
+    fn count_code(&mut self, code: u16) {
+        *self.codes.entry(code).or_insert(0) += 1;
+    }
+
+    /// Fold a completed run's stage timings in: report pass names are
+    /// either bare stage names (`flow`, `csynth`, `cosim` for cached
+    /// stages) or stage-prefixed (`flow/lower`); bucket on the prefix.
+    fn record_stages(&mut self, report: &PipelineReport) {
+        let mut flow_us = 0u64;
+        for p in &report.passes {
+            let stage = p.pass.split('/').next().unwrap_or("");
+            match stage {
+                "flow" => flow_us += p.wall_us,
+                "csynth" => self.csynth.record(p.wall_us),
+                "cosim" => self.cosim.record(p.wall_us),
+                _ => flow_us += p.wall_us,
+            }
+        }
+        self.flow.record(flow_us);
+    }
+}
+
+/// Everything the worker threads share.
+struct ServerState {
+    config: ServeConfig,
+    started: Instant,
+    draining: AtomicBool,
+    busy: AtomicUsize,
+    cache: Option<Cache>,
+    journal: Option<Journal>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    responses: Mutex<HashMap<String, StoredResponse>>,
+    metrics: Mutex<Metrics>,
+}
+
+/// A running `mha-serve` instance (also usable in-process, which is how
+/// `tests/serve.rs` drives it).
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, replay the journal if resuming, and spawn the worker pool.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind(e.to_string()))?;
+
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(Cache::open(dir).map_err(|e| ServeError::Cache(e.to_string()))?),
+            None => None,
+        };
+        let mut responses = HashMap::new();
+        let journal = match &config.cache_dir {
+            Some(dir) => {
+                let path = dir.join("serve.jsonl");
+                let repr = config.config_repr();
+                if config.resume {
+                    match Journal::resume_kind(&path, JOURNAL_KIND, &repr) {
+                        Ok((j, outcomes)) => {
+                            for (digest, v) in &outcomes {
+                                if let Some(r) = stored_from_journal(v) {
+                                    responses.insert(digest.clone(), r);
+                                }
+                            }
+                            Some(j)
+                        }
+                        Err(JournalError::ConfigMismatch { .. }) => {
+                            eprintln!(
+                                "mha-serve: journal was written under a different \
+                                 target/seed; starting fresh"
+                            );
+                            Some(
+                                Journal::create_kind(&path, JOURNAL_KIND, &repr)
+                                    .map_err(ServeError::Journal)?,
+                            )
+                        }
+                        Err(e) => return Err(ServeError::Journal(e)),
+                    }
+                } else {
+                    Some(
+                        Journal::create_kind(&path, JOURNAL_KIND, &repr)
+                            .map_err(ServeError::Journal)?,
+                    )
+                }
+            }
+            None => None,
+        };
+        let n_warm = responses.len();
+        if n_warm > 0 {
+            eprintln!("mha-serve: replayed {n_warm} journaled response(s)");
+        }
+
+        let state = Arc::new(ServerState {
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+            cache,
+            journal,
+            inflight: Mutex::new(HashMap::new()),
+            responses: Mutex::new(responses),
+            metrics: Mutex::new(Metrics::default()),
+            config,
+        });
+
+        let workers = state.config.effective_workers();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let listener = listener
+                .try_clone()
+                .map_err(|e| ServeError::Bind(e.to_string()))?;
+            let state = Arc::clone(&state);
+            handles.push(std::thread::spawn(move || worker_loop(listener, state)));
+        }
+        Ok(Server {
+            state,
+            addr,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain was requested (via [`Server::stop`] or
+    /// `POST /v1/shutdown`).
+    pub fn draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until every worker has exited (drain completion).
+    pub fn join(mut self) {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Request a drain and block until in-flight work is finished and
+    /// journaled: sets the drain flag, nudges every blocked `accept`, and
+    /// joins the pool.
+    pub fn stop(self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        wake_workers(self.addr, self.state.config.effective_workers());
+        self.join();
+    }
+}
+
+/// Unblock workers parked in `accept` by connecting throwaway sockets.
+fn wake_workers(addr: SocketAddr, n: usize) {
+    for _ in 0..n {
+        if let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            drop(s);
+        }
+    }
+}
+
+fn worker_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            // Wake-up nudge or a straggler past the drain point.
+            return;
+        }
+        state.busy.fetch_add(1, Ordering::SeqCst);
+        let _ = handle_connection(stream, &state);
+        state.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP/1.1 request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Read one request off the stream. Returns `Err` with a ready-to-send
+/// status code on malformed input.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, (u16, String)> {
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| (400, format!("bad request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err((400, "empty request line".into()));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| (400, format!("bad header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, "unparsable Content-Length".to_string()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err((
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| (400, format!("short body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+fn reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    body: &str,
+    served: Option<Served>,
+) -> io::Result<()> {
+    let served_header = match served {
+        Some(s) => format!("X-Mha-Served: {}\r\n", s.as_str()),
+        None => String::new(),
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{served_header}Connection: close\r\n\r\n",
+        reason(code),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(code: u16, detail: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"code\":{code},\"error\":{}}}",
+        json_str(detail)
+    )
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    let req = match read_request(&mut stream, state.config.max_body) {
+        Ok(r) => r,
+        Err((code, detail)) => {
+            state.metrics.lock().unwrap().count_code(code);
+            return write_response(&mut stream, code, &error_body(code, &detail), None);
+        }
+    };
+    let (code, body, served) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/compile") => {
+            let start = Instant::now();
+            let (code, body, served) = handle_compile(state, &req.body);
+            let mut m = state.metrics.lock().unwrap();
+            m.request.record(start.elapsed().as_micros() as u64);
+            match served {
+                Some(Served::Compiled) => m.compiled += 1,
+                Some(Served::Coalesced) => m.coalesced += 1,
+                Some(Served::Cache) => m.cache_hits += 1,
+                Some(Served::Warm) => m.warm_hits += 1,
+                None => {}
+            }
+            drop(m);
+            (code, body, served)
+        }
+        ("GET", "/v1/status") => (200, status_body(state), None),
+        ("GET", "/v1/healthz") => (200, "{\"ok\":true}".to_string(), None),
+        ("POST", "/v1/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            // Other workers are parked in accept; nudge them out.
+            if let Ok(addr) = stream.local_addr() {
+                wake_workers(addr, state.config.effective_workers());
+            }
+            (200, "{\"draining\":true}".to_string(), None)
+        }
+        ("GET", _) | ("POST", _) => (404, error_body(404, "no such endpoint"), None),
+        _ => (405, error_body(405, "use GET or POST"), None),
+    };
+    state.metrics.lock().unwrap().count_code(code);
+    write_response(&mut stream, code, &body, served)
+}
+
+fn status_body(state: &ServerState) -> String {
+    let m = state.metrics.lock().unwrap();
+    let mut codes: Vec<(u16, u64)> = m.codes.iter().map(|(k, v)| (*k, *v)).collect();
+    codes.sort_unstable();
+    let codes_json = codes
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let total: u64 = m.compiled + m.coalesced + m.cache_hits + m.warm_hits;
+    format!(
+        "{{\"service\":\"mha-serve\",\"uptime_ms\":{},\"workers\":{},\"busy\":{},\"draining\":{},\
+         \"journal\":{},\
+         \"requests\":{{\"compile_total\":{total},\"compiled\":{},\"coalesced\":{},\
+         \"cache_hits\":{},\"warm_hits\":{},\"codes\":{{{codes_json}}}}},\
+         \"latency\":[{},{},{},{}]}}",
+        state.started.elapsed().as_millis(),
+        state.config.effective_workers(),
+        state.busy.load(Ordering::SeqCst),
+        state.draining.load(Ordering::SeqCst),
+        state
+            .journal
+            .as_ref()
+            .map(|j| json_str(&j.path().display().to_string()))
+            .unwrap_or_else(|| "null".into()),
+        m.compiled,
+        m.coalesced,
+        m.cache_hits,
+        m.warm_hits,
+        m.request.to_json("request"),
+        m.flow.to_json("flow"),
+        m.csynth.to_json("csynth"),
+        m.cosim.to_json("cosim"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The compile endpoint
+// ---------------------------------------------------------------------------
+
+/// A parsed `POST /v1/compile` body.
+struct CompileRequest {
+    /// Suite kernel name (`"kernel"` field) — mutually exclusive with raw
+    /// MLIR text (`"mlir"`).
+    kernel: Option<String>,
+    /// Raw MLIR module text.
+    mlir: Option<String>,
+    /// Module name for raw MLIR (defaults to `"kernel"`).
+    name: String,
+    flow: Flow,
+    directives: Directives,
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+}
+
+impl CompileRequest {
+    fn parse(body: &str) -> Result<CompileRequest, String> {
+        let v = json::parse(body).map_err(|e| format!("request is not JSON: {e}"))?;
+        let str_field = |k: &str| v.get(k).and_then(|x| x.as_str()).map(str::to_string);
+        let num_field = |k: &str| v.get(k).and_then(|x| x.as_u64());
+        let kernel = str_field("kernel");
+        let mlir = str_field("mlir");
+        match (&kernel, &mlir) {
+            (None, None) => return Err("need either 'kernel' (suite name) or 'mlir' (text)".into()),
+            (Some(_), Some(_)) => return Err("'kernel' and 'mlir' are mutually exclusive".into()),
+            _ => {}
+        }
+        let flow = match str_field("flow").as_deref() {
+            None | Some("adaptor") => Flow::Adaptor,
+            Some("cpp") | Some("hls-c++") => Flow::Cpp,
+            Some(other) => return Err(format!("unknown flow '{other}' (adaptor|cpp)")),
+        };
+        // `ii: 0` disables pipelining; absent means the batch default II=1.
+        let directives = Directives {
+            pipeline_ii: match num_field("ii") {
+                None => Some(1),
+                Some(0) => None,
+                Some(ii) => Some(ii as u32),
+            },
+            unroll_factor: num_field("unroll").map(|x| x as u32),
+            partition_factor: num_field("partition").map(|x| x as u32),
+            flatten: v.get("flatten").and_then(|x| x.as_bool()).unwrap_or(false),
+        };
+        let name = str_field("name")
+            .or_else(|| kernel.clone())
+            .unwrap_or_else(|| "kernel".into());
+        Ok(CompileRequest {
+            kernel,
+            mlir,
+            name,
+            flow,
+            directives,
+            deadline_ms: num_field("deadline_ms"),
+            fuel: num_field("fuel"),
+        })
+    }
+
+    /// The request's full identity, as the coalescing/cache/journal key.
+    fn digest(&self, config: &ServeConfig) -> String {
+        let mut h = Hasher64::new();
+        h.field_str("mha-serve/v1");
+        if let Some(k) = &self.kernel {
+            h.field_str("kernel").field_str(k);
+        } else if let Some(m) = &self.mlir {
+            h.field_str("mlir").field_str(m);
+        }
+        h.field_str(&self.name);
+        h.field_str(&directives_repr(&self.directives, self.flow));
+        h.field_str(&config.config_repr());
+        h.field_str(&format!(
+            "deadline={:?};fuel={:?}",
+            self.effective_deadline(config),
+            self.effective_fuel(config)
+        ));
+        h.finish_hex()
+    }
+
+    fn effective_deadline(&self, config: &ServeConfig) -> Option<u64> {
+        self.deadline_ms.or(config.deadline_ms)
+    }
+
+    fn effective_fuel(&self, config: &ServeConfig) -> Option<u64> {
+        self.fuel.or(config.fuel)
+    }
+
+    fn budget(&self, config: &ServeConfig) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.effective_deadline(config) {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(fuel) = self.effective_fuel(config) {
+            b = b.with_fuel(fuel);
+        }
+        b
+    }
+}
+
+/// HTTP status for a pipeline outcome: the supervisor's taxonomy on the
+/// wire. Budget deadline → 408, fuel → 429, deterministic → 422,
+/// transient → 503, infra/panic → 500.
+pub fn outcome_status(o: &RunOutcome) -> u16 {
+    match o {
+        RunOutcome::Completed(_) | RunOutcome::Degraded { .. } => 200,
+        RunOutcome::Failed(StageError::BudgetExceeded { kind, .. }) => match kind {
+            pass_core::BudgetKind::Deadline => 408,
+            pass_core::BudgetKind::Fuel => 429,
+        },
+        RunOutcome::Failed(StageError::Fault { class, .. }) => match class {
+            FaultClass::Deterministic => 422,
+            FaultClass::Transient => 503,
+            FaultClass::Infra => 500,
+        },
+        RunOutcome::Panicked { .. } => 500,
+    }
+}
+
+/// Response codes that are deterministic functions of the request and
+/// therefore safe to cache and journal. Budget trips (408/429) depend on
+/// wall clock and pool contention; transient/infra failures may clear.
+fn cacheable(code: u16) -> bool {
+    code == 200 || code == 422
+}
+
+fn handle_compile(state: &ServerState, body: &str) -> (u16, String, Option<Served>) {
+    let req = match CompileRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(400, &e), None),
+    };
+    let digest = req.digest(&state.config);
+
+    // Fast path: an identical request already completed.
+    if let Some(r) = state.responses.lock().unwrap().get(&digest) {
+        let served = if r.from_journal {
+            Served::Warm
+        } else {
+            Served::Cache
+        };
+        return (r.code, r.body.clone(), Some(served));
+    }
+
+    // Coalesce onto an identical in-flight request, or claim the slot.
+    let inflight = {
+        let mut map = state.inflight.lock().unwrap();
+        match map.get(&digest) {
+            Some(found) => Some(Arc::clone(found)),
+            None => {
+                map.insert(
+                    digest.clone(),
+                    Arc::new(Inflight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    }),
+                );
+                None
+            }
+        }
+    };
+    if let Some(inflight) = inflight {
+        let mut slot = inflight.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = inflight.done.wait(slot).unwrap();
+        }
+        let r = slot.as_ref().unwrap();
+        return (r.code, r.body.clone(), Some(Served::Coalesced));
+    }
+
+    // We own the compilation. Journal the start, run, publish.
+    if let Some(j) = &state.journal {
+        let _ = j.begin(&digest);
+    }
+    let (code, body) = compile_locked(state, &req, &digest);
+    if code == 200 {
+        state.note_outcome(&body);
+    }
+    let stored = StoredResponse {
+        code,
+        body: body.clone(),
+        from_journal: false,
+    };
+    if cacheable(code) {
+        if let Some(j) = &state.journal {
+            let _ = j.finish(&digest, &stored_to_journal(&stored));
+        }
+        state
+            .responses
+            .lock()
+            .unwrap()
+            .insert(digest.clone(), stored.clone());
+    }
+    // Publish to coalesced waiters before releasing the in-flight slot.
+    let inflight = state.inflight.lock().unwrap().remove(&digest);
+    if let Some(inflight) = inflight {
+        *inflight.slot.lock().unwrap() = Some(stored);
+        inflight.done.notify_all();
+    }
+    (code, body, Some(Served::Compiled))
+}
+
+/// Serialize a stored response as a journal `done` payload. The body is
+/// embedded as a JSON *string*, so replay reproduces it byte-for-byte.
+fn stored_to_journal(r: &StoredResponse) -> String {
+    format!("{{\"code\":{},\"body\":{}}}", r.code, json_str(&r.body))
+}
+
+fn stored_from_journal(v: &JsonValue) -> Option<StoredResponse> {
+    Some(StoredResponse {
+        code: v.get("code")?.as_u64()? as u16,
+        body: v.get("body")?.as_str()?.to_string(),
+        from_journal: true,
+    })
+}
+
+/// Run the request's pipeline and produce the response document:
+///
+/// ```json
+/// {"kernel": "...", "digest": "...", "flow": "adaptor",
+///  "outcome": { "status": "ok", ... },         // batch outcome schema
+///  "rendered": "...",                          // failures only
+///  "lint": { ... } | null,
+///  "warnings": ["..."]}
+/// ```
+fn compile_locked(state: &ServerState, req: &CompileRequest, digest: &str) -> (u16, String) {
+    let (outcome, warnings) = match &req.kernel {
+        Some(name) => compile_suite(state, req, name),
+        None => compile_raw(state, req),
+    };
+    let code = outcome_status(&outcome);
+    let rendered = match &outcome {
+        RunOutcome::Failed(e) => format!(",\"rendered\":{}", json_str(&e.to_string())),
+        _ => String::new(),
+    };
+    let lint = match &outcome {
+        RunOutcome::Completed(a) | RunOutcome::Degraded { artifacts: a, .. } => {
+            match llvm_lite::parser::parse_module(&req.name, &a.module_text) {
+                Ok(m) => LintReport::for_module(&m, false).to_json(),
+                Err(_) => "null".into(),
+            }
+        }
+        _ => "null".into(),
+    };
+    let warnings_json = warnings
+        .iter()
+        .map(|w| json_str(w))
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = format!(
+        "{{\"kernel\":{},\"digest\":{},\"flow\":{},\"outcome\":{}{rendered},\"lint\":{lint},\"warnings\":[{warnings_json}]}}",
+        json_str(&req.name),
+        json_str(digest),
+        json_str(req.flow.label()),
+        outcome_to_json(&outcome),
+    );
+    (code, body)
+}
+
+/// A suite kernel goes through the full supervised batch pipeline — flow →
+/// csynth → co-simulation with the shared on-disk stage cache and panic
+/// isolation.
+fn compile_suite(
+    state: &ServerState,
+    req: &CompileRequest,
+    name: &str,
+) -> (RunOutcome, Vec<String>) {
+    let kernel = match kernels::kernel(name) {
+        Some(k) => k,
+        None => {
+            return (
+                RunOutcome::Failed(StageError::Fault {
+                    stage: "request".into(),
+                    class: FaultClass::Deterministic,
+                    detail: format!("unknown suite kernel '{name}'"),
+                }),
+                Vec::new(),
+            )
+        }
+    };
+    let opts = BatchOptions {
+        jobs: 1,
+        directives: req.directives,
+        flow: req.flow,
+        cache_dir: state.config.cache_dir.clone(),
+        target: state.config.target.clone(),
+        seed: state.config.seed,
+        deadline_ms: req.effective_deadline(&state.config),
+        fuel: req.effective_fuel(&state.config),
+        ..BatchOptions::default()
+    };
+    match run_supervised(kernel, &opts) {
+        Ok((outcome, warnings)) => (outcome, warnings),
+        Err(e) => (
+            RunOutcome::Failed(StageError::Fault {
+                stage: "cache".into(),
+                class: FaultClass::Infra,
+                detail: e.to_string(),
+            }),
+            Vec::new(),
+        ),
+    }
+}
+
+/// Raw MLIR has no reference implementation, so it runs flow → csynth →
+/// lint (no co-simulation), budgeted and panic-isolated, with the whole
+/// outcome persisted under a `serve` stage key in the shared cache.
+fn compile_raw(state: &ServerState, req: &CompileRequest) -> (RunOutcome, Vec<String>) {
+    let mlir = req.mlir.as_deref().unwrap_or_default();
+    let serve_key = KeyBuilder::new("serve")
+        .text("source", mlir)
+        .text("name", &req.name)
+        .text("config", &directives_repr(&req.directives, req.flow))
+        .text("target", &target_repr(&state.config.target))
+        .finish();
+    let mut warnings = Vec::new();
+    if let Some(cache) = &state.cache {
+        match cache.load(&serve_key) {
+            Lookup::Hit(payload) => match json::parse(&payload)
+                .map_err(|e| e.to_string())
+                .and_then(|v| crate::batch::outcome_from_json(&v))
+            {
+                Ok(outcome) => return (outcome, warnings),
+                Err(e) => warnings.push(format!("undecodable serve cache entry: {e}")),
+            },
+            Lookup::Corrupt(e) => warnings.push(format!("corrupt serve cache entry: {e}")),
+            Lookup::Miss => {}
+        }
+    }
+    let budget = req.budget(&state.config);
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| raw_pipeline(state, req, &budget)));
+    let outcome = match run {
+        Ok(Ok(artifacts)) => RunOutcome::Completed(Box::new(artifacts)),
+        Ok(Err(e)) => RunOutcome::Failed(e),
+        Err(payload) => RunOutcome::Panicked {
+            message: payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into()),
+        },
+    };
+    if matches!(outcome, RunOutcome::Completed(_)) {
+        if let Some(cache) = &state.cache {
+            if let Err(e) = cache.store(&serve_key, &outcome_to_json(&outcome)) {
+                warnings.push(format!("serve cache store failed: {e}"));
+            }
+        }
+    }
+    (outcome, warnings)
+}
+
+fn raw_pipeline(
+    state: &ServerState,
+    req: &CompileRequest,
+    budget: &Budget,
+) -> Result<crate::batch::KernelArtifacts, StageError> {
+    let mlir = req.mlir.as_deref().unwrap_or_default();
+    let mut report = PipelineReport::new("serve");
+    let art = report
+        .time_stage("flow", || {
+            run_flow_on_text(&req.name, mlir, &req.directives, req.flow, budget)
+        })
+        .map_err(|e| StageError::classify("flow", &e.to_string(), FaultClass::Deterministic))?;
+    report.extend_prefixed("flow", &art.report);
+    let module_text = llvm_lite::printer::print_module(&art.module);
+    let module_digest = format!("{:016x}", kernels::fnv1a64(module_text.as_bytes()));
+    let csynth = report
+        .time_stage("csynth", || {
+            vitis_sim::csynth_budgeted(&art.module, &state.config.target, budget)
+        })
+        .map_err(|e| StageError::classify("csynth", &e.to_string(), FaultClass::Deterministic))?;
+    Ok(crate::batch::KernelArtifacts {
+        module_text,
+        module_digest,
+        csynth,
+        cosim_max_err: 0.0,
+        cosim_steps: 0,
+        report,
+        cache_hits: 0,
+        cache_misses: 1,
+    })
+}
+
+// Record completed stage timings into the metrics histograms. Split out of
+// `handle_compile` so the lock scope stays obvious.
+impl ServerState {
+    fn note_outcome(&self, outcome_json: &str) {
+        if let Ok(v) = json::parse(outcome_json) {
+            if let Some(report) = v.get("outcome").and_then(|o| o.get("report")) {
+                if let Ok(r) = PipelineReport::from_json_value(report) {
+                    self.metrics.lock().unwrap().record_stages(&r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_req(body: &str) -> CompileRequest {
+        CompileRequest::parse(body).expect("request parses")
+    }
+
+    #[test]
+    fn request_parsing_applies_defaults_and_rejects_ambiguity() {
+        let r = parse_req("{\"kernel\":\"gemm\"}");
+        assert_eq!(r.kernel.as_deref(), Some("gemm"));
+        assert_eq!(r.name, "gemm");
+        assert_eq!(r.flow, Flow::Adaptor);
+        assert_eq!(r.directives.pipeline_ii, Some(1));
+        assert!(CompileRequest::parse("{}").is_err());
+        assert!(CompileRequest::parse("{\"kernel\":\"gemm\",\"mlir\":\"x\"}").is_err());
+        let r = parse_req("{\"mlir\":\"func.func ...\",\"ii\":0,\"flow\":\"cpp\"}");
+        assert_eq!(r.directives.pipeline_ii, None);
+        assert_eq!(r.flow, Flow::Cpp);
+        assert_eq!(r.name, "kernel");
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive_to_identity_fields() {
+        let config = ServeConfig::default();
+        let a = parse_req("{\"kernel\":\"gemm\"}").digest(&config);
+        let b = parse_req("{\"kernel\":\"gemm\"}").digest(&config);
+        assert_eq!(a, b);
+        let c = parse_req("{\"kernel\":\"gemm\",\"ii\":2}").digest(&config);
+        assert_ne!(a, c);
+        let d = parse_req("{\"kernel\":\"gemm\",\"deadline_ms\":5}").digest(&config);
+        assert_ne!(a, d);
+        let e = parse_req("{\"kernel\":\"two_mm\"}").digest(&config);
+        assert_ne!(a, e);
+    }
+
+    #[test]
+    fn outcome_status_maps_the_taxonomy() {
+        use pass_core::BudgetKind;
+        let failed = |e| RunOutcome::Failed(e);
+        assert_eq!(
+            outcome_status(&failed(StageError::BudgetExceeded {
+                stage: "flow".into(),
+                kind: BudgetKind::Deadline,
+                detail: "d".into(),
+            })),
+            408
+        );
+        assert_eq!(
+            outcome_status(&failed(StageError::BudgetExceeded {
+                stage: "flow".into(),
+                kind: BudgetKind::Fuel,
+                detail: "d".into(),
+            })),
+            429
+        );
+        assert_eq!(
+            outcome_status(&failed(StageError::Fault {
+                stage: "flow".into(),
+                class: FaultClass::Deterministic,
+                detail: "d".into(),
+            })),
+            422
+        );
+        assert_eq!(
+            outcome_status(&failed(StageError::Fault {
+                stage: "flow".into(),
+                class: FaultClass::Transient,
+                detail: "d".into(),
+            })),
+            503
+        );
+        assert_eq!(
+            outcome_status(&RunOutcome::Panicked {
+                message: "boom".into()
+            }),
+            500
+        );
+    }
+
+    #[test]
+    fn journal_codec_round_trips_bodies_byte_for_byte() {
+        let stored = StoredResponse {
+            code: 200,
+            body: "{\"kernel\":\"gemm\",\"weird\":\"\\\"quoted\\\"\\n\"}".to_string(),
+            from_journal: false,
+        };
+        let encoded = stored_to_journal(&stored);
+        let v = json::parse(&encoded).unwrap();
+        let back = stored_from_journal(&v).unwrap();
+        assert_eq!(back.code, 200);
+        assert_eq!(back.body, stored.body);
+        assert!(back.from_journal);
+    }
+
+    #[test]
+    fn cacheable_covers_only_deterministic_codes() {
+        assert!(cacheable(200));
+        assert!(cacheable(422));
+        for code in [400, 408, 429, 500, 503] {
+            assert!(!cacheable(code), "{code} must not be cached");
+        }
+    }
+}

@@ -434,12 +434,20 @@ impl Journal {
     /// Start a fresh journal at `path` (truncating any previous run) bound
     /// to `config`.
     pub fn create(path: &Path, config: &str) -> Result<Journal, JournalError> {
+        Journal::create_kind(path, "mha-batch", config)
+    }
+
+    /// Like [`Journal::create`] but with an explicit `kind` magic in the
+    /// header, so other long-running tools (`mha-serve`) can keep their own
+    /// journals without being mistaken for batch runs on `--resume`.
+    pub fn create_kind(path: &Path, kind: &str, config: &str) -> Result<Journal, JournalError> {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent).map_err(|e| JournalError::Io(e.to_string()))?;
         }
         let mut file = fs::File::create(path).map_err(|e| JournalError::Io(e.to_string()))?;
         let header = format!(
-            "{{\"journal\":\"mha-batch\",\"version\":1,\"config\":{}}}\n",
+            "{{\"journal\":{},\"version\":1,\"config\":{}}}\n",
+            json_str(kind),
             json_str(config)
         );
         file.write_all(header.as_bytes())
@@ -455,14 +463,26 @@ impl Journal {
     /// replay completed outcomes, and reopen in append mode. A missing
     /// journal degrades to [`Journal::create`] with no replayed outcomes.
     pub fn resume(path: &Path, config: &str) -> Result<(Journal, JournalOutcomes), JournalError> {
+        Journal::resume_kind(path, "mha-batch", config)
+    }
+
+    /// Like [`Journal::resume`] but validating an explicit `kind` magic.
+    pub fn resume_kind(
+        path: &Path,
+        kind: &str,
+        config: &str,
+    ) -> Result<(Journal, JournalOutcomes), JournalError> {
         let text = match fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Ok((Journal::create(path, config)?, JournalOutcomes::new()))
+                return Ok((
+                    Journal::create_kind(path, kind, config)?,
+                    JournalOutcomes::new(),
+                ))
             }
             Err(e) => return Err(JournalError::Io(e.to_string())),
         };
-        let outcomes = parse_journal(&text, config)?;
+        let outcomes = parse_journal(&text, kind, config)?;
         let file = fs::OpenOptions::new()
             .append(true)
             .open(path)
@@ -509,15 +529,15 @@ impl Journal {
 /// Parse journal text: header validation + completed-outcome replay.
 /// Only the *last* unparsable line is tolerated (kill-mid-write); garbage
 /// earlier in the file is an error.
-fn parse_journal(text: &str, config: &str) -> Result<JournalOutcomes, JournalError> {
+fn parse_journal(text: &str, kind: &str, config: &str) -> Result<JournalOutcomes, JournalError> {
     let mut lines = text.lines().enumerate().peekable();
     let (_, header) = lines
         .next()
         .ok_or_else(|| JournalError::Io("empty journal".to_string()))?;
     let header =
         json::parse(header).map_err(|e| JournalError::Io(format!("bad journal header: {e}")))?;
-    if header.get("journal").and_then(|v| v.as_str()) != Some("mha-batch") {
-        return Err(JournalError::Io("not an mha-batch journal".to_string()));
+    if header.get("journal").and_then(|v| v.as_str()) != Some(kind) {
+        return Err(JournalError::Io(format!("not an {kind} journal")));
     }
     let recorded = header
         .get("config")

@@ -1,0 +1,236 @@
+//! Fixed-footprint latency histograms for long-running instrumentation.
+//!
+//! [`PipelineReport`](crate::PipelineReport) records the exact per-stage
+//! timings of *one* run; a long-running process (the `mha-serve` daemon)
+//! needs the aggregate shape of *millions* of runs without unbounded
+//! memory. A [`Histogram`] gives that: 64 power-of-two buckets over
+//! microsecond values, constant size, O(1) recording, and quantile
+//! estimates read straight from the bucket counts.
+//!
+//! The bucket for a value `v` is `ceil(log2(v + 1))`, so bucket `b` covers
+//! `[2^(b-1), 2^b)` microseconds (bucket 0 holds exact zeros). Quantiles
+//! are therefore estimates with at most 2× relative error — plenty for
+//! p50/p99 service-latency reporting, where the interesting signal is
+//! orders of magnitude, not microseconds.
+
+use crate::report::json_str;
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucket histogram of microsecond latencies.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        // ceil(log2(v + 1)): 0 → 0, 1 → 1, 2..=3 → 2, 4..=7 → 3, ...
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound (exclusive) of bucket `b`, saturating at `u64::MAX`.
+    fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64.checked_shl(b as u32).map_or(u64::MAX, |x| x - 1)
+        }
+    }
+
+    /// Record one value (microseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating), microseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th smallest value, clamped
+    /// to the observed min/max so estimates never leave the recorded
+    /// range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The p50 estimate (microseconds).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The p99 estimate (microseconds).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serialize as a JSON object under `label` (hand-rolled, same style
+    /// as `PipelineReport::to_json`): count, sum, min/mean/max, p50/p99.
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            "{{\"stage\":{},\"count\":{},\"sum_us\":{},\"min_us\":{},\"mean_us\":{},\"max_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            json_str(label),
+            self.count,
+            self.sum,
+            self.min(),
+            self.mean(),
+            self.max,
+            self.p50(),
+            self.p99()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 500);
+        // True p50 = 500; bucket estimate may overshoot by at most 2x.
+        let p50 = h.p50();
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p99 = h.p99();
+        assert!((990..=1000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn extremes_and_zeros_are_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [3, 17, 250, 9000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [1, 64, 100_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum(), c.sum());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.p50(), c.p50());
+        assert_eq!(a.p99(), c.p99());
+    }
+
+    #[test]
+    fn json_shape_parses_and_carries_the_stats() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let j = h.to_json("flow");
+        let v = crate::json::parse(&j).unwrap();
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("flow"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("sum_us").unwrap().as_u64(), Some(30));
+        assert_eq!(v.get("min_us").unwrap().as_u64(), Some(10));
+        assert!(v.get("p50_us").unwrap().as_u64().unwrap() >= 10);
+    }
+}

@@ -67,12 +67,14 @@
 
 pub mod budget;
 pub mod diag;
+pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod report;
 
 pub use budget::{Budget, BudgetError, BudgetKind};
 pub use diag::{Diagnostic, Loc, Severity};
+pub use hist::Histogram;
 pub use registry::PassRegistry;
 pub use report::{PassRecord, PipelineReport};
 

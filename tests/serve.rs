@@ -1,0 +1,251 @@
+//! Service-level contract tests for `mha-serve` (ISSUE 8).
+//!
+//! The server is started in-process ([`driver::Server`] on port 0) and
+//! driven over real TCP, so these tests cover the wire format, not just
+//! the engine: compile-over-HTTP must equal the library flow byte for
+//! byte, identical concurrent requests must coalesce onto one
+//! compilation, budget trips must surface as HTTP 408 carrying the
+//! stable budget grammar, and a drained-then-restarted server must serve
+//! journaled responses warm without recompiling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use driver::{run_flow_on_text, Directives, Flow, ServeConfig, Server};
+use pass_core::report::json_str;
+use pass_core::{Budget, BudgetError, BudgetKind};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mha-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// Minimal HTTP client: request in, `(status, X-Mha-Served, body)` out.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line '{status_line}'"));
+    let mut served = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("x-mha-served") {
+                served = value.trim().to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    (code, served, String::from_utf8(buf).expect("utf-8 body"))
+}
+
+fn compile(addr: std::net::SocketAddr, body: &str) -> (u16, String, String) {
+    http(addr, "POST", "/v1/compile", body)
+}
+
+/// A deterministic raw-MLIR request body from the fuzzer's generator.
+fn fuzz_request(seed: u64) -> String {
+    let g = fuzzing::generate(seed, &fuzzing::GenConfig::default());
+    format!("{{\"mlir\":{},\"name\":\"fuzzk\"}}", json_str(&g.text))
+}
+
+#[test]
+fn compile_over_http_equals_the_library_flow_byte_for_byte() {
+    let dir = temp_dir("http-vs-lib");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    let g = fuzzing::generate(11, &fuzzing::GenConfig::default());
+    let (code, served, body) = compile(addr, &fuzz_request(11));
+    assert_eq!(code, 200, "body: {body}");
+    assert_eq!(served, "compiled");
+
+    // The same source through the library entry point the server wraps.
+    let art = run_flow_on_text(
+        "fuzzk",
+        &g.text,
+        &Directives::pipelined(1),
+        Flow::Adaptor,
+        &Budget::unlimited(),
+    )
+    .expect("library flow succeeds");
+    let expect_text = llvm_lite::printer::print_module(&art.module);
+
+    let v = pass_core::json::parse(&body).expect("response is JSON");
+    let outcome = v.get("outcome").expect("outcome object");
+    assert_eq!(outcome.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(
+        outcome.get("module_text").unwrap().as_str(),
+        Some(expect_text.as_str()),
+        "HTTP module text must be byte-identical to run_flow_on_text"
+    );
+    // The response's pipeline report covers the same stages the library
+    // flow ran, stage-prefixed, plus the serve-side csynth stage.
+    let report = outcome.get("report").expect("report object");
+    let passes = report.get("passes").unwrap().as_arr().unwrap();
+    let names: Vec<String> = passes
+        .iter()
+        .filter_map(|p| p.get("pass").and_then(|x| x.as_str()).map(str::to_string))
+        .collect();
+    for stage in &art.report.passes {
+        assert!(
+            names.iter().any(|n| n == &format!("flow/{}", stage.pass)),
+            "stage flow/{} missing from HTTP report {names:?}",
+            stage.pass
+        );
+    }
+    assert!(names.iter().any(|n| n == "csynth"), "{names:?}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_concurrent_requests_coalesce_onto_one_compilation() {
+    let dir = temp_dir("coalesce");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    let body = fuzz_request(23);
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| compile(addr, &body));
+        let tb = scope.spawn(|| compile(addr, &body));
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    assert_eq!(a.0, 200, "body: {}", a.2);
+    assert_eq!(b.0, 200, "body: {}", b.2);
+    // Responses are byte-identical however they were served.
+    assert_eq!(a.2, b.2);
+    // Exactly one request compiled; the other coalesced onto it (or, if
+    // it lost the race entirely, hit the response cache).
+    let markers = {
+        let mut m = [a.1.as_str(), b.1.as_str()];
+        m.sort_unstable();
+        m
+    };
+    assert_eq!(markers.iter().filter(|m| **m == "compiled").count(), 1);
+    assert!(
+        markers
+            .iter()
+            .all(|m| ["compiled", "coalesced", "cache"].contains(m)),
+        "unexpected served markers {markers:?}"
+    );
+
+    // The status endpoint agrees: one compile, one shared result.
+    let (code, _, status) = http(addr, "GET", "/v1/status", "");
+    assert_eq!(code, 200);
+    let v = pass_core::json::parse(&status).unwrap();
+    let requests = v.get("requests").unwrap();
+    assert_eq!(requests.get("compiled").unwrap().as_u64(), Some(1));
+    assert_eq!(requests.get("compile_total").unwrap().as_u64(), Some(2));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_exceeded_request_returns_408_with_the_stable_grammar() {
+    let dir = temp_dir("budget-408");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    // Cold cache + zero deadline: the first stage boundary must trip.
+    let (code, _, body) = compile(addr, "{\"kernel\":\"gemm\",\"deadline_ms\":0}");
+    assert_eq!(code, 408, "body: {body}");
+    let v = pass_core::json::parse(&body).unwrap();
+    let outcome = v.get("outcome").unwrap();
+    assert_eq!(outcome.get("status").unwrap().as_str(), Some("failed"));
+    assert!(outcome
+        .get("class")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .starts_with("budget-deadline"));
+    // The rendered field carries the stable budget grammar, recoverable
+    // structurally by clients.
+    let rendered = v.get("rendered").unwrap().as_str().unwrap();
+    let trip = BudgetError::from_rendered(rendered)
+        .unwrap_or_else(|| panic!("'{rendered}' does not parse as the budget grammar"));
+    assert_eq!(trip.kind, BudgetKind::Deadline);
+
+    // Budget trips are not deterministic verdicts: they must not be
+    // cached, so a retry without the deadline succeeds.
+    let (code, served, body) = compile(addr, "{\"kernel\":\"gemm\"}");
+    assert_eq!(code, 200, "body: {body}");
+    assert_eq!(served, "compiled");
+
+    // Fuel exhaustion maps to 429, same grammar.
+    let (code, _, body) = compile(addr, "{\"kernel\":\"two_mm\",\"fuel\":1}");
+    assert_eq!(code, 429, "body: {body}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_then_restart_serves_the_journaled_result_warm() {
+    let dir = temp_dir("warm-restart");
+    let body = fuzz_request(42);
+
+    let server = Server::start(config(&dir)).expect("first server starts");
+    let addr = server.addr();
+    let (code, served, first) = compile(addr, &body);
+    assert_eq!(code, 200, "body: {first}");
+    assert_eq!(served, "compiled");
+    // Cooperative drain: stop() joins the pool after in-flight work (and
+    // its journal writes) complete.
+    server.stop();
+
+    let server = Server::start(config(&dir)).expect("restarted server starts");
+    let addr = server.addr();
+    let (code, served, second) = compile(addr, &body);
+    assert_eq!(code, 200, "body: {second}");
+    assert_eq!(
+        served, "warm",
+        "restarted server must replay the journaled response"
+    );
+    assert_eq!(first, second, "replayed response must be byte-identical");
+
+    // The status endpoint records the warm hit and no compilation.
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let requests = v.get("requests").unwrap();
+    assert_eq!(requests.get("compiled").unwrap().as_u64(), Some(0));
+    assert_eq!(requests.get("warm_hits").unwrap().as_u64(), Some(1));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
