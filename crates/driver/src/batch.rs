@@ -664,7 +664,16 @@ impl BatchCtx<'_> {
             BOUNDARY_MENU
         };
         match self.chaos_roll(kernel, site, 0, menu) {
-            None | Some(ChaosFault::IoError) => Ok(()),
+            // IoError only fires at cache sites; the serve-layer faults
+            // (socket reset / slow read / worker stall) never appear on a
+            // batch boundary menu.
+            None
+            | Some(
+                ChaosFault::IoError
+                | ChaosFault::SocketReset
+                | ChaosFault::SlowRead
+                | ChaosFault::WorkerStall,
+            ) => Ok(()),
             Some(ChaosFault::Panic) => {
                 panic!("chaos: injected panic at {site} for {kernel}")
             }

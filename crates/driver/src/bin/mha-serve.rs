@@ -4,6 +4,13 @@
 //! mha-serve [--addr HOST:PORT] [--workers N]
 //!           [--no-cache] [--cache-dir DIR] [--fresh-journal]
 //!           [--deadline-ms N] [--fuel N] [--seed N] [--max-body BYTES]
+//!           [--read-timeout-ms N] [--header-deadline-ms N]
+//!           [--write-timeout-ms N] [--no-keep-alive]
+//!           [--keepalive-idle-ms N] [--keepalive-max-requests N]
+//!           [--queue-depth N] [--quantum N] [--shed-p99-ms N]
+//!           [--breaker-window N] [--breaker-min-samples N]
+//!           [--breaker-trip-ratio F] [--breaker-cooldown-ms N]
+//!           [--chaos SEED,RATE]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:8787`; port 0 picks a free port),
@@ -11,7 +18,8 @@
 //! and serves until `POST /v1/shutdown` drains the pool. Endpoints,
 //! request/response schemas, and the status-code ↔ fault-taxonomy mapping
 //! are documented in ARCHITECTURE.md §7; the operator runbook (journal
-//! layout, warm restarts, troubleshooting) is in OPERATIONS.md.
+//! layout, warm restarts, resilience tuning, troubleshooting) is in
+//! OPERATIONS.md.
 //!
 //! The artifact cache is shared with `mha-batch` (default
 //! `target/mha-cache`); completed responses are journaled to
@@ -23,20 +31,34 @@
 //! request may override them in its body. Budget trips surface as HTTP
 //! 408 (deadline) / 429 (fuel), deterministic compile failures as 422,
 //! transient faults as 503, panics and harness failures as 500.
+//! Admission-queue shedding answers 429 and a breaker-open rejection 503,
+//! both always carrying `Retry-After`.
+//!
+//! `--chaos SEED,RATE` arms the seeded fault injector over the serve
+//! sites (socket reset, slow read, worker stall, transient compile
+//! faults) and, for suite kernels, the batch engine's own cache/retry
+//! sites — the same flag grammar as `mha-batch`.
 //!
 //! Exit codes: **0** clean drain, **2** usage or startup error (bind
-//! failure, unusable cache dir).
+//! failure, unusable cache dir, malformed flag).
 
 use std::path::PathBuf;
 
-use driver::{ServeConfig, Server};
+use driver::{ChaosConfig, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mha-serve [--addr HOST:PORT] [--workers N]\n\
          \x20                [--no-cache] [--cache-dir DIR] [--fresh-journal]\n\
          \x20                [--deadline-ms N] [--fuel N] [--seed N]\n\
-         \x20                [--max-body BYTES]"
+         \x20                [--max-body BYTES]\n\
+         \x20                [--read-timeout-ms N] [--header-deadline-ms N]\n\
+         \x20                [--write-timeout-ms N] [--no-keep-alive]\n\
+         \x20                [--keepalive-idle-ms N] [--keepalive-max-requests N]\n\
+         \x20                [--queue-depth N] [--quantum N] [--shed-p99-ms N]\n\
+         \x20                [--breaker-window N] [--breaker-min-samples N]\n\
+         \x20                [--breaker-trip-ratio F] [--breaker-cooldown-ms N]\n\
+         \x20                [--chaos SEED,RATE]"
     );
     std::process::exit(2);
 }
@@ -54,6 +76,13 @@ fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
 fn parse_u64(s: &str, flag: &str) -> u64 {
     s.parse().unwrap_or_else(|_| {
         eprintln!("{flag} needs an integer, got '{s}'");
+        usage();
+    })
+}
+
+fn parse_f64(s: &str, flag: &str) -> f64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a number, got '{s}'");
         usage();
     })
 }
@@ -90,6 +119,81 @@ fn main() {
                 config.max_body =
                     parse_u64(&flag_value(&mut args, "--max-body"), "--max-body") as usize
             }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = parse_u64(
+                    &flag_value(&mut args, "--read-timeout-ms"),
+                    "--read-timeout-ms",
+                )
+            }
+            "--header-deadline-ms" => {
+                config.header_deadline_ms = parse_u64(
+                    &flag_value(&mut args, "--header-deadline-ms"),
+                    "--header-deadline-ms",
+                )
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = parse_u64(
+                    &flag_value(&mut args, "--write-timeout-ms"),
+                    "--write-timeout-ms",
+                )
+            }
+            "--no-keep-alive" => config.keepalive = false,
+            "--keepalive-idle-ms" => {
+                config.keepalive_idle_ms = parse_u64(
+                    &flag_value(&mut args, "--keepalive-idle-ms"),
+                    "--keepalive-idle-ms",
+                )
+            }
+            "--keepalive-max-requests" => {
+                config.keepalive_max_requests = parse_u64(
+                    &flag_value(&mut args, "--keepalive-max-requests"),
+                    "--keepalive-max-requests",
+                ) as u32
+            }
+            "--queue-depth" => {
+                config.queue.max_depth =
+                    parse_u64(&flag_value(&mut args, "--queue-depth"), "--queue-depth") as usize
+            }
+            "--quantum" => {
+                config.queue.quantum =
+                    parse_u64(&flag_value(&mut args, "--quantum"), "--quantum").max(1) as u32
+            }
+            "--shed-p99-ms" => {
+                config.queue.shed_wait_p99_ms =
+                    parse_u64(&flag_value(&mut args, "--shed-p99-ms"), "--shed-p99-ms")
+            }
+            "--breaker-window" => {
+                config.breaker.window = parse_u64(
+                    &flag_value(&mut args, "--breaker-window"),
+                    "--breaker-window",
+                ) as usize
+            }
+            "--breaker-min-samples" => {
+                config.breaker.min_samples = parse_u64(
+                    &flag_value(&mut args, "--breaker-min-samples"),
+                    "--breaker-min-samples",
+                ) as usize
+            }
+            "--breaker-trip-ratio" => {
+                config.breaker.trip_ratio = parse_f64(
+                    &flag_value(&mut args, "--breaker-trip-ratio"),
+                    "--breaker-trip-ratio",
+                )
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker.cooldown_ms = parse_u64(
+                    &flag_value(&mut args, "--breaker-cooldown-ms"),
+                    "--breaker-cooldown-ms",
+                )
+            }
+            "--chaos" => {
+                config.chaos = Some(
+                    ChaosConfig::parse(&flag_value(&mut args, "--chaos")).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage();
+                    }),
+                )
+            }
             _ => {
                 eprintln!("unknown flag '{a}'");
                 usage();
@@ -105,8 +209,8 @@ fn main() {
         }
     };
     eprintln!("mha-serve: listening on {}", server.addr());
-    // Workers run until POST /v1/shutdown flips the drain flag; join blocks
-    // until every in-flight request has completed and been journaled.
+    // The pool runs until POST /v1/shutdown flips the drain flag; join
+    // blocks until every admitted request has completed and been journaled.
     server.join();
     eprintln!("mha-serve: drained");
 }

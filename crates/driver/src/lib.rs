@@ -37,6 +37,7 @@ pub mod cosim;
 pub mod experiment;
 pub mod flow;
 pub mod lint;
+pub mod resilience;
 pub mod serve;
 pub mod supervisor;
 
@@ -47,7 +48,11 @@ pub use cosim::{cosim, CosimResult};
 pub use experiment::{run_experiment, run_suite, Directives, ExperimentRow};
 pub use flow::{run_flow, run_flow_budgeted, run_flow_on_text, Flow, FlowArtifacts};
 pub use lint::{lint_kernel, LintReport};
-pub use serve::{ServeConfig, ServeError, Served, Server};
+pub use resilience::{
+    Breaker, BreakerConfig, BreakerDecision, FairQueue, FairQueueConfig, Shed, ShedClass,
+    ShedReason,
+};
+pub use serve::{ServeConfig, ServeError, Served, Server, STREAM_MEDIA_TYPE};
 pub use supervisor::{
     ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, RetryPolicy,
     StageError,

@@ -1,0 +1,611 @@
+//! Admission control and degradation primitives for `mha-serve`.
+//!
+//! The service's resilience layer (ARCHITECTURE.md §7) is built from two
+//! self-contained pieces that know nothing about HTTP:
+//!
+//! * [`FairQueue`] — a bounded admission queue with per-client
+//!   **deficit-round-robin** scheduling. The acceptor/intake side pushes
+//!   classified work items tagged with a client identity; the worker side
+//!   pops them in DRR order, so one aggressive tenant with a deep backlog
+//!   cannot starve polite tenants (each round serves every active client
+//!   `quantum` items). Admission is where overload is shed: when the
+//!   queue is past its depth bound or the recent queue-wait p99 is past
+//!   the configured bound, [`FairQueue::try_admit`] refuses with a
+//!   [`Shed`] verdict the server turns into `429 Retry-After`. Shedding
+//!   is tiered ([`ShedClass`]): raw-MLIR compiles shed first, suite
+//!   kernels only under harder pressure — graceful degradation rather
+//!   than cliff collapse. Warm/cache hits are answered before admission
+//!   and therefore can never be shed.
+//! * [`Breaker`] — a circuit breaker over the PR-4 fault taxonomy. It
+//!   watches the rate of **transient** faults in a sliding window; past
+//!   the trip ratio it opens, and while open the serve layer degrades
+//!   adaptor-flow compiles to the deterministic C++ fallback (the same
+//!   fallback `mha-batch` uses for deterministic adaptor failures)
+//!   instead of hammering the failing path. After a cooldown the breaker
+//!   goes half-open and admits a single probe through the normal path;
+//!   the probe's outcome closes or re-opens it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How urgent it is to keep a request when the admission queue is under
+/// pressure. Lower-priority classes shed first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedClass {
+    /// Raw-MLIR compile: ad-hoc work with no suite identity; sheds first.
+    Raw,
+    /// Suite-kernel compile: the service's primary workload; sheds only
+    /// when the queue is saturated outright.
+    Suite,
+}
+
+/// Why a request was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue is at its hard depth bound.
+    Full,
+    /// The queue-wait p99 (or the raw-tier depth threshold) is past its
+    /// bound; lower tiers shed before the queue saturates.
+    Pressure,
+}
+
+/// An admission refusal: the reason plus a `Retry-After` hint derived
+/// from the recent queue-wait distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shed {
+    /// Why admission was refused.
+    pub reason: ShedReason,
+    /// Suggested client back-off, whole seconds (the `Retry-After` value).
+    pub retry_after_s: u64,
+}
+
+/// Configuration for the [`FairQueue`] admission policy.
+#[derive(Clone, Copy, Debug)]
+pub struct FairQueueConfig {
+    /// Hard bound on total queued items; at this depth everything sheds.
+    pub max_depth: usize,
+    /// DRR quantum: items served per client per round (cost 1 per item).
+    pub quantum: u32,
+    /// Queue-wait p99 bound in milliseconds. Past it, [`ShedClass::Raw`]
+    /// sheds; past twice it, [`ShedClass::Suite`] sheds too.
+    pub shed_wait_p99_ms: u64,
+}
+
+impl Default for FairQueueConfig {
+    fn default() -> FairQueueConfig {
+        FairQueueConfig {
+            max_depth: 64,
+            quantum: 1,
+            shed_wait_p99_ms: 2_000,
+        }
+    }
+}
+
+/// Recent queue-wait samples kept for the shed decision (exact p99 over a
+/// small sliding window; the unbounded [`pass_core::Histogram`] in the
+/// metrics has no decay, which would let one slow hour shed forever).
+const WAIT_WINDOW: usize = 128;
+
+struct ClientLane<T> {
+    items: VecDeque<(T, Instant)>,
+    deficit: u32,
+    /// True while the client id is in the round-robin ring.
+    in_ring: bool,
+}
+
+impl<T> Default for ClientLane<T> {
+    fn default() -> Self {
+        ClientLane {
+            items: VecDeque::new(),
+            deficit: 0,
+            in_ring: false,
+        }
+    }
+}
+
+struct QueueInner<T> {
+    lanes: HashMap<String, ClientLane<T>>,
+    /// Round-robin ring of client ids with queued items.
+    ring: VecDeque<String>,
+    depth: usize,
+    closed: bool,
+    waits_us: VecDeque<u64>,
+}
+
+/// A bounded multi-tenant admission queue with deficit-round-robin
+/// scheduling (client = caller-supplied identity string).
+///
+/// Pushers call [`FairQueue::try_admit`]; poppers call [`FairQueue::pop`],
+/// which blocks until an item is available or the queue is closed *and*
+/// drained. Each pop also returns how long the item waited, which feeds
+/// both the shed policy and the service's queue-wait histogram.
+pub struct FairQueue<T> {
+    cfg: FairQueueConfig,
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+}
+
+impl<T> FairQueue<T> {
+    /// An empty queue under `cfg`.
+    pub fn new(cfg: FairQueueConfig) -> FairQueue<T> {
+        FairQueue {
+            cfg,
+            inner: Mutex::new(QueueInner {
+                lanes: HashMap::new(),
+                ring: VecDeque::new(),
+                depth: 0,
+                closed: false,
+                waits_us: VecDeque::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The policy this queue admits under.
+    pub fn config(&self) -> &FairQueueConfig {
+        &self.cfg
+    }
+
+    /// Current total depth across all client lanes.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).depth
+    }
+
+    /// Exact p99 of the recent queue-wait window, microseconds (0 while
+    /// the window is empty).
+    pub fn recent_wait_p99_us(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        Self::p99_of(&inner.waits_us)
+    }
+
+    fn p99_of(waits: &VecDeque<u64>) -> u64 {
+        if waits.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = waits.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn retry_after_s(p99_us: u64) -> u64 {
+        (p99_us / 1_000_000 + 1).clamp(1, 30)
+    }
+
+    /// Admit `item` for `client`, or shed it. The decision is tiered:
+    ///
+    /// * depth ≥ `max_depth` → shed everything ([`ShedReason::Full`]);
+    /// * [`ShedClass::Raw`] → shed when depth ≥ `max_depth / 2` or the
+    ///   recent wait p99 exceeds `shed_wait_p99_ms`;
+    /// * [`ShedClass::Suite`] → shed when the recent wait p99 exceeds
+    ///   `2 * shed_wait_p99_ms`.
+    ///
+    /// On admission, returns the queue depth after the push; on shed,
+    /// hands the item back alongside the verdict (the caller still owns
+    /// the connection it must answer `429` on). A closed (draining) queue
+    /// sheds everything as [`ShedReason::Full`].
+    pub fn try_admit(&self, client: &str, class: ShedClass, item: T) -> Result<usize, (T, Shed)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let p99_us = Self::p99_of(&inner.waits_us);
+        let p99_bound_us = self.cfg.shed_wait_p99_ms.saturating_mul(1000);
+        let shed = |reason| Shed {
+            reason,
+            retry_after_s: Self::retry_after_s(p99_us),
+        };
+        if inner.closed || inner.depth >= self.cfg.max_depth {
+            return Err((item, shed(ShedReason::Full)));
+        }
+        let over_p99 = p99_bound_us > 0 && p99_us > p99_bound_us;
+        let over_p99_hard = p99_bound_us > 0 && p99_us > p99_bound_us.saturating_mul(2);
+        match class {
+            ShedClass::Raw if inner.depth >= self.cfg.max_depth.div_ceil(2) || over_p99 => {
+                return Err((item, shed(ShedReason::Pressure)));
+            }
+            ShedClass::Suite if over_p99_hard => {
+                return Err((item, shed(ShedReason::Pressure)));
+            }
+            _ => {}
+        }
+        let lane = inner.lanes.entry(client.to_string()).or_default();
+        lane.items.push_back((item, Instant::now()));
+        if !lane.in_ring {
+            lane.in_ring = true;
+            inner.ring.push_back(client.to_string());
+        }
+        inner.depth += 1;
+        let depth = inner.depth;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop the next item in DRR order, blocking while the queue is empty
+    /// and open. Returns the item, how long it waited, and its client id —
+    /// or `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<(T, Duration, String)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if inner.depth > 0 {
+                return Some(self.pop_locked(&mut inner));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn pop_locked(&self, inner: &mut QueueInner<T>) -> (T, Duration, String) {
+        loop {
+            let client = inner.ring.pop_front().expect("depth > 0 implies ring");
+            let lane = inner.lanes.get_mut(&client).expect("ring client has lane");
+            if lane.items.is_empty() {
+                // Lane drained earlier in this round; drop it from the ring.
+                lane.in_ring = false;
+                lane.deficit = 0;
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = self.cfg.quantum.max(1);
+            }
+            let (item, queued_at) = lane.items.pop_front().expect("lane non-empty");
+            lane.deficit -= 1;
+            if lane.items.is_empty() {
+                lane.in_ring = false;
+                lane.deficit = 0;
+            } else if lane.deficit > 0 {
+                // Quantum not yet spent: this client keeps the head slot.
+                inner.ring.push_front(client.clone());
+            } else {
+                inner.ring.push_back(client.clone());
+            }
+            inner.depth -= 1;
+            let wait = queued_at.elapsed();
+            inner.waits_us.push_back(wait.as_micros() as u64);
+            while inner.waits_us.len() > WAIT_WINDOW {
+                inner.waits_us.pop_front();
+            }
+            return (item, wait, client);
+        }
+    }
+
+    /// Close the queue: no further admissions, and [`FairQueue::pop`]
+    /// returns `None` once the remaining items are drained. Wakes every
+    /// blocked popper.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Configuration for the [`Breaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Sliding-window size (outcomes remembered while closed).
+    pub window: usize,
+    /// Minimum samples in the window before the trip ratio is evaluated.
+    pub min_samples: usize,
+    /// Transient-fault fraction at or above which the breaker opens.
+    pub trip_ratio: f64,
+    /// How long the breaker stays open before probing half-open.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            trip_ratio: 0.5,
+            cooldown_ms: 2_000,
+        }
+    }
+}
+
+/// What the breaker tells a request about to compile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed: take the normal path and report the outcome.
+    Normal,
+    /// Breaker open: degrade to the deterministic fallback; the outcome
+    /// is *not* reported (a fallback says nothing about the primary path).
+    Degrade,
+    /// Breaker half-open and this request is the probe: take the normal
+    /// path and report the outcome with `was_probe = true`.
+    Probe,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    /// Recent outcomes while closed: `true` = transient fault.
+    samples: VecDeque<bool>,
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight.
+    probing: bool,
+    trips: u64,
+}
+
+/// A transient-fault-rate circuit breaker (see the module docs for the
+/// serve-layer semantics it drives).
+pub struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                samples: VecDeque::new(),
+                opened_at: None,
+                probing: false,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// Decide what a request about to compile should do. Transitions
+    /// open → half-open when the cooldown has elapsed (the caller becomes
+    /// the probe).
+    pub fn admit(&self) -> BreakerDecision {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        match inner.state {
+            BreakerState::Closed => BreakerDecision::Normal,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= Duration::from_millis(self.cfg.cooldown_ms))
+                    .unwrap_or(true);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probing = true;
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Degrade
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probing {
+                    BreakerDecision::Degrade
+                } else {
+                    inner.probing = true;
+                    BreakerDecision::Probe
+                }
+            }
+        }
+    }
+
+    /// Report a normal-path outcome. `was_probe` must be `true` iff
+    /// [`Breaker::admit`] returned [`BreakerDecision::Probe`] for this
+    /// request; `transient` is whether the outcome was a transient fault.
+    pub fn report(&self, was_probe: bool, transient: bool) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if was_probe {
+            inner.probing = false;
+            if transient {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.trips += 1;
+            } else {
+                inner.state = BreakerState::Closed;
+                inner.samples.clear();
+            }
+            return;
+        }
+        if inner.state != BreakerState::Closed {
+            return;
+        }
+        inner.samples.push_back(transient);
+        while inner.samples.len() > self.cfg.window.max(1) {
+            inner.samples.pop_front();
+        }
+        if inner.samples.len() >= self.cfg.min_samples.max(1) {
+            let faults = inner.samples.iter().filter(|t| **t).count();
+            if faults as f64 / inner.samples.len() as f64 >= self.cfg.trip_ratio {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.trips += 1;
+                inner.samples.clear();
+            }
+        }
+    }
+
+    /// Canonical state label for the status endpoint.
+    pub fn state_label(&self) -> &'static str {
+        match self.inner.lock().unwrap_or_else(|p| p.into_inner()).state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).trips
+    }
+
+    /// Milliseconds until the next half-open probe is allowed (0 when not
+    /// open) — the `Retry-After` hint for requests that cannot degrade.
+    pub fn retry_after_ms(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.state != BreakerState::Open {
+            return 0;
+        }
+        let cooldown = Duration::from_millis(self.cfg.cooldown_ms);
+        inner
+            .opened_at
+            .and_then(|t| cooldown.checked_sub(t.elapsed()))
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(max_depth: usize) -> FairQueue<u32> {
+        FairQueue::new(FairQueueConfig {
+            max_depth,
+            quantum: 1,
+            shed_wait_p99_ms: 2_000,
+        })
+    }
+
+    #[test]
+    fn drr_interleaves_a_hot_tenant_with_polite_ones() {
+        let q = queue(64);
+        // Hot tenant floods 6 items before polite tenants enqueue 2 each.
+        for i in 0..6 {
+            q.try_admit("hot", ShedClass::Suite, 100 + i).unwrap();
+        }
+        for i in 0..2 {
+            q.try_admit("p1", ShedClass::Suite, 200 + i).unwrap();
+            q.try_admit("p2", ShedClass::Suite, 300 + i).unwrap();
+        }
+        let mut order = Vec::new();
+        while q.depth() > 0 {
+            let (_, _, client) = q.pop().unwrap();
+            order.push(client);
+        }
+        // One item per client per round: polite tenants finish within the
+        // first rounds instead of waiting behind the hot backlog.
+        assert_eq!(
+            order,
+            vec!["hot", "p1", "p2", "hot", "p1", "p2", "hot", "hot", "hot", "hot"]
+        );
+    }
+
+    #[test]
+    fn quantum_gives_a_client_consecutive_slots() {
+        let q = FairQueue::new(FairQueueConfig {
+            max_depth: 16,
+            quantum: 2,
+            shed_wait_p99_ms: 2_000,
+        });
+        for i in 0..4 {
+            q.try_admit("a", ShedClass::Suite, i).unwrap();
+        }
+        for i in 0..2 {
+            q.try_admit("b", ShedClass::Suite, 10 + i).unwrap();
+        }
+        let mut order = Vec::new();
+        while q.depth() > 0 {
+            order.push(q.pop().unwrap().2);
+        }
+        assert_eq!(order, vec!["a", "a", "b", "b", "a", "a"]);
+    }
+
+    #[test]
+    fn depth_bound_sheds_everything_and_raw_sheds_at_half() {
+        let q = queue(4);
+        // Raw admits until depth reaches max/2 = 2.
+        assert!(q.try_admit("c", ShedClass::Raw, 0).is_ok());
+        assert!(q.try_admit("c", ShedClass::Raw, 1).is_ok());
+        let (item, shed) = q.try_admit("c", ShedClass::Raw, 2).unwrap_err();
+        assert_eq!(item, 2, "shed hands the item back");
+        assert_eq!(shed.reason, ShedReason::Pressure);
+        assert!(shed.retry_after_s >= 1);
+        // Suite still admits past the raw tier, up to the hard bound.
+        assert!(q.try_admit("c", ShedClass::Suite, 3).is_ok());
+        assert!(q.try_admit("c", ShedClass::Suite, 4).is_ok());
+        let (_, shed) = q.try_admit("c", ShedClass::Suite, 5).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::Full);
+    }
+
+    #[test]
+    fn closed_queue_sheds_then_drains_then_pops_none() {
+        let q = queue(8);
+        q.try_admit("c", ShedClass::Suite, 1).unwrap();
+        q.close();
+        assert_eq!(
+            q.try_admit("c", ShedClass::Suite, 2).unwrap_err().1.reason,
+            ShedReason::Full
+        );
+        assert_eq!(q.pop().map(|(v, _, _)| v), Some(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_reports_queue_wait_and_feeds_the_window() {
+        let q = queue(8);
+        q.try_admit("c", ShedClass::Suite, 1).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let (_, wait, _) = q.pop().unwrap();
+        assert!(wait >= Duration::from_millis(5));
+        assert!(q.recent_wait_p99_us() >= 5_000);
+    }
+
+    #[test]
+    fn breaker_trips_on_transient_rate_and_probes_half_open() {
+        let b = Breaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown_ms: 20,
+        });
+        assert_eq!(b.admit(), BreakerDecision::Normal);
+        // Below min_samples: no trip regardless of the ratio.
+        for _ in 0..3 {
+            b.report(false, true);
+        }
+        assert_eq!(b.admit(), BreakerDecision::Normal);
+        // Fourth transient sample pushes the ratio over 0.5 → open.
+        b.report(false, true);
+        assert_eq!(b.state_label(), "open");
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.admit(), BreakerDecision::Degrade);
+        assert!(b.retry_after_ms() <= 20);
+        // After the cooldown exactly one caller becomes the probe.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        assert_eq!(b.state_label(), "half-open");
+        assert_eq!(b.admit(), BreakerDecision::Degrade);
+        // Probe fails transiently → re-open (second trip).
+        b.report(true, true);
+        assert_eq!(b.state_label(), "open");
+        assert_eq!(b.trips(), 2);
+        // Cooldown again; this probe succeeds → closed, window reset.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        b.report(true, false);
+        assert_eq!(b.state_label(), "closed");
+        assert_eq!(b.admit(), BreakerDecision::Normal);
+        // The cleared window means old faults don't count toward a re-trip.
+        b.report(false, true);
+        b.report(false, true);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "closed");
+    }
+
+    #[test]
+    fn non_transient_outcomes_do_not_trip_the_breaker() {
+        let b = Breaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown_ms: 1_000,
+        });
+        for _ in 0..20 {
+            b.report(false, false);
+        }
+        assert_eq!(b.state_label(), "closed");
+        // Deterministic failures are `transient = false` by definition at
+        // the call site, so a storm of 422s never opens the breaker.
+    }
+}

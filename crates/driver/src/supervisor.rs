@@ -326,6 +326,15 @@ pub enum ChaosFault {
     /// A deterministic adaptor legalization failure (exercises the
     /// degraded C++-flow fallback).
     AdaptorReject,
+    /// Serve-layer: drop the client connection instead of writing the
+    /// response (the journal must still make the response recoverable).
+    SocketReset,
+    /// Serve-layer: stall the connection read path (exercises header
+    /// deadlines and keep-alive idle handling).
+    SlowRead,
+    /// Serve-layer: stall a compile worker before it starts (exercises
+    /// queue-wait shedding and fairness under pressure).
+    WorkerStall,
 }
 
 /// Deterministic seeded fault injector. Whether (and what) to inject is a

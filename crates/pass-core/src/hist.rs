@@ -221,6 +221,76 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        // Out-of-range q values clamp rather than panic or index wild.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        assert_eq!(h.mean(), 777);
+        // The bucket upper bound would be 1023, but the estimate clamps
+        // to the observed range, so every quantile is the sample itself.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        // All of these land in the last bucket, whose upper bound would
+        // be 2^65 - 1: it must saturate at u64::MAX, not wrap.
+        for v in [u64::MAX, u64::MAX - 1, 1u64 << 63] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1u64 << 63);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        // Sum saturates instead of wrapping around zero.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_keeps_both_tails() {
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            lo.record(v);
+        }
+        for v in [1u64 << 40, (1 << 40) + 1, 1 << 50] {
+            hi.record(v);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 7);
+        assert_eq!(lo.min(), 1);
+        assert_eq!(lo.max(), 1 << 50);
+        // The median still lives in the low cluster (4 of 7 samples):
+        // within 2x bucket error of the true median 4, far from the tail.
+        assert!(lo.p50() <= 7, "p50 {} escaped the low cluster", lo.p50());
+        // ...while the tail quantiles come from the high cluster.
+        assert!(lo.p99() >= 1 << 40, "p99 {} lost the high tail", lo.p99());
+        // Merging into an empty histogram must not keep the empty
+        // sentinel min (u64::MAX).
+        let mut empty = Histogram::new();
+        empty.merge(&hi);
+        assert_eq!(empty.min(), 1 << 40);
+        assert_eq!(empty.count(), 3);
+    }
+
+    #[test]
     fn json_shape_parses_and_carries_the_stats() {
         let mut h = Histogram::new();
         h.record(10);

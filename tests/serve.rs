@@ -249,3 +249,500 @@ fn drain_then_restart_serves_the_journaled_result_warm() {
     server.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Resilience-layer tests (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+use driver::{BreakerConfig, ChaosConfig, FairQueueConfig, STREAM_MEDIA_TYPE};
+
+/// Send one request on an already-open connection and read one response.
+/// Returns `(status, X-Mha-Served, body, all headers)`.
+fn request_on(
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &str,
+    keep: bool,
+) -> (u16, String, String, Vec<(String, String)>) {
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n{extra_headers}Connection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep { "keep-alive" } else { "close" },
+    );
+    reader.get_mut().write_all(req.as_bytes()).expect("send");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line '{status_line}'"));
+    let mut served = String::new();
+    let mut content_length = 0usize;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            if name.eq_ignore_ascii_case("x-mha-served") {
+                served = value.trim().to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    (
+        code,
+        served,
+        String::from_utf8(buf).expect("utf-8"),
+        headers,
+    )
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn keep_alive_connection_serves_multiple_requests_on_one_socket() {
+    let dir = temp_dir("keep-alive");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let body = fuzz_request(71);
+    let mut last = String::new();
+    for i in 0..3 {
+        let (code, served, resp, headers) =
+            request_on(&mut reader, "POST", "/v1/compile", &body, "", true);
+        assert_eq!(code, 200, "request {i}: {resp}");
+        if i == 0 {
+            assert_eq!(served, "compiled");
+        } else {
+            assert_eq!(served, "cache", "request {i} should hit the cache");
+            assert_eq!(resp, last, "cache replay must be byte-identical");
+        }
+        last = resp;
+        // The server advertises keep-alive back with its policy.
+        let ka = header(&headers, "keep-alive").expect("keep-alive header");
+        assert!(ka.contains("timeout="), "keep-alive header '{ka}'");
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    }
+
+    // All three requests rode one socket: the server counts two reuses.
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let res = v.get("resilience").expect("resilience object");
+    assert_eq!(res.get("keepalive_reuses").unwrap().as_u64(), Some(2));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Read one chunked-transfer response body and return its decoded lines.
+fn read_chunked_lines(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut decoded = String::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size '{size_line}'"));
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).expect("trailer");
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+        reader.read_exact(&mut chunk).expect("chunk payload");
+        decoded.push_str(&String::from_utf8_lossy(&chunk[..size]));
+    }
+    decoded.lines().map(str::to_string).collect()
+}
+
+#[test]
+fn streaming_accept_yields_stage_events_and_the_same_response_body() {
+    let dir = temp_dir("stream");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+    let body = fuzz_request(83);
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let req = format!(
+        "POST /v1/compile HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nAccept: {STREAM_MEDIA_TYPE}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    reader.get_mut().write_all(req.as_bytes()).expect("send");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status");
+    assert!(
+        status_line.contains("200"),
+        "stream transport is always 200, got '{status_line}'"
+    );
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if line.to_ascii_lowercase().contains("transfer-encoding")
+            && line.to_ascii_lowercase().contains("chunked")
+        {
+            chunked = true;
+        }
+    }
+    assert!(chunked, "stream responses use chunked transfer");
+    let events = read_chunked_lines(&mut reader);
+    assert!(events.len() >= 3, "expected start/stage/done: {events:?}");
+    let first = pass_core::json::parse(&events[0]).expect("start event JSON");
+    assert_eq!(first.get("event").unwrap().as_str(), Some("start"));
+    assert!(
+        events[1..events.len() - 1].iter().any(|e| {
+            pass_core::json::parse(e)
+                .ok()
+                .and_then(|v| v.get("event").map(|x| x.as_str() == Some("stage")))
+                .unwrap_or(false)
+        }),
+        "no stage event in {events:?}"
+    );
+    let done = pass_core::json::parse(events.last().unwrap()).expect("done event JSON");
+    assert_eq!(done.get("event").unwrap().as_str(), Some("done"));
+    assert_eq!(done.get("code").unwrap().as_u64(), Some(200));
+
+    // The embedded body equals what a plain (cache-served) request gets.
+    let (code, served, plain) = compile(addr, &body);
+    assert_eq!(code, 200);
+    assert_eq!(served, "cache");
+    let plain_v = pass_core::json::parse(&plain).unwrap();
+    assert_eq!(
+        done.get("body").unwrap().get("digest").unwrap().as_str(),
+        plain_v.get("digest").unwrap().as_str(),
+        "streamed body must describe the same compilation"
+    );
+
+    // The streamed counter moved.
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let res = v.get("resilience").unwrap();
+    assert!(res.get("streamed").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after_but_never_sheds_warm_hits() {
+    let dir = temp_dir("shed");
+    let mut cfg = config(&dir);
+    cfg.workers = 1;
+    cfg.queue = FairQueueConfig {
+        max_depth: 2,
+        ..FairQueueConfig::default()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.addr();
+
+    // Warm one response up front: it must survive any pressure below.
+    let warm_body = fuzz_request(90);
+    let (code, _, _) = compile(addr, &warm_body);
+    assert_eq!(code, 200);
+
+    let mut sheds = 0;
+    for round in 0..3 {
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..10u64 {
+                let body = fuzz_request(1000 + round * 100 + i);
+                handles.push(scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream);
+                    request_on(&mut reader, "POST", "/v1/compile", &body, "", false)
+                }));
+            }
+            // The warm hit races the flood and must still answer 200.
+            let warm = scope.spawn(|| compile(addr, &warm_body));
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let (wc, ws, _) = warm.join().unwrap();
+            assert_eq!(wc, 200, "warm hit shed under pressure");
+            assert!(["cache", "warm"].contains(&ws.as_str()), "served {ws}");
+            results
+        });
+        for (code, _, body, headers) in results {
+            if code == 429 && body.contains("shed") {
+                assert!(
+                    header(&headers, "retry-after").is_some(),
+                    "shed 429 without Retry-After"
+                );
+                sheds += 1;
+            } else {
+                assert_eq!(code, 200, "body: {body}");
+            }
+        }
+        if sheds > 0 {
+            break;
+        }
+    }
+    assert!(sheds > 0, "depth-2 queue never shed a 10-request flood");
+
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let shed = v.get("resilience").unwrap().get("shed").unwrap();
+    assert!(shed.get("raw").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn breaker_trips_on_transient_chaos_and_degrades_to_the_cpp_fallback() {
+    let dir = temp_dir("breaker");
+    let mut cfg = config(&dir);
+    // Every raw compile rolls the serve/compile chaos site; the menu is
+    // seed-hashed per digest, so some seeds draw the transient fault.
+    cfg.chaos = Some(ChaosConfig {
+        seed: 2026,
+        rate: 1.0,
+    });
+    cfg.breaker = BreakerConfig {
+        window: 8,
+        min_samples: 1,
+        trip_ratio: 0.3,
+        cooldown_ms: 120_000, // stays open for the whole test
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.addr();
+
+    // At chaos rate 1.0 the serve/response SocketReset site can also
+    // fire, dropping the connection before the response: resend until the
+    // per-digest attempt counter clears it (that recovery is itself part
+    // of the contract under test).
+    let post_with_retry = |body: &str| -> (u16, String, String, Vec<(String, String)>) {
+        for _ in 0..10 {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let mut reader = BufReader::new(stream);
+            let req = format!(
+                "POST /v1/compile HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            reader.get_mut().write_all(req.as_bytes()).expect("send");
+            let mut status_line = String::new();
+            if reader.read_line(&mut status_line).is_err() || status_line.is_empty() {
+                continue; // chaos reset the socket; resend
+            }
+            let code: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|c| c.parse().ok())
+                .unwrap_or_else(|| panic!("bad status line '{status_line}'"));
+            let mut served = String::new();
+            let mut content_length = 0usize;
+            let mut headers = Vec::new();
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("header");
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+                    if name.eq_ignore_ascii_case("x-mha-served") {
+                        served = value.trim().to_string();
+                    } else if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap();
+                    }
+                }
+            }
+            let mut buf = vec![0u8; content_length];
+            if reader.read_exact(&mut buf).is_err() {
+                continue; // reset mid-body; resend
+            }
+            return (
+                code,
+                served,
+                String::from_utf8(buf).expect("utf-8"),
+                headers,
+            );
+        }
+        panic!("10 resends all lost to socket resets");
+    };
+
+    // Seed-search until chaos draws the transient serve/compile fault and
+    // trips the breaker (each digest has ~1/2 odds; 40 tries is
+    // vanishingly safe). The tripping 503 itself is eaten by the
+    // serve/response reset at rate 1.0 — the trip is observed in status.
+    let mut tripped = false;
+    for seed in 300..340 {
+        let (code, _, body, _) = post_with_retry(&fuzz_request(seed));
+        assert!(code == 200 || code == 503, "unexpected {code}: {body}");
+        let (_, _, status) = http(addr, "GET", "/v1/status", "");
+        let sv = pass_core::json::parse(&status).unwrap();
+        let breaker = sv.get("resilience").unwrap().get("breaker").unwrap();
+        if breaker.get("state").unwrap().as_str() == Some("open") {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(tripped, "chaos rate 1.0 never drew a transient fault");
+
+    // The breaker is now open: the next adaptor request runs the
+    // deterministic C++ fallback (chaos disabled on the safety net) and
+    // says so in the body.
+    let (code, served, body, _) = post_with_retry(&fuzz_request(999));
+    assert_eq!(code, 200, "degraded request failed: {body}");
+    assert_eq!(served, "compiled");
+    assert!(
+        body.contains("\"breaker\":\"open\""),
+        "degraded body lacks breaker marker: {body}"
+    );
+    let v = pass_core::json::parse(&body).unwrap();
+    assert_eq!(v.get("flow").unwrap().as_str(), Some("hls-c++"));
+    assert_eq!(
+        v.get("outcome").unwrap().get("status").unwrap().as_str(),
+        Some("degraded")
+    );
+
+    // A request already on the C++ flow has nothing to degrade to: the
+    // open breaker rejects it with a deterministic 503 + Retry-After.
+    let g = fuzzing::generate(1234, &fuzzing::GenConfig::default());
+    let cpp_body = format!(
+        "{{\"mlir\":{},\"name\":\"fuzzk\",\"flow\":\"cpp\"}}",
+        json_str(&g.text)
+    );
+    let (code, _, body, headers) = post_with_retry(&cpp_body);
+    assert_eq!(code, 503, "breaker-open cpp request: {body}");
+    assert!(
+        header(&headers, "retry-after").is_some(),
+        "breaker 503 without Retry-After"
+    );
+    assert!(body.contains("circuit breaker open"), "body: {body}");
+
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let sv = pass_core::json::parse(&status).unwrap();
+    let breaker = sv.get("resilience").unwrap().get("breaker").unwrap();
+    assert_eq!(breaker.get("state").unwrap().as_str(), Some("open"));
+    assert!(breaker.get("trips").unwrap().as_u64().unwrap() >= 1);
+    assert!(breaker.get("degraded").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_heads_and_stalled_bodies_are_cut_off_with_408() {
+    let dir = temp_dir("loris");
+    let mut cfg = config(&dir);
+    cfg.header_deadline_ms = 150;
+    cfg.read_timeout_ms = 300;
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.addr();
+
+    // A header that never completes is answered 408 at the deadline.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/compile HTT")
+        .expect("partial head");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status");
+    assert!(
+        status_line.contains("408"),
+        "slow-loris head got '{status_line}'"
+    );
+
+    // A complete head whose body stalls is answered 408 at the body
+    // deadline (the --read-timeout-ms satellite).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/compile HTTP/1.1\r\nHost: test\r\nContent-Length: 50\r\n\r\n{\"kern")
+        .expect("head + stalled body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status");
+    assert!(
+        status_line.contains("408"),
+        "stalled body got '{status_line}'"
+    );
+
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let res = v.get("resilience").unwrap();
+    assert!(res.get("header_timeouts").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_completes_even_with_an_idle_keepalive_connection_parked() {
+    let dir = temp_dir("drain-keepalive");
+    let server = Server::start(config(&dir)).expect("server starts");
+    let addr = server.addr();
+
+    // Park an idle keep-alive connection on the server.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let (code, _, _, _) = request_on(
+        &mut reader,
+        "POST",
+        "/v1/compile",
+        &fuzz_request(77),
+        "",
+        true,
+    );
+    assert_eq!(code, 200);
+
+    // Shutdown must drain promptly despite the parked connection — the
+    // non-blocking listener + closed queues replace the old loopback
+    // "nudge" that could hang. A watchdog enforces promptness.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let (code, _, body) = http(addr, "POST", "/v1/shutdown", "");
+        assert_eq!(code, 200, "shutdown: {body}");
+        server.stop();
+        done_tx.send(()).unwrap();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("shutdown hung with an idle keep-alive connection");
+    handle.join().unwrap();
+    drop(reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
