@@ -93,6 +93,12 @@ pub struct BatchOptions {
     pub resume: bool,
     /// Retry policy for transient faults (cache I/O, injected I/O errors).
     pub retry: RetryPolicy,
+    /// Run each kernel in an isolated worker *process* (`--isolate`, via
+    /// `driver::warden`): a segfault/abort/OOM while compiling one kernel
+    /// becomes a `failed/crash` summary entry instead of killing the run.
+    /// `--inject-panic` is not forwarded into workers (panics are already
+    /// contained in-process by the supervisor).
+    pub isolate: bool,
 }
 
 impl Default for BatchOptions {
@@ -110,6 +116,7 @@ impl Default for BatchOptions {
             chaos: None,
             resume: false,
             retry: RetryPolicy::default(),
+            isolate: false,
         }
     }
 }
@@ -479,12 +486,11 @@ pub fn outcome_to_json(o: &RunOutcome) -> String {
             json_str(reason),
             artifact_fields(artifacts)
         ),
-        RunOutcome::Failed(e) => format!(
-            "{{\"status\":\"failed\",\"stage\":{},\"class\":{},\"error\":{}}}",
-            json_str(e.stage()),
-            json_str(&e.class_label()),
-            json_str(e.detail())
-        ),
+        RunOutcome::Failed(e) => {
+            // Splice the StageError's own fields (stage/class/error plus
+            // the crash-only rss_peak_kb) after the status tag.
+            format!("{{\"status\":\"failed\",{}", &e.to_json()[1..])
+        }
         RunOutcome::Panicked { message } => {
             format!(
                 "{{\"status\":\"panicked\",\"error\":{}}}",
@@ -665,14 +671,18 @@ impl BatchCtx<'_> {
         };
         match self.chaos_roll(kernel, site, 0, menu) {
             // IoError only fires at cache sites; the serve-layer faults
-            // (socket reset / slow read / worker stall) never appear on a
-            // batch boundary menu.
+            // (socket reset / slow read / worker stall) and the
+            // warden-layer crash faults (worker kill / rss bomb / reply
+            // truncate) never appear on a batch boundary menu.
             None
             | Some(
                 ChaosFault::IoError
                 | ChaosFault::SocketReset
                 | ChaosFault::SlowRead
-                | ChaosFault::WorkerStall,
+                | ChaosFault::WorkerStall
+                | ChaosFault::WorkerKill
+                | ChaosFault::RssBomb
+                | ChaosFault::ReplyTruncate,
             ) => Ok(()),
             Some(ChaosFault::Panic) => {
                 panic!("chaos: injected panic at {site} for {kernel}")
@@ -1067,6 +1077,22 @@ pub fn run_batch(kernels: &[Kernel], opts: &BatchOptions) -> Result<BatchSummary
         eprintln!("mha-batch: --resume replayed {n_replayed} completed kernel(s) from the journal");
     }
 
+    // Process isolation (`--isolate`): compilations run in warden worker
+    // processes, one warm worker per pool thread. Journaling, resume, and
+    // result slots stay supervisor-side; only the compute crosses the
+    // process boundary.
+    let warden = if opts.isolate {
+        Some(
+            crate::warden::Warden::new(crate::warden::WardenConfig {
+                pool: jobs.min(pending.len().max(1)),
+                ..crate::warden::WardenConfig::default()
+            })
+            .map_err(|e| BatchError::Usage(format!("--isolate worker pool: {e}")))?,
+        )
+    } else {
+        None
+    };
+
     // Worker pool: `jobs` threads pull indices from a shared counter, so a
     // slow kernel never blocks the queue behind it. (The workspace's rayon
     // stand-in is sequential — see stubs/rayon — so the pool is built
@@ -1083,7 +1109,19 @@ pub fn run_batch(kernels: &[Kernel], opts: &BatchOptions) -> Result<BatchSummary
                         ctx.warn(format!("journal write failed for {}: {e}", k.name));
                     }
                 }
-                let run = run_one_isolated(k, &ctx);
+                let run = match &warden {
+                    Some(w) => {
+                        let (outcome, warnings) = w.execute_suite(k.name, ctx.opts);
+                        for msg in warnings {
+                            ctx.warn(format!("{}: {msg}", k.name));
+                        }
+                        KernelRun {
+                            kernel: k.name.to_string(),
+                            outcome,
+                        }
+                    }
+                    None => run_one_isolated(k, &ctx),
+                };
                 if let Some(j) = &ctx.journal {
                     if let Err(e) = j.finish(k.name, &outcome_to_json(&run.outcome)) {
                         ctx.warn(format!("journal write failed for {}: {e}", k.name));
@@ -1269,7 +1307,12 @@ mod tests {
         let panicked = RunOutcome::Panicked {
             message: "boom".into(),
         };
-        for outcome in [completed, &degraded, &failed, &tripped, &panicked] {
+        let crashed = RunOutcome::Failed(StageError::Crash {
+            stage: "warden".into(),
+            cause: "signal 9".into(),
+            rss_peak_kb: Some(204_800),
+        });
+        for outcome in [completed, &degraded, &failed, &tripped, &panicked, &crashed] {
             let encoded = outcome_to_json(outcome);
             let parsed = outcome_from_json(&json::parse(&encoded).unwrap()).unwrap();
             // Field-for-field equality via the canonical encoding.

@@ -7,7 +7,7 @@
 //!           [--ii N] [--unroll N] [--partition N] [--flatten]
 //!           [--seed N] [--inject-panic KERNEL]
 //!           [--deadline-ms N] [--fuel N] [--chaos SEED,RATE] [--resume]
-//!           [<kernel>... | all]
+//!           [--isolate] [<kernel>... | all]
 //! ```
 //!
 //! With no targets (or `all`), the full suite runs. Each kernel goes
@@ -25,6 +25,11 @@
 //! next to the cache) after a killed run. Warnings go to stderr, so
 //! `--format json` stdout is always one parseable document.
 //!
+//! `--isolate` runs each kernel's pipeline in a worker *process*
+//! (`driver::warden`, re-exec'ing this binary with the hidden
+//! `--warden-child` mode): a crash or OOM while compiling one kernel
+//! becomes a `failed/crash` summary entry instead of killing the run.
+//!
 //! Exit codes: 0 all kernels clean, 1 some kernels failed or degraded, 2
 //! infrastructure/usage error.
 
@@ -40,7 +45,7 @@ fn usage() -> ! {
          \x20                [--ii N] [--unroll N] [--partition N] [--flatten]\n\
          \x20                [--seed N] [--inject-panic KERNEL]\n\
          \x20                [--deadline-ms N] [--fuel N] [--chaos SEED,RATE]\n\
-         \x20                [--resume] [<kernel>... | all]"
+         \x20                [--resume] [--isolate] [<kernel>... | all]"
     );
     std::process::exit(2);
 }
@@ -63,6 +68,11 @@ fn parse_u32(s: &str, flag: &str) -> u32 {
 }
 
 fn main() {
+    // Worker mode: the warden re-execs this binary with `--warden-child`
+    // as the only argument; dispatch before any flag parsing.
+    if std::env::args().nth(1).as_deref() == Some("--warden-child") {
+        driver::warden::child_main();
+    }
     let mut opts = BatchOptions {
         directives: Directives::pipelined(1),
         ..BatchOptions::default()
@@ -131,6 +141,7 @@ fn main() {
                 }
             },
             "--resume" => opts.resume = true,
+            "--isolate" => opts.isolate = true,
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag '{a}'");
                 usage();

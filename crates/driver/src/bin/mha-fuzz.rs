@@ -3,7 +3,7 @@
 //! ```text
 //! mha-fuzz [--seed N] [--count N] [--format text|json] [--corpus DIR]
 //!          [--step-limit N] [--fuel N] [--deadline-ms N]
-//!          [--no-reduce] [--reduce-budget N] [--legality]
+//!          [--no-reduce] [--reduce-budget N] [--legality] [--isolate]
 //! ```
 //!
 //! Walks seeds `[--seed, --seed + --count)`; each seed deterministically
@@ -24,14 +24,23 @@
 //! replayable `<sig>.finding` entry. Progress goes to stderr, so
 //! `--format json` stdout is always one parseable document.
 //!
+//! `--isolate` runs every oracle stack in a worker *process*
+//! (`driver::warden`): a stack overflow past the depth guards, an
+//! allocator OOM, or any other process death becomes a reducible
+//! `crash/warden` finding instead of a dead campaign. Reduction candidates
+//! go through the same worker pool, so a crash finding minimizes exactly
+//! like any other. The hidden `--warden-child` argv\[1\] mode is how the
+//! re-exec'd workers enter their serve loop — never pass it by hand.
+//!
 //! Exit codes: 0 all seeds clean, 1 unique findings exist, 2
 //! infrastructure/usage error.
 
 use std::path::PathBuf;
 
 use driver::corpus::Corpus;
+use driver::{Warden, WardenConfig};
 use fuzzing::reduce::ReduceOpts;
-use fuzzing::{run_campaign, CampaignOpts};
+use fuzzing::{run_campaign, run_campaign_with, CampaignOpts};
 use pass_core::report::json_str;
 
 fn usage() -> ! {
@@ -39,7 +48,7 @@ fn usage() -> ! {
         "usage: mha-fuzz [--seed N] [--count N] [--format text|json]\n\
          \x20               [--corpus DIR] [--step-limit N] [--fuel N]\n\
          \x20               [--deadline-ms N] [--no-reduce] [--reduce-budget N]\n\
-         \x20               [--legality]"
+         \x20               [--legality] [--isolate]"
     );
     std::process::exit(2);
 }
@@ -62,7 +71,13 @@ fn parse_u64(s: &str, flag: &str) -> u64 {
 }
 
 fn main() {
+    // Worker mode: the warden re-execs this binary with `--warden-child`
+    // as the only argument; dispatch before any flag parsing.
+    if std::env::args().nth(1).as_deref() == Some("--warden-child") {
+        driver::warden::child_main();
+    }
     let mut seed_start = 0u64;
+    let mut isolate = false;
     let mut count = 100u64;
     let mut format_json = false;
     let mut corpus_dir = Corpus::default_dir();
@@ -101,6 +116,7 @@ fn main() {
             }
             "--no-reduce" => opts.reduce = None,
             "--legality" => opts.legality = true,
+            "--isolate" => isolate = true,
             "--reduce-budget" => {
                 let n = parse_u64(&flag_value(&mut args, "--reduce-budget"), "--reduce-budget");
                 opts.reduce = Some(ReduceOpts {
@@ -124,7 +140,24 @@ fn main() {
 
     // All narration goes to stderr; stdout carries only the final report.
     let mut progress = |line: &str| eprintln!("mha-fuzz: {line}");
-    let result = run_campaign(seed_start, count, &opts, &mut progress);
+    let result = if isolate {
+        let warden = match Warden::new(WardenConfig::default()) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("mha-fuzz: --isolate worker pool: {e}");
+                std::process::exit(2);
+            }
+        };
+        run_campaign_with(
+            seed_start,
+            count,
+            &opts,
+            &|src, seed, opts| warden.execute_oracle(src, seed, opts),
+            &mut progress,
+        )
+    } else {
+        run_campaign(seed_start, count, &opts, &mut progress)
+    };
 
     let mut stored: Vec<(String, PathBuf)> = Vec::new();
     for finding in result.findings.values() {

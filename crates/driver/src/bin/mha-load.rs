@@ -6,7 +6,7 @@
 //!          [--deadline-ms N] [--fuel N] [--min-warm-ratio F]
 //!          [--clients N] [--keep-alive] [--retries N] [--allow-503]
 //!          [--max-polite-p99-us N]
-//!          [--adversary slow-loris|disconnect|hot] [--adversary-threads N]
+//!          [--adversary slow-loris|disconnect|hot|crash] [--adversary-threads N]
 //!          [--format text|json]
 //! ```
 //!
@@ -35,8 +35,11 @@
 //! clients that run alongside every phase and are excluded from all
 //! gates: `slow-loris` dribbles header bytes one at a time, `disconnect`
 //! sends full requests then drops the socket before reading the
-//! response, and `hot` floods unique raw-MLIR compiles as the `hot`
-//! tenant as fast as the server answers.
+//! response, `hot` floods unique raw-MLIR compiles as the `hot`
+//! tenant as fast as the server answers, and `crash` posts depth/size
+//! bombs (deeply nested raw MLIR) designed to blow recursive stages —
+//! pair it with `mha-serve --isolate` to verify a bomb costs one worker
+//! process, not the server.
 //!
 //! **Resilience accounting.** Every `429`/`503` response is required to
 //! carry `Retry-After`; one that doesn't fails the run. `--allow-503`
@@ -68,7 +71,7 @@ fn usage() -> ! {
          \x20               [--mix suite|fuzz|both] [--deadline-ms N] [--fuel N]\n\
          \x20               [--min-warm-ratio F] [--clients N] [--keep-alive]\n\
          \x20               [--retries N] [--allow-503] [--max-polite-p99-us N]\n\
-         \x20               [--adversary slow-loris|disconnect|hot]\n\
+         \x20               [--adversary slow-loris|disconnect|hot|crash]\n\
          \x20               [--adversary-threads N] [--format text|json]"
     );
     std::process::exit(2);
@@ -110,6 +113,7 @@ enum Adversary {
     SlowLoris,
     Disconnect,
     Hot,
+    Crash,
 }
 
 impl Adversary {
@@ -118,6 +122,7 @@ impl Adversary {
             Adversary::SlowLoris => "slow-loris",
             Adversary::Disconnect => "disconnect",
             Adversary::Hot => "hot",
+            Adversary::Crash => "crash",
         }
     }
 }
@@ -417,6 +422,38 @@ fn adversary_loop(
                     Err(_) => stats.lock().unwrap().transport_errors += 1,
                 }
             }
+            Adversary::Crash => {
+                // Depth/size bombs hunting process-killing failure modes
+                // (stack overflow in recursive parsers, allocator blowups).
+                // Every request is unique so nothing is answered from the
+                // cache; under `mha-serve --isolate` each bomb costs at
+                // most one worker process, never the server. Expected
+                // answers are 4xx/5xx — the gate is that the server stays
+                // up and polite tenants stay fast.
+                let depth = 1_500 + (counter % 512) as usize;
+                let mut src = String::with_capacity(depth * 16 + 64);
+                src.push_str("func @bomb() {\n");
+                for i in 0..depth {
+                    src.push_str(&format!("scf.if %c{i} {{\n"));
+                }
+                for _ in 0..=depth {
+                    src.push_str("}\n");
+                }
+                let body = format!(
+                    "{{\"mlir\":{},\"name\":\"bomb-{}-{counter}\",\"deadline_ms\":2000}}",
+                    json_str(&src),
+                    thread_id
+                );
+                let mut client = HttpClient::new(addr, true, 0);
+                match client.post("/v1/compile", &body, "bomb") {
+                    Ok(r) => {
+                        let mut st = stats.lock().unwrap();
+                        st.responses += 1;
+                        *st.codes.entry(r.code).or_insert(0) += 1;
+                    }
+                    Err(_) => stats.lock().unwrap().transport_errors += 1,
+                }
+            }
         }
     }
 }
@@ -496,8 +533,9 @@ fn main() {
                 "slow-loris" => adversary = Some(Adversary::SlowLoris),
                 "disconnect" => adversary = Some(Adversary::Disconnect),
                 "hot" => adversary = Some(Adversary::Hot),
+                "crash" => adversary = Some(Adversary::Crash),
                 other => {
-                    eprintln!("--adversary needs slow-loris|disconnect|hot, got '{other}'");
+                    eprintln!("--adversary needs slow-loris|disconnect|hot|crash, got '{other}'");
                     usage();
                 }
             },

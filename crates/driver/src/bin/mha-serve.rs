@@ -11,6 +11,9 @@
 //!           [--breaker-window N] [--breaker-min-samples N]
 //!           [--breaker-trip-ratio F] [--breaker-cooldown-ms N]
 //!           [--chaos SEED,RATE]
+//!           [--isolate] [--warden-pool N] [--max-requests-per-worker N]
+//!           [--max-worker-rss-mb N] [--warden-chaos SEED,RATE]
+//!           [--max-cached-responses N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:8787`; port 0 picks a free port),
@@ -39,6 +42,14 @@
 //! faults) and, for suite kernels, the batch engine's own cache/retry
 //! sites — the same flag grammar as `mha-batch`.
 //!
+//! `--isolate` runs every compilation in a pre-spawned **worker process**
+//! (`driver::warden`): a segfault, stack overflow, abort, or OOM in a
+//! worker becomes a typed `crash` 500 while the server keeps serving.
+//! `--max-worker-rss-mb` arms the RSS watchdog, `--warden-chaos` injects
+//! crash faults inside workers (worker kill, RSS bomb, reply truncation)
+//! for soak testing. The hidden `--warden-child` argv\[1\] mode is how the
+//! re-exec'd workers enter their serve loop — never pass it by hand.
+//!
 //! Exit codes: **0** clean drain, **2** usage or startup error (bind
 //! failure, unusable cache dir, malformed flag).
 
@@ -58,7 +69,11 @@ fn usage() -> ! {
          \x20                [--queue-depth N] [--quantum N] [--shed-p99-ms N]\n\
          \x20                [--breaker-window N] [--breaker-min-samples N]\n\
          \x20                [--breaker-trip-ratio F] [--breaker-cooldown-ms N]\n\
-         \x20                [--chaos SEED,RATE]"
+         \x20                [--chaos SEED,RATE]\n\
+         \x20                [--isolate] [--warden-pool N]\n\
+         \x20                [--max-requests-per-worker N]\n\
+         \x20                [--max-worker-rss-mb N] [--warden-chaos SEED,RATE]\n\
+         \x20                [--max-cached-responses N]"
     );
     std::process::exit(2);
 }
@@ -88,6 +103,11 @@ fn parse_f64(s: &str, flag: &str) -> f64 {
 }
 
 fn main() {
+    // Worker mode: the warden re-execs this binary with `--warden-child`
+    // as the only argument; dispatch before any flag parsing.
+    if std::env::args().nth(1).as_deref() == Some("--warden-child") {
+        driver::warden::child_main();
+    }
     let mut config = ServeConfig {
         addr: "127.0.0.1:8787".into(),
         ..ServeConfig::default()
@@ -193,6 +213,40 @@ fn main() {
                         usage();
                     }),
                 )
+            }
+            "--isolate" => config.isolate = true,
+            "--warden-pool" => {
+                config.warden_pool =
+                    parse_u64(&flag_value(&mut args, "--warden-pool"), "--warden-pool") as usize
+            }
+            "--max-requests-per-worker" => {
+                config.max_requests_per_worker = parse_u64(
+                    &flag_value(&mut args, "--max-requests-per-worker"),
+                    "--max-requests-per-worker",
+                )
+                .max(1) as u32
+            }
+            "--max-worker-rss-mb" => {
+                config.max_worker_rss_mb = Some(parse_u64(
+                    &flag_value(&mut args, "--max-worker-rss-mb"),
+                    "--max-worker-rss-mb",
+                ))
+            }
+            "--warden-chaos" => {
+                config.warden_chaos = Some(
+                    ChaosConfig::parse(&flag_value(&mut args, "--warden-chaos")).unwrap_or_else(
+                        |e| {
+                            eprintln!("{e}");
+                            usage();
+                        },
+                    ),
+                )
+            }
+            "--max-cached-responses" => {
+                config.max_cached_responses = parse_u64(
+                    &flag_value(&mut args, "--max-cached-responses"),
+                    "--max-cached-responses",
+                ) as usize
             }
             _ => {
                 eprintln!("unknown flag '{a}'");

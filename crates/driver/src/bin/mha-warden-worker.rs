@@ -1,0 +1,11 @@
+//! Dedicated warden worker binary.
+//!
+//! Production binaries (`mha-serve`, `mha-batch`, `mha-fuzz`) isolate by
+//! re-exec'ing themselves with `--warden-child`; test harness executables
+//! cannot be re-exec'd that way, so `driver::warden` falls back to this
+//! binary (cargo builds it alongside the test executables). It speaks the
+//! warden frame protocol on stdin/stdout unconditionally.
+
+fn main() {
+    driver::warden::child_main()
+}

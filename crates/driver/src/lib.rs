@@ -40,6 +40,7 @@ pub mod lint;
 pub mod resilience;
 pub mod serve;
 pub mod supervisor;
+pub mod warden;
 
 pub use batch::{run_batch, BatchError, BatchOptions, BatchSummary};
 pub use cache::{Cache, CacheError};
@@ -57,6 +58,7 @@ pub use supervisor::{
     ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, RetryPolicy,
     StageError,
 };
+pub use warden::{RawCompile, Warden, WardenConfig, WardenStats, CRASH_MENU};
 
 /// Unified error type for the driver layer.
 #[derive(Debug, Clone)]

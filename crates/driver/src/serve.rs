@@ -118,6 +118,7 @@ use crate::resilience::{
 use crate::supervisor::{
     ChaosConfig, ChaosEngine, ChaosFault, FaultClass, Journal, JournalError, StageError,
 };
+use crate::warden::{RawCompile, Warden, WardenConfig};
 
 /// Journal header magic distinguishing serve journals from batch journals.
 const JOURNAL_KIND: &str = "mha-serve";
@@ -186,6 +187,26 @@ pub struct ServeConfig {
     /// Seeded fault injection covering the serve layer and (for suite
     /// kernels) the batch engine's own chaos sites.
     pub chaos: Option<ChaosConfig>,
+    /// Run compilations in isolated worker processes (`--isolate`): a
+    /// worker segfault/abort/OOM becomes a typed `crash` 500 instead of
+    /// server death.
+    pub isolate: bool,
+    /// Warm worker processes to pre-spawn (`--warden-pool`); 0 matches
+    /// the compile worker-thread count. Ignored without `isolate`.
+    pub warden_pool: usize,
+    /// Recycle each worker process after this many requests
+    /// (`--max-requests-per-worker`).
+    pub max_requests_per_worker: u32,
+    /// RSS ceiling per worker process in MiB (`--max-worker-rss-mb`);
+    /// exceeding it gets the worker killed and the request a `crash` 500.
+    pub max_worker_rss_mb: Option<u64>,
+    /// Seeded crash injection at the in-worker `warden` chaos site
+    /// (`--warden-chaos`): worker kill, RSS bomb, reply truncation.
+    pub warden_chaos: Option<ChaosConfig>,
+    /// Bound on the in-memory response cache (`--max-cached-responses`);
+    /// least-recently-used entries are evicted past it. 0 disables the
+    /// response cache entirely (journal replay still works per restart).
+    pub max_cached_responses: usize,
 }
 
 impl Default for ServeConfig {
@@ -209,6 +230,12 @@ impl Default for ServeConfig {
             queue: FairQueueConfig::default(),
             breaker: BreakerConfig::default(),
             chaos: None,
+            isolate: false,
+            warden_pool: 0,
+            max_requests_per_worker: 256,
+            max_worker_rss_mb: None,
+            warden_chaos: None,
+            max_cached_responses: 4096,
         }
     }
 }
@@ -253,6 +280,8 @@ pub enum ServeError {
     Cache(String),
     /// Journal unusable.
     Journal(JournalError),
+    /// Worker-process pool could not start (`--isolate`).
+    Warden(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -261,6 +290,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Bind(e) => write!(f, "bind: {e}"),
             ServeError::Cache(e) => write!(f, "cache: {e}"),
             ServeError::Journal(e) => write!(f, "{e}"),
+            ServeError::Warden(e) => write!(f, "worker pool: {e}"),
         }
     }
 }
@@ -303,6 +333,70 @@ struct StoredResponse {
     from_journal: bool,
 }
 
+/// The bounded in-memory response cache: an LRU over completed cacheable
+/// responses. `u64` ticks order recency (bumped on every hit); eviction
+/// scans for the minimum tick — O(n), fine at the few-thousand-entry caps
+/// this serves. Counters feed `GET /v1/status`.
+struct ResponseCache {
+    map: HashMap<String, (StoredResponse, u64)>,
+    tick: u64,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> ResponseCache {
+        ResponseCache {
+            map: HashMap::new(),
+            tick: 0,
+            cap,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, digest: &str) -> Option<StoredResponse> {
+        self.tick += 1;
+        match self.map.get_mut(digest) {
+            Some((r, last)) => {
+                *last = self.tick;
+                self.hits += 1;
+                Some(r.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, digest: String, r: StoredResponse) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&digest) && self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(digest, (r, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// An in-flight compilation other requests can coalesce onto.
 struct Inflight {
     slot: Mutex<Option<StoredResponse>>,
@@ -342,6 +436,11 @@ struct Metrics {
     breaker_rejects: u64,
     /// Serve-layer chaos faults injected.
     chaos_injected: u64,
+    /// Compile outcomes classified as worker-process crashes (`--isolate`).
+    crashes: u64,
+    /// Journal begin/finish appends that failed (disk full, permissions).
+    /// The response is still served; the entry just won't replay warm.
+    journal_write_failures: u64,
     /// End-to-end compile-request latency.
     request: Histogram,
     /// Time admitted jobs spent in the fair queue.
@@ -517,7 +616,9 @@ struct ServerState {
     queue: FairQueue<QueuedJob>,
     breaker: Breaker,
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
-    responses: Mutex<HashMap<String, StoredResponse>>,
+    responses: Mutex<ResponseCache>,
+    /// Worker-process pool (`--isolate`); `None` compiles in-process.
+    warden: Option<Warden>,
     /// Per-digest response-write attempt counters, keying the
     /// `serve/response` chaos site so an injected socket reset clears on
     /// the client's retry (same attempt semantics as the batch sites).
@@ -544,6 +645,17 @@ impl ServerState {
         drop(m);
         if !LOGGED.swap(true, Ordering::Relaxed) {
             eprintln!("mha-serve: setsockopt {what} failed: {e} (counted in /v1/status)");
+        }
+    }
+
+    /// Count (and log, once per process) a failed journal append. The
+    /// response itself is unaffected — it just won't replay warm after a
+    /// restart — but the operator must be able to see the disk is sick.
+    fn note_journal_failure(&self, e: &JournalError) {
+        static LOGGED: AtomicBool = AtomicBool::new(false);
+        self.metrics.lock().unwrap().journal_write_failures += 1;
+        if !LOGGED.swap(true, Ordering::Relaxed) {
+            eprintln!("mha-serve: journal append failed: {e} (counted in /v1/status)");
         }
     }
 
@@ -584,7 +696,7 @@ impl Server {
             Some(dir) => Some(Cache::open(dir).map_err(|e| ServeError::Cache(e.to_string()))?),
             None => None,
         };
-        let mut responses = HashMap::new();
+        let mut responses = ResponseCache::new(config.max_cached_responses);
         let journal = match &config.cache_dir {
             Some(dir) => {
                 let path = dir.join("serve.jsonl");
@@ -625,6 +737,26 @@ impl Server {
             eprintln!("mha-serve: replayed {n_warm} journaled response(s)");
         }
 
+        let warden = if config.isolate {
+            let pool = if config.warden_pool > 0 {
+                config.warden_pool
+            } else {
+                config.effective_workers()
+            };
+            Some(
+                Warden::new(WardenConfig {
+                    pool,
+                    max_requests_per_worker: config.max_requests_per_worker,
+                    max_rss_mb: config.max_worker_rss_mb,
+                    chaos: config.warden_chaos,
+                    ..WardenConfig::default()
+                })
+                .map_err(ServeError::Warden)?,
+            )
+        } else {
+            None
+        };
+
         let state = Arc::new(ServerState {
             started: Instant::now(),
             draining: AtomicBool::new(false),
@@ -637,6 +769,7 @@ impl Server {
             breaker: Breaker::new(config.breaker),
             inflight: Mutex::new(HashMap::new()),
             responses: Mutex::new(responses),
+            warden,
             response_attempts: Mutex::new(HashMap::new()),
             metrics: Mutex::new(Metrics::default()),
             config,
@@ -1313,7 +1446,7 @@ fn dispatch_compile(state: &Arc<ServerState>, conn: Box<Conn>, req: HttpRequest)
     let digest = creq.digest(&state.config);
 
     // Warm/cache fast path: answered inline, never queued, never shed.
-    let hit = state.responses.lock().unwrap().get(&digest).cloned();
+    let hit = state.responses.lock().unwrap().get(&digest);
     if let Some(r) = hit {
         let served = if r.from_journal {
             Served::Warm
@@ -1453,7 +1586,7 @@ fn process_job(state: &Arc<ServerState>, job: QueuedJob) {
     }
 
     // A duplicate may have completed while this job sat in the queue.
-    let hit = state.responses.lock().unwrap().get(&digest).cloned();
+    let hit = state.responses.lock().unwrap().get(&digest);
     if let Some(r) = hit {
         let served = if r.from_journal {
             Served::Warm
@@ -1546,7 +1679,9 @@ fn process_job(state: &Arc<ServerState>, job: QueuedJob) {
         if degrade {
             state.metrics.lock().unwrap().breaker_degraded += 1;
         } else if let Some(j) = &state.journal {
-            let _ = j.begin(&digest);
+            if let Err(e) = j.begin(&digest) {
+                state.note_journal_failure(&e);
+            }
         }
         let mut r = compile_locked(state, &req, &digest, degrade, &mut |stage| {
             stream_event(
@@ -1576,7 +1711,9 @@ fn process_job(state: &Arc<ServerState>, job: QueuedJob) {
     // — so they are never cached or journaled.
     if !degrade && cacheable(result.code) {
         if let Some(j) = &state.journal {
-            let _ = j.finish(&digest, &stored_to_journal(&stored));
+            if let Err(e) = j.finish(&digest, &stored_to_journal(&stored)) {
+                state.note_journal_failure(&e);
+            }
         }
         state
             .responses
@@ -1603,6 +1740,35 @@ fn process_job(state: &Arc<ServerState>, job: QueuedJob) {
 // MARK: status/compile endpoint (appended below)
 
 fn status_body(state: &ServerState) -> String {
+    let warden_json = state
+        .warden
+        .as_ref()
+        .map(|w| {
+            let s = w.stats();
+            format!(
+                "{{\"pool_idle\":{},\"spawned\":{},\"recycled\":{},\"executed\":{},\
+                 \"crashes\":{},\"deadline_kills\":{},\"rss_kills\":{}}}",
+                s.pool_idle,
+                s.spawned,
+                s.recycled,
+                s.executed,
+                s.crashes,
+                s.deadline_kills,
+                s.rss_kills
+            )
+        })
+        .unwrap_or_else(|| "null".into());
+    let response_cache_json = {
+        let c = state.responses.lock().unwrap();
+        format!(
+            "{{\"size\":{},\"cap\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+            c.len(),
+            c.cap,
+            c.hits,
+            c.misses,
+            c.evictions
+        )
+    };
     let m = state.metrics.lock().unwrap();
     let mut codes: Vec<(u16, u64)> = m.codes.iter().map(|(k, v)| (*k, *v)).collect();
     codes.sort_unstable();
@@ -1621,7 +1787,9 @@ fn status_body(state: &ServerState) -> String {
          \"shed\":{{\"raw\":{},\"suite\":{},\"accept\":{}}},\
          \"header_timeouts\":{},\"sockopt_failures\":{},\"keepalive_reuses\":{},\
          \"streamed\":{},\"chaos_injected\":{},\
+         \"crashes\":{},\"journal_write_failures\":{},\
          \"breaker\":{{\"state\":{},\"trips\":{},\"degraded\":{},\"rejects\":{}}}}},\
+         \"warden\":{warden_json},\"response_cache\":{response_cache_json},\
          \"latency\":[{},{},{},{},{}]}}",
         state.started.elapsed().as_millis(),
         state.config.effective_workers(),
@@ -1646,6 +1814,8 @@ fn status_body(state: &ServerState) -> String {
         m.keepalive_reuses,
         m.streamed,
         m.chaos_injected,
+        m.crashes,
+        m.journal_write_failures,
         json_str(state.breaker.state_label()),
         state.breaker.trips(),
         m.breaker_degraded,
@@ -1761,7 +1931,7 @@ impl CompileRequest {
 
 /// HTTP status for a pipeline outcome: the supervisor's taxonomy on the
 /// wire. Budget deadline → 408, fuel → 429, deterministic → 422,
-/// transient → 503, infra/panic → 500.
+/// transient → 503, infra/panic/crash → 500.
 pub fn outcome_status(o: &RunOutcome) -> u16 {
     match o {
         RunOutcome::Completed(_) | RunOutcome::Degraded { .. } => 200,
@@ -1774,6 +1944,7 @@ pub fn outcome_status(o: &RunOutcome) -> u16 {
             FaultClass::Transient => 503,
             FaultClass::Infra => 500,
         },
+        RunOutcome::Failed(StageError::Crash { .. }) => 500,
         RunOutcome::Panicked { .. } => 500,
     }
 }
@@ -1846,13 +2017,21 @@ fn compile_locked(
         outcome
     };
     let code = outcome_status(&outcome);
-    let transient = matches!(
-        outcome,
-        RunOutcome::Failed(StageError::Fault {
-            class: FaultClass::Transient,
-            ..
-        })
-    );
+    let crashed = matches!(&outcome, RunOutcome::Failed(e) if e.is_crash());
+    if crashed {
+        state.metrics.lock().unwrap().crashes += 1;
+    }
+    // Worker crashes feed the breaker like transient faults: a crashing
+    // worker population should degrade to the deterministic fallback, not
+    // keep burning workers.
+    let transient = crashed
+        || matches!(
+            outcome,
+            RunOutcome::Failed(StageError::Fault {
+                class: FaultClass::Transient,
+                ..
+            })
+        );
     let rendered = match &outcome {
         RunOutcome::Failed(e) => format!(",\"rendered\":{}", json_str(&e.to_string())),
         _ => String::new(),
@@ -1926,6 +2105,15 @@ fn compile_suite(
         chaos: if degrade { None } else { state.config.chaos },
         ..BatchOptions::default()
     };
+    // Isolation: ship the compile to a worker process. The degraded
+    // fallback path stays in-process — it is the safety net and must not
+    // depend on the worker pool being healthy.
+    if !degrade {
+        if let Some(warden) = &state.warden {
+            progress("isolated");
+            return warden.execute_suite(name, &opts);
+        }
+    }
     match run_supervised(kernel, &opts) {
         Ok((outcome, warnings)) => (outcome, warnings),
         Err(e) => (
@@ -2005,9 +2193,42 @@ fn compile_raw(
             }
         }
     }
+    // Isolation: ship the raw pipeline to a worker process (degraded
+    // fallback stays in-process, same as suite compiles).
+    if !degrade {
+        if let Some(warden) = &state.warden {
+            progress("isolated");
+            let rc = RawCompile {
+                name: &req.name,
+                mlir,
+                directives: &req.directives,
+                flow,
+                deadline_ms: req.effective_deadline(&state.config),
+                fuel: req.effective_fuel(&state.config),
+            };
+            let (outcome, mut wwarnings) = warden.execute_raw(&rc, &state.config.target);
+            warnings.append(&mut wwarnings);
+            if matches!(outcome, RunOutcome::Completed(_)) {
+                if let (Some(cache), Some(key)) = (&state.cache, &serve_key) {
+                    if let Err(e) = cache.store(key, &outcome_to_json(&outcome)) {
+                        warnings.push(format!("serve cache store failed: {e}"));
+                    }
+                }
+            }
+            return (outcome, warnings);
+        }
+    }
     let budget = req.budget(&state.config);
     let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        raw_pipeline(state, req, &budget, flow, progress)
+        raw_pipeline(
+            &req.name,
+            mlir,
+            &req.directives,
+            &state.config.target,
+            &budget,
+            flow,
+            progress,
+        )
     }));
     let outcome = match run {
         Ok(Ok(artifacts)) => RunOutcome::Completed(Box::new(artifacts)),
@@ -2030,19 +2251,22 @@ fn compile_raw(
     (outcome, warnings)
 }
 
-fn raw_pipeline(
-    state: &ServerState,
-    req: &CompileRequest,
+// Shared with `warden::child_main`, which runs the same pipeline inside an
+// isolated worker process — hence the state-free signature.
+pub(crate) fn raw_pipeline(
+    name: &str,
+    mlir: &str,
+    directives: &Directives,
+    target: &Target,
     budget: &Budget,
     flow: Flow,
     progress: &mut dyn FnMut(&str),
 ) -> Result<crate::batch::KernelArtifacts, StageError> {
-    let mlir = req.mlir.as_deref().unwrap_or_default();
     let mut report = PipelineReport::new("serve");
     progress("flow");
     let art = report
         .time_stage("flow", || {
-            run_flow_on_text(&req.name, mlir, &req.directives, flow, budget)
+            run_flow_on_text(name, mlir, directives, flow, budget)
         })
         .map_err(|e| StageError::classify("flow", &e.to_string(), FaultClass::Deterministic))?;
     report.extend_prefixed("flow", &art.report);
@@ -2051,7 +2275,7 @@ fn raw_pipeline(
     progress("csynth");
     let csynth = report
         .time_stage("csynth", || {
-            vitis_sim::csynth_budgeted(&art.module, &state.config.target, budget)
+            vitis_sim::csynth_budgeted(&art.module, target, budget)
         })
         .map_err(|e| StageError::classify("csynth", &e.to_string(), FaultClass::Deterministic))?;
     Ok(crate::batch::KernelArtifacts {

@@ -67,6 +67,12 @@ impl CampaignResult {
     }
 }
 
+/// How a campaign executes one kernel against the oracle stack: the
+/// in-process default, or an injected runner that ships the kernel to an
+/// isolated worker process (`mha-fuzz --isolate`, via `driver::warden`).
+/// Returns whether the legality oracle exercised a real interchange.
+pub type OracleRunner<'a> = dyn Fn(&str, u64, &CampaignOpts) -> Result<bool, Failure> + 'a;
+
 /// Run seeds `[start, start + count)`. `progress` receives one human line
 /// per event worth narrating (new finding, reduction done); callers route
 /// it to stderr so stdout can stay machine-readable.
@@ -76,11 +82,25 @@ pub fn run_campaign(
     opts: &CampaignOpts,
     progress: &mut dyn FnMut(&str),
 ) -> CampaignResult {
+    run_campaign_with(start, count, opts, &run_all, progress)
+}
+
+/// [`run_campaign`] with an injected [`OracleRunner`]. Reduction goes
+/// through the same runner, so a crash finding reduces under isolation —
+/// each candidate that kills the worker is contained exactly like the
+/// original.
+pub fn run_campaign_with(
+    start: u64,
+    count: u64,
+    opts: &CampaignOpts,
+    runner: &OracleRunner<'_>,
+    progress: &mut dyn FnMut(&str),
+) -> CampaignResult {
     let mut result = CampaignResult::default();
     for seed in start..start.saturating_add(count) {
         result.attempts += 1;
         let kernel = generate(seed, &opts.gen);
-        match run_all(&kernel.text, seed, opts) {
+        match runner(&kernel.text, seed, opts) {
             Ok(exercised) => {
                 result.passed += 1;
                 result.interchanged += u64::from(exercised);
@@ -95,7 +115,7 @@ pub fn run_campaign(
                 let reduced = opts.reduce.as_ref().and_then(|ropts| {
                     let r = reduce(&kernel.text, ropts, &mut |cand| {
                         matches!(
-                            run_all(cand, seed, opts),
+                            runner(cand, seed, opts),
                             Err(f) if f.signature() == signature
                         )
                     });

@@ -26,7 +26,9 @@ pub mod reduce;
 pub mod rng;
 pub mod sig;
 
-pub use campaign::{run_campaign, CampaignOpts, CampaignResult, Finding};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignOpts, CampaignResult, Finding, OracleRunner,
+};
 pub use gen::{generate, GenConfig, GeneratedKernel, TOP_NAME};
 pub use oracle::{run_legality_oracle, run_oracles, OracleOpts};
 pub use reduce::{reduce, ReduceOpts, ReduceResult};

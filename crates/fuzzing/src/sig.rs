@@ -31,6 +31,11 @@ pub enum OracleKind {
     Budget,
     /// An engine-approved "legal" transform changed observable results.
     Legality,
+    /// The isolated worker *process* died running the oracles (segfault,
+    /// stack overflow past the guard, OOM kill) — only reachable under
+    /// `mha-fuzz --isolate`, where the warden turns process death into a
+    /// reducible finding instead of a dead campaign.
+    Crash,
 }
 
 impl OracleKind {
@@ -46,6 +51,7 @@ impl OracleKind {
             OracleKind::Panic => "panic",
             OracleKind::Budget => "budget",
             OracleKind::Legality => "legality",
+            OracleKind::Crash => "crash",
         }
     }
 
@@ -61,6 +67,7 @@ impl OracleKind {
             "panic" => OracleKind::Panic,
             "budget" => OracleKind::Budget,
             "legality" => OracleKind::Legality,
+            "crash" => OracleKind::Crash,
             _ => return None,
         })
     }

@@ -746,3 +746,112 @@ fn shutdown_completes_even_with_an_idle_keepalive_connection_parked() {
     drop(reader);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Process-isolation tests (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+use driver::{ChaosEngine, ChaosFault, CRASH_MENU};
+
+/// The tentpole acceptance pin: with `--isolate`, a chaos-injected worker
+/// death during an in-flight compile answers a typed `crash` 500 while the
+/// server keeps serving subsequent requests warm from the same process.
+#[test]
+fn worker_crash_mid_compile_is_a_typed_500_and_the_server_stays_warm() {
+    let dir = temp_dir("warden-crash");
+    // Pick a chaos seed where the bomb request draws a worker kill at the
+    // in-worker `warden` site while the polite request draws nothing.
+    let rate = 0.5;
+    let seed = (0u64..100_000)
+        .find(|&s| {
+            let eng = ChaosEngine::new(ChaosConfig { seed: s, rate });
+            matches!(
+                eng.roll("crashme", "warden", 0, &CRASH_MENU),
+                Some(ChaosFault::WorkerKill)
+            ) && eng.roll("fuzzk", "warden", 0, &CRASH_MENU).is_none()
+        })
+        .expect("a crash-selective chaos seed exists");
+
+    let server = Server::start(ServeConfig {
+        isolate: true,
+        warden_pool: 2,
+        warden_chaos: Some(ChaosConfig { seed, rate }),
+        ..config(&dir)
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A polite request compiles inside a worker process.
+    let (code, served, body) = compile(addr, &fuzz_request(11));
+    assert_eq!(code, 200, "body: {body}");
+    assert_eq!(served, "compiled");
+
+    // The bomb's worker is killed mid-compile: typed 500, class `crash`.
+    let g = fuzzing::generate(11, &fuzzing::GenConfig::default());
+    let bomb = format!("{{\"mlir\":{},\"name\":\"crashme\"}}", json_str(&g.text));
+    let (code, _, body) = compile(addr, &bomb);
+    assert_eq!(code, 500, "body: {body}");
+    let v = pass_core::json::parse(&body).expect("error body is JSON");
+    let outcome = v.get("outcome").expect("outcome object");
+    assert_eq!(outcome.get("status").unwrap().as_str(), Some("failed"));
+    assert_eq!(outcome.get("class").unwrap().as_str(), Some("crash"));
+
+    // The server itself survived: health stays green and the earlier
+    // response still answers from the in-memory cache — the crash neither
+    // killed the process nor poisoned the cache.
+    let (code, _, _) = http(addr, "GET", "/v1/healthz", "");
+    assert_eq!(code, 200);
+    let (code, served, _) = compile(addr, &fuzz_request(11));
+    assert_eq!(code, 200);
+    assert_eq!(served, "cache");
+
+    // Status carries the crash count and live worker-pool counters.
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let sv = pass_core::json::parse(&status).unwrap();
+    let resilience = sv.get("resilience").expect("resilience object");
+    assert_eq!(resilience.get("crashes").unwrap().as_u64(), Some(1));
+    let warden = sv.get("warden").expect("warden object in status");
+    assert!(warden.get("executed").unwrap().as_u64().unwrap() >= 2);
+    assert!(warden.get("crashes").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The response cache is bounded: with `--max-cached-responses 1` the
+/// second distinct compile evicts the first, and the status counters
+/// expose hits, misses, and evictions.
+#[test]
+fn bounded_response_cache_evicts_lru_and_reports_counters() {
+    let dir = temp_dir("cache-bound");
+    let server = Server::start(ServeConfig {
+        max_cached_responses: 1,
+        ..config(&dir)
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let (code, _, _) = compile(addr, &fuzz_request(21));
+    assert_eq!(code, 200);
+    let (_, served, _) = compile(addr, &fuzz_request(21));
+    assert_eq!(served, "cache", "within the bound the repeat hits");
+
+    // A second distinct response evicts the first (cap is 1)...
+    let (code, _, _) = compile(addr, &fuzz_request(22));
+    assert_eq!(code, 200);
+    // ...so the first request recompiles (journal replay is off-path for
+    // a live server; the in-memory response cache answered before).
+    let (_, served, _) = compile(addr, &fuzz_request(21));
+    assert_ne!(served, "cache", "evicted entry must not answer from cache");
+
+    let (_, _, status) = http(addr, "GET", "/v1/status", "");
+    let v = pass_core::json::parse(&status).unwrap();
+    let rc = v.get("response_cache").expect("response_cache in status");
+    assert_eq!(rc.get("cap").unwrap().as_u64(), Some(1));
+    assert_eq!(rc.get("size").unwrap().as_u64(), Some(1));
+    assert!(rc.get("hits").unwrap().as_u64().unwrap() >= 1);
+    assert!(rc.get("evictions").unwrap().as_u64().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,235 @@
+//! Process-isolation tests for `driver::warden` (ISSUE 10).
+//!
+//! These run real worker processes (the `mha-warden-worker` binary built
+//! alongside the test harness), so they cover the whole containment
+//! story: kill deadlines, the RSS watchdog, worker recycling, chaos
+//! crash injection, reply truncation, `mha-batch --isolate` equivalence,
+//! and the `mha-fuzz --isolate` oracle runner surviving crash findings.
+
+use driver::batch::{run_batch, BatchOptions, RunOutcome};
+use driver::{ChaosConfig, ChaosEngine, ChaosFault, StageError, Warden, WardenConfig, CRASH_MENU};
+use fuzzing::{run_campaign_with, CampaignOpts, OracleKind};
+
+fn warden(config: WardenConfig) -> Warden {
+    Warden::new(config).expect("worker pool starts")
+}
+
+/// Find a chaos seed whose roll at the in-worker `warden` site for `key`
+/// lands on `want`.
+fn chaos_seed_for(key: &str, rate: f64, want: ChaosFault) -> ChaosConfig {
+    for seed in 0..100_000u64 {
+        let cfg = ChaosConfig { seed, rate };
+        if ChaosEngine::new(cfg).roll(key, "warden", 0, &CRASH_MENU) == Some(want) {
+            return cfg;
+        }
+    }
+    panic!("no chaos seed draws {want:?} for '{key}'");
+}
+
+#[test]
+fn ping_and_recycling_rotate_workers_through_the_pool() {
+    let w = warden(WardenConfig {
+        pool: 1,
+        max_requests_per_worker: 1,
+        ..WardenConfig::default()
+    });
+    for _ in 0..3 {
+        let reply = w
+            .execute_probe("{\"op\":\"ping\"}", None)
+            .expect("ping replies");
+        assert!(reply.contains("\"ok\":true"), "reply: {reply}");
+    }
+    let stats = w.stats();
+    assert_eq!(stats.executed, 3);
+    assert!(
+        stats.recycled >= 2,
+        "per-worker request cap of 1 must recycle after every request: {stats:?}"
+    );
+    assert!(stats.spawned >= 3, "{stats:?}");
+    assert_eq!(stats.crashes, 0, "{stats:?}");
+}
+
+#[test]
+fn a_worker_holding_the_reply_past_the_deadline_is_sigkilled() {
+    let w = warden(WardenConfig {
+        pool: 1,
+        kill_grace_ms: 50,
+        ..WardenConfig::default()
+    });
+    let err = w
+        .execute_probe("{\"op\":\"sleep\",\"ms\":60000}", Some(100))
+        .expect_err("the sleeper must not out-wait the kill deadline");
+    assert!(
+        err.is_budget(),
+        "a deadline kill maps to the budget taxonomy, got: {err}"
+    );
+    assert_eq!(w.stats().deadline_kills, 1);
+    // The pool stays serviceable: the next request gets a fresh worker.
+    let reply = w.execute_probe("{\"op\":\"ping\"}", None).expect("ping");
+    assert!(reply.contains("\"ok\":true"));
+}
+
+#[test]
+fn the_rss_watchdog_kills_a_ballooning_worker_with_the_peak_recorded() {
+    let w = warden(WardenConfig {
+        pool: 1,
+        max_rss_mb: Some(64),
+        ..WardenConfig::default()
+    });
+    let err = w
+        .execute_probe("{\"op\":\"hog\",\"mb\":256,\"ms\":10000}", None)
+        .expect_err("a 256 MiB hog must trip the 64 MiB watchdog");
+    match &err {
+        StageError::Crash {
+            cause, rss_peak_kb, ..
+        } => {
+            assert!(cause.contains("rss"), "cause: {cause}");
+            let peak = rss_peak_kb.expect("watchdog records the observed peak");
+            assert!(peak > 64 * 1024, "peak {peak} kB should exceed the limit");
+        }
+        other => panic!("expected a crash error, got: {other}"),
+    }
+    assert_eq!(w.stats().rss_kills, 1);
+    let reply = w.execute_probe("{\"op\":\"ping\"}", None).expect("ping");
+    assert!(reply.contains("\"ok\":true"));
+}
+
+#[test]
+fn chaos_worker_kill_surfaces_as_a_signal_crash_on_the_suite_path() {
+    let chaos = chaos_seed_for("gemm", 1.0, ChaosFault::WorkerKill);
+    let w = warden(WardenConfig {
+        pool: 1,
+        chaos: Some(chaos),
+        ..WardenConfig::default()
+    });
+    let opts = BatchOptions {
+        jobs: 1,
+        cache_dir: None,
+        ..BatchOptions::default()
+    };
+    let (outcome, _) = w.execute_suite("gemm", &opts);
+    match outcome {
+        RunOutcome::Failed(StageError::Crash { cause, .. }) => {
+            assert!(cause.starts_with("signal"), "abort is a signal: {cause}");
+        }
+        other => panic!("expected a crash outcome, got: {other:?}"),
+    }
+    assert_eq!(w.stats().crashes, 1);
+}
+
+#[test]
+fn a_truncated_reply_frame_is_a_detected_crash_not_a_garbled_result() {
+    let chaos = chaos_seed_for("gemm", 1.0, ChaosFault::ReplyTruncate);
+    let w = warden(WardenConfig {
+        pool: 1,
+        chaos: Some(chaos),
+        ..WardenConfig::default()
+    });
+    let opts = BatchOptions {
+        jobs: 1,
+        cache_dir: None,
+        ..BatchOptions::default()
+    };
+    let (outcome, _) = w.execute_suite("gemm", &opts);
+    match outcome {
+        RunOutcome::Failed(StageError::Crash { cause, .. }) => {
+            assert!(cause.contains("truncated"), "cause: {cause}");
+        }
+        other => panic!("expected a crash outcome, got: {other:?}"),
+    }
+}
+
+/// `mha-batch --isolate` equivalence: the isolated suite run completes
+/// the same kernel the in-process engine does, through real worker
+/// processes, without a cache.
+#[test]
+fn batch_isolate_completes_a_kernel_through_worker_processes() {
+    let opts = BatchOptions {
+        jobs: 1,
+        cache_dir: None,
+        isolate: true,
+        ..BatchOptions::default()
+    };
+    let gemm = *kernels::kernel("gemm").expect("gemm exists");
+    let summary = run_batch(&[gemm], &opts).expect("batch runs");
+    assert_eq!(summary.runs.len(), 1);
+    match &summary.runs[0].outcome {
+        RunOutcome::Completed(a) => {
+            assert!(
+                a.cosim_max_err < 1e-3,
+                "co-simulation must match: max err {}",
+                a.cosim_max_err
+            );
+        }
+        other => panic!("expected completion, got: {other:?}"),
+    }
+}
+
+/// `mha-fuzz --isolate` regression: a campaign whose worker is chaos-killed
+/// on its first seed records a reducible `crash/warden` finding and keeps
+/// walking seeds instead of dying with the worker.
+#[test]
+fn fuzz_isolate_turns_a_worker_death_into_a_crash_finding() {
+    // The oracle runner keys worker chaos by "seed-<seed>".
+    let chaos = chaos_seed_for("seed-0", 1.0, ChaosFault::WorkerKill);
+    let w = warden(WardenConfig {
+        pool: 1,
+        chaos: Some(chaos),
+        ..WardenConfig::default()
+    });
+    let opts = CampaignOpts {
+        reduce: None, // reduction re-rolls the same chaos; keep the test fast
+        ..CampaignOpts::default()
+    };
+    let mut progress = |_: &str| {};
+    let result = run_campaign_with(
+        0,
+        1,
+        &opts,
+        &|src, seed, opts| w.execute_oracle(src, seed, opts),
+        &mut progress,
+    );
+    assert_eq!(result.attempts, 1);
+    assert_eq!(result.findings.len(), 1, "the death must become a finding");
+    let finding = result.findings.values().next().unwrap();
+    assert_eq!(finding.failure.oracle, OracleKind::Crash);
+    assert_eq!(finding.failure.stage, "warden");
+}
+
+/// A depth bomb — pathologically nested source — is contained by the
+/// worker process: the oracle call returns a structured verdict (parse
+/// rejection, budget trip, or crash finding), never takes the caller
+/// down, and the pool keeps serving.
+#[test]
+fn a_depth_bomb_through_the_isolated_oracle_is_contained() {
+    let w = warden(WardenConfig {
+        pool: 1,
+        ..WardenConfig::default()
+    });
+    let depth = 4_000;
+    let mut src = String::with_capacity(depth * 16);
+    src.push_str("func @bomb() {\n");
+    for i in 0..depth {
+        src.push_str(&format!("scf.if %c{i} {{\n"));
+    }
+    for _ in 0..=depth {
+        src.push_str("}\n");
+    }
+    let opts = CampaignOpts {
+        oracle: fuzzing::OracleOpts {
+            deadline_ms: Some(10_000),
+            ..fuzzing::OracleOpts::default()
+        },
+        ..CampaignOpts::default()
+    };
+    match w.execute_oracle(&src, 0, &opts) {
+        Ok(_) => {}
+        Err(f) => {
+            // Any structured oracle verdict is acceptable; what is not
+            // acceptable is this test process dying with the bomb.
+            assert!(!f.message.is_empty(), "finding carries a message");
+        }
+    }
+    let reply = w.execute_probe("{\"op\":\"ping\"}", None).expect("ping");
+    assert!(reply.contains("\"ok\":true"), "pool survives the bomb");
+}
